@@ -1,0 +1,98 @@
+/// \file ablation_placement.cpp
+/// Ablation (DESIGN.md §3): robustness of the pre-routing predictor under
+/// placement-quality distribution shift. The model is trained on
+/// locality-aware placements (quality ≈ 0.92); here we evaluate it on
+/// progressively degraded placements of an unseen design. A useful
+/// pre-routing predictor must (a) keep positive arrival R², and (b) rank
+/// the variants by true WNS — that ranking is what a timing-driven placer
+/// consumes.
+///
+///   ./ablation_placement [--design=usbf_device] [--scale=...] [--epochs=...]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "liberty/library_builder.hpp"
+#include "metrics/metrics.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace tg {
+namespace {
+
+data::DatasetGraph build_variant(const SuiteEntry& entry,
+                                 const Library& library, double quality,
+                                 double period_ns) {
+  data::DatasetOptions options;
+  options.placer.quality = quality;
+  options.placer.seed = 23;
+  Design design = generate_design(entry.spec, library);
+  place_design(design, options.placer);
+  const auto truth = std::make_shared<DesignRouting>(
+      route_design(design, options.truth_routing));
+  const TimingGraph graph(design);
+  design.set_period(period_ns);
+  const StaResult sta = run_sta(graph, *truth, options.sta);
+  data::DatasetGraph g = data::extract_graph(design, graph, *truth, sta);
+  g.design = std::make_shared<Design>(std::move(design));
+  g.truth_routing = truth;
+  return g;
+}
+
+}  // namespace
+}  // namespace tg
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+  const CliOptions opts(argc, argv);
+  const std::string design_name = opts.get("design", "usbf_device");
+  std::printf("== Ablation: placement-quality distribution shift (%s) ==\n",
+              design_name.c_str());
+
+  const Library library = build_library();
+  const data::SuiteDataset dataset = bench::build_dataset(config);
+  auto trainer = bench::train_or_load_full_model(config, dataset);
+
+  const SuiteEntry entry = suite_entry(design_name, config.scale);
+
+  // Clock period fixed by the best-quality variant so WNS is comparable.
+  double period;
+  {
+    data::DatasetGraph probe = build_variant(entry, library, 0.92, 1.0);
+    const TimingGraph graph(*probe.design);
+    const StaResult sta = run_sta(graph, *probe.truth_routing);
+    period = calibrated_period(*probe.design, sta.arrival, 1.02);
+  }
+
+  Table table({"Quality", "HPWL(um)", "true WNS", "pred WNS", "arr R2",
+               "Pearson(setup)"});
+  double prev_true_wns = 1e30;
+  bool ranking_ok = true;
+  for (double quality : {0.92, 0.70, 0.40, 0.10}) {
+    const data::DatasetGraph g =
+        build_variant(entry, library, quality, period);
+    double true_wns = 1e30;
+    for (double s : g.endpoint_setup_slack) true_wns = std::min(true_wns, s);
+
+    const auto scatter = trainer->slack_scatter(g);
+    double pred_wns = 1e30;
+    for (double s : scatter.pred_setup) pred_wns = std::min(pred_wns, s);
+    const core::DesignEval eval = trainer->evaluate(g);
+
+    table.add_row({format_fixed(quality, 2),
+                   format_fixed(total_hpwl(*g.design), 0),
+                   format_fixed(true_wns, 4), format_fixed(pred_wns, 4),
+                   bench::fmt_r2(eval.r2_arrival_endpoints),
+                   bench::fmt_r2(eval.pearson_setup)});
+    if (true_wns > prev_true_wns) ranking_ok = false;
+    prev_true_wns = true_wns;
+  }
+  table.print();
+  std::printf("\nTrue WNS degrades monotonically with placement quality: %s\n",
+              ranking_ok ? "yes" : "no (seed-dependent)");
+  std::printf("The predictor is trained on quality≈0.92 placements only; "
+              "degradation in R2 at low quality\nquantifies the "
+              "distribution-shift cost of the paper's approach.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "liberty/library_builder.hpp"
+#include "nn/serialize.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace tg::bench {
+
+core::TimingGnnConfig BenchConfig::gnn_config(bool use_net_aux,
+                                              bool use_cell_aux) const {
+  core::TimingGnnConfig cfg;
+  cfg.net.hidden = hidden;
+  cfg.net.mlp_hidden = hidden;
+  cfg.net.mlp_layers = 2;
+  cfg.net.num_layers = 3;  // paper: 3 net convolution layers
+  cfg.prop.hidden = hidden;
+  cfg.prop.mlp_hidden = hidden;
+  cfg.prop.mlp_layers = 2;
+  cfg.prop.lut.mlp_hidden = hidden;
+  cfg.prop.lut.mlp_layers = 2;
+  cfg.use_net_aux = use_net_aux;
+  cfg.use_cell_aux = use_cell_aux;
+  cfg.seed = seed;
+  return cfg;
+}
+
+core::NetEmbedConfig BenchConfig::net_embed_config() const {
+  core::NetEmbedConfig cfg;
+  cfg.hidden = hidden;
+  cfg.mlp_hidden = hidden;
+  cfg.mlp_layers = 2;
+  cfg.num_layers = 3;
+  return cfg;
+}
+
+core::TrainOptions BenchConfig::train_options(int epoch_count) const {
+  core::TrainOptions opt;
+  opt.epochs = epoch_count;
+  opt.lr = lr;
+  opt.lr_final = lr_final;
+  opt.grad_clip = 5.0f;
+  opt.verbose = verbose;
+  return opt;
+}
+
+BenchConfig parse_bench_config(int argc, const char* const* argv) {
+  const CliOptions opts(argc, argv);
+  BenchConfig cfg;
+  cfg.scale = opts.get_double("scale", cfg.scale);
+  cfg.hidden = static_cast<int>(opts.get_int("hidden", cfg.hidden));
+  cfg.epochs = static_cast<int>(opts.get_int("epochs", cfg.epochs));
+  cfg.gcnii_epochs =
+      static_cast<int>(opts.get_int("gcnii-epochs", cfg.gcnii_epochs));
+  cfg.net_embed_epochs =
+      static_cast<int>(opts.get_int("net-embed-epochs", cfg.net_embed_epochs));
+  cfg.lr = static_cast<float>(opts.get_double("lr", cfg.lr));
+  cfg.lr_final = static_cast<float>(opts.get_double("lr-final", cfg.lr_final));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  cfg.verbose = opts.get_bool("verbose", false);
+  cfg.cache_dir = opts.get("cache-dir", cfg.cache_dir);
+  cfg.out_dir = opts.get("out-dir", cfg.out_dir);
+  set_log_level(cfg.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+  return cfg;
+}
+
+data::SuiteDataset build_dataset(const BenchConfig& config,
+                                 const std::vector<std::string>& only) {
+  static Library* library = new Library(build_library());
+  data::DatasetOptions options;
+  options.scale = config.scale;
+  WallTimer timer;
+  std::printf("# building dataset (scale=%.4f)...\n", config.scale);
+  std::fflush(stdout);
+  data::SuiteDataset ds = build_suite_dataset(*library, options, only);
+  std::printf("# dataset ready: %zu designs in %.1f s\n", ds.graphs.size(),
+              timer.seconds());
+  std::fflush(stdout);
+  return ds;
+}
+
+std::unique_ptr<core::TimingGnnTrainer> train_or_load_full_model(
+    const BenchConfig& config, const data::SuiteDataset& dataset) {
+  auto trainer = std::make_unique<core::TimingGnnTrainer>(
+      config.gnn_config(), config.train_options(config.epochs));
+
+  std::ostringstream name;
+  name << "timing_gnn_full_s" << config.scale << "_h" << config.hidden << "_e"
+       << config.epochs << "_lrf" << config.lr_final << "_seed" << config.seed
+       << "_n" << dataset.train_ids.size() << ".bin";
+  const std::filesystem::path cache =
+      std::filesystem::path(config.cache_dir) / name.str();
+
+  if (std::filesystem::exists(cache)) {
+    std::printf("# loading cached full model: %s\n", cache.string().c_str());
+    nn::load_parameters(trainer->model(), cache.string());
+    return trainer;
+  }
+  std::printf("# training full timing GNN (%d epochs, hidden=%d)...\n",
+              config.epochs, config.hidden);
+  std::fflush(stdout);
+  WallTimer timer;
+  trainer->fit(dataset);
+  std::printf("# trained in %.1f s\n", timer.seconds());
+  std::error_code ec;
+  std::filesystem::create_directories(config.cache_dir, ec);
+  if (!ec) {
+    nn::save_parameters(trainer->model(), cache.string());
+    std::printf("# cached model: %s\n", cache.string().c_str());
+  }
+  return trainer;
+}
+
+std::string fmt_r2(double value) { return format_fixed(value, 4); }
+
+}  // namespace tg::bench

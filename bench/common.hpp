@@ -1,0 +1,53 @@
+#pragma once
+/// \file common.hpp
+/// Shared infrastructure for the table/figure reproduction benches:
+/// canonical configuration (scale, epochs, hidden width), dataset
+/// construction, and a cross-bench model cache so e.g. the Fig. 4 bench
+/// can reuse the full model trained by (or for) the Table 5 bench.
+
+#include <optional>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "util/cli.hpp"
+
+namespace tg::bench {
+
+struct BenchConfig {
+  double scale = 1.0 / 20.0;  ///< suite scale (1.0 = paper-size graphs)
+  int hidden = 16;            ///< model width (paper uses 64)
+  int epochs = 240;           ///< training epochs for the timing GNN
+  int gcnii_epochs = 100;
+  int net_embed_epochs = 160;
+  float lr = 2e-3f;
+  float lr_final = 1e-4f;     ///< geometric lr decay target (calibration)
+  std::uint64_t seed = 1;
+  bool verbose = false;
+  std::string cache_dir = "bench_cache";
+  std::string out_dir = ".";
+
+  /// Canonical model configuration derived from the bench knobs.
+  [[nodiscard]] core::TimingGnnConfig gnn_config(bool use_net_aux = true,
+                                                 bool use_cell_aux = true) const;
+  [[nodiscard]] core::NetEmbedConfig net_embed_config() const;
+  [[nodiscard]] core::TrainOptions train_options(int epoch_count) const;
+};
+
+/// Parses --scale/--hidden/--epochs/--verbose/... with bench defaults.
+[[nodiscard]] BenchConfig parse_bench_config(int argc, const char* const* argv);
+
+/// Builds the 21-design suite dataset (or a named subset) at the bench
+/// scale, printing progress.
+[[nodiscard]] data::SuiteDataset build_dataset(
+    const BenchConfig& config, const std::vector<std::string>& only = {});
+
+/// Returns a Full timing GNN trained on the dataset's train split. If a
+/// cached parameter file matching this configuration exists it is loaded
+/// instead; otherwise the model is trained and cached.
+[[nodiscard]] std::unique_ptr<core::TimingGnnTrainer> train_or_load_full_model(
+    const BenchConfig& config, const data::SuiteDataset& dataset);
+
+/// Formats an R² value the way the paper's tables do (4 decimals).
+[[nodiscard]] std::string fmt_r2(double value);
+
+}  // namespace tg::bench

@@ -1,0 +1,117 @@
+/// \file micro_models.cpp
+/// Microbenchmarks for learned-model inference and training steps: the
+/// net-embedding stage, the levelized delay propagation, a full TimingGnn
+/// forward (the "Our GNN" runtime of Table 5), one training step, GCNII
+/// forward, and random-forest batch prediction.
+
+#include <benchmark/benchmark.h>
+
+#include "core/trainer.hpp"
+#include "liberty/library_builder.hpp"
+#include "ml/net_features.hpp"
+#include "ml/random_forest.hpp"
+
+namespace tg {
+namespace {
+
+core::TimingGnnConfig bench_cfg() {
+  core::TimingGnnConfig cfg;
+  cfg.net.hidden = 16;
+  cfg.net.mlp_hidden = 16;
+  cfg.prop.hidden = 16;
+  cfg.prop.mlp_hidden = 16;
+  return cfg;
+}
+
+struct Fixture {
+  Library lib = build_library();
+  data::SuiteDataset ds;
+  core::PropPlan plan;
+
+  Fixture() {
+    data::DatasetOptions options;
+    options.scale = 1.0 / 16;
+    ds = data::build_suite_dataset(lib, options, {"picorv32a"});
+    plan = core::build_prop_plan(ds.graphs[0]);
+  }
+  [[nodiscard]] const data::DatasetGraph& g() const { return ds.graphs[0]; }
+};
+
+const Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_NetEmbedForward(benchmark::State& state) {
+  const Fixture& f = fixture();
+  Rng rng(1);
+  const core::NetEmbed model(
+      core::NetEmbedConfig{.hidden = 16, .mlp_hidden = 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(f.g()).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.g().num_nodes);
+}
+BENCHMARK(BM_NetEmbedForward);
+
+void BM_TimingGnnForward(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const core::TimingGnn model(bench_cfg());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(f.g(), f.plan).atslew.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.g().num_nodes);
+}
+BENCHMARK(BM_TimingGnnForward);
+
+void BM_TimingGnnTrainStep(benchmark::State& state) {
+  const Fixture& f = fixture();
+  core::TimingGnn model(bench_cfg());
+  nn::Adam adam(model.parameters(), nn::AdamConfig{.lr = 1e-3f});
+  for (auto _ : state) {
+    adam.zero_grad();
+    const auto pred = model.forward(f.g(), f.plan);
+    nn::Tensor loss = model.loss(f.g(), f.plan, pred);
+    loss.backward();
+    adam.step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TimingGnnTrainStep);
+
+void BM_GcniiForward(benchmark::State& state) {
+  const Fixture& f = fixture();
+  core::GcniiConfig cfg;
+  cfg.num_layers = static_cast<int>(state.range(0));
+  cfg.hidden = 16;
+  const core::Gcnii model(cfg);
+  const core::GcniiAdjacency adj = core::build_gcnii_adjacency(f.g());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(f.g(), adj).data().data());
+  }
+}
+BENCHMARK(BM_GcniiForward)->Arg(4)->Arg(16);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const ml::NetFeatureSet fs =
+      ml::extract_net_features(*f.g().design, *f.g().truth_routing);
+  ml::RandomForest forest;
+  ml::ForestConfig cfg;
+  cfg.num_trees = 40;
+  const int lr = corner_index(Mode::kLate, Trans::kRise);
+  const auto y = fs.target_corner(lr);
+  forest.fit(fs.matrix(), y, cfg);
+  std::vector<float> out(fs.rows);
+  for (auto _ : state) {
+    forest.predict_batch(fs.matrix(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fs.rows);
+}
+BENCHMARK(BM_ForestPredict);
+
+}  // namespace
+}  // namespace tg
+
+BENCHMARK_MAIN();

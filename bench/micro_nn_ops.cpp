@@ -1,0 +1,124 @@
+/// \file micro_nn_ops.cpp
+/// google-benchmark microbenchmarks for the autodiff tensor ops that
+/// dominate model training time (matmul, message-passing scatter/gather,
+/// the fused LUT interpolation op).
+
+#include <benchmark/benchmark.h>
+
+#include "nn/ops.hpp"
+
+namespace tg::nn {
+namespace {
+
+Tensor randn(std::int64_t r, std::int64_t c, Rng& rng, bool grad = false) {
+  std::vector<float> v(static_cast<std::size_t>(r * c));
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return Tensor::from_vector(std::move(v), r, c, grad);
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = randn(n, 64, rng);
+  Tensor b = randn(64, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_Matmul)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_MatmulBackward(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    Tensor a = randn(n, 64, rng, true);
+    Tensor b = randn(64, 64, rng, true);
+    mean_all(matmul(a, b)).backward();
+  }
+}
+BENCHMARK(BM_MatmulBackward)->Arg(1024)->Arg(8192);
+
+void BM_SegmentSum(benchmark::State& state) {
+  const std::int64_t e = state.range(0);
+  Rng rng(2);
+  Tensor x = randn(e, 64, rng);
+  std::vector<int> seg(static_cast<std::size_t>(e));
+  const std::int64_t n = e / 3 + 1;
+  for (auto& s : seg) s = static_cast<int>(rng.uniform_int(0, n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segment_sum(x, seg, n).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * e * 64);
+}
+BENCHMARK(BM_SegmentSum)->Arg(8192)->Arg(65536);
+
+void BM_SegmentMax(benchmark::State& state) {
+  const std::int64_t e = state.range(0);
+  Rng rng(3);
+  Tensor x = randn(e, 64, rng);
+  std::vector<int> seg(static_cast<std::size_t>(e));
+  const std::int64_t n = e / 3 + 1;
+  for (auto& s : seg) s = static_cast<int>(rng.uniform_int(0, n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segment_max(x, seg, n).data().data());
+  }
+}
+BENCHMARK(BM_SegmentMax)->Arg(8192)->Arg(65536);
+
+void BM_GatherRows(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(4);
+  Tensor x = randn(n, 64, rng);
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  for (auto& i : idx) i = static_cast<int>(rng.uniform_int(0, n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gather_rows(x, idx).data().data());
+  }
+}
+BENCHMARK(BM_GatherRows)->Arg(65536);
+
+void BM_Spmm(benchmark::State& state) {
+  const std::int64_t e = state.range(0);
+  Rng rng(5);
+  const std::int64_t n = e / 4 + 1;
+  Tensor x = randn(n, 64, rng);
+  std::vector<int> src(static_cast<std::size_t>(e)), dst(static_cast<std::size_t>(e));
+  std::vector<float> w(static_cast<std::size_t>(e), 0.3f);
+  for (std::size_t k = 0; k < src.size(); ++k) {
+    src[k] = static_cast<int>(rng.uniform_int(0, n - 1));
+    dst[k] = static_cast<int>(rng.uniform_int(0, n - 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(src, dst, w, x, n).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * e * 64);
+}
+BENCHMARK(BM_Spmm)->Arg(65536)->Arg(262144);
+
+void BM_LutKronDot(benchmark::State& state) {
+  const std::int64_t e = state.range(0);
+  Rng rng(6);
+  Tensor a = randn(e, 8 * 7, rng);
+  Tensor b = randn(e, 8 * 7, rng);
+  Tensor lut = randn(e, 8 * 49, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut_kron_dot(a, b, lut, 7).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * e * 8 * 49);
+}
+BENCHMARK(BM_LutKronDot)->Arg(4096)->Arg(32768);
+
+void BM_SoftmaxGroups(benchmark::State& state) {
+  Rng rng(7);
+  Tensor x = randn(state.range(0), 56, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_groups(x, 7).data().data());
+  }
+}
+BENCHMARK(BM_SoftmaxGroups)->Arg(32768);
+
+}  // namespace
+}  // namespace tg::nn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/// \file micro_route.cpp
+/// Microbenchmarks for the routing substrate: Steiner construction at
+/// several fanouts, RC extraction, and whole-design maze routing.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+
+namespace tg {
+namespace {
+
+void BM_SteinerTree(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<SteinerSink> sinks;
+  for (int i = 0; i < fanout; ++i) {
+    sinks.push_back(SteinerSink{{rng.uniform(0, 500), rng.uniform(0, 500)},
+                                100 + i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_steiner({250, 250}, 99, sinks).total_wirelength());
+  }
+}
+BENCHMARK(BM_SteinerTree)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+struct PlacedDesign {
+  Library lib;
+  std::unique_ptr<Design> design;
+};
+
+const PlacedDesign& placed(const char* name, double scale) {
+  static std::map<std::string, std::unique_ptr<PlacedDesign>> cache;
+  const std::string key = std::string(name) + "@" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto p = std::make_unique<PlacedDesign>();
+    p->lib = build_library();
+    p->design = std::make_unique<Design>(
+        generate_design(suite_entry(name, scale).spec, p->lib));
+    place_design(*p->design);
+    it = cache.emplace(key, std::move(p)).first;
+  }
+  return *it->second;
+}
+
+void BM_SteinerRouteDesign(benchmark::State& state) {
+  const PlacedDesign& p = placed("picorv32a", 1.0 / 16);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kSteiner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_design(*p.design, opts).total_wirelength);
+  }
+  state.SetItemsProcessed(state.iterations() * p.design->num_nets());
+}
+BENCHMARK(BM_SteinerRouteDesign);
+
+void BM_MazeRouteDesign(benchmark::State& state) {
+  const PlacedDesign& p = placed("usb", 1.0 / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maze_route(*p.design).total_wirelength);
+  }
+  state.SetItemsProcessed(state.iterations() * p.design->num_nets());
+}
+BENCHMARK(BM_MazeRouteDesign);
+
+void BM_RcExtraction(benchmark::State& state) {
+  const PlacedDesign& p = placed("picorv32a", 1.0 / 16);
+  // Largest non-clock net.
+  NetId big = 0;
+  for (NetId n = 0; n < p.design->num_nets(); ++n) {
+    if (p.design->net(n).is_clock) continue;
+    if (p.design->net(n).sinks.size() > p.design->net(big).sinks.size()) big = n;
+  }
+  const RouteTopology topo = build_net_steiner(*p.design, big);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        extract_parasitics(*p.design, big, topo).load[0]);
+  }
+}
+BENCHMARK(BM_RcExtraction);
+
+}  // namespace
+}  // namespace tg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+/// \file micro_sta.cpp
+/// Microbenchmarks for the golden STA substrate: timing-graph build,
+/// levelization, and full 4-corner propagation — the denominators of the
+/// paper's Table-5 runtime comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental.hpp"
+#include "sta/paths.hpp"
+
+namespace tg {
+namespace {
+
+struct Prepared {
+  Library lib;
+  std::unique_ptr<Design> design;
+  DesignRouting routing;
+};
+
+const Prepared& prepared(const char* name, double scale) {
+  static std::map<std::string, std::unique_ptr<Prepared>> cache;
+  const std::string key = std::string(name) + "@" + std::to_string(scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto p = std::make_unique<Prepared>();
+    p->lib = build_library();
+    p->design = std::make_unique<Design>(
+        generate_design(suite_entry(name, scale).spec, p->lib));
+    place_design(*p->design);
+    RoutingOptions opts;
+    opts.mode = RouteMode::kSteiner;
+    p->routing = route_design(*p->design, opts);
+    it = cache.emplace(key, std::move(p)).first;
+  }
+  return *it->second;
+}
+
+void BM_TimingGraphBuild(benchmark::State& state) {
+  const Prepared& p = prepared("picorv32a", 1.0 / 16);
+  for (auto _ : state) {
+    TimingGraph graph(*p.design);
+    benchmark::DoNotOptimize(graph.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * p.design->num_pins());
+}
+BENCHMARK(BM_TimingGraphBuild);
+
+void BM_StaPropagation(benchmark::State& state) {
+  const Prepared& p = prepared("picorv32a", 1.0 / 16);
+  const TimingGraph graph(*p.design);
+  for (auto _ : state) {
+    const StaResult sta = run_sta(graph, p.routing);
+    benchmark::DoNotOptimize(sta.wns_setup);
+  }
+  state.SetItemsProcessed(state.iterations() * p.design->num_pins());
+}
+BENCHMARK(BM_StaPropagation);
+
+void BM_StaPropagationLarge(benchmark::State& state) {
+  const Prepared& p = prepared("aes256", 1.0 / 16);
+  const TimingGraph graph(*p.design);
+  for (auto _ : state) {
+    const StaResult sta = run_sta(graph, p.routing);
+    benchmark::DoNotOptimize(sta.wns_setup);
+  }
+  state.SetItemsProcessed(state.iterations() * p.design->num_pins());
+}
+BENCHMARK(BM_StaPropagationLarge);
+
+void BM_WorstPaths(benchmark::State& state) {
+  const Prepared& p = prepared("picorv32a", 1.0 / 16);
+  const TimingGraph graph(*p.design);
+  const StaResult sta = run_sta(graph, p.routing);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worst_paths(graph, sta, 10).size());
+  }
+}
+BENCHMARK(BM_WorstPaths);
+
+void BM_IncrementalOneNet(benchmark::State& state) {
+  // Cost of re-timing after a single-net ECO, vs BM_StaPropagation's full
+  // run on the same design.
+  Prepared& p = const_cast<Prepared&>(prepared("picorv32a", 1.0 / 16));
+  const TimingGraph graph(*p.design);
+  IncrementalTimer inc(graph, &p.routing);
+  NetId net = 0;
+  for (NetId n = 0; n < p.design->num_nets(); ++n) {
+    if (!p.design->net(n).is_clock) {
+      net = n;
+      break;
+    }
+  }
+  double factor = 1.1;
+  for (auto _ : state) {
+    for (auto& d : p.routing.nets[static_cast<std::size_t>(net)].sink_delay) {
+      for (double& v : d) v *= factor;
+    }
+    factor = factor > 1.0 ? 0.9 : 1.1;  // oscillate so it always changes
+    inc.invalidate_net(net);
+    benchmark::DoNotOptimize(inc.update());
+  }
+  state.SetItemsProcessed(state.iterations() * inc.last_update_visited());
+}
+BENCHMARK(BM_IncrementalOneNet);
+
+void BM_NldmLookup(benchmark::State& state) {
+  const Library lib = build_library();
+  const CellType& cell = lib.cell(lib.find_cell("NAND2_X1"));
+  const NldmLut& lut = cell.arcs[0].delay[corner_index(Mode::kLate, Trans::kRise)];
+  Rng rng(1);
+  std::vector<std::pair<double, double>> queries(1024);
+  for (auto& [s, l] : queries) {
+    s = rng.uniform(0.005, 0.7);
+    l = rng.uniform(0.0005, 0.3);
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& [s, l] : queries) acc += lut.lookup(s, l);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_NldmLookup);
+
+}  // namespace
+}  // namespace tg
+
+BENCHMARK_MAIN();

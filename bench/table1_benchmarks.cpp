@@ -1,0 +1,59 @@
+/// \file table1_benchmarks.cpp
+/// Reproduces **Table 1** of the paper: benchmark statistics (#nodes,
+/// #net edges, #cell edges, #endpoints) for the 21 generated designs, with
+/// the upper 14 used for training and the lower 7 for testing. The paper's
+/// reference counts are printed alongside for comparison (our designs are
+/// proportional at the configured scale; see DESIGN.md §1).
+///
+///   ./table1_benchmarks [--scale=0.05]
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "netlist/stats.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  const bench::BenchConfig config = bench::parse_bench_config(argc, argv);
+
+  std::printf("== Table 1: benchmark statistics (scale %.4f of the paper's "
+              "sizes) ==\n",
+              config.scale);
+
+  const Library library = build_library();
+  Table table({"Benchmark", "#Nodes", "Net Edges", "Cell Edges", "#Endpoints",
+               "(paper #Nodes)", "(paper #Endp.)"});
+
+  std::vector<DesignStats> train_stats, test_stats;
+  bool separator_done = false;
+  for (const SuiteEntry& entry : table1_suite(config.scale)) {
+    if (entry.is_test && !separator_done) {
+      table.add_separator();
+      separator_done = true;
+    }
+    const Design design = generate_design(entry.spec, library);
+    const DesignStats stats = design.stats();
+    auto row = stats_row(entry.spec.name, stats);
+    row.push_back(with_commas(entry.paper_nodes));
+    row.push_back(with_commas(entry.paper_endpoints));
+    table.add_row(row);
+    (entry.is_test ? test_stats : train_stats).push_back(stats);
+  }
+  table.add_separator();
+  {
+    auto row = stats_row("Total Train", sum_stats(train_stats));
+    row.push_back("920,301");
+    row.push_back("34,067");
+    table.add_row(row);
+    row = stats_row("Total Test", sum_stats(test_stats));
+    row.push_back("624,232");
+    row.push_back("21,977");
+    table.add_row(row);
+  }
+  table.print();
+  std::printf("\nTrain/test split: 14/7 designs, matching the paper.\n");
+  return 0;
+}

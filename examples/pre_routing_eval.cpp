@@ -1,0 +1,119 @@
+/// \file pre_routing_eval.cpp
+/// The paper's motivating use case end to end: a timing-driven placement
+/// loop needs slack estimates *before* routing. This example compares
+/// three placements of the same netlist (good / mediocre / shuffled) and
+/// shows that the trained GNN — reading ONLY placement features — ranks
+/// them the same way the expensive route+STA flow does, at a fraction of
+/// the cost.
+///
+///   ./pre_routing_eval [--design=usbf_device] [--scale=0.05] [--epochs=160]
+
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "liberty/library_builder.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace tg {
+namespace {
+
+/// Routes + times a placement variant and extracts its graph.
+data::DatasetGraph prepare_variant(const SuiteEntry& entry,
+                                   const Library& library, double quality,
+                                   double period_ns) {
+  data::DatasetOptions options;
+  options.placer.quality = quality;
+  options.placer.seed = 17;
+  Design design = generate_design(entry.spec, library);
+  place_design(design, options.placer);
+  const auto truth =
+      std::make_shared<DesignRouting>(route_design(design, options.truth_routing));
+  const TimingGraph graph(design);
+  design.set_period(period_ns);
+  const StaResult sta = run_sta(graph, *truth, options.sta);
+  data::DatasetGraph g = data::extract_graph(design, graph, *truth, sta);
+  g.design = std::make_shared<Design>(std::move(design));
+  g.truth_routing = truth;
+  return g;
+}
+
+}  // namespace
+}  // namespace tg
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  const CliOptions opts(argc, argv);
+  set_log_level(LogLevel::kWarn);
+  const std::string name = opts.get("design", "usbf_device");
+  const double scale = opts.get_double("scale", 1.0 / 20);
+
+  const Library library = build_library();
+
+  // ---- train on the suite's training designs (placement variants of the
+  // target design are never seen during training) -------------------------
+  data::DatasetOptions data_opts;
+  data_opts.scale = scale;
+  const data::SuiteDataset dataset = build_suite_dataset(
+      library, data_opts, {"usb", "zipdiv", "usb_cdc_core", "wbqspiflash",
+                           "cic_decimator", "genericfir"});
+  core::TimingGnnConfig cfg;
+  cfg.net.hidden = cfg.net.mlp_hidden = 16;
+  cfg.prop.hidden = cfg.prop.mlp_hidden = cfg.prop.lut.mlp_hidden = 16;
+  core::TrainOptions train;
+  train.epochs = static_cast<int>(opts.get_int("epochs", 160));
+  train.verbose = false;
+  core::TimingGnnTrainer trainer(cfg, train);
+  std::printf("training the pre-routing predictor on %zu designs...\n",
+              dataset.train_ids.size());
+  WallTimer timer;
+  trainer.fit(dataset);
+  std::printf("trained in %.1f s\n\n", timer.seconds());
+
+  // ---- compare placement variants of the unseen target design -----------
+  const SuiteEntry entry = suite_entry(name, scale);
+  // A common clock period for all variants, from the good placement.
+  data::DatasetGraph good = prepare_variant(entry, library, 0.92, 1.0);
+  {
+    // calibrate once on the good variant
+    const TimingGraph graph(*good.design);
+    StaResult sta = run_sta(graph, *good.truth_routing);
+    const double period = calibrated_period(*good.design, sta.arrival, 1.02);
+    good = prepare_variant(entry, library, 0.92, period);
+    std::printf("target %s: clock period %.3f ns\n\n", name.c_str(), period);
+
+    struct Variant {
+      const char* label;
+      double quality;
+    };
+    const Variant variants[] = {{"good placement", 0.92},
+                                {"mediocre placement", 0.55},
+                                {"shuffled placement", 0.05}};
+    std::printf("%-20s %12s %12s | %12s %10s\n", "variant", "true WNS(ns)",
+                "true TNS(ns)", "pred WNS(ns)", "infer(s)");
+    for (const Variant& v : variants) {
+      const data::DatasetGraph g =
+          prepare_variant(entry, library, v.quality, period);
+      // Ground truth from the routed design.
+      double true_wns = 1e9, true_tns = 0.0;
+      for (double s : g.endpoint_setup_slack) {
+        true_wns = std::min(true_wns, s);
+        if (s < 0) true_tns += s;
+      }
+      // Prediction from placement only.
+      WallTimer infer;
+      const auto scatter = trainer.slack_scatter(g);
+      const double infer_s = infer.seconds();
+      double pred_wns = 1e9;
+      for (double s : scatter.pred_setup) pred_wns = std::min(pred_wns, s);
+      std::printf("%-20s %12.4f %12.4f | %12.4f %10.4f\n", v.label, true_wns,
+                  true_tns, pred_wns, infer_s);
+    }
+  }
+  std::printf(
+      "\nReading: WNS degrades monotonically with placement quality, and "
+      "the pre-routing\npredictor tracks that ranking without invoking the "
+      "router or the timer.\n");
+  return 0;
+}

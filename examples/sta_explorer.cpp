@@ -1,0 +1,93 @@
+/// \file sta_explorer.cpp
+/// Domain example: use the substrate as a standalone timing sign-off tool.
+/// Generates (or reuses) a benchmark, routes it, runs the golden 4-corner
+/// STA and prints a full timing report: WNS/TNS, the K worst setup and
+/// hold paths, a slack histogram, and the most congested routing regions.
+///
+///   ./sta_explorer [--design=picorv32a] [--scale=0.0625] [--paths=3]
+///                  [--period=<ns>] [--util=0.65]
+
+#include <cstdio>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/paths.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  const CliOptions opts(argc, argv);
+  const std::string name = opts.get("design", "picorv32a");
+  const double scale = opts.get_double("scale", 1.0 / 16);
+  const int k_paths = static_cast<int>(opts.get_int("paths", 3));
+
+  const Library library = build_library();
+  const SuiteEntry entry = suite_entry(name, scale);
+  Design design = generate_design(entry.spec, library);
+
+  PlacerConfig placer;
+  placer.utilization = opts.get_double("util", placer.utilization);
+  const PlacementReport placement = place_design(design, placer);
+  std::printf("design %s: %d pins, die %.0fx%.0f um, HPWL %.0f um\n",
+              design.name().c_str(), design.num_pins(), placement.die_width,
+              placement.die_height, placement.total_hpwl);
+
+  RoutingOptions route_opts;
+  route_opts.mode = RouteMode::kMaze;
+  const DesignRouting routing = route_design(design, route_opts);
+  std::printf("routed: %.0f um wire, %d overflowed gcell edges, %.2f s\n",
+              routing.total_wirelength, routing.overflow_edges,
+              routing.route_seconds);
+
+  const TimingGraph graph(design);
+  StaResult sta = run_sta(graph, routing);
+  if (opts.has("period")) {
+    design.set_period(opts.get_double("period", 1.0));
+  } else {
+    design.set_period(calibrated_period(design, sta.arrival, entry.clock_factor));
+  }
+  sta = run_sta(graph, routing);
+
+  std::printf("\n=== timing summary (period %.3f ns) ===\n",
+              design.clock_period());
+  std::printf("setup: WNS %+.4f ns, TNS %+.4f ns\n", sta.wns_setup,
+              sta.tns_setup);
+  std::printf("hold : WNS %+.4f ns, TNS %+.4f ns\n", sta.wns_hold,
+              sta.tns_hold);
+
+  std::printf("\n=== %d worst setup paths ===\n", k_paths);
+  for (const CriticalPath& path : worst_paths(graph, sta, k_paths, true)) {
+    // Print head + tail of long paths.
+    const std::string full = format_path(design, sta, path);
+    const auto lines = split(full, '\n');
+    if (lines.size() <= 14) {
+      std::fputs(full.c_str(), stdout);
+    } else {
+      for (std::size_t i = 0; i < 7; ++i) std::printf("%s\n", lines[i].c_str());
+      std::printf("  ... (%zu intermediate pins) ...\n", lines.size() - 13);
+      for (std::size_t i = lines.size() - 6; i < lines.size(); ++i) {
+        if (!lines[i].empty()) std::printf("%s\n", lines[i].c_str());
+      }
+    }
+  }
+
+  std::printf("\n=== worst hold path ===\n");
+  for (const CriticalPath& path : worst_paths(graph, sta, 1, false)) {
+    std::printf("endpoint %s slack %+.4f ns (%zu pins)\n",
+                design.pin_name(path.endpoint).c_str(), path.slack,
+                path.steps.size());
+  }
+
+  std::printf("\n=== endpoint setup-slack histogram ===\n");
+  const auto hist = slack_histogram(design, sta, 12, true);
+  int max_count = 1;
+  for (const auto& [edge, count] : hist) max_count = std::max(max_count, count);
+  for (const auto& [edge, count] : hist) {
+    const int bar = 50 * count / max_count;
+    std::printf("<= %+8.4f ns | %-50s %d\n", edge,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(), count);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+/// \file train_timing_gnn.cpp
+/// The full training pipeline as a user-facing tool: build the dataset
+/// (subset or full suite), train the timing-engine-inspired GNN with the
+/// paper's joint loss (Eq. 7), report per-design R², and save the trained
+/// parameters for later inference (see pre_routing_eval).
+///
+///   ./train_timing_gnn [--designs=usb,zipdiv,spm] [--scale=0.05]
+///                      [--epochs=160] [--hidden=16] [--save=model.bin]
+///                      [--load=model.bin] [--trace] [--export-dir=<dir>]
+
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/graph_io.hpp"
+#include "liberty/library_builder.hpp"
+#include "nn/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  const CliOptions opts(argc, argv);
+  set_log_level(opts.get_bool("verbose", true) ? LogLevel::kInfo
+                                               : LogLevel::kWarn);
+
+  // ---- dataset ----------------------------------------------------------
+  std::vector<std::string> only;
+  if (opts.has("designs")) {
+    for (const std::string& s : split(opts.get("designs", ""), ',')) {
+      if (!s.empty()) only.push_back(s);
+    }
+  } else {
+    only = {"usb", "zipdiv", "usb_cdc_core", "spm", "xtea"};
+  }
+  const Library library = build_library();
+  data::DatasetOptions data_opts;
+  data_opts.scale = opts.get_double("scale", 1.0 / 20);
+  const data::SuiteDataset dataset =
+      build_suite_dataset(library, data_opts, only);
+  std::printf("dataset: %zu designs (%zu train / %zu test)\n",
+              dataset.graphs.size(), dataset.train_ids.size(),
+              dataset.test_ids.size());
+
+  // Optional dataset export (the paper's open-data release, our format).
+  if (opts.has("export-dir")) {
+    const std::string dir = opts.get("export-dir", "dataset");
+    for (const auto& g : dataset.graphs) {
+      data::save_graph(g, dir + "/" + g.name + ".tgdg");
+    }
+    std::printf("exported %zu graphs to %s/*.tgdg\n", dataset.graphs.size(),
+                dir.c_str());
+  }
+
+  // ---- model ------------------------------------------------------------
+  core::TimingGnnConfig cfg;
+  const int hidden = static_cast<int>(opts.get_int("hidden", 16));
+  cfg.net.hidden = cfg.net.mlp_hidden = hidden;
+  cfg.prop.hidden = cfg.prop.mlp_hidden = cfg.prop.lut.mlp_hidden = hidden;
+  cfg.net.mlp_layers = cfg.prop.mlp_layers = 2;
+  cfg.use_net_aux = opts.get_bool("net-aux", true);
+  cfg.use_cell_aux = opts.get_bool("cell-aux", true);
+
+  core::TrainOptions train;
+  train.epochs = static_cast<int>(opts.get_int("epochs", 160));
+  train.lr = static_cast<float>(opts.get_double("lr", 2e-3));
+  train.lr_final = static_cast<float>(opts.get_double("lr-final", 1e-4));
+  train.verbose = opts.get_bool("verbose", true);
+
+  core::TimingGnnTrainer trainer(cfg, train);
+  std::printf("model: %lld trainable parameters\n",
+              static_cast<long long>(trainer.model().num_parameters()));
+
+  if (opts.has("trace")) {
+    // Fig. 3 in executable form: per-level workload of the delay
+    // propagation stage on the first design.
+    const auto& g = dataset.graphs[0];
+    const core::PropPlan& plan = trainer.plan_for(g);
+    std::printf("\nlevelized propagation trace for %s (%d levels):\n",
+                g.name.c_str(), plan.num_levels);
+    for (int l = 0; l < plan.num_levels; l += std::max(1, plan.num_levels / 12)) {
+      std::printf("  level %3d: %5zu pins, %5zu net arcs in, %5zu cell arcs in\n",
+                  l, plan.level_nodes[static_cast<std::size_t>(l)].size(),
+                  plan.level_net_edges[static_cast<std::size_t>(l)].size(),
+                  plan.level_cell_edges[static_cast<std::size_t>(l)].size());
+    }
+    std::printf("\n");
+  }
+
+  // ---- train / load -------------------------------------------------------
+  if (opts.has("load")) {
+    nn::load_parameters(trainer.model(), opts.get("load", ""));
+    std::printf("loaded parameters from %s\n", opts.get("load", "").c_str());
+  } else {
+    WallTimer timer;
+    const double final_loss = trainer.fit(dataset);
+    std::printf("trained %d epochs in %.1f s (final loss %.4f)\n",
+                train.epochs, timer.seconds(), final_loss);
+  }
+  if (opts.has("save")) {
+    nn::save_parameters(trainer.model(), opts.get("save", "model.bin"));
+    std::printf("saved parameters to %s\n",
+                opts.get("save", "model.bin").c_str());
+  }
+
+  // ---- evaluate -----------------------------------------------------------
+  std::printf("\n%-14s %5s  %10s %10s %10s %10s\n", "design", "split",
+              "R2(arr@EP)", "R2(slack)", "R2(netd)", "R2(celld)");
+  for (const auto& g : dataset.graphs) {
+    const core::DesignEval e = trainer.evaluate(g);
+    std::printf("%-14s %5s  %10.4f %10.4f %10.4f %10.4f\n", g.name.c_str(),
+                g.is_test ? "test" : "train", e.r2_arrival_endpoints,
+                e.r2_slack_setup, e.r2_net_delay, e.r2_cell_delay);
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "core/delay_prop.hpp"
+
+#include "util/check.hpp"
+
+namespace tg::core {
+
+using nn::Tensor;
+
+PropPlan build_prop_plan(const data::DatasetGraph& g) {
+  PropPlan plan;
+  plan.node_level = g.node_level;
+  plan.num_levels = g.num_levels;
+  plan.level_nodes.assign(static_cast<std::size_t>(plan.num_levels), {});
+  plan.node_row.assign(static_cast<std::size_t>(g.num_nodes), -1);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    auto& rows = plan.level_nodes[static_cast<std::size_t>(g.node_level[static_cast<std::size_t>(v)])];
+    plan.node_row[static_cast<std::size_t>(v)] = static_cast<int>(rows.size());
+    rows.push_back(v);
+  }
+  plan.level_net_edges.assign(static_cast<std::size_t>(plan.num_levels), {});
+  plan.level_cell_edges.assign(static_cast<std::size_t>(plan.num_levels), {});
+  for (std::size_t e = 0; e < g.net_dst.size(); ++e) {
+    const int lvl = g.node_level[static_cast<std::size_t>(g.net_dst[e])];
+    TG_CHECK(lvl > 0);
+    plan.level_net_edges[static_cast<std::size_t>(lvl)].push_back(static_cast<int>(e));
+  }
+  for (std::size_t e = 0; e < g.cell_dst.size(); ++e) {
+    const int lvl = g.node_level[static_cast<std::size_t>(g.cell_dst[e])];
+    TG_CHECK(lvl > 0);
+    plan.level_cell_edges[static_cast<std::size_t>(lvl)].push_back(static_cast<int>(e));
+  }
+  for (int l = 0; l < plan.num_levels; ++l) {
+    for (int e : plan.level_cell_edges[static_cast<std::size_t>(l)]) {
+      plan.cell_edge_order.push_back(e);
+    }
+  }
+  TG_CHECK(plan.cell_edge_order.size() == g.cell_src.size());
+  return plan;
+}
+
+DelayProp::DelayProp(int embed_dim, const DelayPropConfig& config, Rng& rng)
+    : config_(config),
+      embed_dim_(embed_dim),
+      entry_(embed_dim, config.hidden, config.mlp_hidden, config.mlp_layers,
+             &rng, "prop.entry"),
+      net_prop_(config.hidden + data::kNetEdgeFeatureDim + embed_dim,
+                config.hidden, config.mlp_hidden, config.mlp_layers, &rng,
+                "prop.net"),
+      cell_prop_(config.hidden + data::kNumLutsPerArc + embed_dim,
+                 config.hidden, config.mlp_hidden, config.mlp_layers, &rng,
+                 "prop.cell"),
+      combine_(3 * config.hidden + embed_dim, config.hidden, config.mlp_hidden,
+               config.mlp_layers, &rng, "prop.combine"),
+      lut_(config.hidden + 2 * embed_dim, config.lut, rng, "prop.lut"),
+      cell_delay_head_(data::kNumLutsPerArc + config.hidden, kNumCorners,
+                       config.mlp_hidden, config.mlp_layers, &rng,
+                       "prop.cell_delay_head") {
+  register_module("entry", entry_);
+  register_module("net", net_prop_);
+  register_module("cell", cell_prop_);
+  register_module("combine", combine_);
+  register_module("lut", lut_);
+  register_module("cell_delay_head", cell_delay_head_);
+}
+
+DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
+                                     const PropPlan& plan,
+                                     const Tensor& embedding) const {
+  TG_CHECK(embedding.rows() == g.num_nodes);
+  TG_CHECK(embedding.cols() == embed_dim_);
+
+  std::vector<Tensor> level_states;
+  level_states.reserve(static_cast<std::size_t>(plan.num_levels));
+  std::vector<Tensor> cell_delay_parts;
+
+  // Level 0: roots (primary inputs, FF clock pins).
+  {
+    Tensor emb0 = nn::gather_rows(embedding, plan.level_nodes[0]);
+    level_states.push_back(nn::relu(entry_.forward(emb0)));
+  }
+
+  for (int l = 1; l < plan.num_levels; ++l) {
+    const auto& nodes = plan.level_nodes[static_cast<std::size_t>(l)];
+    const auto& net_edges = plan.level_net_edges[static_cast<std::size_t>(l)];
+    const auto& cell_edges = plan.level_cell_edges[static_cast<std::size_t>(l)];
+    const std::int64_t n_l = static_cast<std::int64_t>(nodes.size());
+
+    Tensor emb_level = nn::gather_rows(embedding, nodes);
+
+    // ---- net propagation: one incoming wire per net-sink node ----------
+    Tensor net_in = Tensor::zeros(n_l, config_.hidden);
+    if (!net_edges.empty()) {
+      std::vector<int> src_t, src_r, dst_row, emb_rows, feat_rows;
+      src_t.reserve(net_edges.size());
+      for (int e : net_edges) {
+        const int u = g.net_src[static_cast<std::size_t>(e)];
+        const int v = g.net_dst[static_cast<std::size_t>(e)];
+        src_t.push_back(plan.node_level[static_cast<std::size_t>(u)]);
+        src_r.push_back(plan.node_row[static_cast<std::size_t>(u)]);
+        dst_row.push_back(plan.node_row[static_cast<std::size_t>(v)]);
+        emb_rows.push_back(v);
+        feat_rows.push_back(e);
+      }
+      Tensor state_u = nn::multi_gather(level_states, std::move(src_t),
+                                        std::move(src_r));
+      Tensor e_feat = nn::gather_rows(g.net_edge_feat, std::move(feat_rows));
+      Tensor emb_v = nn::gather_rows(embedding, std::move(emb_rows));
+      const Tensor np_in[] = {state_u, e_feat, emb_v};
+      Tensor msg = net_prop_.forward(nn::concat_cols(np_in));
+      net_in = nn::segment_sum(msg, std::move(dst_row), n_l);
+    }
+
+    // ---- cell propagation: LUT-interpolated arc messages ---------------
+    Tensor cell_sum = Tensor::zeros(n_l, config_.hidden);
+    Tensor cell_max = Tensor::zeros(n_l, config_.hidden);
+    if (!cell_edges.empty()) {
+      std::vector<int> src_t, src_r, dst_row, emb_u_rows, emb_v_rows, feat_rows;
+      for (int e : cell_edges) {
+        const int u = g.cell_src[static_cast<std::size_t>(e)];
+        const int v = g.cell_dst[static_cast<std::size_t>(e)];
+        src_t.push_back(plan.node_level[static_cast<std::size_t>(u)]);
+        src_r.push_back(plan.node_row[static_cast<std::size_t>(u)]);
+        dst_row.push_back(plan.node_row[static_cast<std::size_t>(v)]);
+        emb_u_rows.push_back(u);
+        emb_v_rows.push_back(v);
+        feat_rows.push_back(e);
+      }
+      Tensor state_u = nn::multi_gather(level_states, std::move(src_t),
+                                        std::move(src_r));
+      Tensor emb_u = nn::gather_rows(embedding, std::move(emb_u_rows));
+      Tensor emb_v = nn::gather_rows(embedding, std::move(emb_v_rows));
+      Tensor cell_feat = nn::gather_rows(g.cell_edge_feat, std::move(feat_rows));
+
+      const Tensor q_in[] = {state_u, emb_u, emb_v};
+      Tensor interp = lut_.forward(nn::concat_cols(q_in), cell_feat);
+
+      const Tensor cp_in[] = {state_u, interp, emb_v};
+      Tensor msg = cell_prop_.forward(nn::concat_cols(cp_in));
+      cell_sum = nn::segment_sum(msg, dst_row, n_l);
+      cell_max = nn::segment_max(msg, std::move(dst_row), n_l);
+
+      // Cell-delay auxiliary prediction for these arcs (plan order).
+      const Tensor cd_in[] = {interp, state_u};
+      cell_delay_parts.push_back(
+          cell_delay_head_.forward(nn::concat_cols(cd_in)));
+    }
+
+    const Tensor comb_in[] = {net_in, cell_sum, cell_max, emb_level};
+    level_states.push_back(nn::relu(combine_.forward(nn::concat_cols(comb_in))));
+  }
+
+  // Assemble node-ordered state.
+  Output out;
+  {
+    std::vector<int> src_t(static_cast<std::size_t>(g.num_nodes));
+    std::vector<int> src_r(static_cast<std::size_t>(g.num_nodes));
+    for (int v = 0; v < g.num_nodes; ++v) {
+      src_t[static_cast<std::size_t>(v)] = plan.node_level[static_cast<std::size_t>(v)];
+      src_r[static_cast<std::size_t>(v)] = plan.node_row[static_cast<std::size_t>(v)];
+    }
+    out.state = nn::multi_gather(level_states, std::move(src_t), std::move(src_r));
+  }
+  if (cell_delay_parts.empty()) {
+    out.cell_delay = Tensor::zeros(0, kNumCorners);
+  } else {
+    out.cell_delay = nn::concat_rows(cell_delay_parts);
+  }
+  return out;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,70 @@
+#pragma once
+/// \file delay_prop.hpp
+/// The paper's delay propagation model (§3.3.2, Fig. 3): levelized,
+/// asynchronous message passing over the DAG of net and cell arcs —
+/// exactly one update per pin, applied level by level like an STA engine's
+/// propagation. Net propagation layers move signals along wires; cell
+/// propagation layers compute cell-arc messages through the LUT
+/// interpolation module and reduce them with sum & max channels.
+///
+/// Because each level only reads states of strictly earlier levels, the
+/// model's receptive field covers the full fan-in cone regardless of
+/// depth — the paper's answer to the K-hop limit of K-layer GCNs (Fig. 1).
+
+#include "core/lut_interp.hpp"
+
+namespace tg::core {
+
+/// Precomputed traversal schedule for one graph (build once, reuse every
+/// epoch).
+struct PropPlan {
+  int num_levels = 0;
+  std::vector<std::vector<int>> level_nodes;  ///< node ids per level
+  std::vector<int> node_level;                ///< level of each node
+  std::vector<int> node_row;                  ///< row within its level tensor
+  /// Per level: indices into g.net_src/net_dst of edges terminating here.
+  std::vector<std::vector<int>> level_net_edges;
+  /// Per level: indices into g.cell_src/cell_dst of edges terminating here.
+  std::vector<std::vector<int>> level_cell_edges;
+  /// Cell-edge indices in traversal order (for aligning predictions with
+  /// labels).
+  std::vector<int> cell_edge_order;
+};
+
+[[nodiscard]] PropPlan build_prop_plan(const data::DatasetGraph& g);
+
+struct DelayPropConfig {
+  int hidden = 32;      ///< propagated state width
+  int mlp_hidden = 32;
+  int mlp_layers = 2;
+  LutInterpConfig lut;
+};
+
+class DelayProp : public nn::Module {
+ public:
+  DelayProp(int embed_dim, const DelayPropConfig& config, Rng& rng);
+
+  struct Output {
+    nn::Tensor state;       ///< [N, hidden], node order
+    nn::Tensor cell_delay;  ///< [Ec, 4] in plan.cell_edge_order
+  };
+
+  /// `embedding` is the net-embedding stage output [N, embed_dim].
+  [[nodiscard]] Output forward(const data::DatasetGraph& g,
+                               const PropPlan& plan,
+                               const nn::Tensor& embedding) const;
+
+  [[nodiscard]] const DelayPropConfig& config() const { return config_; }
+
+ private:
+  DelayPropConfig config_;
+  int embed_dim_ = 0;
+  nn::Mlp entry_;      ///< roots: embedding → initial state
+  nn::Mlp net_prop_;   ///< [state_u, e, emb_v] → net message
+  nn::Mlp cell_prop_;  ///< [state_u, interp, emb_v] → cell message
+  nn::Mlp combine_;    ///< [net_in, Σcell, max cell, emb_v] → state_v
+  LutInterp lut_;      ///< query: [state_u, emb_u, emb_v]
+  nn::Mlp cell_delay_head_;  ///< [interp, state_u] → 4 (softplus)
+};
+
+}  // namespace tg::core

@@ -1,0 +1,56 @@
+#pragma once
+/// \file gcnii.hpp
+/// The vanilla deep-GNN baseline of the paper's Section 2.2: GCNII
+/// (Chen et al., ICML'20) with residual connections to the initial
+/// projection and identity mapping, Eq. 3, α = β = 0.1, evaluated at
+/// 4/8/16 layers on the *undirected* pin graph with symmetric-normalized
+/// adjacency (Eq. 2). Predicts arrival/slew at pins directly.
+
+#include "data/hetero_graph.hpp"
+#include "nn/module.hpp"
+
+namespace tg::core {
+
+struct GcniiConfig {
+  int num_layers = 16;
+  int hidden = 32;
+  float alpha = 0.1f;  ///< residual weight (paper hyperparameter)
+  float beta = 0.1f;   ///< identity-mapping weight
+  /// Per-layer LayerNorm — one of the deeper-GNN tricks of Chen et al.
+  /// 2021 (cited by the paper's §2.2); off in the paper's baseline.
+  bool use_layer_norm = false;
+  std::uint64_t seed = 2;
+};
+
+/// Normalized undirected adjacency in COO form (net + cell arcs, both
+/// directions, plus self loops): P of Eq. 2. Build once per graph.
+struct GcniiAdjacency {
+  std::vector<int> src, dst;
+  std::vector<float> w;
+};
+[[nodiscard]] GcniiAdjacency build_gcnii_adjacency(const data::DatasetGraph& g);
+
+class Gcnii : public nn::Module {
+ public:
+  explicit Gcnii(const GcniiConfig& config);
+
+  /// Predicted arrival/slew [N, 8].
+  [[nodiscard]] nn::Tensor forward(const data::DatasetGraph& g,
+                                   const GcniiAdjacency& adj) const;
+
+  /// Plain MSE to the arrival/slew labels over all pins.
+  [[nodiscard]] nn::Tensor loss(const data::DatasetGraph& g,
+                                const nn::Tensor& atslew_pred) const;
+
+  [[nodiscard]] const GcniiConfig& config() const { return config_; }
+
+ private:
+  GcniiConfig config_;
+  Rng rng_;
+  nn::Linear input_proj_;
+  std::vector<nn::Linear> layers_;
+  std::vector<nn::Tensor> ln_gamma_, ln_beta_;  ///< used when use_layer_norm
+  nn::Linear head_;
+};
+
+}  // namespace tg::core

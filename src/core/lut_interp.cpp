@@ -1,0 +1,41 @@
+#include "core/lut_interp.hpp"
+
+#include "util/check.hpp"
+
+namespace tg::core {
+
+using nn::Tensor;
+
+LutInterp::LutInterp(int query_dim, const LutInterpConfig& config, Rng& rng,
+                     const std::string& name) {
+  const int coeff_dim = data::kNumLutsPerArc * kLutDim;  // 8×7
+  coeff_a_ = nn::Mlp(query_dim, coeff_dim, config.mlp_hidden, config.mlp_layers,
+                     &rng, name + ".a");
+  coeff_b_ = nn::Mlp(query_dim, coeff_dim, config.mlp_hidden, config.mlp_layers,
+                     &rng, name + ".b");
+  register_module("a", coeff_a_);
+  register_module("b", coeff_b_);
+}
+
+Tensor LutInterp::forward(const Tensor& query,
+                          const Tensor& cell_edge_feat) const {
+  TG_CHECK(query.rows() == cell_edge_feat.rows());
+  TG_CHECK(cell_edge_feat.cols() == data::kCellEdgeFeatureDim);
+
+  // Per-axis coefficients, normalized within each LUT's 7-vector.
+  Tensor a = nn::softmax_groups(coeff_a_.forward(query), kLutDim);
+  Tensor b = nn::softmax_groups(coeff_b_.forward(query), kLutDim);
+
+  // LUT value block and validity flags from the Table-3 layout.
+  const std::int64_t value_begin =
+      data::kCellEdgeValidDim + data::kCellEdgeIndexDim;
+  Tensor lut_values = nn::slice_cols(cell_edge_feat, value_begin,
+                                     data::kCellEdgeFeatureDim);
+  Tensor valid = nn::slice_cols(cell_edge_feat, 0, data::kCellEdgeValidDim);
+
+  // Kronecker-combined coefficient matrix dotted with the LUT matrix.
+  Tensor out = nn::lut_kron_dot(a, b, lut_values, kLutDim);
+  return nn::mul(out, valid);
+}
+
+}  // namespace tg::core

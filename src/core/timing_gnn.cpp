@@ -1,0 +1,84 @@
+#include "core/timing_gnn.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tg::core {
+
+using nn::Tensor;
+
+TimingGnn::TimingGnn(const TimingGnnConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      net_embed_(config.net, rng_),
+      prop_(config.net.hidden, config.prop, rng_),
+      atslew_head_(config.prop.hidden + config.net.hidden, 2 * kNumCorners,
+                   config.prop.mlp_hidden, config.prop.mlp_layers, &rng_,
+                   "atslew_head") {
+  register_module("net_embed", net_embed_);
+  register_module("prop", prop_);
+  register_module("atslew_head", atslew_head_);
+}
+
+TimingGnn::Prediction TimingGnn::forward(const data::DatasetGraph& g,
+                                         const PropPlan& plan) const {
+  Prediction pred;
+  Tensor emb = net_embed_.forward(g);
+  pred.net_delay = net_embed_.predict_net_delay(g, emb);
+
+  DelayProp::Output prop_out = prop_.forward(g, plan, emb);
+  pred.cell_delay = prop_out.cell_delay;
+
+  const Tensor head_in[] = {prop_out.state, emb};
+  pred.atslew = atslew_head_.forward(nn::concat_cols(head_in));
+  return pred;
+}
+
+Tensor TimingGnn::loss(const data::DatasetGraph& g, const PropPlan& plan,
+                       const Prediction& pred) const {
+  // Eq. 4: arrival/slew over all pins.
+  const Tensor atslew_target_parts[] = {g.arrival, g.slew};
+  Tensor total =
+      nn::mse_loss(pred.atslew, nn::concat_cols(atslew_target_parts));
+
+  // Eq. 5: cell-arc delay (plan order).
+  if (config_.use_cell_aux && pred.cell_delay.rows() > 0) {
+    Tensor cell_target = nn::gather_rows(g.cell_delay, plan.cell_edge_order);
+    total = nn::add(total, nn::mse_loss(pred.cell_delay, cell_target));
+  }
+
+  // Eq. 6: net delay at fan-in (net sink) pins.
+  if (config_.use_net_aux && !g.net_sinks.empty()) {
+    Tensor target = nn::gather_rows(g.net_delay, g.net_sinks);
+    total = nn::add(total,
+                    nn::mse_loss_rows(pred.net_delay, g.net_sinks, target));
+  }
+  return total;
+}
+
+EndpointSlack predicted_endpoint_slack(const data::DatasetGraph& g,
+                                       const Tensor& atslew,
+                                       int endpoint_node) {
+  EndpointSlack out;
+  const auto node = static_cast<std::int64_t>(endpoint_node);
+  const int lr = corner_index(Mode::kLate, Trans::kRise);
+  const int lf = corner_index(Mode::kLate, Trans::kFall);
+  const int er = corner_index(Mode::kEarly, Trans::kRise);
+  const int ef = corner_index(Mode::kEarly, Trans::kFall);
+
+  const double rat_lr = g.rat.at(node, lr);
+  const double rat_lf = g.rat.at(node, lf);
+  const double rat_er = g.rat.at(node, er);
+  const double rat_ef = g.rat.at(node, ef);
+  const double at_lr = atslew.at(node, lr);
+  const double at_lf = atslew.at(node, lf);
+  const double at_er = atslew.at(node, er);
+  const double at_ef = atslew.at(node, ef);
+
+  out.setup = std::min(rat_lr - at_lr, rat_lf - at_lf);
+  out.hold = std::min(at_er - rat_er, at_ef - rat_ef);
+  return out;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,63 @@
+#pragma once
+/// \file timing_gnn.hpp
+/// The full timing-engine-inspired GNN (paper §3): net embedding stage +
+/// levelized delay propagation stage, with prediction heads for
+///  - arrival time & slew at pins (main task, Eq. 4),
+///  - cell-arc delay (auxiliary, Eq. 5),
+///  - net delay at fan-in (sink) pins (auxiliary, Eq. 6),
+/// trained jointly (Eq. 7). Ablation switches reproduce the paper's
+/// "w/ Cell" and "w/ Net" columns of Table 5.
+
+#include "core/delay_prop.hpp"
+#include "core/net_embed.hpp"
+
+namespace tg::core {
+
+struct TimingGnnConfig {
+  NetEmbedConfig net;
+  DelayPropConfig prop;
+  bool use_net_aux = true;   ///< Eq. 6 term
+  bool use_cell_aux = true;  ///< Eq. 5 term
+  std::uint64_t seed = 1;
+};
+
+class TimingGnn : public nn::Module {
+ public:
+  explicit TimingGnn(const TimingGnnConfig& config);
+
+  struct Prediction {
+    nn::Tensor atslew;      ///< [N, 8]: arrival (4) | slew (4)
+    nn::Tensor net_delay;   ///< [N, 4]
+    nn::Tensor cell_delay;  ///< [Ec, 4] in plan.cell_edge_order
+  };
+
+  [[nodiscard]] Prediction forward(const data::DatasetGraph& g,
+                                   const PropPlan& plan) const;
+
+  /// Combined loss of Eq. 7 (terms gated by the ablation config).
+  [[nodiscard]] nn::Tensor loss(const data::DatasetGraph& g,
+                                const PropPlan& plan,
+                                const Prediction& pred) const;
+
+  [[nodiscard]] const TimingGnnConfig& config() const { return config_; }
+  [[nodiscard]] const NetEmbed& net_embed() const { return net_embed_; }
+
+ private:
+  TimingGnnConfig config_;
+  Rng rng_;
+  NetEmbed net_embed_;
+  DelayProp prop_;
+  nn::Mlp atslew_head_;
+};
+
+/// Slack reconstruction at an endpoint from a predicted arrival row:
+/// setup = min over rise/fall of (RAT_late − AT_late),
+/// hold  = min over rise/fall of (AT_early − RAT_early).
+struct EndpointSlack {
+  double setup = 0.0;
+  double hold = 0.0;
+};
+[[nodiscard]] EndpointSlack predicted_endpoint_slack(
+    const data::DatasetGraph& g, const nn::Tensor& atslew, int endpoint_node);
+
+}  // namespace tg::core

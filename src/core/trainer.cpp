@@ -1,0 +1,277 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace tg::core {
+
+using nn::Tensor;
+
+namespace {
+
+/// Pools tensor rows `rows` (all columns) of pred/target into flat vectors
+/// and returns R².
+double pooled_r2(const Tensor& truth, const Tensor& pred,
+                 const std::vector<int>& rows) {
+  std::vector<double> t, p;
+  t.reserve(rows.size() * static_cast<std::size_t>(truth.cols()));
+  p.reserve(t.capacity());
+  for (int r : rows) {
+    for (std::int64_t c = 0; c < truth.cols(); ++c) {
+      t.push_back(truth.at(r, c));
+      p.push_back(pred.at(r, c));
+    }
+  }
+  return r2_score(std::span<const double>(t), std::span<const double>(p));
+}
+
+std::vector<int> all_rows(std::int64_t n) {
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) rows[static_cast<std::size_t>(i)] = static_cast<int>(i);
+  return rows;
+}
+
+}  // namespace
+
+double mean_of(const std::vector<DesignEval>& evals,
+               double DesignEval::* field) {
+  if (evals.empty()) return 0.0;
+  double acc = 0.0;
+  for (const DesignEval& e : evals) acc += e.*field;
+  return acc / static_cast<double>(evals.size());
+}
+
+// ---- TimingGnnTrainer ----------------------------------------------------
+
+TimingGnnTrainer::TimingGnnTrainer(const TimingGnnConfig& config,
+                                   const TrainOptions& options)
+    : model_(config),
+      options_(options),
+      adam_(model_.parameters(),
+            nn::AdamConfig{.lr = options.lr, .grad_clip = options.grad_clip}) {}
+
+const PropPlan& TimingGnnTrainer::plan_for(const data::DatasetGraph& g) {
+  // Keyed by address, not name: the same benchmark can exist at several
+  // scales within one process.
+  auto it = plans_.find(&g);
+  if (it == plans_.end()) {
+    it = plans_.emplace(&g, build_prop_plan(g)).first;
+  }
+  return it->second;
+}
+
+namespace {
+/// Geometric decay from options.lr to options.lr_final across the run.
+float scheduled_lr(const TrainOptions& options, int epoch) {
+  if (options.lr_final <= 0.0f || options.epochs <= 1 ||
+      options.lr_final >= options.lr) {
+    return options.lr;
+  }
+  const float t = static_cast<float>(epoch) /
+                  static_cast<float>(options.epochs - 1);
+  return options.lr * std::pow(options.lr_final / options.lr, t);
+}
+}  // namespace
+
+double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
+  double mean_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    adam_.set_lr(scheduled_lr(options_, epoch));
+    double epoch_loss = 0.0;
+    for (int id : dataset.train_ids) {
+      const data::DatasetGraph& g = dataset.graphs[static_cast<std::size_t>(id)];
+      const PropPlan& plan = plan_for(g);
+      adam_.zero_grad();
+      const TimingGnn::Prediction pred = model_.forward(g, plan);
+      Tensor loss = model_.loss(g, plan, pred);
+      loss.backward();
+      adam_.step();
+      epoch_loss += loss.item();
+    }
+    mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
+    if (options_.verbose) {
+      TG_INFO("timing-gnn epoch " << epoch + 1 << "/" << options_.epochs
+                                  << " loss=" << mean_loss);
+    }
+  }
+  return mean_loss;
+}
+
+DesignEval TimingGnnTrainer::evaluate(const data::DatasetGraph& g) {
+  const PropPlan& plan = plan_for(g);
+  WallTimer timer;
+  const TimingGnn::Prediction pred = model_.forward(g, plan);
+  DesignEval eval;
+  eval.infer_seconds = timer.seconds();
+  eval.name = g.name;
+  eval.is_test = g.is_test;
+
+  const Tensor truth_parts[] = {g.arrival, g.slew};
+  const Tensor atslew_truth = nn::concat_cols(truth_parts);
+  eval.r2_atslew_all =
+      pooled_r2(atslew_truth, pred.atslew, all_rows(g.num_nodes));
+
+  // Arrival R² at endpoints (Table 5): arrival columns only.
+  {
+    std::vector<double> t, p;
+    for (int ep : g.endpoints) {
+      for (int c = 0; c < kNumCorners; ++c) {
+        t.push_back(g.arrival.at(ep, c));
+        p.push_back(pred.atslew.at(ep, c));
+      }
+    }
+    eval.r2_arrival_endpoints =
+        r2_score(std::span<const double>(t), std::span<const double>(p));
+  }
+
+  eval.r2_net_delay = pooled_r2(g.net_delay, pred.net_delay, g.net_sinks);
+  {
+    const Tensor cell_truth = nn::gather_rows(g.cell_delay, plan.cell_edge_order);
+    eval.r2_cell_delay = pooled_r2(cell_truth, pred.cell_delay,
+                                   all_rows(cell_truth.rows()));
+  }
+
+  const SlackScatter scatter = slack_scatter(g);
+  eval.r2_slack_setup = r2_score(std::span<const double>(scatter.true_setup),
+                                 std::span<const double>(scatter.pred_setup));
+  eval.r2_slack_hold = r2_score(std::span<const double>(scatter.true_hold),
+                                std::span<const double>(scatter.pred_hold));
+  eval.pearson_setup = pearson_r(std::span<const double>(scatter.true_setup),
+                                 std::span<const double>(scatter.pred_setup));
+  eval.pearson_hold = pearson_r(std::span<const double>(scatter.true_hold),
+                                std::span<const double>(scatter.pred_hold));
+  return eval;
+}
+
+TimingGnnTrainer::SlackScatter TimingGnnTrainer::slack_scatter(
+    const data::DatasetGraph& g) {
+  const PropPlan& plan = plan_for(g);
+  const TimingGnn::Prediction pred = model_.forward(g, plan);
+  SlackScatter s;
+  for (std::size_t i = 0; i < g.endpoints.size(); ++i) {
+    const int ep = g.endpoints[i];
+    const EndpointSlack ps = predicted_endpoint_slack(g, pred.atslew, ep);
+    s.pred_setup.push_back(ps.setup);
+    s.pred_hold.push_back(ps.hold);
+    s.true_setup.push_back(g.endpoint_setup_slack[i]);
+    s.true_hold.push_back(g.endpoint_hold_slack[i]);
+  }
+  return s;
+}
+
+// ---- NetEmbedTrainer ------------------------------------------------------
+
+NetEmbedTrainer::NetEmbedTrainer(const NetEmbedConfig& config,
+                                 const TrainOptions& options,
+                                 std::uint64_t seed)
+    : rng_(seed),
+      model_(config, rng_),
+      options_(options),
+      adam_(model_.parameters(),
+            nn::AdamConfig{.lr = options.lr, .grad_clip = options.grad_clip}) {}
+
+double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
+  double mean_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    adam_.set_lr(scheduled_lr(options_, epoch));
+    double epoch_loss = 0.0;
+    for (int id : dataset.train_ids) {
+      const data::DatasetGraph& g = dataset.graphs[static_cast<std::size_t>(id)];
+      adam_.zero_grad();
+      Tensor emb = model_.forward(g);
+      Tensor pred = model_.predict_net_delay(g, emb);
+      Tensor target = nn::gather_rows(g.net_delay, g.net_sinks);
+      Tensor loss = nn::mse_loss_rows(pred, g.net_sinks, target);
+      loss.backward();
+      adam_.step();
+      epoch_loss += loss.item();
+    }
+    mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
+    if (options_.verbose) {
+      TG_INFO("net-embed epoch " << epoch + 1 << "/" << options_.epochs
+                                 << " loss=" << mean_loss);
+    }
+  }
+  return mean_loss;
+}
+
+double NetEmbedTrainer::evaluate_r2(const data::DatasetGraph& g) const {
+  Tensor pred = model_.predict_net_delay(g, model_.forward(g));
+  std::vector<double> t, p;
+  for (int r : g.net_sinks) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      t.push_back(g.net_delay.at(r, c));
+      p.push_back(pred.at(r, c));
+    }
+  }
+  return r2_score(std::span<const double>(t), std::span<const double>(p));
+}
+
+// ---- GcniiTrainer ---------------------------------------------------------
+
+GcniiTrainer::GcniiTrainer(const GcniiConfig& config,
+                           const TrainOptions& options)
+    : model_(config),
+      options_(options),
+      adam_(model_.parameters(),
+            nn::AdamConfig{.lr = options.lr, .grad_clip = options.grad_clip}) {}
+
+const GcniiAdjacency& GcniiTrainer::adjacency_for(const data::DatasetGraph& g) {
+  auto it = adjacencies_.find(&g);
+  if (it == adjacencies_.end()) {
+    it = adjacencies_.emplace(&g, build_gcnii_adjacency(g)).first;
+  }
+  return it->second;
+}
+
+double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
+  double mean_loss = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    adam_.set_lr(scheduled_lr(options_, epoch));
+    double epoch_loss = 0.0;
+    for (int id : dataset.train_ids) {
+      const data::DatasetGraph& g = dataset.graphs[static_cast<std::size_t>(id)];
+      adam_.zero_grad();
+      Tensor pred = model_.forward(g, adjacency_for(g));
+      Tensor loss = model_.loss(g, pred);
+      loss.backward();
+      adam_.step();
+      epoch_loss += loss.item();
+    }
+    mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
+    if (options_.verbose) {
+      TG_INFO("gcnii-" << model_.config().num_layers << " epoch " << epoch + 1
+                       << "/" << options_.epochs << " loss=" << mean_loss);
+    }
+  }
+  return mean_loss;
+}
+
+DesignEval GcniiTrainer::evaluate(const data::DatasetGraph& g) {
+  const GcniiAdjacency& adj = adjacency_for(g);
+  WallTimer timer;
+  Tensor pred = model_.forward(g, adj);
+  DesignEval eval;
+  eval.infer_seconds = timer.seconds();
+  eval.name = g.name;
+  eval.is_test = g.is_test;
+
+  const Tensor truth_parts[] = {g.arrival, g.slew};
+  eval.r2_atslew_all =
+      pooled_r2(nn::concat_cols(truth_parts), pred, all_rows(g.num_nodes));
+  std::vector<double> t, p;
+  for (int ep : g.endpoints) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      t.push_back(g.arrival.at(ep, c));
+      p.push_back(pred.at(ep, c));
+    }
+  }
+  eval.r2_arrival_endpoints =
+      r2_score(std::span<const double>(t), std::span<const double>(p));
+  return eval;
+}
+
+}  // namespace tg::core

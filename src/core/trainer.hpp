@@ -1,0 +1,110 @@
+#pragma once
+/// \file trainer.hpp
+/// Training / evaluation drivers for the three learned models of the
+/// paper's evaluation:
+///  - TimingGnnTrainer: the full two-stage model (Table 5, Fig. 4),
+///  - NetEmbedTrainer: the net-embedding stage standalone (Table 4),
+///  - GcniiTrainer: the vanilla deep-GNN baseline (Table 5).
+/// All trainers run full-graph gradient steps over the training designs
+/// (the paper's setup: one graph per design, no mini-batching).
+
+#include <map>
+
+#include "core/gcnii.hpp"
+#include "core/timing_gnn.hpp"
+#include "data/dataset.hpp"
+#include "nn/optim.hpp"
+
+namespace tg::core {
+
+struct TrainOptions {
+  int epochs = 12;
+  float lr = 1e-3f;
+  /// Final learning rate: lr decays geometrically to this across the run
+  /// (improves final calibration). <= 0 keeps lr constant.
+  float lr_final = 0.0f;
+  float grad_clip = 5.0f;
+  bool verbose = true;
+};
+
+/// Per-design evaluation record; R² definitions follow the paper
+/// (pooled over the 4 EL/RF corners).
+struct DesignEval {
+  std::string name;
+  bool is_test = false;
+  double r2_arrival_endpoints = 0.0;  ///< Table 5 headline metric
+  double r2_atslew_all = 0.0;         ///< arrival+slew over all pins
+  double r2_net_delay = 0.0;          ///< Table 4 metric (net sinks)
+  double r2_cell_delay = 0.0;
+  double r2_slack_setup = 0.0;        ///< Fig. 4 (setup)
+  double r2_slack_hold = 0.0;         ///< Fig. 4 (hold)
+  double pearson_setup = 0.0;
+  double pearson_hold = 0.0;
+  double infer_seconds = 0.0;         ///< Table 5 "Our GNN" runtime
+};
+
+/// Averages a metric over evals.
+[[nodiscard]] double mean_of(const std::vector<DesignEval>& evals,
+                             double DesignEval::* field);
+
+class TimingGnnTrainer {
+ public:
+  TimingGnnTrainer(const TimingGnnConfig& config, const TrainOptions& options);
+
+  /// Trains on dataset.train_ids; returns final mean training loss.
+  double fit(const data::SuiteDataset& dataset);
+
+  [[nodiscard]] DesignEval evaluate(const data::DatasetGraph& g);
+
+  /// Predicted and true endpoint slacks for scatter plots (Fig. 4).
+  struct SlackScatter {
+    std::vector<double> true_setup, pred_setup, true_hold, pred_hold;
+  };
+  [[nodiscard]] SlackScatter slack_scatter(const data::DatasetGraph& g);
+
+  [[nodiscard]] TimingGnn& model() { return model_; }
+  [[nodiscard]] const PropPlan& plan_for(const data::DatasetGraph& g);
+
+ private:
+  TimingGnn model_;
+  TrainOptions options_;
+  nn::Adam adam_;
+  std::map<const data::DatasetGraph*, PropPlan> plans_;
+};
+
+class NetEmbedTrainer {
+ public:
+  NetEmbedTrainer(const NetEmbedConfig& config, const TrainOptions& options,
+                  std::uint64_t seed = 11);
+
+  double fit(const data::SuiteDataset& dataset);
+  /// R² of net-delay prediction at net sinks, pooled over corners.
+  [[nodiscard]] double evaluate_r2(const data::DatasetGraph& g) const;
+
+  [[nodiscard]] NetEmbed& model() { return model_; }
+
+ private:
+  Rng rng_;
+  NetEmbed model_;
+  TrainOptions options_;
+  nn::Adam adam_;
+};
+
+class GcniiTrainer {
+ public:
+  GcniiTrainer(const GcniiConfig& config, const TrainOptions& options);
+
+  double fit(const data::SuiteDataset& dataset);
+  [[nodiscard]] DesignEval evaluate(const data::DatasetGraph& g);
+
+  [[nodiscard]] Gcnii& model() { return model_; }
+
+ private:
+  Gcnii model_;
+  TrainOptions options_;
+  nn::Adam adam_;
+  std::map<const data::DatasetGraph*, GcniiAdjacency> adjacencies_;
+  const GcniiAdjacency& adjacency_for(const data::DatasetGraph& g);
+};
+
+}  // namespace tg::core

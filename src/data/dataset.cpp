@@ -1,0 +1,61 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace tg::data {
+
+DatasetGraph build_design_graph(const SuiteEntry& entry, const Library& library,
+                                const DatasetOptions& options) {
+  auto design = std::make_shared<Design>(generate_design(entry.spec, library));
+  place_design(*design, options.placer);
+
+  auto truth = std::make_shared<DesignRouting>(
+      route_design(*design, options.truth_routing));
+
+  const TimingGraph graph(*design);
+  StaResult sta = run_sta(graph, *truth, options.sta);
+  design->set_period(
+      calibrated_period(*design, sta.arrival, entry.clock_factor));
+  // Re-run to refresh RAT/slack under the calibrated period; keep the
+  // first run's propagation timing (identical work).
+  const double sta_seconds = sta.sta_seconds;
+  sta = run_sta(graph, *truth, options.sta);
+  sta.sta_seconds = sta_seconds;
+
+  DatasetGraph g = extract_graph(*design, graph, *truth, sta);
+  g.is_test = entry.is_test;
+  if (!options.slim) {
+    g.design = design;
+    g.truth_routing = truth;
+  }
+  TG_INFO("dataset: " << g.name << " nodes=" << g.num_nodes
+                      << " net_edges=" << g.net_src.size()
+                      << " cell_edges=" << g.cell_src.size()
+                      << " endpoints=" << g.endpoints.size()
+                      << " levels=" << g.num_levels
+                      << " route=" << g.route_seconds << "s");
+  return g;
+}
+
+SuiteDataset build_suite_dataset(const Library& library,
+                                 const DatasetOptions& options,
+                                 const std::vector<std::string>& only) {
+  SuiteDataset out;
+  for (const SuiteEntry& entry : table1_suite(options.scale)) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), entry.spec.name) == only.end()) {
+      continue;
+    }
+    const int id = static_cast<int>(out.graphs.size());
+    out.graphs.push_back(build_design_graph(entry, library, options));
+    (entry.is_test ? out.test_ids : out.train_ids).push_back(id);
+  }
+  TG_CHECK(!out.graphs.empty());
+  return out;
+}
+
+}  // namespace tg::data

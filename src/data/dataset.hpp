@@ -1,0 +1,41 @@
+#pragma once
+/// \file dataset.hpp
+/// End-to-end dataset pipeline: generate each Table-1 benchmark, place it,
+/// maze-route it (timed — the "Routing" column of Table 5), run the golden
+/// STA (timed — the "STA" column), calibrate the clock period, and extract
+/// the DatasetGraph. This is the repository's equivalent of the paper's
+/// OpenROAD data-generation flow.
+
+#include "data/extract.hpp"
+#include "gen/suite.hpp"
+#include "place/placer.hpp"
+
+namespace tg::data {
+
+struct DatasetOptions {
+  double scale = kDefaultSuiteScale;
+  PlacerConfig placer;
+  RoutingOptions truth_routing;  ///< defaults to the maze router
+  StaOptions sta;
+  /// Drop the Design/DesignRouting handles after extraction (saves memory
+  /// when the baselines are not needed).
+  bool slim = false;
+};
+
+struct SuiteDataset {
+  std::vector<DatasetGraph> graphs;  ///< paper order (14 train, 7 test)
+  std::vector<int> train_ids;
+  std::vector<int> test_ids;
+};
+
+/// Builds one benchmark end to end.
+[[nodiscard]] DatasetGraph build_design_graph(const SuiteEntry& entry,
+                                              const Library& library,
+                                              const DatasetOptions& options);
+
+/// Builds the whole 21-design suite (or the subset named in `only`).
+[[nodiscard]] SuiteDataset build_suite_dataset(
+    const Library& library, const DatasetOptions& options,
+    const std::vector<std::string>& only = {});
+
+}  // namespace tg::data

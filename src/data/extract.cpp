@@ -1,0 +1,146 @@
+#include "data/extract.hpp"
+
+#include "util/check.hpp"
+
+namespace tg::data {
+
+namespace {
+
+nn::Tensor per_corner_tensor(const std::vector<PerCorner>& values,
+                             float scale) {
+  std::vector<float> flat;
+  flat.reserve(values.size() * kNumCorners);
+  for (const PerCorner& v : values) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      flat.push_back(static_cast<float>(v[c]) * scale);
+    }
+  }
+  return nn::Tensor::from_vector(std::move(flat),
+                                 static_cast<std::int64_t>(values.size()),
+                                 kNumCorners);
+}
+
+}  // namespace
+
+DatasetGraph extract_graph(const Design& design, const TimingGraph& graph,
+                           const DesignRouting& truth, const StaResult& sta) {
+  DatasetGraph g;
+  g.name = design.name();
+  g.num_nodes = design.num_pins();
+  g.num_levels = graph.num_levels();
+  g.clock_period = design.clock_period();
+  g.stats = design.stats();
+
+  const BBox& die = design.die();
+
+  // ---- node features (Table 2) ----------------------------------------
+  {
+    std::vector<float> feat;
+    feat.reserve(static_cast<std::size_t>(g.num_nodes) * kNodeFeatureDim);
+    for (PinId p = 0; p < design.num_pins(); ++p) {
+      const Pin& pin = design.pin(p);
+      feat.push_back(pin.is_port ? 1.0f : 0.0f);
+      feat.push_back(pin.drives_net ? 1.0f : 0.0f);
+      feat.push_back(static_cast<float>(pin.pos.x - die.xmin) * kDistScale);
+      feat.push_back(static_cast<float>(die.xmax - pin.pos.x) * kDistScale);
+      feat.push_back(static_cast<float>(pin.pos.y - die.ymin) * kDistScale);
+      feat.push_back(static_cast<float>(die.ymax - pin.pos.y) * kDistScale);
+      for (int c = 0; c < kNumCorners; ++c) {
+        feat.push_back(static_cast<float>(design.pin_cap(p, c)) * kCapScale);
+      }
+    }
+    g.node_feat = nn::Tensor::from_vector(std::move(feat), g.num_nodes,
+                                          kNodeFeatureDim);
+  }
+
+  // ---- net edges -------------------------------------------------------
+  {
+    const auto& arcs = graph.net_arcs();
+    std::vector<float> feat;
+    feat.reserve(arcs.size() * kNetEdgeFeatureDim);
+    g.net_src.reserve(arcs.size());
+    g.net_dst.reserve(arcs.size());
+    for (const NetArc& a : arcs) {
+      g.net_src.push_back(a.from);
+      g.net_dst.push_back(a.to);
+      const Point& dp = design.pin(a.from).pos;
+      const Point& sp = design.pin(a.to).pos;
+      feat.push_back(static_cast<float>(std::abs(sp.x - dp.x)) * kDistScale);
+      feat.push_back(static_cast<float>(std::abs(sp.y - dp.y)) * kDistScale);
+    }
+    g.net_edge_feat = nn::Tensor::from_vector(
+        std::move(feat), static_cast<std::int64_t>(arcs.size()),
+        kNetEdgeFeatureDim);
+  }
+
+  // ---- cell edges (Table 3: valid | axis indices | LUT values) ---------
+  {
+    const auto& arcs = graph.cell_arcs();
+    std::vector<float> feat;
+    feat.reserve(arcs.size() * kCellEdgeFeatureDim);
+    g.cell_src.reserve(arcs.size());
+    g.cell_dst.reserve(arcs.size());
+    for (const CellArc& a : arcs) {
+      g.cell_src.push_back(a.from);
+      g.cell_dst.push_back(a.to);
+      const TimingArc& lib = graph.lib_arc(a);
+      // LUT order: delay[c0..c3], out_slew[c0..c3].
+      const NldmLut* luts[kNumLutsPerArc];
+      for (int c = 0; c < kNumCorners; ++c) {
+        luts[c] = &lib.delay[c];
+        luts[kNumCorners + c] = &lib.out_slew[c];
+      }
+      for (int l = 0; l < kNumLutsPerArc; ++l) feat.push_back(1.0f);  // valid
+      for (int l = 0; l < kNumLutsPerArc; ++l) {
+        for (double v : luts[l]->slew_axis()) {
+          feat.push_back(static_cast<float>(v) * kSlewAxisScale);
+        }
+        for (double v : luts[l]->load_axis()) {
+          feat.push_back(static_cast<float>(v) * kLoadAxisScale);
+        }
+      }
+      for (int l = 0; l < kNumLutsPerArc; ++l) {
+        for (double v : luts[l]->values()) {
+          feat.push_back(static_cast<float>(v));
+        }
+      }
+    }
+    g.cell_edge_feat = nn::Tensor::from_vector(
+        std::move(feat), static_cast<std::int64_t>(arcs.size()),
+        kCellEdgeFeatureDim);
+  }
+
+  // ---- levels and index sets -------------------------------------------
+  g.node_level.resize(static_cast<std::size_t>(g.num_nodes));
+  for (PinId p = 0; p < design.num_pins(); ++p) {
+    g.node_level[static_cast<std::size_t>(p)] = graph.level(p);
+    if (design.is_endpoint(p)) g.endpoints.push_back(p);
+    if (graph.in_net_arc(p) >= 0) g.net_sinks.push_back(p);
+  }
+
+  // ---- labels ------------------------------------------------------------
+  g.net_delay = per_corner_tensor(sta.net_delay, kNetDelayScale);
+  g.arrival = per_corner_tensor(sta.arrival, kArrivalScale);
+  g.slew = per_corner_tensor(sta.slew, kSlewLabelScale);
+  g.cell_delay = per_corner_tensor(sta.cell_arc_delay, kCellDelayScale);
+  {
+    // RAT is ±inf away from constrained pins; store raw values at
+    // endpoints and 0 elsewhere (the models only read endpoint rows).
+    // Same unit as arrival so predicted slack = RAT − AT works directly.
+    std::vector<PerCorner> rat(static_cast<std::size_t>(g.num_nodes),
+                               per_corner_fill(0.0));
+    for (int p : g.endpoints) {
+      rat[static_cast<std::size_t>(p)] = sta.rat[static_cast<std::size_t>(p)];
+    }
+    g.rat = per_corner_tensor(rat, kArrivalScale);
+  }
+  for (int p : g.endpoints) {
+    g.endpoint_setup_slack.push_back(endpoint_setup_slack(sta, p));
+    g.endpoint_hold_slack.push_back(endpoint_hold_slack(sta, p));
+  }
+  g.route_seconds = truth.route_seconds;
+  g.sta_seconds = sta.sta_seconds;
+  return g;
+}
+
+}  // namespace tg::data

@@ -1,0 +1,18 @@
+#pragma once
+/// \file extract.hpp
+/// Builds a DatasetGraph from a placed design, its ground-truth routing,
+/// and a golden STA run. Features contain ONLY placement-time information
+/// (pin positions/caps, cell LUTs); all time-valued labels come from the
+/// routed design — the exact pre-routing prediction setup of the paper.
+
+#include "data/hetero_graph.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace tg::data {
+
+[[nodiscard]] DatasetGraph extract_graph(const Design& design,
+                                         const TimingGraph& graph,
+                                         const DesignRouting& truth,
+                                         const StaResult& sta);
+
+}  // namespace tg::data

@@ -1,0 +1,177 @@
+#include "data/graph_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace tg::data {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54474447;  // "TGDG"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+void write_f64(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+double read_f64(std::ifstream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+std::string read_string(std::ifstream& in) {
+  std::string s(read_u64(in), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(s.size()));
+  return s;
+}
+
+void write_tensor(std::ofstream& out, const nn::Tensor& t) {
+  write_u64(out, static_cast<std::uint64_t>(t.rows()));
+  write_u64(out, static_cast<std::uint64_t>(t.cols()));
+  out.write(reinterpret_cast<const char*>(t.data().data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+nn::Tensor read_tensor(std::ifstream& in) {
+  const auto rows = static_cast<std::int64_t>(read_u64(in));
+  const auto cols = static_cast<std::int64_t>(read_u64(in));
+  std::vector<float> data(static_cast<std::size_t>(rows * cols));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  return nn::Tensor::from_vector(std::move(data), rows, cols);
+}
+
+void write_ints(std::ofstream& out, const std::vector<int>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+std::vector<int> read_ints(std::ifstream& in) {
+  std::vector<int> v(read_u64(in));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(int)));
+  return v;
+}
+
+void write_doubles(std::ofstream& out, const std::vector<double>& v) {
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+std::vector<double> read_doubles(std::ifstream& in) {
+  std::vector<double> v(read_u64(in));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(double)));
+  return v;
+}
+
+}  // namespace
+
+void save_graph(const DatasetGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
+  write_u64(out, kMagic);
+  write_u64(out, kVersion);
+  write_string(out, g.name);
+  write_u64(out, g.is_test ? 1 : 0);
+  write_u64(out, static_cast<std::uint64_t>(g.num_nodes));
+  write_u64(out, static_cast<std::uint64_t>(g.num_levels));
+  write_f64(out, g.clock_period);
+  write_f64(out, g.route_seconds);
+  write_f64(out, g.sta_seconds);
+
+  write_tensor(out, g.node_feat);
+  write_tensor(out, g.net_edge_feat);
+  write_tensor(out, g.cell_edge_feat);
+  write_ints(out, g.net_src);
+  write_ints(out, g.net_dst);
+  write_ints(out, g.cell_src);
+  write_ints(out, g.cell_dst);
+  write_ints(out, g.node_level);
+
+  write_tensor(out, g.net_delay);
+  write_tensor(out, g.arrival);
+  write_tensor(out, g.slew);
+  write_tensor(out, g.rat);
+  write_tensor(out, g.cell_delay);
+  write_ints(out, g.endpoints);
+  write_ints(out, g.net_sinks);
+  write_doubles(out, g.endpoint_setup_slack);
+  write_doubles(out, g.endpoint_hold_slack);
+
+  // Table-1 stats.
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_nodes));
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_net_edges));
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_cell_edges));
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_endpoints));
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_instances));
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_nets));
+  write_u64(out, static_cast<std::uint64_t>(g.stats.num_ffs));
+  TG_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+DatasetGraph load_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
+  TG_CHECK_MSG(read_u64(in) == kMagic, "bad dataset-graph magic in " << path);
+  TG_CHECK_MSG(read_u64(in) == kVersion, "unsupported version in " << path);
+
+  DatasetGraph g;
+  g.name = read_string(in);
+  g.is_test = read_u64(in) != 0;
+  g.num_nodes = static_cast<int>(read_u64(in));
+  g.num_levels = static_cast<int>(read_u64(in));
+  g.clock_period = read_f64(in);
+  g.route_seconds = read_f64(in);
+  g.sta_seconds = read_f64(in);
+
+  g.node_feat = read_tensor(in);
+  g.net_edge_feat = read_tensor(in);
+  g.cell_edge_feat = read_tensor(in);
+  g.net_src = read_ints(in);
+  g.net_dst = read_ints(in);
+  g.cell_src = read_ints(in);
+  g.cell_dst = read_ints(in);
+  g.node_level = read_ints(in);
+
+  g.net_delay = read_tensor(in);
+  g.arrival = read_tensor(in);
+  g.slew = read_tensor(in);
+  g.rat = read_tensor(in);
+  g.cell_delay = read_tensor(in);
+  g.endpoints = read_ints(in);
+  g.net_sinks = read_ints(in);
+  g.endpoint_setup_slack = read_doubles(in);
+  g.endpoint_hold_slack = read_doubles(in);
+
+  g.stats.num_nodes = static_cast<long long>(read_u64(in));
+  g.stats.num_net_edges = static_cast<long long>(read_u64(in));
+  g.stats.num_cell_edges = static_cast<long long>(read_u64(in));
+  g.stats.num_endpoints = static_cast<long long>(read_u64(in));
+  g.stats.num_instances = static_cast<long long>(read_u64(in));
+  g.stats.num_nets = static_cast<long long>(read_u64(in));
+  g.stats.num_ffs = static_cast<long long>(read_u64(in));
+  TG_CHECK_MSG(in.good(), "truncated dataset-graph file " << path);
+
+  // Internal consistency.
+  TG_CHECK(g.node_feat.rows() == g.num_nodes);
+  TG_CHECK(g.net_src.size() == g.net_dst.size());
+  TG_CHECK(g.cell_src.size() == g.cell_dst.size());
+  TG_CHECK(static_cast<int>(g.node_level.size()) == g.num_nodes);
+  return g;
+}
+
+}  // namespace tg::data

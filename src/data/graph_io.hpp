@@ -1,0 +1,23 @@
+#pragma once
+/// \file graph_io.hpp
+/// Binary (de)serialization of extracted DatasetGraphs, mirroring the
+/// paper's "all data open-sourced" release: a dataset generated once can
+/// be shipped and re-trained on without the generator, placer, router or
+/// timer. Format: magic/version header, then length-prefixed tensors and
+/// index arrays. Slim graphs only (the Design/DesignRouting handles are
+/// not serialized).
+
+#include <string>
+
+#include "data/hetero_graph.hpp"
+
+namespace tg::data {
+
+/// Writes one graph. Throws CheckError on I/O failure.
+void save_graph(const DatasetGraph& graph, const std::string& path);
+
+/// Reads a graph previously written by save_graph. The result is slim
+/// (design/truth_routing are null).
+[[nodiscard]] DatasetGraph load_graph(const std::string& path);
+
+}  // namespace tg::data

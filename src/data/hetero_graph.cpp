@@ -1,0 +1,13 @@
+#include "data/hetero_graph.hpp"
+
+// Currently header-only data carrier; the translation unit pins the vtable-
+// free struct's sanity at compile time.
+
+namespace tg::data {
+
+static_assert(kCellEdgeFeatureDim == 512,
+              "cell edge feature layout must match the paper's Table 3");
+static_assert(kNodeFeatureDim + 4 + 4 + 4 + 1 + 4 == 27,
+              "node feature+task total must match the paper's Table 2");
+
+}  // namespace tg::data

@@ -1,0 +1,84 @@
+#pragma once
+/// \file hetero_graph.hpp
+/// The extracted heterogeneous graph of the paper's Section 3.2: one
+/// record per benchmark holding pin-node features (Table 2), net/cell
+/// edge features (Table 3), STA labels, and levelization — everything the
+/// models and benches consume. Feature layout and sizes match the paper:
+/// 10 node features, 2 net-edge features, 512 cell-edge features
+/// (8 valid flags | 8×14 axis indices | 8×49 LUT values).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "nn/tensor.hpp"
+#include "route/router.hpp"
+#include "sta/timer.hpp"
+
+namespace tg::data {
+
+// ---- feature scaling constants (documented in DESIGN.md §4) -------------
+inline constexpr float kDistScale = 0.01f;   ///< µm → 1/100 µm units
+inline constexpr float kCapScale = 100.0f;   ///< pF → 1/100 pF units
+inline constexpr float kSlewAxisScale = 1.0f / 0.6f;   ///< axis → [0,1]-ish
+inline constexpr float kLoadAxisScale = 1.0f / 0.25f;  ///< axis → [0,1]-ish
+
+// Per-task label scales. Targets of very different magnitudes (net delays
+// are a few ps, arrivals tens of ns) would otherwise leave the positive
+// softplus heads in their vanishing-gradient region. R² is invariant to
+// scaling truth and prediction together, so the reported metrics are
+// unaffected; divide by these to recover ns.
+inline constexpr float kArrivalScale = 1.0f;     ///< ns
+inline constexpr float kSlewLabelScale = 10.0f;  ///< 100 ps units
+inline constexpr float kNetDelayScale = 1000.0f;  ///< ps units
+inline constexpr float kCellDelayScale = 10.0f;  ///< 100 ps units
+
+inline constexpr int kNodeFeatureDim = 10;
+inline constexpr int kNetEdgeFeatureDim = 2;
+inline constexpr int kNumLutsPerArc = 2 * kNumCorners;  // delay + slew × EL/RF
+inline constexpr int kCellEdgeValidDim = kNumLutsPerArc;               // 8
+inline constexpr int kCellEdgeIndexDim = kNumLutsPerArc * 2 * kLutDim;  // 112
+inline constexpr int kCellEdgeValueDim = kNumLutsPerArc * kLutCells;    // 392
+inline constexpr int kCellEdgeFeatureDim =
+    kCellEdgeValidDim + kCellEdgeIndexDim + kCellEdgeValueDim;  // 512
+
+/// One benchmark's extracted graph + labels + provenance.
+struct DatasetGraph {
+  std::string name;
+  bool is_test = false;
+  int num_nodes = 0;
+  int num_levels = 0;
+
+  // ---- model inputs (placement-only information) ----------------------
+  nn::Tensor node_feat;       ///< [N, 10]
+  nn::Tensor net_edge_feat;   ///< [En, 2]
+  nn::Tensor cell_edge_feat;  ///< [Ec, 512]
+  std::vector<int> net_src, net_dst;    ///< driver → sink
+  std::vector<int> cell_src, cell_dst;  ///< cell input → output
+  std::vector<int> node_level;          ///< topological level per node
+
+  // ---- labels (from ground-truth routing + golden STA) -----------------
+  nn::Tensor net_delay;   ///< [N, 4], nonzero at net sinks
+  nn::Tensor arrival;     ///< [N, 4]
+  nn::Tensor slew;        ///< [N, 4]
+  nn::Tensor rat;         ///< [N, 4], valid at endpoints
+  nn::Tensor cell_delay;  ///< [Ec, 4]
+  std::vector<int> endpoints;  ///< endpoint node ids
+  std::vector<int> net_sinks;  ///< nodes with an incoming net arc
+  double clock_period = 0.0;
+
+  // ---- bookkeeping for Tables 1 & 5 and Fig. 4 -------------------------
+  DesignStats stats;
+  double route_seconds = 0.0;  ///< ground-truth routing wall time
+  double sta_seconds = 0.0;    ///< golden STA wall time
+  std::vector<double> endpoint_setup_slack;  ///< aligned with `endpoints`
+  std::vector<double> endpoint_hold_slack;
+
+  /// Kept alive for the statistics-based baselines (Table 4) and runtime
+  /// re-measurement; null when extraction ran in slim mode.
+  std::shared_ptr<Design> design;
+  std::shared_ptr<DesignRouting> truth_routing;
+};
+
+}  // namespace tg::data

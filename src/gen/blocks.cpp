@@ -1,0 +1,109 @@
+#include "gen/blocks.hpp"
+
+#include "util/check.hpp"
+
+namespace tg {
+
+SigId block_xor_tree(CircuitBuilder& cb, std::vector<SigId> inputs) {
+  TG_CHECK(!inputs.empty());
+  while (inputs.size() > 1) {
+    std::vector<SigId> next;
+    for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+      next.push_back(cb.gate("XOR2", {inputs[i], inputs[i + 1]}));
+    }
+    if (inputs.size() % 2 == 1) next.push_back(inputs.back());
+    inputs = std::move(next);
+  }
+  return inputs[0];
+}
+
+std::vector<SigId> block_ripple_adder(CircuitBuilder& cb,
+                                      const std::vector<SigId>& a,
+                                      const std::vector<SigId>& b) {
+  TG_CHECK(!a.empty() && a.size() == b.size());
+  std::vector<SigId> out;
+  SigId carry = kInvalidId;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SigId x = cb.gate("XOR2", {a[i], b[i]});
+    if (carry == kInvalidId) {
+      // Half adder for the LSB.
+      out.push_back(x);
+      carry = cb.gate("AND2", {a[i], b[i]});
+    } else {
+      out.push_back(cb.gate("XOR2", {x, carry}));
+      const SigId c1 = cb.gate("AND2", {a[i], b[i]});
+      const SigId c2 = cb.gate("AND2", {x, carry});
+      carry = cb.gate("OR2", {c1, c2});
+    }
+  }
+  out.push_back(carry);
+  return out;
+}
+
+SigId block_mux_tree(CircuitBuilder& cb, std::vector<SigId> data,
+                     const std::vector<SigId>& sel) {
+  TG_CHECK(!data.empty());
+  TG_CHECK((data.size() & (data.size() - 1)) == 0);
+  std::size_t level = 0;
+  while (data.size() > 1) {
+    TG_CHECK(level < sel.size());
+    std::vector<SigId> next;
+    for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+      next.push_back(cb.gate("MUX2", {data[i], data[i + 1], sel[level]}));
+    }
+    data = std::move(next);
+    ++level;
+  }
+  return data[0];
+}
+
+std::vector<SigId> block_sbox_cone(CircuitBuilder& cb,
+                                   const std::vector<SigId>& inputs,
+                                   int depth, int num_outputs) {
+  TG_CHECK(inputs.size() >= 2 && depth >= 1 && num_outputs >= 1);
+  Rng& rng = cb.rng();
+  std::vector<SigId> layer = inputs;
+  static const char* kTwoIn[] = {"NAND2", "NOR2", "XOR2", "XNOR2", "AND2", "OR2"};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<SigId> next;
+    const std::size_t width = std::max<std::size_t>(
+        2, layer.size() - (d + 1 == depth ? layer.size() - static_cast<std::size_t>(num_outputs) : 0));
+    for (std::size_t i = 0; i < width; ++i) {
+      const SigId u = layer[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(layer.size()) - 1))];
+      SigId v = layer[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(layer.size()) - 1))];
+      if (v == u) v = layer[(static_cast<std::size_t>(u) + 1) % layer.size()];
+      const char* fn = kTwoIn[rng.uniform_int(0, 5)];
+      next.push_back(cb.gate(fn, {u, v}));
+    }
+    layer = std::move(next);
+  }
+  if (static_cast<int>(layer.size()) > num_outputs) {
+    layer.resize(static_cast<std::size_t>(num_outputs));
+  }
+  return layer;
+}
+
+std::vector<SigId> block_decoder(CircuitBuilder& cb,
+                                 const std::vector<SigId>& sel) {
+  TG_CHECK(!sel.empty() && sel.size() <= 6);
+  // Complemented selects once, then AND trees.
+  std::vector<SigId> sel_n;
+  sel_n.reserve(sel.size());
+  for (SigId s : sel) sel_n.push_back(cb.gate("INV", {s}));
+
+  std::vector<SigId> outs;
+  const std::size_t count = std::size_t{1} << sel.size();
+  for (std::size_t code = 0; code < count; ++code) {
+    SigId acc = (code & 1) ? sel[0] : sel_n[0];
+    for (std::size_t b = 1; b < sel.size(); ++b) {
+      const SigId term = (code >> b & 1) ? sel[b] : sel_n[b];
+      acc = cb.gate("AND2", {acc, term});
+    }
+    outs.push_back(acc);
+  }
+  return outs;
+}
+
+}  // namespace tg

@@ -1,0 +1,39 @@
+#pragma once
+/// \file blocks.hpp
+/// Structural logic blocks for the design generator. Each block emits real
+/// gates through the CircuitBuilder and returns its output signals. The
+/// mix of blocks gives each generated benchmark its "character" (adders
+/// for datapaths, xor trees for parity/crypto, mux trees and decoders for
+/// control, dense cones for S-box-like logic).
+
+#include <vector>
+
+#include "gen/circuit_builder.hpp"
+
+namespace tg {
+
+/// XOR reduction tree; returns the single parity output.
+SigId block_xor_tree(CircuitBuilder& cb, std::vector<SigId> inputs);
+
+/// Ripple-carry adder over equal-width operands; returns sum bits followed
+/// by the carry-out.
+std::vector<SigId> block_ripple_adder(CircuitBuilder& cb,
+                                      const std::vector<SigId>& a,
+                                      const std::vector<SigId>& b);
+
+/// Balanced 2:1 mux tree; `data` size must be a power of two and `sel`
+/// must hold log2(|data|) select signals. Returns the tree output.
+SigId block_mux_tree(CircuitBuilder& cb, std::vector<SigId> data,
+                     const std::vector<SigId>& sel);
+
+/// Dense reconvergent cone (S-box-like): `depth` layers of mixed gates over
+/// the inputs; returns `num_outputs` signals.
+std::vector<SigId> block_sbox_cone(CircuitBuilder& cb,
+                                   const std::vector<SigId>& inputs,
+                                   int depth, int num_outputs);
+
+/// k-to-2^k decoder; produces high fanout on the select signals.
+std::vector<SigId> block_decoder(CircuitBuilder& cb,
+                                 const std::vector<SigId>& sel);
+
+}  // namespace tg

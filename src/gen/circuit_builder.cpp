@@ -1,0 +1,101 @@
+#include "gen/circuit_builder.hpp"
+
+#include "util/check.hpp"
+
+namespace tg {
+
+CircuitBuilder::CircuitBuilder(Design* design, Rng* rng)
+    : design_(design), rng_(rng) {
+  TG_CHECK(design != nullptr && rng != nullptr);
+}
+
+SigId CircuitBuilder::add_input(const std::string& name) {
+  const PinId pin = design_->add_primary_input(name);
+  const NetId net = design_->add_net("n_" + name);
+  design_->connect(net, pin);
+  signals_.push_back(Signal{net, 0, 0});
+  return num_signals() - 1;
+}
+
+int CircuitBuilder::sample_drive() {
+  const double weights[] = {0.62, 0.28, 0.10};
+  const std::size_t i = rng_->weighted_index(weights);
+  return i == 0 ? 1 : (i == 1 ? 2 : 4);
+}
+
+int CircuitBuilder::cell_id(const std::string& function, int drive) const {
+  const int id =
+      design_->library().find_cell(function + "_X" + std::to_string(drive));
+  TG_CHECK_MSG(id >= 0, "no cell " << function << "_X" << drive);
+  return id;
+}
+
+void CircuitBuilder::connect_input(InstId inst, int cell_pin_idx, SigId s) {
+  const Signal& sg = sig(s);
+  design_->connect(sg.net, design_->instance(inst).pins[static_cast<std::size_t>(cell_pin_idx)]);
+  ++signals_[static_cast<std::size_t>(s)].fanout;
+}
+
+SigId CircuitBuilder::gate(const std::string& function,
+                           const std::vector<SigId>& inputs) {
+  const int cid = cell_id(function, sample_drive());
+  const CellType& cell = design_->library().cell(cid);
+  TG_CHECK_MSG(static_cast<int>(inputs.size()) == cell.num_inputs(),
+               function << " expects " << cell.num_inputs() << " inputs, got "
+                        << inputs.size());
+  const std::string iname = "g" + std::to_string(gate_counter_++);
+  const InstId inst = design_->add_instance(iname, cid);
+
+  int level = 0;
+  int in_idx = 0;
+  for (std::size_t p = 0; p < cell.pins.size(); ++p) {
+    if (cell.pins[p].dir != PinDir::kInput) continue;
+    const SigId s = inputs[static_cast<std::size_t>(in_idx++)];
+    connect_input(inst, static_cast<int>(p), s);
+    level = std::max(level, sig(s).level);
+  }
+
+  const NetId out_net = design_->add_net(iname + "_y");
+  design_->connect(out_net,
+                   design_->instance(inst).pins[static_cast<std::size_t>(cell.single_output())]);
+  signals_.push_back(Signal{out_net, level + 1, 0});
+  return num_signals() - 1;
+}
+
+void CircuitBuilder::ensure_clock() {
+  if (clock_net_ != kInvalidId) return;
+  const PinId clk_port = design_->add_primary_input("clk");
+  clock_net_ = design_->add_net("clk_net", /*is_clock=*/true);
+  design_->connect(clock_net_, clk_port);
+  design_->set_clock(clock_net_, /*period_ns=*/1.0);  // calibrated later
+}
+
+SigId CircuitBuilder::register_signal(SigId d) {
+  ensure_clock();
+  const int cid = cell_id("DFF", sample_drive());
+  const CellType& cell = design_->library().cell(cid);
+  const std::string iname = "ff" + std::to_string(gate_counter_++);
+  const InstId inst = design_->add_instance(iname, cid);
+  connect_input(inst, cell.data_pin, d);
+  design_->connect(clock_net_,
+                   design_->instance(inst).pins[static_cast<std::size_t>(cell.clock_pin)]);
+  const NetId q_net = design_->add_net(iname + "_q");
+  design_->connect(q_net,
+                   design_->instance(inst).pins[static_cast<std::size_t>(cell.output_pin)]);
+  ++num_ffs_;
+  signals_.push_back(Signal{q_net, 0, 0});
+  return num_signals() - 1;
+}
+
+void CircuitBuilder::add_output(SigId s, const std::string& name) {
+  const PinId pin = design_->add_primary_output(name);
+  design_->connect(sig(s).net, pin);
+  ++signals_[static_cast<std::size_t>(s)].fanout;
+}
+
+const Signal& CircuitBuilder::sig(SigId id) const {
+  TG_CHECK(id >= 0 && id < num_signals());
+  return signals_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace tg

@@ -1,0 +1,67 @@
+#pragma once
+/// \file circuit_builder.hpp
+/// Incremental gate-level construction helper used by the block library
+/// and the design generator: owns the pool of live signals, tracks their
+/// topological level and fanout, and wires instances into the Design.
+
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+
+/// Index into the builder's signal pool.
+using SigId = int;
+
+/// A signal produced during construction.
+struct Signal {
+  NetId net = kInvalidId;
+  int level = 0;   ///< approximate logic depth of the producing pin
+  int fanout = 0;  ///< sinks connected so far
+};
+
+class CircuitBuilder {
+ public:
+  CircuitBuilder(Design* design, Rng* rng);
+
+  /// Adds a primary input port and its net; returns the new signal.
+  SigId add_input(const std::string& name);
+
+  /// Instantiates one gate of `function` (drive sampled from fanout-biased
+  /// weights), connects its inputs, creates the output net. The output
+  /// signal sits at level max(inputs)+1. Input arity must match the cell.
+  SigId gate(const std::string& function, const std::vector<SigId>& inputs);
+
+  /// Registers `d` through a DFF; returns the Q signal at level 0.
+  SigId register_signal(SigId d);
+
+  /// Terminates `s` at a fresh primary output port.
+  void add_output(SigId s, const std::string& name);
+
+  [[nodiscard]] const Signal& sig(SigId id) const;
+  [[nodiscard]] int num_signals() const { return static_cast<int>(signals_.size()); }
+  [[nodiscard]] Design& design() { return *design_; }
+  [[nodiscard]] Rng& rng() { return *rng_; }
+  [[nodiscard]] int num_ffs() const { return num_ffs_; }
+
+  /// Sample a drive strength for a new gate (×1 biased).
+  [[nodiscard]] int sample_drive();
+
+ private:
+  /// Creates the clock port + net on first use.
+  void ensure_clock();
+  [[nodiscard]] int cell_id(const std::string& function, int drive) const;
+  /// Connect pin `cell_pin_idx` of instance to the signal's net (fanout++).
+  void connect_input(InstId inst, int cell_pin_idx, SigId s);
+
+  Design* design_;
+  Rng* rng_;
+  std::vector<Signal> signals_;
+  NetId clock_net_ = kInvalidId;
+  int gate_counter_ = 0;
+  int num_ffs_ = 0;
+};
+
+}  // namespace tg

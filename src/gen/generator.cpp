@@ -1,0 +1,241 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace tg {
+
+namespace {
+
+/// Live-signal pool with locality-biased sampling and fanout capping.
+class LivePool {
+ public:
+  LivePool(CircuitBuilder* cb, int max_fanout)
+      : cb_(cb), max_fanout_(max_fanout) {}
+
+  void add(SigId s) { live_.push_back(s); }
+
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] const std::vector<SigId>& all() const { return live_; }
+
+  /// Samples one usable signal: recent signals strongly preferred (wire
+  /// locality), occasional uniform pick (long global wires). Saturated
+  /// signals are evicted lazily.
+  SigId pick() {
+    Rng& rng = cb_->rng();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      TG_CHECK_MSG(!live_.empty(), "generator ran out of live signals");
+      std::size_t idx;
+      if (rng.chance(0.06)) {
+        idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live_.size()) - 1));
+      } else {
+        const double back =
+            std::abs(rng.normal()) * static_cast<double>(live_.size()) * 0.08;
+        const std::size_t off =
+            std::min(live_.size() - 1, static_cast<std::size_t>(back));
+        idx = live_.size() - 1 - off;
+      }
+      const SigId s = live_[idx];
+      if (cb_->sig(s).fanout >= max_fanout_) {
+        live_[idx] = live_.back();
+        live_.pop_back();
+        continue;
+      }
+      return s;
+    }
+    // Extremely unlikely; fall back to a linear scan.
+    for (SigId s : live_) {
+      if (cb_->sig(s).fanout < max_fanout_) return s;
+    }
+    TG_CHECK_MSG(false, "all live signals saturated");
+    return kInvalidId;
+  }
+
+  /// Picks `k` signals (repetition possible for small pools).
+  std::vector<SigId> pick_many(int k) {
+    std::vector<SigId> out;
+    out.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) out.push_back(pick());
+    return out;
+  }
+
+  /// Samples a handful of live signals and returns the deepest.
+  SigId deepest_sample(int tries) {
+    Rng& rng = cb_->rng();
+    SigId best = live_[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(live_.size()) - 1))];
+    for (int i = 1; i < tries; ++i) {
+      const SigId s = live_[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live_.size()) - 1))];
+      if (cb_->sig(s).level > cb_->sig(best).level) best = s;
+    }
+    return best;
+  }
+
+ private:
+  CircuitBuilder* cb_;
+  int max_fanout_;
+  std::vector<SigId> live_;
+};
+
+}  // namespace
+
+Design generate_design(const DesignSpec& spec, const Library& library) {
+  TG_CHECK(spec.target_nodes >= 200);
+  TG_CHECK(spec.target_endpoints >= 8);
+  TG_CHECK(spec.num_inputs >= 4);
+  Rng rng(spec.seed);
+  Design design(spec.name, &library);
+  CircuitBuilder cb(&design, &rng);
+  LivePool pool(&cb, spec.max_fanout);
+
+  const int num_po =
+      std::clamp(spec.target_endpoints / 12, 4, spec.target_endpoints - 4);
+  const int ff_target = spec.target_endpoints - num_po;
+
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    pool.add(cb.add_input("in" + std::to_string(i)));
+  }
+
+  // Block mix distribution.
+  const double weights[] = {spec.w_random, spec.w_adder, spec.w_xor,
+                            spec.w_mux,    spec.w_sbox,  spec.w_decoder};
+
+  // Main emission loop: stop early enough that the PO/collector epilogue
+  // stays inside the node budget.
+  const int budget = static_cast<int>(0.95 * spec.target_nodes) - 2 * num_po;
+  static const char* kOneIn[] = {"INV", "BUF"};
+  static const char* kTwoIn[] = {"NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2"};
+  static const char* kThreeIn[] = {"NAND3", "NOR3", "AOI21", "OAI21", "MUX2"};
+
+  // Adds a block output to the pool, registering it first when it exceeds
+  // the depth target (keeps register-to-register depth near spec.depth).
+  auto emit = [&](SigId s) {
+    if (cb.sig(s).level >= spec.depth && cb.num_ffs() < ff_target) {
+      pool.add(cb.register_signal(s));
+    } else {
+      pool.add(s);
+    }
+  };
+
+  while (design.num_pins() < budget) {
+    switch (rng.weighted_index(weights)) {
+      case 0: {  // random gate
+        const double r = rng.uniform();
+        if (r < 0.18) {
+          emit(cb.gate(kOneIn[rng.uniform_int(0, 1)], pool.pick_many(1)));
+        } else if (r < 0.80) {
+          emit(cb.gate(kTwoIn[rng.uniform_int(0, 5)], pool.pick_many(2)));
+        } else {
+          emit(cb.gate(kThreeIn[rng.uniform_int(0, 4)], pool.pick_many(3)));
+        }
+        break;
+      }
+      case 1: {  // ripple adder
+        const int width = static_cast<int>(rng.uniform_int(4, 12));
+        const auto a = pool.pick_many(width);
+        const auto b = pool.pick_many(width);
+        for (SigId s : block_ripple_adder(cb, a, b)) emit(s);
+        break;
+      }
+      case 2: {  // xor tree
+        const int width = static_cast<int>(rng.uniform_int(6, 24));
+        emit(block_xor_tree(cb, pool.pick_many(width)));
+        break;
+      }
+      case 3: {  // mux tree
+        const int bits = static_cast<int>(rng.uniform_int(2, 3));
+        const int width = 1 << bits;
+        emit(block_mux_tree(cb, pool.pick_many(width), pool.pick_many(bits)));
+        break;
+      }
+      case 4: {  // sbox cone
+        const int ins = static_cast<int>(rng.uniform_int(8, 16));
+        const int depth = static_cast<int>(rng.uniform_int(3, 5));
+        for (SigId s : block_sbox_cone(cb, pool.pick_many(ins), depth, 8)) {
+          pool.add(s);
+        }
+        break;
+      }
+      case 5: {  // decoder
+        const int bits = static_cast<int>(rng.uniform_int(3, 4));
+        for (SigId s : block_decoder(cb, pool.pick_many(bits))) pool.add(s);
+        break;
+      }
+      default: break;
+    }
+
+    // Register insertion: keep the FF count proportional to progress, and
+    // register deep signals to respect the depth target.
+    const double progress = static_cast<double>(design.num_pins()) /
+                            static_cast<double>(spec.target_nodes);
+    while (cb.num_ffs() < static_cast<int>(progress * ff_target) &&
+           pool.size() > 8) {
+      SigId victim = pool.deepest_sample(8);
+      if (cb.sig(victim).level < spec.depth / 2 && rng.chance(0.5)) {
+        victim = pool.deepest_sample(16);
+      }
+      pool.add(cb.register_signal(victim));
+    }
+  }
+
+  // Top up the FF count.
+  while (cb.num_ffs() < ff_target) {
+    pool.add(cb.register_signal(pool.deepest_sample(8)));
+  }
+
+  // Collect dangling signals: XOR-reduce them into at most num_po parity
+  // outputs. (Intermediate XOR gates consume everything but the roots.)
+  std::vector<SigId> unused;
+  for (SigId s = 0; s < cb.num_signals(); ++s) {
+    if (cb.sig(s).fanout == 0) unused.push_back(s);
+  }
+  std::vector<SigId> po_signals;
+  if (!unused.empty()) {
+    const std::size_t groups =
+        std::min<std::size_t>(static_cast<std::size_t>(num_po), unused.size());
+    std::vector<std::vector<SigId>> buckets(groups);
+    for (std::size_t i = 0; i < unused.size(); ++i) {
+      buckets[i % groups].push_back(unused[i]);
+    }
+    for (auto& bucket : buckets) {
+      po_signals.push_back(block_xor_tree(cb, std::move(bucket)));
+    }
+  }
+  // Remaining POs tap deep live signals.
+  while (static_cast<int>(po_signals.size()) < num_po) {
+    po_signals.push_back(pool.deepest_sample(8));
+  }
+  for (std::size_t i = 0; i < po_signals.size(); ++i) {
+    cb.add_output(po_signals[i], "out" + std::to_string(i));
+  }
+
+  design.validate();
+  TG_DEBUG("generated " << spec.name << ": pins=" << design.num_pins()
+                        << " ffs=" << cb.num_ffs());
+  return design;
+}
+
+double calibrated_period(const Design& design,
+                         const std::vector<PerCorner>& arrival,
+                         double factor) {
+  TG_CHECK(static_cast<int>(arrival.size()) == design.num_pins());
+  double worst = 0.0;
+  for (PinId p = 0; p < design.num_pins(); ++p) {
+    if (!design.is_endpoint(p)) continue;
+    PerCorner setup = per_corner_fill(0.0);
+    if (!design.pin(p).is_port) setup = design.cell_of(p).setup;
+    for (int t = 0; t < kNumTrans; ++t) {
+      const int c = corner_index(Mode::kLate, static_cast<Trans>(t));
+      worst = std::max(worst, arrival[static_cast<std::size_t>(p)][c] + setup[c]);
+    }
+  }
+  TG_CHECK(worst > 0.0);
+  return factor * worst;
+}
+
+}  // namespace tg

@@ -1,0 +1,47 @@
+#pragma once
+/// \file generator.hpp
+/// Parameterized synthetic design generation — the repository's stand-in
+/// for "OpenCores RTL through synthesis" (DESIGN.md §1). A DesignSpec
+/// controls size (Table-1 node/endpoint counts), register-to-register
+/// logic depth, and the mix of structural blocks that gives each
+/// benchmark its character.
+
+#include <string>
+
+#include "gen/blocks.hpp"
+#include "netlist/design.hpp"
+
+namespace tg {
+
+struct DesignSpec {
+  std::string name = "design";
+  std::uint64_t seed = 1;
+  int target_nodes = 4000;      ///< approximate pin count (Table 1 "#Nodes")
+  int target_endpoints = 200;   ///< FF D pins + primary outputs
+  int num_inputs = 64;
+  int depth = 12;               ///< register-to-register logic depth target
+  int max_fanout = 12;
+
+  // Block mix weights (unnormalized).
+  double w_random = 1.0;
+  double w_adder = 0.3;
+  double w_xor = 0.3;
+  double w_mux = 0.3;
+  double w_sbox = 0.2;
+  double w_decoder = 0.1;
+};
+
+/// Generates a structurally valid design (validated before return).
+/// Deterministic in the spec's seed. The clock period is left at 1.0 ns;
+/// calibrate it against a golden STA run with `calibrated_period`.
+[[nodiscard]] Design generate_design(const DesignSpec& spec,
+                                     const Library& library);
+
+/// Clock period giving the worst setup endpoint a small positive margin:
+/// period = factor × max over endpoints of (late arrival + setup). Pass
+/// the result to Design::set_period and re-run slack computation.
+[[nodiscard]] double calibrated_period(const Design& design,
+                                       const std::vector<PerCorner>& arrival,
+                                       double factor);
+
+}  // namespace tg

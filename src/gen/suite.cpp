@@ -1,0 +1,107 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+
+/// Raw per-benchmark description: Table-1 reference sizes plus generator
+/// flavor. Block weights: random, adder, xor, mux, sbox, decoder.
+struct Row {
+  const char* name;
+  long long nodes;
+  long long endpoints;
+  bool is_test;
+  int depth;
+  double mix[6];
+  double clock_factor;
+};
+
+// Flavors: crypto (aes*, des, salsa20, xtea) lean on xor/sbox; DSP
+// (cic_decimator, genericfir, BM64) on adders; control-ish designs
+// (picorv32a, usb*, wbqspiflash) on mux/decoder; synth_ram is shallow and
+// decoder-heavy; zipdiv (a divider) and aes_cipher are deep.
+constexpr Row kRows[] = {
+    // --- training designs -------------------------------------------------
+    {"blabla", 55568, 1614, false, 14, {1.0, 0.3, 0.3, 0.4, 0.2, 0.1}, 1.06},
+    {"usb_cdc_core", 7406, 630, false, 9, {1.0, 0.2, 0.2, 0.5, 0.1, 0.2}, 1.08},
+    {"BM64", 38458, 1800, false, 12, {1.0, 0.6, 0.2, 0.3, 0.1, 0.1}, 1.05},
+    {"salsa20", 78486, 3710, false, 13, {0.8, 0.5, 0.9, 0.2, 0.4, 0.0}, 1.04},
+    {"aes128", 211045, 5696, false, 15, {0.7, 0.3, 0.8, 0.2, 0.9, 0.1}, 1.05},
+    {"wbqspiflash", 9672, 323, false, 12, {1.0, 0.2, 0.2, 0.5, 0.1, 0.2}, 1.07},
+    {"cic_decimator", 3131, 130, false, 11, {0.7, 0.9, 0.2, 0.2, 0.0, 0.1}, 1.08},
+    {"aes256", 290955, 11200, false, 16, {0.7, 0.3, 0.8, 0.2, 0.9, 0.1}, 1.03},
+    {"des", 60541, 2048, false, 13, {0.8, 0.2, 0.8, 0.3, 0.7, 0.1}, 1.05},
+    {"aes_cipher", 59777, 660, false, 22, {0.7, 0.4, 0.8, 0.2, 0.8, 0.0}, 1.02},
+    {"picorv32a", 58676, 1920, false, 18, {1.0, 0.5, 0.2, 0.8, 0.1, 0.4}, 1.04},
+    {"zipdiv", 4398, 181, false, 20, {0.8, 1.0, 0.2, 0.3, 0.0, 0.0}, 1.03},
+    {"genericfir", 38827, 3811, false, 8, {0.7, 1.0, 0.2, 0.2, 0.0, 0.0}, 1.09},
+    {"usb", 3361, 344, false, 9, {1.0, 0.2, 0.2, 0.5, 0.1, 0.2}, 1.08},
+    // --- test designs -----------------------------------------------------
+    {"jpeg_encoder", 238216, 4422, true, 16, {0.8, 0.9, 0.3, 0.5, 0.2, 0.1}, 1.04},
+    {"usbf_device", 66345, 4404, true, 11, {1.0, 0.3, 0.2, 0.5, 0.1, 0.2}, 1.06},
+    {"aes192", 234211, 8096, true, 15, {0.7, 0.3, 0.8, 0.2, 0.9, 0.1}, 1.04},
+    {"xtea", 10213, 423, true, 17, {0.8, 0.8, 0.7, 0.2, 0.1, 0.0}, 1.04},
+    {"spm", 1121, 129, true, 8, {0.8, 0.8, 0.3, 0.2, 0.0, 0.0}, 1.10},
+    {"y_huff", 48216, 2391, true, 12, {1.0, 0.5, 0.3, 0.5, 0.2, 0.2}, 1.05},
+    {"synth_ram", 25910, 2112, true, 6, {0.8, 0.1, 0.1, 0.5, 0.0, 1.0}, 1.10},
+};
+
+SuiteEntry make_entry(const Row& row, double scale) {
+  SuiteEntry e;
+  e.is_test = row.is_test;
+  e.paper_nodes = row.nodes;
+  e.paper_endpoints = row.endpoints;
+  e.clock_factor = row.clock_factor;
+
+  DesignSpec& s = e.spec;
+  s.name = row.name;
+  // Stable per-design seed from the name.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* c = row.name; *c; ++c) {
+    h = (h ^ static_cast<std::uint64_t>(*c)) * 1099511628211ULL;
+  }
+  s.seed = h;
+  s.target_nodes =
+      std::max(600, static_cast<int>(static_cast<double>(row.nodes) * scale));
+  s.target_endpoints = std::max(
+      24, static_cast<int>(static_cast<double>(row.endpoints) * scale));
+  // Endpoint ratio sanity: at least ~1 endpoint per 60 nodes is feasible.
+  s.target_endpoints =
+      std::min(s.target_endpoints, std::max(24, s.target_nodes / 12));
+  s.num_inputs = std::clamp(
+      static_cast<int>(1.5 * std::sqrt(static_cast<double>(s.target_nodes))),
+      16, 512);
+  s.depth = row.depth;
+  s.w_random = row.mix[0];
+  s.w_adder = row.mix[1];
+  s.w_xor = row.mix[2];
+  s.w_mux = row.mix[3];
+  s.w_sbox = row.mix[4];
+  s.w_decoder = row.mix[5];
+  return e;
+}
+
+}  // namespace
+
+std::vector<SuiteEntry> table1_suite(double scale) {
+  TG_CHECK(scale > 0.0 && scale <= 1.0);
+  std::vector<SuiteEntry> out;
+  out.reserve(std::size(kRows));
+  for (const Row& row : kRows) out.push_back(make_entry(row, scale));
+  return out;
+}
+
+SuiteEntry suite_entry(const std::string& name, double scale) {
+  for (const Row& row : kRows) {
+    if (name == row.name) return make_entry(row, scale);
+  }
+  TG_CHECK_MSG(false, "unknown suite design: " << name);
+  return {};
+}
+
+}  // namespace tg

@@ -1,0 +1,36 @@
+#pragma once
+/// \file suite.hpp
+/// The 21-benchmark suite of the paper's Table 1: same names, same
+/// train/test split, proportional sizes (scaled by `scale` for the
+/// single-core sandbox; scale=1 regenerates full-size graphs). Per-design
+/// flavor parameters (depth, block mix) emulate each benchmark's
+/// character — crypto designs are XOR/S-box-heavy, DSP designs
+/// adder-heavy, the RAM is decoder-heavy and shallow, the divider deep.
+
+#include <vector>
+
+#include "gen/generator.hpp"
+
+namespace tg {
+
+struct SuiteEntry {
+  DesignSpec spec;
+  bool is_test = false;
+  long long paper_nodes = 0;      ///< Table 1 reference (unscaled)
+  long long paper_endpoints = 0;  ///< Table 1 reference (unscaled)
+  /// Clock-period calibration factor (1.0 = exactly critical).
+  double clock_factor = 1.05;
+};
+
+/// Default scale used by benches on this sandbox.
+inline constexpr double kDefaultSuiteScale = 1.0 / 16.0;
+
+/// The full 21-entry suite in paper order: 14 train then 7 test designs.
+[[nodiscard]] std::vector<SuiteEntry> table1_suite(
+    double scale = kDefaultSuiteScale);
+
+/// Convenience: the entry named `name` (throws if absent).
+[[nodiscard]] SuiteEntry suite_entry(const std::string& name,
+                                     double scale = kDefaultSuiteScale);
+
+}  // namespace tg

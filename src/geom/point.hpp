@@ -1,0 +1,70 @@
+#pragma once
+/// \file point.hpp
+/// 2-D geometry primitives. Coordinates are in micrometres (µm), matching
+/// the placement and routing substrates.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace tg {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan (rectilinear) distance — the routing metric.
+[[nodiscard]] inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned bounding box.
+struct BBox {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  void expand(const Point& p) {
+    xmin = std::min(xmin, p.x);
+    ymin = std::min(ymin, p.y);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+
+  void expand(const BBox& other) {
+    xmin = std::min(xmin, other.xmin);
+    ymin = std::min(ymin, other.ymin);
+    xmax = std::max(xmax, other.xmax);
+    ymax = std::max(ymax, other.ymax);
+  }
+
+  [[nodiscard]] bool valid() const { return xmin <= xmax && ymin <= ymax; }
+  [[nodiscard]] double width() const { return valid() ? xmax - xmin : 0.0; }
+  [[nodiscard]] double height() const { return valid() ? ymax - ymin : 0.0; }
+  /// Half-perimeter wirelength of the box.
+  [[nodiscard]] double hpwl() const { return width() + height(); }
+  [[nodiscard]] bool contains(const Point& p) const {
+    return valid() && p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+};
+
+/// Bounding box of a point set.
+[[nodiscard]] inline BBox bounding_box(std::span<const Point> pts) {
+  BBox b;
+  for (const Point& p : pts) b.expand(p);
+  return b;
+}
+
+/// Half-perimeter wirelength of a point set (the classical placement
+/// surrogate the paper's introduction discusses).
+[[nodiscard]] inline double hpwl(std::span<const Point> pts) {
+  return bounding_box(pts).hpwl();
+}
+
+}  // namespace tg

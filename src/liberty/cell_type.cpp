@@ -1,0 +1,35 @@
+#include "liberty/cell_type.hpp"
+
+#include "util/check.hpp"
+
+namespace tg {
+
+int CellType::num_inputs() const {
+  int n = 0;
+  for (const CellPin& p : pins) n += (p.dir == PinDir::kInput) ? 1 : 0;
+  return n;
+}
+
+int CellType::num_outputs() const {
+  int n = 0;
+  for (const CellPin& p : pins) n += (p.dir == PinDir::kOutput) ? 1 : 0;
+  return n;
+}
+
+int CellType::find_pin(std::string_view pin_name) const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].name == pin_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CellType::single_output() const {
+  TG_CHECK_MSG(num_outputs() == 1,
+               "cell " << name << " has " << num_outputs() << " outputs");
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].dir == PinDir::kOutput) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tg

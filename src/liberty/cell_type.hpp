@@ -1,0 +1,74 @@
+#pragma once
+/// \file cell_type.hpp
+/// Standard-cell characterization data: pins with per-corner capacitance,
+/// NLDM timing arcs (8 LUTs each: delay and output slew × 4 EL/RF corners),
+/// and sequential setup/hold constraints.
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/corner.hpp"
+#include "liberty/nldm_lut.hpp"
+
+namespace tg {
+
+/// Unateness of a timing arc: how the output transition relates to the
+/// input transition that caused it.
+enum class Sense { kPositive, kNegative, kNonUnate };
+
+/// Input transition that produces output transition `out` through an arc of
+/// the given sense. Non-unate arcs are handled by the timer as
+/// worst-of-both; this helper returns the same-transition convention.
+[[nodiscard]] constexpr Trans arc_input_trans(Sense sense, Trans out) {
+  return sense == Sense::kNegative ? flip(out) : out;
+}
+
+/// One characterized cell arc (from an input pin to an output pin).
+struct TimingArc {
+  int from_pin = -1;  ///< index into CellType::pins (input side)
+  int to_pin = -1;    ///< index into CellType::pins (output side)
+  Sense sense = Sense::kPositive;
+  /// Indexed by corner_index(mode, output transition).
+  std::array<NldmLut, kNumCorners> delay;
+  std::array<NldmLut, kNumCorners> out_slew;
+};
+
+enum class PinDir { kInput, kOutput };
+
+struct CellPin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  /// Input capacitance per corner (pF); zero for outputs.
+  PerCorner cap = per_corner_fill(0.0);
+  bool is_clock = false;
+};
+
+/// A library cell. Combinational cells carry input→output arcs; sequential
+/// cells (flip-flops) carry a clock→output arc plus setup/hold constraints
+/// at the data pin, which makes that pin a timing endpoint.
+struct CellType {
+  std::string name;      ///< e.g. "NAND2_X2"
+  std::string function;  ///< family tag, e.g. "NAND2"
+  int drive = 1;
+  bool is_sequential = false;
+  std::vector<CellPin> pins;
+  std::vector<TimingArc> arcs;
+
+  // Sequential-only fields (ignored for combinational cells).
+  PerCorner setup = per_corner_fill(0.0);  ///< setup margin at D (ns)
+  PerCorner hold = per_corner_fill(0.0);   ///< hold margin at D (ns)
+  int clock_pin = -1;
+  int data_pin = -1;
+  int output_pin = -1;
+
+  [[nodiscard]] int num_inputs() const;
+  [[nodiscard]] int num_outputs() const;
+  /// Index of the pin named `name`, or -1.
+  [[nodiscard]] int find_pin(std::string_view pin_name) const;
+  /// The single output pin index. Checks there is exactly one.
+  [[nodiscard]] int single_output() const;
+};
+
+}  // namespace tg

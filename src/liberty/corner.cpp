@@ -1,0 +1,13 @@
+#include "liberty/corner.hpp"
+
+namespace tg {
+
+std::string corner_name(int corner) {
+  const Mode m = corner_mode(corner);
+  const Trans t = corner_trans(corner);
+  std::string s = (m == Mode::kEarly) ? "early/" : "late/";
+  s += (t == Trans::kRise) ? "rise" : "fall";
+  return s;
+}
+
+}  // namespace tg

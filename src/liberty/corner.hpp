@@ -1,0 +1,48 @@
+#pragma once
+/// \file corner.hpp
+/// The four STA corner combinations the paper calls "EL/RF": analysis mode
+/// (early = min / late = max) × signal transition (rise / fall). All
+/// per-corner quantities in the repository (pin caps, delays, slews,
+/// arrivals, slacks) are stored as 4-element arrays indexed by
+/// corner_index(mode, trans).
+
+#include <array>
+#include <string>
+
+namespace tg {
+
+enum class Mode : int { kEarly = 0, kLate = 1 };
+enum class Trans : int { kRise = 0, kFall = 1 };
+
+inline constexpr int kNumModes = 2;
+inline constexpr int kNumTrans = 2;
+/// EL/RF — 4 corner combinations.
+inline constexpr int kNumCorners = kNumModes * kNumTrans;
+
+[[nodiscard]] constexpr int corner_index(Mode m, Trans t) {
+  return static_cast<int>(m) * kNumTrans + static_cast<int>(t);
+}
+
+[[nodiscard]] constexpr Mode corner_mode(int corner) {
+  return static_cast<Mode>(corner / kNumTrans);
+}
+
+[[nodiscard]] constexpr Trans corner_trans(int corner) {
+  return static_cast<Trans>(corner % kNumTrans);
+}
+
+[[nodiscard]] constexpr Trans flip(Trans t) {
+  return t == Trans::kRise ? Trans::kFall : Trans::kRise;
+}
+
+/// Display name, e.g. "early/rise".
+[[nodiscard]] std::string corner_name(int corner);
+
+/// Per-corner value bundle. Arithmetic is element-wise.
+using PerCorner = std::array<double, kNumCorners>;
+
+[[nodiscard]] constexpr PerCorner per_corner_fill(double v) {
+  return {v, v, v, v};
+}
+
+}  // namespace tg

@@ -1,0 +1,499 @@
+#include "liberty/liberty_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace tg {
+
+namespace {
+
+const char* kCornerTag[kNumCorners] = {"early_rise", "early_fall",
+                                       "late_rise", "late_fall"};
+
+int corner_from_tag(const std::string& tag, int line) {
+  for (int c = 0; c < kNumCorners; ++c) {
+    if (tag == kCornerTag[c]) return c;
+  }
+  TG_CHECK_MSG(false, "line " << line << ": unknown corner tag " << tag);
+  return -1;
+}
+
+const char* sense_name(Sense s) {
+  switch (s) {
+    case Sense::kPositive: return "positive_unate";
+    case Sense::kNegative: return "negative_unate";
+    case Sense::kNonUnate: return "non_unate";
+  }
+  return "non_unate";
+}
+
+Sense sense_from_name(const std::string& s, int line) {
+  if (s == "positive_unate") return Sense::kPositive;
+  if (s == "negative_unate") return Sense::kNegative;
+  if (s == "non_unate") return Sense::kNonUnate;
+  TG_CHECK_MSG(false, "line " << line << ": unknown timing_sense " << s);
+  return Sense::kNonUnate;
+}
+
+void write_axis(std::ostream& out, const char* name,
+                const std::array<double, kLutDim>& axis, int indent) {
+  out << std::string(static_cast<std::size_t>(indent), ' ') << name << " (\"";
+  for (int i = 0; i < kLutDim; ++i) {
+    if (i) out << ", ";
+    out << format_fixed(axis[static_cast<std::size_t>(i)], 9);
+  }
+  out << "\");\n";
+}
+
+void write_lut(std::ostream& out, const char* group, const char* tag,
+               const NldmLut& lut, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << pad << group << " (" << tag << ") {\n";
+  write_axis(out, "index_1", lut.slew_axis(), indent + 2);
+  write_axis(out, "index_2", lut.load_axis(), indent + 2);
+  out << pad << "  values ( \\\n";
+  for (int i = 0; i < kLutDim; ++i) {
+    out << pad << "    \"";
+    for (int j = 0; j < kLutDim; ++j) {
+      if (j) out << ", ";
+      out << format_fixed(lut.at(i, j), 9);
+    }
+    out << (i + 1 < kLutDim ? "\", \\\n" : "\" \\\n");
+  }
+  out << pad << "  );\n" << pad << "}\n";
+}
+
+void write_per_corner(std::ostream& out, const char* name, const PerCorner& v,
+                      int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (int c = 0; c < kNumCorners; ++c) {
+    out << pad << name << '_' << kCornerTag[c] << " : "
+        << format_fixed(v[c], 9) << ";\n";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer for the parser.
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kPunct, kEnd } kind = kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& in) : in_(in) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    const int c = in_.peek();
+    if (c == EOF) return t;
+    if (std::isalpha(c) || c == '_') {
+      t.kind = Token::kIdent;
+      while (std::isalnum(in_.peek()) || in_.peek() == '_') {
+        t.text.push_back(static_cast<char>(in_.get()));
+      }
+      return t;
+    }
+    const bool sign_start = (c == '-' || c == '+' || c == '.');
+    if (std::isdigit(c) || sign_start) {
+      if (sign_start) {
+        // Only a number if a digit follows ("->" must stay punctuation).
+        const char first = static_cast<char>(in_.get());
+        const int peeked = in_.peek();
+        in_.unget();
+        (void)first;
+        if (!std::isdigit(peeked) && peeked != '.') {
+          t.kind = Token::kPunct;
+          t.text.push_back(static_cast<char>(in_.get()));
+          return t;
+        }
+      }
+      t.kind = Token::kNumber;
+      while (std::isdigit(in_.peek()) || in_.peek() == '-' ||
+             in_.peek() == '+' || in_.peek() == '.' || in_.peek() == 'e' ||
+             in_.peek() == 'E') {
+        t.text.push_back(static_cast<char>(in_.get()));
+      }
+      return t;
+    }
+    if (c == '"') {
+      in_.get();
+      t.kind = Token::kString;
+      while (in_.peek() != '"' && in_.peek() != EOF) {
+        const char ch = static_cast<char>(in_.get());
+        if (ch == '\n') ++line_;
+        t.text.push_back(ch);
+      }
+      TG_CHECK_MSG(in_.get() == '"', "line " << line_ << ": unterminated string");
+      return t;
+    }
+    t.kind = Token::kPunct;
+    t.text.push_back(static_cast<char>(in_.get()));
+    return t;
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    for (;;) {
+      int c = in_.peek();
+      if (c == '\n') ++line_;
+      if (std::isspace(c)) {
+        in_.get();
+        continue;
+      }
+      if (c == '\\') {  // line continuation
+        in_.get();
+        continue;
+      }
+      if (c == '/') {
+        in_.get();
+        if (in_.peek() == '/') {
+          while (in_.peek() != '\n' && in_.peek() != EOF) in_.get();
+          continue;
+        }
+        TG_CHECK_MSG(false, "line " << line_ << ": stray '/'");
+      }
+      return;
+    }
+  }
+
+  std::istream& in_;
+  int line_ = 1;
+};
+
+/// Recursive-descent parser over group(args) { statements } syntax.
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : lex_(in) { advance(); }
+
+  Library parse_library() {
+    expect_ident("library");
+    skip_args();
+    expect_punct("{");
+    Library lib;
+    while (!at_punct("}")) {
+      expect_kind(Token::kIdent);
+      const std::string head = cur_.text;
+      if (head == "cell") {
+        advance();
+        lib.add_cell(parse_cell());
+      } else {
+        advance();
+        skip_statement();
+      }
+    }
+    expect_punct("}");
+    return lib;
+  }
+
+ private:
+  CellType parse_cell() {
+    CellType cell;
+    expect_punct("(");
+    cell.name = take_name();
+    expect_punct(")");
+    expect_punct("{");
+    while (!at_punct("}")) {
+      expect_kind(Token::kIdent);
+      const std::string head = cur_.text;
+      advance();
+      if (head == "pin") {
+        cell.pins.push_back(parse_pin(cell));
+      } else if (head == "timing") {
+        cell.arcs.push_back(parse_timing(cell));
+      } else if (head == "function_class") {
+        cell.function = take_attr_value();
+      } else if (head == "drive_strength") {
+        cell.drive = static_cast<int>(take_attr_number());
+      } else if (head == "is_sequential") {
+        cell.is_sequential = take_attr_value() == "true";
+      } else if (starts_with(head, "setup_")) {
+        cell.setup[corner_from_tag(head.substr(6), cur_.line)] =
+            take_attr_number();
+      } else if (starts_with(head, "hold_")) {
+        cell.hold[corner_from_tag(head.substr(5), cur_.line)] =
+            take_attr_number();
+      } else {
+        skip_statement();
+      }
+    }
+    expect_punct("}");
+    // Reconstruct sequential pin roles from pin flags.
+    if (cell.is_sequential) {
+      for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+        const CellPin& p = cell.pins[i];
+        if (p.is_clock) cell.clock_pin = static_cast<int>(i);
+        else if (p.dir == PinDir::kInput) cell.data_pin = static_cast<int>(i);
+        else cell.output_pin = static_cast<int>(i);
+      }
+    }
+    return cell;
+  }
+
+  CellPin parse_pin(const CellType&) {
+    CellPin pin;
+    expect_punct("(");
+    pin.name = take_name();
+    expect_punct(")");
+    expect_punct("{");
+    while (!at_punct("}")) {
+      expect_kind(Token::kIdent);
+      const std::string head = cur_.text;
+      advance();
+      if (head == "direction") {
+        pin.dir = take_attr_value() == "output" ? PinDir::kOutput
+                                                : PinDir::kInput;
+      } else if (head == "clock") {
+        pin.is_clock = take_attr_value() == "true";
+      } else if (starts_with(head, "capacitance_")) {
+        pin.cap[corner_from_tag(head.substr(12), cur_.line)] =
+            take_attr_number();
+      } else {
+        skip_statement();
+      }
+    }
+    expect_punct("}");
+    return pin;
+  }
+
+  TimingArc parse_timing(const CellType& cell) {
+    TimingArc arc;
+    expect_punct("(");
+    const std::string from = take_name();
+    // "->" rendered as two puncts
+    expect_punct("-");
+    expect_punct(">");
+    const std::string to = take_name();
+    expect_punct(")");
+    arc.from_pin = find_pin_index(cell, from);
+    arc.to_pin = find_pin_index(cell, to);
+    expect_punct("{");
+    while (!at_punct("}")) {
+      expect_kind(Token::kIdent);
+      const std::string head = cur_.text;
+      advance();
+      if (head == "timing_sense") {
+        arc.sense = sense_from_name(take_attr_value(), cur_.line);
+      } else if (head == "cell_delay" || head == "output_slew") {
+        expect_punct("(");
+        const int corner = corner_from_tag(take_name(), cur_.line);
+        expect_punct(")");
+        const NldmLut lut = parse_lut();
+        (head == "cell_delay" ? arc.delay : arc.out_slew)[corner] = lut;
+      } else {
+        skip_statement();
+      }
+    }
+    expect_punct("}");
+    return arc;
+  }
+
+  NldmLut parse_lut() {
+    std::array<double, kLutDim> slew{}, load{};
+    std::array<double, kLutCells> values{};
+    expect_punct("{");
+    while (!at_punct("}")) {
+      expect_kind(Token::kIdent);
+      const std::string head = cur_.text;
+      advance();
+      expect_punct("(");
+      if (head == "index_1" || head == "index_2") {
+        auto& axis = head == "index_1" ? slew : load;
+        const std::vector<double> vals = take_number_string();
+        TG_CHECK_MSG(vals.size() == kLutDim,
+                     "line " << cur_.line << ": axis needs " << kLutDim
+                             << " values");
+        std::copy(vals.begin(), vals.end(), axis.begin());
+        expect_punct(")");
+        expect_punct(";");
+      } else if (head == "values") {
+        int row = 0;
+        while (!at_punct(")")) {
+          const std::vector<double> vals = take_number_string();
+          TG_CHECK_MSG(vals.size() == kLutDim,
+                       "line " << cur_.line << ": row needs " << kLutDim
+                               << " values");
+          TG_CHECK_MSG(row < kLutDim, "too many value rows");
+          std::copy(vals.begin(), vals.end(),
+                    values.begin() + row * kLutDim);
+          ++row;
+          if (at_punct(",")) advance();
+        }
+        TG_CHECK_MSG(row == kLutDim, "expected " << kLutDim << " value rows");
+        expect_punct(")");
+        expect_punct(";");
+      } else {
+        TG_CHECK_MSG(false, "line " << cur_.line << ": unknown LUT field "
+                                    << head);
+      }
+    }
+    expect_punct("}");
+    return NldmLut(slew, load, values);
+  }
+
+  static int find_pin_index(const CellType& cell, const std::string& name) {
+    for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+      if (cell.pins[i].name == name) return static_cast<int>(i);
+    }
+    TG_CHECK_MSG(false, "timing arc references unknown pin " << name);
+    return -1;
+  }
+
+  // ---- token helpers ------------------------------------------------
+  void advance() { cur_ = lex_.next(); }
+  [[nodiscard]] bool at_punct(const char* p) const {
+    return cur_.kind == Token::kPunct && cur_.text == p;
+  }
+  void expect_kind(Token::Kind k) {
+    TG_CHECK_MSG(cur_.kind == k, "line " << cur_.line
+                                         << ": unexpected token '" << cur_.text
+                                         << "'");
+  }
+  void expect_punct(const char* p) {
+    TG_CHECK_MSG(at_punct(p), "line " << cur_.line << ": expected '" << p
+                                      << "', got '" << cur_.text << "'");
+    advance();
+  }
+  void expect_ident(const char* name) {
+    TG_CHECK_MSG(cur_.kind == Token::kIdent && cur_.text == name,
+                 "line " << cur_.line << ": expected '" << name << "'");
+    advance();
+  }
+  std::string take_name() {
+    expect_kind(Token::kIdent);
+    std::string s = cur_.text;
+    advance();
+    return s;
+  }
+  std::string take_attr_value() {
+    expect_punct(":");
+    std::string s = cur_.text;
+    advance();
+    expect_punct(";");
+    return s;
+  }
+  double take_attr_number() {
+    expect_punct(":");
+    expect_kind(Token::kNumber);
+    const double v = std::strtod(cur_.text.c_str(), nullptr);
+    advance();
+    expect_punct(";");
+    return v;
+  }
+  /// A quoted, comma-separated number list: "0.1, 0.2, ...".
+  std::vector<double> take_number_string() {
+    expect_kind(Token::kString);
+    std::vector<double> out;
+    for (const std::string& field : split(cur_.text, ',')) {
+      out.push_back(std::strtod(std::string(trim(field)).c_str(), nullptr));
+    }
+    advance();
+    return out;
+  }
+  /// Skips the rest of an unrecognized statement (attribute or group).
+  void skip_statement() {
+    if (at_punct(":")) {
+      while (!at_punct(";")) advance();
+      advance();
+      return;
+    }
+    if (at_punct("(")) {
+      int depth = 0;
+      do {
+        if (at_punct("(")) ++depth;
+        if (at_punct(")")) --depth;
+        advance();
+      } while (depth > 0);
+    }
+    if (at_punct("{")) {
+      int depth = 0;
+      do {
+        if (at_punct("{")) ++depth;
+        if (at_punct("}")) --depth;
+        advance();
+      } while (depth > 0);
+      return;
+    }
+    if (at_punct(";")) advance();
+  }
+  void skip_args() {
+    expect_punct("(");
+    while (!at_punct(")")) advance();
+    advance();
+  }
+
+  Lexer lex_;
+  Token cur_;
+};
+
+}  // namespace
+
+void write_liberty(const Library& library, std::ostream& out,
+                   const std::string& library_name) {
+  out << "library (" << library_name << ") {\n";
+  out << "  time_unit : ns;\n";
+  out << "  capacitance_unit : pf;\n";
+  for (const CellType& cell : library.cells()) {
+    out << "  cell (" << cell.name << ") {\n";
+    out << "    function_class : " << cell.function << ";\n";
+    out << "    drive_strength : " << cell.drive << ";\n";
+    out << "    is_sequential : " << (cell.is_sequential ? "true" : "false")
+        << ";\n";
+    if (cell.is_sequential) {
+      write_per_corner(out, "setup", cell.setup, 4);
+      write_per_corner(out, "hold", cell.hold, 4);
+    }
+    for (const CellPin& pin : cell.pins) {
+      out << "    pin (" << pin.name << ") {\n";
+      out << "      direction : "
+          << (pin.dir == PinDir::kOutput ? "output" : "input") << ";\n";
+      out << "      clock : " << (pin.is_clock ? "true" : "false") << ";\n";
+      if (pin.dir == PinDir::kInput) {
+        write_per_corner(out, "capacitance", pin.cap, 6);
+      }
+      out << "    }\n";
+    }
+    for (const TimingArc& arc : cell.arcs) {
+      out << "    timing ("
+          << cell.pins[static_cast<std::size_t>(arc.from_pin)].name << " -> "
+          << cell.pins[static_cast<std::size_t>(arc.to_pin)].name << ") {\n";
+      out << "      timing_sense : " << sense_name(arc.sense) << ";\n";
+      for (int c = 0; c < kNumCorners; ++c) {
+        write_lut(out, "cell_delay", kCornerTag[c], arc.delay[c], 6);
+        write_lut(out, "output_slew", kCornerTag[c], arc.out_slew[c], 6);
+      }
+      out << "    }\n";
+    }
+    out << "  }\n";
+  }
+  out << "}\n";
+}
+
+void write_liberty_file(const Library& library, const std::string& path,
+                        const std::string& library_name) {
+  std::ofstream out(path);
+  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
+  write_liberty(library, out, library_name);
+  TG_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+Library read_liberty(std::istream& in) {
+  Parser parser(in);
+  return parser.parse_library();
+}
+
+Library read_liberty_file(const std::string& path) {
+  std::ifstream in(path);
+  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
+  return read_liberty(in);
+}
+
+}  // namespace tg

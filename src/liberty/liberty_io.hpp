@@ -1,0 +1,29 @@
+#pragma once
+/// \file liberty_io.hpp
+/// Text serialization of the cell library in a Liberty-style syntax (a
+/// compact, faithful subset of the .lib format: library / cell / pin /
+/// timing groups with index_1/index_2/values tables). Enables inspecting
+/// the synthetic library with standard tooling habits and exchanging
+/// libraries between runs; round-trip is exact up to float printing
+/// precision.
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace tg {
+
+/// Writes the library as Liberty-style text.
+void write_liberty(const Library& library, std::ostream& out,
+                   const std::string& library_name = "timgnn_synth");
+/// Convenience: write to a file. Throws CheckError on I/O failure.
+void write_liberty_file(const Library& library, const std::string& path,
+                        const std::string& library_name = "timgnn_synth");
+
+/// Parses a library previously written by write_liberty. Throws CheckError
+/// with a line number on malformed input.
+[[nodiscard]] Library read_liberty(std::istream& in);
+[[nodiscard]] Library read_liberty_file(const std::string& path);
+
+}  // namespace tg

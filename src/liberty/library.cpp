@@ -1,0 +1,34 @@
+#include "liberty/library.hpp"
+
+#include "util/check.hpp"
+
+namespace tg {
+
+int Library::add_cell(CellType cell) {
+  TG_CHECK_MSG(by_name_.count(cell.name) == 0,
+               "duplicate cell name: " << cell.name);
+  const int id = static_cast<int>(cells_.size());
+  by_name_.emplace(cell.name, id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+const CellType& Library::cell(int id) const {
+  TG_CHECK(id >= 0 && id < num_cells());
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+int Library::find_cell(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::vector<int> Library::cells_of_function(std::string_view function) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_cells(); ++i) {
+    if (cells_[static_cast<std::size_t>(i)].function == function) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace tg

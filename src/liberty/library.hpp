@@ -1,0 +1,36 @@
+#pragma once
+/// \file library.hpp
+/// A standard-cell library: an owned set of CellTypes with name lookup,
+/// playing the role of the SkyWater130 liberty files in the paper's flow.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/cell_type.hpp"
+
+namespace tg {
+
+class Library {
+ public:
+  /// Adds a cell and returns its id. Names must be unique.
+  int add_cell(CellType cell);
+
+  [[nodiscard]] int num_cells() const { return static_cast<int>(cells_.size()); }
+  [[nodiscard]] const CellType& cell(int id) const;
+  /// Id of the cell named `name`, or -1.
+  [[nodiscard]] int find_cell(std::string_view name) const;
+  [[nodiscard]] const std::vector<CellType>& cells() const { return cells_; }
+
+  /// All cell ids whose family tag equals `function` (e.g. all NAND2
+  /// drive variants).
+  [[nodiscard]] std::vector<int> cells_of_function(
+      std::string_view function) const;
+
+ private:
+  std::vector<CellType> cells_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace tg

@@ -1,0 +1,217 @@
+#include "liberty/library_builder.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+
+/// Static description of a combinational family.
+struct Family {
+  const char* name;
+  int num_inputs;
+  double logical_effort;  ///< g
+  double parasitic;       ///< p (intrinsic delay in tau units)
+  Sense sense;
+};
+
+constexpr Family kFamilies[] = {
+    {"INV", 1, 1.00, 1.0, Sense::kNegative},
+    {"BUF", 1, 1.00, 2.0, Sense::kPositive},
+    {"NAND2", 2, 1.33, 2.0, Sense::kNegative},
+    {"NAND3", 3, 1.67, 3.0, Sense::kNegative},
+    {"NOR2", 2, 1.67, 2.0, Sense::kNegative},
+    {"NOR3", 3, 2.33, 3.0, Sense::kNegative},
+    {"AND2", 2, 1.40, 3.0, Sense::kPositive},
+    {"OR2", 2, 1.70, 3.0, Sense::kPositive},
+    {"XOR2", 2, 3.00, 4.0, Sense::kNonUnate},
+    {"XNOR2", 2, 3.00, 4.0, Sense::kNonUnate},
+    {"MUX2", 3, 2.00, 3.5, Sense::kNonUnate},
+    {"AOI21", 3, 2.00, 2.5, Sense::kNegative},
+    {"OAI21", 3, 2.00, 2.5, Sense::kNegative},
+};
+
+std::array<double, kLutDim> log_axis(double lo, double hi) {
+  std::array<double, kLutDim> axis{};
+  const double ratio = std::pow(hi / lo, 1.0 / (kLutDim - 1));
+  double v = lo;
+  for (int i = 0; i < kLutDim; ++i) {
+    axis[i] = v;
+    v *= ratio;
+  }
+  axis[kLutDim - 1] = hi;  // exact endpoint despite fp drift
+  return axis;
+}
+
+/// Analytic late-corner model for one (slew, load) grid point.
+struct ArcModel {
+  double r_drive;    ///< effective drive resistance (kΩ)
+  double intrinsic;  ///< intrinsic delay (ns)
+  double slew_coeff;
+  double slew_gain;
+  double cross_term;
+  double slew_ref;  ///< normalization for the cross term
+  double load_ref;
+
+  [[nodiscard]] double delay(double slew, double load) const {
+    const double cross =
+        1.0 + cross_term * (slew / slew_ref) * (load / load_ref) /
+                  (1.0 + (slew / slew_ref) + (load / load_ref));
+    return (intrinsic + r_drive * load) * cross + slew_coeff * slew;
+  }
+  [[nodiscard]] double out_slew(double slew, double load) const {
+    return 0.5 * intrinsic + slew_gain * r_drive * load + 0.10 * slew;
+  }
+};
+
+/// Fills the 8 LUTs of one arc from the analytic model with per-cell
+/// deterministic jitter.
+void characterize_arc(TimingArc& arc, const ArcModel& model,
+                      const LibraryConfig& cfg, Rng& rng) {
+  const auto slew_axis = log_axis(cfg.slew_axis_min, cfg.slew_axis_max);
+  const auto load_axis = log_axis(cfg.load_axis_min, cfg.load_axis_max);
+
+  for (int m = 0; m < kNumModes; ++m) {
+    for (int t = 0; t < kNumTrans; ++t) {
+      const int corner =
+          corner_index(static_cast<Mode>(m), static_cast<Trans>(t));
+      const double mode_scale =
+          (static_cast<Mode>(m) == Mode::kEarly) ? cfg.early_derate : 1.0;
+      const double trans_scale = (static_cast<Trans>(t) == Trans::kRise)
+                                     ? 1.0 + cfg.rise_fall_asym
+                                     : 1.0 - cfg.rise_fall_asym;
+      std::array<double, kLutCells> delay_vals{};
+      std::array<double, kLutCells> slew_vals{};
+      for (int i = 0; i < kLutDim; ++i) {
+        for (int j = 0; j < kLutDim; ++j) {
+          const double s = slew_axis[i];
+          const double l = load_axis[j];
+          const double dj = 1.0 + cfg.noise * rng.normal();
+          const double sj = 1.0 + cfg.noise * rng.normal();
+          delay_vals[static_cast<std::size_t>(i * kLutDim + j)] =
+              model.delay(s, l) * mode_scale * trans_scale * dj;
+          slew_vals[static_cast<std::size_t>(i * kLutDim + j)] =
+              model.out_slew(s, l) * mode_scale * trans_scale * sj;
+        }
+      }
+      arc.delay[corner] = NldmLut(slew_axis, load_axis, delay_vals);
+      arc.out_slew[corner] = NldmLut(slew_axis, load_axis, slew_vals);
+    }
+  }
+}
+
+PerCorner pin_cap(double base, Rng& rng) {
+  PerCorner cap{};
+  for (int m = 0; m < kNumModes; ++m) {
+    for (int t = 0; t < kNumTrans; ++t) {
+      const double mode_scale = (static_cast<Mode>(m) == Mode::kEarly) ? 0.96 : 1.0;
+      const double trans_scale =
+          (static_cast<Trans>(t) == Trans::kRise) ? 1.03 : 0.97;
+      cap[corner_index(static_cast<Mode>(m), static_cast<Trans>(t))] =
+          base * mode_scale * trans_scale * (1.0 + 0.02 * rng.normal());
+    }
+  }
+  return cap;
+}
+
+CellType make_combinational(const Family& fam, int drive,
+                            const LibraryConfig& cfg, Rng& rng) {
+  CellType cell;
+  cell.function = fam.name;
+  cell.drive = drive;
+  cell.name = std::string(fam.name) + "_X" + std::to_string(drive);
+
+  const double cin = fam.logical_effort * cfg.base_cap_pf * drive;
+  static const char* kInputNames[] = {"A", "B", "C", "D"};
+  for (int i = 0; i < fam.num_inputs; ++i) {
+    CellPin pin;
+    pin.name = kInputNames[i];
+    pin.dir = PinDir::kInput;
+    pin.cap = pin_cap(cin, rng);
+    cell.pins.push_back(std::move(pin));
+  }
+  CellPin out;
+  out.name = "Y";
+  out.dir = PinDir::kOutput;
+  cell.pins.push_back(std::move(out));
+  const int out_idx = fam.num_inputs;
+
+  // Slightly different electrical behaviour per input pin, as in real
+  // libraries (inner transistor stacks are slower).
+  for (int i = 0; i < fam.num_inputs; ++i) {
+    TimingArc arc;
+    arc.from_pin = i;
+    arc.to_pin = out_idx;
+    arc.sense = fam.sense;
+    ArcModel model;
+    model.r_drive = cfg.tau_ns / (cfg.base_cap_pf * drive);
+    model.intrinsic =
+        cfg.tau_ns * fam.parasitic * (1.0 + 0.12 * i + 0.05 * rng.normal());
+    model.slew_coeff = cfg.slew_coeff * (1.0 + 0.08 * i);
+    model.slew_gain = cfg.slew_gain;
+    model.cross_term = cfg.cross_term;
+    model.slew_ref = cfg.slew_axis_max * 0.5;
+    model.load_ref = cfg.load_axis_max * 0.5;
+    characterize_arc(arc, model, cfg, rng);
+    cell.arcs.push_back(std::move(arc));
+  }
+  return cell;
+}
+
+CellType make_dff(int drive, const LibraryConfig& cfg, Rng& rng) {
+  CellType cell;
+  cell.function = "DFF";
+  cell.drive = drive;
+  cell.name = "DFF_X" + std::to_string(drive);
+  cell.is_sequential = true;
+
+  CellPin d{"D", PinDir::kInput, pin_cap(cfg.base_cap_pf * 1.2, rng), false};
+  CellPin ck{"CK", PinDir::kInput, pin_cap(cfg.base_cap_pf * 0.8, rng), true};
+  CellPin q{"Q", PinDir::kOutput, per_corner_fill(0.0), false};
+  cell.pins = {d, ck, q};
+  cell.data_pin = 0;
+  cell.clock_pin = 1;
+  cell.output_pin = 2;
+
+  TimingArc ck_to_q;
+  ck_to_q.from_pin = cell.clock_pin;
+  ck_to_q.to_pin = cell.output_pin;
+  ck_to_q.sense = Sense::kNonUnate;  // Q can rise or fall off the CK edge
+  ArcModel model;
+  model.r_drive = cfg.tau_ns / (cfg.base_cap_pf * drive);
+  model.intrinsic = cfg.dff_clk_to_q * (1.0 + 0.05 * rng.normal());
+  model.slew_coeff = cfg.slew_coeff * 0.5;
+  model.slew_gain = cfg.slew_gain;
+  model.cross_term = cfg.cross_term * 0.5;
+  model.slew_ref = cfg.slew_axis_max * 0.5;
+  model.load_ref = cfg.load_axis_max * 0.5;
+  characterize_arc(ck_to_q, model, cfg, rng);
+  cell.arcs.push_back(std::move(ck_to_q));
+
+  for (int c = 0; c < kNumCorners; ++c) {
+    cell.setup[c] = cfg.dff_setup * (1.0 + 0.03 * rng.normal());
+    cell.hold[c] = cfg.dff_hold * (1.0 + 0.03 * rng.normal());
+  }
+  return cell;
+}
+
+}  // namespace
+
+Library build_library(const LibraryConfig& config) {
+  TG_CHECK(!config.drives.empty());
+  Rng rng(config.seed);
+  Library lib;
+  for (const Family& fam : kFamilies) {
+    for (int drive : config.drives) {
+      lib.add_cell(make_combinational(fam, drive, config, rng));
+    }
+  }
+  for (int drive : config.drives) {
+    lib.add_cell(make_dff(drive, config, rng));
+  }
+  return lib;
+}
+
+}  // namespace tg

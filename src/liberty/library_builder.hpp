@@ -1,0 +1,45 @@
+#pragma once
+/// \file library_builder.hpp
+/// Synthetic standard-cell library generator — the repository's stand-in
+/// for the SkyWater130 PDK (see DESIGN.md §1). Cells are characterized
+/// from a logical-effort-style analytic gate model with controlled
+/// per-cell noise and a genuine 2-D slew×load nonlinearity, so the NLDM
+/// LUTs are non-trivial for the GNN's LUT-interpolation module to learn.
+
+#include "liberty/library.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+
+struct LibraryConfig {
+  std::uint64_t seed = 130;  ///< "sky130" homage; any seed works.
+
+  // Electrical base constants (ns, pF, kΩ; ns = kΩ·pF).
+  double tau_ns = 0.015;         ///< technology time constant
+  double base_cap_pf = 0.002;    ///< ×1 inverter input capacitance
+  double slew_coeff = 0.22;      ///< delay sensitivity to input slew
+  double slew_gain = 2.2;        ///< output slew ≈ gain · R_drive · load
+  double early_derate = 0.86;    ///< early corner = derate × late
+  double rise_fall_asym = 0.08;  ///< typical rise/fall asymmetry
+  double noise = 0.03;           ///< per-LUT-cell multiplicative jitter
+  double cross_term = 0.35;      ///< strength of the slew×load nonlinearity
+
+  // LUT axes (log-spaced between min and max).
+  double slew_axis_min = 0.008, slew_axis_max = 0.60;  // ns
+  double load_axis_min = 0.001, load_axis_max = 0.25;  // pF
+
+  // Sequential constraints (ns).
+  double dff_setup = 0.055;
+  double dff_hold = 0.012;
+  double dff_clk_to_q = 0.090;
+
+  /// Drive strengths generated per family.
+  std::vector<int> drives = {1, 2, 4};
+};
+
+/// Builds the full synthetic library: INV, BUF, NAND2/3, NOR2/3, AND2, OR2,
+/// XOR2, XNOR2, MUX2, AOI21, OAI21 and DFF, each at every configured drive
+/// strength. Deterministic in the seed.
+[[nodiscard]] Library build_library(const LibraryConfig& config = {});
+
+}  // namespace tg

@@ -1,0 +1,41 @@
+#include "liberty/nldm_lut.hpp"
+
+#include "util/check.hpp"
+
+namespace tg {
+
+NldmLut::NldmLut(const std::array<double, kLutDim>& slew_axis,
+                 const std::array<double, kLutDim>& load_axis,
+                 const std::array<double, kLutCells>& values)
+    : slew_axis_(slew_axis), load_axis_(load_axis), values_(values) {
+  for (int i = 1; i < kLutDim; ++i) {
+    TG_CHECK_MSG(slew_axis_[i] > slew_axis_[i - 1],
+                 "slew axis must be strictly increasing");
+    TG_CHECK_MSG(load_axis_[i] > load_axis_[i - 1],
+                 "load axis must be strictly increasing");
+  }
+}
+
+AxisPos axis_position(std::span<const double> axis, double q) {
+  const int n = static_cast<int>(axis.size());
+  int lo = 0;
+  // Smallest segment [lo, lo+1] such that q < axis[lo+1], clamped so that
+  // out-of-range queries use the boundary segment (extrapolation).
+  while (lo < n - 2 && q >= axis[lo + 1]) ++lo;
+  const double span = axis[lo + 1] - axis[lo];
+  return AxisPos{lo, (q - axis[lo]) / span};
+}
+
+double NldmLut::lookup(double slew, double load) const {
+  const AxisPos s = axis_position(slew_axis_, slew);
+  const AxisPos l = axis_position(load_axis_, load);
+  const double v00 = at(s.lo, l.lo);
+  const double v01 = at(s.lo, l.lo + 1);
+  const double v10 = at(s.lo + 1, l.lo);
+  const double v11 = at(s.lo + 1, l.lo + 1);
+  const double a = v00 + (v01 - v00) * l.t;
+  const double b = v10 + (v11 - v10) * l.t;
+  return a + (b - a) * s.t;
+}
+
+}  // namespace tg

@@ -1,0 +1,59 @@
+#pragma once
+/// \file nldm_lut.hpp
+/// Non-linear delay model (NLDM) lookup table: a 7×7 grid of values indexed
+/// by input slew (axis 1) and output capacitive load (axis 2), exactly the
+/// table shape the paper's Table 3 describes for the SkyWater130 library
+/// (8 such LUTs per cell arc: {delay, slew} × 4 EL/RF corners).
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+namespace tg {
+
+inline constexpr int kLutDim = 7;
+inline constexpr int kLutCells = kLutDim * kLutDim;
+
+class NldmLut {
+ public:
+  NldmLut() = default;
+  /// Axes must be strictly increasing.
+  NldmLut(const std::array<double, kLutDim>& slew_axis,
+          const std::array<double, kLutDim>& load_axis,
+          const std::array<double, kLutCells>& values);
+
+  /// Bilinear interpolation; queries outside the axis range use the
+  /// boundary segment's slope (linear extrapolation), which is how
+  /// production timers (e.g. OpenSTA) extend NLDM tables.
+  [[nodiscard]] double lookup(double slew, double load) const;
+
+  [[nodiscard]] const std::array<double, kLutDim>& slew_axis() const {
+    return slew_axis_;
+  }
+  [[nodiscard]] const std::array<double, kLutDim>& load_axis() const {
+    return load_axis_;
+  }
+  /// Row-major [slew][load] values.
+  [[nodiscard]] const std::array<double, kLutCells>& values() const {
+    return values_;
+  }
+  [[nodiscard]] double at(int slew_idx, int load_idx) const {
+    return values_[static_cast<std::size_t>(slew_idx * kLutDim + load_idx)];
+  }
+
+ private:
+  std::array<double, kLutDim> slew_axis_{};
+  std::array<double, kLutDim> load_axis_{};
+  std::array<double, kLutCells> values_{};
+};
+
+/// Shared helper: find the interpolation segment for `q` on a sorted axis.
+/// Returns the lower index i in [0, kLutDim-2] and the (possibly <0 or >1,
+/// for extrapolation) fractional position t within [axis[i], axis[i+1]].
+struct AxisPos {
+  int lo = 0;
+  double t = 0.0;
+};
+[[nodiscard]] AxisPos axis_position(std::span<const double> axis, double q);
+
+}  // namespace tg

@@ -1,0 +1,78 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+template <typename T>
+double r2_impl(std::span<const T> y_true, std::span<const T> y_pred) {
+  TG_CHECK(y_true.size() == y_pred.size());
+  TG_CHECK(!y_true.empty());
+  double mean = 0.0;
+  for (T v : y_true) mean += static_cast<double>(v);
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double r = static_cast<double>(y_true[i]) - static_cast<double>(y_pred[i]);
+    const double t = static_cast<double>(y_true[i]) - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot < 1e-30) return ss_res < 1e-30 ? 1.0 : -1e9;
+  return 1.0 - ss_res / ss_tot;
+}
+}  // namespace
+
+double r2_score(std::span<const double> y_true, std::span<const double> y_pred) {
+  return r2_impl(y_true, y_pred);
+}
+double r2_score(std::span<const float> y_true, std::span<const float> y_pred) {
+  return r2_impl(y_true, y_pred);
+}
+
+double mae(std::span<const double> y_true, std::span<const double> y_pred) {
+  TG_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::abs(y_true[i] - y_pred[i]);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
+  TG_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(y_true.size()));
+}
+
+double pearson_r(std::span<const double> y_true, std::span<const double> y_pred) {
+  TG_CHECK(y_true.size() == y_pred.size() && !y_true.empty());
+  const double n = static_cast<double>(y_true.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ma += y_true[i];
+    mb += y_pred[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double da = y_true[i] - ma;
+    const double db = y_pred[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom < 1e-30 ? 0.0 : cov / denom;
+}
+
+}  // namespace tg

@@ -1,0 +1,27 @@
+#pragma once
+/// \file metrics.hpp
+/// Regression quality metrics. R² is the paper's headline metric
+/// (Tables 4 and 5): 1 − SS_res/SS_tot, which can go negative for
+/// predictors worse than the mean — exactly how the paper reports the
+/// failing deep-GCNII configurations.
+
+#include <span>
+
+namespace tg {
+
+/// Coefficient of determination. Returns 1 for a perfect fit, 0 for a
+/// mean predictor, negative for worse. Constant targets with nonzero
+/// residual yield -inf-free large negatives (guarded denominator).
+[[nodiscard]] double r2_score(std::span<const double> y_true,
+                              std::span<const double> y_pred);
+[[nodiscard]] double r2_score(std::span<const float> y_true,
+                              std::span<const float> y_pred);
+
+[[nodiscard]] double mae(std::span<const double> y_true,
+                         std::span<const double> y_pred);
+[[nodiscard]] double rmse(std::span<const double> y_true,
+                          std::span<const double> y_pred);
+[[nodiscard]] double pearson_r(std::span<const double> y_true,
+                               std::span<const double> y_pred);
+
+}  // namespace tg

@@ -1,0 +1,156 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace tg::ml {
+
+namespace {
+
+/// Mean of y over idx[begin, end).
+float subset_mean(std::span<const float> y, std::span<const int> idx, int begin,
+                  int end) {
+  double acc = 0.0;
+  for (int i = begin; i < end; ++i) acc += y[static_cast<std::size_t>(idx[i])];
+  return static_cast<float>(acc / std::max(1, end - begin));
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, std::span<const float> y,
+                       std::span<const int> sample_idx,
+                       const TreeConfig& config, Rng& rng) {
+  TG_CHECK(x.rows == y.size());
+  TG_CHECK(!sample_idx.empty());
+  nodes_.clear();
+  std::vector<int> idx(sample_idx.begin(), sample_idx.end());
+  build(x, y, idx, 0, static_cast<int>(idx.size()), config.max_depth, config,
+        rng);
+}
+
+int DecisionTree::build(const Matrix& x, std::span<const float> y,
+                        std::vector<int>& idx, int begin, int end,
+                        int depth_left, const TreeConfig& config, Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_id)].value = subset_mean(y, idx, begin, end);
+
+  const int n = end - begin;
+  if (depth_left <= 0 || n < config.min_samples_split) return node_id;
+
+  // Candidate features.
+  std::vector<int> feats(x.cols);
+  std::iota(feats.begin(), feats.end(), 0);
+  int mtry = config.max_features > 0
+                 ? std::min<int>(config.max_features, static_cast<int>(x.cols))
+                 : static_cast<int>(x.cols);
+  rng.shuffle(feats);
+  feats.resize(static_cast<std::size_t>(mtry));
+
+  // Best split by variance reduction (computed as SSE decrease using the
+  // sorted prefix-sum trick per feature).
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, float>> vals;  // (feature value, target)
+  vals.reserve(static_cast<std::size_t>(n));
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (int i = begin; i < end; ++i) {
+    const float t = y[static_cast<std::size_t>(idx[i])];
+    total_sum += t;
+    total_sq += static_cast<double>(t) * t;
+  }
+  const double parent_sse = total_sq - total_sum * total_sum / n;
+
+  for (int f : feats) {
+    vals.clear();
+    for (int i = begin; i < end; ++i) {
+      vals.emplace_back(x.at(static_cast<std::size_t>(idx[i]), static_cast<std::size_t>(f)),
+                        y[static_cast<std::size_t>(idx[i])]);
+    }
+    std::sort(vals.begin(), vals.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (int k = 0; k + 1 < n; ++k) {
+      const double t = vals[static_cast<std::size_t>(k)].second;
+      left_sum += t;
+      left_sq += t * t;
+      if (vals[static_cast<std::size_t>(k)].first >=
+          vals[static_cast<std::size_t>(k) + 1].first) {
+        continue;  // no valid threshold between equal values
+      }
+      const int nl = k + 1;
+      const int nr = n - nl;
+      if (nl < config.min_samples_leaf || nr < config.min_samples_leaf) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / nl) +
+                         (right_sq - right_sum * right_sum / nr);
+      const double gain = parent_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (vals[static_cast<std::size_t>(k)].first +
+                                 vals[static_cast<std::size_t>(k) + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition idx[begin, end) in place.
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end, [&](int row) {
+        return x.at(static_cast<std::size_t>(row),
+                    static_cast<std::size_t>(best_feature)) <= best_threshold;
+      });
+  const int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int left =
+      build(x, y, idx, begin, mid, depth_left - 1, config, rng);
+  const int right = build(x, y, idx, mid, end, depth_left - 1, config, rng);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+float DecisionTree::predict(std::span<const float> features) const {
+  TG_CHECK(!nodes_.empty());
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(cur)];
+    cur = features[static_cast<std::size_t>(nd.feature)] <= nd.threshold
+              ? nd.left
+              : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.feature >= 0) {
+      stack.emplace_back(nd.left, d + 1);
+      stack.emplace_back(nd.right, d + 1);
+    }
+  }
+  return best;
+}
+
+}  // namespace tg::ml

@@ -1,0 +1,58 @@
+#pragma once
+/// \file decision_tree.hpp
+/// CART regression tree — the building block of the random-forest baseline
+/// of Barboza et al. (DAC'19) that the paper's Table 4 compares against.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::ml {
+
+/// Row-major dense feature matrix view.
+struct Matrix {
+  const float* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+};
+
+struct TreeConfig {
+  int max_depth = 14;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Features tried per split; 0 = all (forest sets sqrt/3-style values).
+  int max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on the row subset `sample_idx` of X/y.
+  void fit(const Matrix& x, std::span<const float> y,
+           std::span<const int> sample_idx, const TreeConfig& config, Rng& rng);
+
+  [[nodiscard]] float predict(std::span<const float> features) const;
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;  ///< -1 = leaf
+    float threshold = 0.0f;
+    float value = 0.0f;  ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  int build(const Matrix& x, std::span<const float> y, std::vector<int>& idx,
+            int begin, int end, int depth_left, const TreeConfig& config,
+            Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tg::ml

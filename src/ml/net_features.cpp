@@ -1,0 +1,79 @@
+#include "ml/net_features.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg::ml {
+
+std::vector<float> NetFeatureSet::target_corner(int corner) const {
+  std::vector<float> out(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    out[i] = static_cast<float>(target[i][corner]);
+  }
+  return out;
+}
+
+NetFeatureSet extract_net_features(const Design& design,
+                                   const DesignRouting& truth) {
+  NetFeatureSet out;
+  const int late_rise = corner_index(Mode::kLate, Trans::kRise);
+  const BBox& die = design.die();
+  const double die_cx = 0.5 * (die.xmin + die.xmax);
+  const double die_cy = 0.5 * (die.ymin + die.ymax);
+
+  std::vector<Point> pts;
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;
+    const NetParasitics& para = truth.nets[static_cast<std::size_t>(n)];
+    TG_CHECK(para.sink_delay.size() == net.sinks.size());
+
+    const Point dp = design.pin(net.driver).pos;
+    pts.clear();
+    pts.push_back(dp);
+    for (PinId s : net.sinks) pts.push_back(design.pin(s).pos);
+    const BBox box = bounding_box(pts);
+
+    double total_cap = 0.0;
+    for (PinId s : net.sinks) total_cap += design.pin_cap(s, late_rise);
+
+    int driver_drive = 2;  // port drivers behave like a mid-strength cell
+    if (!design.pin(net.driver).is_port) {
+      driver_drive = design.cell_of(net.driver).drive;
+    }
+
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const PinId sink = net.sinks[s];
+      const Point sp = design.pin(sink).pos;
+      const double dist = manhattan(dp, sp);
+      int farther = 0;
+      for (PinId other : net.sinks) {
+        if (manhattan(dp, design.pin(other).pos) > dist) ++farther;
+      }
+      const float row[kNetFeatureCount] = {
+          static_cast<float>(net.sinks.size()),              // fanout
+          static_cast<float>(box.hpwl()),                    // net HPWL
+          static_cast<float>(box.width() * box.height()),    // net bbox area
+          static_cast<float>(std::abs(sp.x - dp.x)),         // |dx|
+          static_cast<float>(std::abs(sp.y - dp.y)),         // |dy|
+          static_cast<float>(dist),                          // manhattan
+          static_cast<float>(design.pin_cap(sink, late_rise)),
+          static_cast<float>(total_cap),
+          static_cast<float>(driver_drive),
+          static_cast<float>(1.0 / driver_drive),
+          static_cast<float>(std::abs(sp.x - die_cx)),
+          static_cast<float>(std::abs(sp.y - die_cy)),
+          static_cast<float>(farther),
+          static_cast<float>(dist / std::max(1e-6, box.hpwl())),
+      };
+      out.features.insert(out.features.end(), row, row + kNetFeatureCount);
+      out.target.push_back(para.sink_delay[s]);
+      out.sample.emplace_back(n, static_cast<int>(s));
+      ++out.rows;
+    }
+  }
+  return out;
+}
+
+}  // namespace tg::ml

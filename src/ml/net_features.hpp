@@ -1,0 +1,38 @@
+#pragma once
+/// \file net_features.hpp
+/// Hand-engineered per-net-sink placement features in the style of
+/// Barboza et al. (DAC'19) — the "statistics-based" RF/MLP baselines of
+/// the paper's Table 4. One sample per (net, sink) pair; the target is the
+/// ground-truth routed net delay at that sink.
+
+#include <utility>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "route/router.hpp"
+
+namespace tg::ml {
+
+inline constexpr std::size_t kNetFeatureCount = 14;
+
+struct NetFeatureSet {
+  std::vector<float> features;  ///< rows × kNetFeatureCount, row-major
+  std::size_t rows = 0;
+  /// Routed sink net delay per corner (training target).
+  std::vector<PerCorner> target;
+  /// Provenance of each row.
+  std::vector<std::pair<NetId, int>> sample;
+
+  [[nodiscard]] Matrix matrix() const {
+    return Matrix{features.data(), rows, kNetFeatureCount};
+  }
+  /// Single-corner target column.
+  [[nodiscard]] std::vector<float> target_corner(int corner) const;
+};
+
+/// Extracts features from the placement and targets from the ground-truth
+/// routing. Skips clock nets.
+[[nodiscard]] NetFeatureSet extract_net_features(const Design& design,
+                                                 const DesignRouting& truth);
+
+}  // namespace tg::ml

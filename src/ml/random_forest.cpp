@@ -1,0 +1,50 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg::ml {
+
+void RandomForest::fit(const Matrix& x, std::span<const float> y,
+                       const ForestConfig& config) {
+  TG_CHECK(config.num_trees > 0);
+  TG_CHECK(x.rows > 0 && x.rows == y.size());
+  Rng rng(config.seed);
+  trees_.assign(static_cast<std::size_t>(config.num_trees), DecisionTree{});
+
+  TreeConfig tree_cfg = config.tree;
+  if (tree_cfg.max_features == 0) {
+    // Regression default: one third of the features, at least one.
+    tree_cfg.max_features =
+        std::max(1, static_cast<int>(x.cols) / 3);
+  }
+
+  const int sample_count = std::max(
+      1, static_cast<int>(config.subsample * static_cast<double>(x.rows)));
+  std::vector<int> sample(static_cast<std::size_t>(sample_count));
+  for (DecisionTree& tree : trees_) {
+    for (int& s : sample) {
+      s = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(x.rows) - 1));
+    }
+    Rng tree_rng = rng.fork();
+    tree.fit(x, y, sample, tree_cfg, tree_rng);
+  }
+}
+
+float RandomForest::predict(std::span<const float> features) const {
+  TG_CHECK(!trees_.empty());
+  double acc = 0.0;
+  for (const DecisionTree& t : trees_) acc += t.predict(features);
+  return static_cast<float>(acc / static_cast<double>(trees_.size()));
+}
+
+void RandomForest::predict_batch(const Matrix& x, std::span<float> out) const {
+  TG_CHECK(out.size() == x.rows);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    out[r] = predict({x.data + r * x.cols, x.cols});
+  }
+}
+
+}  // namespace tg::ml

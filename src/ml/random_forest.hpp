@@ -1,0 +1,30 @@
+#pragma once
+/// \file random_forest.hpp
+/// Bagged random-forest regressor (Barboza et al. baseline of Table 4).
+
+#include "ml/decision_tree.hpp"
+
+namespace tg::ml {
+
+struct ForestConfig {
+  int num_trees = 60;
+  TreeConfig tree;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+  std::uint64_t seed = 7;
+};
+
+class RandomForest {
+ public:
+  void fit(const Matrix& x, std::span<const float> y,
+           const ForestConfig& config = {});
+
+  [[nodiscard]] float predict(std::span<const float> features) const;
+  void predict_batch(const Matrix& x, std::span<float> out) const;
+  [[nodiscard]] int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace tg::ml

@@ -1,0 +1,240 @@
+#include "netlist/design.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+Design::Design(std::string name, const Library* library)
+    : name_(std::move(name)), library_(library) {
+  TG_CHECK(library_ != nullptr);
+}
+
+PinId Design::add_primary_input(std::string port_name) {
+  Pin p;
+  p.is_port = true;
+  p.drives_net = true;  // a primary input drives its net
+  p.port_name = std::move(port_name);
+  const PinId id = static_cast<PinId>(pins_.size());
+  pins_.push_back(std::move(p));
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+PinId Design::add_primary_output(std::string port_name) {
+  Pin p;
+  p.is_port = true;
+  p.drives_net = false;  // a primary output is a net sink
+  p.port_name = std::move(port_name);
+  const PinId id = static_cast<PinId>(pins_.size());
+  pins_.push_back(std::move(p));
+  primary_outputs_.push_back(id);
+  return id;
+}
+
+InstId Design::add_instance(std::string inst_name, int cell_id) {
+  const CellType& cell = library_->cell(cell_id);
+  Instance inst;
+  inst.name = std::move(inst_name);
+  inst.cell_id = cell_id;
+  const InstId inst_id = static_cast<InstId>(instances_.size());
+  for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+    Pin p;
+    p.inst = inst_id;
+    p.cell_pin = static_cast<int>(i);
+    p.drives_net = (cell.pins[i].dir == PinDir::kOutput);
+    inst.pins.push_back(static_cast<PinId>(pins_.size()));
+    pins_.push_back(std::move(p));
+  }
+  instances_.push_back(std::move(inst));
+  return inst_id;
+}
+
+NetId Design::add_net(std::string net_name, bool is_clock) {
+  Net n;
+  n.name = std::move(net_name);
+  n.is_clock = is_clock;
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+void Design::connect(NetId net_id, PinId pin_id) {
+  TG_CHECK(net_id >= 0 && net_id < num_nets());
+  TG_CHECK(pin_id >= 0 && pin_id < num_pins());
+  Net& n = nets_[net_id];
+  Pin& p = pins_[pin_id];
+  TG_CHECK_MSG(p.net == kInvalidId,
+               "pin " << pin_name(pin_id) << " already connected");
+  p.net = net_id;
+  if (p.drives_net) {
+    TG_CHECK_MSG(n.driver == kInvalidId,
+                 "net " << n.name << " already has a driver");
+    n.driver = pin_id;
+  } else {
+    n.sinks.push_back(pin_id);
+  }
+}
+
+void Design::set_clock(NetId clock_net, double period_ns) {
+  TG_CHECK(clock_net >= 0 && clock_net < num_nets());
+  TG_CHECK(period_ns > 0.0);
+  clock_net_ = clock_net;
+  clock_period_ = period_ns;
+  nets_[clock_net].is_clock = true;
+}
+
+void Design::set_period(double period_ns) {
+  TG_CHECK(period_ns > 0.0);
+  clock_period_ = period_ns;
+}
+
+const Instance& Design::instance(InstId id) const {
+  TG_CHECK(id >= 0 && id < num_instances());
+  return instances_[id];
+}
+Instance& Design::instance(InstId id) {
+  TG_CHECK(id >= 0 && id < num_instances());
+  return instances_[id];
+}
+const Pin& Design::pin(PinId id) const {
+  TG_CHECK(id >= 0 && id < num_pins());
+  return pins_[id];
+}
+Pin& Design::pin(PinId id) {
+  TG_CHECK(id >= 0 && id < num_pins());
+  return pins_[id];
+}
+const Net& Design::net(NetId id) const {
+  TG_CHECK(id >= 0 && id < num_nets());
+  return nets_[id];
+}
+
+std::string Design::pin_name(PinId id) const {
+  const Pin& p = pin(id);
+  if (p.is_port) return p.port_name;
+  const Instance& inst = instances_[p.inst];
+  const CellType& cell = library_->cell(inst.cell_id);
+  return inst.name + "/" + cell.pins[static_cast<std::size_t>(p.cell_pin)].name;
+}
+
+const CellType& Design::cell_of(PinId id) const {
+  const Pin& p = pin(id);
+  TG_CHECK_MSG(p.inst != kInvalidId, "pin is a port: " << pin_name(id));
+  return library_->cell(instances_[p.inst].cell_id);
+}
+
+double Design::pin_cap(PinId id, int corner) const {
+  const Pin& p = pin(id);
+  if (p.is_port) {
+    // Primary outputs present an external load; primary inputs none.
+    return p.drives_net ? 0.0 : output_port_cap_;
+  }
+  const CellType& cell = cell_of(id);
+  return cell.pins[static_cast<std::size_t>(p.cell_pin)].cap[corner];
+}
+
+bool Design::is_endpoint(PinId id) const {
+  const Pin& p = pin(id);
+  if (p.is_port) return !p.drives_net;  // primary output
+  const CellType& cell = cell_of(id);
+  return cell.is_sequential && p.cell_pin == cell.data_pin;
+}
+
+bool Design::is_clock_pin(PinId id) const {
+  const Pin& p = pin(id);
+  if (p.is_port) return false;
+  const CellType& cell = cell_of(id);
+  return cell.is_sequential && p.cell_pin == cell.clock_pin;
+}
+
+bool Design::is_timing_root(PinId id) const {
+  // Roots of the timing graph: pins with no incoming timing arcs. These
+  // are primary inputs and FF clock pins (the launch point of CK→Q arcs;
+  // the ideal clock net itself is not propagated).
+  const Pin& p = pin(id);
+  if (p.is_port) return p.drives_net;  // primary input
+  const CellType& cell = cell_of(id);
+  return cell.is_sequential && p.cell_pin == cell.clock_pin;
+}
+
+void Design::validate() const {
+  for (NetId n = 0; n < num_nets(); ++n) {
+    const Net& net = nets_[n];
+    TG_CHECK_MSG(net.driver != kInvalidId, "net " << net.name << " undriven");
+    TG_CHECK_MSG(!net.sinks.empty(), "net " << net.name << " has no sinks");
+  }
+  for (PinId p = 0; p < num_pins(); ++p) {
+    TG_CHECK_MSG(pins_[p].net != kInvalidId,
+                 "pin " << pin_name(p) << " unconnected");
+  }
+  TG_CHECK_MSG(clock_net_ != kInvalidId || [this] {
+    for (const Instance& inst : instances_) {
+      if (library_->cell(inst.cell_id).is_sequential) return false;
+    }
+    return true;
+  }(), "design has flip-flops but no clock declared");
+
+  // Combinational-cycle check: Kahn over {net arcs (non-clock), cell arcs
+  // excluding CK->Q (FF outputs break cycles)}.
+  std::vector<int> indeg(static_cast<std::size_t>(num_pins()), 0);
+  auto for_each_arc = [&](auto&& fn) {
+    for (const Net& net : nets_) {
+      if (net.is_clock) continue;
+      for (PinId s : net.sinks) fn(net.driver, s);
+    }
+    for (const Instance& inst : instances_) {
+      const CellType& cell = library_->cell(inst.cell_id);
+      if (cell.is_sequential) continue;  // no comb arcs through FFs
+      for (const TimingArc& arc : cell.arcs) {
+        fn(inst.pins[static_cast<std::size_t>(arc.from_pin)],
+           inst.pins[static_cast<std::size_t>(arc.to_pin)]);
+      }
+    }
+  };
+  for_each_arc([&](PinId, PinId to) { ++indeg[static_cast<std::size_t>(to)]; });
+
+  // Build adjacency once for the traversal.
+  std::vector<std::vector<PinId>> adj(static_cast<std::size_t>(num_pins()));
+  for_each_arc(
+      [&](PinId from, PinId to) { adj[static_cast<std::size_t>(from)].push_back(to); });
+
+  std::queue<PinId> ready;
+  for (PinId p = 0; p < num_pins(); ++p) {
+    if (indeg[static_cast<std::size_t>(p)] == 0) ready.push(p);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const PinId p = ready.front();
+    ready.pop();
+    ++visited;
+    for (PinId q : adj[static_cast<std::size_t>(p)]) {
+      if (--indeg[static_cast<std::size_t>(q)] == 0) ready.push(q);
+    }
+  }
+  TG_CHECK_MSG(visited == num_pins(),
+               "combinational cycle detected: visited " << visited << " of "
+                                                        << num_pins());
+}
+
+DesignStats Design::stats() const {
+  DesignStats s;
+  s.num_nodes = num_pins();
+  for (const Net& net : nets_) {
+    if (net.is_clock) continue;
+    s.num_net_edges += static_cast<long long>(net.sinks.size());
+  }
+  for (const Instance& inst : instances_) {
+    const CellType& cell = library_->cell(inst.cell_id);
+    s.num_cell_edges += static_cast<long long>(cell.arcs.size());
+    if (cell.is_sequential) ++s.num_ffs;
+  }
+  for (PinId p = 0; p < num_pins(); ++p) {
+    if (is_endpoint(p)) ++s.num_endpoints;
+  }
+  s.num_instances = num_instances();
+  s.num_nets = num_nets();
+  return s;
+}
+
+}  // namespace tg

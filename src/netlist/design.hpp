@@ -1,0 +1,150 @@
+#pragma once
+/// \file design.hpp
+/// Flat gate-level design: instances of library cells, nets, and pins.
+///
+/// Pins are the nodes of the paper's heterogeneous timing graph. A pin is
+/// either a top-level port (primary input / primary output) or an instance
+/// pin. Nets connect exactly one driver pin to one or more sink pins.
+/// Storage is arena-style (flat vectors + integer ids) — the idiomatic EDA
+/// data-model layout for cache-friendly million-pin designs.
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "liberty/library.hpp"
+
+namespace tg {
+
+using InstId = int;
+using NetId = int;
+using PinId = int;
+inline constexpr int kInvalidId = -1;
+
+struct Instance {
+  std::string name;
+  int cell_id = kInvalidId;  ///< index into the Library
+  Point pos;                 ///< cell origin, filled by the placer
+  /// Pin ids of this instance, parallel to CellType::pins.
+  std::vector<PinId> pins;
+};
+
+struct Pin {
+  InstId inst = kInvalidId;     ///< kInvalidId for top-level ports
+  int cell_pin = kInvalidId;    ///< index into CellType::pins (instance pins)
+  NetId net = kInvalidId;
+  bool is_port = false;
+  /// True if this pin drives its net (instance outputs and primary inputs).
+  bool drives_net = false;
+  std::string port_name;  ///< set for ports only
+  Point pos;              ///< filled by the placer
+};
+
+struct Net {
+  std::string name;
+  PinId driver = kInvalidId;
+  std::vector<PinId> sinks;
+  bool is_clock = false;
+};
+
+/// Aggregate statistics matching the columns of the paper's Table 1.
+struct DesignStats {
+  long long num_nodes = 0;      ///< pins (graph nodes)
+  long long num_net_edges = 0;  ///< driver→sink net arcs (clock excluded)
+  long long num_cell_edges = 0; ///< instantiated cell timing arcs
+  long long num_endpoints = 0;  ///< FF D pins + primary outputs
+  long long num_instances = 0;
+  long long num_nets = 0;
+  long long num_ffs = 0;
+};
+
+class Design {
+ public:
+  Design(std::string name, const Library* library);
+
+  // ---- construction -------------------------------------------------
+  /// Adds a primary input port; returns its pin id.
+  PinId add_primary_input(std::string port_name);
+  /// Adds a primary output port; returns its pin id.
+  PinId add_primary_output(std::string port_name);
+  /// Adds an instance of `cell_id`; creates all of its pins.
+  InstId add_instance(std::string inst_name, int cell_id);
+  /// Adds an empty net; returns its id.
+  NetId add_net(std::string net_name, bool is_clock = false);
+  /// Connects `pin` to `net`; the pin's role (driver/sink) is derived from
+  /// its direction. Each net must end with exactly one driver.
+  void connect(NetId net, PinId pin);
+
+  /// Declares the clock: the net driven by the clock port. Sets period.
+  void set_clock(NetId clock_net, double period_ns);
+  /// Adjusts the clock period without changing the clock net (also valid
+  /// for pure-combinational designs, where it constrains the POs).
+  void set_period(double period_ns);
+  /// Die area; ports are placed on the boundary by the placer.
+  void set_die(const BBox& die) { die_ = die; }
+
+  /// Full structural validation (single driver per net, all pins
+  /// connected, no combinational cycles). Throws CheckError on violation.
+  void validate() const;
+
+  // ---- queries ------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Library& library() const { return *library_; }
+  [[nodiscard]] int num_instances() const { return static_cast<int>(instances_.size()); }
+  [[nodiscard]] int num_pins() const { return static_cast<int>(pins_.size()); }
+  [[nodiscard]] int num_nets() const { return static_cast<int>(nets_.size()); }
+  [[nodiscard]] const Instance& instance(InstId id) const;
+  [[nodiscard]] Instance& instance(InstId id);
+  [[nodiscard]] const Pin& pin(PinId id) const;
+  [[nodiscard]] Pin& pin(PinId id);
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] const std::vector<Instance>& instances() const { return instances_; }
+  [[nodiscard]] const std::vector<Pin>& pins() const { return pins_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] const std::vector<PinId>& primary_inputs() const { return primary_inputs_; }
+  [[nodiscard]] const std::vector<PinId>& primary_outputs() const { return primary_outputs_; }
+  [[nodiscard]] const BBox& die() const { return die_; }
+  [[nodiscard]] NetId clock_net() const { return clock_net_; }
+  [[nodiscard]] double clock_period() const { return clock_period_; }
+
+  /// Human-readable pin name ("u42/A" or port name).
+  [[nodiscard]] std::string pin_name(PinId id) const;
+  /// CellType of the pin's instance (pin must be an instance pin).
+  [[nodiscard]] const CellType& cell_of(PinId id) const;
+  /// Direction viewed from the net: true if the pin is an input *of a
+  /// cell* or a primary output (i.e. a net sink).
+  [[nodiscard]] bool is_net_sink(PinId id) const { return !pins_[id].drives_net; }
+  /// Input capacitance of a sink pin at `corner` (ports contribute a fixed
+  /// external load; driver pins have none).
+  [[nodiscard]] double pin_cap(PinId id, int corner) const;
+  /// True for FF data pins and primary outputs — the paper's "timing
+  /// endpoints".
+  [[nodiscard]] bool is_endpoint(PinId id) const;
+  /// True for FF clock pins.
+  [[nodiscard]] bool is_clock_pin(PinId id) const;
+  /// True if this pin starts timing propagation (primary inputs and FF
+  /// clock pins — the pins with no incoming timing arcs).
+  [[nodiscard]] bool is_timing_root(PinId id) const;
+
+  /// Table-1 statistics.
+  [[nodiscard]] DesignStats stats() const;
+
+  /// External load modeled at primary outputs (pF).
+  [[nodiscard]] double output_port_cap() const { return output_port_cap_; }
+  void set_output_port_cap(double cap_pf) { output_port_cap_ = cap_pf; }
+
+ private:
+  std::string name_;
+  const Library* library_;
+  std::vector<Instance> instances_;
+  std::vector<Pin> pins_;
+  std::vector<Net> nets_;
+  std::vector<PinId> primary_inputs_;
+  std::vector<PinId> primary_outputs_;
+  BBox die_;
+  NetId clock_net_ = kInvalidId;
+  double clock_period_ = 1.0;
+  double output_port_cap_ = 0.004;
+};
+
+}  // namespace tg

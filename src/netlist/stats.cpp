@@ -1,0 +1,27 @@
+#include "netlist/stats.hpp"
+
+#include "util/string_util.hpp"
+
+namespace tg {
+
+std::vector<std::string> stats_row(const std::string& name,
+                                   const DesignStats& stats) {
+  return {name, with_commas(stats.num_nodes), with_commas(stats.num_net_edges),
+          with_commas(stats.num_cell_edges), with_commas(stats.num_endpoints)};
+}
+
+DesignStats sum_stats(const std::vector<DesignStats>& all) {
+  DesignStats total;
+  for (const DesignStats& s : all) {
+    total.num_nodes += s.num_nodes;
+    total.num_net_edges += s.num_net_edges;
+    total.num_cell_edges += s.num_cell_edges;
+    total.num_endpoints += s.num_endpoints;
+    total.num_instances += s.num_instances;
+    total.num_nets += s.num_nets;
+    total.num_ffs += s.num_ffs;
+  }
+  return total;
+}
+
+}  // namespace tg

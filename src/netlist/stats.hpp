@@ -1,0 +1,20 @@
+#pragma once
+/// \file stats.hpp
+/// Pretty-printing of DesignStats as Table-1-style rows.
+
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "util/table.hpp"
+
+namespace tg {
+
+/// One Table-1 row: name, #nodes, #net edges, #cell edges, #endpoints.
+[[nodiscard]] std::vector<std::string> stats_row(const std::string& name,
+                                                 const DesignStats& stats);
+
+/// Sum of a list of stats (for the Total Train / Total Test rows).
+[[nodiscard]] DesignStats sum_stats(const std::vector<DesignStats>& all);
+
+}  // namespace tg

@@ -1,0 +1,399 @@
+#include "netlist/verilog_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace tg {
+
+namespace {
+
+/// Verilog identifiers can't contain '/', so names are used as-is (the
+/// generator produces safe names). Checked on write.
+void check_identifier(const std::string& name) {
+  TG_CHECK_MSG(!name.empty(), "empty identifier");
+  for (char c : name) {
+    TG_CHECK_MSG(std::isalnum(static_cast<unsigned char>(c)) || c == '_',
+                 "name not a Verilog identifier: " << name);
+  }
+}
+
+}  // namespace
+
+void write_verilog(const Design& design, std::ostream& out) {
+  const Library& lib = design.library();
+
+  if (design.clock_net() != kInvalidId) {
+    out << "`timgnn_clock " << design.net(design.clock_net()).name << ' '
+        << format_fixed(design.clock_period(), 9) << "\n";
+  }
+  out << "module " << design.name() << " (";
+  bool first = true;
+  for (PinId p : design.primary_inputs()) {
+    out << (first ? "" : ", ") << design.pin(p).port_name;
+    first = false;
+  }
+  for (PinId p : design.primary_outputs()) {
+    out << (first ? "" : ", ") << design.pin(p).port_name;
+    first = false;
+  }
+  out << ");\n";
+
+  for (PinId p : design.primary_inputs()) {
+    check_identifier(design.pin(p).port_name);
+    out << "  input " << design.pin(p).port_name << ";\n";
+  }
+  for (PinId p : design.primary_outputs()) {
+    check_identifier(design.pin(p).port_name);
+    out << "  output " << design.pin(p).port_name << ";\n";
+  }
+  for (const Net& net : design.nets()) {
+    check_identifier(net.name);
+    out << "  wire " << net.name << ";\n";
+  }
+  // Port-to-net aliases: the port IS a pin on some net; emit assigns for
+  // readability of the mapping (inputs drive their nets, outputs read).
+  for (PinId p : design.primary_inputs()) {
+    out << "  assign " << design.net(design.pin(p).net).name << " = "
+        << design.pin(p).port_name << ";\n";
+  }
+  for (PinId p : design.primary_outputs()) {
+    out << "  assign " << design.pin(p).port_name << " = "
+        << design.net(design.pin(p).net).name << ";\n";
+  }
+
+  for (const Instance& inst : design.instances()) {
+    const CellType& cell = lib.cell(inst.cell_id);
+    check_identifier(inst.name);
+    out << "  " << cell.name << ' ' << inst.name << " (";
+    for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+      if (i) out << ", ";
+      const PinId pin = inst.pins[i];
+      out << '.' << cell.pins[i].name << '('
+          << design.net(design.pin(pin).net).name << ')';
+    }
+    out << ");\n";
+  }
+  out << "endmodule\n";
+}
+
+void write_verilog_file(const Design& design, const std::string& path) {
+  std::ofstream out(path);
+  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
+  write_verilog(design, out);
+  TG_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+namespace {
+
+/// Minimal Verilog tokenizer for the subset the writer emits.
+class VLexer {
+ public:
+  explicit VLexer(std::istream& in) : in_(in) {}
+
+  struct Token {
+    std::string text;  // empty = EOF
+    int line = 0;
+  };
+
+  Token next() {
+    skip();
+    Token t;
+    t.line = line_;
+    int c = in_.peek();
+    if (c == EOF) return t;
+    if (std::isalnum(c) || c == '_' || c == '`' || c == '.') {
+      while (std::isalnum(in_.peek()) || in_.peek() == '_' ||
+             in_.peek() == '`' || in_.peek() == '.') {
+        t.text.push_back(static_cast<char>(in_.get()));
+      }
+      return t;
+    }
+    t.text.push_back(static_cast<char>(in_.get()));
+    return t;
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  void skip() {
+    for (;;) {
+      int c = in_.peek();
+      if (c == '\n') ++line_;
+      if (std::isspace(c)) {
+        in_.get();
+        continue;
+      }
+      if (c == '/') {
+        in_.get();
+        if (in_.peek() == '/') {
+          while (in_.peek() != '\n' && in_.peek() != EOF) in_.get();
+          continue;
+        }
+        TG_CHECK_MSG(false, "line " << line_ << ": unexpected '/'");
+      }
+      return;
+    }
+  }
+
+  std::istream& in_;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Design read_verilog(std::istream& in, const Library* library) {
+  TG_CHECK(library != nullptr);
+  VLexer lex(in);
+  auto tok = lex.next();
+
+  std::string clock_net_name;
+  double clock_period = 0.0;
+  if (tok.text == "`timgnn_clock") {
+    clock_net_name = lex.next().text;
+    clock_period = std::strtod(lex.next().text.c_str(), nullptr);
+    tok = lex.next();
+  }
+
+  auto expect = [&](const char* what) {
+    TG_CHECK_MSG(tok.text == what, "line " << tok.line << ": expected '"
+                                           << what << "', got '" << tok.text
+                                           << "'");
+    tok = lex.next();
+  };
+
+  expect("module");
+  Design design(tok.text, library);
+  tok = lex.next();
+  expect("(");
+  std::vector<std::string> port_order;
+  while (tok.text != ")") {
+    if (tok.text != ",") port_order.push_back(tok.text);
+    tok = lex.next();
+  }
+  expect(")");
+  expect(";");
+
+  std::map<std::string, PinId> input_ports, output_ports;
+  std::map<std::string, NetId> nets;
+  // First pass collects declarations and instances in order.
+  while (tok.text != "endmodule") {
+    TG_CHECK_MSG(!tok.text.empty(), "unexpected end of file in module body");
+    if (tok.text == "input" || tok.text == "output") {
+      const bool is_input = tok.text == "input";
+      tok = lex.next();
+      while (tok.text != ";") {
+        if (tok.text != ",") {
+          if (is_input) {
+            input_ports[tok.text] = design.add_primary_input(tok.text);
+          } else {
+            output_ports[tok.text] = design.add_primary_output(tok.text);
+          }
+        }
+        tok = lex.next();
+      }
+      expect(";");
+    } else if (tok.text == "wire") {
+      tok = lex.next();
+      while (tok.text != ";") {
+        if (tok.text != ",") {
+          nets[tok.text] =
+              design.add_net(tok.text, tok.text == clock_net_name);
+        }
+        tok = lex.next();
+      }
+      expect(";");
+    } else if (tok.text == "assign") {
+      // Either "assign <net> = <input_port>;" or
+      //        "assign <output_port> = <net>;".
+      tok = lex.next();
+      const std::string lhs = tok.text;
+      tok = lex.next();
+      expect("=");
+      const std::string rhs = tok.text;
+      tok = lex.next();
+      expect(";");
+      if (auto it = input_ports.find(rhs); it != input_ports.end()) {
+        TG_CHECK_MSG(nets.count(lhs), "assign to unknown wire " << lhs);
+        design.connect(nets.at(lhs), it->second);
+      } else if (auto ot = output_ports.find(lhs); ot != output_ports.end()) {
+        TG_CHECK_MSG(nets.count(rhs), "assign from unknown wire " << rhs);
+        design.connect(nets.at(rhs), ot->second);
+      } else {
+        TG_CHECK_MSG(false, "line " << tok.line
+                                    << ": unsupported assign " << lhs);
+      }
+    } else {
+      // Instance: <CELL> <name> ( .PIN(net), ... );
+      const std::string cell_name = tok.text;
+      const int cell_id = library->find_cell(cell_name);
+      TG_CHECK_MSG(cell_id >= 0,
+                   "line " << tok.line << ": unknown cell " << cell_name);
+      tok = lex.next();
+      const std::string inst_name = tok.text;
+      tok = lex.next();
+      const InstId inst = design.add_instance(inst_name, cell_id);
+      const CellType& cell = library->cell(cell_id);
+      expect("(");
+      while (tok.text != ")") {
+        if (tok.text == ",") {
+          tok = lex.next();
+          continue;
+        }
+        TG_CHECK_MSG(tok.text.size() > 1 && tok.text[0] == '.',
+                     "line " << tok.line << ": expected .PIN, got "
+                             << tok.text);
+        const std::string pin_name = tok.text.substr(1);
+        tok = lex.next();
+        expect("(");
+        const std::string net_name = tok.text;
+        tok = lex.next();
+        expect(")");
+        const int cell_pin = cell.find_pin(pin_name);
+        TG_CHECK_MSG(cell_pin >= 0, "cell " << cell_name << " has no pin "
+                                            << pin_name);
+        TG_CHECK_MSG(nets.count(net_name), "unknown net " << net_name);
+        design.connect(nets.at(net_name),
+                       design.instance(inst).pins[static_cast<std::size_t>(cell_pin)]);
+      }
+      expect(")");
+      expect(";");
+    }
+  }
+
+  if (!clock_net_name.empty()) {
+    TG_CHECK_MSG(nets.count(clock_net_name),
+                 "clock directive names unknown net " << clock_net_name);
+    design.set_clock(nets.at(clock_net_name), clock_period);
+  }
+  return design;
+}
+
+Design read_verilog_file(const std::string& path, const Library* library) {
+  std::ifstream in(path);
+  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
+  return read_verilog(in, library);
+}
+
+void write_placement(const Design& design, std::ostream& out) {
+  const BBox& die = design.die();
+  // 9 decimals: placements round-trip exactly enough that downstream
+  // timing is bit-stable (see ExportRoundTrip test).
+  out << "die " << format_fixed(die.xmin, 9) << ' ' << format_fixed(die.ymin, 9)
+      << ' ' << format_fixed(die.xmax, 9) << ' ' << format_fixed(die.ymax, 9)
+      << "\n";
+  for (const Instance& inst : design.instances()) {
+    out << "inst " << inst.name << ' ' << format_fixed(inst.pos.x, 9) << ' '
+        << format_fixed(inst.pos.y, 9) << "\n";
+  }
+  for (PinId p = 0; p < design.num_pins(); ++p) {
+    const Pin& pin = design.pin(p);
+    if (pin.is_port) {
+      out << "port " << pin.port_name << ' ' << format_fixed(pin.pos.x, 9)
+          << ' ' << format_fixed(pin.pos.y, 9) << "\n";
+    }
+  }
+  // Explicit instance-pin positions (they carry per-pin offsets within the
+  // cell footprint; written last so they override the instance move).
+  for (PinId p = 0; p < design.num_pins(); ++p) {
+    const Pin& pin = design.pin(p);
+    if (!pin.is_port) {
+      out << "pin " << design.pin_name(p) << ' ' << format_fixed(pin.pos.x, 9)
+          << ' ' << format_fixed(pin.pos.y, 9) << "\n";
+    }
+  }
+}
+
+void write_placement_file(const Design& design, const std::string& path) {
+  std::ofstream out(path);
+  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
+  write_placement(design, out);
+}
+
+void read_placement(Design& design, std::istream& in) {
+  std::map<std::string, InstId> by_name;
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    by_name[design.instance(i).name] = i;
+  }
+  std::map<std::string, PinId> ports;
+  std::map<std::string, PinId> inst_pins;
+  for (PinId p = 0; p < design.num_pins(); ++p) {
+    if (design.pin(p).is_port) {
+      ports[design.pin(p).port_name] = p;
+    } else {
+      inst_pins[design.pin_name(p)] = p;
+    }
+  }
+
+  std::string line;
+  int lineno = 0;
+  bool saw_die = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (trim(line).empty()) continue;
+    std::istringstream ls{line};
+    std::string kind;
+    ls >> kind;
+    if (kind == "die") {
+      double x0, y0, x1, y1;
+      ls >> x0 >> y0 >> x1 >> y1;
+      TG_CHECK_MSG(ls && x0 <= x1 && y0 <= y1,
+                   "line " << lineno << ": bad die box");
+      BBox die;
+      die.expand(Point{x0, y0});
+      die.expand(Point{x1, y1});
+      design.set_die(die);
+      saw_die = true;
+    } else if (kind == "inst") {
+      std::string name;
+      double x, y;
+      ls >> name >> x >> y;
+      TG_CHECK_MSG(ls, "line " << lineno << ": bad inst line");
+      auto it = by_name.find(name);
+      TG_CHECK_MSG(it != by_name.end(),
+                   "line " << lineno << ": unknown instance " << name);
+      Instance& inst = design.instance(it->second);
+      const double dx = x - inst.pos.x;
+      const double dy = y - inst.pos.y;
+      inst.pos = Point{x, y};
+      for (PinId p : inst.pins) {
+        design.pin(p).pos.x += dx;
+        design.pin(p).pos.y += dy;
+      }
+    } else if (kind == "port") {
+      std::string name;
+      double x, y;
+      ls >> name >> x >> y;
+      TG_CHECK_MSG(ls, "line " << lineno << ": bad port line");
+      auto it = ports.find(name);
+      TG_CHECK_MSG(it != ports.end(),
+                   "line " << lineno << ": unknown port " << name);
+      design.pin(it->second).pos = Point{x, y};
+    } else if (kind == "pin") {
+      std::string name;
+      double x, y;
+      ls >> name >> x >> y;
+      TG_CHECK_MSG(ls, "line " << lineno << ": bad pin line");
+      auto it = inst_pins.find(name);
+      TG_CHECK_MSG(it != inst_pins.end(),
+                   "line " << lineno << ": unknown pin " << name);
+      design.pin(it->second).pos = Point{x, y};
+    } else {
+      TG_CHECK_MSG(false, "line " << lineno << ": unknown record " << kind);
+    }
+  }
+  TG_CHECK_MSG(saw_die, "placement file lacks a die record");
+}
+
+void read_placement_file(Design& design, const std::string& path) {
+  std::ifstream in(path);
+  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
+  read_placement(design, in);
+}
+
+}  // namespace tg

@@ -1,0 +1,36 @@
+#pragma once
+/// \file verilog_io.hpp
+/// Structural-Verilog (gate-level netlist) serialization — the interchange
+/// format downstream users expect from an EDA library. The writer emits a
+/// flat module with named port connections; the reader rebuilds a Design
+/// against a Library. Clock declaration travels in a `timgnn_clock
+/// directive; placement travels in a sidecar ".pl" file (one pin/instance
+/// per line), since positions are not part of Verilog.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace tg {
+
+/// Writes the design as a flat structural Verilog module.
+void write_verilog(const Design& design, std::ostream& out);
+void write_verilog_file(const Design& design, const std::string& path);
+
+/// Parses a netlist previously written by write_verilog; instance cell
+/// names are resolved against `library`. Throws CheckError with a line
+/// number on malformed input or unknown cells.
+[[nodiscard]] Design read_verilog(std::istream& in, const Library* library);
+[[nodiscard]] Design read_verilog_file(const std::string& path,
+                                       const Library* library);
+
+/// Writes the placement (die box, instance and port positions).
+void write_placement(const Design& design, std::ostream& out);
+void write_placement_file(const Design& design, const std::string& path);
+
+/// Applies a placement by name onto a structurally identical design.
+void read_placement(Design& design, std::istream& in);
+void read_placement_file(Design& design, const std::string& path);
+
+}  // namespace tg

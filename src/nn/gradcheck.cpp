@@ -1,0 +1,43 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg::nn {
+
+GradCheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& loss_fn,
+    std::vector<Tensor> inputs, double eps, double tol) {
+  // Analytic gradients.
+  for (Tensor& t : inputs) t.zero_grad();
+  Tensor loss = loss_fn(inputs);
+  loss.backward();
+
+  GradCheckResult res;
+  res.ok = true;
+  for (Tensor& input : inputs) {
+    if (!input.requires_grad()) continue;
+    auto grad = input.grad();
+    auto data = input.data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float keep = data[i];
+      data[i] = keep + static_cast<float>(eps);
+      const double up = loss_fn(inputs).item();
+      data[i] = keep - static_cast<float>(eps);
+      const double down = loss_fn(inputs).item();
+      data[i] = keep;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = grad[i];
+      const double abs_err = std::abs(numeric - analytic);
+      const double rel_err =
+          abs_err / std::max(1.0, std::max(std::abs(numeric), std::abs(analytic)));
+      res.max_abs_error = std::max(res.max_abs_error, abs_err);
+      res.max_rel_error = std::max(res.max_rel_error, rel_err);
+      if (rel_err > tol) res.ok = false;
+    }
+  }
+  return res;
+}
+
+}  // namespace tg::nn

@@ -1,0 +1,24 @@
+#pragma once
+/// \file gradcheck.hpp
+/// Numerical gradient verification used by the test suite: compares
+/// reverse-mode gradients against central finite differences.
+
+#include <functional>
+
+#include "nn/tensor.hpp"
+
+namespace tg::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// `loss_fn` must build a fresh graph from `inputs` and return a scalar.
+/// Checks d(loss)/d(input) for every input element.
+[[nodiscard]] GradCheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& loss_fn,
+    std::vector<Tensor> inputs, double eps = 1e-3, double tol = 5e-2);
+
+}  // namespace tg::nn

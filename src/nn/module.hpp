@@ -1,0 +1,72 @@
+#pragma once
+/// \file module.hpp
+/// Parameterized layers. All MLPs in the paper are "3 hidden layers, 64
+/// neurons each" (§4); Mlp defaults follow that, with a width knob for the
+/// single-core sandbox.
+
+#include <string>
+#include <vector>
+
+#include "nn/ops.hpp"
+
+namespace tg::nn {
+
+/// Base for anything holding trainable tensors. Parameters are registered
+/// with stable names so serialization is order-independent.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  [[nodiscard]] const std::vector<Tensor>& parameters() const { return params_; }
+  [[nodiscard]] const std::vector<std::string>& parameter_names() const {
+    return names_;
+  }
+  /// Total trainable scalar count.
+  [[nodiscard]] std::int64_t num_parameters() const;
+
+  void zero_grad();
+
+ protected:
+  /// Registers and returns a trainable tensor.
+  Tensor register_parameter(const std::string& name, Tensor t);
+  /// Adopts all parameters of a child module under `prefix/`.
+  void register_module(const std::string& prefix, const Module& child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::string> names_;
+};
+
+/// Fully connected layer: y = xW + b, W:[in,out].
+class Linear : public Module {
+ public:
+  Linear() = default;
+  Linear(std::int64_t in, std::int64_t out, Rng& rng,
+         const std::string& name = "linear");
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  [[nodiscard]] std::int64_t in_features() const { return w_.rows(); }
+  [[nodiscard]] std::int64_t out_features() const { return w_.cols(); }
+
+ private:
+  Tensor w_, b_;
+};
+
+/// Multi-layer perceptron with ReLU hidden activations and a linear output
+/// layer. `hidden_layers` hidden layers of `hidden` units each.
+class Mlp : public Module {
+ public:
+  Mlp() = default;
+  Mlp(std::int64_t in, std::int64_t out, std::int64_t hidden = 64,
+      int hidden_layers = 3, Rng* rng = nullptr,
+      const std::string& name = "mlp");
+
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  [[nodiscard]] std::int64_t in_features() const;
+  [[nodiscard]] std::int64_t out_features() const;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace tg::nn

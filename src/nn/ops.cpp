@@ -1,0 +1,724 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg::nn {
+
+namespace {
+
+TensorImplPtr make_result(std::int64_t rows, std::int64_t cols,
+                          std::initializer_list<const Tensor*> inputs) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  for (const Tensor* t : inputs) {
+    if (t->requires_grad()) impl->requires_grad = true;
+  }
+  if (impl->requires_grad) {
+    for (const Tensor* t : inputs) impl->parents.push_back(t->ptr());
+  }
+  return impl;
+}
+
+/// Adds src into dst (same length), allocating dst's grad buffer first.
+void accumulate(TensorImpl& parent, std::span<const float> grad_piece,
+                std::size_t offset = 0) {
+  parent.ensure_grad();
+  for (std::size_t i = 0; i < grad_piece.size(); ++i) {
+    parent.grad[offset + i] += grad_piece[i];
+  }
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const bool broadcast = (b.rows() == 1 && a.cols() == b.cols() && a.rows() != 1);
+  TG_CHECK_MSG(broadcast || (a.rows() == b.rows() && a.cols() == b.cols()),
+               "add: shape mismatch " << a.rows() << "x" << a.cols() << " vs "
+                                      << b.rows() << "x" << b.cols());
+  auto impl = make_result(a.rows(), a.cols(), {&a, &b});
+  const auto& av = a.data();
+  const auto& bv = b.data();
+  const std::size_t cols = static_cast<std::size_t>(a.cols());
+  for (std::size_t i = 0; i < impl->data.size(); ++i) {
+    impl->data[i] = av[i] + (broadcast ? bv[i % cols] : bv[i]);
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto pb = b.ptr();
+    impl->backward_fn = [pa, pb, broadcast, cols](TensorImpl& self) {
+      if (pa->requires_grad) accumulate(*pa, self.grad);
+      if (pb->requires_grad) {
+        pb->ensure_grad();
+        if (broadcast) {
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            pb->grad[i % cols] += self.grad[i];
+          }
+        } else {
+          for (std::size_t i = 0; i < self.grad.size(); ++i) {
+            pb->grad[i] += self.grad[i];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) { return add(a, scale(b, -1.0f)); }
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  TG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto impl = make_result(a.rows(), a.cols(), {&a, &b});
+  for (std::size_t i = 0; i < impl->data.size(); ++i) {
+    impl->data[i] = a.data()[i] * b.data()[i];
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto pb = b.ptr();
+    impl->backward_fn = [pa, pb](TensorImpl& self) {
+      if (pa->requires_grad) {
+        pa->ensure_grad();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+          pa->grad[i] += self.grad[i] * pb->data[i];
+        }
+      }
+      if (pb->requires_grad) {
+        pb->ensure_grad();
+        for (std::size_t i = 0; i < self.grad.size(); ++i) {
+          pb->grad[i] += self.grad[i] * pa->data[i];
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor scale(const Tensor& a, float s) {
+  auto impl = make_result(a.rows(), a.cols(), {&a});
+  for (std::size_t i = 0; i < impl->data.size(); ++i) {
+    impl->data[i] = a.data()[i] * s;
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->backward_fn = [pa, s](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        pa->grad[i] += self.grad[i] * s;
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor pointwise(const Tensor& a, Fwd fwd, Bwd dydx_from_xy) {
+  auto impl = make_result(a.rows(), a.cols(), {&a});
+  for (std::size_t i = 0; i < impl->data.size(); ++i) {
+    impl->data[i] = fwd(a.data()[i]);
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->backward_fn = [pa, dydx_from_xy](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        pa->grad[i] += self.grad[i] * dydx_from_xy(pa->data[i], self.data[i]);
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& a) {
+  return pointwise(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float slope) {
+  return pointwise(
+      a, [slope](float x) { return x > 0.0f ? x : slope * x; },
+      [slope](float x, float) { return x > 0.0f ? 1.0f : slope; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return pointwise(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return pointwise(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor softplus(const Tensor& a) {
+  return pointwise(
+      a,
+      [](float x) {
+        return x > 20.0f ? x : std::log1p(std::exp(std::min(x, 20.0f)));
+      },
+      [](float x, float) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TG_CHECK_MSG(a.cols() == b.rows(), "matmul: " << a.rows() << "x" << a.cols()
+                                                << " times " << b.rows() << "x"
+                                                << b.cols());
+  const std::int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  auto impl = make_result(n, m, {&a, &b});
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* out = impl->data.data();
+  // ikj loop order: streaming writes over the output row.
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* orow = out + i * m;
+    const float* arow = ad + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = bd + kk * m;
+      for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto pb = b.ptr();
+    impl->backward_fn = [pa, pb, n, k, m](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (pa->requires_grad) {
+        pa->ensure_grad();
+        // dA = dY · Bᵀ
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* grow = g + i * m;
+          float* darow = pa->grad.data() + i * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float* brow = pb->data.data() + kk * m;
+            float acc = 0.0f;
+            for (std::int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+            darow[kk] += acc;
+          }
+        }
+      }
+      if (pb->requires_grad) {
+        pb->ensure_grad();
+        // dB = Aᵀ · dY
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* arow = pa->data.data() + i * k;
+          const float* grow = g + i * m;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f) continue;
+            float* dbrow = pb->grad.data() + kk * m;
+            for (std::int64_t j = 0; j < m; ++j) dbrow[j] += av * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor concat_cols(std::span<const Tensor> parts) {
+  TG_CHECK(!parts.empty());
+  const std::int64_t rows = parts[0].rows();
+  std::int64_t cols = 0;
+  for (const Tensor& t : parts) {
+    TG_CHECK_MSG(t.rows() == rows, "concat_cols: row mismatch");
+    cols += t.cols();
+  }
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  for (const Tensor& t : parts) {
+    if (t.requires_grad()) impl->requires_grad = true;
+  }
+  std::vector<TensorImplPtr> srcs;
+  for (const Tensor& t : parts) srcs.push_back(t.ptr());
+  if (impl->requires_grad) impl->parents = srcs;
+
+  std::int64_t off = 0;
+  for (const Tensor& t : parts) {
+    const std::int64_t tc = t.cols();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::copy_n(t.data().data() + r * tc, tc,
+                  impl->data.data() + r * cols + off);
+    }
+    off += tc;
+  }
+  if (impl->requires_grad) {
+    impl->backward_fn = [srcs, rows, cols](TensorImpl& self) {
+      std::int64_t o = 0;
+      for (const auto& s : srcs) {
+        const std::int64_t tc = s->cols;
+        if (s->requires_grad) {
+          s->ensure_grad();
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float* g = self.grad.data() + r * cols + o;
+            float* dst = s->grad.data() + r * tc;
+            for (std::int64_t c = 0; c < tc; ++c) dst[c] += g[c];
+          }
+        }
+        o += tc;
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor slice_cols(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  TG_CHECK(0 <= begin && begin < end && end <= a.cols());
+  const std::int64_t rows = a.rows(), cols = end - begin, ac = a.cols();
+  auto impl = make_result(rows, cols, {&a});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::copy_n(a.data().data() + r * ac + begin, cols,
+                impl->data.data() + r * cols);
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->backward_fn = [pa, rows, cols, ac, begin](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* g = self.grad.data() + r * cols;
+        float* dst = pa->grad.data() + r * ac + begin;
+        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor concat_rows(std::span<const Tensor> parts) {
+  TG_CHECK(!parts.empty());
+  const std::int64_t cols = parts[0].cols();
+  std::int64_t rows = 0;
+  for (const Tensor& t : parts) {
+    TG_CHECK_MSG(t.cols() == cols, "concat_rows: column mismatch");
+    rows += t.rows();
+  }
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.resize(static_cast<std::size_t>(rows * cols));
+  for (const Tensor& t : parts) {
+    if (t.requires_grad()) impl->requires_grad = true;
+  }
+  std::vector<TensorImplPtr> srcs;
+  for (const Tensor& t : parts) srcs.push_back(t.ptr());
+  if (impl->requires_grad) impl->parents = srcs;
+
+  std::size_t off = 0;
+  for (const Tensor& t : parts) {
+    std::copy_n(t.data().data(), t.numel(), impl->data.data() + off);
+    off += static_cast<std::size_t>(t.numel());
+  }
+  if (impl->requires_grad) {
+    impl->backward_fn = [srcs](TensorImpl& self) {
+      std::size_t o = 0;
+      for (const auto& s : srcs) {
+        if (s->requires_grad) {
+          accumulate(*s, std::span<const float>(
+                             self.grad.data() + o,
+                             static_cast<std::size_t>(s->numel())));
+        }
+        o += static_cast<std::size_t>(s->numel());
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
+  const std::int64_t cols = a.cols();
+  auto impl = make_result(static_cast<std::int64_t>(idx.size()), cols, {&a});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    TG_DCHECK(idx[i] >= 0 && idx[i] < a.rows());
+    std::copy_n(a.data().data() + static_cast<std::int64_t>(idx[i]) * cols,
+                cols, impl->data.data() + static_cast<std::int64_t>(i) * cols);
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto shared_idx = std::make_shared<std::vector<int>>(std::move(idx));
+    impl->backward_fn = [pa, shared_idx, cols](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < shared_idx->size(); ++i) {
+        const float* g = self.grad.data() + static_cast<std::int64_t>(i) * cols;
+        float* dst =
+            pa->grad.data() + static_cast<std::int64_t>((*shared_idx)[i]) * cols;
+        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor multi_gather(std::span<const Tensor> sources, std::vector<int> src_tensor,
+                    std::vector<int> src_row) {
+  TG_CHECK(!sources.empty());
+  TG_CHECK(src_tensor.size() == src_row.size());
+  const std::int64_t cols = sources[0].cols();
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = static_cast<std::int64_t>(src_tensor.size());
+  impl->cols = cols;
+  impl->data.resize(static_cast<std::size_t>(impl->rows * cols));
+  std::vector<TensorImplPtr> srcs;
+  for (const Tensor& t : sources) {
+    TG_CHECK(t.cols() == cols);
+    if (t.requires_grad()) impl->requires_grad = true;
+    srcs.push_back(t.ptr());
+  }
+  if (impl->requires_grad) impl->parents = srcs;
+
+  for (std::size_t i = 0; i < src_tensor.size(); ++i) {
+    const auto& s = srcs[static_cast<std::size_t>(src_tensor[i])];
+    TG_DCHECK(src_row[i] >= 0 && src_row[i] < s->rows);
+    std::copy_n(s->data.data() + static_cast<std::int64_t>(src_row[i]) * cols,
+                cols, impl->data.data() + static_cast<std::int64_t>(i) * cols);
+  }
+  if (impl->requires_grad) {
+    auto st = std::make_shared<std::vector<int>>(std::move(src_tensor));
+    auto sr = std::make_shared<std::vector<int>>(std::move(src_row));
+    impl->backward_fn = [srcs, st, sr, cols](TensorImpl& self) {
+      for (std::size_t i = 0; i < st->size(); ++i) {
+        const auto& s = srcs[static_cast<std::size_t>((*st)[i])];
+        if (!s->requires_grad) continue;
+        s->ensure_grad();
+        const float* g = self.grad.data() + static_cast<std::int64_t>(i) * cols;
+        float* dst = s->grad.data() + static_cast<std::int64_t>((*sr)[i]) * cols;
+        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor segment_sum(const Tensor& a, std::vector<int> seg,
+                   std::int64_t num_segments) {
+  TG_CHECK(static_cast<std::int64_t>(seg.size()) == a.rows());
+  const std::int64_t cols = a.cols();
+  auto impl = make_result(num_segments, cols, {&a});
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    TG_DCHECK(seg[i] >= 0 && seg[i] < num_segments);
+    const float* src = a.data().data() + static_cast<std::int64_t>(i) * cols;
+    float* dst = impl->data.data() + static_cast<std::int64_t>(seg[i]) * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto s = std::make_shared<std::vector<int>>(std::move(seg));
+    impl->backward_fn = [pa, s, cols](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < s->size(); ++i) {
+        const float* g =
+            self.grad.data() + static_cast<std::int64_t>((*s)[i]) * cols;
+        float* dst = pa->grad.data() + static_cast<std::int64_t>(i) * cols;
+        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor segment_max(const Tensor& a, std::vector<int> seg,
+                   std::int64_t num_segments) {
+  TG_CHECK(static_cast<std::int64_t>(seg.size()) == a.rows());
+  const std::int64_t cols = a.cols();
+  auto impl = make_result(num_segments, cols, {&a});
+  // argmax[s*cols + c] = input row that won; -1 = empty (output stays 0).
+  auto argmax = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(num_segments * cols), -1);
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    TG_DCHECK(seg[i] >= 0 && seg[i] < num_segments);
+    const float* src = a.data().data() + static_cast<std::int64_t>(i) * cols;
+    const std::int64_t base = static_cast<std::int64_t>(seg[i]) * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      int& am = (*argmax)[static_cast<std::size_t>(base + c)];
+      if (am < 0 || src[c] > impl->data[static_cast<std::size_t>(base + c)]) {
+        impl->data[static_cast<std::size_t>(base + c)] = src[c];
+        am = static_cast<int>(i);
+      }
+    }
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->backward_fn = [pa, argmax, cols](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t j = 0; j < self.grad.size(); ++j) {
+        const int row = (*argmax)[j];
+        if (row < 0) continue;
+        pa->grad[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols) +
+                 j % static_cast<std::size_t>(cols)] += self.grad[j];
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
+            const Tensor& x, std::int64_t out_rows) {
+  TG_CHECK(src.size() == dst.size() && src.size() == w.size());
+  const std::int64_t cols = x.cols();
+  auto impl = make_result(out_rows, cols, {&x});
+  for (std::size_t k = 0; k < src.size(); ++k) {
+    TG_DCHECK(src[k] >= 0 && src[k] < x.rows());
+    TG_DCHECK(dst[k] >= 0 && dst[k] < out_rows);
+    const float* xs = x.data().data() + static_cast<std::int64_t>(src[k]) * cols;
+    float* od = impl->data.data() + static_cast<std::int64_t>(dst[k]) * cols;
+    const float wk = w[k];
+    for (std::int64_t c = 0; c < cols; ++c) od[c] += wk * xs[c];
+  }
+  if (impl->requires_grad) {
+    auto px = x.ptr();
+    auto ps = std::make_shared<std::vector<int>>(std::move(src));
+    auto pd = std::make_shared<std::vector<int>>(std::move(dst));
+    auto pw = std::make_shared<std::vector<float>>(std::move(w));
+    impl->backward_fn = [px, ps, pd, pw, cols](TensorImpl& self) {
+      px->ensure_grad();
+      for (std::size_t k = 0; k < ps->size(); ++k) {
+        const float* g =
+            self.grad.data() + static_cast<std::int64_t>((*pd)[k]) * cols;
+        float* dx = px->grad.data() + static_cast<std::int64_t>((*ps)[k]) * cols;
+        const float wk = (*pw)[k];
+        for (std::int64_t c = 0; c < cols; ++c) dx[c] += wk * g[c];
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor sum_all(const Tensor& a) {
+  auto impl = make_result(1, 1, {&a});
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v;
+  impl->data[0] = acc;
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->backward_fn = [pa](TensorImpl& self) {
+      pa->ensure_grad();
+      for (float& g : pa->grad) g += self.grad[0];
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor mean_all(const Tensor& a) {
+  TG_CHECK(a.numel() > 0);
+  return scale(sum_all(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  TG_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const Tensor diff = sub(pred, target);
+  return mean_all(mul(diff, diff));
+}
+
+Tensor mse_loss_rows(const Tensor& pred, std::vector<int> rows,
+                     const Tensor& target) {
+  TG_CHECK(static_cast<std::int64_t>(rows.size()) == target.rows());
+  if (rows.empty()) return Tensor::zeros(1, 1);
+  return mse_loss(gather_rows(pred, std::move(rows)), target);
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  const std::int64_t rows = x.rows(), cols = x.cols();
+  TG_CHECK(gamma.rows() == 1 && gamma.cols() == cols);
+  TG_CHECK(beta.rows() == 1 && beta.cols() == cols);
+  auto impl = make_result(rows, cols, {&x, &gamma, &beta});
+
+  // Cache per-row statistics and the normalized values for backward.
+  auto xhat = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(rows * cols));
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data().data() + r * cols;
+    float mean = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) mean += xr[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float d = xr[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<std::size_t>(r)] = istd;
+    float* out = impl->data.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float h = (xr[c] - mean) * istd;
+      (*xhat)[static_cast<std::size_t>(r * cols + c)] = h;
+      out[c] = h * gamma.data()[static_cast<std::size_t>(c)] +
+               beta.data()[static_cast<std::size_t>(c)];
+    }
+  }
+  if (impl->requires_grad) {
+    auto px = x.ptr();
+    auto pg = gamma.ptr();
+    auto pb = beta.ptr();
+    impl->backward_fn = [px, pg, pb, xhat, inv_std, rows,
+                         cols](TensorImpl& self) {
+      if (pg->requires_grad) pg->ensure_grad();
+      if (pb->requires_grad) pb->ensure_grad();
+      if (px->requires_grad) px->ensure_grad();
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* g = self.grad.data() + r * cols;
+        const float* h = xhat->data() + r * cols;
+        // dgamma, dbeta.
+        if (pg->requires_grad) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            pg->grad[static_cast<std::size_t>(c)] += g[c] * h[c];
+          }
+        }
+        if (pb->requires_grad) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            pb->grad[static_cast<std::size_t>(c)] += g[c];
+          }
+        }
+        if (px->requires_grad) {
+          // dx = (istd/D) · (D·gy − Σgy − h·Σ(gy·h)), gy = g·gamma.
+          float sum_gy = 0.0f, sum_gyh = 0.0f;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float gy = g[c] * pg->data[static_cast<std::size_t>(c)];
+            sum_gy += gy;
+            sum_gyh += gy * h[c];
+          }
+          const float istd = (*inv_std)[static_cast<std::size_t>(r)];
+          float* dx = px->grad.data() + r * cols;
+          const float inv_d = 1.0f / static_cast<float>(cols);
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float gy = g[c] * pg->data[static_cast<std::size_t>(c)];
+            dx[c] += istd * (gy - inv_d * sum_gy - h[c] * inv_d * sum_gyh);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor softmax_groups(const Tensor& a, std::int64_t group) {
+  TG_CHECK(group >= 1 && a.cols() % group == 0);
+  auto impl = make_result(a.rows(), a.cols(), {&a});
+  const std::int64_t cols = a.cols();
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t g0 = 0; g0 < cols; g0 += group) {
+      const float* in = a.data().data() + r * cols + g0;
+      float* out = impl->data.data() + r * cols + g0;
+      float mx = in[0];
+      for (std::int64_t i = 1; i < group; ++i) mx = std::max(mx, in[i]);
+      float denom = 0.0f;
+      for (std::int64_t i = 0; i < group; ++i) {
+        out[i] = std::exp(in[i] - mx);
+        denom += out[i];
+      }
+      for (std::int64_t i = 0; i < group; ++i) out[i] /= denom;
+    }
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->backward_fn = [pa, group](TensorImpl& self) {
+      pa->ensure_grad();
+      const std::int64_t cols = self.cols;
+      for (std::int64_t r = 0; r < self.rows; ++r) {
+        for (std::int64_t g0 = 0; g0 < cols; g0 += group) {
+          const float* y = self.data.data() + r * cols + g0;
+          const float* gy = self.grad.data() + r * cols + g0;
+          float dot = 0.0f;
+          for (std::int64_t i = 0; i < group; ++i) dot += y[i] * gy[i];
+          float* gx = pa->grad.data() + r * cols + g0;
+          for (std::int64_t i = 0; i < group; ++i) {
+            gx[i] += y[i] * (gy[i] - dot);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor lut_kron_dot(const Tensor& a, const Tensor& b, const Tensor& lut,
+                    std::int64_t lut_dim) {
+  const std::int64_t rows = a.rows();
+  TG_CHECK(b.rows() == rows && lut.rows() == rows);
+  TG_CHECK(a.cols() == b.cols() && a.cols() % lut_dim == 0);
+  const std::int64_t groups = a.cols() / lut_dim;
+  TG_CHECK(lut.cols() == groups * lut_dim * lut_dim);
+
+  auto impl = make_result(rows, groups, {&a, &b, &lut});
+  const std::int64_t d = lut_dim;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t g = 0; g < groups; ++g) {
+      const float* av = a.data().data() + r * a.cols() + g * d;
+      const float* bv = b.data().data() + r * b.cols() + g * d;
+      const float* lv = lut.data().data() + r * lut.cols() + g * d * d;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < d; ++i) {
+        const float ai = av[i];
+        if (ai == 0.0f) continue;
+        const float* lrow = lv + i * d;
+        float inner = 0.0f;
+        for (std::int64_t j = 0; j < d; ++j) inner += bv[j] * lrow[j];
+        acc += ai * inner;
+      }
+      impl->data[static_cast<std::size_t>(r * groups + g)] = acc;
+    }
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto pb = b.ptr();
+    auto pl = lut.ptr();
+    impl->backward_fn = [pa, pb, pl, d, groups](TensorImpl& self) {
+      const std::int64_t rows2 = self.rows;
+      const std::int64_t acols = pa->cols;
+      const std::int64_t lcols = pl->cols;
+      if (pa->requires_grad) pa->ensure_grad();
+      if (pb->requires_grad) pb->ensure_grad();
+      if (pl->requires_grad) pl->ensure_grad();
+      for (std::int64_t r = 0; r < rows2; ++r) {
+        for (std::int64_t g = 0; g < groups; ++g) {
+          const float go = self.grad[static_cast<std::size_t>(r * groups + g)];
+          if (go == 0.0f) continue;
+          const float* av = pa->data.data() + r * acols + g * d;
+          const float* bv = pb->data.data() + r * acols + g * d;
+          const float* lv = pl->data.data() + r * lcols + g * d * d;
+          for (std::int64_t i = 0; i < d; ++i) {
+            const float* lrow = lv + i * d;
+            if (pa->requires_grad) {
+              float inner = 0.0f;
+              for (std::int64_t j = 0; j < d; ++j) inner += bv[j] * lrow[j];
+              pa->grad[static_cast<std::size_t>(r * acols + g * d + i)] +=
+                  go * inner;
+            }
+            if (pb->requires_grad) {
+              const float ai = av[i];
+              for (std::int64_t j = 0; j < d; ++j) {
+                pb->grad[static_cast<std::size_t>(r * acols + g * d + j)] +=
+                    go * ai * lrow[j];
+              }
+            }
+            if (pl->requires_grad) {
+              const float ai = av[i];
+              for (std::int64_t j = 0; j < d; ++j) {
+                pl->grad[static_cast<std::size_t>(r * lcols + g * d * d + i * d +
+                                                  j)] += go * ai * bv[j];
+              }
+            }
+          }
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+}  // namespace tg::nn

@@ -1,0 +1,100 @@
+#pragma once
+/// \file ops.hpp
+/// Differentiable operations over Tensor. Every op records a backward
+/// closure when any input requires grad. Index arguments (gather/scatter
+/// targets, segment ids) are plain integer vectors — they are not
+/// differentiated through.
+///
+/// Conventions: rank-2 tensors are row-major [rows, cols]; "segment" ops
+/// reduce edge-parallel tensors ([E, D]) into node-parallel tensors
+/// ([N, D]) — the message-passing primitives of the paper's models.
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace tg::nn {
+
+// ---- pointwise --------------------------------------------------------
+/// a + b. Shapes must match, or b may be a [1, D] row vector broadcast
+/// over a's rows (bias add).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+/// Elementwise product (same shape).
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+[[nodiscard]] Tensor relu(const Tensor& a);
+[[nodiscard]] Tensor leaky_relu(const Tensor& a, float slope = 0.01f);
+[[nodiscard]] Tensor sigmoid(const Tensor& a);
+[[nodiscard]] Tensor tanh_op(const Tensor& a);
+/// Numerically stable softplus — used where outputs must stay positive
+/// (delays, slews).
+[[nodiscard]] Tensor softplus(const Tensor& a);
+
+// ---- linear algebra ----------------------------------------------------
+/// [N, K] × [K, M] → [N, M].
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ---- shape ---------------------------------------------------------------
+/// Concatenate along columns; all inputs share the row count.
+[[nodiscard]] Tensor concat_cols(std::span<const Tensor> parts);
+/// Columns [begin, end) of a.
+[[nodiscard]] Tensor slice_cols(const Tensor& a, std::int64_t begin,
+                                std::int64_t end);
+/// Concatenate along rows; all inputs share the column count.
+[[nodiscard]] Tensor concat_rows(std::span<const Tensor> parts);
+
+// ---- gather / scatter ---------------------------------------------------
+/// out[i] = a[idx[i]] (rows).
+[[nodiscard]] Tensor gather_rows(const Tensor& a, std::vector<int> idx);
+/// out[i] = sources[src_tensor[i]].row(src_row[i]); all sources share the
+/// column count. Gathering across per-level tensors in the levelized
+/// propagation stage.
+[[nodiscard]] Tensor multi_gather(std::span<const Tensor> sources,
+                                  std::vector<int> src_tensor,
+                                  std::vector<int> src_row);
+/// out[s] = Σ_{i: seg[i]==s} a[i]; out has `num_segments` rows. Empty
+/// segments yield zero rows.
+[[nodiscard]] Tensor segment_sum(const Tensor& a, std::vector<int> seg,
+                                 std::int64_t num_segments);
+/// out[s] = max over the segment (elementwise); empty segments yield 0.
+[[nodiscard]] Tensor segment_max(const Tensor& a, std::vector<int> seg,
+                                 std::int64_t num_segments);
+
+// ---- sparse -------------------------------------------------------------
+/// COO sparse-dense matmul: out[dst[k]] += w[k] * x[src[k]] with
+/// `out_rows` output rows. The normalized-adjacency product of GCNII.
+[[nodiscard]] Tensor spmm(std::vector<int> src, std::vector<int> dst,
+                          std::vector<float> w, const Tensor& x,
+                          std::int64_t out_rows);
+
+// ---- reductions / losses --------------------------------------------------
+[[nodiscard]] Tensor sum_all(const Tensor& a);
+[[nodiscard]] Tensor mean_all(const Tensor& a);
+/// Mean squared error over all elements.
+[[nodiscard]] Tensor mse_loss(const Tensor& pred, const Tensor& target);
+/// MSE over a row subset: pred rows `rows` vs target (target has
+/// rows.size() rows). The masked endpoint/fan-in losses of Eq. 4–6.
+[[nodiscard]] Tensor mse_loss_rows(const Tensor& pred, std::vector<int> rows,
+                                   const Tensor& target);
+
+/// Row-wise layer normalization with learnable gain/bias:
+/// y = (x − mean_row)/√(var_row + eps) · gamma + beta; gamma/beta are
+/// [1, D]. One of the "bag of tricks" for deeper GNNs the paper cites
+/// (Chen et al. 2021); exposed for the GCNII baseline's normalized
+/// variant.
+[[nodiscard]] Tensor layer_norm(const Tensor& x, const Tensor& gamma,
+                                const Tensor& beta, float eps = 1e-5f);
+
+// ---- model-specific fused ops ---------------------------------------------
+/// Softmax within consecutive groups of `group` columns (normalizes the
+/// per-axis LUT interpolation coefficients).
+[[nodiscard]] Tensor softmax_groups(const Tensor& a, std::int64_t group);
+/// Kronecker-interpolated LUT read (paper §3.3.2): for G LUTs of size
+/// 7×7 per row, with per-axis coefficient vectors a,b of size G·7:
+///   out[e, g] = Σ_{i,j} a[e, g·7+i] · b[e, g·7+j] · lut[e, g·49+i·7+j].
+[[nodiscard]] Tensor lut_kron_dot(const Tensor& a, const Tensor& b,
+                                  const Tensor& lut, std::int64_t lut_dim);
+
+}  // namespace tg::nn

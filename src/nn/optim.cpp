@@ -1,0 +1,78 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg::nn {
+
+void Optimizer::zero_grad() {
+  for (Tensor& t : params_) t.zero_grad();
+}
+
+Adam::Adam(std::vector<Tensor> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& t : params_) {
+    m_.emplace_back(static_cast<std::size_t>(t.numel()), 0.0f);
+    v_.emplace_back(static_cast<std::size_t>(t.numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  // Optional global gradient clipping.
+  float clip_scale = 1.0f;
+  if (config_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (Tensor& t : params_) {
+      for (float g : t.grad()) norm_sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip) {
+      clip_scale = static_cast<float>(config_.grad_clip / norm);
+    }
+  }
+
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    auto data = params_[p].data();
+    auto grad = params_[p].grad();
+    auto& m = m_[p];
+    auto& v = v_[p];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      float g = grad[i] * clip_scale + config_.weight_decay * data[i];
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      data[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (const Tensor& t : params_) {
+    velocity_.emplace_back(static_cast<std::size_t>(t.numel()), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    auto data = params_[p].data();
+    auto grad = params_[p].grad();
+    auto& vel = velocity_[p];
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      vel[i] = momentum_ * vel[i] + grad[i];
+      data[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+}  // namespace tg::nn

@@ -1,0 +1,61 @@
+#pragma once
+/// \file optim.hpp
+/// First-order optimizers over a flat parameter list.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace tg::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  /// Gradient L2-norm clip; <= 0 disables.
+  float grad_clip = 0.0f;
+};
+
+/// Adam (Kingma & Ba 2015) with optional weight decay.
+class Adam : public Optimizer {
+ public:
+  using Config = AdamConfig;
+
+  Adam(std::vector<Tensor> params, AdamConfig config = {});
+  void step() override;
+
+  void set_lr(float lr) { config_.lr = lr; }
+  [[nodiscard]] float lr() const { return config_.lr; }
+
+ private:
+  Config config_;
+  long long t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+/// Plain SGD with momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace tg::nn

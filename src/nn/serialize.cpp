@@ -1,0 +1,79 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace tg::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54474E4E;  // "TGNN"
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<std::uint32_t>(module.parameters().size()));
+  for (std::size_t i = 0; i < module.parameters().size(); ++i) {
+    const std::string& name = module.parameter_names()[i];
+    const Tensor& t = module.parameters()[i];
+    write_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u32(out, static_cast<std::uint32_t>(t.rows()));
+    write_u32(out, static_cast<std::uint32_t>(t.cols()));
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  TG_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
+  TG_CHECK_MSG(read_u32(in) == kMagic, "bad model file magic in " << path);
+  const std::uint32_t count = read_u32(in);
+
+  std::map<std::string, std::pair<std::uint32_t, std::vector<float>>> blobs;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const std::uint32_t rows = read_u32(in);
+    const std::uint32_t cols = read_u32(in);
+    std::vector<float> data(static_cast<std::size_t>(rows) * cols);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    TG_CHECK_MSG(in.good(), "truncated model file " << path);
+    blobs.emplace(std::move(name), std::make_pair(rows, std::move(data)));
+  }
+
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < module.parameters().size(); ++i) {
+    const std::string& name = module.parameter_names()[i];
+    auto it = blobs.find(name);
+    TG_CHECK_MSG(it != blobs.end(), "parameter missing from file: " << name);
+    Tensor t = module.parameters()[i];
+    TG_CHECK_MSG(static_cast<std::size_t>(t.numel()) == it->second.second.size(),
+                 "shape mismatch for " << name);
+    std::copy(it->second.second.begin(), it->second.second.end(),
+              t.data().begin());
+    ++matched;
+  }
+  TG_CHECK_MSG(matched == blobs.size(),
+               "model file has " << blobs.size() << " tensors, module expects "
+                                 << matched);
+}
+
+}  // namespace tg::nn

@@ -1,0 +1,20 @@
+#pragma once
+/// \file serialize.hpp
+/// Name-keyed binary (de)serialization of module parameters, so trained
+/// models survive process restarts (used by examples/train_timing_gnn).
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace tg::nn {
+
+/// Writes all parameters of `module` to `path`. Format: magic, count, then
+/// per-parameter {name, rows, cols, float data}.
+void save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters by name into `module`. Every registered parameter must
+/// be present with matching shape; unknown names in the file are an error.
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace tg::nn

@@ -1,0 +1,115 @@
+#include "nn/tensor.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace tg::nn {
+
+void TensorImpl::ensure_grad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+}
+
+Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols,
+                     bool requires_grad) {
+  return full(rows, cols, 0.0f, requires_grad);
+}
+
+Tensor Tensor::full(std::int64_t rows, std::int64_t cols, float value,
+                    bool requires_grad) {
+  TG_CHECK(rows >= 0 && cols >= 1);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<std::size_t>(rows * cols), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_vector(std::vector<float> values, std::int64_t rows,
+                           std::int64_t cols, bool requires_grad) {
+  TG_CHECK_MSG(static_cast<std::int64_t>(values.size()) == rows * cols,
+               "from_vector: " << values.size() << " values for " << rows
+                               << "x" << cols);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::rand_uniform(std::int64_t rows, std::int64_t cols, float bound,
+                            Rng& rng, bool requires_grad) {
+  std::vector<float> values(static_cast<std::size_t>(rows * cols));
+  for (float& v : values) {
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return from_vector(std::move(values), rows, cols, requires_grad);
+}
+
+std::span<float> Tensor::grad() {
+  impl_->ensure_grad();
+  return impl_->grad;
+}
+
+std::span<const float> Tensor::grad() const {
+  TG_CHECK_MSG(impl_->grad.size() == impl_->data.size(),
+               "grad not allocated; call backward() first");
+  return impl_->grad;
+}
+
+float Tensor::item() const {
+  TG_CHECK_MSG(numel() == 1, "item() on tensor with " << numel() << " values");
+  return impl_->data[0];
+}
+
+float Tensor::at(std::int64_t r, std::int64_t c) const {
+  TG_CHECK(r >= 0 && r < rows() && c >= 0 && c < cols());
+  return impl_->data[static_cast<std::size_t>(r * cols() + c)];
+}
+
+void Tensor::zero_grad() {
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+void Tensor::backward() {
+  TG_CHECK_MSG(numel() == 1, "backward() requires a scalar loss");
+  // Topological order by iterative DFS.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, std::size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is children-before-parents w.r.t. the tape; reverse it so the
+  // loss comes first.
+  impl_->ensure_grad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor detach(const Tensor& t) {
+  return Tensor::from_vector(
+      std::vector<float>(t.data().begin(), t.data().end()), t.rows(),
+      t.cols(), false);
+}
+
+}  // namespace tg::nn

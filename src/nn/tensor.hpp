@@ -1,0 +1,90 @@
+#pragma once
+/// \file tensor.hpp
+/// A small reverse-mode autodiff tensor — the repository's stand-in for
+/// PyTorch (DESIGN.md §1). Tensors are dense float matrices (rank 1 or 2)
+/// with a dynamically recorded computation graph; Tensor values are cheap
+/// shared handles. Gradients are accumulated by Tensor::backward() in
+/// reverse topological order.
+///
+/// The op set (see ops.hpp) is exactly what the paper's models need:
+/// dense linear algebra, pointwise nonlinearities, row gather/scatter and
+/// segment reductions for message passing, and a COO sparse matmul for the
+/// GCNII baseline.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tg::nn {
+
+struct TensorImpl;
+using TensorImplPtr = std::shared_ptr<TensorImpl>;
+
+struct TensorImpl {
+  // Shape: rows × cols; rank-1 tensors use cols == 1.
+  std::int64_t rows = 0;
+  std::int64_t cols = 1;
+  std::vector<float> data;
+  std::vector<float> grad;  ///< allocated lazily, same size as data
+  bool requires_grad = false;
+
+  // Autograd tape.
+  std::vector<TensorImplPtr> parents;
+  std::function<void(TensorImpl&)> backward_fn;  ///< pushes grad to parents
+
+  [[nodiscard]] std::int64_t numel() const { return rows * cols; }
+  void ensure_grad();
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorImplPtr impl) : impl_(std::move(impl)) {}
+
+  // ---- constructors ---------------------------------------------------
+  static Tensor zeros(std::int64_t rows, std::int64_t cols = 1,
+                      bool requires_grad = false);
+  static Tensor full(std::int64_t rows, std::int64_t cols, float value,
+                     bool requires_grad = false);
+  static Tensor from_vector(std::vector<float> values, std::int64_t rows,
+                            std::int64_t cols = 1, bool requires_grad = false);
+  /// Uniform(-bound, bound) initialization (Kaiming-style bound chosen by
+  /// the modules).
+  static Tensor rand_uniform(std::int64_t rows, std::int64_t cols,
+                             float bound, Rng& rng,
+                             bool requires_grad = false);
+
+  // ---- inspection -----------------------------------------------------
+  [[nodiscard]] bool defined() const { return impl_ != nullptr; }
+  [[nodiscard]] std::int64_t rows() const { return impl_->rows; }
+  [[nodiscard]] std::int64_t cols() const { return impl_->cols; }
+  [[nodiscard]] std::int64_t numel() const { return impl_->numel(); }
+  [[nodiscard]] bool requires_grad() const { return impl_->requires_grad; }
+  [[nodiscard]] std::span<float> data() { return impl_->data; }
+  [[nodiscard]] std::span<const float> data() const { return impl_->data; }
+  [[nodiscard]] std::span<float> grad();
+  [[nodiscard]] std::span<const float> grad() const;
+  [[nodiscard]] float item() const;
+  [[nodiscard]] float at(std::int64_t r, std::int64_t c = 0) const;
+
+  [[nodiscard]] TensorImpl* impl() const { return impl_.get(); }
+  [[nodiscard]] const TensorImplPtr& ptr() const { return impl_; }
+
+  /// Zeroes accumulated gradients (no-op when none allocated).
+  void zero_grad();
+
+  /// Reverse-mode backprop from this (scalar) tensor; seeds d(this)=1.
+  void backward();
+
+ private:
+  TensorImplPtr impl_;
+};
+
+/// Creates a detached leaf tensor sharing nothing with `t` (copies data).
+[[nodiscard]] Tensor detach(const Tensor& t);
+
+}  // namespace tg::nn

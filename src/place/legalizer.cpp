@@ -1,0 +1,156 @@
+#include "place/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+
+struct Grid {
+  int num_rows = 0;
+  int sites_per_row = 0;
+  double x0 = 0.0, y0 = 0.0;
+
+  [[nodiscard]] double row_y(int row, double row_h) const {
+    return y0 + (row + 0.5) * row_h;
+  }
+  [[nodiscard]] double site_x(int site, double site_w, int span) const {
+    return x0 + (site + 0.5 * span) * site_w;
+  }
+};
+
+Grid make_grid(const Design& design, const LegalizerConfig& cfg) {
+  const BBox& die = design.die();
+  TG_CHECK_MSG(die.valid(), "legalizer needs a placed design with a die");
+  Grid g;
+  g.x0 = die.xmin;
+  g.y0 = die.ymin;
+  g.num_rows = std::max(1, static_cast<int>(die.height() / cfg.row_height_um));
+  g.sites_per_row = std::max(1, static_cast<int>(die.width() / cfg.site_width_um));
+  return g;
+}
+
+}  // namespace
+
+LegalizeReport legalize_placement(Design& design,
+                                  const LegalizerConfig& config) {
+  const Grid grid = make_grid(design, config);
+  const int span = config.sites_per_instance;
+  const long long capacity =
+      static_cast<long long>(grid.num_rows) * (grid.sites_per_row / span);
+  TG_CHECK_MSG(capacity >= design.num_instances(),
+               "die cannot fit " << design.num_instances()
+                                 << " instances legally");
+
+  // Process instances bottom-left to top-right for deterministic packing.
+  std::vector<InstId> order(static_cast<std::size_t>(design.num_instances()));
+  for (InstId i = 0; i < design.num_instances(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](InstId a, InstId b) {
+    const Point& pa = design.instance(a).pos;
+    const Point& pb = design.instance(b).pos;
+    return pa.x != pb.x ? pa.x < pb.x : (pa.y != pb.y ? pa.y < pb.y : a < b);
+  });
+
+  // Occupied slots per row (slot = site index / span).
+  const int slots_per_row = grid.sites_per_row / span;
+  std::vector<std::set<int>> occupied(static_cast<std::size_t>(grid.num_rows));
+
+  LegalizeReport report;
+  report.num_rows = grid.num_rows;
+
+  for (InstId id : order) {
+    Instance& inst = design.instance(id);
+    const int want_row = std::clamp(
+        static_cast<int>((inst.pos.y - grid.y0) / config.row_height_um), 0,
+        grid.num_rows - 1);
+    const int want_slot = std::clamp(
+        static_cast<int>((inst.pos.x - grid.x0) / (config.site_width_um * span)),
+        0, slots_per_row - 1);
+
+    // Spiral search over (row offset, slot offset) for the nearest free
+    // slot.
+    int best_row = -1, best_slot = -1;
+    double best_cost = 1e30;
+    for (int dr = 0; dr < grid.num_rows; ++dr) {
+      for (int sign = -1; sign <= 1; sign += 2) {
+        const int row = want_row + sign * dr;
+        if (row < 0 || row >= grid.num_rows) continue;
+        const double row_cost =
+            std::abs(static_cast<double>(dr)) * config.row_height_um;
+        if (row_cost >= best_cost) continue;
+        // Nearest free slot in this row around want_slot.
+        const auto& occ = occupied[static_cast<std::size_t>(row)];
+        for (int ds = 0; ds < slots_per_row; ++ds) {
+          bool found = false;
+          for (int s2 = -1; s2 <= 1; s2 += 2) {
+            const int slot = want_slot + s2 * ds;
+            if (slot < 0 || slot >= slots_per_row) continue;
+            if (occ.count(slot)) continue;
+            const double cost = row_cost + ds * config.site_width_um * span;
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_row = row;
+              best_slot = slot;
+            }
+            found = true;
+            break;
+          }
+          if (found) break;
+        }
+        if (sign == 1 && dr == 0) break;  // row 0 visited once
+      }
+      if (best_row >= 0 &&
+          std::abs(static_cast<double>(dr + 1)) * config.row_height_um >
+              best_cost) {
+        break;  // farther rows cannot improve
+      }
+    }
+    TG_CHECK_MSG(best_row >= 0, "no free slot found (capacity bug)");
+    occupied[static_cast<std::size_t>(best_row)].insert(best_slot);
+
+    const Point target{grid.site_x(best_slot * span, config.site_width_um, span),
+                       grid.row_y(best_row, config.row_height_um)};
+    const double dx = target.x - inst.pos.x;
+    const double dy = target.y - inst.pos.y;
+    const double disp = std::abs(dx) + std::abs(dy);
+    report.total_displacement_um += disp;
+    report.max_displacement_um = std::max(report.max_displacement_um, disp);
+    inst.pos = target;
+    for (PinId p : inst.pins) {
+      design.pin(p).pos.x += dx;
+      design.pin(p).pos.y += dy;
+    }
+  }
+  return report;
+}
+
+bool placement_is_legal(const Design& design, const LegalizerConfig& config) {
+  const Grid grid = make_grid(design, config);
+  const int span = config.sites_per_instance;
+  const int slots_per_row = grid.sites_per_row / span;
+  std::set<std::pair<int, int>> seen;
+  for (const Instance& inst : design.instances()) {
+    const int row =
+        static_cast<int>(std::lround((inst.pos.y - grid.y0) / config.row_height_um - 0.5));
+    const int slot = static_cast<int>(
+        std::lround((inst.pos.x - grid.x0) / (config.site_width_um * span) - 0.5));
+    if (row < 0 || row >= grid.num_rows || slot < 0 || slot >= slots_per_row) {
+      return false;
+    }
+    // On-grid check: position must match the slot center exactly-ish.
+    const double ex = grid.site_x(slot * span, config.site_width_um, span);
+    const double ey = grid.row_y(row, config.row_height_um);
+    if (std::abs(inst.pos.x - ex) > 1e-6 || std::abs(inst.pos.y - ey) > 1e-6) {
+      return false;
+    }
+    if (!seen.emplace(row, slot).second) return false;  // overlap
+  }
+  return true;
+}
+
+}  // namespace tg

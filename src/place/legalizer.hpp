@@ -1,0 +1,38 @@
+#pragma once
+/// \file legalizer.hpp
+/// Row-based placement legalization (Tetris-style): snaps instances to
+/// standard-cell rows and site columns, resolving overlaps greedily in
+/// left-to-right order per row. Optional post-pass on the synthetic
+/// placer's jittered coordinates when a caller needs overlap-free
+/// placements (e.g. DEF-style export or detailed-placement studies).
+
+#include "netlist/design.hpp"
+
+namespace tg {
+
+struct LegalizerConfig {
+  double row_height_um = 2.7;
+  double site_width_um = 0.46;
+  /// Sites an instance occupies (uniform cells; drive does not widen them
+  /// in the synthetic library).
+  int sites_per_instance = 8;
+};
+
+struct LegalizeReport {
+  double total_displacement_um = 0.0;
+  double max_displacement_um = 0.0;
+  int num_rows = 0;
+};
+
+/// Legalizes in place: every instance ends on a row/site grid inside the
+/// die with no two instances sharing sites. Pins move with their
+/// instances. Requires a placed design with a valid die.
+LegalizeReport legalize_placement(Design& design,
+                                  const LegalizerConfig& config = {});
+
+/// True if no two instances overlap on the row/site grid (the legalizer's
+/// postcondition; exposed for tests and assertions).
+[[nodiscard]] bool placement_is_legal(const Design& design,
+                                      const LegalizerConfig& config = {});
+
+}  // namespace tg

@@ -1,0 +1,153 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+
+/// BFS ordering of instances from the primary inputs through net
+/// connectivity; unreachable instances are appended. Gives a 1-D order in
+/// which logically-adjacent instances are index-adjacent.
+std::vector<InstId> connectivity_order(const Design& d) {
+  const int n = d.num_instances();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<InstId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::queue<InstId> frontier;
+
+  auto visit_net_sinks = [&](NetId net_id) {
+    const Net& net = d.net(net_id);
+    if (net.is_clock) return;
+    for (PinId s : net.sinks) {
+      const Pin& p = d.pin(s);
+      if (p.inst != kInvalidId && !seen[static_cast<std::size_t>(p.inst)]) {
+        seen[static_cast<std::size_t>(p.inst)] = 1;
+        frontier.push(p.inst);
+      }
+    }
+  };
+
+  for (PinId pi : d.primary_inputs()) {
+    if (d.pin(pi).net != kInvalidId) visit_net_sinks(d.pin(pi).net);
+  }
+  while (!frontier.empty()) {
+    const InstId i = frontier.front();
+    frontier.pop();
+    order.push_back(i);
+    const Instance& inst = d.instance(i);
+    for (PinId pid : inst.pins) {
+      const Pin& p = d.pin(pid);
+      if (p.drives_net && p.net != kInvalidId) visit_net_sinks(p.net);
+    }
+  }
+  for (InstId i = 0; i < n; ++i) {
+    if (!seen[static_cast<std::size_t>(i)]) order.push_back(i);
+  }
+  return order;
+}
+
+/// Per-pin geometric offset inside the cell footprint, so pins of one
+/// instance do not coincide exactly.
+Point pin_offset(int cell_pin, double row_height) {
+  const double step = row_height * 0.25;
+  return Point{step * (1 + cell_pin % 3), step * (1 + cell_pin / 3 % 3)};
+}
+
+}  // namespace
+
+PlacementReport place_design(Design& design, const PlacerConfig& config) {
+  TG_CHECK(design.num_instances() > 0);
+  TG_CHECK(config.utilization > 0.05 && config.utilization <= 1.0);
+  Rng rng(config.seed);
+
+  const int n = design.num_instances();
+  const double total_area =
+      static_cast<double>(n) * config.site_area_um2 / config.utilization;
+  const double side = std::sqrt(total_area);
+  const double row_h = config.row_height_um;
+  const int num_rows = std::max(1, static_cast<int>(side / row_h));
+  const int per_row = (n + num_rows - 1) / num_rows;
+  const double col_w = side / std::max(1, per_row);
+
+  BBox die;
+  die.xmin = 0.0;
+  die.ymin = 0.0;
+  die.xmax = side;
+  die.ymax = static_cast<double>(num_rows) * row_h;
+  design.set_die(die);
+
+  std::vector<InstId> order = connectivity_order(design);
+  TG_CHECK(static_cast<int>(order.size()) == n);
+
+  // Quality knob: swap a fraction of positions at random to degrade
+  // locality; quality=1 keeps BFS order, quality=0 is a full shuffle.
+  const int swaps =
+      static_cast<int>((1.0 - config.quality) * static_cast<double>(n));
+  for (int s = 0; s < swaps; ++s) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    std::swap(order[a], order[b]);
+  }
+
+  for (int k = 0; k < n; ++k) {
+    const int row = k / per_row;
+    int col = k % per_row;
+    if (row % 2 == 1) col = per_row - 1 - col;  // serpentine scan
+    double x = (static_cast<double>(col) + 0.5) * col_w;
+    double y = (static_cast<double>(row) + 0.5) * row_h;
+    x += rng.normal(0.0, config.jitter * row_h);
+    y += rng.normal(0.0, config.jitter * row_h);
+    x = std::clamp(x, die.xmin, die.xmax);
+    y = std::clamp(y, die.ymin, die.ymax);
+    Instance& inst = design.instance(order[static_cast<std::size_t>(k)]);
+    inst.pos = Point{x, y};
+    for (PinId pid : inst.pins) {
+      const Pin& p = design.pin(pid);
+      const Point off = pin_offset(p.cell_pin, row_h);
+      design.pin(pid).pos =
+          Point{std::clamp(x + off.x, die.xmin, die.xmax),
+                std::clamp(y + off.y, die.ymin, die.ymax)};
+    }
+  }
+
+  // Ports on the boundary: inputs spread along the left edge, outputs along
+  // the right edge (clock at the bottom-left corner if present).
+  const auto& pis = design.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(pis.size());
+    design.pin(pis[i]).pos = Point{die.xmin, die.ymin + t * die.height()};
+  }
+  const auto& pos_ = design.primary_outputs();
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(pos_.size());
+    design.pin(pos_[i]).pos = Point{die.xmax, die.ymin + t * die.height()};
+  }
+
+  PlacementReport report;
+  report.die_width = die.width();
+  report.die_height = die.height();
+  report.total_hpwl = total_hpwl(design);
+  return report;
+}
+
+double total_hpwl(const Design& design) {
+  double sum = 0.0;
+  std::vector<Point> pts;
+  for (const Net& net : design.nets()) {
+    if (net.is_clock) continue;
+    pts.clear();
+    pts.push_back(design.pin(net.driver).pos);
+    for (PinId s : net.sinks) pts.push_back(design.pin(s).pos);
+    sum += hpwl(pts);
+  }
+  return sum;
+}
+
+}  // namespace tg

@@ -1,0 +1,42 @@
+#pragma once
+/// \file placer.hpp
+/// Connectivity-aware synthetic placement.
+///
+/// The paper's model consumes *placement results* (pin coordinates,
+/// distances to the die boundary); the labels come from routing that
+/// placement. This placer produces realistic placements: logically close
+/// cells land physically close (BFS ordering over the netlist mapped onto
+/// a serpentine row scan), ports sit on the die boundary, and jitter plus
+/// a configurable "quality" knob emulate better or worse placements.
+
+#include "netlist/design.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+
+struct PlacerConfig {
+  std::uint64_t seed = 1;
+  double site_area_um2 = 12.0;   ///< average placed area per instance
+  double utilization = 0.65;     ///< die fill target
+  double row_height_um = 2.7;    ///< standard-cell row pitch
+  /// Placement-quality knob in [0,1]: 1 keeps the locality ordering, 0
+  /// fully shuffles it (a terrible placement). Used by ablation benches.
+  double quality = 0.92;
+  /// Positional jitter in row heights.
+  double jitter = 0.8;
+};
+
+struct PlacementReport {
+  double die_width = 0.0;
+  double die_height = 0.0;
+  double total_hpwl = 0.0;  ///< sum of net HPWLs (µm), clock excluded
+};
+
+/// Places all instances and ports of `design` in-place: sets Instance::pos,
+/// Pin::pos and the die box. Returns a summary report.
+PlacementReport place_design(Design& design, const PlacerConfig& config = {});
+
+/// Recomputes the total HPWL of the current placement (clock excluded).
+[[nodiscard]] double total_hpwl(const Design& design);
+
+}  // namespace tg

@@ -1,0 +1,340 @@
+#include "route/maze_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+RoutingGrid::RoutingGrid(const BBox& die, const MazeConfig& config)
+    : pitch_(config.gcell_um), die_(die), config_(config) {
+  TG_CHECK(die.valid());
+  TG_CHECK(config.gcell_um > 0.0);
+  nx_ = std::max(2, static_cast<int>(std::ceil(die.width() / pitch_)));
+  ny_ = std::max(2, static_cast<int>(std::ceil(die.height() / pitch_)));
+  // Horizontal edges: (nx-1)*ny, then vertical edges: nx*(ny-1).
+  usage_.assign(static_cast<std::size_t>((nx_ - 1) * ny_ + nx_ * (ny_ - 1)), 0);
+}
+
+int RoutingGrid::cell_of(const Point& p) const {
+  int ix = static_cast<int>((p.x - die_.xmin) / pitch_);
+  int iy = static_cast<int>((p.y - die_.ymin) / pitch_);
+  ix = std::clamp(ix, 0, nx_ - 1);
+  iy = std::clamp(iy, 0, ny_ - 1);
+  return iy * nx_ + ix;
+}
+
+Point RoutingGrid::center(int cell) const {
+  const int ix = cell % nx_;
+  const int iy = cell / nx_;
+  return Point{die_.xmin + (ix + 0.5) * pitch_, die_.ymin + (iy + 0.5) * pitch_};
+}
+
+int RoutingGrid::edge(int cell, int dir) const {
+  const int ix = cell % nx_;
+  const int iy = cell / nx_;
+  switch (dir) {
+    case 0: return ix + 1 < nx_ ? iy * (nx_ - 1) + ix : -1;
+    case 1: return ix > 0 ? iy * (nx_ - 1) + (ix - 1) : -1;
+    case 2: return iy + 1 < ny_ ? (nx_ - 1) * ny_ + iy * nx_ + ix : -1;
+    case 3: return iy > 0 ? (nx_ - 1) * ny_ + (iy - 1) * nx_ + ix : -1;
+    default: return -1;
+  }
+}
+
+int RoutingGrid::neighbor(int cell, int dir) const {
+  const int ix = cell % nx_;
+  const int iy = cell / nx_;
+  switch (dir) {
+    case 0: return ix + 1 < nx_ ? cell + 1 : -1;
+    case 1: return ix > 0 ? cell - 1 : -1;
+    case 2: return iy + 1 < ny_ ? cell + nx_ : -1;
+    case 3: return iy > 0 ? cell - nx_ : -1;
+    default: return -1;
+  }
+}
+
+void RoutingGrid::add_usage(int edge_id, int delta) {
+  TG_CHECK(edge_id >= 0 && edge_id < num_edges());
+  usage_[static_cast<std::size_t>(edge_id)] += delta;
+  TG_CHECK(usage_[static_cast<std::size_t>(edge_id)] >= 0);
+}
+
+double RoutingGrid::edge_cost(int edge_id) const {
+  const int u = usage_[static_cast<std::size_t>(edge_id)];
+  const double fill = static_cast<double>(u) / config_.capacity;
+  double cost = 1.0 + config_.congestion_alpha * fill * fill;
+  if (u >= config_.capacity) cost += config_.overflow_penalty;
+  return cost * pitch_;
+}
+
+int RoutingGrid::overflow_count() const {
+  int n = 0;
+  for (int u : usage_) n += (u >= config_.capacity) ? 1 : 0;
+  return n;
+}
+
+int RoutingGrid::max_usage() const {
+  int m = 0;
+  for (int u : usage_) m = std::max(m, u);
+  return m;
+}
+
+namespace {
+
+/// Scratch buffers reused across nets; generation stamps avoid O(grid)
+/// clearing per net.
+struct DijkstraScratch {
+  std::vector<double> dist;
+  std::vector<int> from_dir;  // direction taken to reach the cell
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t generation = 0;
+
+  explicit DijkstraScratch(int cells)
+      : dist(static_cast<std::size_t>(cells)),
+        from_dir(static_cast<std::size_t>(cells)),
+        stamp(static_cast<std::size_t>(cells), 0) {}
+
+  void begin() { ++generation; }
+  [[nodiscard]] bool seen(int c) const {
+    return stamp[static_cast<std::size_t>(c)] == generation;
+  }
+  void set(int c, double d, int dir) {
+    stamp[static_cast<std::size_t>(c)] = generation;
+    dist[static_cast<std::size_t>(c)] = d;
+    from_dir[static_cast<std::size_t>(c)] = dir;
+  }
+};
+
+struct QEntry {
+  double cost;
+  int cell;
+  friend bool operator>(const QEntry& a, const QEntry& b) {
+    return a.cost > b.cost;
+  }
+};
+
+constexpr int kOpposite[4] = {1, 0, 3, 2};
+
+/// Routes one net on the grid; returns the gcell tree as (cell, parent_cell)
+/// pairs in insertion order, root first with parent -1, and the grid edges
+/// consumed. `terminals` must be deduplicated grid cells, first = driver.
+struct GridTree {
+  std::vector<std::pair<int, int>> cells;  // (cell, parent index in `cells`)
+  std::vector<int> edges_used;
+};
+
+GridTree route_on_grid(RoutingGrid& grid, DijkstraScratch& scratch,
+                       const std::vector<int>& terminals) {
+  GridTree tree;
+  TG_CHECK(!terminals.empty());
+  std::unordered_map<int, int> cell_to_index;  // grid cell -> index in tree
+  tree.cells.emplace_back(terminals[0], -1);
+  cell_to_index[terminals[0]] = 0;
+
+  std::vector<char> reached(terminals.size(), 0);
+  reached[0] = 1;
+  // Terminals that coincide with the root cell.
+  int remaining = 0;
+  for (std::size_t t = 1; t < terminals.size(); ++t) {
+    if (terminals[t] == terminals[0]) reached[t] = 1;
+    else ++remaining;
+  }
+
+  std::vector<char> is_target(static_cast<std::size_t>(grid.num_cells()), 0);
+
+  while (remaining > 0) {
+    scratch.begin();
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> pq;
+    for (const auto& [cell, parent] : tree.cells) {
+      (void)parent;
+      if (!scratch.seen(cell)) {
+        scratch.set(cell, 0.0, -1);
+        pq.push(QEntry{0.0, cell});
+      }
+    }
+    for (std::size_t t = 0; t < terminals.size(); ++t) {
+      if (!reached[t]) is_target[static_cast<std::size_t>(terminals[t])] = 1;
+    }
+
+    int found = -1;
+    while (!pq.empty()) {
+      const QEntry top = pq.top();
+      pq.pop();
+      if (top.cost > scratch.dist[static_cast<std::size_t>(top.cell)] + 1e-12) {
+        continue;  // stale entry
+      }
+      if (is_target[static_cast<std::size_t>(top.cell)]) {
+        found = top.cell;
+        break;
+      }
+      for (int dir = 0; dir < 4; ++dir) {
+        const int nb = grid.neighbor(top.cell, dir);
+        if (nb < 0) continue;
+        const int e = grid.edge(top.cell, dir);
+        const double nd = top.cost + grid.edge_cost(e);
+        if (!scratch.seen(nb) || nd < scratch.dist[static_cast<std::size_t>(nb)] - 1e-12) {
+          scratch.set(nb, nd, dir);
+          pq.push(QEntry{nd, nb});
+        }
+      }
+    }
+    TG_CHECK_MSG(found >= 0, "maze router: unreachable terminal");
+    for (std::size_t t = 0; t < terminals.size(); ++t) {
+      if (!reached[t]) is_target[static_cast<std::size_t>(terminals[t])] = 0;
+    }
+
+    // Trace back from `found` to the tree, collecting path cells.
+    std::vector<std::pair<int, int>> path;  // (cell, dir used to reach it)
+    int cur = found;
+    while (cell_to_index.find(cur) == cell_to_index.end()) {
+      const int dir = scratch.from_dir[static_cast<std::size_t>(cur)];
+      TG_CHECK(dir >= 0);
+      path.emplace_back(cur, dir);
+      cur = grid.neighbor(cur, kOpposite[dir]);
+    }
+    // `cur` is on the tree; add path cells tree-side first.
+    int parent_index = cell_to_index.at(cur);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      const auto [cell, dir] = *it;
+      const int prev_cell = grid.neighbor(cell, kOpposite[dir]);
+      const int e = grid.edge(prev_cell, dir);
+      grid.add_usage(e, 1);
+      tree.edges_used.push_back(e);
+      tree.cells.emplace_back(cell, parent_index);
+      parent_index = static_cast<int>(tree.cells.size()) - 1;
+      cell_to_index[cell] = parent_index;
+    }
+    for (std::size_t t = 0; t < terminals.size(); ++t) {
+      if (!reached[t] && cell_to_index.count(terminals[t])) {
+        reached[t] = 1;
+        --remaining;
+      }
+    }
+  }
+  return tree;
+}
+
+/// Converts a grid tree into a RouteTopology with pin stubs.
+RouteTopology tree_to_topology(const Design& design, NetId net_id,
+                               const RoutingGrid& grid, const GridTree& tree) {
+  const Net& net = design.net(net_id);
+  const Point driver_pos = design.pin(net.driver).pos;
+  RouteTopology topo(driver_pos, net.driver);
+
+  // Grid-tree cells become topology nodes; cell 0 hangs under the driver
+  // pin node by a stub.
+  std::vector<int> cell_node(tree.cells.size());
+  for (std::size_t i = 0; i < tree.cells.size(); ++i) {
+    const auto [cell, parent] = tree.cells[i];
+    const Point pos = grid.center(cell);
+    if (parent < 0) {
+      cell_node[i] = topo.add_node(pos, 0, kInvalidId,
+                                   manhattan(pos, driver_pos));
+    } else {
+      cell_node[i] = topo.add_node(pos, cell_node[static_cast<std::size_t>(parent)],
+                                   kInvalidId, grid.pitch());
+    }
+  }
+  // Sink pins hang off their gcell node by a stub.
+  std::unordered_map<int, int> first_node_of_cell;
+  for (std::size_t i = 0; i < tree.cells.size(); ++i) {
+    first_node_of_cell.emplace(tree.cells[i].first, cell_node[i]);
+  }
+  for (PinId s : net.sinks) {
+    const Point pos = design.pin(s).pos;
+    const int cell = grid.cell_of(pos);
+    const auto it = first_node_of_cell.find(cell);
+    TG_CHECK_MSG(it != first_node_of_cell.end(),
+                 "sink gcell missing from routed tree");
+    topo.add_node(pos, it->second, s, manhattan(pos, grid.center(cell)));
+  }
+  topo.validate();
+  return topo;
+}
+
+}  // namespace
+
+MazeResult maze_route(const Design& design, const MazeConfig& config) {
+  TG_CHECK(design.die().valid());
+  RoutingGrid grid(design.die(), config);
+  DijkstraScratch scratch(grid.num_cells());
+
+  // Net order: small nets first (classic global-routing heuristic).
+  std::vector<NetId> order;
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    if (!design.net(n).is_clock) order.push_back(n);
+  }
+  std::vector<double> key(static_cast<std::size_t>(design.num_nets()), 0.0);
+  std::vector<Point> pts;
+  for (NetId n : order) {
+    const Net& net = design.net(n);
+    pts.clear();
+    pts.push_back(design.pin(net.driver).pos);
+    for (PinId s : net.sinks) pts.push_back(design.pin(s).pos);
+    key[static_cast<std::size_t>(n)] = hpwl(pts);
+  }
+  std::sort(order.begin(), order.end(), [&](NetId a, NetId b) {
+    return key[static_cast<std::size_t>(a)] < key[static_cast<std::size_t>(b)];
+  });
+
+  MazeResult result;
+  result.topologies.reserve(static_cast<std::size_t>(design.num_nets()));
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    // Placeholder; clock nets keep a trivial root-only topology.
+    const Net& net = design.net(n);
+    result.topologies.emplace_back(design.pin(net.driver).pos, net.driver);
+  }
+
+  std::vector<std::vector<int>> net_edges(static_cast<std::size_t>(design.num_nets()));
+
+  auto route_one = [&](NetId n) {
+    const Net& net = design.net(n);
+    std::vector<int> terminals;
+    terminals.push_back(grid.cell_of(design.pin(net.driver).pos));
+    for (PinId s : net.sinks) terminals.push_back(grid.cell_of(design.pin(s).pos));
+    GridTree tree = route_on_grid(grid, scratch, terminals);
+    net_edges[static_cast<std::size_t>(n)] = tree.edges_used;
+    result.topologies[static_cast<std::size_t>(n)] =
+        tree_to_topology(design, n, grid, tree);
+  };
+
+  for (NetId n : order) route_one(n);
+
+  // Rip-up-and-reroute: nets crossing overflowed edges get a second chance
+  // at the now-visible congestion picture.
+  for (int pass = 0; pass < config.ripup_passes; ++pass) {
+    if (grid.overflow_count() == 0) break;
+    std::vector<char> edge_overflow(static_cast<std::size_t>(grid.num_edges()), 0);
+    for (int e = 0; e < grid.num_edges(); ++e) {
+      if (grid.usage(e) >= config.capacity) edge_overflow[static_cast<std::size_t>(e)] = 1;
+    }
+    std::vector<NetId> victims;
+    for (NetId n : order) {
+      for (int e : net_edges[static_cast<std::size_t>(n)]) {
+        if (edge_overflow[static_cast<std::size_t>(e)]) {
+          victims.push_back(n);
+          break;
+        }
+      }
+    }
+    for (NetId n : victims) {
+      for (int e : net_edges[static_cast<std::size_t>(n)]) grid.add_usage(e, -1);
+      net_edges[static_cast<std::size_t>(n)].clear();
+      route_one(n);
+    }
+  }
+
+  result.overflow_edges = grid.overflow_count();
+  result.max_edge_usage = grid.max_usage();
+  for (const RouteTopology& t : result.topologies) {
+    result.total_wirelength += t.total_wirelength();
+  }
+  return result;
+}
+
+}  // namespace tg

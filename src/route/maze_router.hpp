@@ -1,0 +1,73 @@
+#pragma once
+/// \file maze_router.hpp
+/// Congestion-aware grid maze router — the ground-truth "router" of this
+/// reproduction (DESIGN.md §1). Nets are routed one at a time over a
+/// gcell grid with multi-terminal Dijkstra searches; edge costs grow with
+/// usage, and an optional rip-up-and-reroute pass clears overflows. The
+/// resulting detoured topologies are what the net-embedding GNN must learn
+/// to anticipate from placement alone.
+
+#include <cstdint>
+#include <vector>
+
+#include "route/topology.hpp"
+
+namespace tg {
+
+struct MazeConfig {
+  double gcell_um = 8.0;       ///< gcell pitch
+  int capacity = 14;           ///< routing tracks per gcell edge
+  double congestion_alpha = 2.5;  ///< quadratic congestion cost weight
+  double overflow_penalty = 8.0;  ///< extra cost factor at/over capacity
+  int ripup_passes = 1;        ///< rip-up-and-reroute iterations
+};
+
+/// Per-gcell-edge usage bookkeeping.
+class RoutingGrid {
+ public:
+  RoutingGrid(const BBox& die, const MazeConfig& config);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int num_cells() const { return nx_ * ny_; }
+  [[nodiscard]] int cell_of(const Point& p) const;
+  [[nodiscard]] Point center(int cell) const;
+
+  /// Grid edge between `cell` and its neighbour in direction dir
+  /// (0=+x, 1=-x, 2=+y, 3=-y). Returns -1 when off-grid; otherwise a
+  /// unique edge id.
+  [[nodiscard]] int edge(int cell, int dir) const;
+  [[nodiscard]] int neighbor(int cell, int dir) const;
+
+  [[nodiscard]] int usage(int edge_id) const { return usage_[static_cast<std::size_t>(edge_id)]; }
+  void add_usage(int edge_id, int delta);
+  /// Traversal cost of the edge at its current usage (µm-scaled).
+  [[nodiscard]] double edge_cost(int edge_id) const;
+  [[nodiscard]] double pitch() const { return pitch_; }
+
+  [[nodiscard]] int num_edges() const { return static_cast<int>(usage_.size()); }
+  /// Number of edges at or above capacity.
+  [[nodiscard]] int overflow_count() const;
+  [[nodiscard]] int max_usage() const;
+
+ private:
+  int nx_ = 0, ny_ = 0;
+  double pitch_ = 0.0;
+  BBox die_;
+  MazeConfig config_;
+  std::vector<int> usage_;
+};
+
+struct MazeResult {
+  std::vector<RouteTopology> topologies;  ///< indexed by NetId; clock nets
+                                          ///< get a trivial topology
+  int overflow_edges = 0;
+  int max_edge_usage = 0;
+  double total_wirelength = 0.0;
+};
+
+/// Routes every non-clock net of the placed design.
+[[nodiscard]] MazeResult maze_route(const Design& design,
+                                    const MazeConfig& config = {});
+
+}  // namespace tg

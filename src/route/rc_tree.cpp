@@ -1,0 +1,116 @@
+#include "route/rc_tree.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+constexpr double kLn9 = 2.1972245773362196;
+constexpr double kLn2 = 0.6931471805599453;
+}
+
+NetParasitics extract_parasitics(const Design& design, NetId net_id,
+                                 const RouteTopology& topo,
+                                 const WireModel& wire) {
+  const Net& net = design.net(net_id);
+  const int n = topo.size();
+
+  NetParasitics out;
+  out.wirelength = topo.total_wirelength();
+  out.sink_delay.assign(net.sinks.size(), per_corner_fill(0.0));
+  out.sink_slew_impulse.assign(net.sinks.size(), per_corner_fill(0.0));
+
+  // Map sink pin -> topology node (and verify coverage).
+  std::vector<int> sink_node(net.sinks.size(), -1);
+  for (int i = 0; i < n; ++i) {
+    const PinId p = topo.node(i).pin;
+    if (p == kInvalidId || p == net.driver) continue;
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      if (net.sinks[s] == p) sink_node[s] = i;
+    }
+  }
+  for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+    TG_CHECK_MSG(sink_node[s] >= 0, "sink pin missing from route topology of "
+                                        << net.name);
+  }
+
+  for (int corner = 0; corner < kNumCorners; ++corner) {
+    const bool early = corner_mode(corner) == Mode::kEarly;
+    const double derate = early ? wire.early_derate : 1.0;
+    const double r_per_um = wire.res_kohm_per_um * derate;
+    const double c_per_um = wire.cap_pf_per_um * derate;
+
+    // Node capacitances: half of each adjacent segment's wire cap plus the
+    // attached sink pin's input capacitance.
+    std::vector<double> cap(static_cast<std::size_t>(n), 0.0);
+    for (int i = 1; i < n; ++i) {
+      const double wc = topo.node(i).wire_to_parent * c_per_um;
+      cap[static_cast<std::size_t>(i)] += 0.5 * wc;
+      cap[static_cast<std::size_t>(topo.node(i).parent)] += 0.5 * wc;
+    }
+    for (int i = 0; i < n; ++i) {
+      const PinId p = topo.node(i).pin;
+      if (p != kInvalidId && p != net.driver) {
+        cap[static_cast<std::size_t>(i)] += design.pin_cap(p, corner);
+      }
+    }
+
+    // Downstream capacitance: children come after parents in the node
+    // array, so one reverse sweep suffices.
+    std::vector<double> downstream = cap;
+    for (int i = n - 1; i >= 1; --i) {
+      downstream[static_cast<std::size_t>(topo.node(i).parent)] +=
+          downstream[static_cast<std::size_t>(i)];
+    }
+
+    // Elmore delay (first moment m1): forward sweep.
+    std::vector<double> elmore(static_cast<std::size_t>(n), 0.0);
+    for (int i = 1; i < n; ++i) {
+      const double r_seg = topo.node(i).wire_to_parent * r_per_um;
+      elmore[static_cast<std::size_t>(i)] =
+          elmore[static_cast<std::size_t>(topo.node(i).parent)] +
+          r_seg * downstream[static_cast<std::size_t>(i)];
+    }
+
+    // Second moment for the optional D2M metric:
+    //   m2(i) = Σ_{segments e on root→i path} R_e · B(e),
+    //   B(e)  = Σ_{nodes k downstream of e} C_k · m1(k).
+    std::vector<double> m2;
+    if (wire.metric == WireModel::Metric::kD2m) {
+      std::vector<double> cm1(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        cm1[static_cast<std::size_t>(i)] =
+            cap[static_cast<std::size_t>(i)] * elmore[static_cast<std::size_t>(i)];
+      }
+      for (int i = n - 1; i >= 1; --i) {
+        cm1[static_cast<std::size_t>(topo.node(i).parent)] +=
+            cm1[static_cast<std::size_t>(i)];
+      }
+      m2.assign(static_cast<std::size_t>(n), 0.0);
+      for (int i = 1; i < n; ++i) {
+        const double r_seg = topo.node(i).wire_to_parent * r_per_um;
+        m2[static_cast<std::size_t>(i)] =
+            m2[static_cast<std::size_t>(topo.node(i).parent)] +
+            r_seg * cm1[static_cast<std::size_t>(i)];
+      }
+    }
+
+    out.load[corner] = downstream[0];
+    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+      const double m1 = elmore[static_cast<std::size_t>(sink_node[s])];
+      double d = m1;
+      if (wire.metric == WireModel::Metric::kD2m) {
+        const double second = m2[static_cast<std::size_t>(sink_node[s])];
+        // D2M = ln2 · m1² / √m2; degenerate (zero-length) paths keep 0.
+        d = second > 0.0 ? kLn2 * m1 * m1 / std::sqrt(second) : 0.0;
+      }
+      out.sink_delay[s][corner] = d;
+      out.sink_slew_impulse[s][corner] = kLn9 * m1;
+    }
+  }
+  return out;
+}
+
+}  // namespace tg

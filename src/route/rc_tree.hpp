@@ -1,0 +1,50 @@
+#pragma once
+/// \file rc_tree.hpp
+/// RC-tree extraction from a route topology and Elmore delay computation —
+/// the "net delay and net load" step of the two-step STA flow the paper's
+/// Section 3.1 describes. Wire slew degradation uses the classical
+/// ln(9)·Elmore (PERI-style) metric, combined with the input slew in
+/// quadrature by the timer.
+
+#include <vector>
+
+#include "liberty/corner.hpp"
+#include "route/topology.hpp"
+
+namespace tg {
+
+/// Per-µm wire parasitics. Units: kΩ, pF, ns (ns = kΩ·pF).
+struct WireModel {
+  double res_kohm_per_um = 0.0008;
+  double cap_pf_per_um = 0.00023;
+  /// Early-corner wire derating (process-fast wires).
+  double early_derate = 0.90;
+  /// Delay metric: Elmore (first moment, default — what the golden flow
+  /// and all labels use) or D2M = ln2 · m1²/√m2 (Alpert et al.), a less
+  /// pessimistic two-moment metric exposed for accuracy studies.
+  enum class Metric { kElmore, kD2m };
+  Metric metric = Metric::kElmore;
+};
+
+/// Electrical summary of one routed net.
+struct NetParasitics {
+  /// Total capacitance seen by the driver (wire + sink pins), per corner.
+  PerCorner load = per_corner_fill(0.0);
+  /// Elmore delay driver→sink per corner; indexed like Net::sinks.
+  std::vector<PerCorner> sink_delay;
+  /// Wire slew contribution ln9·Elmore per sink per corner; the timer
+  /// combines it with the driver output slew in quadrature.
+  std::vector<PerCorner> sink_slew_impulse;
+  /// Total wirelength of the topology (µm).
+  double wirelength = 0.0;
+};
+
+/// Computes Elmore parasitics of `topo` for the given net. The sink order
+/// of the result follows design.net(net_id).sinks. Every net sink must be
+/// present in the topology.
+[[nodiscard]] NetParasitics extract_parasitics(const Design& design,
+                                               NetId net_id,
+                                               const RouteTopology& topo,
+                                               const WireModel& wire = {});
+
+}  // namespace tg

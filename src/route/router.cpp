@@ -1,0 +1,35 @@
+#include "route/router.hpp"
+
+#include "util/timer.hpp"
+
+namespace tg {
+
+DesignRouting route_design(const Design& design, const RoutingOptions& options) {
+  WallTimer timer;
+  DesignRouting out;
+  out.nets.resize(static_cast<std::size_t>(design.num_nets()));
+
+  if (options.mode == RouteMode::kMaze) {
+    const MazeResult routed = maze_route(design, options.maze);
+    out.overflow_edges = routed.overflow_edges;
+    for (NetId n = 0; n < design.num_nets(); ++n) {
+      if (design.net(n).is_clock) continue;
+      out.nets[static_cast<std::size_t>(n)] = extract_parasitics(
+          design, n, routed.topologies[static_cast<std::size_t>(n)], options.wire);
+      out.total_wirelength +=
+          routed.topologies[static_cast<std::size_t>(n)].total_wirelength();
+    }
+  } else {
+    for (NetId n = 0; n < design.num_nets(); ++n) {
+      if (design.net(n).is_clock) continue;
+      const RouteTopology topo = build_net_steiner(design, n);
+      out.nets[static_cast<std::size_t>(n)] =
+          extract_parasitics(design, n, topo, options.wire);
+      out.total_wirelength += topo.total_wirelength();
+    }
+  }
+  out.route_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace tg

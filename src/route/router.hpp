@@ -1,0 +1,39 @@
+#pragma once
+/// \file router.hpp
+/// Whole-design routing orchestration. Two modes:
+///  - kSteiner: pre-routing estimate (Steiner trees straight from
+///    placement) — what a placer could afford to call in its inner loop;
+///  - kMaze: ground-truth routing (congestion-aware maze router) — the
+///    repository's stand-in for OpenROAD's route step that produces the
+///    training labels.
+
+#include <vector>
+
+#include "route/maze_router.hpp"
+#include "route/rc_tree.hpp"
+#include "route/steiner.hpp"
+
+namespace tg {
+
+enum class RouteMode { kSteiner, kMaze };
+
+struct RoutingOptions {
+  RouteMode mode = RouteMode::kMaze;
+  WireModel wire;
+  MazeConfig maze;
+};
+
+struct DesignRouting {
+  /// Indexed by NetId; clock nets carry empty parasitics.
+  std::vector<NetParasitics> nets;
+  double total_wirelength = 0.0;
+  int overflow_edges = 0;
+  /// Wall-clock seconds spent routing (Table 5 runtime column).
+  double route_seconds = 0.0;
+};
+
+/// Routes every non-clock net and extracts its parasitics.
+[[nodiscard]] DesignRouting route_design(const Design& design,
+                                         const RoutingOptions& options = {});
+
+}  // namespace tg

@@ -1,0 +1,130 @@
+#include "route/steiner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+
+/// Closest point to `q` on the axis-aligned segment [a, b].
+Point closest_on_segment(const Point& a, const Point& b, const Point& q) {
+  const double xmin = std::min(a.x, b.x), xmax = std::max(a.x, b.x);
+  const double ymin = std::min(a.y, b.y), ymax = std::max(a.y, b.y);
+  return Point{std::clamp(q.x, xmin, xmax), std::clamp(q.y, ymin, ymax)};
+}
+
+constexpr double kSamePoint = 1e-9;
+
+bool same_point(const Point& a, const Point& b) {
+  return manhattan(a, b) < kSamePoint;
+}
+
+}  // namespace
+
+RouteTopology build_steiner(Point driver_pos, PinId driver_pin,
+                            std::span<const SteinerSink> sinks) {
+  RouteTopology topo(driver_pos, driver_pin);
+  std::vector<char> connected(sinks.size(), 0);
+
+  for (std::size_t round = 0; round < sinks.size(); ++round) {
+    // Find the unconnected sink with the smallest distance to the current
+    // tree, and where it attaches.
+    double best_dist = std::numeric_limits<double>::infinity();
+    std::size_t best_sink = 0;
+    Point best_attach{};
+    int best_edge_child = -1;  // attach point lies on edge (child, parent)
+    int best_node = -1;        // or exactly at an existing node
+
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      if (connected[s]) continue;
+      const Point q = sinks[s].pos;
+      // Against every node.
+      for (int i = 0; i < topo.size(); ++i) {
+        const double dist = manhattan(topo.node(i).pos, q);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_sink = s;
+          best_attach = topo.node(i).pos;
+          best_node = i;
+          best_edge_child = -1;
+        }
+      }
+      // Against the interior of every straight edge.
+      for (int i = 1; i < topo.size(); ++i) {
+        const TopoNode& child = topo.node(i);
+        const Point& a = child.pos;
+        const Point& b = topo.node(child.parent).pos;
+        const Point cp = closest_on_segment(a, b, q);
+        const double dist = manhattan(cp, q);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_sink = s;
+          best_attach = cp;
+          best_node = -1;
+          best_edge_child = i;
+        }
+      }
+    }
+
+    // Materialize the attach point as a node.
+    int attach_node;
+    if (best_node >= 0) {
+      attach_node = best_node;
+    } else {
+      TG_CHECK(best_edge_child >= 0);
+      const TopoNode child_copy = topo.node(best_edge_child);
+      const int parent = child_copy.parent;
+      if (same_point(best_attach, child_copy.pos)) {
+        attach_node = best_edge_child;
+      } else if (same_point(best_attach, topo.node(parent).pos)) {
+        attach_node = parent;
+      } else {
+        // Split the edge: parent -- S -- child.
+        const int steiner = topo.add_node(best_attach, parent);
+        topo.set_parent(best_edge_child, steiner,
+                        manhattan(child_copy.pos, best_attach));
+        attach_node = steiner;
+      }
+    }
+
+    // Connect the sink via an L-shape (corner node when not aligned).
+    const Point q = sinks[best_sink].pos;
+    const Point a = topo.node(attach_node).pos;
+    int hook = attach_node;
+    if (std::abs(a.x - q.x) > kSamePoint && std::abs(a.y - q.y) > kSamePoint) {
+      hook = topo.add_node(Point{q.x, a.y}, attach_node);
+    }
+    if (same_point(q, topo.node(hook).pos)) {
+      // Sink coincides with the hook point (stacked pins): attach directly
+      // unless the hook already carries a pin, then add a zero-length node.
+      if (topo.node(hook).pin == kInvalidId && hook != 0) {
+        topo.attach_pin(hook, sinks[best_sink].pin);
+      } else {
+        topo.add_node(q, hook, sinks[best_sink].pin, 0.0);
+      }
+    } else {
+      topo.add_node(q, hook, sinks[best_sink].pin);
+    }
+    connected[best_sink] = 1;
+  }
+
+  topo.validate();
+  return topo;
+}
+
+RouteTopology build_net_steiner(const Design& design, NetId net_id) {
+  const Net& net = design.net(net_id);
+  TG_CHECK(net.driver != kInvalidId);
+  std::vector<SteinerSink> sinks;
+  sinks.reserve(net.sinks.size());
+  for (PinId s : net.sinks) {
+    sinks.push_back(SteinerSink{design.pin(s).pos, s});
+  }
+  return build_steiner(design.pin(net.driver).pos, net.driver, sinks);
+}
+
+}  // namespace tg

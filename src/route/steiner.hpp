@@ -1,0 +1,28 @@
+#pragma once
+/// \file steiner.hpp
+/// Rectilinear Steiner tree construction (Prim-style with segment
+/// splitting). This is the pre-routing wire estimate: every edge of the
+/// produced topology is a straight axis-aligned segment; L-shaped
+/// connections insert explicit corner nodes, and connections landing in
+/// the interior of an existing segment insert Steiner nodes.
+
+#include <span>
+
+#include "route/topology.hpp"
+
+namespace tg {
+
+struct SteinerSink {
+  Point pos;
+  PinId pin = kInvalidId;
+};
+
+/// Builds a Steiner topology rooted at the driver. Deterministic.
+[[nodiscard]] RouteTopology build_steiner(Point driver_pos, PinId driver_pin,
+                                          std::span<const SteinerSink> sinks);
+
+/// Convenience: Steiner topology of a placed net.
+[[nodiscard]] RouteTopology build_net_steiner(const Design& design,
+                                              NetId net_id);
+
+}  // namespace tg

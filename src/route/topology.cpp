@@ -1,0 +1,66 @@
+#include "route/topology.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+RouteTopology::RouteTopology(Point root_pos, PinId root_pin) {
+  nodes_.push_back(TopoNode{root_pos, -1, 0.0, root_pin});
+}
+
+int RouteTopology::add_node(Point pos, int parent, PinId pin, double wire_len) {
+  TG_CHECK(parent >= 0 && parent < size());
+  if (wire_len < 0.0) wire_len = manhattan(pos, nodes_[static_cast<std::size_t>(parent)].pos);
+  nodes_.push_back(TopoNode{pos, parent, wire_len, pin});
+  return size() - 1;
+}
+
+void RouteTopology::set_parent(int node, int parent, double wire_len) {
+  TG_CHECK(node > 0 && node < size());
+  TG_CHECK(parent >= 0 && parent < size() && parent != node);
+  nodes_[static_cast<std::size_t>(node)].parent = parent;
+  nodes_[static_cast<std::size_t>(node)].wire_to_parent = wire_len;
+}
+
+void RouteTopology::attach_pin(int node, PinId pin) {
+  TG_CHECK(node >= 0 && node < size());
+  TG_CHECK_MSG(nodes_[static_cast<std::size_t>(node)].pin == kInvalidId,
+               "node already carries a pin");
+  nodes_[static_cast<std::size_t>(node)].pin = pin;
+}
+
+double RouteTopology::total_wirelength() const {
+  double sum = 0.0;
+  for (const TopoNode& n : nodes_) sum += n.wire_to_parent;
+  return sum;
+}
+
+int RouteTopology::node_of_pin(PinId pin) const {
+  for (int i = 0; i < size(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].pin == pin) return i;
+  }
+  return -1;
+}
+
+void RouteTopology::validate() const {
+  TG_CHECK(!nodes_.empty());
+  TG_CHECK(nodes_[0].parent == -1);
+  for (int i = 1; i < size(); ++i) {
+    const TopoNode& n = nodes_[static_cast<std::size_t>(i)];
+    TG_CHECK_MSG(n.parent >= 0 && n.parent < size(), "bad parent at node " << i);
+    TG_CHECK(std::isfinite(n.wire_to_parent) && n.wire_to_parent >= 0.0);
+  }
+  // Reachability: walking parents from every node must terminate at 0.
+  for (int i = 0; i < size(); ++i) {
+    int steps = 0;
+    int cur = i;
+    while (cur != 0) {
+      cur = nodes_[static_cast<std::size_t>(cur)].parent;
+      TG_CHECK_MSG(++steps <= size(), "parent cycle in route topology");
+    }
+  }
+}
+
+}  // namespace tg

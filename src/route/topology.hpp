@@ -1,0 +1,58 @@
+#pragma once
+/// \file topology.hpp
+/// The routed shape of one net: a tree of axis-aligned segments rooted at
+/// the driver pin. Produced by either the Steiner constructor (pre-routing
+/// estimate) or the maze router (ground-truth routing), and consumed by the
+/// RC-tree extractor.
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "netlist/design.hpp"
+
+namespace tg {
+
+struct TopoNode {
+  Point pos;
+  int parent = -1;          ///< index of the parent node; -1 for the root
+  double wire_to_parent = 0.0;  ///< rectilinear wirelength of the segment (µm)
+  PinId pin = kInvalidId;   ///< attached design pin, or kInvalidId (Steiner)
+};
+
+class RouteTopology {
+ public:
+  /// Creates the root (driver) node.
+  explicit RouteTopology(Point root_pos, PinId root_pin);
+
+  /// Adds a node under `parent`; wire length defaults to the Manhattan
+  /// distance to the parent (pass explicitly for detoured maze routes).
+  int add_node(Point pos, int parent, PinId pin = kInvalidId,
+               double wire_len = -1.0);
+
+  /// Re-attaches the subtree rooted at `node` under a new parent (used by
+  /// the Steiner builder when splitting segments).
+  void set_parent(int node, int parent, double wire_len);
+
+  /// Attach an existing pin id to node `node` (maze router: pin lands on a
+  /// grid vertex that already exists).
+  void attach_pin(int node, PinId pin);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const TopoNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const std::vector<TopoNode>& nodes() const { return nodes_; }
+
+  /// Total rectilinear wirelength (µm).
+  [[nodiscard]] double total_wirelength() const;
+
+  /// Index of the node carrying `pin`, or -1.
+  [[nodiscard]] int node_of_pin(PinId pin) const;
+
+  /// Structural sanity: parents precede children, root is node 0, wire
+  /// lengths are >= Manhattan distance... (maze detours) and finite.
+  void validate() const;
+
+ private:
+  std::vector<TopoNode> nodes_;
+};
+
+}  // namespace tg

@@ -1,0 +1,99 @@
+#include "sta/incremental.hpp"
+
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+/// Min-heap entry ordered by topological level so updates run in
+/// dependency order.
+struct LevelEntry {
+  int level;
+  PinId pin;
+  friend bool operator>(const LevelEntry& a, const LevelEntry& b) {
+    return a.level > b.level;
+  }
+};
+}  // namespace
+
+IncrementalTimer::IncrementalTimer(const TimingGraph& graph,
+                                   DesignRouting* routing,
+                                   const StaOptions& options)
+    : graph_(&graph), routing_(routing), options_(options) {
+  TG_CHECK(routing != nullptr);
+  run_full();
+}
+
+void IncrementalTimer::run_full() {
+  result_ = run_sta(*graph_, *routing_, options_);
+  dirty_nets_.clear();
+  visited_ = graph_->num_nodes();
+}
+
+void IncrementalTimer::invalidate_net(NetId net) {
+  TG_CHECK(net >= 0 && net < graph_->design().num_nets());
+  TG_CHECK_MSG(!graph_->design().net(net).is_clock,
+               "clock nets are ideal and carry no parasitics");
+  dirty_nets_.insert(net);
+}
+
+bool IncrementalTimer::recompute_pin(PinId pin) {
+  const double change = sta_detail::propagate_pin(*graph_, *routing_, options_,
+                                                  result_, pin);
+  return change > kEps;
+}
+
+int IncrementalTimer::update() {
+  if (dirty_nets_.empty()) {
+    visited_ = 0;
+    return 0;
+  }
+
+  std::priority_queue<LevelEntry, std::vector<LevelEntry>,
+                      std::greater<LevelEntry>>
+      queue;
+  std::vector<char> queued(static_cast<std::size_t>(graph_->num_nodes()), 0);
+  auto enqueue = [&](PinId p) {
+    if (!queued[static_cast<std::size_t>(p)]) {
+      queued[static_cast<std::size_t>(p)] = 1;
+      queue.push(LevelEntry{graph_->level(p), p});
+    }
+  };
+
+  // Seeds: a net's parasitics affect its sinks (wire delay/slew) AND its
+  // driver (the load seen by the driving cell arcs).
+  for (NetId net : dirty_nets_) {
+    const Net& n = graph_->design().net(net);
+    enqueue(n.driver);
+    for (PinId s : n.sinks) enqueue(s);
+  }
+  dirty_nets_.clear();
+
+  int changed_pins = 0;
+  visited_ = 0;
+  while (!queue.empty()) {
+    const PinId p = queue.top().pin;
+    queue.pop();
+    ++visited_;
+    const bool changed = recompute_pin(p);
+    if (!changed) continue;
+    ++changed_pins;
+    for (int a : graph_->out_net_arcs(p)) {
+      enqueue(graph_->net_arcs()[static_cast<std::size_t>(a)].to);
+    }
+    for (int a : graph_->out_cell_arcs(p)) {
+      enqueue(graph_->cell_arcs()[static_cast<std::size_t>(a)].to);
+    }
+  }
+
+  if (changed_pins > 0) {
+    sta_detail::compute_required(*graph_, options_, result_);
+  }
+  return changed_pins;
+}
+
+}  // namespace tg

@@ -1,0 +1,53 @@
+#pragma once
+/// \file incremental.hpp
+/// Incremental timing update: after a small set of nets change their
+/// parasitics (an ECO, a placement move, a resized driver), re-propagate
+/// arrival/slew only through the affected fanout cones instead of the
+/// whole design. Required times are refreshed lazily on the affected
+/// backward cone. Produces results identical to a full run_sta (tested),
+/// typically touching a small fraction of the pins.
+
+#include <unordered_set>
+
+#include "sta/timer.hpp"
+
+namespace tg {
+
+class IncrementalTimer {
+ public:
+  /// Takes a full baseline STA. `routing` is referenced, not copied — it
+  /// must stay alive and is the object to mutate between updates.
+  IncrementalTimer(const TimingGraph& graph, DesignRouting* routing,
+                   const StaOptions& options = {});
+
+  /// Full (re)propagation; resets the baseline.
+  void run_full();
+
+  /// Declares that `net`'s parasitics in the routing were modified.
+  void invalidate_net(NetId net);
+
+  /// Re-times all invalidated cones. Returns the number of pins whose
+  /// arrival or slew actually changed.
+  int update();
+
+  [[nodiscard]] const StaResult& result() const { return result_; }
+  /// Pins re-evaluated by the last update() (diagnostics).
+  [[nodiscard]] long long last_update_visited() const { return visited_; }
+
+ private:
+  /// Recomputes arrival/slew/net_delay of one pin from its predecessors;
+  /// returns true if any value moved by more than kEps.
+  bool recompute_pin(PinId pin);
+  /// Backward required-time refresh over the whole graph (cheap sweep,
+  /// run once per update when anything changed).
+  void refresh_required_times();
+
+  const TimingGraph* graph_;
+  DesignRouting* routing_;
+  StaOptions options_;
+  StaResult result_;
+  std::unordered_set<NetId> dirty_nets_;
+  long long visited_ = 0;
+};
+
+}  // namespace tg

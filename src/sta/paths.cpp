@@ -1,0 +1,106 @@
+#include "sta/paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace tg {
+
+std::vector<CriticalPath> worst_paths(const TimingGraph& graph,
+                                      const StaResult& sta, int k,
+                                      bool setup) {
+  const Design& d = graph.design();
+  std::vector<std::pair<double, PinId>> endpoints;
+  for (PinId p = 0; p < d.num_pins(); ++p) {
+    if (!d.is_endpoint(p)) continue;
+    const double slack =
+        setup ? endpoint_setup_slack(sta, p) : endpoint_hold_slack(sta, p);
+    endpoints.emplace_back(slack, p);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  if (static_cast<int>(endpoints.size()) > k) endpoints.resize(static_cast<std::size_t>(k));
+
+  std::vector<CriticalPath> out;
+  for (const auto& [slack, p] : endpoints) {
+    CriticalPath path;
+    path.endpoint = p;
+    path.slack = slack;
+    path.is_setup = setup;
+
+    // Worst corner within the chosen mode.
+    const Mode mode = setup ? Mode::kLate : Mode::kEarly;
+    int corner = corner_index(mode, Trans::kRise);
+    const int alt = corner_index(mode, Trans::kFall);
+    if (sta.slack[static_cast<std::size_t>(p)][alt] <
+        sta.slack[static_cast<std::size_t>(p)][corner]) {
+      corner = alt;
+    }
+
+    // Walk predecessors to the root.
+    int pin = p;
+    int c = corner;
+    while (pin >= 0) {
+      path.steps.push_back(
+          PathStep{pin, c, sta.arrival[static_cast<std::size_t>(pin)][c]});
+      const int prev = sta.pred_pin[static_cast<std::size_t>(pin)][c];
+      const int prev_c = sta.pred_corner[static_cast<std::size_t>(pin)][c];
+      pin = prev;
+      c = prev_c;
+    }
+    std::reverse(path.steps.begin(), path.steps.end());
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+std::string format_path(const Design& design, const StaResult& sta,
+                        const CriticalPath& path) {
+  std::ostringstream os;
+  os << (path.is_setup ? "Setup" : "Hold") << " path to "
+     << design.pin_name(path.endpoint)
+     << "  slack=" << format_fixed(path.slack, 4) << " ns\n";
+  double prev_at = 0.0;
+  for (std::size_t i = 0; i < path.steps.size(); ++i) {
+    const PathStep& s = path.steps[i];
+    const double incr = s.arrival - prev_at;
+    prev_at = s.arrival;
+    os << "  " << format_fixed(s.arrival, 4) << " (+"
+       << format_fixed(i == 0 ? 0.0 : incr, 4) << ") ["
+       << corner_name(s.corner) << "] " << design.pin_name(s.pin) << '\n';
+  }
+  (void)sta;
+  return os.str();
+}
+
+std::vector<std::pair<double, int>> slack_histogram(const Design& design,
+                                                    const StaResult& sta,
+                                                    int bins, bool setup) {
+  TG_CHECK(bins > 0);
+  std::vector<double> slacks;
+  for (PinId p = 0; p < design.num_pins(); ++p) {
+    if (!design.is_endpoint(p)) continue;
+    slacks.push_back(setup ? endpoint_setup_slack(sta, p)
+                           : endpoint_hold_slack(sta, p));
+  }
+  std::vector<std::pair<double, int>> hist;
+  if (slacks.empty()) return hist;
+  const auto [lo_it, hi_it] = std::minmax_element(slacks.begin(), slacks.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  const double width = std::max(1e-12, (hi - lo) / bins);
+  hist.assign(static_cast<std::size_t>(bins), {0.0, 0});
+  for (int b = 0; b < bins; ++b) {
+    hist[static_cast<std::size_t>(b)].first = lo + width * (b + 1);
+  }
+  for (double s : slacks) {
+    int b = static_cast<int>((s - lo) / width);
+    b = std::clamp(b, 0, bins - 1);
+    ++hist[static_cast<std::size_t>(b)].second;
+  }
+  return hist;
+}
+
+}  // namespace tg

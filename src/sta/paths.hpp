@@ -1,0 +1,43 @@
+#pragma once
+/// \file paths.hpp
+/// Critical-path extraction and reporting on top of the golden timer —
+/// the user-facing report a downstream placer or designer reads
+/// (exercised by examples/sta_explorer).
+
+#include <string>
+#include <vector>
+
+#include "sta/timer.hpp"
+
+namespace tg {
+
+struct PathStep {
+  PinId pin = kInvalidId;
+  int corner = 0;
+  double arrival = 0.0;
+};
+
+struct CriticalPath {
+  PinId endpoint = kInvalidId;
+  double slack = 0.0;
+  bool is_setup = true;
+  /// Root-first sequence of pins along the worst path.
+  std::vector<PathStep> steps;
+};
+
+/// The `k` worst setup (late) or hold (early) endpoint paths, worst first.
+[[nodiscard]] std::vector<CriticalPath> worst_paths(const TimingGraph& graph,
+                                                    const StaResult& sta,
+                                                    int k, bool setup = true);
+
+/// Multi-line human-readable report of one path.
+[[nodiscard]] std::string format_path(const Design& design,
+                                      const StaResult& sta,
+                                      const CriticalPath& path);
+
+/// Histogram of endpoint setup slacks in `bins` equal-width buckets;
+/// returns pairs of (bin upper edge, count).
+[[nodiscard]] std::vector<std::pair<double, int>> slack_histogram(
+    const Design& design, const StaResult& sta, int bins, bool setup = true);
+
+}  // namespace tg

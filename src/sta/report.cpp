@@ -1,0 +1,49 @@
+#include "sta/report.hpp"
+
+#include <ostream>
+
+#include "util/string_util.hpp"
+
+namespace tg {
+
+void write_timing_report(std::ostream& out, const TimingGraph& graph,
+                         const StaResult& sta, const ReportOptions& options) {
+  const Design& d = graph.design();
+  out << "==== timing report: " << d.name() << " ====\n";
+  out << "clock period : " << format_fixed(d.clock_period(), 4) << " ns\n";
+  out << "endpoints    : " << d.stats().num_endpoints << "\n";
+  out << "setup        : WNS " << format_fixed(sta.wns_setup, 4) << " ns, TNS "
+      << format_fixed(sta.tns_setup, 4) << " ns\n";
+  out << "hold         : WNS " << format_fixed(sta.wns_hold, 4) << " ns, TNS "
+      << format_fixed(sta.tns_hold, 4) << " ns\n";
+  out << "timing " << (sta.wns_setup >= 0.0 && sta.wns_hold >= 0.0
+                           ? "MET"
+                           : "VIOLATED")
+      << "\n\n";
+
+  out << "---- " << options.num_paths << " worst setup paths ----\n";
+  for (const CriticalPath& path :
+       worst_paths(graph, sta, options.num_paths, /*setup=*/true)) {
+    out << format_path(d, sta, path) << "\n";
+  }
+  if (options.include_hold) {
+    out << "---- " << options.num_paths << " worst hold paths ----\n";
+    for (const CriticalPath& path :
+         worst_paths(graph, sta, options.num_paths, /*setup=*/false)) {
+      out << format_path(d, sta, path) << "\n";
+    }
+  }
+
+  out << "---- endpoint setup-slack histogram ----\n";
+  const auto hist = slack_histogram(d, sta, options.histogram_bins, true);
+  int max_count = 1;
+  for (const auto& [edge, count] : hist) max_count = std::max(max_count, count);
+  for (const auto& [edge, count] : hist) {
+    const int bar = 40 * count / max_count;
+    out << "<= " << format_fixed(edge, 4) << " ns | "
+        << std::string(static_cast<std::size_t>(bar), '#') << ' ' << count
+        << "\n";
+  }
+}
+
+}  // namespace tg

@@ -1,0 +1,24 @@
+#pragma once
+/// \file report.hpp
+/// Sign-off-style text timing report (in the spirit of report_checks):
+/// summary, K worst setup and hold paths, and the endpoint slack
+/// histogram, written to any ostream.
+
+#include <iosfwd>
+
+#include "sta/paths.hpp"
+
+namespace tg {
+
+struct ReportOptions {
+  int num_paths = 3;
+  int histogram_bins = 10;
+  bool include_hold = true;
+};
+
+/// Writes the full report; `sta` must come from `run_sta` on `graph`.
+void write_timing_report(std::ostream& out, const TimingGraph& graph,
+                         const StaResult& sta,
+                         const ReportOptions& options = {});
+
+}  // namespace tg

@@ -1,0 +1,264 @@
+#include "sta/timer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace tg {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Input transitions permitted by an arc's sense for a given output
+/// transition.
+void input_trans_candidates(Sense sense, Trans out, Trans cands[2], int& n) {
+  switch (sense) {
+    case Sense::kPositive:
+      cands[0] = out;
+      n = 1;
+      return;
+    case Sense::kNegative:
+      cands[0] = flip(out);
+      n = 1;
+      return;
+    case Sense::kNonUnate:
+      cands[0] = Trans::kRise;
+      cands[1] = Trans::kFall;
+      n = 2;
+      return;
+  }
+  n = 0;
+}
+
+}  // namespace
+
+namespace sta_detail {
+
+double propagate_pin(const TimingGraph& graph, const DesignRouting& routing,
+                     const StaOptions& options, StaResult& r, PinId p) {
+  const Design& d = graph.design();
+  const bool has_net_in = graph.in_net_arc(p) >= 0;
+  const bool has_cell_in = !graph.in_cell_arcs(p).empty();
+
+  PerCorner new_at{}, new_slew{};
+
+  if (!has_net_in && !has_cell_in) {
+    // Roots: primary inputs and (ideal-clock) FF CK pins.
+    const double slew0 =
+        d.is_clock_pin(p) ? options.clock_slew_ns : options.input_slew_ns;
+    new_at = per_corner_fill(0.0);
+    new_slew = per_corner_fill(slew0);
+  } else if (has_net_in) {
+    const NetArc& arc =
+        graph.net_arcs()[static_cast<std::size_t>(graph.in_net_arc(p))];
+    const NetParasitics& para = routing.nets[static_cast<std::size_t>(arc.net)];
+    TG_CHECK_MSG(!para.sink_delay.empty(),
+                 "net " << d.net(arc.net).name << " not routed");
+    const auto s = static_cast<std::size_t>(arc.sink_index);
+    for (int c = 0; c < kNumCorners; ++c) {
+      const double nd = para.sink_delay[s][c];
+      r.net_delay[static_cast<std::size_t>(p)][c] = nd;
+      new_at[c] = r.arrival[static_cast<std::size_t>(arc.from)][c] + nd;
+      const double in_slew = r.slew[static_cast<std::size_t>(arc.from)][c];
+      const double imp = para.sink_slew_impulse[s][c];
+      new_slew[c] = std::sqrt(in_slew * in_slew + imp * imp);
+      r.pred_pin[static_cast<std::size_t>(p)][c] = arc.from;
+      r.pred_corner[static_cast<std::size_t>(p)][c] = c;
+    }
+  } else {
+    // Cell output pin: combine all incoming cell arcs.
+    const NetId out_net = d.pin(p).net;
+    const NetParasitics& out_para =
+        routing.nets[static_cast<std::size_t>(out_net)];
+    for (int m = 0; m < kNumModes; ++m) {
+      const bool late = static_cast<Mode>(m) == Mode::kLate;
+      for (int t = 0; t < kNumTrans; ++t) {
+        const int c_out =
+            corner_index(static_cast<Mode>(m), static_cast<Trans>(t));
+        const double load = out_para.load[c_out];
+        double best_at = late ? -kInf : kInf;
+        double best_slew = late ? -kInf : kInf;
+        int best_pred = -1, best_pred_corner = -1;
+
+        for (int a : graph.in_cell_arcs(p)) {
+          const CellArc& carc = graph.cell_arcs()[static_cast<std::size_t>(a)];
+          const TimingArc& lib = graph.lib_arc(carc);
+          Trans cands[2];
+          int ncands = 0;
+          input_trans_candidates(lib.sense, static_cast<Trans>(t), cands,
+                                 ncands);
+          double arc_best_delay = late ? -kInf : kInf;
+          for (int k = 0; k < ncands; ++k) {
+            const int c_in = corner_index(static_cast<Mode>(m), cands[k]);
+            const double in_slew =
+                r.slew[static_cast<std::size_t>(carc.from)][c_in];
+            const double delay = lib.delay[c_out].lookup(in_slew, load);
+            const double oslew = lib.out_slew[c_out].lookup(in_slew, load);
+            const double at =
+                r.arrival[static_cast<std::size_t>(carc.from)][c_in] + delay;
+            if (late ? at > best_at : at < best_at) {
+              best_at = at;
+              best_pred = carc.from;
+              best_pred_corner = c_in;
+            }
+            if (late ? oslew > best_slew : oslew < best_slew) best_slew = oslew;
+            if (late ? delay > arc_best_delay : delay < arc_best_delay) {
+              arc_best_delay = delay;
+            }
+          }
+          r.cell_arc_delay[static_cast<std::size_t>(a)][c_out] = arc_best_delay;
+        }
+        TG_CHECK(std::isfinite(best_at));
+        new_at[c_out] = best_at;
+        new_slew[c_out] = best_slew;
+        r.pred_pin[static_cast<std::size_t>(p)][c_out] = best_pred;
+        r.pred_corner[static_cast<std::size_t>(p)][c_out] = best_pred_corner;
+      }
+    }
+  }
+
+  double max_change = 0.0;
+  for (int c = 0; c < kNumCorners; ++c) {
+    max_change = std::max(
+        max_change,
+        std::abs(new_at[c] - r.arrival[static_cast<std::size_t>(p)][c]));
+    max_change = std::max(
+        max_change, std::abs(new_slew[c] - r.slew[static_cast<std::size_t>(p)][c]));
+    r.arrival[static_cast<std::size_t>(p)][c] = new_at[c];
+    r.slew[static_cast<std::size_t>(p)][c] = new_slew[c];
+  }
+  return max_change;
+}
+
+void compute_required(const TimingGraph& graph, const StaOptions& options,
+                      StaResult& r) {
+  const Design& d = graph.design();
+  const int n = d.num_pins();
+  const double period = d.clock_period();
+
+  for (PinId p = 0; p < n; ++p) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      const bool late = corner_mode(c) == Mode::kLate;
+      r.rat[static_cast<std::size_t>(p)][c] = late ? kInf : -kInf;
+    }
+  }
+  for (PinId p = 0; p < n; ++p) {
+    if (!d.is_endpoint(p)) continue;
+    PerCorner setup = per_corner_fill(options.po_setup_margin_ns);
+    PerCorner hold = per_corner_fill(options.po_hold_margin_ns);
+    if (!d.pin(p).is_port) {
+      const CellType& cell = d.cell_of(p);
+      setup = cell.setup;
+      hold = cell.hold;
+    }
+    for (int c = 0; c < kNumCorners; ++c) {
+      const bool late = corner_mode(c) == Mode::kLate;
+      r.rat[static_cast<std::size_t>(p)][c] = late ? period - setup[c] : hold[c];
+    }
+  }
+
+  // Backward sweep over the topological order.
+  const auto& order = graph.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const PinId p = *it;
+    for (int a : graph.out_net_arcs(p)) {
+      const NetArc& arc = graph.net_arcs()[static_cast<std::size_t>(a)];
+      for (int c = 0; c < kNumCorners; ++c) {
+        const bool late = corner_mode(c) == Mode::kLate;
+        const double cand = r.rat[static_cast<std::size_t>(arc.to)][c] -
+                            r.net_delay[static_cast<std::size_t>(arc.to)][c];
+        double& rat = r.rat[static_cast<std::size_t>(p)][c];
+        rat = late ? std::min(rat, cand) : std::max(rat, cand);
+      }
+    }
+    for (int a : graph.out_cell_arcs(p)) {
+      const CellArc& carc = graph.cell_arcs()[static_cast<std::size_t>(a)];
+      const TimingArc& lib = graph.lib_arc(carc);
+      for (int m = 0; m < kNumModes; ++m) {
+        const bool late = static_cast<Mode>(m) == Mode::kLate;
+        for (int t = 0; t < kNumTrans; ++t) {
+          const int c_out =
+              corner_index(static_cast<Mode>(m), static_cast<Trans>(t));
+          Trans cands[2];
+          int ncands = 0;
+          input_trans_candidates(lib.sense, static_cast<Trans>(t), cands,
+                                 ncands);
+          const double cand = r.rat[static_cast<std::size_t>(carc.to)][c_out] -
+                              r.cell_arc_delay[static_cast<std::size_t>(a)][c_out];
+          for (int k = 0; k < ncands; ++k) {
+            const int c_in = corner_index(static_cast<Mode>(m), cands[k]);
+            double& rat = r.rat[static_cast<std::size_t>(p)][c_in];
+            rat = late ? std::min(rat, cand) : std::max(rat, cand);
+          }
+        }
+      }
+    }
+  }
+
+  // Slack and summary metrics.
+  r.wns_setup = kInf;
+  r.wns_hold = kInf;
+  r.tns_setup = 0.0;
+  r.tns_hold = 0.0;
+  for (PinId p = 0; p < n; ++p) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      const bool late = corner_mode(c) == Mode::kLate;
+      const double rat = r.rat[static_cast<std::size_t>(p)][c];
+      const double at = r.arrival[static_cast<std::size_t>(p)][c];
+      r.slack[static_cast<std::size_t>(p)][c] =
+          std::isfinite(rat) ? (late ? rat - at : at - rat) : kInf;
+    }
+    if (d.is_endpoint(p)) {
+      const double s_setup = endpoint_setup_slack(r, p);
+      const double s_hold = endpoint_hold_slack(r, p);
+      r.wns_setup = std::min(r.wns_setup, s_setup);
+      r.wns_hold = std::min(r.wns_hold, s_hold);
+      if (s_setup < 0.0) r.tns_setup += s_setup;
+      if (s_hold < 0.0) r.tns_hold += s_hold;
+    }
+  }
+}
+
+}  // namespace sta_detail
+
+StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
+                  const StaOptions& options) {
+  const Design& d = graph.design();
+  const int n = d.num_pins();
+  TG_CHECK(static_cast<int>(routing.nets.size()) == d.num_nets());
+
+  WallTimer timer;
+  StaResult r;
+  r.arrival.assign(static_cast<std::size_t>(n), per_corner_fill(0.0));
+  r.slew.assign(static_cast<std::size_t>(n), per_corner_fill(0.0));
+  r.net_delay.assign(static_cast<std::size_t>(n), per_corner_fill(0.0));
+  r.rat.assign(static_cast<std::size_t>(n), per_corner_fill(0.0));
+  r.slack.assign(static_cast<std::size_t>(n), per_corner_fill(0.0));
+  r.cell_arc_delay.assign(graph.cell_arcs().size(), per_corner_fill(0.0));
+  r.pred_pin.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
+  r.pred_corner.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
+
+  for (PinId p : graph.topo_order()) {
+    sta_detail::propagate_pin(graph, routing, options, r, p);
+  }
+  sta_detail::compute_required(graph, options, r);
+  r.sta_seconds = timer.seconds();
+  return r;
+}
+
+double endpoint_setup_slack(const StaResult& sta, PinId pin) {
+  const PerCorner& s = sta.slack[static_cast<std::size_t>(pin)];
+  return std::min(s[corner_index(Mode::kLate, Trans::kRise)],
+                  s[corner_index(Mode::kLate, Trans::kFall)]);
+}
+
+double endpoint_hold_slack(const StaResult& sta, PinId pin) {
+  const PerCorner& s = sta.slack[static_cast<std::size_t>(pin)];
+  return std::min(s[corner_index(Mode::kEarly, Trans::kRise)],
+                  s[corner_index(Mode::kEarly, Trans::kFall)]);
+}
+
+}  // namespace tg

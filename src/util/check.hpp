@@ -1,0 +1,55 @@
+#pragma once
+/// \file check.hpp
+/// Lightweight runtime-check macros used across the project.
+///
+/// TG_CHECK is always on (also in release builds): the cost is negligible
+/// next to the numerical work, and silent corruption in an EDA data model is
+/// far more expensive than a branch. TG_DCHECK compiles out in NDEBUG.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tg {
+
+/// Error type thrown by TG_CHECK failures. Distinct from std::logic_error so
+/// tests can assert on the project's own failures specifically.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TG_CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace tg
+
+#define TG_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) ::tg::detail::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TG_CHECK_MSG(cond, msg)                                    \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::ostringstream tg_check_os;                              \
+      tg_check_os << msg;                                          \
+      ::tg::detail::check_fail(#cond, __FILE__, __LINE__,          \
+                               tg_check_os.str());                 \
+    }                                                              \
+  } while (0)
+
+#ifdef NDEBUG
+#define TG_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define TG_DCHECK(cond) TG_CHECK(cond)
+#endif

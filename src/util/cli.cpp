@@ -1,0 +1,56 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace tg {
+
+CliOptions::CliOptions(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positionals_.push_back(arg);
+    }
+  }
+}
+
+bool CliOptions::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string CliOptions::get(const std::string& key,
+                            const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CliOptions::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long long CliOptions::get_int(const std::string& key, long long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool CliOptions::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace tg

@@ -1,0 +1,36 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny command-line option parser shared by benches and examples.
+/// Accepts --key=value and --flag forms; anything else is a positional.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+class CliOptions {
+ public:
+  CliOptions(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace tg

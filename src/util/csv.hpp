@@ -1,0 +1,32 @@
+#pragma once
+/// \file csv.hpp
+/// CSV writer used to dump scatter data (Fig. 4) and per-experiment series
+/// so results can be re-plotted outside this repository.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tg {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws CheckError
+  /// on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Append one row; must match header arity.
+  void add_row(const std::vector<std::string>& cells);
+  /// Convenience overload for all-numeric rows.
+  void add_row(const std::vector<double>& values, int precision = 6);
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tg

@@ -1,0 +1,36 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Defaults to Info; benches flip to Debug with
+/// --verbose. Not thread-safe by design — the project is single-threaded.
+
+#include <sstream>
+#include <string>
+
+namespace tg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace tg
+
+#define TG_LOG_AT(level, expr)                             \
+  do {                                                     \
+    if (static_cast<int>(level) >=                         \
+        static_cast<int>(::tg::log_level())) {             \
+      std::ostringstream tg_log_os;                        \
+      tg_log_os << expr;                                   \
+      ::tg::detail::log_emit(level, tg_log_os.str());      \
+    }                                                      \
+  } while (0)
+
+#define TG_DEBUG(expr) TG_LOG_AT(::tg::LogLevel::kDebug, expr)
+#define TG_INFO(expr) TG_LOG_AT(::tg::LogLevel::kInfo, expr)
+#define TG_WARN(expr) TG_LOG_AT(::tg::LogLevel::kWarn, expr)
+#define TG_ERROR(expr) TG_LOG_AT(::tg::LogLevel::kError, expr)

@@ -1,0 +1,27 @@
+#pragma once
+/// \file string_util.hpp
+/// Small string helpers shared by the CLI parser, table printer and CSV
+/// writer.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg {
+
+/// Split on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace on both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Fixed-precision float formatting ("%.*f").
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+/// Human-readable count with thousands separators (1234567 -> "1,234,567").
+[[nodiscard]] std::string with_commas(long long value);
+
+}  // namespace tg

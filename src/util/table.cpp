@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TG_CHECK(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TG_CHECK_MSG(cells.size() == headers_.size(),
+               "row arity " << cells.size() << " != header arity "
+                            << headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void Table::set_align(std::size_t col, Align align) {
+  TG_CHECK(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& s,
+                       std::size_t c) {
+    const std::size_t pad = widths[c] - s.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << s;
+    else os << s << std::string(pad, ' ');
+  };
+  auto emit_sep = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_sep(os);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    emit_cell(os, headers_[c], c);
+    os << " |";
+  }
+  os << '\n';
+  emit_sep(os);
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      emit_sep(os);
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      os << ' ';
+      emit_cell(os, r.cells[c], c);
+      os << " |";
+    }
+    os << '\n';
+  }
+  emit_sep(os);
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace tg

@@ -1,0 +1,44 @@
+#pragma once
+/// \file table.hpp
+/// Console table formatter used by the bench harnesses so their output
+/// mirrors the paper's tables (aligned columns, group separators, footer
+/// average rows).
+
+#include <string>
+#include <vector>
+
+namespace tg {
+
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table. Columns are sized to content; numeric cells
+/// should be pre-formatted by the caller (format_fixed).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a data row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+  /// Append a horizontal separator (e.g. between train and test groups).
+  void add_separator();
+
+  /// Column alignment (default: first column left, rest right).
+  void set_align(std::size_t col, Align align);
+
+  /// Render to a string, including header and borders.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+}  // namespace tg

@@ -1,0 +1,29 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timer used by the runtime columns of Table 5 and the micro
+/// benches' sanity checks.
+
+#include <chrono>
+
+namespace tg {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tg

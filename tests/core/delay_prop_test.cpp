@@ -1,0 +1,133 @@
+#include "core/delay_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/test_fixture.hpp"
+
+namespace tg::core {
+namespace {
+
+DelayPropConfig tiny_prop() {
+  DelayPropConfig cfg;
+  cfg.hidden = 8;
+  cfg.mlp_hidden = 8;
+  cfg.mlp_layers = 1;
+  cfg.lut.mlp_hidden = 8;
+  cfg.lut.mlp_layers = 1;
+  return cfg;
+}
+
+TEST(PropPlan, CoversAllNodesAndEdges) {
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  EXPECT_EQ(plan.num_levels, g.num_levels);
+  std::size_t nodes = 0;
+  for (const auto& lvl : plan.level_nodes) nodes += lvl.size();
+  EXPECT_EQ(nodes, static_cast<std::size_t>(g.num_nodes));
+  std::size_t net_edges = 0, cell_edges = 0;
+  for (const auto& e : plan.level_net_edges) net_edges += e.size();
+  for (const auto& e : plan.level_cell_edges) cell_edges += e.size();
+  EXPECT_EQ(net_edges, g.net_src.size());
+  EXPECT_EQ(cell_edges, g.cell_src.size());
+  EXPECT_EQ(plan.cell_edge_order.size(), g.cell_src.size());
+}
+
+TEST(PropPlan, RowsAreConsistent) {
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    const int lvl = plan.node_level[static_cast<std::size_t>(v)];
+    const int row = plan.node_row[static_cast<std::size_t>(v)];
+    EXPECT_EQ(plan.level_nodes[static_cast<std::size_t>(lvl)][static_cast<std::size_t>(row)], v);
+  }
+}
+
+TEST(DelayProp, ForwardShapes) {
+  Rng rng(1);
+  const DelayProp model(8, tiny_prop(), rng);
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  nn::Tensor emb = nn::Tensor::rand_uniform(g.num_nodes, 8, 0.5f, rng);
+  const DelayProp::Output out = model.forward(g, plan, emb);
+  EXPECT_EQ(out.state.rows(), g.num_nodes);
+  EXPECT_EQ(out.state.cols(), 8);
+  EXPECT_EQ(out.cell_delay.rows(), static_cast<std::int64_t>(g.cell_src.size()));
+  EXPECT_EQ(out.cell_delay.cols(), kNumCorners);
+}
+
+TEST(DelayProp, CellDelayPredictionsFinite) {
+  Rng rng(2);
+  const DelayProp model(8, tiny_prop(), rng);
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  nn::Tensor emb = nn::Tensor::rand_uniform(g.num_nodes, 8, 0.5f, rng);
+  const DelayProp::Output out = model.forward(g, plan, emb);
+  for (float v : out.cell_delay.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DelayProp, GradientsFlowThroughLevels) {
+  Rng rng(3);
+  DelayProp model(8, tiny_prop(), rng);
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  nn::Tensor emb = nn::Tensor::rand_uniform(g.num_nodes, 8, 0.5f, rng, true);
+  const DelayProp::Output out = model.forward(g, plan, emb);
+  nn::Tensor loss = nn::add(nn::sum_all(nn::mul(out.state, out.state)),
+                            nn::sum_all(out.cell_delay));
+  loss.backward();
+  // The embedding of a level-0 node must receive gradient (flows through
+  // the whole levelized pipeline).
+  double norm = 0.0;
+  for (float v : emb.grad()) norm += std::abs(v);
+  EXPECT_GT(norm, 0.0);
+  for (const nn::Tensor& p : model.parameters()) {
+    nn::Tensor copy = p;
+    double pnorm = 0.0;
+    for (float v : copy.grad()) pnorm += std::abs(v);
+    EXPECT_GT(pnorm, 0.0);
+  }
+}
+
+TEST(DelayProp, ReceptiveFieldCoversFullDepth) {
+  // This is the paper's Fig. 1 argument made executable: perturbing the
+  // embedding of a level-0 root must change the state of the deepest node,
+  // even though the deepest node is dozens of hops away — impossible for a
+  // K-layer GCN with K « depth.
+  Rng rng(4);
+  const DelayProp model(8, tiny_prop(), rng);
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  nn::Tensor emb = nn::Tensor::rand_uniform(g.num_nodes, 8, 0.5f, rng);
+
+  // Find a deepest node and one of its cone roots by walking predecessors.
+  int deep_node = 0;
+  for (int v = 0; v < g.num_nodes; ++v) {
+    if (g.node_level[static_cast<std::size_t>(v)] >
+        g.node_level[static_cast<std::size_t>(deep_node)]) {
+      deep_node = v;
+    }
+  }
+  ASSERT_GT(g.node_level[static_cast<std::size_t>(deep_node)], 10);
+
+  const nn::Tensor base = model.forward(g, plan, emb).state;
+
+  // Perturb ALL level-0 embeddings (the union of cone roots).
+  nn::Tensor emb2 = nn::Tensor::from_vector(
+      std::vector<float>(emb.data().begin(), emb.data().end()), emb.rows(),
+      emb.cols());
+  for (int v : plan.level_nodes[0]) {
+    for (std::int64_t c = 0; c < emb2.cols(); ++c) {
+      emb2.data()[static_cast<std::size_t>(v * emb2.cols() + c)] += 0.7f;
+    }
+  }
+  const nn::Tensor moved = model.forward(g, plan, emb2).state;
+
+  double diff = 0.0;
+  for (std::int64_t c = 0; c < base.cols(); ++c) {
+    diff += std::abs(base.at(deep_node, c) - moved.at(deep_node, c));
+  }
+  EXPECT_GT(diff, 1e-12);  // influence decays over ~40 levels but must exist
+}
+
+}  // namespace
+}  // namespace tg::core

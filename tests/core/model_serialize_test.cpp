@@ -1,0 +1,88 @@
+/// Round-trip (de)serialization of the full composed models — the
+/// mechanism behind the bench model cache and train_timing_gnn --save.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/test_fixture.hpp"
+#include "core/timing_gnn.hpp"
+#include "core/gcnii.hpp"
+#include "util/check.hpp"
+#include "nn/serialize.hpp"
+
+namespace tg::core {
+namespace {
+
+TimingGnnConfig tiny_config() {
+  TimingGnnConfig cfg;
+  cfg.net.hidden = cfg.net.mlp_hidden = 8;
+  cfg.net.mlp_layers = 1;
+  cfg.net.num_layers = 2;
+  cfg.prop.hidden = cfg.prop.mlp_hidden = cfg.prop.lut.mlp_hidden = 8;
+  cfg.prop.mlp_layers = cfg.prop.lut.mlp_layers = 1;
+  return cfg;
+}
+
+class ModelSerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/tg_full_model.bin";
+};
+
+TEST_F(ModelSerializeTest, TimingGnnRoundTripReproducesPredictions) {
+  TimingGnnConfig cfg = tiny_config();
+  cfg.seed = 3;
+  TimingGnn a(cfg);
+  save_parameters(a, path_);
+
+  TimingGnnConfig cfg2 = tiny_config();
+  cfg2.seed = 99;  // different init, overwritten by load
+  TimingGnn b(cfg2);
+  load_parameters(b, path_);
+
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  const auto pa = a.forward(g, plan);
+  const auto pb = b.forward(g, plan);
+  ASSERT_EQ(pa.atslew.numel(), pb.atslew.numel());
+  for (std::int64_t i = 0; i < pa.atslew.numel(); i += 7) {
+    EXPECT_EQ(pa.atslew.data()[static_cast<std::size_t>(i)],
+              pb.atslew.data()[static_cast<std::size_t>(i)]);
+  }
+  for (std::int64_t i = 0; i < pa.cell_delay.numel(); i += 7) {
+    EXPECT_EQ(pa.cell_delay.data()[static_cast<std::size_t>(i)],
+              pb.cell_delay.data()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(ModelSerializeTest, MismatchedWidthRejected) {
+  TimingGnn a(tiny_config());
+  save_parameters(a, path_);
+  TimingGnnConfig wide = tiny_config();
+  wide.prop.hidden = 16;
+  TimingGnn b(wide);
+  EXPECT_THROW(load_parameters(b, path_), CheckError);
+}
+
+TEST_F(ModelSerializeTest, GcniiRoundTrip) {
+  GcniiConfig cfg;
+  cfg.num_layers = 4;
+  cfg.hidden = 8;
+  Gcnii a(cfg);
+  save_parameters(a, path_);
+  cfg.seed = 1234;
+  Gcnii b(cfg);
+  load_parameters(b, path_);
+  const auto& g = testing::train_graph();
+  const GcniiAdjacency adj = build_gcnii_adjacency(g);
+  const nn::Tensor pa = a.forward(g, adj);
+  const nn::Tensor pb = b.forward(g, adj);
+  for (std::int64_t i = 0; i < pa.numel(); i += 11) {
+    EXPECT_EQ(pa.data()[static_cast<std::size_t>(i)],
+              pb.data()[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace tg::core

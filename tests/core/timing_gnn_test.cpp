@@ -1,0 +1,112 @@
+#include "core/timing_gnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/test_fixture.hpp"
+
+namespace tg::core {
+namespace {
+
+TimingGnnConfig tiny_config(bool net_aux = true, bool cell_aux = true) {
+  TimingGnnConfig cfg;
+  cfg.net.hidden = 8;
+  cfg.net.mlp_hidden = 8;
+  cfg.net.mlp_layers = 1;
+  cfg.net.num_layers = 2;
+  cfg.prop.hidden = 8;
+  cfg.prop.mlp_hidden = 8;
+  cfg.prop.mlp_layers = 1;
+  cfg.prop.lut.mlp_hidden = 8;
+  cfg.prop.lut.mlp_layers = 1;
+  cfg.use_net_aux = net_aux;
+  cfg.use_cell_aux = cell_aux;
+  return cfg;
+}
+
+TEST(TimingGnn, ForwardShapes) {
+  const TimingGnn model(tiny_config());
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  const TimingGnn::Prediction pred = model.forward(g, plan);
+  EXPECT_EQ(pred.atslew.rows(), g.num_nodes);
+  EXPECT_EQ(pred.atslew.cols(), 2 * kNumCorners);
+  EXPECT_EQ(pred.net_delay.rows(), g.num_nodes);
+  EXPECT_EQ(pred.cell_delay.rows(), static_cast<std::int64_t>(g.cell_src.size()));
+}
+
+TEST(TimingGnn, LossFiniteAndPositive) {
+  const TimingGnn model(tiny_config());
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  const auto pred = model.forward(g, plan);
+  const nn::Tensor loss = model.loss(g, plan, pred);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+TEST(TimingGnn, AblationsReduceLossTerms) {
+  // Full loss ≥ loss with an auxiliary term disabled (same predictions).
+  const TimingGnnConfig full_cfg = tiny_config(true, true);
+  const TimingGnn full(full_cfg);
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  const auto pred = full.forward(g, plan);
+  const float l_full = full.loss(g, plan, pred).item();
+
+  TimingGnnConfig no_aux_cfg = tiny_config(false, false);
+  const TimingGnn no_aux(no_aux_cfg);  // same seed → same weights
+  const float l_main = no_aux.loss(g, plan, pred).item();
+  EXPECT_GT(l_full, l_main);
+}
+
+TEST(TimingGnn, SameSeedSameWeights) {
+  const TimingGnn a(tiny_config());
+  const TimingGnn b(tiny_config());
+  ASSERT_EQ(a.parameters().size(), b.parameters().size());
+  for (std::size_t i = 0; i < a.parameters().size(); ++i) {
+    const auto av = a.parameters()[i].data();
+    const auto bv = b.parameters()[i].data();
+    for (std::size_t j = 0; j < av.size(); j += 13) {
+      EXPECT_EQ(av[j], bv[j]);
+    }
+  }
+}
+
+TEST(TimingGnn, BackwardTouchesEverything) {
+  TimingGnn model(tiny_config());
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  const auto pred = model.forward(g, plan);
+  model.loss(g, plan, pred).backward();
+  int with_grad = 0;
+  for (const nn::Tensor& p : model.parameters()) {
+    nn::Tensor copy = p;
+    double norm = 0.0;
+    for (float v : copy.grad()) norm += std::abs(v);
+    if (norm > 0.0) ++with_grad;
+  }
+  // Nearly all parameters get gradient (the final-layer merge of the cell
+  // delay head included thanks to the aux loss).
+  EXPECT_GE(with_grad, static_cast<int>(model.parameters().size()) - 2);
+}
+
+TEST(PredictedEndpointSlack, MatchesManualComputation) {
+  const auto& g = testing::test_graph();
+  ASSERT_FALSE(g.endpoints.empty());
+  const int ep = g.endpoints[0];
+  // Build a fake atslew where arrival = RAT - 0.25 at late corners and
+  // arrival = RAT + 0.5 at early corners.
+  std::vector<float> at(static_cast<std::size_t>(g.num_nodes) * 8, 0.0f);
+  for (int c = 0; c < kNumCorners; ++c) {
+    const bool late = corner_mode(c) == Mode::kLate;
+    at[static_cast<std::size_t>(ep * 8 + c)] =
+        g.rat.at(ep, c) + (late ? -0.25f : 0.5f);
+  }
+  nn::Tensor atslew = nn::Tensor::from_vector(std::move(at), g.num_nodes, 8);
+  const EndpointSlack s = predicted_endpoint_slack(g, atslew, ep);
+  EXPECT_NEAR(s.setup, 0.25, 1e-5);
+  EXPECT_NEAR(s.hold, 0.5, 1e-5);
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,97 @@
+#include "gen/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+class BlocksTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+  Rng rng_{1};
+  Design design_{"t", &lib_};
+  CircuitBuilder cb_{&design_, &rng_};
+
+  std::vector<SigId> inputs(int n) {
+    std::vector<SigId> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(cb_.add_input("i" + std::to_string(i)));
+    }
+    return out;
+  }
+};
+
+TEST_F(BlocksTest, XorTreeDepthIsLogarithmic) {
+  const auto in = inputs(16);
+  const SigId out = block_xor_tree(cb_, in);
+  EXPECT_EQ(cb_.sig(out).level, 4);  // log2(16)
+  // 15 XOR gates.
+  EXPECT_EQ(design_.num_instances(), 15);
+}
+
+TEST_F(BlocksTest, XorTreeSingleInputPassThrough) {
+  const auto in = inputs(1);
+  EXPECT_EQ(block_xor_tree(cb_, in), in[0]);
+  EXPECT_EQ(design_.num_instances(), 0);
+}
+
+TEST_F(BlocksTest, AdderWidthAndCarry) {
+  const auto a = inputs(4);
+  const auto b = inputs(4);
+  const auto sum = block_ripple_adder(cb_, a, b);
+  EXPECT_EQ(sum.size(), 5u);  // 4 sum bits + carry
+  // Carry chain makes the MSB deeper than the LSB.
+  EXPECT_GT(cb_.sig(sum[3]).level, cb_.sig(sum[0]).level);
+}
+
+TEST_F(BlocksTest, MuxTreeConsumesSelects) {
+  const auto data = inputs(8);
+  const auto sel = inputs(3);
+  const SigId out = block_mux_tree(cb_, data, sel);
+  EXPECT_EQ(cb_.sig(out).level, 3);
+  EXPECT_EQ(design_.num_instances(), 7);  // 4 + 2 + 1 muxes
+  // Lowest select level feeds 4 muxes.
+  EXPECT_EQ(cb_.sig(sel[0]).fanout, 4);
+  EXPECT_EQ(cb_.sig(sel[2]).fanout, 1);
+}
+
+TEST_F(BlocksTest, SboxConeOutputsRequestedWidth) {
+  const auto in = inputs(8);
+  const auto out = block_sbox_cone(cb_, in, 4, 8);
+  EXPECT_EQ(out.size(), 8u);
+  for (SigId s : out) EXPECT_GE(cb_.sig(s).level, 1);
+}
+
+TEST_F(BlocksTest, DecoderProducesAllMinterms) {
+  const auto sel = inputs(3);
+  const auto out = block_decoder(cb_, sel);
+  EXPECT_EQ(out.size(), 8u);
+  // Each select or its complement feeds 8 terms → heavy fanout.
+  EXPECT_GE(cb_.sig(sel[0]).fanout, 1);
+}
+
+TEST_F(BlocksTest, BuilderTracksFanout) {
+  const auto in = inputs(2);
+  cb_.gate("NAND2", {in[0], in[1]});
+  cb_.gate("AND2", {in[0], in[1]});
+  EXPECT_EQ(cb_.sig(in[0]).fanout, 2);
+}
+
+TEST_F(BlocksTest, RegisterSignalCreatesClock) {
+  const auto in = inputs(1);
+  const SigId q = cb_.register_signal(in[0]);
+  EXPECT_EQ(cb_.sig(q).level, 0);
+  EXPECT_EQ(cb_.num_ffs(), 1);
+  EXPECT_NE(design_.clock_net(), kInvalidId);
+}
+
+TEST_F(BlocksTest, GateRejectsWrongArity) {
+  const auto in = inputs(1);
+  EXPECT_THROW(cb_.gate("NAND2", {in[0]}), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

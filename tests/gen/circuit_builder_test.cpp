@@ -1,0 +1,92 @@
+#include "gen/circuit_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+class CircuitBuilderTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+  Rng rng_{42};
+  Design design_{"t", &lib_};
+  CircuitBuilder cb_{&design_, &rng_};
+};
+
+TEST_F(CircuitBuilderTest, InputsStartAtLevelZero) {
+  const SigId a = cb_.add_input("a");
+  EXPECT_EQ(cb_.sig(a).level, 0);
+  EXPECT_EQ(cb_.sig(a).fanout, 0);
+  EXPECT_EQ(design_.primary_inputs().size(), 1u);
+}
+
+TEST_F(CircuitBuilderTest, GateLevelIsMaxInputPlusOne) {
+  const SigId a = cb_.add_input("a");
+  const SigId b = cb_.add_input("b");
+  const SigId x = cb_.gate("AND2", {a, b});    // level 1
+  const SigId y = cb_.gate("XOR2", {x, a});    // level 2
+  const SigId z = cb_.gate("NAND2", {y, b});   // level 3
+  EXPECT_EQ(cb_.sig(x).level, 1);
+  EXPECT_EQ(cb_.sig(y).level, 2);
+  EXPECT_EQ(cb_.sig(z).level, 3);
+}
+
+TEST_F(CircuitBuilderTest, RepeatedInputsAllowed) {
+  const SigId a = cb_.add_input("a");
+  const SigId y = cb_.gate("AND2", {a, a});
+  EXPECT_EQ(cb_.sig(a).fanout, 2);
+  EXPECT_EQ(cb_.sig(y).level, 1);
+}
+
+TEST_F(CircuitBuilderTest, RegisterResetsLevelAndCountsFf) {
+  const SigId a = cb_.add_input("a");
+  const SigId inv = cb_.gate("INV", {a});
+  const SigId q = cb_.register_signal(inv);
+  EXPECT_EQ(cb_.sig(q).level, 0);
+  EXPECT_EQ(cb_.num_ffs(), 1);
+  EXPECT_EQ(cb_.sig(inv).fanout, 1);
+  // Clock net created exactly once.
+  cb_.register_signal(q);
+  EXPECT_EQ(cb_.num_ffs(), 2);
+  int clock_nets = 0;
+  for (const Net& n : design_.nets()) clock_nets += n.is_clock ? 1 : 0;
+  EXPECT_EQ(clock_nets, 1);
+}
+
+TEST_F(CircuitBuilderTest, OutputsCountAsFanout) {
+  const SigId a = cb_.add_input("a");
+  const SigId y = cb_.gate("BUF", {a});
+  cb_.add_output(y, "out");
+  EXPECT_EQ(cb_.sig(y).fanout, 1);
+  EXPECT_EQ(design_.primary_outputs().size(), 1u);
+}
+
+TEST_F(CircuitBuilderTest, DriveSamplingCoversAllStrengths) {
+  bool seen[5] = {};
+  for (int i = 0; i < 300; ++i) {
+    const int d = cb_.sample_drive();
+    ASSERT_TRUE(d == 1 || d == 2 || d == 4);
+    seen[d] = true;
+  }
+  EXPECT_TRUE(seen[1] && seen[2] && seen[4]);
+}
+
+TEST_F(CircuitBuilderTest, UnknownFunctionRejected) {
+  const SigId a = cb_.add_input("a");
+  EXPECT_THROW(cb_.gate("FROBNICATOR", {a}), CheckError);
+}
+
+TEST_F(CircuitBuilderTest, BuiltFragmentValidatesOnceComplete) {
+  const SigId a = cb_.add_input("a");
+  const SigId b = cb_.add_input("b");
+  const SigId y = cb_.gate("NOR2", {a, b});
+  const SigId q = cb_.register_signal(y);
+  cb_.add_output(q, "out");
+  EXPECT_NO_THROW(design_.validate());
+}
+
+}  // namespace
+}  // namespace tg

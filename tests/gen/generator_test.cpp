@@ -1,0 +1,116 @@
+#include "gen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "util/check.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "sta/timer.hpp"
+
+namespace tg {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+
+  DesignSpec small_spec() {
+    DesignSpec spec;
+    spec.name = "gen_t";
+    spec.seed = 77;
+    spec.target_nodes = 2000;
+    spec.target_endpoints = 120;
+    spec.num_inputs = 32;
+    spec.depth = 10;
+    return spec;
+  }
+};
+
+TEST_F(GeneratorTest, HitsNodeBudgetApproximately) {
+  const Design d = generate_design(small_spec(), lib_);
+  EXPECT_GT(d.num_pins(), 1400);
+  EXPECT_LT(d.num_pins(), 2700);
+}
+
+TEST_F(GeneratorTest, HitsEndpointBudgetApproximately) {
+  const Design d = generate_design(small_spec(), lib_);
+  const DesignStats s = d.stats();
+  EXPECT_GE(s.num_endpoints, 110);
+  EXPECT_LE(s.num_endpoints, 160);
+}
+
+TEST_F(GeneratorTest, DeterministicInSeed) {
+  const Design a = generate_design(small_spec(), lib_);
+  const Design b = generate_design(small_spec(), lib_);
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+  EXPECT_EQ(a.num_nets(), b.num_nets());
+  // Spot-check structure equality.
+  for (NetId n = 0; n < a.num_nets(); n += 37) {
+    EXPECT_EQ(a.net(n).driver, b.net(n).driver);
+    EXPECT_EQ(a.net(n).sinks, b.net(n).sinks);
+  }
+}
+
+TEST_F(GeneratorTest, SeedChangesStructure) {
+  DesignSpec s2 = small_spec();
+  s2.seed = 78;
+  const Design a = generate_design(small_spec(), lib_);
+  const Design b = generate_design(s2, lib_);
+  EXPECT_NE(a.num_pins(), b.num_pins());
+}
+
+TEST_F(GeneratorTest, FanoutCapRespected) {
+  DesignSpec spec = small_spec();
+  spec.max_fanout = 8;
+  const Design d = generate_design(spec, lib_);
+  for (const Net& net : d.nets()) {
+    if (net.is_clock) continue;
+    // The cap applies to generator sampling; the dangle collector can add
+    // one extra sink beyond it.
+    EXPECT_LE(net.sinks.size(), 10u) << net.name;
+  }
+}
+
+TEST_F(GeneratorTest, ValidatesAndHasClock) {
+  const Design d = generate_design(small_spec(), lib_);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_NE(d.clock_net(), kInvalidId);
+  EXPECT_GT(d.stats().num_ffs, 0);
+}
+
+TEST_F(GeneratorTest, DepthKnobControlsLevels) {
+  DesignSpec shallow = small_spec();
+  shallow.depth = 6;
+  DesignSpec deep = small_spec();
+  deep.depth = 24;
+  Design ds = generate_design(shallow, lib_);
+  Design dd = generate_design(deep, lib_);
+  // Compare max combinational level through quick topological analysis.
+  const TimingGraph gs(ds);
+  const TimingGraph gd(dd);
+  EXPECT_LT(gs.num_levels(), gd.num_levels());
+}
+
+TEST_F(GeneratorTest, CalibratedPeriodScalesWithFactor) {
+  Design d = generate_design(small_spec(), lib_);
+  place_design(d);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kSteiner;
+  const DesignRouting routing = route_design(d, opts);
+  const TimingGraph g(d);
+  const StaResult sta = run_sta(g, routing);
+  const double p1 = calibrated_period(d, sta.arrival, 1.0);
+  const double p2 = calibrated_period(d, sta.arrival, 1.2);
+  EXPECT_NEAR(p2 / p1, 1.2, 1e-9);
+  EXPECT_GT(p1, 0.0);
+}
+
+TEST_F(GeneratorTest, RejectsAbsurdSpecs) {
+  DesignSpec spec = small_spec();
+  spec.target_nodes = 10;  // below the minimum
+  EXPECT_THROW(generate_design(spec, lib_), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

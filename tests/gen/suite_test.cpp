@@ -1,0 +1,86 @@
+#include "gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Suite, Has21DesignsWithPaperSplit) {
+  const auto suite = table1_suite();
+  ASSERT_EQ(suite.size(), 21u);
+  int train = 0, test = 0;
+  for (const SuiteEntry& e : suite) (e.is_test ? test : train)++;
+  EXPECT_EQ(train, 14);
+  EXPECT_EQ(test, 7);
+  // Paper order: first 14 train, last 7 test.
+  for (int i = 0; i < 14; ++i) EXPECT_FALSE(suite[static_cast<std::size_t>(i)].is_test);
+  for (int i = 14; i < 21; ++i) EXPECT_TRUE(suite[static_cast<std::size_t>(i)].is_test);
+}
+
+TEST(Suite, NamesMatchPaperTable1) {
+  const auto suite = table1_suite();
+  EXPECT_EQ(suite[0].spec.name, "blabla");
+  EXPECT_EQ(suite[7].spec.name, "aes256");
+  EXPECT_EQ(suite[14].spec.name, "jpeg_encoder");
+  EXPECT_EQ(suite[20].spec.name, "synth_ram");
+}
+
+TEST(Suite, ScaledSizesProportionalToPaper) {
+  const auto suite = table1_suite(1.0 / 16);
+  for (const SuiteEntry& e : suite) {
+    if (e.paper_nodes / 16 > 600) {
+      EXPECT_NEAR(static_cast<double>(e.spec.target_nodes),
+                  static_cast<double>(e.paper_nodes) / 16.0,
+                  static_cast<double>(e.paper_nodes) / 16.0 * 0.01)
+          << e.spec.name;
+    }
+  }
+  // aes256 remains the largest, spm the smallest.
+  const auto& aes256 = suite[7];
+  const auto& spm = suite[18];
+  EXPECT_EQ(spm.spec.name, "spm");
+  for (const SuiteEntry& e : suite) {
+    EXPECT_LE(e.spec.target_nodes, aes256.spec.target_nodes);
+    EXPECT_GE(e.spec.target_nodes, spm.spec.target_nodes);
+  }
+}
+
+TEST(Suite, EntryLookup) {
+  const SuiteEntry e = suite_entry("picorv32a");
+  EXPECT_EQ(e.spec.name, "picorv32a");
+  EXPECT_FALSE(e.is_test);
+  EXPECT_THROW(suite_entry("nonexistent"), CheckError);
+}
+
+TEST(Suite, SeedsDifferAcrossDesigns) {
+  const auto suite = table1_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(suite[i].spec.seed, suite[j].spec.seed);
+    }
+  }
+}
+
+TEST(Suite, GeneratedStatsTrackPaperRatios) {
+  // Generate three small designs and verify node counts land near spec.
+  const Library lib = build_library();
+  for (const char* name : {"spm", "usb", "cic_decimator"}) {
+    const SuiteEntry e = suite_entry(name, 1.0 / 16);
+    const Design d = generate_design(e.spec, lib);
+    const double ratio =
+        static_cast<double>(d.num_pins()) / e.spec.target_nodes;
+    EXPECT_GT(ratio, 0.7) << name;
+    EXPECT_LT(ratio, 1.45) << name;
+  }
+}
+
+TEST(Suite, RejectsBadScale) {
+  EXPECT_THROW(table1_suite(0.0), CheckError);
+  EXPECT_THROW(table1_suite(1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,72 @@
+#include "geom/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tg {
+namespace {
+
+TEST(Manhattan, Basics) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(manhattan({-2, 0}, {2, 0}), 4.0);
+}
+
+TEST(Manhattan, Symmetry) {
+  const Point a{1.5, -2.0}, b{-7.0, 3.25};
+  EXPECT_DOUBLE_EQ(manhattan(a, b), manhattan(b, a));
+}
+
+TEST(BBox, EmptyInvalid) {
+  BBox b;
+  EXPECT_FALSE(b.valid());
+  EXPECT_DOUBLE_EQ(b.width(), 0.0);
+  EXPECT_DOUBLE_EQ(b.hpwl(), 0.0);
+}
+
+TEST(BBox, ExpandPoint) {
+  BBox b;
+  b.expand(Point{1, 2});
+  EXPECT_TRUE(b.valid());
+  EXPECT_DOUBLE_EQ(b.hpwl(), 0.0);
+  b.expand(Point{4, 6});
+  EXPECT_DOUBLE_EQ(b.width(), 3.0);
+  EXPECT_DOUBLE_EQ(b.height(), 4.0);
+  EXPECT_DOUBLE_EQ(b.hpwl(), 7.0);
+}
+
+TEST(BBox, ExpandBox) {
+  BBox a;
+  a.expand(Point{0, 0});
+  a.expand(Point{1, 1});
+  BBox b;
+  b.expand(Point{5, -2});
+  a.expand(b);
+  EXPECT_DOUBLE_EQ(a.xmax, 5.0);
+  EXPECT_DOUBLE_EQ(a.ymin, -2.0);
+}
+
+TEST(BBox, Contains) {
+  BBox b;
+  b.expand(Point{0, 0});
+  b.expand(Point{10, 10});
+  EXPECT_TRUE(b.contains({5, 5}));
+  EXPECT_TRUE(b.contains({0, 0}));   // boundary inclusive
+  EXPECT_TRUE(b.contains({10, 10}));
+  EXPECT_FALSE(b.contains({11, 5}));
+  EXPECT_FALSE(b.contains({5, -1}));
+}
+
+TEST(Hpwl, MatchesBoundingBox) {
+  const std::vector<Point> pts{{0, 0}, {2, 5}, {-1, 3}};
+  EXPECT_DOUBLE_EQ(hpwl(pts), 3.0 + 5.0);
+}
+
+TEST(Hpwl, SinglePointZero) {
+  const std::vector<Point> pts{{3, 3}};
+  EXPECT_DOUBLE_EQ(hpwl(pts), 0.0);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,93 @@
+/// Cross-component determinism: identical seeds must reproduce identical
+/// artifacts end to end — the property EXPERIMENTS.md promises and the
+/// bench model cache depends on.
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Determinism, MazeRoutingIsDeterministic) {
+  const Library lib = build_library();
+  auto build = [&] {
+    Design d = generate_design(suite_entry("usb", 1.0 / 32).spec, lib);
+    place_design(d);
+    RoutingOptions opts;
+    opts.mode = RouteMode::kMaze;
+    return route_design(d, opts);
+  };
+  const DesignRouting a = build();
+  const DesignRouting b = build();
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  EXPECT_DOUBLE_EQ(a.total_wirelength, b.total_wirelength);
+  for (std::size_t n = 0; n < a.nets.size(); n += 5) {
+    ASSERT_EQ(a.nets[n].sink_delay.size(), b.nets[n].sink_delay.size());
+    for (std::size_t s = 0; s < a.nets[n].sink_delay.size(); ++s) {
+      for (int c = 0; c < kNumCorners; ++c) {
+        EXPECT_DOUBLE_EQ(a.nets[n].sink_delay[s][c], b.nets[n].sink_delay[s][c]);
+      }
+    }
+  }
+}
+
+TEST(Determinism, TrainingIsBitDeterministic) {
+  const Library lib = build_library();
+  data::DatasetOptions options;
+  options.scale = 1.0 / 32;
+  const data::SuiteDataset ds =
+      data::build_suite_dataset(lib, options, {"zipdiv", "spm"});
+
+  auto train = [&] {
+    core::TimingGnnConfig cfg;
+    cfg.net.hidden = cfg.net.mlp_hidden = 8;
+    cfg.net.mlp_layers = 1;
+    cfg.prop.hidden = cfg.prop.mlp_hidden = cfg.prop.lut.mlp_hidden = 8;
+    cfg.prop.mlp_layers = cfg.prop.lut.mlp_layers = 1;
+    core::TrainOptions opt;
+    opt.epochs = 5;
+    opt.verbose = false;
+    core::TimingGnnTrainer trainer(cfg, opt);
+    trainer.fit(ds);
+    return trainer.model().parameters()[3].data()[7];
+  };
+  EXPECT_EQ(train(), train());
+}
+
+TEST(Determinism, StaIsPureFunctionOfInputs) {
+  const Library lib = build_library();
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib);
+  place_design(d);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kSteiner;
+  const DesignRouting routing = route_design(d, opts);
+  const TimingGraph g(d);
+  const StaResult a = run_sta(g, routing);
+  const StaResult b = run_sta(g, routing);
+  for (PinId p = 0; p < d.num_pins(); p += 3) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      EXPECT_DOUBLE_EQ(a.arrival[static_cast<std::size_t>(p)][c],
+                       b.arrival[static_cast<std::size_t>(p)][c]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.wns_setup, b.wns_setup);
+}
+
+TEST(Determinism, PlacementSeedControlsOutcome) {
+  const Library lib = build_library();
+  Design d1 = generate_design(suite_entry("spm", 1.0 / 32).spec, lib);
+  Design d2 = generate_design(suite_entry("spm", 1.0 / 32).spec, lib);
+  PlacerConfig a;
+  a.seed = 1;
+  PlacerConfig b;
+  b.seed = 2;
+  const double h1 = place_design(d1, a).total_hpwl;
+  const double h2 = place_design(d2, b).total_hpwl;
+  EXPECT_NE(h1, h2);  // different seeds → different placements
+}
+
+}  // namespace
+}  // namespace tg

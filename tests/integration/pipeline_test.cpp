@@ -1,0 +1,123 @@
+/// End-to-end integration: generate → place → route → STA → extract →
+/// train all three models → verify the paper's qualitative claims hold on
+/// a miniature dataset (one train + one test design).
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "liberty/library_builder.hpp"
+#include "metrics/metrics.hpp"
+#include "ml/net_features.hpp"
+#include "ml/random_forest.hpp"
+
+namespace tg {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new Library(build_library());
+    data::DatasetOptions options;
+    options.scale = 1.0 / 24;
+    ds_ = new data::SuiteDataset(
+        data::build_suite_dataset(*lib_, options, {"usb", "zipdiv", "spm"}));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete lib_;
+    ds_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  static Library* lib_;
+  static data::SuiteDataset* ds_;
+};
+
+Library* PipelineTest::lib_ = nullptr;
+data::SuiteDataset* PipelineTest::ds_ = nullptr;
+
+TEST_F(PipelineTest, DatasetSplitSanity) {
+  EXPECT_EQ(ds_->train_ids.size(), 2u);
+  EXPECT_EQ(ds_->test_ids.size(), 1u);
+}
+
+TEST_F(PipelineTest, TimerInspiredGnnLearnsAndTransfers) {
+  core::TimingGnnConfig cfg;
+  cfg.net.hidden = 16;
+  cfg.net.mlp_hidden = 16;
+  cfg.net.mlp_layers = 2;
+  cfg.prop.hidden = 16;
+  cfg.prop.mlp_hidden = 16;
+  cfg.prop.mlp_layers = 2;
+  core::TrainOptions opt;
+  opt.epochs = 120;
+  opt.lr = 2e-3f;
+  opt.verbose = false;
+  core::TimingGnnTrainer trainer(cfg, opt);
+  trainer.fit(*ds_);
+
+  const auto& train_g = ds_->graphs[static_cast<std::size_t>(ds_->train_ids[0])];
+  const auto& test_g = ds_->graphs[static_cast<std::size_t>(ds_->test_ids[0])];
+  const core::DesignEval train_eval = trainer.evaluate(train_g);
+  const core::DesignEval test_eval = trainer.evaluate(test_g);
+
+  // The paper's core claim in miniature: strong train fit AND positive
+  // transfer to an unseen design.
+  EXPECT_GT(train_eval.r2_arrival_endpoints, 0.75) << "train fit too weak";
+  EXPECT_GT(test_eval.r2_arrival_endpoints, 0.3) << "no generalization";
+}
+
+TEST_F(PipelineTest, RandomForestNetDelayBaselineWorks) {
+  // Train the statistics-based RF on the train designs' net features and
+  // verify positive R² on the held-out design (Table 4 baseline).
+  std::vector<float> x;
+  std::vector<float> y;
+  const int corner = corner_index(Mode::kLate, Trans::kRise);
+  for (int id : ds_->train_ids) {
+    const auto& g = ds_->graphs[static_cast<std::size_t>(id)];
+    const ml::NetFeatureSet fs =
+        ml::extract_net_features(*g.design, *g.truth_routing);
+    x.insert(x.end(), fs.features.begin(), fs.features.end());
+    const auto t = fs.target_corner(corner);
+    y.insert(y.end(), t.begin(), t.end());
+  }
+  ml::RandomForest forest;
+  ml::ForestConfig fcfg;
+  fcfg.num_trees = 30;
+  forest.fit(ml::Matrix{x.data(), y.size(), ml::kNetFeatureCount}, y, fcfg);
+
+  const auto& test_g = ds_->graphs[static_cast<std::size_t>(ds_->test_ids[0])];
+  const ml::NetFeatureSet fs =
+      ml::extract_net_features(*test_g.design, *test_g.truth_routing);
+  std::vector<float> pred(fs.rows);
+  forest.predict_batch(fs.matrix(), pred);
+  const auto truth = fs.target_corner(corner);
+  const double r2 = r2_score(std::span<const float>(truth),
+                             std::span<const float>(pred));
+  EXPECT_GT(r2, 0.5);
+}
+
+TEST_F(PipelineTest, RuntimeShapeGnnFasterThanRouteAndSta) {
+  // Table 5's right half: model inference must be much faster than the
+  // ground-truth route + STA flow. At miniature scale routing is trivially
+  // cheap, so measure on a full-size small benchmark (usb, ~3.4k pins).
+  data::DatasetOptions options;
+  options.scale = 1.0;
+  const data::DatasetGraph g =
+      data::build_design_graph(suite_entry("usb", options.scale), *lib_,
+                               options);
+  core::TimingGnnConfig cfg;
+  cfg.net.hidden = 16;
+  cfg.prop.hidden = 16;
+  core::TrainOptions opt;
+  opt.epochs = 1;
+  opt.verbose = false;
+  core::TimingGnnTrainer trainer(cfg, opt);
+  trainer.fit(*ds_);
+  const core::DesignEval eval = trainer.evaluate(g);
+  const double flow_seconds = g.route_seconds + g.sta_seconds;
+  EXPECT_LT(eval.infer_seconds, flow_seconds);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,40 @@
+#include "liberty/corner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+TEST(Corner, IndexRoundTrip) {
+  for (int m = 0; m < kNumModes; ++m) {
+    for (int t = 0; t < kNumTrans; ++t) {
+      const int c = corner_index(static_cast<Mode>(m), static_cast<Trans>(t));
+      EXPECT_EQ(static_cast<int>(corner_mode(c)), m);
+      EXPECT_EQ(static_cast<int>(corner_trans(c)), t);
+    }
+  }
+}
+
+TEST(Corner, FourCorners) {
+  EXPECT_EQ(kNumCorners, 4);
+  EXPECT_EQ(corner_index(Mode::kEarly, Trans::kRise), 0);
+  EXPECT_EQ(corner_index(Mode::kLate, Trans::kFall), 3);
+}
+
+TEST(Corner, Flip) {
+  EXPECT_EQ(flip(Trans::kRise), Trans::kFall);
+  EXPECT_EQ(flip(Trans::kFall), Trans::kRise);
+}
+
+TEST(Corner, Names) {
+  EXPECT_EQ(corner_name(corner_index(Mode::kEarly, Trans::kRise)), "early/rise");
+  EXPECT_EQ(corner_name(corner_index(Mode::kLate, Trans::kFall)), "late/fall");
+}
+
+TEST(Corner, PerCornerFill) {
+  const PerCorner v = per_corner_fill(2.5);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,109 @@
+/// Parameterized electrical-property sweep over every cell family and
+/// drive strength in the synthetic library: the NLDM surfaces must behave
+/// like real silicon (monotone in load, sensitive to slew, early ≤ late).
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+
+namespace tg {
+namespace {
+
+struct CellCase {
+  const char* function;
+  int drive;
+};
+
+class FamilySweep : public ::testing::TestWithParam<CellCase> {
+ protected:
+  static const Library& lib() {
+    static const Library* l = new Library(build_library());
+    return *l;
+  }
+  const CellType& cell() {
+    const auto [function, drive] = GetParam();
+    const int id =
+        lib().find_cell(std::string(function) + "_X" + std::to_string(drive));
+    EXPECT_GE(id, 0);
+    return lib().cell(id);
+  }
+};
+
+TEST_P(FamilySweep, DelayMonotoneInLoadEverywhere) {
+  for (const TimingArc& arc : cell().arcs) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      for (double slew : {0.01, 0.05, 0.2}) {
+        double prev = -1.0;
+        for (double load = 0.002; load <= 0.25; load *= 2.0) {
+          const double d = arc.delay[c].lookup(slew, load);
+          EXPECT_GT(d, prev) << cell().name << " corner " << c;
+          prev = d;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FamilySweep, SlewOutputMonotoneInLoad) {
+  for (const TimingArc& arc : cell().arcs) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      const double s1 = arc.out_slew[c].lookup(0.05, 0.005);
+      const double s2 = arc.out_slew[c].lookup(0.05, 0.2);
+      EXPECT_GT(s2, s1) << cell().name;
+    }
+  }
+}
+
+TEST_P(FamilySweep, EarlyNoSlowerThanLate) {
+  for (const TimingArc& arc : cell().arcs) {
+    for (int t = 0; t < kNumTrans; ++t) {
+      const int e = corner_index(Mode::kEarly, static_cast<Trans>(t));
+      const int l = corner_index(Mode::kLate, static_cast<Trans>(t));
+      for (double load : {0.01, 0.1}) {
+        EXPECT_LT(arc.delay[e].lookup(0.05, load),
+                  arc.delay[l].lookup(0.05, load))
+            << cell().name;
+      }
+    }
+  }
+}
+
+TEST_P(FamilySweep, AllValuesPositiveAndFinite) {
+  for (const TimingArc& arc : cell().arcs) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      for (int i = 0; i < kLutDim; ++i) {
+        for (int j = 0; j < kLutDim; ++j) {
+          EXPECT_GT(arc.delay[c].at(i, j), 0.0) << cell().name;
+          EXPECT_GT(arc.out_slew[c].at(i, j), 0.0) << cell().name;
+          EXPECT_LT(arc.delay[c].at(i, j), 100.0) << cell().name;
+        }
+      }
+    }
+  }
+  for (const CellPin& pin : cell().pins) {
+    if (pin.dir != PinDir::kInput) continue;
+    for (int c = 0; c < kNumCorners; ++c) {
+      EXPECT_GT(pin.cap[c], 0.0) << cell().name << '/' << pin.name;
+      EXPECT_LT(pin.cap[c], 0.1) << cell().name << '/' << pin.name;
+    }
+  }
+}
+
+std::vector<CellCase> all_cases() {
+  std::vector<CellCase> cases;
+  for (const char* fam :
+       {"INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3", "AND2", "OR2", "XOR2",
+        "XNOR2", "MUX2", "AOI21", "OAI21", "DFF"}) {
+    for (int drive : {1, 2, 4}) cases.push_back(CellCase{fam, drive});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, FamilySweep, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<CellCase>& info) {
+                           return std::string(info.param.function) + "_X" +
+                                  std::to_string(info.param.drive);
+                         });
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,156 @@
+#include "liberty/liberty_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liberty/library_builder.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+TEST(LibertyIo, RoundTripPreservesStructure) {
+  const Library lib = build_library();
+  std::stringstream buf;
+  write_liberty(lib, buf);
+  const Library parsed = read_liberty(buf);
+
+  ASSERT_EQ(parsed.num_cells(), lib.num_cells());
+  for (int i = 0; i < lib.num_cells(); ++i) {
+    const CellType& a = lib.cell(i);
+    const int j = parsed.find_cell(a.name);
+    ASSERT_GE(j, 0) << a.name;
+    const CellType& b = parsed.cell(j);
+    EXPECT_EQ(a.function, b.function);
+    EXPECT_EQ(a.drive, b.drive);
+    EXPECT_EQ(a.is_sequential, b.is_sequential);
+    ASSERT_EQ(a.pins.size(), b.pins.size());
+    ASSERT_EQ(a.arcs.size(), b.arcs.size());
+    for (std::size_t p = 0; p < a.pins.size(); ++p) {
+      EXPECT_EQ(a.pins[p].name, b.pins[p].name);
+      EXPECT_EQ(a.pins[p].dir, b.pins[p].dir);
+      EXPECT_EQ(a.pins[p].is_clock, b.pins[p].is_clock);
+    }
+    if (a.is_sequential) {
+      EXPECT_EQ(a.clock_pin, b.clock_pin);
+      EXPECT_EQ(a.data_pin, b.data_pin);
+      EXPECT_EQ(a.output_pin, b.output_pin);
+    }
+  }
+}
+
+TEST(LibertyIo, RoundTripPreservesValues) {
+  const Library lib = build_library();
+  std::stringstream buf;
+  write_liberty(lib, buf);
+  const Library parsed = read_liberty(buf);
+
+  const int i = lib.find_cell("NAND2_X2");
+  const int j = parsed.find_cell("NAND2_X2");
+  const CellType& a = lib.cell(i);
+  const CellType& b = parsed.cell(j);
+  // Pin caps and LUT values survive within print precision (1e-9).
+  for (int c = 0; c < kNumCorners; ++c) {
+    EXPECT_NEAR(a.pins[0].cap[c], b.pins[0].cap[c], 1e-8);
+  }
+  for (std::size_t arc = 0; arc < a.arcs.size(); ++arc) {
+    EXPECT_EQ(a.arcs[arc].sense, b.arcs[arc].sense);
+    EXPECT_EQ(a.arcs[arc].from_pin, b.arcs[arc].from_pin);
+    for (int c = 0; c < kNumCorners; ++c) {
+      for (int r = 0; r < kLutDim; ++r) {
+        for (int col = 0; col < kLutDim; ++col) {
+          EXPECT_NEAR(a.arcs[arc].delay[c].at(r, col),
+                      b.arcs[arc].delay[c].at(r, col), 1e-8);
+          EXPECT_NEAR(a.arcs[arc].out_slew[c].at(r, col),
+                      b.arcs[arc].out_slew[c].at(r, col), 1e-8);
+        }
+      }
+      for (int k = 0; k < kLutDim; ++k) {
+        EXPECT_NEAR(a.arcs[arc].delay[c].slew_axis()[static_cast<std::size_t>(k)],
+                    b.arcs[arc].delay[c].slew_axis()[static_cast<std::size_t>(k)], 1e-8);
+      }
+    }
+  }
+  // Sequential constraints too.
+  const CellType& dff_a = lib.cell(lib.find_cell("DFF_X1"));
+  const CellType& dff_b = parsed.cell(parsed.find_cell("DFF_X1"));
+  for (int c = 0; c < kNumCorners; ++c) {
+    EXPECT_NEAR(dff_a.setup[c], dff_b.setup[c], 1e-8);
+    EXPECT_NEAR(dff_a.hold[c], dff_b.hold[c], 1e-8);
+  }
+}
+
+TEST(LibertyIo, ParsedLibraryLooksUpIdentically) {
+  const Library lib = build_library();
+  std::stringstream buf;
+  write_liberty(lib, buf);
+  const Library parsed = read_liberty(buf);
+  const TimingArc& a =
+      lib.cell(lib.find_cell("XOR2_X4")).arcs[1];
+  const TimingArc& b =
+      parsed.cell(parsed.find_cell("XOR2_X4")).arcs[1];
+  const int c = corner_index(Mode::kLate, Trans::kFall);
+  EXPECT_NEAR(a.delay[c].lookup(0.123, 0.0456), b.delay[c].lookup(0.123, 0.0456),
+              1e-7);
+}
+
+TEST(LibertyIo, FileRoundTrip) {
+  const Library lib = build_library();
+  const std::string path = ::testing::TempDir() + "/tg_lib_test.lib";
+  write_liberty_file(lib, path);
+  const Library parsed = read_liberty_file(path);
+  EXPECT_EQ(parsed.num_cells(), lib.num_cells());
+  std::remove(path.c_str());
+}
+
+TEST(LibertyIo, UnknownAttributesSkipped) {
+  // Forward compatibility: unknown attributes and groups are ignored.
+  std::stringstream in(R"(
+library (x) {
+  exotic_attribute : 42;
+  exotic_group (a, b) { nested : 1; }
+  cell (FOO) {
+    function_class : INV;
+    drive_strength : 2;
+    is_sequential : false;
+    vendor_specific : yes;
+    pin (A) {
+      direction : input;
+      clock : false;
+      capacitance_early_rise : 0.001;
+      capacitance_early_fall : 0.001;
+      capacitance_late_rise : 0.001;
+      capacitance_late_fall : 0.001;
+      weird_pin_attr : 3;
+    }
+    pin (Y) { direction : output; clock : false; }
+  }
+}
+)");
+  const Library parsed = read_liberty(in);
+  ASSERT_EQ(parsed.num_cells(), 1);
+  EXPECT_EQ(parsed.cell(0).name, "FOO");
+  EXPECT_EQ(parsed.cell(0).drive, 2);
+  EXPECT_NEAR(parsed.cell(0).pins[0].cap[0], 0.001, 1e-9);
+}
+
+TEST(LibertyIo, MalformedInputRejected) {
+  std::stringstream missing_brace("library (x) { cell (A) {");
+  EXPECT_THROW(read_liberty(missing_brace), CheckError);
+  std::stringstream not_a_library("cell (A) {}");
+  EXPECT_THROW(read_liberty(not_a_library), CheckError);
+  std::stringstream bad_corner(R"(
+library (x) { cell (A) {
+  pin (P) { direction : input; clock : false; capacitance_sideways : 1; }
+} }
+)");
+  EXPECT_THROW(read_liberty(bad_corner), CheckError);
+}
+
+TEST(LibertyIo, MissingFileRejected) {
+  EXPECT_THROW(read_liberty_file("/nonexistent/foo.lib"), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

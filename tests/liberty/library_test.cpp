@@ -1,0 +1,141 @@
+#include "liberty/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+};
+
+TEST_F(LibraryTest, HasAllFamiliesAtAllDrives) {
+  for (const char* fam : {"INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3",
+                          "AND2", "OR2", "XOR2", "XNOR2", "MUX2", "AOI21",
+                          "OAI21", "DFF"}) {
+    for (int drive : {1, 2, 4}) {
+      const std::string name = std::string(fam) + "_X" + std::to_string(drive);
+      EXPECT_GE(lib_.find_cell(name), 0) << name;
+    }
+  }
+}
+
+TEST_F(LibraryTest, LookupByFunction) {
+  const auto nands = lib_.cells_of_function("NAND2");
+  EXPECT_EQ(nands.size(), 3u);
+  for (int id : nands) EXPECT_EQ(lib_.cell(id).function, "NAND2");
+}
+
+TEST_F(LibraryTest, MissingCellReturnsMinusOne) {
+  EXPECT_EQ(lib_.find_cell("NAND9_X1"), -1);
+}
+
+TEST_F(LibraryTest, DuplicateNamesRejected) {
+  Library lib;
+  CellType c;
+  c.name = "X";
+  lib.add_cell(c);
+  EXPECT_THROW(lib.add_cell(c), CheckError);
+}
+
+TEST_F(LibraryTest, CombinationalArcsCoverEveryInput) {
+  for (const CellType& cell : lib_.cells()) {
+    if (cell.is_sequential) continue;
+    EXPECT_EQ(static_cast<int>(cell.arcs.size()), cell.num_inputs()) << cell.name;
+    for (const TimingArc& arc : cell.arcs) {
+      EXPECT_EQ(cell.pins[static_cast<std::size_t>(arc.from_pin)].dir, PinDir::kInput);
+      EXPECT_EQ(cell.pins[static_cast<std::size_t>(arc.to_pin)].dir, PinDir::kOutput);
+    }
+  }
+}
+
+TEST_F(LibraryTest, DffStructure) {
+  const CellType& dff = lib_.cell(lib_.find_cell("DFF_X1"));
+  EXPECT_TRUE(dff.is_sequential);
+  EXPECT_EQ(dff.pins[static_cast<std::size_t>(dff.clock_pin)].name, "CK");
+  EXPECT_TRUE(dff.pins[static_cast<std::size_t>(dff.clock_pin)].is_clock);
+  EXPECT_EQ(dff.pins[static_cast<std::size_t>(dff.data_pin)].name, "D");
+  ASSERT_EQ(dff.arcs.size(), 1u);
+  EXPECT_EQ(dff.arcs[0].from_pin, dff.clock_pin);
+  EXPECT_EQ(dff.arcs[0].to_pin, dff.output_pin);
+  for (int c = 0; c < kNumCorners; ++c) {
+    EXPECT_GT(dff.setup[c], 0.0);
+    EXPECT_GT(dff.hold[c], 0.0);
+    EXPECT_GT(dff.setup[c], dff.hold[c]);
+  }
+}
+
+TEST_F(LibraryTest, HigherDriveMeansLowerDelay) {
+  const CellType& x1 = lib_.cell(lib_.find_cell("INV_X1"));
+  const CellType& x4 = lib_.cell(lib_.find_cell("INV_X4"));
+  const int late_rise = corner_index(Mode::kLate, Trans::kRise);
+  // At a heavy load, drive-4 must be significantly faster.
+  const double d1 = x1.arcs[0].delay[late_rise].lookup(0.05, 0.2);
+  const double d4 = x4.arcs[0].delay[late_rise].lookup(0.05, 0.2);
+  EXPECT_LT(d4, d1 * 0.6);
+}
+
+TEST_F(LibraryTest, HigherDriveMeansHigherInputCap) {
+  const CellType& x1 = lib_.cell(lib_.find_cell("NAND2_X1"));
+  const CellType& x4 = lib_.cell(lib_.find_cell("NAND2_X4"));
+  const int c = corner_index(Mode::kLate, Trans::kRise);
+  EXPECT_GT(x4.pins[0].cap[c], 2.0 * x1.pins[0].cap[c]);
+}
+
+TEST_F(LibraryTest, EarlyCornerFasterThanLate) {
+  const CellType& cell = lib_.cell(lib_.find_cell("NAND2_X2"));
+  const TimingArc& arc = cell.arcs[0];
+  for (int t = 0; t < kNumTrans; ++t) {
+    const int early = corner_index(Mode::kEarly, static_cast<Trans>(t));
+    const int late = corner_index(Mode::kLate, static_cast<Trans>(t));
+    EXPECT_LT(arc.delay[early].lookup(0.05, 0.05),
+              arc.delay[late].lookup(0.05, 0.05));
+  }
+}
+
+TEST_F(LibraryTest, DelayIncreasesWithLoadAndSlew) {
+  const CellType& cell = lib_.cell(lib_.find_cell("AND2_X1"));
+  const int c = corner_index(Mode::kLate, Trans::kRise);
+  const TimingArc& arc = cell.arcs[0];
+  EXPECT_LT(arc.delay[c].lookup(0.05, 0.01), arc.delay[c].lookup(0.05, 0.20));
+  EXPECT_LT(arc.delay[c].lookup(0.01, 0.05), arc.delay[c].lookup(0.50, 0.05));
+}
+
+TEST_F(LibraryTest, DeterministicInSeed) {
+  const Library a = build_library();
+  const Library b = build_library();
+  const int ia = a.find_cell("XOR2_X2");
+  const int ib = b.find_cell("XOR2_X2");
+  const int c = corner_index(Mode::kLate, Trans::kFall);
+  EXPECT_DOUBLE_EQ(a.cell(ia).arcs[0].delay[c].at(3, 3),
+                   b.cell(ib).arcs[0].delay[c].at(3, 3));
+}
+
+TEST_F(LibraryTest, DifferentSeedsDiffer) {
+  LibraryConfig cfg;
+  cfg.seed = 999;
+  const Library other = build_library(cfg);
+  const int c = corner_index(Mode::kLate, Trans::kFall);
+  EXPECT_NE(lib_.cell(lib_.find_cell("XOR2_X2")).arcs[0].delay[c].at(3, 3),
+            other.cell(other.find_cell("XOR2_X2")).arcs[0].delay[c].at(3, 3));
+}
+
+TEST_F(LibraryTest, SingleOutputHelper) {
+  const CellType& cell = lib_.cell(lib_.find_cell("NAND3_X1"));
+  EXPECT_EQ(cell.pins[static_cast<std::size_t>(cell.single_output())].name, "Y");
+  EXPECT_EQ(cell.num_inputs(), 3);
+  EXPECT_EQ(cell.num_outputs(), 1);
+}
+
+TEST(ArcInputTrans, SenseMapping) {
+  EXPECT_EQ(arc_input_trans(Sense::kPositive, Trans::kRise), Trans::kRise);
+  EXPECT_EQ(arc_input_trans(Sense::kNegative, Trans::kRise), Trans::kFall);
+  EXPECT_EQ(arc_input_trans(Sense::kNegative, Trans::kFall), Trans::kRise);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,90 @@
+#include "liberty/nldm_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+NldmLut linear_lut(double a, double b, double c) {
+  // value = a + b*slew + c*load, exactly representable by bilinear interp.
+  std::array<double, kLutDim> s{}, l{};
+  for (int i = 0; i < kLutDim; ++i) {
+    s[static_cast<std::size_t>(i)] = 0.01 * (i + 1);
+    l[static_cast<std::size_t>(i)] = 0.002 * (i + 1);
+  }
+  std::array<double, kLutCells> v{};
+  for (int i = 0; i < kLutDim; ++i) {
+    for (int j = 0; j < kLutDim; ++j) {
+      v[static_cast<std::size_t>(i * kLutDim + j)] =
+          a + b * s[static_cast<std::size_t>(i)] + c * l[static_cast<std::size_t>(j)];
+    }
+  }
+  return NldmLut(s, l, v);
+}
+
+TEST(Nldm, ExactAtGridPoints) {
+  const NldmLut lut = linear_lut(0.1, 2.0, 30.0);
+  for (int i = 0; i < kLutDim; ++i) {
+    for (int j = 0; j < kLutDim; ++j) {
+      EXPECT_NEAR(lut.lookup(lut.slew_axis()[static_cast<std::size_t>(i)],
+                             lut.load_axis()[static_cast<std::size_t>(j)]),
+                  lut.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Nldm, BilinearBetweenGridPoints) {
+  const NldmLut lut = linear_lut(0.1, 2.0, 30.0);
+  // A linear surface is reproduced exactly anywhere inside the grid.
+  EXPECT_NEAR(lut.lookup(0.035, 0.009), 0.1 + 2.0 * 0.035 + 30.0 * 0.009, 1e-12);
+}
+
+TEST(Nldm, ExtrapolatesLinearlyBeyondGrid) {
+  const NldmLut lut = linear_lut(0.0, 1.0, 0.0);
+  // Beyond the last slew point (0.07) the boundary slope continues.
+  EXPECT_NEAR(lut.lookup(0.10, 0.004), 0.10, 1e-12);
+  // Below the first point too.
+  EXPECT_NEAR(lut.lookup(0.001, 0.004), 0.001, 1e-12);
+}
+
+TEST(Nldm, RejectsNonMonotoneAxes) {
+  std::array<double, kLutDim> s{1, 2, 3, 4, 5, 6, 7};
+  std::array<double, kLutDim> bad{1, 2, 2, 4, 5, 6, 7};
+  std::array<double, kLutCells> v{};
+  EXPECT_THROW(NldmLut(bad, s, v), CheckError);
+  EXPECT_THROW(NldmLut(s, bad, v), CheckError);
+}
+
+TEST(AxisPosition, InteriorAndClamp) {
+  const std::array<double, 4> axis{1.0, 2.0, 4.0, 8.0};
+  auto p = axis_position(axis, 3.0);
+  EXPECT_EQ(p.lo, 1);
+  EXPECT_NEAR(p.t, 0.5, 1e-12);
+  p = axis_position(axis, 0.5);  // below: extrapolate on first segment
+  EXPECT_EQ(p.lo, 0);
+  EXPECT_LT(p.t, 0.0);
+  p = axis_position(axis, 10.0);  // above: extrapolate on last segment
+  EXPECT_EQ(p.lo, 2);
+  EXPECT_GT(p.t, 1.0);
+}
+
+class NldmMonotoneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NldmMonotoneSweep, MonotoneInLoadForMonotoneTable) {
+  const NldmLut lut = linear_lut(0.05, 1.0, 50.0);
+  const double slew = GetParam();
+  double prev = -1.0;
+  for (double load = 0.001; load < 0.02; load += 0.001) {
+    const double v = lut.lookup(slew, load);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slews, NldmMonotoneSweep,
+                         ::testing::Values(0.01, 0.03, 0.05, 0.07, 0.2));
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,96 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tg {
+namespace {
+
+using V = std::vector<double>;
+
+TEST(R2, PerfectFitIsOne) {
+  const V y{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2_score(std::span<const double>(y), std::span<const double>(y)), 1.0);
+}
+
+TEST(R2, MeanPredictorIsZero) {
+  const V y{1, 2, 3, 4};
+  const V p{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r2_score(std::span<const double>(y), std::span<const double>(p)), 0.0, 1e-12);
+}
+
+TEST(R2, WorseThanMeanIsNegative) {
+  // The paper's deep-GCNII rows go negative exactly this way.
+  const V y{1, 2, 3, 4};
+  const V p{4, 3, 2, 1};
+  EXPECT_LT(r2_score(std::span<const double>(y), std::span<const double>(p)), 0.0);
+}
+
+TEST(R2, KnownValue) {
+  const V y{3, -0.5, 2, 7};
+  const V p{2.5, 0.0, 2, 8};
+  // sklearn reference: 0.9486081370449679.
+  EXPECT_NEAR(r2_score(std::span<const double>(y), std::span<const double>(p)),
+              0.9486081370449679, 1e-12);
+}
+
+TEST(R2, ScaleInvarianceOfPerfection) {
+  const V y{0.001, 0.002, 0.003};
+  EXPECT_DOUBLE_EQ(r2_score(std::span<const double>(y), std::span<const double>(y)), 1.0);
+}
+
+TEST(R2, ConstantTargetGuard) {
+  const V y{2, 2, 2};
+  const V good{2, 2, 2};
+  const V bad{1, 2, 3};
+  EXPECT_DOUBLE_EQ(r2_score(std::span<const double>(y), std::span<const double>(good)), 1.0);
+  EXPECT_LT(r2_score(std::span<const double>(y), std::span<const double>(bad)), -1e8);
+}
+
+TEST(R2, FloatOverload) {
+  const std::vector<float> y{1, 2, 3};
+  const std::vector<float> p{1, 2, 3};
+  EXPECT_DOUBLE_EQ(r2_score(std::span<const float>(y), std::span<const float>(p)), 1.0);
+}
+
+TEST(Mae, Basic) {
+  const V y{1, 2, 3};
+  const V p{2, 2, 1};
+  EXPECT_DOUBLE_EQ(mae(std::span<const double>(y), std::span<const double>(p)), 1.0);
+}
+
+TEST(Rmse, Basic) {
+  const V y{0, 0};
+  const V p{3, 4};
+  EXPECT_NEAR(rmse(std::span<const double>(y), std::span<const double>(p)),
+              std::sqrt(12.5), 1e-12);
+}
+
+TEST(Pearson, PerfectCorrelationAnyScale) {
+  const V y{1, 2, 3, 4};
+  const V p{10, 20, 30, 40};
+  EXPECT_NEAR(pearson_r(std::span<const double>(y), std::span<const double>(p)), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const V y{1, 2, 3};
+  const V p{3, 2, 1};
+  EXPECT_NEAR(pearson_r(std::span<const double>(y), std::span<const double>(p)), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const V y{1, 1, 1};
+  const V p{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_r(std::span<const double>(y), std::span<const double>(p)), 0.0);
+}
+
+TEST(Pearson, ShiftInvariant) {
+  const V y{1, 2, 3, 5};
+  const V p{101, 102, 103, 105};
+  EXPECT_NEAR(pearson_r(std::span<const double>(y), std::span<const double>(p)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tg

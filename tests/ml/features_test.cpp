@@ -1,0 +1,102 @@
+#include "ml/net_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "util/check.hpp"
+
+namespace tg::ml {
+namespace {
+
+class NetFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    design_ = std::make_unique<Design>(
+        generate_design(suite_entry("spm", 1.0 / 32).spec, lib_));
+    place_design(*design_);
+    RoutingOptions opts;
+    opts.mode = RouteMode::kMaze;
+    routing_ = route_design(*design_, opts);
+  }
+
+  Library lib_ = build_library();
+  std::unique_ptr<Design> design_;
+  DesignRouting routing_;
+};
+
+TEST_F(NetFeaturesTest, OneRowPerNetSink) {
+  const NetFeatureSet fs = extract_net_features(*design_, routing_);
+  long long expected = design_->stats().num_net_edges;
+  EXPECT_EQ(static_cast<long long>(fs.rows), expected);
+  EXPECT_EQ(fs.features.size(), fs.rows * kNetFeatureCount);
+  EXPECT_EQ(fs.target.size(), fs.rows);
+  EXPECT_EQ(fs.sample.size(), fs.rows);
+}
+
+TEST_F(NetFeaturesTest, TargetsMatchRoutingParasitics) {
+  const NetFeatureSet fs = extract_net_features(*design_, routing_);
+  for (std::size_t i = 0; i < fs.rows; i += 17) {
+    const auto [net, sink_idx] = fs.sample[i];
+    for (int c = 0; c < kNumCorners; ++c) {
+      EXPECT_DOUBLE_EQ(
+          fs.target[i][c],
+          routing_.nets[static_cast<std::size_t>(net)]
+              .sink_delay[static_cast<std::size_t>(sink_idx)][c]);
+    }
+  }
+}
+
+TEST_F(NetFeaturesTest, FeaturesFiniteAndPlausible) {
+  const NetFeatureSet fs = extract_net_features(*design_, routing_);
+  const Matrix m = fs.matrix();
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    EXPECT_GE(m.at(r, 0), 1.0f);  // fanout ≥ 1
+    EXPECT_GE(m.at(r, 1), 0.0f);  // HPWL
+    for (std::size_t c = 0; c < m.cols; ++c) {
+      EXPECT_TRUE(std::isfinite(m.at(r, c)));
+    }
+  }
+}
+
+TEST_F(NetFeaturesTest, ClockNetsExcluded) {
+  const NetFeatureSet fs = extract_net_features(*design_, routing_);
+  for (const auto& [net, sink] : fs.sample) {
+    EXPECT_FALSE(design_->net(net).is_clock);
+    (void)sink;
+  }
+}
+
+TEST_F(NetFeaturesTest, TargetCornerColumn) {
+  const NetFeatureSet fs = extract_net_features(*design_, routing_);
+  const int lr = corner_index(Mode::kLate, Trans::kRise);
+  const auto col = fs.target_corner(lr);
+  ASSERT_EQ(col.size(), fs.rows);
+  for (std::size_t i = 0; i < fs.rows; i += 23) {
+    EXPECT_FLOAT_EQ(col[i], static_cast<float>(fs.target[i][lr]));
+  }
+}
+
+TEST_F(NetFeaturesTest, DistanceFeatureCorrelatesWithDelay) {
+  // Sanity on learnability: Manhattan distance (feature 5) should
+  // positively correlate with routed delay.
+  const NetFeatureSet fs = extract_net_features(*design_, routing_);
+  const int lr = corner_index(Mode::kLate, Trans::kRise);
+  double mx = 0, my = 0;
+  const Matrix m = fs.matrix();
+  for (std::size_t i = 0; i < fs.rows; ++i) {
+    mx += m.at(i, 5);
+    my += fs.target[i][lr];
+  }
+  mx /= static_cast<double>(fs.rows);
+  my /= static_cast<double>(fs.rows);
+  double cov = 0;
+  for (std::size_t i = 0; i < fs.rows; ++i) {
+    cov += (m.at(i, 5) - mx) * (fs.target[i][lr] - my);
+  }
+  EXPECT_GT(cov, 0.0);
+}
+
+}  // namespace
+}  // namespace tg::ml

@@ -1,0 +1,112 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace tg::ml {
+namespace {
+
+struct Toy {
+  std::vector<float> x;
+  std::vector<float> y;
+  std::size_t rows = 0;
+  std::size_t cols = 3;
+  Matrix matrix() const { return Matrix{x.data(), rows, cols}; }
+};
+
+Toy nonlinear_data(int n, Rng& rng) {
+  Toy t;
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    const float c = static_cast<float>(rng.uniform());
+    t.x.insert(t.x.end(), {a, b, c});
+    t.y.push_back(a * b + 0.5f * std::sin(6.28f * c));
+    ++t.rows;
+  }
+  return t;
+}
+
+TEST(RandomForest, FitsNonlinearFunction) {
+  Rng rng(1);
+  const Toy train = nonlinear_data(800, rng);
+  const Toy test = nonlinear_data(200, rng);
+  RandomForest forest;
+  ForestConfig cfg;
+  cfg.num_trees = 40;
+  forest.fit(train.matrix(), train.y, cfg);
+  EXPECT_EQ(forest.num_trees(), 40);
+
+  std::vector<float> pred(test.rows);
+  forest.predict_batch(test.matrix(), pred);
+  double err = 0.0;
+  for (std::size_t i = 0; i < test.rows; ++i) {
+    err += std::abs(pred[i] - test.y[i]);
+  }
+  EXPECT_LT(err / static_cast<double>(test.rows), 0.08);
+}
+
+TEST(RandomForest, MoreTreesMoreStable) {
+  Rng rng(2);
+  const Toy train = nonlinear_data(400, rng);
+  const Toy test = nonlinear_data(100, rng);
+  auto mae_of = [&](int trees, std::uint64_t seed) {
+    RandomForest f;
+    ForestConfig cfg;
+    cfg.num_trees = trees;
+    cfg.seed = seed;
+    f.fit(train.matrix(), train.y, cfg);
+    std::vector<float> pred(test.rows);
+    f.predict_batch(test.matrix(), pred);
+    double err = 0.0;
+    for (std::size_t i = 0; i < test.rows; ++i) err += std::abs(pred[i] - test.y[i]);
+    return err / static_cast<double>(test.rows);
+  };
+  // Averaged over seeds, 32 trees should beat 1 tree.
+  double err1 = 0.0, err32 = 0.0;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    err1 += mae_of(1, s);
+    err32 += mae_of(32, s);
+  }
+  EXPECT_LT(err32, err1);
+}
+
+TEST(RandomForest, DeterministicInSeed) {
+  Rng rng(3);
+  const Toy train = nonlinear_data(200, rng);
+  RandomForest a, b;
+  ForestConfig cfg;
+  cfg.num_trees = 10;
+  cfg.seed = 77;
+  a.fit(train.matrix(), train.y, cfg);
+  b.fit(train.matrix(), train.y, cfg);
+  const float probe[3] = {0.3f, 0.7f, 0.1f};
+  EXPECT_FLOAT_EQ(a.predict(probe), b.predict(probe));
+}
+
+TEST(RandomForest, PredictBatchMatchesSingle) {
+  Rng rng(4);
+  const Toy train = nonlinear_data(200, rng);
+  const Toy test = nonlinear_data(20, rng);
+  RandomForest f;
+  f.fit(train.matrix(), train.y, ForestConfig{.num_trees = 8});
+  std::vector<float> batch(test.rows);
+  f.predict_batch(test.matrix(), batch);
+  for (std::size_t i = 0; i < test.rows; ++i) {
+    EXPECT_FLOAT_EQ(batch[i],
+                    f.predict({test.x.data() + i * test.cols, test.cols}));
+  }
+}
+
+TEST(RandomForest, RejectsEmptyTraining) {
+  RandomForest f;
+  Matrix empty{nullptr, 0, 3};
+  std::vector<float> y;
+  EXPECT_THROW(f.fit(empty, y, ForestConfig{}), tg::CheckError);
+}
+
+}  // namespace
+}  // namespace tg::ml

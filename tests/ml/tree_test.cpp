@@ -1,0 +1,139 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tg::ml {
+namespace {
+
+struct Toy {
+  std::vector<float> x;
+  std::vector<float> y;
+  std::size_t rows = 0;
+  static constexpr std::size_t kCols = 2;
+
+  Matrix matrix() const { return Matrix{x.data(), rows, kCols}; }
+  std::vector<int> all_rows() const {
+    std::vector<int> idx(rows);
+    std::iota(idx.begin(), idx.end(), 0);
+    return idx;
+  }
+};
+
+/// y = 1 if x0 > 0.5 else 0 — a single split suffices.
+Toy step_data(int n, Rng& rng) {
+  Toy t;
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    t.x.push_back(a);
+    t.x.push_back(b);
+    t.y.push_back(a > 0.5f ? 1.0f : 0.0f);
+    ++t.rows;
+  }
+  return t;
+}
+
+TEST(DecisionTree, LearnsStepFunction) {
+  Rng rng(1);
+  const Toy t = step_data(200, rng);
+  DecisionTree tree;
+  TreeConfig cfg;
+  tree.fit(t.matrix(), t.y, t.all_rows(), cfg, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    const float probe[2] = {a, b};
+    if (std::abs(a - 0.5f) < 0.05f) continue;  // near the boundary
+    EXPECT_NEAR(tree.predict(probe), a > 0.5f ? 1.0f : 0.0f, 0.01f);
+  }
+}
+
+TEST(DecisionTree, DepthZeroIsMeanPredictor) {
+  Rng rng(2);
+  const Toy t = step_data(100, rng);
+  DecisionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 0;
+  tree.fit(t.matrix(), t.y, t.all_rows(), cfg, rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  double mean = 0.0;
+  for (float v : t.y) mean += v;
+  mean /= static_cast<double>(t.y.size());
+  const float probe[2] = {0.9f, 0.1f};
+  EXPECT_NEAR(tree.predict(probe), mean, 1e-6);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Rng rng(3);
+  const Toy t = step_data(40, rng);
+  DecisionTree tree;
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 20;  // at most one split of 40
+  tree.fit(t.matrix(), t.y, t.all_rows(), cfg, rng);
+  EXPECT_LE(tree.num_nodes(), 3);
+}
+
+TEST(DecisionTree, ConstantTargetSingleLeaf) {
+  Rng rng(4);
+  Toy t = step_data(50, rng);
+  std::fill(t.y.begin(), t.y.end(), 2.0f);
+  DecisionTree tree;
+  tree.fit(t.matrix(), t.y, t.all_rows(), TreeConfig{}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  const float probe[2] = {0.3f, 0.3f};
+  EXPECT_FLOAT_EQ(tree.predict(probe), 2.0f);
+}
+
+TEST(DecisionTree, FitsLinearFunctionApproximately) {
+  Rng rng(5);
+  Toy t;
+  for (int i = 0; i < 500; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    t.x.push_back(a);
+    t.x.push_back(b);
+    t.y.push_back(3 * a + b);
+    ++t.rows;
+  }
+  DecisionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 10;
+  tree.fit(t.matrix(), t.y, t.all_rows(), cfg, rng);
+  double err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    const float probe[2] = {a, b};
+    err += std::abs(tree.predict(probe) - (3 * a + b));
+  }
+  EXPECT_LT(err / 100.0, 0.2);
+}
+
+TEST(DecisionTree, DepthReported) {
+  Rng rng(6);
+  const Toy t = step_data(200, rng);
+  DecisionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  tree.fit(t.matrix(), t.y, t.all_rows(), cfg, rng);
+  EXPECT_GE(tree.depth(), 2);
+  EXPECT_LE(tree.depth(), 4);
+}
+
+TEST(DecisionTree, SubsetFitIgnoresOtherRows) {
+  Rng rng(7);
+  Toy t = step_data(100, rng);
+  // Poison the second half with crazy targets; fit only on the first half.
+  for (std::size_t i = 50; i < 100; ++i) t.y[i] = 1000.0f;
+  std::vector<int> idx(50);
+  std::iota(idx.begin(), idx.end(), 0);
+  DecisionTree tree;
+  tree.fit(t.matrix(), t.y, idx, TreeConfig{}, rng);
+  const float probe[2] = {0.9f, 0.5f};
+  EXPECT_LT(tree.predict(probe), 10.0f);
+}
+
+}  // namespace
+}  // namespace tg::ml

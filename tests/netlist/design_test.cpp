@@ -1,0 +1,194 @@
+#include "netlist/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.hpp"
+#include "testing/builders.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+class DesignTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+};
+
+TEST_F(DesignTest, CombChainValidates) {
+  Design d("t", &lib_);
+  testing::build_comb_chain(d, lib_);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST_F(DesignTest, SeqChainValidates) {
+  Design d("t", &lib_);
+  testing::build_seq_chain(d, lib_);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST_F(DesignTest, PinNames) {
+  Design d("t", &lib_);
+  const auto c = testing::build_comb_chain(d, lib_);
+  EXPECT_EQ(d.pin_name(c.in0), "in0");
+  const Instance& nand = d.instance(c.nand_inst);
+  EXPECT_EQ(d.pin_name(nand.pins[0]), "u_nand/A");
+  EXPECT_EQ(d.pin_name(nand.pins[2]), "u_nand/Y");
+}
+
+TEST_F(DesignTest, DriverAndSinkRoles) {
+  Design d("t", &lib_);
+  const auto c = testing::build_comb_chain(d, lib_);
+  EXPECT_TRUE(d.pin(c.in0).drives_net);      // PI drives
+  EXPECT_FALSE(d.pin(c.out).drives_net);     // PO sinks
+  EXPECT_EQ(d.net(c.n_in0).driver, c.in0);
+  EXPECT_EQ(d.net(c.n_out).sinks.size(), 1u);
+}
+
+TEST_F(DesignTest, DoubleDriverRejected) {
+  Design d("t", &lib_);
+  const PinId a = d.add_primary_input("a");
+  const PinId b = d.add_primary_input("b");
+  const NetId n = d.add_net("n");
+  d.connect(n, a);
+  EXPECT_THROW(d.connect(n, b), CheckError);
+}
+
+TEST_F(DesignTest, DoubleConnectRejected) {
+  Design d("t", &lib_);
+  const PinId a = d.add_primary_input("a");
+  const NetId n1 = d.add_net("n1");
+  const NetId n2 = d.add_net("n2");
+  d.connect(n1, a);
+  EXPECT_THROW(d.connect(n2, a), CheckError);
+}
+
+TEST_F(DesignTest, UndrivenNetFailsValidation) {
+  Design d("t", &lib_);
+  const PinId out = d.add_primary_output("o");
+  const NetId n = d.add_net("n");
+  d.connect(n, out);
+  EXPECT_THROW(d.validate(), CheckError);
+}
+
+TEST_F(DesignTest, UnconnectedPinFailsValidation) {
+  Design d("t", &lib_);
+  const PinId in = d.add_primary_input("i");
+  const PinId out = d.add_primary_output("o");
+  const NetId n = d.add_net("n");
+  d.connect(n, in);
+  d.connect(n, out);
+  d.add_instance("u", lib_.find_cell("INV_X1"));  // pins dangling
+  EXPECT_THROW(d.validate(), CheckError);
+}
+
+TEST_F(DesignTest, CombinationalCycleDetected) {
+  Design d("t", &lib_);
+  // inv0 -> inv1 -> inv0 (classic cycle) plus an input to make nets driven.
+  const InstId i0 = d.add_instance("inv0", lib_.find_cell("NAND2_X1"));
+  const InstId i1 = d.add_instance("inv1", lib_.find_cell("INV_X1"));
+  const PinId in = d.add_primary_input("in");
+  const PinId out = d.add_primary_output("out");
+  const NetId n_in = d.add_net("n_in");
+  const NetId n_a = d.add_net("n_a");  // nand.Y -> inv.A
+  const NetId n_b = d.add_net("n_b");  // inv.Y -> nand.B + out
+  d.connect(n_in, in);
+  d.connect(n_in, d.instance(i0).pins[0]);  // nand.A
+  d.connect(n_a, d.instance(i0).pins[2]);   // nand.Y
+  d.connect(n_a, d.instance(i1).pins[0]);   // inv.A
+  d.connect(n_b, d.instance(i1).pins[1]);   // inv.Y
+  d.connect(n_b, d.instance(i0).pins[1]);   // nand.B — closes the loop
+  d.connect(n_b, out);
+  EXPECT_THROW(d.validate(), CheckError);
+}
+
+TEST_F(DesignTest, EndpointClassification) {
+  Design d("t", &lib_);
+  const auto s = testing::build_seq_chain(d, lib_);
+  EXPECT_TRUE(d.is_endpoint(s.comb.out));  // PO
+  EXPECT_TRUE(d.is_endpoint(s.ff_d));      // FF D
+  EXPECT_FALSE(d.is_endpoint(s.ff_q));
+  EXPECT_FALSE(d.is_endpoint(s.comb.in0));
+  EXPECT_TRUE(d.is_clock_pin(s.ff_ck));
+  EXPECT_TRUE(d.is_timing_root(s.ff_ck));
+  EXPECT_FALSE(d.is_timing_root(s.ff_q));  // Q is reached via the CK→Q arc
+  EXPECT_TRUE(d.is_timing_root(s.comb.in0));
+  EXPECT_FALSE(d.is_timing_root(s.ff_d));
+}
+
+TEST_F(DesignTest, PinCapRules) {
+  Design d("t", &lib_);
+  const auto c = testing::build_comb_chain(d, lib_);
+  const int corner = corner_index(Mode::kLate, Trans::kRise);
+  // PI (driver) contributes no cap; PO contributes the external load.
+  EXPECT_DOUBLE_EQ(d.pin_cap(c.in0, corner), 0.0);
+  EXPECT_DOUBLE_EQ(d.pin_cap(c.out, corner), d.output_port_cap());
+  // Instance input pins carry library caps.
+  const Instance& nand = d.instance(c.nand_inst);
+  EXPECT_GT(d.pin_cap(nand.pins[0], corner), 0.0);
+  // Instance output pins carry none.
+  EXPECT_DOUBLE_EQ(d.pin_cap(nand.pins[2], corner), 0.0);
+}
+
+TEST_F(DesignTest, StatsMatchStructure) {
+  Design d("t", &lib_);
+  testing::build_seq_chain(d, lib_);
+  const DesignStats s = d.stats();
+  EXPECT_EQ(s.num_nodes, d.num_pins());
+  // Net edges: n_in0(1) + n_in1(1) + n_mid(1) + n_out(2: PO+FF D) + q_net(1);
+  // the clock net is excluded.
+  EXPECT_EQ(s.num_net_edges, 6);
+  // Cell arcs: NAND2 has 2, INV 1, DFF 1.
+  EXPECT_EQ(s.num_cell_edges, 4);
+  // Endpoints: 2 POs + FF D.
+  EXPECT_EQ(s.num_endpoints, 3);
+  EXPECT_EQ(s.num_ffs, 1);
+}
+
+TEST_F(DesignTest, SumStats) {
+  DesignStats a, b;
+  a.num_nodes = 5;
+  a.num_endpoints = 1;
+  b.num_nodes = 7;
+  b.num_endpoints = 2;
+  const DesignStats total = sum_stats({a, b});
+  EXPECT_EQ(total.num_nodes, 12);
+  EXPECT_EQ(total.num_endpoints, 3);
+}
+
+TEST_F(DesignTest, StatsRowFormatting) {
+  DesignStats s;
+  s.num_nodes = 1234;
+  s.num_net_edges = 56;
+  s.num_cell_edges = 78;
+  s.num_endpoints = 9;
+  const auto row = stats_row("d", s);
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], "d");
+  EXPECT_EQ(row[1], "1,234");
+}
+
+TEST_F(DesignTest, SetPeriodValidation) {
+  Design d("t", &lib_);
+  EXPECT_THROW(d.set_period(0.0), CheckError);
+  d.set_period(2.5);
+  EXPECT_DOUBLE_EQ(d.clock_period(), 2.5);
+}
+
+TEST_F(DesignTest, FlipFlopsRequireClockDeclaration) {
+  Design d("t", &lib_);
+  const auto c = testing::build_comb_chain(d, lib_);
+  (void)c;
+  const InstId ff = d.add_instance("ff", lib_.find_cell("DFF_X1"));
+  const CellType& dff = lib_.cell(d.instance(ff).cell_id);
+  // Connect FF pins so validation reaches the clock check.
+  d.connect(d.pin(c.in0).net, d.instance(ff).pins[static_cast<std::size_t>(dff.data_pin)]);
+  d.connect(d.pin(c.in1).net, d.instance(ff).pins[static_cast<std::size_t>(dff.clock_pin)]);
+  const PinId q_out = d.add_primary_output("q");
+  const NetId q_net = d.add_net("qn");
+  d.connect(q_net, d.instance(ff).pins[static_cast<std::size_t>(dff.output_pin)]);
+  d.connect(q_net, q_out);
+  EXPECT_THROW(d.validate(), CheckError);  // no set_clock called
+}
+
+}  // namespace
+}  // namespace tg

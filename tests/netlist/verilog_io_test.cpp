@@ -1,0 +1,147 @@
+#include "netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "testing/builders.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+class VerilogIoTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+};
+
+TEST_F(VerilogIoTest, HandBuiltRoundTrip) {
+  Design d("top", &lib_);
+  testing::build_seq_chain(d, lib_);
+  std::stringstream buf;
+  write_verilog(d, buf);
+
+  const Design parsed = read_verilog(buf, &lib_);
+  EXPECT_EQ(parsed.name(), "top");
+  EXPECT_EQ(parsed.num_instances(), d.num_instances());
+  EXPECT_EQ(parsed.num_nets(), d.num_nets());
+  EXPECT_EQ(parsed.num_pins(), d.num_pins());
+  EXPECT_NO_THROW(parsed.validate());
+  EXPECT_NE(parsed.clock_net(), kInvalidId);
+  EXPECT_DOUBLE_EQ(parsed.clock_period(), d.clock_period());
+}
+
+TEST_F(VerilogIoTest, GeneratedDesignRoundTripPreservesStats) {
+  const Design d = generate_design(suite_entry("usb", 1.0 / 32).spec, lib_);
+  std::stringstream buf;
+  write_verilog(d, buf);
+  const Design parsed = read_verilog(buf, &lib_);
+  EXPECT_NO_THROW(parsed.validate());
+  const DesignStats a = d.stats();
+  const DesignStats b = parsed.stats();
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.num_net_edges, b.num_net_edges);
+  EXPECT_EQ(a.num_cell_edges, b.num_cell_edges);
+  EXPECT_EQ(a.num_endpoints, b.num_endpoints);
+  EXPECT_EQ(a.num_ffs, b.num_ffs);
+}
+
+TEST_F(VerilogIoTest, ConnectivityPreservedExactly) {
+  Design d("top", &lib_);
+  const auto s = testing::build_seq_chain(d, lib_);
+  (void)s;
+  std::stringstream buf;
+  write_verilog(d, buf);
+  const Design parsed = read_verilog(buf, &lib_);
+  // Same net names drive/sink the same pin names.
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    int pn = -1;
+    for (NetId m = 0; m < parsed.num_nets(); ++m) {
+      if (parsed.net(m).name == net.name) pn = m;
+    }
+    ASSERT_GE(pn, 0) << net.name;
+    EXPECT_EQ(parsed.pin_name(parsed.net(pn).driver), d.pin_name(net.driver));
+    EXPECT_EQ(parsed.net(pn).sinks.size(), net.sinks.size());
+  }
+}
+
+TEST_F(VerilogIoTest, UnknownCellRejected) {
+  std::stringstream in(R"(
+module t (a, y);
+  input a;
+  output y;
+  wire n1;
+  assign n1 = a;
+  assign y = n1;
+  NOSUCHCELL_X9 u0 (.A(n1), .Y(n1));
+endmodule
+)");
+  EXPECT_THROW(read_verilog(in, &lib_), CheckError);
+}
+
+TEST_F(VerilogIoTest, MalformedModuleRejected) {
+  std::stringstream in("module t (a); input a;");  // no endmodule
+  EXPECT_THROW(read_verilog(in, &lib_), CheckError);
+}
+
+TEST_F(VerilogIoTest, PlacementRoundTrip) {
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib_);
+  place_design(d);
+  std::stringstream vbuf, pbuf;
+  write_verilog(d, vbuf);
+  write_placement(d, pbuf);
+
+  Design parsed = read_verilog(vbuf, &lib_);
+  read_placement(parsed, pbuf);
+  EXPECT_NEAR(parsed.die().xmax, d.die().xmax, 1e-3);
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    EXPECT_NEAR(parsed.instance(i).pos.x, d.instance(i).pos.x, 1e-3);
+    EXPECT_NEAR(parsed.instance(i).pos.y, d.instance(i).pos.y, 1e-3);
+  }
+  for (std::size_t k = 0; k < d.primary_inputs().size(); ++k) {
+    EXPECT_NEAR(parsed.pin(parsed.primary_inputs()[k]).pos.y,
+                d.pin(d.primary_inputs()[k]).pos.y, 1e-3);
+  }
+}
+
+TEST_F(VerilogIoTest, PlacementRestoresExactPinPositions) {
+  // The .pl file carries explicit pin records, so arbitrary per-pin
+  // offsets (not just the instance origin) survive the round trip.
+  Design d("top", &lib_);
+  const auto c = testing::build_comb_chain(d, lib_);
+  const Instance& src_inst = d.instance(c.nand_inst);
+  d.pin(src_inst.pins[0]).pos.x += 1.5;  // custom pin offset
+  std::stringstream pbuf;
+  write_placement(d, pbuf);
+
+  Design d2("top", &lib_);
+  testing::build_comb_chain(d2, lib_);
+  // Start from scrambled positions: the file must fully restore them.
+  d2.pin(d2.instance(c.nand_inst).pins[0]).pos = {0, 0};
+  read_placement(d2, pbuf);
+  for (PinId p = 0; p < d.num_pins(); ++p) {
+    EXPECT_NEAR(d2.pin(p).pos.x, d.pin(p).pos.x, 1e-6) << d.pin_name(p);
+    EXPECT_NEAR(d2.pin(p).pos.y, d.pin(p).pos.y, 1e-6) << d.pin_name(p);
+  }
+}
+
+TEST_F(VerilogIoTest, PlacementUnknownInstanceRejected) {
+  Design d("top", &lib_);
+  testing::build_comb_chain(d, lib_);
+  std::stringstream in("die 0 0 10 10\ninst does_not_exist 1 1\n");
+  EXPECT_THROW(read_placement(d, in), CheckError);
+}
+
+TEST_F(VerilogIoTest, PlacementRequiresDie) {
+  Design d("top", &lib_);
+  testing::build_comb_chain(d, lib_);
+  std::stringstream in("inst u_nand 1 1\n");
+  EXPECT_THROW(read_placement(d, in), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

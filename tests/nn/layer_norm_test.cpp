@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.hpp"
+#include "util/check.hpp"
+#include "nn/ops.hpp"
+
+namespace tg::nn {
+namespace {
+
+TEST(LayerNorm, NormalizesRowStatistics) {
+  Tensor x = Tensor::from_vector({1, 2, 3, 4, 10, 20, 30, 40}, 2, 4);
+  Tensor gamma = Tensor::full(1, 4, 1.0f);
+  Tensor beta = Tensor::zeros(1, 4);
+  Tensor y = layer_norm(x, gamma, beta);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    double mean = 0, var = 0;
+    for (std::int64_t c = 0; c < 4; ++c) mean += y.at(r, c);
+    mean /= 4;
+    for (std::int64_t c = 0; c < 4; ++c) {
+      const double d = y.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApply) {
+  Tensor x = Tensor::from_vector({1, 2, 3, 4}, 1, 4);
+  Tensor gamma = Tensor::full(1, 4, 2.0f);
+  Tensor beta = Tensor::full(1, 4, 10.0f);
+  Tensor plain = layer_norm(x, Tensor::full(1, 4, 1.0f), Tensor::zeros(1, 4));
+  Tensor scaled = layer_norm(x, gamma, beta);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(scaled.at(0, c), 2.0f * plain.at(0, c) + 10.0f, 1e-5);
+  }
+}
+
+TEST(LayerNorm, ScaleInvarianceOfInput) {
+  // LayerNorm(αx) == LayerNorm(x) for α > 0 (up to eps effects).
+  Tensor x = Tensor::from_vector({0.3f, -1.2f, 2.2f, 0.9f}, 1, 4);
+  Tensor x10 = scale(x, 10.0f);
+  Tensor gamma = Tensor::full(1, 4, 1.0f);
+  Tensor beta = Tensor::zeros(1, 4);
+  Tensor a = layer_norm(x, gamma, beta);
+  Tensor b = layer_norm(x10, gamma, beta);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(a.at(0, c), b.at(0, c), 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradCheckAllInputs) {
+  Rng rng(3);
+  std::vector<float> xv(12), gv(4), bv(4);
+  for (float& v : xv) v = static_cast<float>(rng.normal());
+  for (float& v : gv) v = 1.0f + 0.3f * static_cast<float>(rng.normal());
+  for (float& v : bv) v = static_cast<float>(rng.normal());
+  std::vector<Tensor> in{Tensor::from_vector(xv, 3, 4, true),
+                         Tensor::from_vector(gv, 1, 4, true),
+                         Tensor::from_vector(bv, 1, 4, true)};
+  const GradCheckResult res = gradcheck(
+      [](const std::vector<Tensor>& t) {
+        Tensor y = layer_norm(t[0], t[1], t[2]);
+        return sum_all(mul(y, y));
+      },
+      in);
+  EXPECT_TRUE(res.ok) << "max rel err " << res.max_rel_error;
+}
+
+TEST(LayerNorm, ShapeChecks) {
+  Tensor x = Tensor::zeros(2, 4);
+  EXPECT_THROW(layer_norm(x, Tensor::zeros(1, 3), Tensor::zeros(1, 4)),
+               CheckError);
+  EXPECT_THROW(layer_norm(x, Tensor::zeros(1, 4), Tensor::zeros(2, 4)),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace tg::nn

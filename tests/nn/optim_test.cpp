@@ -1,0 +1,91 @@
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/module.hpp"
+#include "nn/ops.hpp"
+
+namespace tg::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // minimize (x - 3)²
+  Tensor x = Tensor::from_vector({0.0f}, 1, 1, true);
+  Adam adam({x}, AdamConfig{.lr = 0.1f});
+  for (int i = 0; i < 300; ++i) {
+    adam.zero_grad();
+    Tensor target = Tensor::from_vector({3.0f}, 1, 1);
+    mse_loss(x, target).backward();
+    adam.step();
+  }
+  EXPECT_NEAR(x.item(), 3.0f, 1e-2);
+}
+
+TEST(Sgd, MinimizesQuadratic) {
+  Tensor x = Tensor::from_vector({5.0f}, 1, 1, true);
+  Sgd sgd({x}, 0.1f, 0.5f);
+  for (int i = 0; i < 200; ++i) {
+    sgd.zero_grad();
+    Tensor target = Tensor::from_vector({-1.0f}, 1, 1);
+    mse_loss(x, target).backward();
+    sgd.step();
+  }
+  EXPECT_NEAR(x.item(), -1.0f, 1e-2);
+}
+
+TEST(Adam, GradClipLimitsStep) {
+  // A huge gradient with clipping enabled must not explode the parameter.
+  Tensor x = Tensor::from_vector({0.0f}, 1, 1, true);
+  Adam adam({x}, AdamConfig{.lr = 0.01f, .grad_clip = 1.0f});
+  adam.zero_grad();
+  Tensor target = Tensor::from_vector({1e6f}, 1, 1);
+  mse_loss(x, target).backward();
+  adam.step();
+  EXPECT_LT(std::abs(x.item()), 0.1f);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::from_vector({1.0f}, 1, 1, true);
+  Adam adam({x}, AdamConfig{.lr = 0.01f, .weight_decay = 0.1f});
+  for (int i = 0; i < 100; ++i) {
+    adam.zero_grad();
+    // Zero data gradient: loss independent of x.
+    Tensor y = scale(x, 0.0f);
+    sum_all(y).backward();
+    adam.step();
+  }
+  EXPECT_LT(std::abs(x.item()), 0.9f);
+}
+
+TEST(Adam, TrainsMlpOnToyRegression) {
+  // y = 2·x0 − x1; the MLP should fit it closely.
+  Rng rng(9);
+  Mlp mlp(2, 1, 16, 2, &rng);
+  Adam adam(mlp.parameters(), AdamConfig{.lr = 3e-3f});
+
+  std::vector<float> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    const float a = static_cast<float>(rng.uniform(-1, 1));
+    const float b = static_cast<float>(rng.uniform(-1, 1));
+    xs.push_back(a);
+    xs.push_back(b);
+    ys.push_back(2 * a - b);
+  }
+  Tensor x = Tensor::from_vector(xs, 64, 2);
+  Tensor y = Tensor::from_vector(ys, 64, 1);
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    adam.zero_grad();
+    Tensor loss = mse_loss(mlp.forward(x), y);
+    loss.backward();
+    adam.step();
+    if (epoch == 0) first_loss = loss.item();
+    last_loss = loss.item();
+  }
+  EXPECT_LT(last_loss, 0.02f * first_loss);
+  EXPECT_LT(last_loss, 0.01f);
+}
+
+}  // namespace
+}  // namespace tg::nn

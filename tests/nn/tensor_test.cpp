@@ -1,0 +1,110 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.hpp"
+#include "util/check.hpp"
+
+namespace tg::nn {
+namespace {
+
+TEST(Tensor, ZerosShapeAndValues) {
+  Tensor t = Tensor::zeros(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_NO_THROW(Tensor::from_vector({1, 2, 3, 4}, 2, 2));
+  EXPECT_THROW(Tensor::from_vector({1, 2, 3}, 2, 2), CheckError);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6}, 2, 3);
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 5.0f);
+  EXPECT_THROW(t.at(2, 0), CheckError);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  Tensor s = Tensor::from_vector({7.5f}, 1, 1);
+  EXPECT_FLOAT_EQ(s.item(), 7.5f);
+  Tensor t = Tensor::zeros(2, 1);
+  EXPECT_THROW(t.item(), CheckError);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::rand_uniform(100, 10, 0.5f, rng);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LE(v, 0.5f);
+  }
+}
+
+TEST(Tensor, BackwardOnScalarOnly) {
+  Tensor t = Tensor::zeros(2, 2, true);
+  EXPECT_THROW(t.backward(), CheckError);
+}
+
+TEST(Tensor, SimpleBackwardChain) {
+  Tensor x = Tensor::from_vector({2.0f}, 1, 1, true);
+  Tensor y = mul(x, x);  // y = x²
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);  // dy/dx = 2x = 4
+}
+
+TEST(Tensor, GradAccumulatesAcrossBackward) {
+  Tensor x = Tensor::from_vector({3.0f}, 1, 1, true);
+  Tensor y1 = scale(x, 2.0f);
+  y1.backward();
+  Tensor y2 = scale(x, 5.0f);
+  y2.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);  // 2 + 5
+}
+
+TEST(Tensor, ZeroGradClears) {
+  Tensor x = Tensor::from_vector({3.0f}, 1, 1, true);
+  scale(x, 2.0f).backward();
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Tensor, DiamondGraphAccumulates) {
+  // y = x*x + 3x reuses x twice.
+  Tensor x = Tensor::from_vector({5.0f}, 1, 1, true);
+  Tensor y = add(mul(x, x), scale(x, 3.0f));
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f * 5.0f + 3.0f);
+}
+
+TEST(Tensor, DetachBreaksGraph) {
+  Tensor x = Tensor::from_vector({2.0f}, 1, 1, true);
+  Tensor d = detach(mul(x, x));
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.item(), 4.0f);
+}
+
+TEST(Tensor, NoGradNoParents) {
+  Tensor a = Tensor::from_vector({1.0f}, 1, 1, false);
+  Tensor b = Tensor::from_vector({2.0f}, 1, 1, false);
+  Tensor c = add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.impl()->parents.empty());
+}
+
+TEST(Tensor, DeepChainBackwardIterative) {
+  // 3000-deep chain would overflow a recursive DFS; ours is iterative.
+  Tensor x = Tensor::from_vector({1.0f}, 1, 1, true);
+  Tensor y = x;
+  for (int i = 0; i < 3000; ++i) y = scale(y, 1.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace tg::nn

@@ -1,0 +1,82 @@
+#include "place/legalizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+class LegalizerTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+
+  Design placed(const char* name, double util = 0.5) {
+    Design d = generate_design(suite_entry(name, 1.0 / 32).spec, lib_);
+    PlacerConfig cfg;
+    cfg.utilization = util;  // leave room for legal slots
+    place_design(d, cfg);
+    return d;
+  }
+};
+
+TEST_F(LegalizerTest, ProducesLegalPlacement) {
+  Design d = placed("spm");
+  EXPECT_FALSE(placement_is_legal(d));  // jittered placement overlaps
+  legalize_placement(d);
+  EXPECT_TRUE(placement_is_legal(d));
+}
+
+TEST_F(LegalizerTest, InstancesStayInsideDie) {
+  Design d = placed("usb");
+  legalize_placement(d);
+  for (const Instance& inst : d.instances()) {
+    EXPECT_TRUE(d.die().contains(inst.pos)) << inst.name;
+  }
+}
+
+TEST_F(LegalizerTest, DisplacementIsBoundedAndReported) {
+  Design d = placed("spm");
+  const LegalizeReport report = legalize_placement(d);
+  EXPECT_GT(report.total_displacement_um, 0.0);
+  EXPECT_GE(report.max_displacement_um,
+            report.total_displacement_um / d.num_instances());
+  // Greedy legalization of a reasonable placement should not move cells
+  // across the whole die on average.
+  const double avg =
+      report.total_displacement_um / d.num_instances();
+  EXPECT_LT(avg, 0.5 * (d.die().width() + d.die().height()));
+}
+
+TEST_F(LegalizerTest, PinsMoveWithInstances) {
+  Design d = placed("spm");
+  legalize_placement(d);
+  LegalizerConfig cfg;
+  for (const Instance& inst : d.instances()) {
+    for (PinId p : inst.pins) {
+      // Pins stay within a cell-footprint distance of the instance.
+      EXPECT_LE(manhattan(d.pin(p).pos, inst.pos),
+                2.0 * cfg.row_height_um + 1e-9);
+    }
+  }
+}
+
+TEST_F(LegalizerTest, IdempotentOnLegalInput) {
+  Design d = placed("spm");
+  legalize_placement(d);
+  const LegalizeReport second = legalize_placement(d);
+  EXPECT_NEAR(second.total_displacement_um, 0.0, 1e-9);
+}
+
+TEST_F(LegalizerTest, RejectsOverfullDie) {
+  Design d = placed("spm");
+  LegalizerConfig cfg;
+  cfg.sites_per_instance = 100000;  // cannot fit
+  EXPECT_THROW(legalize_placement(d, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,109 @@
+#include "place/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+
+namespace tg {
+namespace {
+
+class PlacerTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+  Design make_design(const char* name = "spm") {
+    return generate_design(suite_entry(name, 1.0 / 32).spec, lib_);
+  }
+};
+
+TEST_F(PlacerTest, AllInstancesInsideDie) {
+  Design d = make_design();
+  place_design(d);
+  const BBox& die = d.die();
+  ASSERT_TRUE(die.valid());
+  for (const Instance& inst : d.instances()) {
+    EXPECT_TRUE(die.contains(inst.pos)) << inst.name;
+  }
+  for (PinId p = 0; p < d.num_pins(); ++p) {
+    EXPECT_TRUE(die.contains(d.pin(p).pos)) << d.pin_name(p);
+  }
+}
+
+TEST_F(PlacerTest, PortsOnBoundary) {
+  Design d = make_design();
+  place_design(d);
+  const BBox& die = d.die();
+  for (PinId p : d.primary_inputs()) {
+    EXPECT_DOUBLE_EQ(d.pin(p).pos.x, die.xmin) << d.pin_name(p);
+  }
+  for (PinId p : d.primary_outputs()) {
+    EXPECT_DOUBLE_EQ(d.pin(p).pos.x, die.xmax) << d.pin_name(p);
+  }
+}
+
+TEST_F(PlacerTest, DeterministicForSeed) {
+  Design d1 = make_design();
+  Design d2 = make_design();
+  PlacerConfig cfg;
+  cfg.seed = 5;
+  place_design(d1, cfg);
+  place_design(d2, cfg);
+  for (InstId i = 0; i < d1.num_instances(); ++i) {
+    EXPECT_EQ(d1.instance(i).pos.x, d2.instance(i).pos.x);
+    EXPECT_EQ(d1.instance(i).pos.y, d2.instance(i).pos.y);
+  }
+}
+
+TEST_F(PlacerTest, ReportConsistent) {
+  Design d = make_design();
+  const PlacementReport r = place_design(d);
+  EXPECT_GT(r.die_width, 0.0);
+  EXPECT_GT(r.die_height, 0.0);
+  EXPECT_GT(r.total_hpwl, 0.0);
+  EXPECT_NEAR(r.total_hpwl, total_hpwl(d), 1e-9);
+}
+
+TEST_F(PlacerTest, LocalityBeatsShuffledPlacement) {
+  // The quality knob must trade HPWL monotonically-ish: a locality-aware
+  // placement has substantially smaller wirelength than a shuffled one.
+  Design good = make_design();
+  Design bad = make_design();
+  PlacerConfig good_cfg;
+  good_cfg.quality = 1.0;
+  PlacerConfig bad_cfg;
+  bad_cfg.quality = 0.0;
+  const double good_hpwl = place_design(good, good_cfg).total_hpwl;
+  const double bad_hpwl = place_design(bad, bad_cfg).total_hpwl;
+  EXPECT_LT(good_hpwl, 0.75 * bad_hpwl);
+}
+
+TEST_F(PlacerTest, DieAreaScalesWithUtilization) {
+  Design d1 = make_design();
+  Design d2 = make_design();
+  PlacerConfig dense;
+  dense.utilization = 0.9;
+  PlacerConfig sparse;
+  sparse.utilization = 0.45;
+  const auto r1 = place_design(d1, dense);
+  const auto r2 = place_design(d2, sparse);
+  EXPECT_LT(r1.die_width * r1.die_height, r2.die_width * r2.die_height);
+}
+
+class PlacerSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacerSeedSweep, AlwaysLegal) {
+  Library lib = build_library();
+  Design d = generate_design(suite_entry("usb", 1.0 / 32).spec, lib);
+  PlacerConfig cfg;
+  cfg.seed = GetParam();
+  place_design(d, cfg);
+  for (const Instance& inst : d.instances()) {
+    EXPECT_TRUE(d.die().contains(inst.pos));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacerSeedSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 99ULL));
+
+}  // namespace
+}  // namespace tg

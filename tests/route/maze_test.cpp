@@ -1,0 +1,159 @@
+#include "route/maze_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "testing/builders.hpp"
+
+namespace tg {
+namespace {
+
+TEST(RoutingGrid, GeometryRoundTrip) {
+  BBox die;
+  die.expand(Point{0, 0});
+  die.expand(Point{80, 40});
+  MazeConfig cfg;
+  cfg.gcell_um = 8.0;
+  RoutingGrid grid(die, cfg);
+  EXPECT_EQ(grid.nx(), 10);
+  EXPECT_EQ(grid.ny(), 5);
+  const int cell = grid.cell_of({43, 21});
+  const Point center = grid.center(cell);
+  EXPECT_EQ(grid.cell_of(center), cell);
+  // Outside points clamp to the border cells.
+  EXPECT_EQ(grid.cell_of({-5, -5}), 0);
+  EXPECT_EQ(grid.cell_of({1000, 1000}), grid.num_cells() - 1);
+}
+
+TEST(RoutingGrid, EdgeIdsUniqueAndSymmetric) {
+  BBox die;
+  die.expand(Point{0, 0});
+  die.expand(Point{40, 40});
+  RoutingGrid grid(die, MazeConfig{.gcell_um = 8.0});
+  std::vector<int> seen(static_cast<std::size_t>(grid.num_edges()), 0);
+  for (int c = 0; c < grid.num_cells(); ++c) {
+    for (int dir = 0; dir < 4; ++dir) {
+      const int e = grid.edge(c, dir);
+      const int nb = grid.neighbor(c, dir);
+      EXPECT_EQ(e >= 0, nb >= 0);
+      if (e < 0) continue;
+      // The reverse edge from the neighbor must be the same id.
+      const int back = grid.edge(nb, dir ^ 1);
+      EXPECT_EQ(e, back);
+      ++seen[static_cast<std::size_t>(e)];
+    }
+  }
+  // Every edge is referenced exactly twice (once from each endpoint).
+  for (int count : seen) EXPECT_EQ(count, 2);
+}
+
+TEST(RoutingGrid, CostGrowsWithUsage) {
+  BBox die;
+  die.expand(Point{0, 0});
+  die.expand(Point{40, 40});
+  MazeConfig cfg;
+  cfg.capacity = 4;
+  RoutingGrid grid(die, cfg);
+  const int e = grid.edge(0, 0);
+  const double c0 = grid.edge_cost(e);
+  grid.add_usage(e, 3);
+  const double c3 = grid.edge_cost(e);
+  grid.add_usage(e, 2);  // at/over capacity now
+  const double c5 = grid.edge_cost(e);
+  EXPECT_LT(c0, c3);
+  EXPECT_LT(c3, c5);
+  EXPECT_EQ(grid.max_usage(), 5);
+  EXPECT_EQ(grid.overflow_count(), 1);
+}
+
+class MazeDesignTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+};
+
+TEST_F(MazeDesignTest, RoutesTinyDesign) {
+  Design d("t", &lib_);
+  const auto s = testing::build_seq_chain(d, lib_);
+  (void)s;
+  const MazeResult result = maze_route(d);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_clock) continue;
+    const RouteTopology& topo = result.topologies[static_cast<std::size_t>(n)];
+    EXPECT_NO_THROW(topo.validate());
+    for (PinId sink : net.sinks) {
+      EXPECT_GE(topo.node_of_pin(sink), 0)
+          << "net " << net.name << " sink " << d.pin_name(sink);
+    }
+  }
+  EXPECT_GT(result.total_wirelength, 0.0);
+}
+
+TEST_F(MazeDesignTest, RouteAtLeastManhattanPerNet) {
+  Design d("t", &lib_);
+  const auto c = testing::build_comb_chain(d, lib_);
+  (void)c;
+  const MazeResult result = maze_route(d);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_clock) continue;
+    const RouteTopology& topo = result.topologies[static_cast<std::size_t>(n)];
+    // Routed length can't beat the straight-line Manhattan distance to the
+    // farthest sink (minus grid quantization slack of 2 pitches).
+    for (PinId sink : net.sinks) {
+      const double direct = manhattan(d.pin(net.driver).pos, d.pin(sink).pos);
+      EXPECT_GE(topo.total_wirelength() + 2.0 * 8.0, direct);
+    }
+  }
+}
+
+TEST_F(MazeDesignTest, GeneratedDesignFullyRouted) {
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib_);
+  place_design(d);
+  const MazeResult result = maze_route(d);
+  int routed_nets = 0;
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_clock) continue;
+    ++routed_nets;
+    const RouteTopology& topo = result.topologies[static_cast<std::size_t>(n)];
+    for (PinId sink : net.sinks) {
+      ASSERT_GE(topo.node_of_pin(sink), 0);
+    }
+  }
+  EXPECT_GT(routed_nets, 100);
+  EXPECT_GE(result.max_edge_usage, 1);
+}
+
+TEST_F(MazeDesignTest, RipupReducesOrKeepsOverflow) {
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib_);
+  place_design(d);
+  MazeConfig no_rr;
+  no_rr.ripup_passes = 0;
+  no_rr.capacity = 6;  // force congestion
+  MazeConfig with_rr = no_rr;
+  with_rr.ripup_passes = 2;
+  const MazeResult r0 = maze_route(d, no_rr);
+  const MazeResult r1 = maze_route(d, with_rr);
+  EXPECT_LE(r1.overflow_edges, r0.overflow_edges);
+}
+
+TEST_F(MazeDesignTest, CongestionCausesDetours) {
+  // With tiny capacity, total wirelength should grow (detours) relative to
+  // a generous grid.
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib_);
+  place_design(d);
+  MazeConfig roomy;
+  roomy.capacity = 1000;
+  MazeConfig tight;
+  tight.capacity = 3;
+  tight.ripup_passes = 2;
+  const MazeResult r_roomy = maze_route(d, roomy);
+  const MazeResult r_tight = maze_route(d, tight);
+  EXPECT_GT(r_tight.total_wirelength, r_roomy.total_wirelength);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,68 @@
+#include "route/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "testing/builders.hpp"
+
+namespace tg {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+};
+
+TEST_F(RouterTest, SteinerModeCoversAllNets) {
+  Design d("t", &lib_);
+  testing::build_seq_chain(d, lib_);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kSteiner;
+  const DesignRouting routing = route_design(d, opts);
+  ASSERT_EQ(routing.nets.size(), static_cast<std::size_t>(d.num_nets()));
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_clock) {
+      EXPECT_TRUE(routing.nets[static_cast<std::size_t>(n)].sink_delay.empty());
+      continue;
+    }
+    EXPECT_EQ(routing.nets[static_cast<std::size_t>(n)].sink_delay.size(),
+              net.sinks.size());
+  }
+  EXPECT_GT(routing.total_wirelength, 0.0);
+  EXPECT_GE(routing.route_seconds, 0.0);
+}
+
+TEST_F(RouterTest, MazeModeMatchesStructure) {
+  Design d = generate_design(suite_entry("usb", 1.0 / 32).spec, lib_);
+  place_design(d);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kMaze;
+  const DesignRouting routing = route_design(d, opts);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    if (d.net(n).is_clock) continue;
+    EXPECT_EQ(routing.nets[static_cast<std::size_t>(n)].sink_delay.size(),
+              d.net(n).sinks.size());
+    for (const PerCorner& delay : routing.nets[static_cast<std::size_t>(n)].sink_delay) {
+      for (double v : delay) EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST_F(RouterTest, MazeAtLeastAsLongAsSteiner) {
+  Design d = generate_design(suite_entry("usb", 1.0 / 32).spec, lib_);
+  place_design(d);
+  RoutingOptions steiner;
+  steiner.mode = RouteMode::kSteiner;
+  RoutingOptions maze;
+  maze.mode = RouteMode::kMaze;
+  const DesignRouting r_st = route_design(d, steiner);
+  const DesignRouting r_mz = route_design(d, maze);
+  // Grid quantization adds a little; allow 5% slack on the inequality.
+  EXPECT_GT(r_mz.total_wirelength, 0.95 * r_st.total_wirelength);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,121 @@
+#include "route/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "testing/builders.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+namespace {
+
+RouteTopology make_tree(const std::vector<Point>& sink_pts) {
+  std::vector<SteinerSink> sinks;
+  for (std::size_t i = 0; i < sink_pts.size(); ++i) {
+    sinks.push_back(SteinerSink{sink_pts[i], static_cast<PinId>(100 + i)});
+  }
+  return build_steiner({0, 0}, 99, sinks);
+}
+
+TEST(Steiner, TwoPinNetIsManhattan) {
+  const RouteTopology t = make_tree({{10, 7}});
+  EXPECT_NEAR(t.total_wirelength(), 17.0, 1e-9);
+  EXPECT_GE(t.node_of_pin(100), 0);
+}
+
+TEST(Steiner, AlignedSinkSingleSegment) {
+  const RouteTopology t = make_tree({{10, 0}});
+  EXPECT_NEAR(t.total_wirelength(), 10.0, 1e-9);
+  // driver + sink only (no corner needed)
+  EXPECT_EQ(t.size(), 2);
+}
+
+TEST(Steiner, CoincidentSinkZeroWire) {
+  const RouteTopology t = make_tree({{0, 0}});
+  EXPECT_NEAR(t.total_wirelength(), 0.0, 1e-9);
+}
+
+TEST(Steiner, SharesTrunkForColinearSinks) {
+  // Two sinks straight to the right: the farther one must reuse the
+  // nearer one's wire, so total = 20, not 30.
+  const RouteTopology t = make_tree({{10, 0}, {20, 0}});
+  EXPECT_NEAR(t.total_wirelength(), 20.0, 1e-9);
+}
+
+TEST(Steiner, SteinerPointBeatsStar) {
+  // Sinks at (10,5) and (10,-5): a trunk to x=10 then two branches
+  // (total 20) beats direct connections (15+15=30).
+  const RouteTopology t = make_tree({{10, 5}, {10, -5}});
+  EXPECT_LE(t.total_wirelength(), 20.0 + 1e-9);
+}
+
+TEST(Steiner, EveryPinPresent) {
+  const RouteTopology t =
+      make_tree({{5, 5}, {-3, 2}, {7, -4}, {0, 9}, {2, 2}});
+  for (int pin = 100; pin < 105; ++pin) {
+    EXPECT_GE(t.node_of_pin(pin), 0) << "pin " << pin;
+  }
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Steiner, WirelengthAtLeastBBoxHalfPerimeter) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> pts;
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.uniform(-50, 50), rng.uniform(-50, 50)});
+    }
+    const RouteTopology t = make_tree(pts);
+    std::vector<Point> all = pts;
+    all.push_back({0, 0});
+    // RSMT lower bound: half-perimeter of the bounding box.
+    EXPECT_GE(t.total_wirelength() + 1e-6, hpwl(all));
+    // Sanity upper bound: star routing from the driver.
+    double star = 0.0;
+    for (const Point& p : pts) star += manhattan({0, 0}, p);
+    EXPECT_LE(t.total_wirelength(), star + 1e-6);
+  }
+}
+
+TEST(Steiner, SegmentsAreAxisAligned) {
+  const RouteTopology t =
+      make_tree({{5, 5}, {-3, 2}, {7, -4}, {0, 9}});
+  for (int i = 1; i < t.size(); ++i) {
+    const TopoNode& n = t.node(i);
+    const Point& a = n.pos;
+    const Point& b = t.node(n.parent).pos;
+    EXPECT_TRUE(std::abs(a.x - b.x) < 1e-9 || std::abs(a.y - b.y) < 1e-9)
+        << "edge " << i << " is diagonal";
+  }
+}
+
+TEST(Steiner, NetHelperCoversAllSinks) {
+  Library lib = build_library();
+  Design d("t", &lib);
+  const auto c = testing::build_comb_chain(d, lib);
+  const RouteTopology t = build_net_steiner(d, c.n_mid);
+  EXPECT_EQ(t.node(0).pin, d.net(c.n_mid).driver);
+  for (PinId s : d.net(c.n_mid).sinks) EXPECT_GE(t.node_of_pin(s), 0);
+}
+
+class SteinerFanoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteinerFanoutSweep, ValidTreeAtAnyFanout) {
+  Rng rng(GetParam());
+  std::vector<Point> pts;
+  for (int i = 0; i < GetParam(); ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  const RouteTopology t = make_tree(pts);
+  EXPECT_NO_THROW(t.validate());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_GE(t.node_of_pin(static_cast<PinId>(100 + i)), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, SteinerFanoutSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,71 @@
+#include "route/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+TEST(RouteTopology, RootOnlyValid) {
+  RouteTopology t({1, 2}, 42);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.node(0).pin, 42);
+  EXPECT_EQ(t.node(0).parent, -1);
+  EXPECT_DOUBLE_EQ(t.total_wirelength(), 0.0);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(RouteTopology, DefaultWireIsManhattan) {
+  RouteTopology t({0, 0}, 0);
+  const int a = t.add_node({3, 4}, 0);
+  EXPECT_DOUBLE_EQ(t.node(a).wire_to_parent, 7.0);
+  EXPECT_DOUBLE_EQ(t.total_wirelength(), 7.0);
+}
+
+TEST(RouteTopology, ExplicitWireOverridesDistance) {
+  RouteTopology t({0, 0}, 0);
+  const int a = t.add_node({3, 0}, 0, kInvalidId, 10.0);  // detoured
+  EXPECT_DOUBLE_EQ(t.node(a).wire_to_parent, 10.0);
+}
+
+TEST(RouteTopology, NodeOfPinFindsAttachments) {
+  RouteTopology t({0, 0}, 7);
+  t.add_node({1, 0}, 0);  // steiner
+  const int s = t.add_node({2, 0}, 1, 9);
+  EXPECT_EQ(t.node_of_pin(7), 0);
+  EXPECT_EQ(t.node_of_pin(9), s);
+  EXPECT_EQ(t.node_of_pin(1234), -1);
+}
+
+TEST(RouteTopology, AttachPinOnlyOnce) {
+  RouteTopology t({0, 0}, 0);
+  const int a = t.add_node({1, 0}, 0);
+  t.attach_pin(a, 5);
+  EXPECT_THROW(t.attach_pin(a, 6), CheckError);
+}
+
+TEST(RouteTopology, RejectsBadParents) {
+  RouteTopology t({0, 0}, 0);
+  EXPECT_THROW(t.add_node({1, 1}, 5), CheckError);   // nonexistent parent
+  EXPECT_THROW(t.add_node({1, 1}, -1), CheckError);  // root has no parent slot
+}
+
+TEST(RouteTopology, SetParentDetectsCycles) {
+  RouteTopology t({0, 0}, 0);
+  const int a = t.add_node({1, 0}, 0);
+  const int b = t.add_node({2, 0}, a);
+  // a's parent becomes b: cycle a -> b -> a, caught by validate().
+  t.set_parent(a, b, 1.0);
+  EXPECT_THROW(t.validate(), CheckError);
+}
+
+TEST(RouteTopology, NegativeWireRejectedByValidate) {
+  RouteTopology t({0, 0}, 0);
+  t.add_node({1, 0}, 0, kInvalidId, 1.0);
+  t.set_parent(1, 0, -3.0);
+  EXPECT_THROW(t.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

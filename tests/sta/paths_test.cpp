@@ -1,0 +1,105 @@
+#include "sta/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "testing/builders.hpp"
+
+namespace tg {
+namespace {
+
+class PathsTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+
+  struct Prepared {
+    Design design;
+    DesignRouting routing;
+  };
+
+  Prepared prepare(const char* name) {
+    Design d = generate_design(suite_entry(name, 1.0 / 32).spec, lib_);
+    place_design(d);
+    RoutingOptions opts;
+    opts.mode = RouteMode::kSteiner;
+    DesignRouting r = route_design(d, opts);
+    return Prepared{std::move(d), std::move(r)};
+  }
+};
+
+TEST_F(PathsTest, WorstPathsSortedBySlack) {
+  auto prep = prepare("spm");
+  const TimingGraph g(prep.design);
+  StaResult sta = run_sta(g, prep.routing);
+  prep.design.set_period(calibrated_period(prep.design, sta.arrival, 1.05));
+  sta = run_sta(g, prep.routing);
+  const auto paths = worst_paths(g, sta, 5, /*setup=*/true);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].slack, paths[i].slack);
+  }
+  EXPECT_NEAR(paths[0].slack, sta.wns_setup, 1e-12);
+}
+
+TEST_F(PathsTest, PathStartsAtRootEndsAtEndpoint) {
+  auto prep = prepare("spm");
+  const TimingGraph g(prep.design);
+  const StaResult sta = run_sta(g, prep.routing);
+  const auto paths = worst_paths(g, sta, 3, true);
+  for (const CriticalPath& path : paths) {
+    ASSERT_FALSE(path.steps.empty());
+    EXPECT_TRUE(prep.design.is_timing_root(path.steps.front().pin));
+    EXPECT_EQ(path.steps.back().pin, path.endpoint);
+    EXPECT_TRUE(prep.design.is_endpoint(path.endpoint));
+    // Arrivals are monotone along the path.
+    for (std::size_t i = 1; i < path.steps.size(); ++i) {
+      EXPECT_GE(path.steps[i].arrival + 1e-12, path.steps[i - 1].arrival);
+    }
+  }
+}
+
+TEST_F(PathsTest, HoldPathsUseEarlyCorners) {
+  auto prep = prepare("spm");
+  const TimingGraph g(prep.design);
+  const StaResult sta = run_sta(g, prep.routing);
+  const auto paths = worst_paths(g, sta, 2, /*setup=*/false);
+  ASSERT_FALSE(paths.empty());
+  for (const CriticalPath& path : paths) {
+    EXPECT_FALSE(path.is_setup);
+    for (const PathStep& step : path.steps) {
+      EXPECT_EQ(corner_mode(step.corner), Mode::kEarly);
+    }
+  }
+}
+
+TEST_F(PathsTest, FormatPathMentionsEndpointAndSlack) {
+  auto prep = prepare("spm");
+  const TimingGraph g(prep.design);
+  const StaResult sta = run_sta(g, prep.routing);
+  const auto paths = worst_paths(g, sta, 1, true);
+  ASSERT_FALSE(paths.empty());
+  const std::string report = format_path(prep.design, sta, paths[0]);
+  EXPECT_NE(report.find(prep.design.pin_name(paths[0].endpoint)),
+            std::string::npos);
+  EXPECT_NE(report.find("slack="), std::string::npos);
+}
+
+TEST_F(PathsTest, HistogramCountsAllEndpoints) {
+  auto prep = prepare("usb");
+  const TimingGraph g(prep.design);
+  const StaResult sta = run_sta(g, prep.routing);
+  const auto hist = slack_histogram(prep.design, sta, 10);
+  ASSERT_EQ(hist.size(), 10u);
+  long long total = 0;
+  for (const auto& [edge, count] : hist) total += count;
+  EXPECT_EQ(total, prep.design.stats().num_endpoints);
+  // Bin edges ascend.
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_GT(hist[i].first, hist[i - 1].first);
+  }
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,61 @@
+#include "sta/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+
+namespace tg {
+namespace {
+
+TEST(TimingReport, ContainsAllSections) {
+  const Library lib = build_library();
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib);
+  place_design(d);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kSteiner;
+  const DesignRouting routing = route_design(d, opts);
+  const TimingGraph graph(d);
+  StaResult sta = run_sta(graph, routing);
+  d.set_period(calibrated_period(d, sta.arrival, 1.05));
+  sta = run_sta(graph, routing);
+
+  std::ostringstream out;
+  ReportOptions ropts;
+  ropts.num_paths = 2;
+  write_timing_report(out, graph, sta, ropts);
+  const std::string s = out.str();
+
+  EXPECT_NE(s.find("timing report: spm"), std::string::npos);
+  EXPECT_NE(s.find("clock period"), std::string::npos);
+  EXPECT_NE(s.find("WNS"), std::string::npos);
+  EXPECT_NE(s.find("worst setup paths"), std::string::npos);
+  EXPECT_NE(s.find("worst hold paths"), std::string::npos);
+  EXPECT_NE(s.find("slack histogram"), std::string::npos);
+  // Calibrated at factor > 1: setup met, so report says MET or VIOLATED
+  // solely based on hold.
+  EXPECT_TRUE(s.find("timing MET") != std::string::npos ||
+              s.find("timing VIOLATED") != std::string::npos);
+}
+
+TEST(TimingReport, HoldSectionOptional) {
+  const Library lib = build_library();
+  Design d = generate_design(suite_entry("spm", 1.0 / 32).spec, lib);
+  place_design(d);
+  RoutingOptions opts;
+  opts.mode = RouteMode::kSteiner;
+  const DesignRouting routing = route_design(d, opts);
+  const TimingGraph graph(d);
+  const StaResult sta = run_sta(graph, routing);
+  std::ostringstream out;
+  ReportOptions ropts;
+  ropts.include_hold = false;
+  write_timing_report(out, graph, sta, ropts);
+  EXPECT_EQ(out.str().find("worst hold paths"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg

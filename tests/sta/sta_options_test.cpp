@@ -1,0 +1,90 @@
+/// Sensitivity of the golden timer to its boundary-condition options.
+
+#include <gtest/gtest.h>
+
+#include "liberty/library_builder.hpp"
+#include "route/router.hpp"
+#include "sta/timer.hpp"
+#include "testing/builders.hpp"
+
+namespace tg {
+namespace {
+
+class StaOptionsTest : public ::testing::Test {
+ protected:
+  Library lib_ = build_library();
+
+  struct Prepared {
+    std::unique_ptr<Design> design;
+    std::unique_ptr<TimingGraph> graph;
+    DesignRouting routing;
+  };
+
+  Prepared prepare() {
+    Prepared p;
+    p.design = std::make_unique<Design>("t", &lib_);
+    testing::build_seq_chain(*p.design, lib_);
+    RoutingOptions opts;
+    opts.mode = RouteMode::kSteiner;
+    p.routing = route_design(*p.design, opts);
+    p.graph = std::make_unique<TimingGraph>(*p.design);
+    return p;
+  }
+};
+
+TEST_F(StaOptionsTest, InputSlewPropagatesToRoots) {
+  auto p = prepare();
+  StaOptions o;
+  o.input_slew_ns = 0.123;
+  const StaResult sta = run_sta(*p.graph, p.routing, o);
+  for (PinId pin : p.design->primary_inputs()) {
+    if (p.design->pin(pin).net == p.design->clock_net()) continue;
+    for (int c = 0; c < kNumCorners; ++c) {
+      EXPECT_DOUBLE_EQ(sta.slew[static_cast<std::size_t>(pin)][c], 0.123);
+    }
+  }
+}
+
+TEST_F(StaOptionsTest, ClockSlewDistinctFromInputSlew) {
+  auto p = prepare();
+  StaOptions o;
+  o.input_slew_ns = 0.2;
+  o.clock_slew_ns = 0.04;
+  const StaResult sta = run_sta(*p.graph, p.routing, o);
+  for (PinId pin = 0; pin < p.design->num_pins(); ++pin) {
+    if (p.design->is_clock_pin(pin)) {
+      EXPECT_DOUBLE_EQ(sta.slew[static_cast<std::size_t>(pin)][0], 0.04);
+    }
+  }
+}
+
+TEST_F(StaOptionsTest, PoMarginTightensPoSlackOnly) {
+  auto p = prepare();
+  p.design->set_period(5.0);
+  StaOptions base;
+  StaOptions tight;
+  tight.po_setup_margin_ns = 0.5;
+  const StaResult a = run_sta(*p.graph, p.routing, base);
+  const StaResult b = run_sta(*p.graph, p.routing, tight);
+  for (PinId po : p.design->primary_outputs()) {
+    const double da = endpoint_setup_slack(a, po);
+    const double db = endpoint_setup_slack(b, po);
+    EXPECT_NEAR(da - db, 0.5, 1e-9) << p.design->pin_name(po);
+  }
+}
+
+TEST_F(StaOptionsTest, PoHoldMarginTightensHold) {
+  auto p = prepare();
+  StaOptions base;
+  StaOptions tight;
+  tight.po_hold_margin_ns = 0.2;
+  const StaResult a = run_sta(*p.graph, p.routing, base);
+  const StaResult b = run_sta(*p.graph, p.routing, tight);
+  for (PinId po : p.design->primary_outputs()) {
+    EXPECT_NEAR(endpoint_hold_slack(a, po) - endpoint_hold_slack(b, po), 0.2,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,107 @@
+/// Physical-property sweeps of the golden timer — monotonicity and
+/// sensitivity laws any correct STA must obey, checked across several
+/// designs (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/timer.hpp"
+
+namespace tg {
+namespace {
+
+class StaPropertySweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  static const Library& lib() {
+    static const Library* l = new Library(build_library());
+    return *l;
+  }
+
+  struct Prepared {
+    std::unique_ptr<Design> design;
+    std::unique_ptr<TimingGraph> graph;
+    DesignRouting routing;
+  };
+
+  Prepared prepare() {
+    Prepared p;
+    p.design = std::make_unique<Design>(
+        generate_design(suite_entry(GetParam(), 1.0 / 32).spec, lib()));
+    place_design(*p.design);
+    RoutingOptions opts;
+    opts.mode = RouteMode::kSteiner;
+    p.routing = route_design(*p.design, opts);
+    p.graph = std::make_unique<TimingGraph>(*p.design);
+    return p;
+  }
+};
+
+TEST_P(StaPropertySweep, SlowerWiresNeverSpeedUpArrival) {
+  Prepared p = prepare();
+  const StaResult base = run_sta(*p.graph, p.routing);
+  // Uniformly inflate all wire delays by 20%.
+  for (NetId n = 0; n < p.design->num_nets(); ++n) {
+    if (p.design->net(n).is_clock) continue;
+    for (auto& d : p.routing.nets[static_cast<std::size_t>(n)].sink_delay) {
+      for (double& v : d) v *= 1.2;
+    }
+  }
+  const StaResult slow = run_sta(*p.graph, p.routing);
+  const int lr = corner_index(Mode::kLate, Trans::kRise);
+  for (PinId pin = 0; pin < p.design->num_pins(); ++pin) {
+    EXPECT_GE(slow.arrival[static_cast<std::size_t>(pin)][lr] + 1e-12,
+              base.arrival[static_cast<std::size_t>(pin)][lr])
+        << p.design->pin_name(pin);
+  }
+  EXPECT_LE(slow.wns_setup, base.wns_setup + 1e-12);
+}
+
+TEST_P(StaPropertySweep, HigherInputSlewNeverImprovesSetup) {
+  Prepared p = prepare();
+  StaOptions crisp;
+  crisp.input_slew_ns = 0.02;
+  StaOptions sloppy;
+  sloppy.input_slew_ns = 0.30;
+  const StaResult a = run_sta(*p.graph, p.routing, crisp);
+  const StaResult b = run_sta(*p.graph, p.routing, sloppy);
+  // Larger input slews slow the late corners (delay grows with slew).
+  EXPECT_LE(b.wns_setup, a.wns_setup + 1e-9);
+}
+
+TEST_P(StaPropertySweep, SlackSumsConsistentWithWns) {
+  Prepared p = prepare();
+  StaResult sta = run_sta(*p.graph, p.routing);
+  p.design->set_period(calibrated_period(*p.design, sta.arrival, 0.9));
+  sta = run_sta(*p.graph, p.routing);
+  // TNS ≤ WNS when WNS < 0 (TNS accumulates every violator).
+  ASSERT_LT(sta.wns_setup, 0.0);
+  EXPECT_LE(sta.tns_setup, sta.wns_setup + 1e-12);
+  // WNS equals the minimum endpoint slack.
+  double min_slack = 1e30;
+  for (PinId pin = 0; pin < p.design->num_pins(); ++pin) {
+    if (p.design->is_endpoint(pin)) {
+      min_slack = std::min(min_slack, endpoint_setup_slack(sta, pin));
+    }
+  }
+  EXPECT_NEAR(sta.wns_setup, min_slack, 1e-12);
+}
+
+TEST_P(StaPropertySweep, ArrivalMonotoneAlongEveryNetArc) {
+  Prepared p = prepare();
+  const StaResult sta = run_sta(*p.graph, p.routing);
+  for (const NetArc& arc : p.graph->net_arcs()) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      EXPECT_GE(sta.arrival[static_cast<std::size_t>(arc.to)][c] + 1e-12,
+                sta.arrival[static_cast<std::size_t>(arc.from)][c]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, StaPropertySweep,
+                         ::testing::Values("spm", "usb", "zipdiv",
+                                           "cic_decimator"));
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,103 @@
+#pragma once
+/// Shared hand-built circuits for tests. The caller owns the Library and
+/// keeps it alive for the Design's lifetime (fixtures hold both as
+/// members).
+
+#include <string>
+
+#include "liberty/library_builder.hpp"
+#include "netlist/design.hpp"
+
+namespace tg::testing {
+
+struct CombChain {
+  PinId in0 = kInvalidId, in1 = kInvalidId, out = kInvalidId;
+  InstId nand_inst = kInvalidId, inv_inst = kInvalidId;
+  NetId n_in0 = kInvalidId, n_in1 = kInvalidId, n_mid = kInvalidId,
+        n_out = kInvalidId;
+};
+
+/// in0,in1 → NAND2_X1 → INV_X1 → out. Pins get simple placements.
+inline CombChain build_comb_chain(Design& d, const Library& lib) {
+  CombChain c;
+  c.in0 = d.add_primary_input("in0");
+  c.in1 = d.add_primary_input("in1");
+  c.out = d.add_primary_output("out");
+
+  c.nand_inst = d.add_instance("u_nand", lib.find_cell("NAND2_X1"));
+  c.inv_inst = d.add_instance("u_inv", lib.find_cell("INV_X1"));
+
+  c.n_in0 = d.add_net("n_in0");
+  c.n_in1 = d.add_net("n_in1");
+  c.n_mid = d.add_net("n_mid");
+  c.n_out = d.add_net("n_out");
+
+  const CellType& nand = lib.cell(d.instance(c.nand_inst).cell_id);
+  const CellType& inv = lib.cell(d.instance(c.inv_inst).cell_id);
+
+  d.connect(c.n_in0, c.in0);
+  d.connect(c.n_in0, d.instance(c.nand_inst).pins[static_cast<std::size_t>(nand.find_pin("A"))]);
+  d.connect(c.n_in1, c.in1);
+  d.connect(c.n_in1, d.instance(c.nand_inst).pins[static_cast<std::size_t>(nand.find_pin("B"))]);
+  d.connect(c.n_mid, d.instance(c.nand_inst).pins[static_cast<std::size_t>(nand.find_pin("Y"))]);
+  d.connect(c.n_mid, d.instance(c.inv_inst).pins[static_cast<std::size_t>(inv.find_pin("A"))]);
+  d.connect(c.n_out, d.instance(c.inv_inst).pins[static_cast<std::size_t>(inv.find_pin("Y"))]);
+  d.connect(c.n_out, c.out);
+
+  // Simple manual placement on a 100×100 die.
+  BBox die;
+  die.expand(Point{0, 0});
+  die.expand(Point{100, 100});
+  d.set_die(die);
+  d.pin(c.in0).pos = {0, 30};
+  d.pin(c.in1).pos = {0, 60};
+  d.pin(c.out).pos = {100, 50};
+  auto place_inst = [&](InstId id, double x, double y) {
+    d.instance(id).pos = {x, y};
+    for (PinId p : d.instance(id).pins) d.pin(p).pos = {x, y};
+  };
+  place_inst(c.nand_inst, 30, 45);
+  place_inst(c.inv_inst, 70, 50);
+  return c;
+}
+
+struct SeqChain {
+  CombChain comb;
+  InstId ff = kInvalidId;
+  PinId ff_d = kInvalidId, ff_ck = kInvalidId, ff_q = kInvalidId;
+  PinId q_out = kInvalidId;
+  NetId clock_net = kInvalidId;
+};
+
+/// comb chain → DFF → second output; declares the clock (period 1 ns).
+inline SeqChain build_seq_chain(Design& d, const Library& lib) {
+  SeqChain s;
+  s.comb = build_comb_chain(d, lib);
+
+  s.ff = d.add_instance("u_ff", lib.find_cell("DFF_X1"));
+  const CellType& dff = lib.cell(d.instance(s.ff).cell_id);
+  s.ff_d = d.instance(s.ff).pins[static_cast<std::size_t>(dff.data_pin)];
+  s.ff_ck = d.instance(s.ff).pins[static_cast<std::size_t>(dff.clock_pin)];
+  s.ff_q = d.instance(s.ff).pins[static_cast<std::size_t>(dff.output_pin)];
+
+  // The INV output also feeds the FF data pin.
+  d.connect(s.comb.n_out, s.ff_d);
+
+  const PinId clk_port = d.add_primary_input("clk");
+  s.clock_net = d.add_net("clk_net", /*is_clock=*/true);
+  d.connect(s.clock_net, clk_port);
+  d.connect(s.clock_net, s.ff_ck);
+  d.set_clock(s.clock_net, 1.0);
+  d.pin(clk_port).pos = {0, 0};
+
+  s.q_out = d.add_primary_output("q_out");
+  const NetId q_net = d.add_net("q_net");
+  d.connect(q_net, s.ff_q);
+  d.connect(q_net, s.q_out);
+  d.pin(s.q_out).pos = {100, 80};
+  d.instance(s.ff).pos = {85, 60};
+  for (PinId p : d.instance(s.ff).pins) d.pin(p).pos = {85, 60};
+  return s;
+}
+
+}  // namespace tg::testing

@@ -1,0 +1,29 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(TG_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) { EXPECT_THROW(TG_CHECK(false), CheckError); }
+
+TEST(Check, MessageIncludesContext) {
+  try {
+    TG_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ActiveInReleaseBuilds) {
+  // TG_CHECK must stay on regardless of NDEBUG.
+  EXPECT_THROW(TG_CHECK(false), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

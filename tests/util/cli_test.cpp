@@ -1,0 +1,56 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+CliOptions make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliOptions(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, KeyValue) {
+  const auto o = make({"--scale=0.5", "--name=spm"});
+  EXPECT_DOUBLE_EQ(o.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(o.get("name", ""), "spm");
+}
+
+TEST(Cli, FlagDefaultsTrue) {
+  const auto o = make({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_TRUE(o.has("verbose"));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto o = make({});
+  EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(o.get_int("n", 42), 42);
+  EXPECT_FALSE(o.has("missing"));
+  EXPECT_FALSE(o.get_bool("b", false));
+}
+
+TEST(Cli, Positionals) {
+  const auto o = make({"pos1", "--k=v", "pos2"});
+  ASSERT_EQ(o.positionals().size(), 2u);
+  EXPECT_EQ(o.positionals()[0], "pos1");
+  EXPECT_EQ(o.positionals()[1], "pos2");
+}
+
+TEST(Cli, BoolParsing) {
+  const auto o = make({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_FALSE(o.get_bool("b", true));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_FALSE(o.get_bool("d", true));
+}
+
+TEST(Cli, IntParsing) {
+  const auto o = make({"--n=123", "--neg=-7"});
+  EXPECT_EQ(o.get_int("n", 0), 123);
+  EXPECT_EQ(o.get_int("neg", 0), -7);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/tg_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.add_row(std::vector<std::string>{"1", "2"});
+    w.add_row(std::vector<double>{3.5, 4.25}, 2);
+    EXPECT_EQ(w.rows(), 2u);
+  }
+  const std::string s = read_file(path_);
+  EXPECT_EQ(s, "a,b\n1,2\n3.50,4.25\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"x"});
+    w.add_row({std::string("has,comma")});
+    w.add_row({std::string("has\"quote")});
+  }
+  const std::string s = read_file(path_);
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsArityMismatch) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.add_row({"only"}), CheckError);
+}
+
+TEST_F(CsvTest, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}), CheckError);
+}
+
+}  // namespace
+}  // namespace tg

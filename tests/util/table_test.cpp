@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Name", "Value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, SeparatorAddsRule) {
+  Table t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // header rule + top + bottom + middle separator = 4 horizontal rules
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+--", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"A", "B"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y", "22"});
+  const std::string s = t.to_string();
+  // All lines should have equal width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace tg
