@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_receptive_field.dir/fig1_receptive_field.cpp.o"
+  "CMakeFiles/fig1_receptive_field.dir/fig1_receptive_field.cpp.o.d"
+  "fig1_receptive_field"
+  "fig1_receptive_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_receptive_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_benchmarks.cpp" "bench/CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/tg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

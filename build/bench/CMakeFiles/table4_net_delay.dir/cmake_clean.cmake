@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_net_delay.dir/table4_net_delay.cpp.o"
+  "CMakeFiles/table4_net_delay.dir/table4_net_delay.cpp.o.d"
+  "table4_net_delay"
+  "table4_net_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_net_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

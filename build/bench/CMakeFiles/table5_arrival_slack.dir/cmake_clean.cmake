@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_arrival_slack.dir/table5_arrival_slack.cpp.o"
+  "CMakeFiles/table5_arrival_slack.dir/table5_arrival_slack.cpp.o.d"
+  "table5_arrival_slack"
+  "table5_arrival_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_arrival_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_resize.dir/eco_resize.cpp.o"
+  "CMakeFiles/eco_resize.dir/eco_resize.cpp.o.d"
+  "eco_resize"
+  "eco_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

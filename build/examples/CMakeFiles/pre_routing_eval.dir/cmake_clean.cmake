@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_routing_eval.dir/pre_routing_eval.cpp.o"
+  "CMakeFiles/pre_routing_eval.dir/pre_routing_eval.cpp.o.d"
+  "pre_routing_eval"
+  "pre_routing_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_routing_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

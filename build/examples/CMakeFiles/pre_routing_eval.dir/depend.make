@@ -1,0 +1,2 @@
+# Empty dependencies file for pre_routing_eval.
+# This may be replaced when dependencies are built.

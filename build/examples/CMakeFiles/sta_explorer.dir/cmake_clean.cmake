@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_explorer.dir/sta_explorer.cpp.o"
+  "CMakeFiles/sta_explorer.dir/sta_explorer.cpp.o.d"
+  "sta_explorer"
+  "sta_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

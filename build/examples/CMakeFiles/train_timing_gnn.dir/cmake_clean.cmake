@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_timing_gnn.dir/train_timing_gnn.cpp.o"
+  "CMakeFiles/train_timing_gnn.dir/train_timing_gnn.cpp.o.d"
+  "train_timing_gnn"
+  "train_timing_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_timing_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--design=spm" "--scale=0.03125")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sta_explorer "/root/repo/build/examples/sta_explorer" "--design=spm" "--scale=0.03125" "--paths=1")
+set_tests_properties(example_sta_explorer PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_train_timing_gnn "/root/repo/build/examples/train_timing_gnn" "--designs=zipdiv,spm" "--scale=0.03125" "--epochs=3" "--hidden=8" "--trace" "--verbose=false")
+set_tests_properties(example_train_timing_gnn PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pre_routing_eval "/root/repo/build/examples/pre_routing_eval" "--design=spm" "--scale=0.03125" "--epochs=5")
+set_tests_properties(example_pre_routing_eval PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_eco_resize "/root/repo/build/examples/eco_resize" "--design=usb" "--scale=0.05" "--max-moves=4")
+set_tests_properties(example_eco_resize PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("liberty")
+subdirs("netlist")
+subdirs("place")
+subdirs("route")
+subdirs("sta")
+subdirs("gen")
+subdirs("nn")
+subdirs("ml")
+subdirs("metrics")
+subdirs("data")
+subdirs("core")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_core.dir/delay_prop.cpp.o"
+  "CMakeFiles/tg_core.dir/delay_prop.cpp.o.d"
+  "CMakeFiles/tg_core.dir/gcnii.cpp.o"
+  "CMakeFiles/tg_core.dir/gcnii.cpp.o.d"
+  "CMakeFiles/tg_core.dir/lut_interp.cpp.o"
+  "CMakeFiles/tg_core.dir/lut_interp.cpp.o.d"
+  "CMakeFiles/tg_core.dir/net_embed.cpp.o"
+  "CMakeFiles/tg_core.dir/net_embed.cpp.o.d"
+  "CMakeFiles/tg_core.dir/timing_gnn.cpp.o"
+  "CMakeFiles/tg_core.dir/timing_gnn.cpp.o.d"
+  "CMakeFiles/tg_core.dir/trainer.cpp.o"
+  "CMakeFiles/tg_core.dir/trainer.cpp.o.d"
+  "libtg_core.a"
+  "libtg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

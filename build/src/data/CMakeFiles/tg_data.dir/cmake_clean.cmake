@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_data.dir/dataset.cpp.o"
+  "CMakeFiles/tg_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/tg_data.dir/extract.cpp.o"
+  "CMakeFiles/tg_data.dir/extract.cpp.o.d"
+  "CMakeFiles/tg_data.dir/graph_io.cpp.o"
+  "CMakeFiles/tg_data.dir/graph_io.cpp.o.d"
+  "CMakeFiles/tg_data.dir/hetero_graph.cpp.o"
+  "CMakeFiles/tg_data.dir/hetero_graph.cpp.o.d"
+  "libtg_data.a"
+  "libtg_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/blocks.cpp" "src/gen/CMakeFiles/tg_gen.dir/blocks.cpp.o" "gcc" "src/gen/CMakeFiles/tg_gen.dir/blocks.cpp.o.d"
+  "/root/repo/src/gen/circuit_builder.cpp" "src/gen/CMakeFiles/tg_gen.dir/circuit_builder.cpp.o" "gcc" "src/gen/CMakeFiles/tg_gen.dir/circuit_builder.cpp.o.d"
+  "/root/repo/src/gen/generator.cpp" "src/gen/CMakeFiles/tg_gen.dir/generator.cpp.o" "gcc" "src/gen/CMakeFiles/tg_gen.dir/generator.cpp.o.d"
+  "/root/repo/src/gen/suite.cpp" "src/gen/CMakeFiles/tg_gen.dir/suite.cpp.o" "gcc" "src/gen/CMakeFiles/tg_gen.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

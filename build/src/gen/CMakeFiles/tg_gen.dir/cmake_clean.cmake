@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_gen.dir/blocks.cpp.o"
+  "CMakeFiles/tg_gen.dir/blocks.cpp.o.d"
+  "CMakeFiles/tg_gen.dir/circuit_builder.cpp.o"
+  "CMakeFiles/tg_gen.dir/circuit_builder.cpp.o.d"
+  "CMakeFiles/tg_gen.dir/generator.cpp.o"
+  "CMakeFiles/tg_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/tg_gen.dir/suite.cpp.o"
+  "CMakeFiles/tg_gen.dir/suite.cpp.o.d"
+  "libtg_gen.a"
+  "libtg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/cell_type.cpp" "src/liberty/CMakeFiles/tg_liberty.dir/cell_type.cpp.o" "gcc" "src/liberty/CMakeFiles/tg_liberty.dir/cell_type.cpp.o.d"
+  "/root/repo/src/liberty/corner.cpp" "src/liberty/CMakeFiles/tg_liberty.dir/corner.cpp.o" "gcc" "src/liberty/CMakeFiles/tg_liberty.dir/corner.cpp.o.d"
+  "/root/repo/src/liberty/liberty_io.cpp" "src/liberty/CMakeFiles/tg_liberty.dir/liberty_io.cpp.o" "gcc" "src/liberty/CMakeFiles/tg_liberty.dir/liberty_io.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/liberty/CMakeFiles/tg_liberty.dir/library.cpp.o" "gcc" "src/liberty/CMakeFiles/tg_liberty.dir/library.cpp.o.d"
+  "/root/repo/src/liberty/library_builder.cpp" "src/liberty/CMakeFiles/tg_liberty.dir/library_builder.cpp.o" "gcc" "src/liberty/CMakeFiles/tg_liberty.dir/library_builder.cpp.o.d"
+  "/root/repo/src/liberty/nldm_lut.cpp" "src/liberty/CMakeFiles/tg_liberty.dir/nldm_lut.cpp.o" "gcc" "src/liberty/CMakeFiles/tg_liberty.dir/nldm_lut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

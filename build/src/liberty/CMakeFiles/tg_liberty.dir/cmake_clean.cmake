@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_liberty.dir/cell_type.cpp.o"
+  "CMakeFiles/tg_liberty.dir/cell_type.cpp.o.d"
+  "CMakeFiles/tg_liberty.dir/corner.cpp.o"
+  "CMakeFiles/tg_liberty.dir/corner.cpp.o.d"
+  "CMakeFiles/tg_liberty.dir/liberty_io.cpp.o"
+  "CMakeFiles/tg_liberty.dir/liberty_io.cpp.o.d"
+  "CMakeFiles/tg_liberty.dir/library.cpp.o"
+  "CMakeFiles/tg_liberty.dir/library.cpp.o.d"
+  "CMakeFiles/tg_liberty.dir/library_builder.cpp.o"
+  "CMakeFiles/tg_liberty.dir/library_builder.cpp.o.d"
+  "CMakeFiles/tg_liberty.dir/nldm_lut.cpp.o"
+  "CMakeFiles/tg_liberty.dir/nldm_lut.cpp.o.d"
+  "libtg_liberty.a"
+  "libtg_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

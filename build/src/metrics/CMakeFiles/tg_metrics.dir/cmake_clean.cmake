@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/tg_metrics.dir/metrics.cpp.o.d"
+  "libtg_metrics.a"
+  "libtg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/tg_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/tg_ml.dir/net_features.cpp.o"
+  "CMakeFiles/tg_ml.dir/net_features.cpp.o.d"
+  "CMakeFiles/tg_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/tg_ml.dir/random_forest.cpp.o.d"
+  "libtg_ml.a"
+  "libtg_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

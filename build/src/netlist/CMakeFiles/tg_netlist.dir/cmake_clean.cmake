@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_netlist.dir/design.cpp.o"
+  "CMakeFiles/tg_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/tg_netlist.dir/stats.cpp.o"
+  "CMakeFiles/tg_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/tg_netlist.dir/verilog_io.cpp.o"
+  "CMakeFiles/tg_netlist.dir/verilog_io.cpp.o.d"
+  "libtg_netlist.a"
+  "libtg_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

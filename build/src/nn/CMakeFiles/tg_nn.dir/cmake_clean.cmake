@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/tg_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/tg_nn.dir/module.cpp.o"
+  "CMakeFiles/tg_nn.dir/module.cpp.o.d"
+  "CMakeFiles/tg_nn.dir/ops.cpp.o"
+  "CMakeFiles/tg_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/tg_nn.dir/optim.cpp.o"
+  "CMakeFiles/tg_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/tg_nn.dir/serialize.cpp.o"
+  "CMakeFiles/tg_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/tg_nn.dir/tensor.cpp.o"
+  "CMakeFiles/tg_nn.dir/tensor.cpp.o.d"
+  "libtg_nn.a"
+  "libtg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_place.dir/legalizer.cpp.o"
+  "CMakeFiles/tg_place.dir/legalizer.cpp.o.d"
+  "CMakeFiles/tg_place.dir/placer.cpp.o"
+  "CMakeFiles/tg_place.dir/placer.cpp.o.d"
+  "libtg_place.a"
+  "libtg_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

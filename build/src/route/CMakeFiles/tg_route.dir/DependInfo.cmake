@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/maze_router.cpp" "src/route/CMakeFiles/tg_route.dir/maze_router.cpp.o" "gcc" "src/route/CMakeFiles/tg_route.dir/maze_router.cpp.o.d"
+  "/root/repo/src/route/rc_tree.cpp" "src/route/CMakeFiles/tg_route.dir/rc_tree.cpp.o" "gcc" "src/route/CMakeFiles/tg_route.dir/rc_tree.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/tg_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/tg_route.dir/router.cpp.o.d"
+  "/root/repo/src/route/steiner.cpp" "src/route/CMakeFiles/tg_route.dir/steiner.cpp.o" "gcc" "src/route/CMakeFiles/tg_route.dir/steiner.cpp.o.d"
+  "/root/repo/src/route/topology.cpp" "src/route/CMakeFiles/tg_route.dir/topology.cpp.o" "gcc" "src/route/CMakeFiles/tg_route.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_route.dir/maze_router.cpp.o"
+  "CMakeFiles/tg_route.dir/maze_router.cpp.o.d"
+  "CMakeFiles/tg_route.dir/rc_tree.cpp.o"
+  "CMakeFiles/tg_route.dir/rc_tree.cpp.o.d"
+  "CMakeFiles/tg_route.dir/router.cpp.o"
+  "CMakeFiles/tg_route.dir/router.cpp.o.d"
+  "CMakeFiles/tg_route.dir/steiner.cpp.o"
+  "CMakeFiles/tg_route.dir/steiner.cpp.o.d"
+  "CMakeFiles/tg_route.dir/topology.cpp.o"
+  "CMakeFiles/tg_route.dir/topology.cpp.o.d"
+  "libtg_route.a"
+  "libtg_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/incremental.cpp" "src/sta/CMakeFiles/tg_sta.dir/incremental.cpp.o" "gcc" "src/sta/CMakeFiles/tg_sta.dir/incremental.cpp.o.d"
+  "/root/repo/src/sta/paths.cpp" "src/sta/CMakeFiles/tg_sta.dir/paths.cpp.o" "gcc" "src/sta/CMakeFiles/tg_sta.dir/paths.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/sta/CMakeFiles/tg_sta.dir/report.cpp.o" "gcc" "src/sta/CMakeFiles/tg_sta.dir/report.cpp.o.d"
+  "/root/repo/src/sta/timer.cpp" "src/sta/CMakeFiles/tg_sta.dir/timer.cpp.o" "gcc" "src/sta/CMakeFiles/tg_sta.dir/timer.cpp.o.d"
+  "/root/repo/src/sta/timing_graph.cpp" "src/sta/CMakeFiles/tg_sta.dir/timing_graph.cpp.o" "gcc" "src/sta/CMakeFiles/tg_sta.dir/timing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

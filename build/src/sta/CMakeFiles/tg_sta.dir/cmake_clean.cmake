@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sta.dir/incremental.cpp.o"
+  "CMakeFiles/tg_sta.dir/incremental.cpp.o.d"
+  "CMakeFiles/tg_sta.dir/paths.cpp.o"
+  "CMakeFiles/tg_sta.dir/paths.cpp.o.d"
+  "CMakeFiles/tg_sta.dir/report.cpp.o"
+  "CMakeFiles/tg_sta.dir/report.cpp.o.d"
+  "CMakeFiles/tg_sta.dir/timer.cpp.o"
+  "CMakeFiles/tg_sta.dir/timer.cpp.o.d"
+  "CMakeFiles/tg_sta.dir/timing_graph.cpp.o"
+  "CMakeFiles/tg_sta.dir/timing_graph.cpp.o.d"
+  "libtg_sta.a"
+  "libtg_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/delay_prop_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/delay_prop_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/gcnii_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/gcnii_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/lut_interp_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/lut_interp_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/model_serialize_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/model_serialize_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/net_embed_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/net_embed_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/plan_cache_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/plan_cache_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/timing_gnn_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/timing_gnn_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/trainer_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/trainer_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

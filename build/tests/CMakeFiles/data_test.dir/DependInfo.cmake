@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/data_test.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/extract_test.cpp" "tests/CMakeFiles/data_test.dir/data/extract_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/extract_test.cpp.o.d"
+  "/root/repo/tests/data/graph_io_test.cpp" "tests/CMakeFiles/data_test.dir/data/graph_io_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/graph_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tg_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/extract_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/extract_test.cpp.o.d"
+  "CMakeFiles/data_test.dir/data/graph_io_test.cpp.o"
+  "CMakeFiles/data_test.dir/data/graph_io_test.cpp.o.d"
+  "data_test"
+  "data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_test.dir/gen/blocks_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/blocks_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/circuit_builder_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/circuit_builder_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/generator_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/generator_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/suite_sweep_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/suite_sweep_test.cpp.o.d"
+  "CMakeFiles/gen_test.dir/gen/suite_test.cpp.o"
+  "CMakeFiles/gen_test.dir/gen/suite_test.cpp.o.d"
+  "gen_test"
+  "gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

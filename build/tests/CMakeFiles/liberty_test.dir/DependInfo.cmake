@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/liberty/corner_test.cpp" "tests/CMakeFiles/liberty_test.dir/liberty/corner_test.cpp.o" "gcc" "tests/CMakeFiles/liberty_test.dir/liberty/corner_test.cpp.o.d"
+  "/root/repo/tests/liberty/family_property_test.cpp" "tests/CMakeFiles/liberty_test.dir/liberty/family_property_test.cpp.o" "gcc" "tests/CMakeFiles/liberty_test.dir/liberty/family_property_test.cpp.o.d"
+  "/root/repo/tests/liberty/liberty_io_test.cpp" "tests/CMakeFiles/liberty_test.dir/liberty/liberty_io_test.cpp.o" "gcc" "tests/CMakeFiles/liberty_test.dir/liberty/liberty_io_test.cpp.o.d"
+  "/root/repo/tests/liberty/library_test.cpp" "tests/CMakeFiles/liberty_test.dir/liberty/library_test.cpp.o" "gcc" "tests/CMakeFiles/liberty_test.dir/liberty/library_test.cpp.o.d"
+  "/root/repo/tests/liberty/nldm_test.cpp" "tests/CMakeFiles/liberty_test.dir/liberty/nldm_test.cpp.o" "gcc" "tests/CMakeFiles/liberty_test.dir/liberty/nldm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

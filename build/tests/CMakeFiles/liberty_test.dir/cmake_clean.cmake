@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_test.dir/liberty/corner_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/liberty/corner_test.cpp.o.d"
+  "CMakeFiles/liberty_test.dir/liberty/family_property_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/liberty/family_property_test.cpp.o.d"
+  "CMakeFiles/liberty_test.dir/liberty/liberty_io_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/liberty/liberty_io_test.cpp.o.d"
+  "CMakeFiles/liberty_test.dir/liberty/library_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/liberty/library_test.cpp.o.d"
+  "CMakeFiles/liberty_test.dir/liberty/nldm_test.cpp.o"
+  "CMakeFiles/liberty_test.dir/liberty/nldm_test.cpp.o.d"
+  "liberty_test"
+  "liberty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/features_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/features_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/forest_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/forest_test.cpp.o.d"
+  "CMakeFiles/ml_test.dir/ml/tree_test.cpp.o"
+  "CMakeFiles/ml_test.dir/ml/tree_test.cpp.o.d"
+  "ml_test"
+  "ml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

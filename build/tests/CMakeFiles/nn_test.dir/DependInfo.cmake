@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/edge_cases_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/layer_norm_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/layer_norm_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/layer_norm_test.cpp.o.d"
+  "/root/repo/tests/nn/matmul_reference_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/matmul_reference_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/matmul_reference_test.cpp.o.d"
+  "/root/repo/tests/nn/module_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/module_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/module_test.cpp.o.d"
+  "/root/repo/tests/nn/ops_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/ops_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/ops_test.cpp.o.d"
+  "/root/repo/tests/nn/optim_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/optim_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optim_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/edge_cases_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/edge_cases_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/layer_norm_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/layer_norm_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/matmul_reference_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/matmul_reference_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/module_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/module_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/ops_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/ops_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/optim_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/optim_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cpp.o.d"
+  "nn_test"
+  "nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_test.dir/place/legalizer_test.cpp.o"
+  "CMakeFiles/place_test.dir/place/legalizer_test.cpp.o.d"
+  "CMakeFiles/place_test.dir/place/placer_test.cpp.o"
+  "CMakeFiles/place_test.dir/place/placer_test.cpp.o.d"
+  "place_test"
+  "place_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/route/d2m_test.cpp" "tests/CMakeFiles/route_test.dir/route/d2m_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route/d2m_test.cpp.o.d"
+  "/root/repo/tests/route/maze_test.cpp" "tests/CMakeFiles/route_test.dir/route/maze_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route/maze_test.cpp.o.d"
+  "/root/repo/tests/route/rc_tree_test.cpp" "tests/CMakeFiles/route_test.dir/route/rc_tree_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route/rc_tree_test.cpp.o.d"
+  "/root/repo/tests/route/router_test.cpp" "tests/CMakeFiles/route_test.dir/route/router_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route/router_test.cpp.o.d"
+  "/root/repo/tests/route/steiner_test.cpp" "tests/CMakeFiles/route_test.dir/route/steiner_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route/steiner_test.cpp.o.d"
+  "/root/repo/tests/route/topology_test.cpp" "tests/CMakeFiles/route_test.dir/route/topology_test.cpp.o" "gcc" "tests/CMakeFiles/route_test.dir/route/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/tg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/tg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

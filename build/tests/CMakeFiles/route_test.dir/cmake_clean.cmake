@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_test.dir/route/d2m_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/d2m_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/maze_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/maze_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/rc_tree_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/rc_tree_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/router_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/router_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/steiner_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/steiner_test.cpp.o.d"
+  "CMakeFiles/route_test.dir/route/topology_test.cpp.o"
+  "CMakeFiles/route_test.dir/route/topology_test.cpp.o.d"
+  "route_test"
+  "route_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sta/incremental_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/incremental_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/incremental_test.cpp.o.d"
+  "/root/repo/tests/sta/paths_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/paths_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/paths_test.cpp.o.d"
+  "/root/repo/tests/sta/report_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/report_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/report_test.cpp.o.d"
+  "/root/repo/tests/sta/sta_options_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/sta_options_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/sta_options_test.cpp.o.d"
+  "/root/repo/tests/sta/sta_property_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/sta_property_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/sta_property_test.cpp.o.d"
+  "/root/repo/tests/sta/timer_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/timer_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/timer_test.cpp.o.d"
+  "/root/repo/tests/sta/timing_graph_test.cpp" "tests/CMakeFiles/sta_test.dir/sta/timing_graph_test.cpp.o" "gcc" "tests/CMakeFiles/sta_test.dir/sta/timing_graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/tg_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/tg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/tg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/tg_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/tg_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/tg_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

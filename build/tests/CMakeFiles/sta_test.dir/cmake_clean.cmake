@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_test.dir/sta/incremental_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/incremental_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/paths_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/paths_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/report_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/report_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/sta_options_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/sta_options_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/sta_property_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/sta_property_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/timer_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/timer_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/timing_graph_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/timing_graph_test.cpp.o.d"
+  "sta_test"
+  "sta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/check_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/check_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/cli_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/csv_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/string_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/string_test.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/table_test.cpp.o"
+  "CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

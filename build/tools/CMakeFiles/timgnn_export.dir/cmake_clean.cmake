@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timgnn_export.dir/export_main.cpp.o"
+  "CMakeFiles/timgnn_export.dir/export_main.cpp.o.d"
+  "timgnn_export"
+  "timgnn_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timgnn_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

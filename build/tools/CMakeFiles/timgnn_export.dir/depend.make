@@ -1,0 +1,2 @@
+# Empty dependencies file for timgnn_export.
+# This may be replaced when dependencies are built.
