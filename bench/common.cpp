@@ -7,6 +7,7 @@
 #include "liberty/library_builder.hpp"
 #include "nn/serialize.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
@@ -65,6 +66,7 @@ BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.verbose = opts.get_bool("verbose", false);
   cfg.cache_dir = opts.get("cache-dir", cfg.cache_dir);
   cfg.out_dir = opts.get("out-dir", cfg.out_dir);
+  cfg.threads = configure_threads(opts);
   set_log_level(cfg.verbose ? LogLevel::kInfo : LogLevel::kWarn);
   return cfg;
 }
@@ -75,7 +77,8 @@ data::SuiteDataset build_dataset(const BenchConfig& config,
   data::DatasetOptions options;
   options.scale = config.scale;
   WallTimer timer;
-  std::printf("# building dataset (scale=%.4f)...\n", config.scale);
+  std::printf("# building dataset (scale=%.4f, threads=%d)...\n", config.scale,
+              num_threads());
   std::fflush(stdout);
   data::SuiteDataset ds = build_suite_dataset(*library, options, only);
   std::printf("# dataset ready: %zu designs in %.1f s\n", ds.graphs.size(),

@@ -22,6 +22,7 @@ struct BenchConfig {
   float lr = 2e-3f;
   float lr_final = 1e-4f;     ///< geometric lr decay target (calibration)
   std::uint64_t seed = 1;
+  int threads = 1;            ///< resolved pool size (--threads / TG_THREADS)
   bool verbose = false;
   std::string cache_dir = "bench_cache";
   std::string out_dir = ".";

@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
 #include "nn/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace tg::nn {
 namespace {
@@ -118,7 +120,52 @@ void BM_SoftmaxGroups(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxGroups)->Arg(32768);
 
+/// --sweep: the two training-dominant kernels (matmul, segment_sum)
+/// across thread counts × sizes (see micro_common.hpp).
+void register_sweep(const std::vector<int>& thread_counts) {
+  static const std::int64_t kMatmulSizes[] = {8192, 65536};
+  for (const std::int64_t n : kMatmulSizes) {
+    for (const int t : thread_counts) {
+      const std::string name = "SWEEP_Matmul/" + std::to_string(n) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [n, t](benchmark::State& state) {
+            set_num_threads(t);
+            Rng rng(1);
+            Tensor a = randn(n, 64, rng);
+            Tensor b = randn(64, 64, rng);
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(matmul(a, b).data().data());
+            }
+            state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+          });
+    }
+  }
+  static const std::int64_t kSegmentSizes[] = {65536, 262144};
+  for (const std::int64_t e : kSegmentSizes) {
+    for (const int t : thread_counts) {
+      const std::string name = "SWEEP_SegmentSum/" + std::to_string(e) +
+                               "/threads:" + std::to_string(t);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [e, t](benchmark::State& state) {
+            set_num_threads(t);
+            Rng rng(2);
+            Tensor x = randn(e, 64, rng);
+            std::vector<int> seg(static_cast<std::size_t>(e));
+            const std::int64_t n = e / 3 + 1;
+            for (auto& s : seg) s = static_cast<int>(rng.uniform_int(0, n - 1));
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(segment_sum(x, seg, n).data().data());
+            }
+            state.SetItemsProcessed(state.iterations() * e * 64);
+          });
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tg::nn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::bench_micro::run_micro_main(argc, argv, tg::nn::register_sweep);
+}

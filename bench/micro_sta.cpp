@@ -10,9 +10,11 @@
 
 #include "gen/suite.hpp"
 #include "liberty/library_builder.hpp"
+#include "micro_common.hpp"
 #include "place/placer.hpp"
 #include "sta/incremental.hpp"
 #include "sta/paths.hpp"
+#include "util/parallel.hpp"
 
 namespace tg {
 namespace {
@@ -128,7 +130,33 @@ void BM_NldmLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_NldmLookup);
 
+/// --sweep: full-timer update across thread counts × design sizes, the
+/// parallel-scaling regression matrix (see micro_common.hpp).
+void register_sweep(const std::vector<int>& thread_counts) {
+  static const char* kDesigns[] = {"picorv32a", "aes256"};
+  for (const char* design : kDesigns) {
+    for (const int t : thread_counts) {
+      const std::string name =
+          std::string("SWEEP_StaPropagation/") + design + "/threads:" +
+          std::to_string(t);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [design, t](benchmark::State& state) {
+            set_num_threads(t);
+            const Prepared& p = prepared(design, 1.0 / 16);
+            const TimingGraph graph(*p.design);
+            for (auto _ : state) {
+              const StaResult sta = run_sta(graph, p.routing);
+              benchmark::DoNotOptimize(sta.wns_setup);
+            }
+            state.SetItemsProcessed(state.iterations() * p.design->num_pins());
+          });
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tg::bench_micro::run_micro_main(argc, argv, tg::register_sweep);
+}

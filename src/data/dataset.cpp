@@ -1,9 +1,11 @@
 #include "data/dataset.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace tg::data {
@@ -44,17 +46,35 @@ DatasetGraph build_design_graph(const SuiteEntry& entry, const Library& library,
 SuiteDataset build_suite_dataset(const Library& library,
                                  const DatasetOptions& options,
                                  const std::vector<std::string>& only) {
-  SuiteDataset out;
+  std::vector<SuiteEntry> selected;
   for (const SuiteEntry& entry : table1_suite(options.scale)) {
     if (!only.empty() &&
         std::find(only.begin(), only.end(), entry.spec.name) == only.end()) {
       continue;
     }
-    const int id = static_cast<int>(out.graphs.size());
-    out.graphs.push_back(build_design_graph(entry, library, options));
-    (entry.is_test ? out.test_ids : out.train_ids).push_back(id);
+    selected.push_back(entry);
   }
-  TG_CHECK(!out.graphs.empty());
+  TG_CHECK(!selected.empty());
+
+  // One task per benchmark. Every stochastic stage (generation, placement
+  // jitter) draws from the entry's own seeded Rng stream, so each slot's
+  // graph is independent of which thread or order ran it; suite order is
+  // preserved by writing results into pre-sized slots.
+  SuiteDataset out;
+  out.graphs.resize(selected.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    tasks.push_back([&, i] {
+      out.graphs[i] = build_design_graph(selected[i], library, options);
+    });
+  }
+  parallel_invoke(tasks);
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    (selected[i].is_test ? out.test_ids : out.train_ids)
+        .push_back(static_cast<int>(i));
+  }
   return out;
 }
 

@@ -3,10 +3,25 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace tg::nn {
 
 namespace {
+
+/// Grain sizes for the parallel kernels. Chunks always own disjoint output
+/// rows/columns/elements and keep the serial per-element accumulation
+/// order, so thread count never changes results; the grains only keep
+/// small tensors on the serial fallback (`parallel_for` runs inline when
+/// the range is within one grain).
+constexpr std::int64_t kPointwiseGrain = 1 << 15;  ///< elements per chunk
+constexpr std::int64_t kRowFlops = 1 << 14;  ///< target flops per row chunk
+
+/// Rows per chunk so one chunk carries ~kRowFlops work.
+constexpr std::int64_t row_grain(std::int64_t flops_per_row) {
+  return flops_per_row <= 0 ? kRowFlops
+                            : (kRowFlops + flops_per_row - 1) / flops_per_row;
+}
 
 TensorImplPtr make_result(std::int64_t rows, std::int64_t cols,
                           std::initializer_list<const Tensor*> inputs) {
@@ -43,24 +58,54 @@ Tensor add(const Tensor& a, const Tensor& b) {
   const auto& av = a.data();
   const auto& bv = b.data();
   const std::size_t cols = static_cast<std::size_t>(a.cols());
-  for (std::size_t i = 0; i < impl->data.size(); ++i) {
-    impl->data[i] = av[i] + (broadcast ? bv[i % cols] : bv[i]);
-  }
+  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                 for (auto i = static_cast<std::size_t>(lo);
+                      i < static_cast<std::size_t>(hi); ++i) {
+                   impl->data[i] = av[i] + (broadcast ? bv[i % cols] : bv[i]);
+                 }
+               });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto pb = b.ptr();
     impl->backward_fn = [pa, pb, broadcast, cols](TensorImpl& self) {
-      if (pa->requires_grad) accumulate(*pa, self.grad);
+      if (pa->requires_grad) {
+        pa->ensure_grad();
+        parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                     kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       for (auto i = static_cast<std::size_t>(lo);
+                            i < static_cast<std::size_t>(hi); ++i) {
+                         pa->grad[i] += self.grad[i];
+                       }
+                     });
+      }
       if (pb->requires_grad) {
         pb->ensure_grad();
         if (broadcast) {
-          for (std::size_t i = 0; i < self.grad.size(); ++i) {
-            pb->grad[i % cols] += self.grad[i];
-          }
+          // Column-sliced so concurrent chunks own disjoint grad slots and
+          // each slot keeps the serial (row-ascending) accumulation order.
+          const std::int64_t rows =
+              static_cast<std::int64_t>(self.grad.size() / cols);
+          parallel_for(0, static_cast<std::int64_t>(cols),
+                       row_grain(2 * rows),
+                       [&](std::int64_t cb, std::int64_t ce) {
+                         for (std::int64_t r = 0; r < rows; ++r) {
+                           const float* g = self.grad.data() +
+                                            r * static_cast<std::int64_t>(cols);
+                           for (std::int64_t c = cb; c < ce; ++c) {
+                             pb->grad[static_cast<std::size_t>(c)] +=
+                                 g[c];
+                           }
+                         }
+                       });
         } else {
-          for (std::size_t i = 0; i < self.grad.size(); ++i) {
-            pb->grad[i] += self.grad[i];
-          }
+          parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                       kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                         for (auto i = static_cast<std::size_t>(lo);
+                              i < static_cast<std::size_t>(hi); ++i) {
+                           pb->grad[i] += self.grad[i];
+                         }
+                       });
         }
       }
     };
@@ -73,24 +118,38 @@ Tensor sub(const Tensor& a, const Tensor& b) { return add(a, scale(b, -1.0f)); }
 Tensor mul(const Tensor& a, const Tensor& b) {
   TG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   auto impl = make_result(a.rows(), a.cols(), {&a, &b});
-  for (std::size_t i = 0; i < impl->data.size(); ++i) {
-    impl->data[i] = a.data()[i] * b.data()[i];
-  }
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                 for (auto i = static_cast<std::size_t>(lo);
+                      i < static_cast<std::size_t>(hi); ++i) {
+                   impl->data[i] = ad[i] * bd[i];
+                 }
+               });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto pb = b.ptr();
     impl->backward_fn = [pa, pb](TensorImpl& self) {
       if (pa->requires_grad) {
         pa->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          pa->grad[i] += self.grad[i] * pb->data[i];
-        }
+        parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                     kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       for (auto i = static_cast<std::size_t>(lo);
+                            i < static_cast<std::size_t>(hi); ++i) {
+                         pa->grad[i] += self.grad[i] * pb->data[i];
+                       }
+                     });
       }
       if (pb->requires_grad) {
         pb->ensure_grad();
-        for (std::size_t i = 0; i < self.grad.size(); ++i) {
-          pb->grad[i] += self.grad[i] * pa->data[i];
-        }
+        parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                     kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       for (auto i = static_cast<std::size_t>(lo);
+                            i < static_cast<std::size_t>(hi); ++i) {
+                         pb->grad[i] += self.grad[i] * pa->data[i];
+                       }
+                     });
       }
     };
   }
@@ -99,16 +158,25 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor scale(const Tensor& a, float s) {
   auto impl = make_result(a.rows(), a.cols(), {&a});
-  for (std::size_t i = 0; i < impl->data.size(); ++i) {
-    impl->data[i] = a.data()[i] * s;
-  }
+  const float* ad = a.data().data();
+  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                 for (auto i = static_cast<std::size_t>(lo);
+                      i < static_cast<std::size_t>(hi); ++i) {
+                   impl->data[i] = ad[i] * s;
+                 }
+               });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     impl->backward_fn = [pa, s](TensorImpl& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        pa->grad[i] += self.grad[i] * s;
-      }
+      parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                   kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                     for (auto i = static_cast<std::size_t>(lo);
+                          i < static_cast<std::size_t>(hi); ++i) {
+                       pa->grad[i] += self.grad[i] * s;
+                     }
+                   });
     };
   }
   return Tensor(impl);
@@ -119,16 +187,27 @@ namespace {
 template <typename Fwd, typename Bwd>
 Tensor pointwise(const Tensor& a, Fwd fwd, Bwd dydx_from_xy) {
   auto impl = make_result(a.rows(), a.cols(), {&a});
-  for (std::size_t i = 0; i < impl->data.size(); ++i) {
-    impl->data[i] = fwd(a.data()[i]);
-  }
+  const float* ad = a.data().data();
+  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                 for (auto i = static_cast<std::size_t>(lo);
+                      i < static_cast<std::size_t>(hi); ++i) {
+                   impl->data[i] = fwd(ad[i]);
+                 }
+               });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     impl->backward_fn = [pa, dydx_from_xy](TensorImpl& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < self.grad.size(); ++i) {
-        pa->grad[i] += self.grad[i] * dydx_from_xy(pa->data[i], self.data[i]);
-      }
+      parallel_for(
+          0, static_cast<std::int64_t>(self.grad.size()), kPointwiseGrain,
+          [&](std::int64_t lo, std::int64_t hi) {
+            for (auto i = static_cast<std::size_t>(lo);
+                 i < static_cast<std::size_t>(hi); ++i) {
+              pa->grad[i] +=
+                  self.grad[i] * dydx_from_xy(pa->data[i], self.data[i]);
+            }
+          });
     };
   }
   return Tensor(impl);
@@ -178,17 +257,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* ad = a.data().data();
   const float* bd = b.data().data();
   float* out = impl->data.data();
-  // ikj loop order: streaming writes over the output row.
-  for (std::int64_t i = 0; i < n; ++i) {
-    float* orow = out + i * m;
-    const float* arow = ad + i * k;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = bd + kk * m;
-      for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+  // ikj loop order: streaming writes over the output row. Row blocks run
+  // in parallel; each output row is produced by exactly one chunk in the
+  // serial kk/j order, so results match the serial run bit for bit.
+  parallel_for(0, n, row_grain(2 * k * m), [&](std::int64_t ib,
+                                               std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
+      float* orow = out + i * m;
+      const float* arow = ad + i * k;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = bd + kk * m;
+        for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto pb = b.ptr();
@@ -196,31 +280,41 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       const float* g = self.grad.data();
       if (pa->requires_grad) {
         pa->ensure_grad();
-        // dA = dY · Bᵀ
-        for (std::int64_t i = 0; i < n; ++i) {
-          const float* grow = g + i * m;
-          float* darow = pa->grad.data() + i * k;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float* brow = pb->data.data() + kk * m;
-            float acc = 0.0f;
-            for (std::int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
-            darow[kk] += acc;
+        // dA = dY · Bᵀ — row blocks of dA are independent.
+        parallel_for(0, n, row_grain(2 * k * m), [&](std::int64_t ib,
+                                                     std::int64_t ie) {
+          for (std::int64_t i = ib; i < ie; ++i) {
+            const float* grow = g + i * m;
+            float* darow = pa->grad.data() + i * k;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              const float* brow = pb->data.data() + kk * m;
+              float acc = 0.0f;
+              for (std::int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+              darow[kk] += acc;
+            }
           }
-        }
+        });
       }
       if (pb->requires_grad) {
         pb->ensure_grad();
-        // dB = Aᵀ · dY
-        for (std::int64_t i = 0; i < n; ++i) {
-          const float* arow = pa->data.data() + i * k;
-          const float* grow = g + i * m;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f) continue;
-            float* dbrow = pb->grad.data() + kk * m;
-            for (std::int64_t j = 0; j < m; ++j) dbrow[j] += av * grow[j];
+        // dB = Aᵀ · dY — column blocks of dB are independent, and every
+        // dB element still accumulates its n contributions in ascending-i
+        // (serial) order inside its one owning chunk.
+        parallel_for(0, m, row_grain(2 * n * k), [&](std::int64_t jb,
+                                                     std::int64_t je) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            const float* arow = pa->data.data() + i * k;
+            const float* grow = g + i * m;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              const float av = arow[kk];
+              if (av == 0.0f) continue;
+              float* dbrow = pb->grad.data() + kk * m;
+              for (std::int64_t j = jb; j < je; ++j) {
+                dbrow[j] += av * grow[j];
+              }
+            }
           }
-        }
+        });
       }
     };
   }
@@ -340,22 +434,38 @@ Tensor concat_rows(std::span<const Tensor> parts) {
 Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
   const std::int64_t cols = a.cols();
   auto impl = make_result(static_cast<std::int64_t>(idx.size()), cols, {&a});
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    TG_DCHECK(idx[i] >= 0 && idx[i] < a.rows());
-    std::copy_n(a.data().data() + static_cast<std::int64_t>(idx[i]) * cols,
-                cols, impl->data.data() + static_cast<std::int64_t>(i) * cols);
-  }
+  const int* ix = idx.data();
+  const float* ad = a.data().data();
+  parallel_for(
+      0, static_cast<std::int64_t>(idx.size()), row_grain(cols),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+          TG_DCHECK(ix[i] >= 0 && ix[i] < a.rows());
+          std::copy_n(ad + static_cast<std::int64_t>(ix[i]) * cols, cols,
+                      impl->data.data() + i * cols);
+        }
+      });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto shared_idx = std::make_shared<std::vector<int>>(std::move(idx));
     impl->backward_fn = [pa, shared_idx, cols](TensorImpl& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < shared_idx->size(); ++i) {
-        const float* g = self.grad.data() + static_cast<std::int64_t>(i) * cols;
-        float* dst =
-            pa->grad.data() + static_cast<std::int64_t>((*shared_idx)[i]) * cols;
-        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
-      }
+      // Scatter: duplicate indices collide on rows, so slice by output
+      // column instead — each grad slot has one owner chunk and keeps the
+      // ascending-i accumulation order of the serial loop.
+      const auto n = static_cast<std::int64_t>(shared_idx->size());
+      parallel_for(0, cols, row_grain(2 * n), [&](std::int64_t cb,
+                                                  std::int64_t ce) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float* g = self.grad.data() + i * cols;
+          float* dst =
+              pa->grad.data() +
+              static_cast<std::int64_t>(
+                  (*shared_idx)[static_cast<std::size_t>(i)]) *
+                  cols;
+          for (std::int64_t c = cb; c < ce; ++c) dst[c] += g[c];
+        }
+      });
     };
   }
   return Tensor(impl);
@@ -406,23 +516,37 @@ Tensor segment_sum(const Tensor& a, std::vector<int> seg,
   TG_CHECK(static_cast<std::int64_t>(seg.size()) == a.rows());
   const std::int64_t cols = a.cols();
   auto impl = make_result(num_segments, cols, {&a});
-  for (std::size_t i = 0; i < seg.size(); ++i) {
-    TG_DCHECK(seg[i] >= 0 && seg[i] < num_segments);
-    const float* src = a.data().data() + static_cast<std::int64_t>(i) * cols;
-    float* dst = impl->data.data() + static_cast<std::int64_t>(seg[i]) * cols;
-    for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
-  }
+  const auto n = static_cast<std::int64_t>(seg.size());
+  const int* sg = seg.data();
+  const float* ad = a.data().data();
+  // Scatter by segment: rows collide, columns never do — slice columns.
+  parallel_for(0, cols, row_grain(2 * n), [&](std::int64_t cb,
+                                              std::int64_t ce) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      TG_DCHECK(sg[i] >= 0 && sg[i] < num_segments);
+      const float* src = ad + i * cols;
+      float* dst = impl->data.data() + static_cast<std::int64_t>(sg[i]) * cols;
+      for (std::int64_t c = cb; c < ce; ++c) dst[c] += src[c];
+    }
+  });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto s = std::make_shared<std::vector<int>>(std::move(seg));
     impl->backward_fn = [pa, s, cols](TensorImpl& self) {
       pa->ensure_grad();
-      for (std::size_t i = 0; i < s->size(); ++i) {
-        const float* g =
-            self.grad.data() + static_cast<std::int64_t>((*s)[i]) * cols;
-        float* dst = pa->grad.data() + static_cast<std::int64_t>(i) * cols;
-        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
-      }
+      // Gather: each input row is written by exactly one chunk.
+      parallel_for(
+          0, static_cast<std::int64_t>(s->size()), row_grain(cols),
+          [&](std::int64_t ib, std::int64_t ie) {
+            for (std::int64_t i = ib; i < ie; ++i) {
+              const float* g =
+                  self.grad.data() +
+                  static_cast<std::int64_t>((*s)[static_cast<std::size_t>(i)]) *
+                      cols;
+              float* dst = pa->grad.data() + i * cols;
+              for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+            }
+          });
     };
   }
   return Tensor(impl);
@@ -436,17 +560,27 @@ Tensor segment_max(const Tensor& a, std::vector<int> seg,
   // argmax[s*cols + c] = input row that won; -1 = empty (output stays 0).
   auto argmax = std::make_shared<std::vector<int>>(
       static_cast<std::size_t>(num_segments * cols), -1);
-  for (std::size_t i = 0; i < seg.size(); ++i) {
-    TG_DCHECK(seg[i] >= 0 && seg[i] < num_segments);
-    const float* src = a.data().data() + static_cast<std::int64_t>(i) * cols;
-    const std::int64_t base = static_cast<std::int64_t>(seg[i]) * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      int& am = (*argmax)[static_cast<std::size_t>(base + c)];
-      if (am < 0 || src[c] > impl->data[static_cast<std::size_t>(base + c)]) {
-        impl->data[static_cast<std::size_t>(base + c)] = src[c];
-        am = static_cast<int>(i);
+  {
+    const auto n = static_cast<std::int64_t>(seg.size());
+    const int* sg = seg.data();
+    const float* ad = a.data().data();
+    // Column-sliced like segment_sum: every (segment, column) max/argmax
+    // slot is owned by one chunk and scanned in ascending-i order.
+    parallel_for(0, cols, row_grain(2 * n), [&](std::int64_t cb,
+                                                std::int64_t ce) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        TG_DCHECK(sg[i] >= 0 && sg[i] < num_segments);
+        const float* src = ad + i * cols;
+        const std::int64_t base = static_cast<std::int64_t>(sg[i]) * cols;
+        for (std::int64_t c = cb; c < ce; ++c) {
+          int& am = (*argmax)[static_cast<std::size_t>(base + c)];
+          if (am < 0 || src[c] > impl->data[static_cast<std::size_t>(base + c)]) {
+            impl->data[static_cast<std::size_t>(base + c)] = src[c];
+            am = static_cast<int>(i);
+          }
+        }
       }
-    }
+    });
   }
   if (impl->requires_grad) {
     auto pa = a.ptr();
@@ -468,13 +602,24 @@ Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
   TG_CHECK(src.size() == dst.size() && src.size() == w.size());
   const std::int64_t cols = x.cols();
   auto impl = make_result(out_rows, cols, {&x});
-  for (std::size_t k = 0; k < src.size(); ++k) {
-    TG_DCHECK(src[k] >= 0 && src[k] < x.rows());
-    TG_DCHECK(dst[k] >= 0 && dst[k] < out_rows);
-    const float* xs = x.data().data() + static_cast<std::int64_t>(src[k]) * cols;
-    float* od = impl->data.data() + static_cast<std::int64_t>(dst[k]) * cols;
-    const float wk = w[k];
-    for (std::int64_t c = 0; c < cols; ++c) od[c] += wk * xs[c];
+  {
+    const auto ne = static_cast<std::int64_t>(src.size());
+    const int* sp = src.data();
+    const int* dp = dst.data();
+    const float* wp = w.data();
+    const float* xd = x.data().data();
+    // Edge scatter: both endpoints repeat across edges, so slice columns.
+    parallel_for(0, cols, row_grain(2 * ne), [&](std::int64_t cb,
+                                                 std::int64_t ce) {
+      for (std::int64_t k = 0; k < ne; ++k) {
+        TG_DCHECK(sp[k] >= 0 && sp[k] < x.rows());
+        TG_DCHECK(dp[k] >= 0 && dp[k] < out_rows);
+        const float* xs = xd + static_cast<std::int64_t>(sp[k]) * cols;
+        float* od = impl->data.data() + static_cast<std::int64_t>(dp[k]) * cols;
+        const float wk = wp[k];
+        for (std::int64_t c = cb; c < ce; ++c) od[c] += wk * xs[c];
+      }
+    });
   }
   if (impl->requires_grad) {
     auto px = x.ptr();
@@ -483,13 +628,19 @@ Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
     auto pw = std::make_shared<std::vector<float>>(std::move(w));
     impl->backward_fn = [px, ps, pd, pw, cols](TensorImpl& self) {
       px->ensure_grad();
-      for (std::size_t k = 0; k < ps->size(); ++k) {
-        const float* g =
-            self.grad.data() + static_cast<std::int64_t>((*pd)[k]) * cols;
-        float* dx = px->grad.data() + static_cast<std::int64_t>((*ps)[k]) * cols;
-        const float wk = (*pw)[k];
-        for (std::int64_t c = 0; c < cols; ++c) dx[c] += wk * g[c];
-      }
+      const auto ne = static_cast<std::int64_t>(ps->size());
+      parallel_for(0, cols, row_grain(2 * ne), [&](std::int64_t cb,
+                                                   std::int64_t ce) {
+        for (std::int64_t k = 0; k < ne; ++k) {
+          const auto ku = static_cast<std::size_t>(k);
+          const float* g =
+              self.grad.data() + static_cast<std::int64_t>((*pd)[ku]) * cols;
+          float* dx =
+              px->grad.data() + static_cast<std::int64_t>((*ps)[ku]) * cols;
+          const float wk = (*pw)[ku];
+          for (std::int64_t c = cb; c < ce; ++c) dx[c] += wk * g[c];
+        }
+      });
     };
   }
   return Tensor(impl);

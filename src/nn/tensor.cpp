@@ -6,10 +6,6 @@
 
 namespace tg::nn {
 
-void TensorImpl::ensure_grad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-}
-
 Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols,
                      bool requires_grad) {
   return full(rows, cols, 0.0f, requires_grad);
@@ -94,10 +90,18 @@ void Tensor::backward() {
       stack.pop_back();
     }
   }
-  // `order` is children-before-parents w.r.t. the tape; reverse it so the
-  // loss comes first.
-  impl_->ensure_grad();
+  // Hoisted grad allocation: every tensor that participates in this
+  // backward gets its buffer up front, so the ensure_grad() calls inside
+  // the closures are no-op size checks instead of per-consumer
+  // allocation probes (and repeated consumers keep accumulating into the
+  // same buffer).
+  for (TensorImpl* node : order) {
+    if (node->requires_grad) node->ensure_grad();
+  }
+  impl_->ensure_grad();  // the seed needs a buffer even without grad
   impl_->grad[0] = 1.0f;
+  // The tape itself replays serially — closures may parallelize their own
+  // interior loops, but closure-vs-closure ordering stays deterministic.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backward_fn && !node->grad.empty()) {

@@ -37,7 +37,13 @@ struct TensorImpl {
   std::function<void(TensorImpl&)> backward_fn;  ///< pushes grad to parents
 
   [[nodiscard]] std::int64_t numel() const { return rows * cols; }
-  void ensure_grad();
+  /// Allocates the zero-filled grad buffer on first use. Inline so the
+  /// per-backward-closure calls reduce to one size compare once
+  /// Tensor::backward() has hoisted the actual allocation before the tape
+  /// replay (closures then only ever see the already-allocated case).
+  void ensure_grad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
 };
 
 class Tensor {

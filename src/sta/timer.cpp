@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace tg {
@@ -11,6 +12,11 @@ namespace tg {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Pins per parallel_for chunk in the level sweeps. One pin costs a few
+/// NLDM lookups, so small grains amortize fine; the value only bounds
+/// scheduling overhead, never results (chunks own disjoint pins).
+constexpr std::int64_t kLevelGrain = 16;
 
 /// Input transitions permitted by an arc's sense for a given output
 /// transition.
@@ -133,92 +139,109 @@ double propagate_pin(const TimingGraph& graph, const DesignRouting& routing,
   return max_change;
 }
 
+/// Pulls the required time of one pin from its (already final) successors.
+/// Writes only `r.rat[p]`, so pins of one level relax independently.
+void relax_required_pin(const TimingGraph& graph, StaResult& r, PinId p) {
+  for (int a : graph.out_net_arcs(p)) {
+    const NetArc& arc = graph.net_arcs()[static_cast<std::size_t>(a)];
+    for (int c = 0; c < kNumCorners; ++c) {
+      const bool late = corner_mode(c) == Mode::kLate;
+      const double cand = r.rat[static_cast<std::size_t>(arc.to)][c] -
+                          r.net_delay[static_cast<std::size_t>(arc.to)][c];
+      double& rat = r.rat[static_cast<std::size_t>(p)][c];
+      rat = late ? std::min(rat, cand) : std::max(rat, cand);
+    }
+  }
+  for (int a : graph.out_cell_arcs(p)) {
+    const CellArc& carc = graph.cell_arcs()[static_cast<std::size_t>(a)];
+    const TimingArc& lib = graph.lib_arc(carc);
+    for (int m = 0; m < kNumModes; ++m) {
+      const bool late = static_cast<Mode>(m) == Mode::kLate;
+      for (int t = 0; t < kNumTrans; ++t) {
+        const int c_out =
+            corner_index(static_cast<Mode>(m), static_cast<Trans>(t));
+        Trans cands[2];
+        int ncands = 0;
+        input_trans_candidates(lib.sense, static_cast<Trans>(t), cands,
+                               ncands);
+        const double cand = r.rat[static_cast<std::size_t>(carc.to)][c_out] -
+                            r.cell_arc_delay[static_cast<std::size_t>(a)][c_out];
+        for (int k = 0; k < ncands; ++k) {
+          const int c_in = corner_index(static_cast<Mode>(m), cands[k]);
+          double& rat = r.rat[static_cast<std::size_t>(p)][c_in];
+          rat = late ? std::min(rat, cand) : std::max(rat, cand);
+        }
+      }
+    }
+  }
+}
+
 void compute_required(const TimingGraph& graph, const StaOptions& options,
                       StaResult& r) {
   const Design& d = graph.design();
   const int n = d.num_pins();
   const double period = d.clock_period();
 
-  for (PinId p = 0; p < n; ++p) {
-    for (int c = 0; c < kNumCorners; ++c) {
-      const bool late = corner_mode(c) == Mode::kLate;
-      r.rat[static_cast<std::size_t>(p)][c] = late ? kInf : -kInf;
-    }
-  }
-  for (PinId p = 0; p < n; ++p) {
-    if (!d.is_endpoint(p)) continue;
-    PerCorner setup = per_corner_fill(options.po_setup_margin_ns);
-    PerCorner hold = per_corner_fill(options.po_hold_margin_ns);
-    if (!d.pin(p).is_port) {
-      const CellType& cell = d.cell_of(p);
-      setup = cell.setup;
-      hold = cell.hold;
-    }
-    for (int c = 0; c < kNumCorners; ++c) {
-      const bool late = corner_mode(c) == Mode::kLate;
-      r.rat[static_cast<std::size_t>(p)][c] = late ? period - setup[c] : hold[c];
-    }
-  }
-
-  // Backward sweep over the topological order.
-  const auto& order = graph.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const PinId p = *it;
-    for (int a : graph.out_net_arcs(p)) {
-      const NetArc& arc = graph.net_arcs()[static_cast<std::size_t>(a)];
+  parallel_for(0, n, 256, [&](std::int64_t pb, std::int64_t pe) {
+    for (PinId p = static_cast<PinId>(pb); p < pe; ++p) {
       for (int c = 0; c < kNumCorners; ++c) {
         const bool late = corner_mode(c) == Mode::kLate;
-        const double cand = r.rat[static_cast<std::size_t>(arc.to)][c] -
-                            r.net_delay[static_cast<std::size_t>(arc.to)][c];
-        double& rat = r.rat[static_cast<std::size_t>(p)][c];
-        rat = late ? std::min(rat, cand) : std::max(rat, cand);
+        r.rat[static_cast<std::size_t>(p)][c] = late ? kInf : -kInf;
+      }
+      if (!d.is_endpoint(p)) continue;
+      PerCorner setup = per_corner_fill(options.po_setup_margin_ns);
+      PerCorner hold = per_corner_fill(options.po_hold_margin_ns);
+      if (!d.pin(p).is_port) {
+        const CellType& cell = d.cell_of(p);
+        setup = cell.setup;
+        hold = cell.hold;
+      }
+      for (int c = 0; c < kNumCorners; ++c) {
+        const bool late = corner_mode(c) == Mode::kLate;
+        r.rat[static_cast<std::size_t>(p)][c] = late ? period - setup[c] : hold[c];
       }
     }
-    for (int a : graph.out_cell_arcs(p)) {
-      const CellArc& carc = graph.cell_arcs()[static_cast<std::size_t>(a)];
-      const TimingArc& lib = graph.lib_arc(carc);
-      for (int m = 0; m < kNumModes; ++m) {
-        const bool late = static_cast<Mode>(m) == Mode::kLate;
-        for (int t = 0; t < kNumTrans; ++t) {
-          const int c_out =
-              corner_index(static_cast<Mode>(m), static_cast<Trans>(t));
-          Trans cands[2];
-          int ncands = 0;
-          input_trans_candidates(lib.sense, static_cast<Trans>(t), cands,
-                                 ncands);
-          const double cand = r.rat[static_cast<std::size_t>(carc.to)][c_out] -
-                              r.cell_arc_delay[static_cast<std::size_t>(a)][c_out];
-          for (int k = 0; k < ncands; ++k) {
-            const int c_in = corner_index(static_cast<Mode>(m), cands[k]);
-            double& rat = r.rat[static_cast<std::size_t>(p)][c_in];
-            rat = late ? std::min(rat, cand) : std::max(rat, cand);
-          }
-        }
-      }
-    }
+  });
+
+  // Backward sweep: levels descending, all pins of a level in parallel
+  // (every successor lives on a higher level, so its RAT is final).
+  const auto& levels = graph.levels();
+  for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
+    const std::vector<PinId>& level = *lit;
+    parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   for (std::int64_t i = b; i < e; ++i) {
+                     relax_required_pin(graph, r,
+                                        level[static_cast<std::size_t>(i)]);
+                   }
+                 });
   }
 
-  // Slack and summary metrics.
+  // Slack (per-pin, parallel) then the serial endpoint summary so WNS/TNS
+  // accumulate in pin order regardless of thread count.
+  parallel_for(0, n, 256, [&](std::int64_t pb, std::int64_t pe) {
+    for (PinId p = static_cast<PinId>(pb); p < pe; ++p) {
+      for (int c = 0; c < kNumCorners; ++c) {
+        const bool late = corner_mode(c) == Mode::kLate;
+        const double rat = r.rat[static_cast<std::size_t>(p)][c];
+        const double at = r.arrival[static_cast<std::size_t>(p)][c];
+        r.slack[static_cast<std::size_t>(p)][c] =
+            std::isfinite(rat) ? (late ? rat - at : at - rat) : kInf;
+      }
+    }
+  });
   r.wns_setup = kInf;
   r.wns_hold = kInf;
   r.tns_setup = 0.0;
   r.tns_hold = 0.0;
   for (PinId p = 0; p < n; ++p) {
-    for (int c = 0; c < kNumCorners; ++c) {
-      const bool late = corner_mode(c) == Mode::kLate;
-      const double rat = r.rat[static_cast<std::size_t>(p)][c];
-      const double at = r.arrival[static_cast<std::size_t>(p)][c];
-      r.slack[static_cast<std::size_t>(p)][c] =
-          std::isfinite(rat) ? (late ? rat - at : at - rat) : kInf;
-    }
-    if (d.is_endpoint(p)) {
-      const double s_setup = endpoint_setup_slack(r, p);
-      const double s_hold = endpoint_hold_slack(r, p);
-      r.wns_setup = std::min(r.wns_setup, s_setup);
-      r.wns_hold = std::min(r.wns_hold, s_hold);
-      if (s_setup < 0.0) r.tns_setup += s_setup;
-      if (s_hold < 0.0) r.tns_hold += s_hold;
-    }
+    if (!d.is_endpoint(p)) continue;
+    const double s_setup = endpoint_setup_slack(r, p);
+    const double s_hold = endpoint_hold_slack(r, p);
+    r.wns_setup = std::min(r.wns_setup, s_setup);
+    r.wns_hold = std::min(r.wns_hold, s_hold);
+    if (s_setup < 0.0) r.tns_setup += s_setup;
+    if (s_hold < 0.0) r.tns_hold += s_hold;
   }
 }
 
@@ -241,8 +264,20 @@ StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
   r.pred_pin.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
   r.pred_corner.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
 
-  for (PinId p : graph.topo_order()) {
-    sta_detail::propagate_pin(graph, routing, options, r, p);
+  // Forward sweep: level-synchronized, Galois-style — each parallel_for is
+  // a barrier, and every predecessor of a level-L pin lives below L.
+  // propagate_pin writes only pin-owned rows (a cell arc's delay slot is
+  // owned by its unique `to` pin), so in-level pins never race and the
+  // result is bit-identical to the serial order.
+  for (const std::vector<PinId>& level : graph.levels()) {
+    parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   for (std::int64_t i = b; i < e; ++i) {
+                     sta_detail::propagate_pin(
+                         graph, routing, options, r,
+                         level[static_cast<std::size_t>(i)]);
+                   }
+                 });
   }
   sta_detail::compute_required(graph, options, r);
   r.sta_seconds = timer.seconds();

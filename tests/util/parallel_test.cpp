@@ -1,0 +1,128 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tg {
+namespace {
+
+/// Restores the pool size a test changed so later suites see the default.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(saved_); }
+  int saved_ = num_threads();
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(0, 1000, 7, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(ParallelTest, EmptyAndSingleChunkRanges) {
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Range within one grain stays on the calling thread as one chunk.
+  std::vector<int> seen;
+  parallel_for(0, 8, 16, [&](std::int64_t b, std::int64_t e) {
+    seen.push_back(static_cast<int>(e - b));
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 8);
+}
+
+TEST_F(ParallelTest, SerialFallbackRunsInline) {
+  set_num_threads(1);
+  const auto caller = std::this_thread::get_id();
+  parallel_for(0, 100000, 1, [&](std::int64_t, std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST_F(ParallelTest, NestedParallelForMakesProgress) {
+  set_num_threads(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(0, 16, 1, [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t o = ob; o < oe; ++o) {
+      std::atomic<std::int64_t> inner{0};
+      parallel_for(0, 64, 4, [&](std::int64_t b, std::int64_t e) {
+        inner.fetch_add(e - b);
+      });
+      total.fetch_add(inner.load());
+    }
+  });
+  EXPECT_EQ(total.load(), 16 * 64);
+}
+
+TEST_F(ParallelTest, ParallelInvokeRunsAllTasks) {
+  set_num_threads(4);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 9; ++i) tasks.push_back([&ran] { ran.fetch_add(1); });
+  parallel_invoke(tasks);
+  EXPECT_EQ(ran.load(), 9);
+  parallel_invoke({[&ran] { ran.fetch_add(1); }, [&ran] { ran.fetch_add(1); }});
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateToCaller) {
+  for (int threads : {1, 4}) {
+    set_num_threads(threads);
+    EXPECT_THROW(
+        parallel_for(0, 256, 1,
+                     [](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i) {
+                         TG_CHECK_MSG(i != 200, "boom");
+                       }
+                     }),
+        CheckError);
+  }
+}
+
+TEST_F(ParallelTest, SetNumThreadsClampsToOne) {
+  set_num_threads(-3);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(8);
+  EXPECT_EQ(num_threads(), 8);
+}
+
+TEST_F(ParallelTest, DisjointChunkSumMatchesSerial) {
+  std::vector<double> values(100000);
+  std::iota(values.begin(), values.end(), 0.25);
+  std::vector<double> out_serial(values.size()), out_parallel(values.size());
+  set_num_threads(1);
+  parallel_for(0, static_cast<std::int64_t>(values.size()), 1024,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   out_serial[static_cast<std::size_t>(i)] =
+                       values[static_cast<std::size_t>(i)] * 3.0 + 1.0;
+                 }
+               });
+  set_num_threads(8);
+  parallel_for(0, static_cast<std::int64_t>(values.size()), 1024,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   out_parallel[static_cast<std::size_t>(i)] =
+                       values[static_cast<std::size_t>(i)] * 3.0 + 1.0;
+                 }
+               });
+  EXPECT_EQ(out_serial, out_parallel);
+}
+
+}  // namespace
+}  // namespace tg

@@ -22,11 +22,13 @@
 #include "sta/report.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
   set_log_level(LogLevel::kWarn);
+  configure_threads(opts);
   const std::string name = opts.get("design", "spm");
   const double scale = opts.get_double("scale", 1.0 / 20);
   const std::filesystem::path out_dir = opts.get("out", "export");
