@@ -52,6 +52,7 @@ void refresh_net(const Design& design, DesignRouting& routing, NetId net) {
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
+  opts.require_known({"design", "scale", "max-moves", "target-factor"});
   const std::string name = opts.get("design", "picorv32a");
   const double scale = opts.get_double("scale", 1.0 / 16);
   const int max_moves = static_cast<int>(opts.get_int("max-moves", 20));

@@ -45,6 +45,7 @@ data::DatasetGraph prepare_variant(const SuiteEntry& entry,
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
+  opts.require_known({"design", "scale", "epochs"});
   set_log_level(LogLevel::kWarn);
   const std::string name = opts.get("design", "usbf_device");
   const double scale = opts.get_double("scale", 1.0 / 20);

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
+  opts.require_known({"design", "scale"});
   const std::string name = opts.get("design", "spm");
   const double scale = opts.get_double("scale", kDefaultSuiteScale);
 

@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
+  opts.require_known({"design", "scale", "paths", "util", "period"});
   const std::string name = opts.get("design", "picorv32a");
   const double scale = opts.get_double("scale", 1.0 / 16);
   const int k_paths = static_cast<int>(opts.get_int("paths", 3));

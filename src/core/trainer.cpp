@@ -1,8 +1,13 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "metrics/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +38,95 @@ std::vector<int> all_rows(std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) rows[static_cast<std::size_t>(i)] = static_cast<int>(i);
   return rows;
 }
+
+// ---- crash-safe checkpointing --------------------------------------------
+
+constexpr std::uint32_t kCheckpointMagic = 0x4B434754;  // "TGCK" (LE bytes)
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Checkpoint = {tag, completed epochs, optional RNG stream, parameter
+/// block, Adam state}, checksummed and committed atomically (util/io), so a
+/// save killed at any point leaves the previous checkpoint loadable.
+void write_checkpoint(const std::string& path, const char* tag,
+                      const nn::Module& model, const nn::Adam& adam,
+                      int epoch, const Rng* rng) {
+  io::BinaryWriter out(path);
+  out.write_u32(kCheckpointMagic);
+  out.write_u32(kCheckpointVersion);
+  out.write_string(tag);
+  out.write_u32(static_cast<std::uint32_t>(epoch));
+  out.write_u8(rng != nullptr ? 1 : 0);
+  if (rng != nullptr) {
+    const RngState st = rng->state();
+    for (std::uint64_t word : st.s) out.write_u64(word);
+    out.write_u8(st.has_cached_normal ? 1 : 0);
+    out.write_f64(st.cached_normal);
+  }
+  nn::write_parameter_block(model, out);
+  adam.save_state(out);
+  out.commit();
+}
+
+int read_checkpoint(const std::string& path, const char* tag,
+                    nn::Module& model, nn::Adam& adam, Rng* rng) {
+  io::BinaryReader in(path);
+  in.verify_crc();
+  TG_CHECK_MSG(in.read_u32("magic") == kCheckpointMagic,
+               "not a training checkpoint: " << path);
+  TG_CHECK_MSG(in.read_u32("format version") == kCheckpointVersion,
+               path << ": unsupported checkpoint version");
+  const std::string file_tag = in.read_string("trainer tag");
+  TG_CHECK_MSG(file_tag == tag, path << " is a '" << file_tag
+                                     << "' checkpoint, expected '" << tag
+                                     << "'");
+  const int epoch = static_cast<int>(in.read_u32("epoch"));
+  if (in.read_u8("rng flag") != 0) {
+    RngState st;
+    for (std::uint64_t& word : st.s) word = in.read_u64("rng state word");
+    st.has_cached_normal = in.read_u8("rng cached-normal flag") != 0;
+    st.cached_normal = in.read_f64("rng cached normal");
+    if (rng != nullptr) rng->set_state(st);
+  }
+  nn::read_parameter_block(model, in);
+  adam.load_state(in);
+  in.expect_eof();
+  return epoch;
+}
+
+/// True after the `completed`-th epoch when a periodic checkpoint is due.
+bool checkpoint_due(const TrainOptions& options, int completed) {
+  if (options.checkpoint_path.empty()) return false;
+  const int every = std::max(1, options.checkpoint_every);
+  return completed % every == 0 || completed == options.epochs;
+}
+
+/// In-memory rollback target for the non-finite-loss guard: the state after
+/// the most recent successful step. Capturing is plain copies, so the guard
+/// never perturbs the numerics of a healthy run.
+class GoodState {
+ public:
+  void capture(const nn::Module& model, const nn::Adam& adam) {
+    const auto& params = model.parameters();
+    params_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const auto data = params[i].data();
+      params_[i].assign(data.begin(), data.end());
+    }
+    adam_ = adam.state();
+  }
+
+  void restore(const nn::Module& model, nn::Adam& adam) const {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      nn::Tensor t = model.parameters()[i];
+      std::copy(params_[i].begin(), params_[i].end(), t.data().begin());
+    }
+    adam.set_state(adam_);
+  }
+
+ private:
+  std::vector<std::vector<float>> params_;
+  nn::Adam::State adam_;
+};
 
 }  // namespace
 
@@ -78,7 +172,9 @@ float scheduled_lr(const TrainOptions& options, int epoch) {
 
 double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
   double mean_loss = 0.0;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  GoodState good;
+  good.capture(model_, adam_);
+  for (int epoch = epoch_; epoch < options_.epochs; ++epoch) {
     adam_.set_lr(scheduled_lr(options_, epoch));
     double epoch_loss = 0.0;
     for (int id : dataset.train_ids) {
@@ -87,17 +183,39 @@ double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
       adam_.zero_grad();
       const TimingGnn::Prediction pred = model_.forward(g, plan);
       Tensor loss = model_.loss(g, plan, pred);
+      const double loss_value = loss.item();
+      if (!std::isfinite(loss_value)) {
+        ++non_finite_steps_;
+        TG_WARN("non-finite-loss trainer=timing-gnn design=" << g.name
+                << " epoch=" << epoch + 1 << " loss=" << loss_value
+                << " action=restore-last-good-state,skip-step");
+        good.restore(model_, adam_);
+        continue;
+      }
       loss.backward();
       adam_.step();
-      epoch_loss += loss.item();
+      good.capture(model_, adam_);
+      epoch_loss += loss_value;
     }
     mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
+    epoch_ = epoch + 1;
     if (options_.verbose) {
       TG_INFO("timing-gnn epoch " << epoch + 1 << "/" << options_.epochs
                                   << " loss=" << mean_loss);
     }
+    if (checkpoint_due(options_, epoch_)) {
+      save_checkpoint(options_.checkpoint_path);
+    }
   }
   return mean_loss;
+}
+
+void TimingGnnTrainer::save_checkpoint(const std::string& path) const {
+  write_checkpoint(path, "timing-gnn", model_, adam_, epoch_, nullptr);
+}
+
+void TimingGnnTrainer::load_checkpoint(const std::string& path) {
+  epoch_ = read_checkpoint(path, "timing-gnn", model_, adam_, nullptr);
 }
 
 DesignEval TimingGnnTrainer::evaluate(const data::DatasetGraph& g) {
@@ -175,7 +293,9 @@ NetEmbedTrainer::NetEmbedTrainer(const NetEmbedConfig& config,
 
 double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
   double mean_loss = 0.0;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  GoodState good;
+  good.capture(model_, adam_);
+  for (int epoch = epoch_; epoch < options_.epochs; ++epoch) {
     adam_.set_lr(scheduled_lr(options_, epoch));
     double epoch_loss = 0.0;
     for (int id : dataset.train_ids) {
@@ -185,17 +305,39 @@ double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
       Tensor pred = model_.predict_net_delay(g, emb);
       Tensor target = nn::gather_rows(g.net_delay, g.net_sinks);
       Tensor loss = nn::mse_loss_rows(pred, g.net_sinks, target);
+      const double loss_value = loss.item();
+      if (!std::isfinite(loss_value)) {
+        ++non_finite_steps_;
+        TG_WARN("non-finite-loss trainer=net-embed design=" << g.name
+                << " epoch=" << epoch + 1 << " loss=" << loss_value
+                << " action=restore-last-good-state,skip-step");
+        good.restore(model_, adam_);
+        continue;
+      }
       loss.backward();
       adam_.step();
-      epoch_loss += loss.item();
+      good.capture(model_, adam_);
+      epoch_loss += loss_value;
     }
     mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
+    epoch_ = epoch + 1;
     if (options_.verbose) {
       TG_INFO("net-embed epoch " << epoch + 1 << "/" << options_.epochs
                                  << " loss=" << mean_loss);
     }
+    if (checkpoint_due(options_, epoch_)) {
+      save_checkpoint(options_.checkpoint_path);
+    }
   }
   return mean_loss;
+}
+
+void NetEmbedTrainer::save_checkpoint(const std::string& path) const {
+  write_checkpoint(path, "net-embed", model_, adam_, epoch_, &rng_);
+}
+
+void NetEmbedTrainer::load_checkpoint(const std::string& path) {
+  epoch_ = read_checkpoint(path, "net-embed", model_, adam_, &rng_);
 }
 
 double NetEmbedTrainer::evaluate_r2(const data::DatasetGraph& g) const {
@@ -229,7 +371,9 @@ const GcniiAdjacency& GcniiTrainer::adjacency_for(const data::DatasetGraph& g) {
 
 double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
   double mean_loss = 0.0;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  GoodState good;
+  good.capture(model_, adam_);
+  for (int epoch = epoch_; epoch < options_.epochs; ++epoch) {
     adam_.set_lr(scheduled_lr(options_, epoch));
     double epoch_loss = 0.0;
     for (int id : dataset.train_ids) {
@@ -237,17 +381,39 @@ double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
       adam_.zero_grad();
       Tensor pred = model_.forward(g, adjacency_for(g));
       Tensor loss = model_.loss(g, pred);
+      const double loss_value = loss.item();
+      if (!std::isfinite(loss_value)) {
+        ++non_finite_steps_;
+        TG_WARN("non-finite-loss trainer=gcnii design=" << g.name
+                << " epoch=" << epoch + 1 << " loss=" << loss_value
+                << " action=restore-last-good-state,skip-step");
+        good.restore(model_, adam_);
+        continue;
+      }
       loss.backward();
       adam_.step();
-      epoch_loss += loss.item();
+      good.capture(model_, adam_);
+      epoch_loss += loss_value;
     }
     mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
+    epoch_ = epoch + 1;
     if (options_.verbose) {
       TG_INFO("gcnii-" << model_.config().num_layers << " epoch " << epoch + 1
                        << "/" << options_.epochs << " loss=" << mean_loss);
     }
+    if (checkpoint_due(options_, epoch_)) {
+      save_checkpoint(options_.checkpoint_path);
+    }
   }
   return mean_loss;
+}
+
+void GcniiTrainer::save_checkpoint(const std::string& path) const {
+  write_checkpoint(path, "gcnii", model_, adam_, epoch_, nullptr);
+}
+
+void GcniiTrainer::load_checkpoint(const std::string& path) {
+  epoch_ = read_checkpoint(path, "gcnii", model_, adam_, nullptr);
 }
 
 DesignEval GcniiTrainer::evaluate(const data::DatasetGraph& g) {

@@ -25,6 +25,13 @@ struct TrainOptions {
   float lr_final = 0.0f;
   float grad_clip = 5.0f;
   bool verbose = true;
+  /// Crash-safe checkpointing: when non-empty, fit() atomically writes
+  /// {params, Adam moments, epoch, RNG state} here after every
+  /// `checkpoint_every`-th epoch (and after the final one). Restoring via
+  /// load_checkpoint and re-running fit() reproduces the uninterrupted
+  /// run bit-identically.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 /// Per-design evaluation record; R² definitions follow the paper
@@ -65,10 +72,24 @@ class TimingGnnTrainer {
   [[nodiscard]] TimingGnn& model() { return model_; }
   [[nodiscard]] const PropPlan& plan_for(const data::DatasetGraph& g);
 
+  /// Atomic, checksummed checkpoint (same format rules as graph_io/serialize;
+  /// see DESIGN.md "Failure model & persistence"). Throws CheckError on any
+  /// I/O failure, leaving a previous checkpoint at `path` intact.
+  void save_checkpoint(const std::string& path) const;
+  /// Restores params + Adam state + epoch counter; the next fit() continues
+  /// from the stored epoch.
+  void load_checkpoint(const std::string& path);
+  /// Epochs completed so far (nonzero after load_checkpoint or fit()).
+  [[nodiscard]] int completed_epochs() const { return epoch_; }
+  /// Training steps skipped by the non-finite-loss guard.
+  [[nodiscard]] long long non_finite_steps() const { return non_finite_steps_; }
+
  private:
   TimingGnn model_;
   TrainOptions options_;
   nn::Adam adam_;
+  int epoch_ = 0;
+  long long non_finite_steps_ = 0;
   std::map<const data::DatasetGraph*, PropPlan> plans_;
 };
 
@@ -83,11 +104,19 @@ class NetEmbedTrainer {
 
   [[nodiscard]] NetEmbed& model() { return model_; }
 
+  /// Checkpoint / resume; includes the trainer's RNG stream state.
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
+  [[nodiscard]] int completed_epochs() const { return epoch_; }
+  [[nodiscard]] long long non_finite_steps() const { return non_finite_steps_; }
+
  private:
   Rng rng_;
   NetEmbed model_;
   TrainOptions options_;
   nn::Adam adam_;
+  int epoch_ = 0;
+  long long non_finite_steps_ = 0;
 };
 
 class GcniiTrainer {
@@ -99,10 +128,17 @@ class GcniiTrainer {
 
   [[nodiscard]] Gcnii& model() { return model_; }
 
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
+  [[nodiscard]] int completed_epochs() const { return epoch_; }
+  [[nodiscard]] long long non_finite_steps() const { return non_finite_steps_; }
+
  private:
   Gcnii model_;
   TrainOptions options_;
   nn::Adam adam_;
+  int epoch_ = 0;
+  long long non_finite_steps_ = 0;
   std::map<const data::DatasetGraph*, GcniiAdjacency> adjacencies_;
   const GcniiAdjacency& adjacency_for(const data::DatasetGraph& g);
 };

@@ -1,170 +1,119 @@
 #include "data/graph_io.hpp"
 
 #include <cstdint>
-#include <fstream>
 
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 namespace tg::data {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x54474447;  // "TGDG"
-constexpr std::uint32_t kVersion = 1;
+// v2 ("TGD2"): u32 magic + u32 version, CRC-32 trailer, atomic commit.
+// v1: u64 magic "TGDG" + u64 version, no checksum — still readable; every
+// field is bounds-checked so truncated v1 files raise CheckError.
+constexpr std::uint32_t kMagicV2 = 0x32444754;  // "TGD2" (LE bytes)
+constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::uint64_t kMagicV1 = 0x54474447;  // "TGDG"
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-std::uint64_t read_u64(std::ifstream& in) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
-}
-void write_f64(std::ofstream& out, double v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-double read_f64(std::ifstream& in) {
-  double v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
+void write_tensor(io::BinaryWriter& out, const nn::Tensor& t) {
+  out.write_u64(static_cast<std::uint64_t>(t.rows()));
+  out.write_u64(static_cast<std::uint64_t>(t.cols()));
+  out.write_f32_span(t.data());
 }
 
-void write_string(std::ofstream& out, const std::string& s) {
-  write_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-std::string read_string(std::ifstream& in) {
-  std::string s(read_u64(in), '\0');
-  in.read(s.data(), static_cast<std::streamsize>(s.size()));
-  return s;
-}
-
-void write_tensor(std::ofstream& out, const nn::Tensor& t) {
-  write_u64(out, static_cast<std::uint64_t>(t.rows()));
-  write_u64(out, static_cast<std::uint64_t>(t.cols()));
-  out.write(reinterpret_cast<const char*>(t.data().data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-}
-nn::Tensor read_tensor(std::ifstream& in) {
-  const auto rows = static_cast<std::int64_t>(read_u64(in));
-  const auto cols = static_cast<std::int64_t>(read_u64(in));
-  std::vector<float> data(static_cast<std::size_t>(rows * cols));
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(float)));
-  return nn::Tensor::from_vector(std::move(data), rows, cols);
+nn::Tensor read_tensor(io::BinaryReader& in, const char* what) {
+  const std::uint64_t rows = in.read_u64(what);
+  const std::uint64_t cols = in.read_u64(what);
+  TG_CHECK_MSG(rows < (1ull << 31) && cols < (1ull << 31),
+               in.path() << ": implausible shape " << rows << "x" << cols
+                         << " for " << what << " at offset " << in.offset());
+  std::vector<float> data = in.read_f32_vec(rows * cols, what);
+  return nn::Tensor::from_vector(std::move(data),
+                                 static_cast<std::int64_t>(rows),
+                                 static_cast<std::int64_t>(cols));
 }
 
-void write_ints(std::ofstream& out, const std::vector<int>& v) {
-  write_u64(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(int)));
-}
-std::vector<int> read_ints(std::ifstream& in) {
-  std::vector<int> v(read_u64(in));
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(int)));
-  return v;
-}
-
-void write_doubles(std::ofstream& out, const std::vector<double>& v) {
-  write_u64(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(double)));
-}
-std::vector<double> read_doubles(std::ifstream& in) {
-  std::vector<double> v(read_u64(in));
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(double)));
-  return v;
-}
-
-}  // namespace
-
-void save_graph(const DatasetGraph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
-  write_u64(out, kMagic);
-  write_u64(out, kVersion);
-  write_string(out, g.name);
-  write_u64(out, g.is_test ? 1 : 0);
-  write_u64(out, static_cast<std::uint64_t>(g.num_nodes));
-  write_u64(out, static_cast<std::uint64_t>(g.num_levels));
-  write_f64(out, g.clock_period);
-  write_f64(out, g.route_seconds);
-  write_f64(out, g.sta_seconds);
+void write_body(io::BinaryWriter& out, const DatasetGraph& g) {
+  out.write_string(g.name);
+  out.write_u64(g.is_test ? 1 : 0);
+  out.write_u64(static_cast<std::uint64_t>(g.num_nodes));
+  out.write_u64(static_cast<std::uint64_t>(g.num_levels));
+  out.write_f64(g.clock_period);
+  out.write_f64(g.route_seconds);
+  out.write_f64(g.sta_seconds);
 
   write_tensor(out, g.node_feat);
   write_tensor(out, g.net_edge_feat);
   write_tensor(out, g.cell_edge_feat);
-  write_ints(out, g.net_src);
-  write_ints(out, g.net_dst);
-  write_ints(out, g.cell_src);
-  write_ints(out, g.cell_dst);
-  write_ints(out, g.node_level);
+  out.write_i32_vec(g.net_src);
+  out.write_i32_vec(g.net_dst);
+  out.write_i32_vec(g.cell_src);
+  out.write_i32_vec(g.cell_dst);
+  out.write_i32_vec(g.node_level);
 
   write_tensor(out, g.net_delay);
   write_tensor(out, g.arrival);
   write_tensor(out, g.slew);
   write_tensor(out, g.rat);
   write_tensor(out, g.cell_delay);
-  write_ints(out, g.endpoints);
-  write_ints(out, g.net_sinks);
-  write_doubles(out, g.endpoint_setup_slack);
-  write_doubles(out, g.endpoint_hold_slack);
+  out.write_i32_vec(g.endpoints);
+  out.write_i32_vec(g.net_sinks);
+  out.write_f64_vec(g.endpoint_setup_slack);
+  out.write_f64_vec(g.endpoint_hold_slack);
 
   // Table-1 stats.
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_nodes));
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_net_edges));
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_cell_edges));
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_endpoints));
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_instances));
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_nets));
-  write_u64(out, static_cast<std::uint64_t>(g.stats.num_ffs));
-  TG_CHECK_MSG(out.good(), "write failure on " << path);
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_nodes));
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_net_edges));
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_cell_edges));
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_endpoints));
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_instances));
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_nets));
+  out.write_u64(static_cast<std::uint64_t>(g.stats.num_ffs));
 }
 
-DatasetGraph load_graph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
-  TG_CHECK_MSG(read_u64(in) == kMagic, "bad dataset-graph magic in " << path);
-  TG_CHECK_MSG(read_u64(in) == kVersion, "unsupported version in " << path);
-
+/// Field order is identical in v1 and v2; only the envelope differs.
+DatasetGraph read_body(io::BinaryReader& in) {
   DatasetGraph g;
-  g.name = read_string(in);
-  g.is_test = read_u64(in) != 0;
-  g.num_nodes = static_cast<int>(read_u64(in));
-  g.num_levels = static_cast<int>(read_u64(in));
-  g.clock_period = read_f64(in);
-  g.route_seconds = read_f64(in);
-  g.sta_seconds = read_f64(in);
+  g.name = in.read_string("design name");
+  g.is_test = in.read_u64("is_test flag") != 0;
+  g.num_nodes = static_cast<int>(in.read_u64("num_nodes"));
+  g.num_levels = static_cast<int>(in.read_u64("num_levels"));
+  g.clock_period = in.read_f64("clock_period");
+  g.route_seconds = in.read_f64("route_seconds");
+  g.sta_seconds = in.read_f64("sta_seconds");
 
-  g.node_feat = read_tensor(in);
-  g.net_edge_feat = read_tensor(in);
-  g.cell_edge_feat = read_tensor(in);
-  g.net_src = read_ints(in);
-  g.net_dst = read_ints(in);
-  g.cell_src = read_ints(in);
-  g.cell_dst = read_ints(in);
-  g.node_level = read_ints(in);
+  g.node_feat = read_tensor(in, "node_feat");
+  g.net_edge_feat = read_tensor(in, "net_edge_feat");
+  g.cell_edge_feat = read_tensor(in, "cell_edge_feat");
+  g.net_src = in.read_i32_vec("net_src");
+  g.net_dst = in.read_i32_vec("net_dst");
+  g.cell_src = in.read_i32_vec("cell_src");
+  g.cell_dst = in.read_i32_vec("cell_dst");
+  g.node_level = in.read_i32_vec("node_level");
 
-  g.net_delay = read_tensor(in);
-  g.arrival = read_tensor(in);
-  g.slew = read_tensor(in);
-  g.rat = read_tensor(in);
-  g.cell_delay = read_tensor(in);
-  g.endpoints = read_ints(in);
-  g.net_sinks = read_ints(in);
-  g.endpoint_setup_slack = read_doubles(in);
-  g.endpoint_hold_slack = read_doubles(in);
+  g.net_delay = read_tensor(in, "net_delay");
+  g.arrival = read_tensor(in, "arrival");
+  g.slew = read_tensor(in, "slew");
+  g.rat = read_tensor(in, "rat");
+  g.cell_delay = read_tensor(in, "cell_delay");
+  g.endpoints = in.read_i32_vec("endpoints");
+  g.net_sinks = in.read_i32_vec("net_sinks");
+  g.endpoint_setup_slack = in.read_f64_vec("endpoint_setup_slack");
+  g.endpoint_hold_slack = in.read_f64_vec("endpoint_hold_slack");
 
-  g.stats.num_nodes = static_cast<long long>(read_u64(in));
-  g.stats.num_net_edges = static_cast<long long>(read_u64(in));
-  g.stats.num_cell_edges = static_cast<long long>(read_u64(in));
-  g.stats.num_endpoints = static_cast<long long>(read_u64(in));
-  g.stats.num_instances = static_cast<long long>(read_u64(in));
-  g.stats.num_nets = static_cast<long long>(read_u64(in));
-  g.stats.num_ffs = static_cast<long long>(read_u64(in));
-  TG_CHECK_MSG(in.good(), "truncated dataset-graph file " << path);
+  g.stats.num_nodes = static_cast<long long>(in.read_u64("stats.num_nodes"));
+  g.stats.num_net_edges =
+      static_cast<long long>(in.read_u64("stats.num_net_edges"));
+  g.stats.num_cell_edges =
+      static_cast<long long>(in.read_u64("stats.num_cell_edges"));
+  g.stats.num_endpoints =
+      static_cast<long long>(in.read_u64("stats.num_endpoints"));
+  g.stats.num_instances =
+      static_cast<long long>(in.read_u64("stats.num_instances"));
+  g.stats.num_nets = static_cast<long long>(in.read_u64("stats.num_nets"));
+  g.stats.num_ffs = static_cast<long long>(in.read_u64("stats.num_ffs"));
+  in.expect_eof();
 
   // Internal consistency.
   TG_CHECK(g.node_feat.rows() == g.num_nodes);
@@ -172,6 +121,37 @@ DatasetGraph load_graph(const std::string& path) {
   TG_CHECK(g.cell_src.size() == g.cell_dst.size());
   TG_CHECK(static_cast<int>(g.node_level.size()) == g.num_nodes);
   return g;
+}
+
+}  // namespace
+
+void save_graph(const DatasetGraph& g, const std::string& path) {
+  io::BinaryWriter out(path);
+  out.write_u32(kMagicV2);
+  out.write_u32(kVersionV2);
+  write_body(out, g);
+  out.commit();
+}
+
+DatasetGraph load_graph(const std::string& path) {
+  io::BinaryReader in(path);
+  const std::uint32_t magic = in.peek_u32();
+  if (magic == kMagicV2) {
+    in.verify_crc();
+    (void)in.read_u32("magic");
+    const std::uint32_t version = in.read_u32("format version");
+    TG_CHECK_MSG(version == kVersionV2,
+                 path << ": unsupported dataset-graph version " << version);
+    return read_body(in);
+  }
+  // Legacy v1 envelope: u64 magic, u64 version, no CRC.
+  TG_CHECK_MSG(static_cast<std::uint32_t>(kMagicV1) == magic,
+               "bad dataset-graph magic in " << path);
+  TG_CHECK_MSG(in.read_u64("magic") == kMagicV1,
+               "bad dataset-graph magic in " << path);
+  TG_CHECK_MSG(in.read_u64("format version") == 1,
+               path << ": unsupported dataset-graph version");
+  return read_body(in);
 }
 
 }  // namespace tg::data

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 namespace tg::nn {
 
@@ -54,6 +55,45 @@ void Adam::step() {
       data[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
     }
   }
+}
+
+void Adam::set_state(State state) {
+  TG_CHECK_MSG(state.m.size() == m_.size() && state.v.size() == v_.size(),
+               "Adam state holds " << state.m.size()
+                                   << " moment vectors, optimizer has "
+                                   << m_.size());
+  for (std::size_t p = 0; p < m_.size(); ++p) {
+    TG_CHECK_MSG(state.m[p].size() == m_[p].size() &&
+                     state.v[p].size() == v_[p].size(),
+                 "Adam state size mismatch for parameter " << p);
+  }
+  t_ = state.t;
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+}
+
+void Adam::save_state(io::BinaryWriter& out) const {
+  out.write_u64(static_cast<std::uint64_t>(t_));
+  out.write_u32(static_cast<std::uint32_t>(m_.size()));
+  for (std::size_t p = 0; p < m_.size(); ++p) {
+    out.write_u64(m_[p].size());
+    out.write_f32_span(m_[p]);
+    out.write_f32_span(v_[p]);
+  }
+}
+
+void Adam::load_state(io::BinaryReader& in) {
+  State state;
+  state.t = static_cast<long long>(in.read_u64("Adam step count"));
+  const std::uint32_t count = in.read_u32("Adam moment-vector count");
+  state.m.reserve(count);
+  state.v.reserve(count);
+  for (std::uint32_t p = 0; p < count; ++p) {
+    const std::uint64_t n = in.read_u64("Adam moment length");
+    state.m.push_back(in.read_f32_vec(n, "Adam first moment"));
+    state.v.push_back(in.read_f32_vec(n, "Adam second moment"));
+  }
+  set_state(std::move(state));
 }
 
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)

@@ -6,6 +6,11 @@
 
 #include "nn/tensor.hpp"
 
+namespace tg::io {
+class BinaryReader;
+class BinaryWriter;
+}  // namespace tg::io
+
 namespace tg::nn {
 
 class Optimizer {
@@ -40,6 +45,18 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { config_.lr = lr; }
   [[nodiscard]] float lr() const { return config_.lr; }
+
+  /// Full optimizer state (step count + first/second moments). Snapshots
+  /// support the trainer's non-finite-loss rollback; the (de)serialization
+  /// pair rides inside checkpoints so a resumed run is bit-identical.
+  struct State {
+    long long t = 0;
+    std::vector<std::vector<float>> m, v;
+  };
+  [[nodiscard]] State state() const { return {t_, m_, v_}; }
+  void set_state(State state);
+  void save_state(io::BinaryWriter& out) const;
+  void load_state(io::BinaryReader& in);
 
  private:
   Config config_;

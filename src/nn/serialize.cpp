@@ -1,79 +1,134 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
-#include <fstream>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 
 namespace tg::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x54474E4E;  // "TGNN"
 
-void write_u32(std::ofstream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-std::uint32_t read_u32(std::ifstream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return v;
-}
-}  // namespace
+constexpr std::uint32_t kMagicV0 = 0x54474E4E;  // "TGNN" — legacy, no CRC
+constexpr std::uint32_t kMagicV1 = 0x314E4754;  // "TGN1" (LE bytes)
+constexpr std::uint32_t kVersion = 1;
 
-void save_parameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  TG_CHECK_MSG(out.is_open(), "cannot write " << path);
-  write_u32(out, kMagic);
-  write_u32(out, static_cast<std::uint32_t>(module.parameters().size()));
-  for (std::size_t i = 0; i < module.parameters().size(); ++i) {
-    const std::string& name = module.parameter_names()[i];
-    const Tensor& t = module.parameters()[i];
-    write_u32(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u32(out, static_cast<std::uint32_t>(t.rows()));
-    write_u32(out, static_cast<std::uint32_t>(t.cols()));
-    out.write(reinterpret_cast<const char*>(t.data().data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  }
-  TG_CHECK_MSG(out.good(), "write failure on " << path);
+using BlobMap =
+    std::map<std::string, std::pair<std::uint32_t, std::vector<float>>>;
+
+/// Dimension sanity cap: no tensor in this project has a side anywhere near
+/// 2^31; a corrupted dimension past it fails fast with a named error.
+void check_dims(io::BinaryReader& in, std::uint64_t rows, std::uint64_t cols,
+                const std::string& name) {
+  TG_CHECK_MSG(rows < (1ull << 31) && cols < (1ull << 31),
+               in.path() << ": implausible shape " << rows << "x" << cols
+                         << " for parameter '" << name << "' at offset "
+                         << in.offset());
 }
 
-void load_parameters(Module& module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
-  TG_CHECK_MSG(read_u32(in) == kMagic, "bad model file magic in " << path);
-  const std::uint32_t count = read_u32(in);
-
-  std::map<std::string, std::pair<std::uint32_t, std::vector<float>>> blobs;
+BlobMap read_blobs_v1(io::BinaryReader& in) {
+  const std::uint32_t count = in.read_u32("parameter count");
+  BlobMap blobs;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t name_len = read_u32(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const std::uint32_t rows = read_u32(in);
-    const std::uint32_t cols = read_u32(in);
-    std::vector<float> data(static_cast<std::size_t>(rows) * cols);
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    TG_CHECK_MSG(in.good(), "truncated model file " << path);
+    std::string name = in.read_string("parameter name");
+    const std::uint32_t rows = in.read_u32("parameter rows");
+    const std::uint32_t cols = in.read_u32("parameter cols");
+    check_dims(in, rows, cols, name);
+    std::vector<float> data = in.read_f32_vec(
+        static_cast<std::uint64_t>(rows) * cols, "parameter data");
     blobs.emplace(std::move(name), std::make_pair(rows, std::move(data)));
   }
+  return blobs;
+}
 
+/// v0 layout: u32 magic, u32 count, then per parameter
+/// {u32 name_len, bytes, u32 rows, u32 cols, f32 data} — no version, no CRC.
+/// Every read is still bounds-checked, so the truncated/bit-flipped v0 files
+/// that the old loader read as garbage now raise CheckError.
+BlobMap read_blobs_v0(io::BinaryReader& in) {
+  const std::uint32_t count = in.read_u32("parameter count");
+  BlobMap blobs;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = in.read_u32("parameter name length");
+    std::string name = in.read_raw(name_len, "parameter name");
+    const std::uint32_t rows = in.read_u32("parameter rows");
+    const std::uint32_t cols = in.read_u32("parameter cols");
+    check_dims(in, rows, cols, name);
+    std::vector<float> data = in.read_f32_vec(
+        static_cast<std::uint64_t>(rows) * cols, "parameter data");
+    blobs.emplace(std::move(name), std::make_pair(rows, std::move(data)));
+  }
+  return blobs;
+}
+
+void apply_blobs(Module& module, const BlobMap& blobs,
+                 const std::string& path) {
   std::size_t matched = 0;
   for (std::size_t i = 0; i < module.parameters().size(); ++i) {
     const std::string& name = module.parameter_names()[i];
     auto it = blobs.find(name);
-    TG_CHECK_MSG(it != blobs.end(), "parameter missing from file: " << name);
+    TG_CHECK_MSG(it != blobs.end(),
+                 "parameter missing from " << path << ": " << name);
     Tensor t = module.parameters()[i];
     TG_CHECK_MSG(static_cast<std::size_t>(t.numel()) == it->second.second.size(),
-                 "shape mismatch for " << name);
+                 "shape mismatch for " << name << " in " << path);
     std::copy(it->second.second.begin(), it->second.second.end(),
               t.data().begin());
     ++matched;
   }
   TG_CHECK_MSG(matched == blobs.size(),
-               "model file has " << blobs.size() << " tensors, module expects "
-                                 << matched);
+               path << " has " << blobs.size() << " tensors, module expects "
+                    << matched);
+}
+
+}  // namespace
+
+void write_parameter_block(const Module& module, io::BinaryWriter& out) {
+  out.write_u32(static_cast<std::uint32_t>(module.parameters().size()));
+  for (std::size_t i = 0; i < module.parameters().size(); ++i) {
+    const Tensor& t = module.parameters()[i];
+    out.write_string(module.parameter_names()[i]);
+    out.write_u32(static_cast<std::uint32_t>(t.rows()));
+    out.write_u32(static_cast<std::uint32_t>(t.cols()));
+    out.write_f32_span(t.data());
+  }
+}
+
+void read_parameter_block(Module& module, io::BinaryReader& in) {
+  apply_blobs(module, read_blobs_v1(in), in.path());
+}
+
+void save_parameters(const Module& module, const std::string& path) {
+  io::BinaryWriter out(path);
+  out.write_u32(kMagicV1);
+  out.write_u32(kVersion);
+  write_parameter_block(module, out);
+  out.commit();
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  io::BinaryReader in(path);
+  const std::uint32_t magic = in.peek_u32();
+  if (magic == kMagicV1) {
+    in.verify_crc();
+    (void)in.read_u32("magic");
+    const std::uint32_t version = in.read_u32("format version");
+    TG_CHECK_MSG(version == kVersion, path << ": unsupported model format"
+                                           << " version " << version);
+    const BlobMap blobs = read_blobs_v1(in);
+    in.expect_eof();
+    apply_blobs(module, blobs, path);
+  } else if (magic == kMagicV0) {
+    (void)in.read_u32("magic");
+    const BlobMap blobs = read_blobs_v0(in);
+    in.expect_eof();
+    apply_blobs(module, blobs, path);
+  } else {
+    TG_CHECK_MSG(false, "bad model file magic in " << path);
+  }
 }
 
 }  // namespace tg::nn

@@ -24,6 +24,29 @@ CliOptions::CliOptions(int argc, const char* const* argv) {
   }
 }
 
+void CliOptions::require_known(
+    std::initializer_list<std::string_view> known) const {
+  for (const auto& [key, value] : values_) {
+    bool ok = false;
+    for (std::string_view k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string valid;
+      for (std::string_view k : known) {
+        if (!valid.empty()) valid += ", ";
+        valid += "--";
+        valid += k;
+      }
+      TG_CHECK_MSG(false, program_ << ": unknown option --" << key
+                                   << " (valid options: " << valid << ")");
+    }
+  }
+}
+
 bool CliOptions::has(const std::string& key) const {
   return values_.count(key) > 0;
 }

@@ -3,8 +3,10 @@
 /// Tiny command-line option parser shared by benches and examples.
 /// Accepts --key=value and --flag forms; anything else is a positional.
 
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tg {
@@ -12,6 +14,11 @@ namespace tg {
 class CliOptions {
  public:
   CliOptions(int argc, const char* const* argv);
+
+  /// Throws CheckError if any parsed --flag is not in `known`, listing the
+  /// valid options. Call once after construction; typo'd flags then fail
+  /// loudly instead of silently falling back to defaults.
+  void require_known(std::initializer_list<std::string_view> known) const;
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,

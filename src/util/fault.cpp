@@ -1,0 +1,82 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace tg::fault {
+
+namespace {
+
+struct FaultState {
+  std::mutex mutex;
+  bool env_parsed = false;
+  std::string op;       // empty = disarmed
+  long long nth = 0;    // 1-based
+  long long matched = 0;
+};
+
+FaultState& state() {
+  static FaultState s;
+  return s;
+}
+
+/// Parses TG_FAULT_IO=<op>:<nth>. Malformed values disarm (and are ignored):
+/// fault injection is a test facility, not a user-facing contract.
+void parse_env_locked(FaultState& s) {
+  s.env_parsed = true;
+  const char* env = std::getenv("TG_FAULT_IO");
+  if (env == nullptr) return;
+  const std::string spec(env);
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) return;
+  const long long nth = std::strtoll(spec.c_str() + colon + 1, nullptr, 10);
+  if (nth <= 0) return;
+  s.op = spec.substr(0, colon);
+  s.nth = nth;
+}
+
+}  // namespace
+
+void arm_io_fault(const std::string& op, long long nth) {
+  FaultState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_parsed = true;  // explicit arming overrides TG_FAULT_IO
+  s.op = op;
+  s.nth = nth;
+  s.matched = 0;
+}
+
+void clear_io_fault() {
+  FaultState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.env_parsed = true;
+  s.op.clear();
+  s.nth = 0;
+  s.matched = 0;
+}
+
+void reparse_io_fault_env() {
+  FaultState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.op.clear();
+  s.nth = 0;
+  s.matched = 0;
+  parse_env_locked(s);
+}
+
+bool should_fail_io(const char* op) {
+  FaultState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.env_parsed) parse_env_locked(s);
+  if (s.op.empty() || s.op != op) return false;
+  ++s.matched;
+  return s.matched == s.nth;
+}
+
+long long matched_io_ops() {
+  FaultState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  return s.matched;
+}
+
+}  // namespace tg::fault

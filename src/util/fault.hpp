@@ -1,0 +1,42 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic I/O fault injection for the persistence layer.
+///
+/// The binary reader/writer (util/io) asks `should_fail_io(op)` before each
+/// operation; when a fault is armed for that op, the Nth matching call
+/// reports failure and the caller throws the same CheckError it would raise
+/// on a real short read / full disk / failed rename. That makes every error
+/// path in save/load/checkpoint code exercisable from ctest instead of only
+/// in theory.
+///
+/// Two ways to arm a fault:
+///   - environment: TG_FAULT_IO=<op>:<nth>  (e.g. TG_FAULT_IO=write:3),
+///     parsed once on first use;
+///   - programmatic: arm_io_fault("rename", 1) / clear_io_fault() from tests.
+///
+/// Recognised ops: open_read, read, open_write, write, fsync, rename.
+
+#include <string>
+
+namespace tg::fault {
+
+/// Arms a fault: the `nth` (1-based) subsequent I/O operation named `op`
+/// fails. Resets the match counter. Overrides any TG_FAULT_IO setting.
+void arm_io_fault(const std::string& op, long long nth);
+
+/// Disarms any fault (env- or API-armed) and resets the match counter.
+void clear_io_fault();
+
+/// Re-reads TG_FAULT_IO now (normally parsed once, lazily). Lets tests
+/// exercise the environment path after the process has already done I/O.
+void reparse_io_fault_env();
+
+/// Called by the I/O layer before each operation. Returns true exactly when
+/// this call is the Nth matching `op` since arming; the caller must then
+/// fail the operation. Thread-safe; counts only matching ops.
+[[nodiscard]] bool should_fail_io(const char* op);
+
+/// Number of operations that matched the armed op so far (test diagnostics).
+[[nodiscard]] long long matched_io_ops();
+
+}  // namespace tg::fault

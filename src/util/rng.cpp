@@ -95,4 +95,18 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (std::size_t i = 0; i < st.s.size(); ++i) st.s[i] = s_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < state.s.size(); ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace tg

@@ -7,11 +7,20 @@
 /// from an explicitly seeded Rng so that experiments are exactly
 /// reproducible from the seed recorded in EXPERIMENTS.md.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace tg {
+
+/// Complete serializable Rng state — checkpoints store this so a resumed
+/// training run replays the exact random stream of an uninterrupted one.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// xoshiro256** by Blackman & Vigna — fast, high-quality, 256-bit state.
 /// Seeded through SplitMix64 so that any 64-bit seed yields a well-mixed
@@ -59,6 +68,10 @@ class Rng {
   /// A new Rng whose state is derived from this one; use to give each
   /// sub-component an independent stream.
   Rng fork();
+
+  /// Snapshot / restore of the full generator state (checkpointing).
+  [[nodiscard]] RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

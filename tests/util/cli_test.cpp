@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace tg {
 namespace {
 
@@ -50,6 +52,29 @@ TEST(Cli, IntParsing) {
   const auto o = make({"--n=123", "--neg=-7"});
   EXPECT_EQ(o.get_int("n", 0), 123);
   EXPECT_EQ(o.get_int("neg", 0), -7);
+}
+
+TEST(Cli, RequireKnownAcceptsListedFlags) {
+  const auto o = make({"--scale=0.5", "--verbose", "positional"});
+  o.require_known({"scale", "verbose", "epochs"});  // no throw
+}
+
+TEST(Cli, RequireKnownRejectsUnknownFlag) {
+  const auto o = make({"--scael=0.5"});  // typo'd --scale
+  EXPECT_THROW(o.require_known({"scale", "verbose"}), CheckError);
+}
+
+TEST(Cli, RequireKnownErrorListsValidOptions) {
+  const auto o = make({"--bogus"});
+  try {
+    o.require_known({"scale", "epochs"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--bogus"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--scale"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--epochs"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
+  opts.require_known({"design", "scale", "out", "threads"});
   set_log_level(LogLevel::kWarn);
   configure_threads(opts);
   const std::string name = opts.get("design", "spm");
