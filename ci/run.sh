@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Local CI driver — the same matrix as .github/workflows/ci.yml, runnable
+# offline. Three jobs:
+#   tier1  plain build + full ctest (the correctness gate)
+#   asan   ASan build running the `fuzz` label (parsers + validators
+#          under 10k seeded mutations each)
+#   ubsan  UBSan build running the `fault` + `fuzz` labels
+# Usage: ci/run.sh [tier1|asan|ubsan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+job="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_tier1() {
+  echo "==> tier1: build + ctest"
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "$jobs"
+  ctest --test-dir build-ci --output-on-failure -j "$jobs"
+}
+
+run_asan() {
+  echo "==> asan: fuzz label under AddressSanitizer"
+  cmake -B build-asan -S . -DTG_SANITIZE=address
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -L fuzz
+}
+
+run_ubsan() {
+  echo "==> ubsan: fault + fuzz labels under UBSan"
+  cmake -B build-ubsan -S . -DTG_SANITIZE=undefined
+  cmake --build build-ubsan -j "$jobs"
+  ctest --test-dir build-ubsan --output-on-failure -L 'fault|fuzz'
+}
+
+case "$job" in
+  tier1) run_tier1 ;;
+  asan)  run_asan ;;
+  ubsan) run_ubsan ;;
+  all)   run_tier1; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [tier1|asan|ubsan|all]" >&2; exit 2 ;;
+esac
+echo "==> $job: OK"

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
+#include <sstream>
+#include <utility>
 
 #include "metrics/metrics.hpp"
 #include "nn/serialize.hpp"
 #include "util/check.hpp"
+#include "util/diag.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -128,6 +132,32 @@ class GoodState {
   nn::Adam::State adam_;
 };
 
+/// Full-level gradient tripwire (DESIGN.md §8): sweeps every parameter
+/// gradient after backward and names the first non-finite entry, so the
+/// weight that diverged is identified at the step that produced it.
+/// Returns "" when clean or when TG_VALIDATE is below "full" (the
+/// non-finite-loss guard alone covers the fast level).
+template <typename Model>
+std::string first_nonfinite_grad(const Model& model) {
+  if (validate_level() != ValidateLevel::kFull) return {};
+  const std::vector<Tensor>& params = model.parameters();
+  const std::vector<std::string>& names = model.parameter_names();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& t = params[i];
+    if (!t.requires_grad()) continue;
+    const std::span<const float> g = std::as_const(t).grad();
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      if (!std::isfinite(g[j])) {
+        std::ostringstream os;
+        os << (i < names.size() ? names[i] : "param#" + std::to_string(i))
+           << '[' << j << "]=" << g[j];
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 double mean_of(const std::vector<DesignEval>& evals,
@@ -193,6 +223,14 @@ double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
         continue;
       }
       loss.backward();
+      if (const std::string bad = first_nonfinite_grad(model_); !bad.empty()) {
+        ++non_finite_steps_;
+        TG_WARN("non-finite-gradient trainer=timing-gnn design=" << g.name
+                << " epoch=" << epoch + 1 << " first-offender=" << bad
+                << " action=restore-last-good-state,skip-step");
+        good.restore(model_, adam_);
+        continue;
+      }
       adam_.step();
       good.capture(model_, adam_);
       epoch_loss += loss_value;
@@ -315,6 +353,14 @@ double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
         continue;
       }
       loss.backward();
+      if (const std::string bad = first_nonfinite_grad(model_); !bad.empty()) {
+        ++non_finite_steps_;
+        TG_WARN("non-finite-gradient trainer=net-embed design=" << g.name
+                << " epoch=" << epoch + 1 << " first-offender=" << bad
+                << " action=restore-last-good-state,skip-step");
+        good.restore(model_, adam_);
+        continue;
+      }
       adam_.step();
       good.capture(model_, adam_);
       epoch_loss += loss_value;
@@ -391,6 +437,14 @@ double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
         continue;
       }
       loss.backward();
+      if (const std::string bad = first_nonfinite_grad(model_); !bad.empty()) {
+        ++non_finite_steps_;
+        TG_WARN("non-finite-gradient trainer=gcnii design=" << g.name
+                << " epoch=" << epoch + 1 << " first-offender=" << bad
+                << " action=restore-last-good-state,skip-step");
+        good.restore(model_, adam_);
+        continue;
+      }
       adam_.step();
       good.capture(model_, adam_);
       epoch_loss += loss_value;

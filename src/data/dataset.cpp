@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "data/validate.hpp"
+#include "netlist/validate.hpp"
+#include "sta/validate.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -10,15 +13,41 @@
 
 namespace tg::data {
 
+namespace {
+
+/// Runs one invariant checker and escalates collected errors as a single
+/// aggregated DiagError naming the benchmark and stage.
+template <typename Check>
+void gate(const std::string& benchmark, const char* stage, Check&& check) {
+  if (validate_level() == ValidateLevel::kOff) return;
+  DiagSink sink;
+  check(sink);
+  sink.throw_if_errors(benchmark + ": " + stage);
+}
+
+}  // namespace
+
 DatasetGraph build_design_graph(const SuiteEntry& entry, const Library& library,
                                 const DatasetOptions& options) {
+  const std::string& name = entry.spec.name;
   auto design = std::make_shared<Design>(generate_design(entry.spec, library));
+  if (options.post_generate) options.post_generate(*design);
+  gate(name, "post-generate design check",
+       [&](DiagSink& s) { validate_design(*design, s); });
+
   place_design(*design, options.placer);
+  gate(name, "post-place check", [&](DiagSink& s) {
+    validate_placement(*design, s);
+    if (validate_level() == ValidateLevel::kFull) validate_design(*design, s);
+  });
 
   auto truth = std::make_shared<DesignRouting>(
       route_design(*design, options.truth_routing));
 
   const TimingGraph graph(*design);
+  gate(name, "timing graph check",
+       [&](DiagSink& s) { validate_timing_graph(graph, s); });
+
   StaResult sta = run_sta(graph, *truth, options.sta);
   design->set_period(
       calibrated_period(*design, sta.arrival, entry.clock_factor));
@@ -27,9 +56,13 @@ DatasetGraph build_design_graph(const SuiteEntry& entry, const Library& library,
   const double sta_seconds = sta.sta_seconds;
   sta = run_sta(graph, *truth, options.sta);
   sta.sta_seconds = sta_seconds;
+  gate(name, "STA finiteness check",
+       [&](DiagSink& s) { check_sta_finite(graph, sta, s); });
 
   DatasetGraph g = extract_graph(*design, graph, *truth, sta);
   g.is_test = entry.is_test;
+  gate(name, "extracted graph check",
+       [&](DiagSink& s) { validate_dataset_graph(g, s); });
   if (!options.slim) {
     g.design = design;
     g.truth_routing = truth;
@@ -59,22 +92,48 @@ SuiteDataset build_suite_dataset(const Library& library,
   // One task per benchmark. Every stochastic stage (generation, placement
   // jitter) draws from the entry's own seeded Rng stream, so each slot's
   // graph is independent of which thread or order ran it; suite order is
-  // preserved by writing results into pre-sized slots.
-  SuiteDataset out;
-  out.graphs.resize(selected.size());
+  // preserved by writing results into pre-sized slots. A benchmark whose
+  // pipeline throws is quarantined — the slot stays empty and the failure
+  // text is recorded — instead of aborting the whole suite build.
+  std::vector<DatasetGraph> slots(selected.size());
+  std::vector<char> failed(selected.size(), 0);
+  std::vector<std::string> reports(selected.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i) {
     tasks.push_back([&, i] {
-      out.graphs[i] = build_design_graph(selected[i], library, options);
+      try {
+        slots[i] = build_design_graph(selected[i], library, options);
+      } catch (const std::exception& e) {
+        failed[i] = 1;
+        reports[i] = e.what();
+      }
     });
   }
   parallel_invoke(tasks);
 
+  SuiteDataset out;
   for (std::size_t i = 0; i < selected.size(); ++i) {
-    (selected[i].is_test ? out.test_ids : out.train_ids)
-        .push_back(static_cast<int>(i));
+    if (failed[i]) {
+      out.quarantined.push_back(
+          QuarantinedBenchmark{selected[i].spec.name, reports[i]});
+      continue;
+    }
+    const int id = static_cast<int>(out.graphs.size());
+    (selected[i].is_test ? out.test_ids : out.train_ids).push_back(id);
+    out.graphs.push_back(std::move(slots[i]));
   }
+
+  if (!out.quarantined.empty()) {
+    TG_WARN("dataset: quarantined " << out.quarantined.size() << " of "
+                                    << selected.size() << " benchmarks:");
+    for (const QuarantinedBenchmark& q : out.quarantined) {
+      TG_WARN("  quarantined '" << q.name << "':\n" << q.report);
+    }
+  }
+  TG_CHECK_MSG(!out.graphs.empty(),
+               "all " << selected.size()
+                      << " benchmarks were quarantined — no usable data");
   return out;
 }
 

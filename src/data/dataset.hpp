@@ -6,6 +6,8 @@
 /// the DatasetGraph. This is the repository's equivalent of the paper's
 /// OpenROAD data-generation flow.
 
+#include <functional>
+
 #include "data/extract.hpp"
 #include "gen/suite.hpp"
 #include "place/placer.hpp"
@@ -20,20 +22,40 @@ struct DatasetOptions {
   /// Drop the Design/DesignRouting handles after extraction (saves memory
   /// when the baselines are not needed).
   bool slim = false;
+  /// Test/debug hook, run right after generation (before the first
+  /// validation gate). Used to inject corruption into a specific benchmark
+  /// when exercising the quarantine path.
+  std::function<void(Design&)> post_generate;
+};
+
+/// A benchmark that failed a pipeline stage during a suite build. The build
+/// records it (with its full diagnostic report) and carries on.
+struct QuarantinedBenchmark {
+  std::string name;
+  std::string report;  ///< aggregated diagnostics / error text
 };
 
 struct SuiteDataset {
   std::vector<DatasetGraph> graphs;  ///< paper order (14 train, 7 test)
   std::vector<int> train_ids;
   std::vector<int> test_ids;
+  /// Benchmarks dropped by quarantine; ids above index into `graphs` after
+  /// compaction, so they never reference a quarantined slot.
+  std::vector<QuarantinedBenchmark> quarantined;
 };
 
-/// Builds one benchmark end to end.
+/// Builds one benchmark end to end. Between stages the pipeline runs the
+/// DESIGN.md §8 invariant checkers at the TG_VALIDATE level and throws a
+/// DiagError carrying every collected diagnostic if a stage output is
+/// corrupt.
 [[nodiscard]] DatasetGraph build_design_graph(const SuiteEntry& entry,
                                               const Library& library,
                                               const DatasetOptions& options);
 
 /// Builds the whole 21-design suite (or the subset named in `only`).
+/// A benchmark failing any stage is quarantined — recorded with its
+/// diagnostics in `SuiteDataset::quarantined`, summarized in the log — and
+/// the build continues; only an all-benchmarks failure throws.
 [[nodiscard]] SuiteDataset build_suite_dataset(
     const Library& library, const DatasetOptions& options,
     const std::vector<std::string>& only = {});

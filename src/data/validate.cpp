@@ -1,0 +1,159 @@
+#include "data/validate.hpp"
+
+#include <cmath>
+
+namespace tg::data {
+
+namespace {
+
+/// Shape check for one tensor; returns false (and reports) on mismatch so
+/// dependent checks can bail early.
+bool check_shape(const nn::Tensor& t, const char* tname, std::int64_t rows,
+                 std::int64_t cols, const DatasetGraph& g, DiagSink& sink) {
+  if (!t.defined()) {
+    TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+            tname << " tensor is undefined");
+    return false;
+  }
+  if (t.rows() != rows || t.cols() != cols) {
+    TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+            tname << " has shape [" << t.rows() << ", " << t.cols()
+                  << "], expected [" << rows << ", " << cols << "]");
+    return false;
+  }
+  return true;
+}
+
+/// Finiteness sweep; reports the first offending row/column only.
+/// `allow_inf` admits ±Inf (RAT at unconstrained endpoints) but never NaN.
+void check_finite(const nn::Tensor& t, const char* tname, bool allow_inf,
+                  const DatasetGraph& g, DiagSink& sink) {
+  if (!t.defined()) return;
+  const std::span<const float> data = t.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float v = data[i];
+    const bool bad = allow_inf ? std::isnan(v) : !std::isfinite(v);
+    if (bad) {
+      const std::int64_t row = static_cast<std::int64_t>(i) / t.cols();
+      const std::int64_t col = static_cast<std::int64_t>(i) % t.cols();
+      TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+              tname << '[' << row << "][" << col << "] = " << v
+                    << " is not finite — first offender (node/edge " << row
+                    << ")");
+      return;
+    }
+  }
+}
+
+void check_edges(const std::vector<int>& src, const std::vector<int>& dst,
+                 const char* what, const DatasetGraph& g, DiagSink& sink) {
+  if (src.size() != dst.size()) {
+    TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+            what << " src/dst length mismatch (" << src.size() << " vs "
+                 << dst.size() << ")");
+    return;
+  }
+  const bool have_levels =
+      g.node_level.size() == static_cast<std::size_t>(g.num_nodes);
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    const int s = src[e];
+    const int t = dst[e];
+    if (s < 0 || s >= g.num_nodes || t < 0 || t >= g.num_nodes) {
+      TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+              what << " edge " << e << " endpoint out of range (" << s
+                   << " -> " << t << ", " << g.num_nodes << " nodes)");
+      return;  // a corrupted edge list usually has many; first is enough
+    }
+    if (have_levels && g.node_level[static_cast<std::size_t>(t)] <=
+                           g.node_level[static_cast<std::size_t>(s)]) {
+      TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+              what << " edge " << e << " does not increase level ("
+                   << g.node_level[static_cast<std::size_t>(s)] << " -> "
+                   << g.node_level[static_cast<std::size_t>(t)] << ")");
+      return;
+    }
+  }
+}
+
+void check_index_list(const std::vector<int>& ids, const char* what,
+                      const DatasetGraph& g, DiagSink& sink) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] < 0 || ids[i] >= g.num_nodes) {
+      TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+              what << '[' << i << "] = " << ids[i] << " out of range ("
+                   << g.num_nodes << " nodes)");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void validate_dataset_graph(const DatasetGraph& g, DiagSink& sink,
+                            ValidateLevel level) {
+  if (level == ValidateLevel::kOff) return;
+
+  if (g.num_nodes < 0) {
+    TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+            "negative node count " << g.num_nodes);
+    return;
+  }
+
+  // ---- shapes (paper layout: 10 node / 2 net-edge / 512 cell-edge) ------
+  check_shape(g.node_feat, "node_feat", g.num_nodes, kNodeFeatureDim, g, sink);
+  const std::int64_t num_net_edges = static_cast<std::int64_t>(g.net_src.size());
+  const std::int64_t num_cell_edges =
+      static_cast<std::int64_t>(g.cell_src.size());
+  check_shape(g.net_edge_feat, "net_edge_feat", num_net_edges,
+              kNetEdgeFeatureDim, g, sink);
+  check_shape(g.cell_edge_feat, "cell_edge_feat", num_cell_edges,
+              kCellEdgeFeatureDim, g, sink);
+  check_shape(g.net_delay, "net_delay", g.num_nodes, kNumCorners, g, sink);
+  check_shape(g.arrival, "arrival", g.num_nodes, kNumCorners, g, sink);
+  check_shape(g.slew, "slew", g.num_nodes, kNumCorners, g, sink);
+  check_shape(g.rat, "rat", g.num_nodes, kNumCorners, g, sink);
+  check_shape(g.cell_delay, "cell_delay", num_cell_edges, kNumCorners, g,
+              sink);
+
+  // ---- levelization ------------------------------------------------------
+  if (g.node_level.size() != static_cast<std::size_t>(g.num_nodes)) {
+    TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+            "node_level holds " << g.node_level.size() << " entries for "
+                                << g.num_nodes << " nodes");
+  } else {
+    for (std::size_t i = 0; i < g.node_level.size(); ++i) {
+      if (g.node_level[i] < 0 || g.node_level[i] >= g.num_levels) {
+        TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+                "node " << i << " level " << g.node_level[i]
+                        << " outside [0, " << g.num_levels << ")");
+        break;
+      }
+    }
+  }
+
+  // ---- edges + index lists ----------------------------------------------
+  check_edges(g.net_src, g.net_dst, "net", g, sink);
+  check_edges(g.cell_src, g.cell_dst, "cell", g, sink);
+  check_index_list(g.endpoints, "endpoints", g, sink);
+  check_index_list(g.net_sinks, "net_sinks", g, sink);
+
+  if (!(std::isfinite(g.clock_period) && g.clock_period > 0.0)) {
+    TG_DIAG(sink, Severity::kError, Stage::kExtract, SrcLoc{}, g.name,
+            "clock period " << g.clock_period
+                            << " is not a positive finite value");
+  }
+
+  // ---- full: finiteness sweep over every tensor -------------------------
+  if (level == ValidateLevel::kFull) {
+    check_finite(g.node_feat, "node_feat", false, g, sink);
+    check_finite(g.net_edge_feat, "net_edge_feat", false, g, sink);
+    check_finite(g.cell_edge_feat, "cell_edge_feat", false, g, sink);
+    check_finite(g.net_delay, "net_delay", false, g, sink);
+    check_finite(g.arrival, "arrival", false, g, sink);
+    check_finite(g.slew, "slew", false, g, sink);
+    check_finite(g.rat, "rat", true, g, sink);
+    check_finite(g.cell_delay, "cell_delay", false, g, sink);
+  }
+}
+
+}  // namespace tg::data

@@ -1,0 +1,19 @@
+#pragma once
+/// \file validate.hpp
+/// DatasetGraph (extracted hetero-graph) invariant checker (DESIGN.md §8).
+/// Fast level covers shape consistency (feature matrix dimensions vs. the
+/// paper's 10/2/512 layout), edge-index bounds, level monotonicity along
+/// every edge and index-list bounds; full adds the finiteness sweep over
+/// every feature/label tensor with first-offender row/column reporting.
+
+#include "data/hetero_graph.hpp"
+#include "util/diag.hpp"
+
+namespace tg::data {
+
+/// Checks one extracted graph. No-op at ValidateLevel::kOff. `sink`
+/// diagnostics carry object = graph name.
+void validate_dataset_graph(const DatasetGraph& graph, DiagSink& sink,
+                            ValidateLevel level = validate_level());
+
+}  // namespace tg::data

@@ -15,14 +15,6 @@ namespace {
 const char* kCornerTag[kNumCorners] = {"early_rise", "early_fall",
                                        "late_rise", "late_fall"};
 
-int corner_from_tag(const std::string& tag, int line) {
-  for (int c = 0; c < kNumCorners; ++c) {
-    if (tag == kCornerTag[c]) return c;
-  }
-  TG_CHECK_MSG(false, "line " << line << ": unknown corner tag " << tag);
-  return -1;
-}
-
 const char* sense_name(Sense s) {
   switch (s) {
     case Sense::kPositive: return "positive_unate";
@@ -30,14 +22,6 @@ const char* sense_name(Sense s) {
     case Sense::kNonUnate: return "non_unate";
   }
   return "non_unate";
-}
-
-Sense sense_from_name(const std::string& s, int line) {
-  if (s == "positive_unate") return Sense::kPositive;
-  if (s == "negative_unate") return Sense::kNegative;
-  if (s == "non_unate") return Sense::kNonUnate;
-  TG_CHECK_MSG(false, "line " << line << ": unknown timing_sense " << s);
-  return Sense::kNonUnate;
 }
 
 void write_axis(std::ostream& out, const char* name,
@@ -85,9 +69,14 @@ struct Token {
   int line = 0;
 };
 
+/// Thrown inside the parser to unwind to the nearest recovery point (the
+/// enclosing cell group); never escapes read_liberty.
+struct ParseBail {};
+
 class Lexer {
  public:
-  explicit Lexer(std::istream& in) : in_(in) {}
+  Lexer(std::istream& in, DiagSink& sink, const std::string& path)
+      : in_(in), sink_(sink), path_(path) {}
 
   Token next() {
     skip_ws_and_comments();
@@ -132,7 +121,10 @@ class Lexer {
         if (ch == '\n') ++line_;
         t.text.push_back(ch);
       }
-      TG_CHECK_MSG(in_.get() == '"', "line " << line_ << ": unterminated string");
+      if (in_.get() != '"') {
+        sink_.error(Stage::kParse, "unterminated string",
+                    SrcLoc{path_, line_});
+      }
       return t;
     }
     t.kind = Token::kPunct;
@@ -159,38 +151,78 @@ class Lexer {
           while (in_.peek() != '\n' && in_.peek() != EOF) in_.get();
           continue;
         }
-        TG_CHECK_MSG(false, "line " << line_ << ": stray '/'");
+        sink_.error(Stage::kParse, "stray '/' (not a comment)",
+                    SrcLoc{path_, line_});
+        continue;  // skip the character and keep lexing
       }
       return;
     }
   }
 
   std::istream& in_;
+  DiagSink& sink_;
+  std::string path_;
   int line_ = 1;
 };
 
-/// Recursive-descent parser over group(args) { statements } syntax.
+/// Recovering recursive-descent parser over group(args) { statements }
+/// syntax. Errors inside a cell group unwind via ParseBail; the library
+/// loop drops the broken cell and resynchronizes at the next `cell`
+/// keyword, so every malformed cell yields its diagnostics while the rest
+/// of the library still loads.
 class Parser {
  public:
-  explicit Parser(std::istream& in) : lex_(in) { advance(); }
+  Parser(std::istream& in, DiagSink& sink, const std::string& path)
+      : lex_(in, sink, path), sink_(sink), path_(path) {
+    advance();
+  }
 
   Library parse_library() {
-    expect_ident("library");
-    skip_args();
-    expect_punct("{");
     Library lib;
+    try {
+      expect_ident("library");
+      skip_args();
+      expect_punct("{");
+    } catch (const ParseBail&) {
+      sync_to_cell();
+    }
     while (!at_punct("}")) {
-      expect_kind(Token::kIdent);
+      if (at_end()) {
+        error("unexpected end of file (missing closing '}' of library)");
+        return lib;
+      }
+      if (cur_.kind != Token::kIdent) {
+        error("expected a statement keyword");
+        advance();
+        continue;
+      }
       const std::string head = cur_.text;
       if (head == "cell") {
+        const int cell_line = cur_.line;
         advance();
-        lib.add_cell(parse_cell());
+        try {
+          CellType cell = parse_cell();
+          try {
+            lib.add_cell(std::move(cell));
+          } catch (const CheckError& e) {
+            TG_DIAG(sink_, Severity::kError, Stage::kParse,
+                    (SrcLoc{path_, cell_line}), "",
+                    "cell rejected: " << e.what());
+          }
+        } catch (const ParseBail&) {
+          // Drop the malformed cell and resync; diagnostics were already
+          // reported at the failure point.
+          sync_to_cell();
+        }
       } else {
         advance();
-        skip_statement();
+        try {
+          skip_statement();
+        } catch (const ParseBail&) {
+          sync_to_cell();
+        }
       }
     }
-    expect_punct("}");
     return lib;
   }
 
@@ -202,6 +234,7 @@ class Parser {
     expect_punct(")");
     expect_punct("{");
     while (!at_punct("}")) {
+      check_not_end("cell group");
       expect_kind(Token::kIdent);
       const std::string head = cur_.text;
       advance();
@@ -212,15 +245,17 @@ class Parser {
       } else if (head == "function_class") {
         cell.function = take_attr_value();
       } else if (head == "drive_strength") {
-        cell.drive = static_cast<int>(take_attr_number());
+        cell.drive = static_cast<int>(take_attr_number("drive_strength"));
       } else if (head == "is_sequential") {
         cell.is_sequential = take_attr_value() == "true";
       } else if (starts_with(head, "setup_")) {
-        cell.setup[corner_from_tag(head.substr(6), cur_.line)] =
-            take_attr_number();
+        // Resolve the corner before consuming the attribute so a bad tag
+        // is diagnosed at the tag's own line.
+        const int corner = corner_from_tag(head.substr(6));
+        cell.setup[corner] = take_attr_number(head.c_str());
       } else if (starts_with(head, "hold_")) {
-        cell.hold[corner_from_tag(head.substr(5), cur_.line)] =
-            take_attr_number();
+        const int corner = corner_from_tag(head.substr(5));
+        cell.hold[corner] = take_attr_number(head.c_str());
       } else {
         skip_statement();
       }
@@ -245,6 +280,7 @@ class Parser {
     expect_punct(")");
     expect_punct("{");
     while (!at_punct("}")) {
+      check_not_end("pin group");
       expect_kind(Token::kIdent);
       const std::string head = cur_.text;
       advance();
@@ -254,8 +290,8 @@ class Parser {
       } else if (head == "clock") {
         pin.is_clock = take_attr_value() == "true";
       } else if (starts_with(head, "capacitance_")) {
-        pin.cap[corner_from_tag(head.substr(12), cur_.line)] =
-            take_attr_number();
+        const int corner = corner_from_tag(head.substr(12));
+        pin.cap[corner] = take_attr_number(head.c_str());
       } else {
         skip_statement();
       }
@@ -277,14 +313,15 @@ class Parser {
     arc.to_pin = find_pin_index(cell, to);
     expect_punct("{");
     while (!at_punct("}")) {
+      check_not_end("timing group");
       expect_kind(Token::kIdent);
       const std::string head = cur_.text;
       advance();
       if (head == "timing_sense") {
-        arc.sense = sense_from_name(take_attr_value(), cur_.line);
+        arc.sense = sense_from_name(take_attr_value());
       } else if (head == "cell_delay" || head == "output_slew") {
         expect_punct("(");
-        const int corner = corner_from_tag(take_name(), cur_.line);
+        const int corner = corner_from_tag(take_name());
         expect_punct(")");
         const NldmLut lut = parse_lut();
         (head == "cell_delay" ? arc.delay : arc.out_slew)[corner] = lut;
@@ -301,70 +338,132 @@ class Parser {
     std::array<double, kLutCells> values{};
     expect_punct("{");
     while (!at_punct("}")) {
+      check_not_end("LUT group");
       expect_kind(Token::kIdent);
       const std::string head = cur_.text;
       advance();
       expect_punct("(");
       if (head == "index_1" || head == "index_2") {
         auto& axis = head == "index_1" ? slew : load;
-        const std::vector<double> vals = take_number_string();
-        TG_CHECK_MSG(vals.size() == kLutDim,
-                     "line " << cur_.line << ": axis needs " << kLutDim
-                             << " values");
+        const std::vector<double> vals = take_number_string(head.c_str());
+        if (vals.size() != kLutDim) {
+          error(head + " axis holds " + std::to_string(vals.size()) +
+                " values, expected " + std::to_string(kLutDim));
+          throw ParseBail{};
+        }
         std::copy(vals.begin(), vals.end(), axis.begin());
         expect_punct(")");
         expect_punct(";");
       } else if (head == "values") {
         int row = 0;
         while (!at_punct(")")) {
-          const std::vector<double> vals = take_number_string();
-          TG_CHECK_MSG(vals.size() == kLutDim,
-                       "line " << cur_.line << ": row needs " << kLutDim
-                               << " values");
-          TG_CHECK_MSG(row < kLutDim, "too many value rows");
-          std::copy(vals.begin(), vals.end(),
-                    values.begin() + row * kLutDim);
+          check_not_end("LUT values");
+          const std::vector<double> vals = take_number_string("values");
+          if (vals.size() != kLutDim) {
+            error("LUT row holds " + std::to_string(vals.size()) +
+                  " values, expected " + std::to_string(kLutDim));
+            throw ParseBail{};
+          }
+          if (row >= kLutDim) {
+            error("too many LUT value rows");
+            throw ParseBail{};
+          }
+          std::copy(vals.begin(), vals.end(), values.begin() + row * kLutDim);
           ++row;
           if (at_punct(",")) advance();
         }
-        TG_CHECK_MSG(row == kLutDim, "expected " << kLutDim << " value rows");
+        if (row != kLutDim) {
+          error("LUT holds " + std::to_string(row) + " value rows, expected " +
+                std::to_string(kLutDim));
+          throw ParseBail{};
+        }
         expect_punct(")");
         expect_punct(";");
       } else {
-        TG_CHECK_MSG(false, "line " << cur_.line << ": unknown LUT field "
-                                    << head);
+        TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), head,
+                "unknown LUT field");
+        throw ParseBail{};
       }
     }
     expect_punct("}");
-    return NldmLut(slew, load, values);
+    // The LUT constructor enforces strictly-increasing finite axes; a
+    // mutated axis must become a diagnostic, not an escaping CheckError.
+    try {
+      return NldmLut(slew, load, values);
+    } catch (const CheckError& e) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), "",
+              "invalid LUT: " << e.what());
+      throw ParseBail{};
+    }
   }
 
-  static int find_pin_index(const CellType& cell, const std::string& name) {
+  int find_pin_index(const CellType& cell, const std::string& name) {
     for (std::size_t i = 0; i < cell.pins.size(); ++i) {
       if (cell.pins[i].name == name) return static_cast<int>(i);
     }
-    TG_CHECK_MSG(false, "timing arc references unknown pin " << name);
-    return -1;
+    TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), name,
+            "timing arc references unknown pin");
+    throw ParseBail{};
+  }
+
+  int corner_from_tag(const std::string& tag) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      if (tag == kCornerTag[c]) return c;
+    }
+    TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), tag,
+            "unknown corner tag");
+    throw ParseBail{};
+  }
+
+  Sense sense_from_name(const std::string& s) {
+    if (s == "positive_unate") return Sense::kPositive;
+    if (s == "negative_unate") return Sense::kNegative;
+    if (s == "non_unate") return Sense::kNonUnate;
+    TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), s,
+            "unknown timing_sense");
+    throw ParseBail{};
   }
 
   // ---- token helpers ------------------------------------------------
   void advance() { cur_ = lex_.next(); }
+  [[nodiscard]] bool at_end() const { return cur_.kind == Token::kEnd; }
   [[nodiscard]] bool at_punct(const char* p) const {
     return cur_.kind == Token::kPunct && cur_.text == p;
   }
+  [[nodiscard]] SrcLoc loc() const { return SrcLoc{path_, cur_.line}; }
+
+  void error(const std::string& msg) {
+    TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), "",
+            msg << (at_end() ? std::string(" (at end of file)")
+                             : ", got '" + cur_.text + "'"));
+  }
+
+  void check_not_end(const char* where) {
+    if (at_end()) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), "",
+              "unexpected end of file in " << where);
+      throw ParseBail{};
+    }
+  }
+
   void expect_kind(Token::Kind k) {
-    TG_CHECK_MSG(cur_.kind == k, "line " << cur_.line
-                                         << ": unexpected token '" << cur_.text
-                                         << "'");
+    if (cur_.kind != k) {
+      error("unexpected token");
+      throw ParseBail{};
+    }
   }
   void expect_punct(const char* p) {
-    TG_CHECK_MSG(at_punct(p), "line " << cur_.line << ": expected '" << p
-                                      << "', got '" << cur_.text << "'");
+    if (!at_punct(p)) {
+      error(std::string("expected '") + p + "'");
+      throw ParseBail{};
+    }
     advance();
   }
   void expect_ident(const char* name) {
-    TG_CHECK_MSG(cur_.kind == Token::kIdent && cur_.text == name,
-                 "line " << cur_.line << ": expected '" << name << "'");
+    if (!(cur_.kind == Token::kIdent && cur_.text == name)) {
+      error(std::string("expected '") + name + "'");
+      throw ParseBail{};
+    }
     advance();
   }
   std::string take_name() {
@@ -380,20 +479,32 @@ class Parser {
     expect_punct(";");
     return s;
   }
-  double take_attr_number() {
+  double take_attr_number(const char* what) {
     expect_punct(":");
     expect_kind(Token::kNumber);
-    const double v = std::strtod(cur_.text.c_str(), nullptr);
+    const double v = checked_number(cur_.text, what);
     advance();
     expect_punct(";");
     return v;
   }
+  /// strtod that must consume the whole token; garbage is a diagnostic,
+  /// not a silent zero.
+  double checked_number(const std::string& text, const char* what) {
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), text,
+              "non-numeric " << what << " entry");
+      throw ParseBail{};
+    }
+    return v;
+  }
   /// A quoted, comma-separated number list: "0.1, 0.2, ...".
-  std::vector<double> take_number_string() {
+  std::vector<double> take_number_string(const char* what) {
     expect_kind(Token::kString);
     std::vector<double> out;
     for (const std::string& field : split(cur_.text, ',')) {
-      out.push_back(std::strtod(std::string(trim(field)).c_str(), nullptr));
+      out.push_back(checked_number(std::string(trim(field)), what));
     }
     advance();
     return out;
@@ -401,13 +512,17 @@ class Parser {
   /// Skips the rest of an unrecognized statement (attribute or group).
   void skip_statement() {
     if (at_punct(":")) {
-      while (!at_punct(";")) advance();
+      while (!at_punct(";")) {
+        check_not_end("attribute");
+        advance();
+      }
       advance();
       return;
     }
     if (at_punct("(")) {
       int depth = 0;
       do {
+        check_not_end("argument list");
         if (at_punct("(")) ++depth;
         if (at_punct(")")) --depth;
         advance();
@@ -416,6 +531,7 @@ class Parser {
     if (at_punct("{")) {
       int depth = 0;
       do {
+        check_not_end("group");
         if (at_punct("{")) ++depth;
         if (at_punct("}")) --depth;
         advance();
@@ -426,11 +542,25 @@ class Parser {
   }
   void skip_args() {
     expect_punct("(");
-    while (!at_punct(")")) advance();
+    while (!at_punct(")")) {
+      check_not_end("argument list");
+      advance();
+    }
     advance();
+  }
+  /// Recovery: skip to the next top-level `cell` keyword (or EOF). Brace
+  /// depth is ignored on purpose — after a malformed cell the depth is
+  /// unknowable, and the `cell` keyword only appears at statement heads in
+  /// the subset we emit.
+  void sync_to_cell() {
+    while (!at_end() && !(cur_.kind == Token::kIdent && cur_.text == "cell")) {
+      advance();
+    }
   }
 
   Lexer lex_;
+  DiagSink& sink_;
+  std::string path_;
   Token cur_;
 };
 
@@ -485,15 +615,33 @@ void write_liberty_file(const Library& library, const std::string& path,
   TG_CHECK_MSG(out.good(), "write failure on " << path);
 }
 
-Library read_liberty(std::istream& in) {
-  Parser parser(in);
+Library read_liberty(std::istream& in, DiagSink& sink,
+                     const std::string& path) {
+  Parser parser(in, sink, path);
   return parser.parse_library();
 }
 
-Library read_liberty_file(const std::string& path) {
+Library read_liberty_file(const std::string& path, DiagSink& sink) {
   std::ifstream in(path);
-  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
-  return read_liberty(in);
+  if (!in.is_open()) {
+    sink.error(Stage::kParse, "cannot read file", SrcLoc{path, 0});
+    return Library{};
+  }
+  return read_liberty(in, sink, path);
+}
+
+Library read_liberty(std::istream& in) {
+  DiagSink sink;
+  Library lib = read_liberty(in, sink, "<liberty>");
+  sink.throw_if_errors("read_liberty");
+  return lib;
+}
+
+Library read_liberty_file(const std::string& path) {
+  DiagSink sink;
+  Library lib = read_liberty_file(path, sink);
+  sink.throw_if_errors("read_liberty " + path);
+  return lib;
 }
 
 }  // namespace tg

@@ -6,11 +6,17 @@
 /// the synthetic library with standard tooling habits and exchanging
 /// libraries between runs; round-trip is exact up to float printing
 /// precision.
+///
+/// Like verilog_io, the reader comes in two flavors (DESIGN.md §8): a
+/// sink-based recovering reader that diagnoses problems with file:line
+/// context and drops only the malformed cell (keeping the rest of the
+/// library), and legacy wrappers that throw one aggregated DiagError.
 
 #include <iosfwd>
 #include <string>
 
 #include "liberty/library.hpp"
+#include "util/diag.hpp"
 
 namespace tg {
 
@@ -21,8 +27,18 @@ void write_liberty(const Library& library, std::ostream& out,
 void write_liberty_file(const Library& library, const std::string& path,
                         const std::string& library_name = "timgnn_synth");
 
-/// Parses a library previously written by write_liberty. Throws CheckError
-/// with a line number on malformed input.
+/// Recovering reader: parses a library previously written by write_liberty.
+/// Malformed statements are reported into `sink` with `path`:line context
+/// and the offending token; a broken cell group is dropped whole (the
+/// parser resynchronizes at the next `cell (`) so one bad cell cannot take
+/// the library down. Never throws on malformed input.
+[[nodiscard]] Library read_liberty(std::istream& in, DiagSink& sink,
+                                   const std::string& path = "<liberty>");
+[[nodiscard]] Library read_liberty_file(const std::string& path,
+                                        DiagSink& sink);
+
+/// Legacy readers: throw DiagError (a CheckError) listing every diagnostic
+/// on malformed input.
 [[nodiscard]] Library read_liberty(std::istream& in);
 [[nodiscard]] Library read_liberty_file(const std::string& path);
 

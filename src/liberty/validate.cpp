@@ -1,0 +1,162 @@
+#include "liberty/validate.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tg {
+
+namespace {
+
+bool finite_per_corner(const PerCorner& v) {
+  for (int c = 0; c < kNumCorners; ++c) {
+    if (!std::isfinite(v[c])) return false;
+  }
+  return true;
+}
+
+/// Full-level LUT sweep: strictly increasing finite axes, finite values.
+void validate_lut(const NldmLut& lut, const char* what, int corner,
+                  const std::string& cell, DiagSink& sink) {
+  auto check_axis = [&](const std::array<double, kLutDim>& axis,
+                        const char* axis_name) {
+    for (int i = 0; i < kLutDim; ++i) {
+      if (!std::isfinite(axis[static_cast<std::size_t>(i)])) {
+        TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell,
+                what << " corner " << corner << ": " << axis_name << '['
+                     << i << "] is not finite");
+        return;
+      }
+    }
+    for (int i = 0; i + 1 < kLutDim; ++i) {
+      if (!(axis[static_cast<std::size_t>(i)] <
+            axis[static_cast<std::size_t>(i + 1)])) {
+        TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell,
+                what << " corner " << corner << ": " << axis_name
+                     << " not strictly increasing at index " << i << " ("
+                     << axis[static_cast<std::size_t>(i)] << " >= "
+                     << axis[static_cast<std::size_t>(i + 1)] << ")");
+        return;
+      }
+    }
+  };
+  check_axis(lut.slew_axis(), "slew axis");
+  check_axis(lut.load_axis(), "load axis");
+  for (int i = 0; i < kLutCells; ++i) {
+    if (!std::isfinite(lut.values()[static_cast<std::size_t>(i)])) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell,
+              what << " corner " << corner << ": value[" << i / kLutDim << ']'
+                   << '[' << i % kLutDim << "] is not finite");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void validate_cell(const CellType& cell, DiagSink& sink, ValidateLevel level) {
+  if (level == ValidateLevel::kOff) return;
+  const int npins = static_cast<int>(cell.pins.size());
+  auto cell_error = [&](const std::string& msg) {
+    sink.error(Stage::kLibrary, msg, {}, cell.name);
+  };
+
+  if (cell.name.empty()) sink.error(Stage::kLibrary, "cell has empty name");
+  if (cell.pins.empty()) cell_error("cell has no pins");
+
+  std::unordered_set<std::string> pin_names;
+  for (int i = 0; i < npins; ++i) {
+    const CellPin& pin = cell.pins[static_cast<std::size_t>(i)];
+    if (pin.name.empty()) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "pin " << i << " has empty name");
+    } else if (!pin_names.insert(pin.name).second) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "duplicate pin name '" << pin.name << "'");
+    }
+    if (!finite_per_corner(pin.cap)) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "pin '" << pin.name << "' has non-finite capacitance");
+    } else {
+      for (int c = 0; c < kNumCorners; ++c) {
+        if (pin.cap[c] < 0.0) {
+          TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+                  "pin '" << pin.name << "' has negative capacitance at corner "
+                          << c);
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t a = 0; a < cell.arcs.size(); ++a) {
+    const TimingArc& arc = cell.arcs[a];
+    if (arc.from_pin < 0 || arc.from_pin >= npins || arc.to_pin < 0 ||
+        arc.to_pin >= npins) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "timing arc " << a << " references pin index out of range ("
+                            << arc.from_pin << " -> " << arc.to_pin << ", "
+                            << npins << " pins)");
+      continue;
+    }
+    const CellPin& from = cell.pins[static_cast<std::size_t>(arc.from_pin)];
+    const CellPin& to = cell.pins[static_cast<std::size_t>(arc.to_pin)];
+    if (from.dir != PinDir::kInput) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "timing arc " << a << " starts at non-input pin '" << from.name
+                            << "'");
+    }
+    if (to.dir != PinDir::kOutput) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "timing arc " << a << " ends at non-output pin '" << to.name
+                            << "'");
+    }
+    if (level == ValidateLevel::kFull) {
+      for (int c = 0; c < kNumCorners; ++c) {
+        validate_lut(arc.delay[c], "cell_delay", c, cell.name, sink);
+        validate_lut(arc.out_slew[c], "output_slew", c, cell.name, sink);
+      }
+    }
+  }
+
+  if (cell.is_sequential) {
+    auto check_role = [&](int idx, const char* role, PinDir want_dir) {
+      if (idx < 0 || idx >= npins) {
+        TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+                "sequential cell " << role << " index " << idx
+                                   << " out of range");
+        return;
+      }
+      if (cell.pins[static_cast<std::size_t>(idx)].dir != want_dir) {
+        TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+                "sequential cell " << role << " pin '"
+                                   << cell.pins[static_cast<std::size_t>(idx)].name
+                                   << "' has wrong direction");
+      }
+    };
+    check_role(cell.clock_pin, "clock_pin", PinDir::kInput);
+    check_role(cell.data_pin, "data_pin", PinDir::kInput);
+    check_role(cell.output_pin, "output_pin", PinDir::kOutput);
+    if (!finite_per_corner(cell.setup) || !finite_per_corner(cell.hold)) {
+      cell_error("non-finite setup/hold constraint");
+    }
+  }
+}
+
+void validate_library(const Library& library, DiagSink& sink,
+                      ValidateLevel level) {
+  if (level == ValidateLevel::kOff) return;
+  if (library.num_cells() == 0) {
+    sink.error(Stage::kLibrary, "library has no cells");
+    return;
+  }
+  std::unordered_set<std::string> names;
+  for (const CellType& cell : library.cells()) {
+    if (!cell.name.empty() && !names.insert(cell.name).second) {
+      TG_DIAG(sink, Severity::kError, Stage::kLibrary, SrcLoc{}, cell.name,
+              "duplicate cell name");
+    }
+    validate_cell(cell, sink, level);
+  }
+}
+
+}  // namespace tg

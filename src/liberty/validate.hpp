@@ -1,0 +1,23 @@
+#pragma once
+/// \file validate.hpp
+/// Library invariant checker (DESIGN.md §8). Collects every violation into
+/// a DiagSink instead of throwing, so a whole library's problems surface in
+/// one pass. Fast level covers the O(cells) structural invariants (pin/arc
+/// index consistency, sequential roles, duplicate names); full adds the
+/// per-LUT sweeps (strictly monotone axes, finite values/axes, finite
+/// setup/hold/capacitance).
+
+#include "liberty/library.hpp"
+#include "util/diag.hpp"
+
+namespace tg {
+
+/// Checks one cell; `sink` receives diagnostics with object = cell name.
+void validate_cell(const CellType& cell, DiagSink& sink,
+                   ValidateLevel level = validate_level());
+
+/// Checks the whole library. No-op at ValidateLevel::kOff.
+void validate_library(const Library& library, DiagSink& sink,
+                      ValidateLevel level = validate_level());
+
+}  // namespace tg

@@ -1,7 +1,6 @@
 #include "netlist/design.hpp"
 
-#include <queue>
-
+#include "netlist/validate.hpp"
 #include "util/check.hpp"
 
 namespace tg {
@@ -159,62 +158,11 @@ bool Design::is_timing_root(PinId id) const {
 }
 
 void Design::validate() const {
-  for (NetId n = 0; n < num_nets(); ++n) {
-    const Net& net = nets_[n];
-    TG_CHECK_MSG(net.driver != kInvalidId, "net " << net.name << " undriven");
-    TG_CHECK_MSG(!net.sinks.empty(), "net " << net.name << " has no sinks");
-  }
-  for (PinId p = 0; p < num_pins(); ++p) {
-    TG_CHECK_MSG(pins_[p].net != kInvalidId,
-                 "pin " << pin_name(p) << " unconnected");
-  }
-  TG_CHECK_MSG(clock_net_ != kInvalidId || [this] {
-    for (const Instance& inst : instances_) {
-      if (library_->cell(inst.cell_id).is_sequential) return false;
-    }
-    return true;
-  }(), "design has flip-flops but no clock declared");
-
-  // Combinational-cycle check: Kahn over {net arcs (non-clock), cell arcs
-  // excluding CK->Q (FF outputs break cycles)}.
-  std::vector<int> indeg(static_cast<std::size_t>(num_pins()), 0);
-  auto for_each_arc = [&](auto&& fn) {
-    for (const Net& net : nets_) {
-      if (net.is_clock) continue;
-      for (PinId s : net.sinks) fn(net.driver, s);
-    }
-    for (const Instance& inst : instances_) {
-      const CellType& cell = library_->cell(inst.cell_id);
-      if (cell.is_sequential) continue;  // no comb arcs through FFs
-      for (const TimingArc& arc : cell.arcs) {
-        fn(inst.pins[static_cast<std::size_t>(arc.from_pin)],
-           inst.pins[static_cast<std::size_t>(arc.to_pin)]);
-      }
-    }
-  };
-  for_each_arc([&](PinId, PinId to) { ++indeg[static_cast<std::size_t>(to)]; });
-
-  // Build adjacency once for the traversal.
-  std::vector<std::vector<PinId>> adj(static_cast<std::size_t>(num_pins()));
-  for_each_arc(
-      [&](PinId from, PinId to) { adj[static_cast<std::size_t>(from)].push_back(to); });
-
-  std::queue<PinId> ready;
-  for (PinId p = 0; p < num_pins(); ++p) {
-    if (indeg[static_cast<std::size_t>(p)] == 0) ready.push(p);
-  }
-  int visited = 0;
-  while (!ready.empty()) {
-    const PinId p = ready.front();
-    ready.pop();
-    ++visited;
-    for (PinId q : adj[static_cast<std::size_t>(p)]) {
-      if (--indeg[static_cast<std::size_t>(q)] == 0) ready.push(q);
-    }
-  }
-  TG_CHECK_MSG(visited == num_pins(),
-               "combinational cycle detected: visited " << visited << " of "
-                                                        << num_pins());
+  // Full-level invariant sweep via the shared checker (DESIGN.md §8); all
+  // violations are collected and escalated as one aggregated DiagError.
+  DiagSink sink;
+  validate_design(*this, sink, ValidateLevel::kFull);
+  sink.throw_if_errors("design '" + name_ + "' validation");
 }
 
 DesignStats Design::stats() const {

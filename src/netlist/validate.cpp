@@ -1,0 +1,327 @@
+#include "netlist/validate.hpp"
+
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace tg {
+
+namespace {
+
+/// pin_name() that never throws on corrupted back-pointers.
+std::string safe_pin_name(const Design& d, PinId id) {
+  if (id < 0 || id >= d.num_pins()) return "pin#" + std::to_string(id);
+  const Pin& p = d.pins()[static_cast<std::size_t>(id)];
+  if (p.is_port) return p.port_name.empty() ? "pin#" + std::to_string(id)
+                                            : p.port_name;
+  if (p.inst < 0 || p.inst >= d.num_instances()) {
+    return "pin#" + std::to_string(id);
+  }
+  const Instance& inst = d.instances()[static_cast<std::size_t>(p.inst)];
+  const Library& lib = d.library();
+  if (inst.cell_id < 0 || inst.cell_id >= lib.num_cells()) {
+    return inst.name + "/pin#" + std::to_string(id);
+  }
+  const CellType& cell = lib.cells()[static_cast<std::size_t>(inst.cell_id)];
+  if (p.cell_pin < 0 ||
+      p.cell_pin >= static_cast<int>(cell.pins.size())) {
+    return inst.name + "/pin#" + std::to_string(id);
+  }
+  return inst.name + "/" + cell.pins[static_cast<std::size_t>(p.cell_pin)].name;
+}
+
+/// The library cell of an instance, or nullptr when cell_id is corrupt.
+const CellType* safe_cell(const Design& d, const Instance& inst) {
+  const Library& lib = d.library();
+  if (inst.cell_id < 0 || inst.cell_id >= lib.num_cells()) return nullptr;
+  return &lib.cells()[static_cast<std::size_t>(inst.cell_id)];
+}
+
+void check_structure(const Design& d, DiagSink& sink) {
+  const int num_pins = d.num_pins();
+  const int num_nets = d.num_nets();
+
+  // ---- instances: cell ids, pin lists, back-pointers --------------------
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const Instance& inst = d.instances()[static_cast<std::size_t>(i)];
+    const CellType* cell = safe_cell(d, inst);
+    if (cell == nullptr) {
+      TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, inst.name,
+              "instance references cell id " << inst.cell_id
+                                             << " out of range");
+      continue;
+    }
+    if (inst.pins.size() != cell->pins.size()) {
+      TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, inst.name,
+              "instance has " << inst.pins.size() << " pins but cell '"
+                              << cell->name << "' has " << cell->pins.size());
+    }
+    for (std::size_t k = 0; k < inst.pins.size(); ++k) {
+      const PinId p = inst.pins[k];
+      if (p < 0 || p >= num_pins) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, inst.name,
+                "instance pin slot " << k << " holds invalid pin id " << p);
+        continue;
+      }
+      const Pin& pin = d.pins()[static_cast<std::size_t>(p)];
+      if (pin.inst != i || pin.cell_pin != static_cast<int>(k)) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, inst.name,
+                "pin " << safe_pin_name(d, p)
+                       << " back-pointer disagrees with instance pin slot "
+                       << k);
+      }
+    }
+  }
+
+  // ---- pins: connectivity + port flags ----------------------------------
+  for (PinId p = 0; p < num_pins; ++p) {
+    const Pin& pin = d.pins()[static_cast<std::size_t>(p)];
+    if (pin.net == kInvalidId) {
+      sink.error(Stage::kNetlist, "pin is unconnected", {},
+                 safe_pin_name(d, p));
+      continue;
+    }
+    if (pin.net < 0 || pin.net >= num_nets) {
+      TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{},
+              safe_pin_name(d, p),
+              "pin references net id " << pin.net << " out of range");
+      continue;
+    }
+    if (pin.is_port && pin.port_name.empty()) {
+      sink.error(Stage::kNetlist, "port pin has empty name", {},
+                 "pin#" + std::to_string(p));
+    }
+    if (!pin.is_port && (pin.inst < 0 || pin.inst >= d.num_instances())) {
+      TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{},
+              "pin#" + std::to_string(p),
+              "instance pin references instance id " << pin.inst
+                                                     << " out of range");
+    }
+  }
+
+  // ---- nets: single driver, nonempty sinks, consistent membership -------
+  std::vector<int> driver_count(static_cast<std::size_t>(num_nets), 0);
+  for (PinId p = 0; p < num_pins; ++p) {
+    const Pin& pin = d.pins()[static_cast<std::size_t>(p)];
+    if (pin.drives_net && pin.net >= 0 && pin.net < num_nets) {
+      ++driver_count[static_cast<std::size_t>(pin.net)];
+    }
+  }
+  for (NetId n = 0; n < num_nets; ++n) {
+    const Net& net = d.nets()[static_cast<std::size_t>(n)];
+    const std::string net_name =
+        net.name.empty() ? "net#" + std::to_string(n) : net.name;
+    if (net.driver == kInvalidId) {
+      sink.error(Stage::kNetlist, "net is undriven", {}, net_name);
+    } else if (net.driver < 0 || net.driver >= num_pins) {
+      TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+              "net driver pin id " << net.driver << " out of range");
+    } else {
+      const Pin& drv = d.pins()[static_cast<std::size_t>(net.driver)];
+      if (drv.net != n) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+                "driver pin " << safe_pin_name(d, net.driver)
+                              << " is not connected to this net");
+      }
+      if (!drv.drives_net) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+                "driver pin " << safe_pin_name(d, net.driver)
+                              << " is not a driving pin");
+      }
+    }
+    if (driver_count[static_cast<std::size_t>(n)] > 1) {
+      TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+              "net is multi-driven (" << driver_count[static_cast<std::size_t>(n)]
+                                      << " driving pins)");
+    }
+    if (net.sinks.empty()) {
+      sink.error(Stage::kNetlist, "net is dangling (no sinks)", {}, net_name);
+    }
+    for (PinId s : net.sinks) {
+      if (s < 0 || s >= num_pins) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+                "sink pin id " << s << " out of range");
+        continue;
+      }
+      const Pin& sp = d.pins()[static_cast<std::size_t>(s)];
+      if (sp.net != n) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+                "sink pin " << safe_pin_name(d, s)
+                            << " is not connected to this net");
+      }
+      if (sp.drives_net) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, net_name,
+                "sink list contains driving pin " << safe_pin_name(d, s));
+      }
+    }
+  }
+
+  // ---- port lists --------------------------------------------------------
+  auto check_port_list = [&](const std::vector<PinId>& list, bool want_driver,
+                             const char* what) {
+    for (PinId p : list) {
+      if (p < 0 || p >= num_pins) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, "",
+                what << " list holds invalid pin id " << p);
+        continue;
+      }
+      const Pin& pin = d.pins()[static_cast<std::size_t>(p)];
+      if (!pin.is_port) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{},
+                safe_pin_name(d, p), what << " list holds a non-port pin");
+      }
+      if (pin.drives_net != want_driver) {
+        TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{},
+                safe_pin_name(d, p),
+                what << " port has wrong driving direction");
+      }
+    }
+  };
+  check_port_list(d.primary_inputs(), true, "primary input");
+  check_port_list(d.primary_outputs(), false, "primary output");
+
+  // ---- clock -------------------------------------------------------------
+  bool has_ffs = false;
+  for (const Instance& inst : d.instances()) {
+    const CellType* cell = safe_cell(d, inst);
+    if (cell != nullptr && cell->is_sequential) {
+      has_ffs = true;
+      break;
+    }
+  }
+  if (has_ffs && d.clock_net() == kInvalidId) {
+    sink.error(Stage::kNetlist, "design has flip-flops but no clock declared");
+  }
+  if (d.clock_net() != kInvalidId &&
+      (d.clock_net() < 0 || d.clock_net() >= num_nets)) {
+    TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, "",
+            "clock net id " << d.clock_net() << " out of range");
+  }
+  if (!(std::isfinite(d.clock_period()) && d.clock_period() > 0.0)) {
+    TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{}, "",
+            "clock period " << d.clock_period() << " is not a positive finite "
+            "value");
+  }
+}
+
+void check_duplicate_names(const Design& d, DiagSink& sink) {
+  std::unordered_set<std::string> inst_names;
+  for (const Instance& inst : d.instances()) {
+    if (!inst.name.empty() && !inst_names.insert(inst.name).second) {
+      sink.error(Stage::kNetlist, "duplicate instance name", {}, inst.name);
+    }
+  }
+  std::unordered_set<std::string> net_names;
+  for (const Net& net : d.nets()) {
+    if (!net.name.empty() && !net_names.insert(net.name).second) {
+      sink.error(Stage::kNetlist, "duplicate net name", {}, net.name);
+    }
+  }
+}
+
+void check_acyclic(const Design& d, DiagSink& sink) {
+  // Kahn over {non-clock net arcs, combinational cell arcs}; sequential
+  // cells break cycles at the FF boundary. Ids validated by
+  // check_structure; out-of-range ids are skipped here.
+  const int num_pins = d.num_pins();
+  std::vector<int> indeg(static_cast<std::size_t>(num_pins), 0);
+  std::vector<std::vector<PinId>> adj(static_cast<std::size_t>(num_pins));
+  auto add_arc = [&](PinId from, PinId to) {
+    if (from < 0 || from >= num_pins || to < 0 || to >= num_pins) return;
+    adj[static_cast<std::size_t>(from)].push_back(to);
+    ++indeg[static_cast<std::size_t>(to)];
+  };
+  for (const Net& net : d.nets()) {
+    if (net.is_clock || net.driver == kInvalidId) continue;
+    for (PinId s : net.sinks) add_arc(net.driver, s);
+  }
+  for (const Instance& inst : d.instances()) {
+    const CellType* cell = safe_cell(d, inst);
+    if (cell == nullptr || cell->is_sequential) continue;
+    for (const TimingArc& arc : cell->arcs) {
+      if (arc.from_pin < 0 ||
+          arc.from_pin >= static_cast<int>(inst.pins.size()) ||
+          arc.to_pin < 0 || arc.to_pin >= static_cast<int>(inst.pins.size())) {
+        continue;
+      }
+      add_arc(inst.pins[static_cast<std::size_t>(arc.from_pin)],
+              inst.pins[static_cast<std::size_t>(arc.to_pin)]);
+    }
+  }
+  std::queue<PinId> ready;
+  for (PinId p = 0; p < num_pins; ++p) {
+    if (indeg[static_cast<std::size_t>(p)] == 0) ready.push(p);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const PinId p = ready.front();
+    ready.pop();
+    ++visited;
+    for (PinId q : adj[static_cast<std::size_t>(p)]) {
+      if (--indeg[static_cast<std::size_t>(q)] == 0) ready.push(q);
+    }
+  }
+  if (visited != num_pins) {
+    // Name one pin on a cycle (any with residual in-degree) for the report.
+    PinId offender = kInvalidId;
+    for (PinId p = 0; p < num_pins; ++p) {
+      if (indeg[static_cast<std::size_t>(p)] > 0) {
+        offender = p;
+        break;
+      }
+    }
+    TG_DIAG(sink, Severity::kError, Stage::kNetlist, SrcLoc{},
+            offender == kInvalidId ? std::string()
+                                   : safe_pin_name(d, offender),
+            "combinational cycle detected: visited " << visited << " of "
+                                                     << num_pins << " pins");
+  }
+}
+
+}  // namespace
+
+void validate_placement(const Design& d, DiagSink& sink) {
+  const BBox& die = d.die();
+  if (!die.valid()) {
+    sink.error(Stage::kPlace, "die bounding box is empty or inverted");
+    return;
+  }
+  if (!(std::isfinite(die.xmin) && std::isfinite(die.ymin) &&
+        std::isfinite(die.xmax) && std::isfinite(die.ymax))) {
+    sink.error(Stage::kPlace, "die bounding box has non-finite coordinates");
+    return;
+  }
+  for (PinId p = 0; p < d.num_pins(); ++p) {
+    const Point& pos = d.pins()[static_cast<std::size_t>(p)].pos;
+    if (!(std::isfinite(pos.x) && std::isfinite(pos.y))) {
+      TG_DIAG(sink, Severity::kError, Stage::kPlace, SrcLoc{},
+              safe_pin_name(d, p),
+              "pin position (" << pos.x << ", " << pos.y << ") is not finite");
+    } else if (!die.contains(pos)) {
+      TG_DIAG(sink, Severity::kError, Stage::kPlace, SrcLoc{},
+              safe_pin_name(d, p),
+              "pin position (" << pos.x << ", " << pos.y
+                               << ") lies outside the die ["
+                               << die.xmin << ", " << die.ymin << "] x ["
+                               << die.xmax << ", " << die.ymax << "]");
+    }
+  }
+  for (const Instance& inst : d.instances()) {
+    if (!(std::isfinite(inst.pos.x) && std::isfinite(inst.pos.y))) {
+      TG_DIAG(sink, Severity::kError, Stage::kPlace, SrcLoc{}, inst.name,
+              "instance position is not finite");
+    }
+  }
+}
+
+void validate_design(const Design& d, DiagSink& sink, ValidateLevel level) {
+  if (level == ValidateLevel::kOff) return;
+  check_structure(d, sink);
+  if (level == ValidateLevel::kFull) {
+    check_duplicate_names(d, sink);
+    check_acyclic(d, sink);
+    if (d.die().valid()) validate_placement(d, sink);
+  }
+}
+
+}  // namespace tg

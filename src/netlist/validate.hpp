@@ -1,0 +1,26 @@
+#pragma once
+/// \file validate.hpp
+/// Design invariant checker (DESIGN.md §8). Collects every violation into a
+/// DiagSink: dangling/undriven/multi-driven nets, unconnected pins,
+/// inconsistent net/instance back-pointers, port-list consistency, missing
+/// clock. Full level adds duplicate-name detection, finite/in-die placement
+/// and the combinational-cycle sweep. Design::validate() keeps its
+/// throw-on-first-use contract by escalating this checker's report.
+
+#include "netlist/design.hpp"
+#include "util/diag.hpp"
+
+namespace tg {
+
+/// Checks the whole design. No-op at ValidateLevel::kOff. Robust against
+/// arbitrarily corrupted in-memory designs (fuzzed ids out of range etc.) —
+/// it reports instead of crashing.
+void validate_design(const Design& design, DiagSink& sink,
+                     ValidateLevel level = validate_level());
+
+/// Placement-specific subset (finite coordinates, pins/instances inside the
+/// die). Run after a placement stage or read_placement; included in
+/// validate_design at full level.
+void validate_placement(const Design& design, DiagSink& sink);
+
+}  // namespace tg

@@ -1,9 +1,12 @@
 #include "netlist/verilog_io.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -91,10 +94,16 @@ void write_verilog_file(const Design& design, const std::string& path) {
 
 namespace {
 
-/// Minimal Verilog tokenizer for the subset the writer emits.
+/// Thrown inside the parser to unwind to the nearest statement-level
+/// recovery point; never escapes read_verilog.
+struct ParseBail {};
+
+/// Minimal Verilog tokenizer for the subset the writer emits. Lexical
+/// problems (stray characters) are reported and skipped, never thrown.
 class VLexer {
  public:
-  explicit VLexer(std::istream& in) : in_(in) {}
+  VLexer(std::istream& in, DiagSink& sink, const std::string& path)
+      : in_(in), sink_(sink), path_(path) {}
 
   struct Token {
     std::string text;  // empty = EOF
@@ -118,8 +127,6 @@ class VLexer {
     return t;
   }
 
-  [[nodiscard]] int line() const { return line_; }
-
  private:
   void skip() {
     for (;;) {
@@ -135,149 +142,362 @@ class VLexer {
           while (in_.peek() != '\n' && in_.peek() != EOF) in_.get();
           continue;
         }
-        TG_CHECK_MSG(false, "line " << line_ << ": unexpected '/'");
+        sink_.error(Stage::kParse, "stray '/' (not a comment)",
+                    SrcLoc{path_, line_});
+        continue;  // skip the character and keep lexing
       }
       return;
     }
   }
 
   std::istream& in_;
+  DiagSink& sink_;
+  std::string path_;
   int line_ = 1;
+};
+
+/// Recovering structural-Verilog parser: errors become diagnostics with
+/// file:line + offending token, and parsing resumes at the next statement
+/// boundary (';', 'endmodule' or EOF).
+class VParser {
+ public:
+  VParser(std::istream& in, const Library* library, DiagSink& sink,
+          const std::string& path)
+      : lex_(in, sink, path), library_(library), sink_(sink), path_(path) {
+    tok_ = lex_.next();
+  }
+
+  Design parse() {
+    std::string clock_net_name;
+    double clock_period = 0.0;
+    if (tok_.text == "`timgnn_clock") {
+      advance();
+      clock_net_name = tok_.text;
+      advance();
+      clock_period = take_double("clock period");
+    }
+
+    // Resync past any leading garbage to the module header.
+    if (tok_.text != "module") {
+      error("expected 'module'");
+      while (!at_end() && tok_.text != "module") advance();
+    }
+    if (at_end()) {
+      error("no module declaration found");
+      return Design("<invalid>", library_);
+    }
+    advance();  // 'module'
+
+    std::string module_name = "<anonymous>";
+    if (is_identifier(tok_.text)) {
+      module_name = tok_.text;
+      advance();
+    } else {
+      error("expected module name");
+    }
+    Design design(std::move(module_name), library_);
+
+    try {
+      expect("(");
+      while (tok_.text != ")") {
+        if (at_end()) {
+          error("unexpected end of file in port list");
+          return design;
+        }
+        advance();  // port order is re-derived from input/output statements
+      }
+      expect(")");
+      expect(";");
+    } catch (const ParseBail&) {
+      sync_statement();
+    }
+
+    // Statement loop with per-statement recovery.
+    while (tok_.text != "endmodule") {
+      if (at_end()) {
+        error("unexpected end of file in module body (missing 'endmodule')");
+        break;
+      }
+      try {
+        parse_statement(design);
+      } catch (const ParseBail&) {
+        sync_statement();
+      }
+    }
+
+    if (!clock_net_name.empty()) {
+      auto it = nets_.find(clock_net_name);
+      if (it == nets_.end()) {
+        error("clock directive names unknown net '" + clock_net_name + "'");
+      } else if (!(std::isfinite(clock_period) && clock_period > 0.0)) {
+        TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), clock_net_name,
+                "clock period " << clock_period
+                                << " is not a positive finite value");
+      } else {
+        design.set_clock(it->second, clock_period);
+      }
+    }
+    return design;
+  }
+
+ private:
+  // ---- statements ----------------------------------------------------
+  void parse_statement(Design& design) {
+    if (tok_.text == "input" || tok_.text == "output") {
+      const bool is_input = tok_.text == "input";
+      advance();
+      while (tok_.text != ";") {
+        if (at_end()) {
+          error("unexpected end of file in port declaration");
+          throw ParseBail{};
+        }
+        if (tok_.text != ",") {
+          if (!is_identifier(tok_.text)) {
+            error("expected port name");
+            throw ParseBail{};
+          }
+          declare_port(design, tok_.text, is_input);
+        }
+        advance();
+      }
+      expect(";");
+    } else if (tok_.text == "wire") {
+      advance();
+      while (tok_.text != ";") {
+        if (at_end()) {
+          error("unexpected end of file in wire declaration");
+          throw ParseBail{};
+        }
+        if (tok_.text != ",") {
+          if (!is_identifier(tok_.text)) {
+            error("expected wire name");
+            throw ParseBail{};
+          }
+          if (nets_.count(tok_.text)) {
+            TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), tok_.text,
+                    "duplicate wire declaration");
+          } else {
+            nets_[tok_.text] = design.add_net(tok_.text);
+          }
+        }
+        advance();
+      }
+      expect(";");
+    } else if (tok_.text == "assign") {
+      parse_assign(design);
+    } else if (tok_.text == "module") {
+      error("duplicate 'module' declaration");
+      throw ParseBail{};
+    } else if (is_identifier(tok_.text)) {
+      parse_instance(design);
+    } else {
+      error("unexpected token");
+      throw ParseBail{};
+    }
+  }
+
+  void parse_assign(Design& design) {
+    advance();  // 'assign'
+    const std::string lhs = tok_.text;
+    advance();
+    expect("=");
+    const std::string rhs = tok_.text;
+    advance();
+    expect(";");
+    if (auto it = input_ports_.find(rhs); it != input_ports_.end()) {
+      auto net = nets_.find(lhs);
+      if (net == nets_.end()) {
+        TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), lhs,
+                "assign to unknown wire");
+        return;
+      }
+      connect(design, net->second, it->second);
+    } else if (auto ot = output_ports_.find(lhs); ot != output_ports_.end()) {
+      auto net = nets_.find(rhs);
+      if (net == nets_.end()) {
+        TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), rhs,
+                "assign from unknown wire");
+        return;
+      }
+      connect(design, net->second, ot->second);
+    } else {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), lhs,
+              "unsupported assign (neither side is a declared port)");
+    }
+  }
+
+  void parse_instance(Design& design) {
+    const std::string cell_name = tok_.text;
+    const int cell_id = library_->find_cell(cell_name);
+    if (cell_id < 0) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), cell_name,
+              "unknown cell");
+      throw ParseBail{};
+    }
+    advance();
+    if (!is_identifier(tok_.text)) {
+      error("expected instance name");
+      throw ParseBail{};
+    }
+    const std::string inst_name = tok_.text;
+    advance();
+    const InstId inst = design.add_instance(inst_name, cell_id);
+    const CellType& cell = library_->cell(cell_id);
+    expect("(");
+    while (tok_.text != ")") {
+      if (at_end()) {
+        error("unexpected end of file in instance connection list");
+        throw ParseBail{};
+      }
+      if (tok_.text == ",") {
+        advance();
+        continue;
+      }
+      if (tok_.text.size() <= 1 || tok_.text[0] != '.') {
+        error("expected .PIN(net) connection");
+        throw ParseBail{};
+      }
+      const std::string pin_name = tok_.text.substr(1);
+      advance();
+      expect("(");
+      const std::string net_name = tok_.text;
+      advance();
+      expect(")");
+      const int cell_pin = cell.find_pin(pin_name);
+      if (cell_pin < 0) {
+        TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), inst_name,
+                "cell '" << cell_name << "' has no pin '" << pin_name << "'");
+        continue;
+      }
+      auto net = nets_.find(net_name);
+      if (net == nets_.end()) {
+        TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), inst_name,
+                "connection to unknown net '" << net_name << "'");
+        continue;
+      }
+      connect(design, net->second,
+              design.instance(inst).pins[static_cast<std::size_t>(cell_pin)]);
+    }
+    expect(")");
+    expect(";");
+  }
+
+  // ---- helpers -------------------------------------------------------
+  void declare_port(Design& design, const std::string& name, bool is_input) {
+    auto& table = is_input ? input_ports_ : output_ports_;
+    if (input_ports_.count(name) || output_ports_.count(name)) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), name,
+              "duplicate port declaration");
+      return;
+    }
+    table[name] = is_input ? design.add_primary_input(name)
+                           : design.add_primary_output(name);
+  }
+
+  /// Design::connect throws CheckError on structural violations (duplicate
+  /// driver, doubly connected pin); convert those into diagnostics so one
+  /// bad net doesn't kill the parse.
+  void connect(Design& design, NetId net, PinId pin) {
+    try {
+      design.connect(net, pin);
+    } catch (const CheckError& e) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), "",
+              "invalid connection: " << e.what());
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return tok_.text.empty(); }
+  [[nodiscard]] SrcLoc loc() const { return SrcLoc{path_, tok_.line}; }
+  void advance() { tok_ = lex_.next(); }
+
+  static bool is_identifier(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void error(const std::string& msg) {
+    TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), "",
+            msg << (at_end() ? std::string(" (at end of file)")
+                             : ", got '" + tok_.text + "'"));
+  }
+
+  void expect(const char* what) {
+    if (tok_.text != what) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), "",
+              "expected '" << what << "', got '"
+                           << (at_end() ? "<eof>" : tok_.text) << "'");
+      throw ParseBail{};
+    }
+    advance();
+  }
+
+  double take_double(const char* what) {
+    char* end = nullptr;
+    const double v = std::strtod(tok_.text.c_str(), &end);
+    if (tok_.text.empty() || end != tok_.text.c_str() + tok_.text.size()) {
+      TG_DIAG(sink_, Severity::kError, Stage::kParse, loc(), tok_.text,
+              "expected a number for " << what);
+      advance();
+      return 0.0;
+    }
+    advance();
+    return v;
+  }
+
+  /// Recovery: consume tokens until just past the next ';', or stop at
+  /// 'endmodule' / EOF.
+  void sync_statement() {
+    while (!at_end() && tok_.text != ";" && tok_.text != "endmodule") {
+      advance();
+    }
+    if (tok_.text == ";") advance();
+  }
+
+  VLexer lex_;
+  const Library* library_;
+  DiagSink& sink_;
+  std::string path_;
+  VLexer::Token tok_;
+  std::map<std::string, PinId> input_ports_, output_ports_;
+  std::map<std::string, NetId> nets_;
 };
 
 }  // namespace
 
-Design read_verilog(std::istream& in, const Library* library) {
+Design read_verilog(std::istream& in, const Library* library, DiagSink& sink,
+                    const std::string& path) {
   TG_CHECK(library != nullptr);
-  VLexer lex(in);
-  auto tok = lex.next();
+  VParser parser(in, library, sink, path);
+  return parser.parse();
+}
 
-  std::string clock_net_name;
-  double clock_period = 0.0;
-  if (tok.text == "`timgnn_clock") {
-    clock_net_name = lex.next().text;
-    clock_period = std::strtod(lex.next().text.c_str(), nullptr);
-    tok = lex.next();
+Design read_verilog_file(const std::string& path, const Library* library,
+                         DiagSink& sink) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    sink.error(Stage::kParse, "cannot read file", SrcLoc{path, 0});
+    return Design("<invalid>", library);
   }
+  return read_verilog(in, library, sink, path);
+}
 
-  auto expect = [&](const char* what) {
-    TG_CHECK_MSG(tok.text == what, "line " << tok.line << ": expected '"
-                                           << what << "', got '" << tok.text
-                                           << "'");
-    tok = lex.next();
-  };
-
-  expect("module");
-  Design design(tok.text, library);
-  tok = lex.next();
-  expect("(");
-  std::vector<std::string> port_order;
-  while (tok.text != ")") {
-    if (tok.text != ",") port_order.push_back(tok.text);
-    tok = lex.next();
-  }
-  expect(")");
-  expect(";");
-
-  std::map<std::string, PinId> input_ports, output_ports;
-  std::map<std::string, NetId> nets;
-  // First pass collects declarations and instances in order.
-  while (tok.text != "endmodule") {
-    TG_CHECK_MSG(!tok.text.empty(), "unexpected end of file in module body");
-    if (tok.text == "input" || tok.text == "output") {
-      const bool is_input = tok.text == "input";
-      tok = lex.next();
-      while (tok.text != ";") {
-        if (tok.text != ",") {
-          if (is_input) {
-            input_ports[tok.text] = design.add_primary_input(tok.text);
-          } else {
-            output_ports[tok.text] = design.add_primary_output(tok.text);
-          }
-        }
-        tok = lex.next();
-      }
-      expect(";");
-    } else if (tok.text == "wire") {
-      tok = lex.next();
-      while (tok.text != ";") {
-        if (tok.text != ",") {
-          nets[tok.text] =
-              design.add_net(tok.text, tok.text == clock_net_name);
-        }
-        tok = lex.next();
-      }
-      expect(";");
-    } else if (tok.text == "assign") {
-      // Either "assign <net> = <input_port>;" or
-      //        "assign <output_port> = <net>;".
-      tok = lex.next();
-      const std::string lhs = tok.text;
-      tok = lex.next();
-      expect("=");
-      const std::string rhs = tok.text;
-      tok = lex.next();
-      expect(";");
-      if (auto it = input_ports.find(rhs); it != input_ports.end()) {
-        TG_CHECK_MSG(nets.count(lhs), "assign to unknown wire " << lhs);
-        design.connect(nets.at(lhs), it->second);
-      } else if (auto ot = output_ports.find(lhs); ot != output_ports.end()) {
-        TG_CHECK_MSG(nets.count(rhs), "assign from unknown wire " << rhs);
-        design.connect(nets.at(rhs), ot->second);
-      } else {
-        TG_CHECK_MSG(false, "line " << tok.line
-                                    << ": unsupported assign " << lhs);
-      }
-    } else {
-      // Instance: <CELL> <name> ( .PIN(net), ... );
-      const std::string cell_name = tok.text;
-      const int cell_id = library->find_cell(cell_name);
-      TG_CHECK_MSG(cell_id >= 0,
-                   "line " << tok.line << ": unknown cell " << cell_name);
-      tok = lex.next();
-      const std::string inst_name = tok.text;
-      tok = lex.next();
-      const InstId inst = design.add_instance(inst_name, cell_id);
-      const CellType& cell = library->cell(cell_id);
-      expect("(");
-      while (tok.text != ")") {
-        if (tok.text == ",") {
-          tok = lex.next();
-          continue;
-        }
-        TG_CHECK_MSG(tok.text.size() > 1 && tok.text[0] == '.',
-                     "line " << tok.line << ": expected .PIN, got "
-                             << tok.text);
-        const std::string pin_name = tok.text.substr(1);
-        tok = lex.next();
-        expect("(");
-        const std::string net_name = tok.text;
-        tok = lex.next();
-        expect(")");
-        const int cell_pin = cell.find_pin(pin_name);
-        TG_CHECK_MSG(cell_pin >= 0, "cell " << cell_name << " has no pin "
-                                            << pin_name);
-        TG_CHECK_MSG(nets.count(net_name), "unknown net " << net_name);
-        design.connect(nets.at(net_name),
-                       design.instance(inst).pins[static_cast<std::size_t>(cell_pin)]);
-      }
-      expect(")");
-      expect(";");
-    }
-  }
-
-  if (!clock_net_name.empty()) {
-    TG_CHECK_MSG(nets.count(clock_net_name),
-                 "clock directive names unknown net " << clock_net_name);
-    design.set_clock(nets.at(clock_net_name), clock_period);
-  }
+Design read_verilog(std::istream& in, const Library* library) {
+  DiagSink sink;
+  Design design = read_verilog(in, library, sink, "<verilog>");
+  sink.throw_if_errors("read_verilog");
   return design;
 }
 
 Design read_verilog_file(const std::string& path, const Library* library) {
-  std::ifstream in(path);
-  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
-  return read_verilog(in, library);
+  DiagSink sink;
+  Design design = read_verilog_file(path, library, sink);
+  sink.throw_if_errors("read_verilog " + path);
+  return design;
 }
 
 void write_placement(const Design& design, std::ostream& out) {
@@ -315,7 +535,34 @@ void write_placement_file(const Design& design, const std::string& path) {
   write_placement(design, out);
 }
 
-void read_placement(Design& design, std::istream& in) {
+namespace {
+
+/// One "<kind> <name> <x> <y>" placement record; reports and returns false
+/// on malformed fields (missing columns, non-numeric or non-finite
+/// coordinates).
+bool parse_record(std::istringstream& ls, const std::string& kind,
+                  const std::string& file, int lineno, DiagSink& sink,
+                  std::string& name, double& x, double& y) {
+  ls >> name >> x >> y;
+  if (!ls) {
+    TG_DIAG(sink, Severity::kError, Stage::kParse, (SrcLoc{file, lineno}),
+            name, "bad " << kind << " record (expected '" << kind
+                         << " <name> <x> <y>')");
+    return false;
+  }
+  if (!(std::isfinite(x) && std::isfinite(y))) {
+    TG_DIAG(sink, Severity::kError, Stage::kParse, (SrcLoc{file, lineno}),
+            name, kind << " position (" << x << ", " << y
+                       << ") is not finite");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void read_placement(Design& design, std::istream& in, DiagSink& sink,
+                    const std::string& path) {
   std::map<std::string, InstId> by_name;
   for (InstId i = 0; i < design.num_instances(); ++i) {
     by_name[design.instance(i).name] = i;
@@ -330,6 +577,11 @@ void read_placement(Design& design, std::istream& in) {
     }
   }
 
+  // Duplicate-record detection: the writer emits each record once; a
+  // repeated inst/port/pin (or a second die) is diagnosed and the duplicate
+  // ignored, so the first record wins deterministically.
+  std::set<std::string> seen_inst, seen_port, seen_pin;
+
   std::string line;
   int lineno = 0;
   bool saw_die = false;
@@ -339,11 +591,21 @@ void read_placement(Design& design, std::istream& in) {
     std::istringstream ls{line};
     std::string kind;
     ls >> kind;
+    const SrcLoc here{path, lineno};
     if (kind == "die") {
+      if (saw_die) {
+        sink.error(Stage::kParse, "duplicate die record (first record wins)",
+                   here);
+        continue;
+      }
       double x0, y0, x1, y1;
       ls >> x0 >> y0 >> x1 >> y1;
-      TG_CHECK_MSG(ls && x0 <= x1 && y0 <= y1,
-                   "line " << lineno << ": bad die box");
+      if (!ls || !(std::isfinite(x0) && std::isfinite(y0) &&
+                   std::isfinite(x1) && std::isfinite(y1)) ||
+          x0 > x1 || y0 > y1) {
+        sink.error(Stage::kParse, "bad die box", here);
+        continue;
+      }
       BBox die;
       die.expand(Point{x0, y0});
       die.expand(Point{x1, y1});
@@ -352,11 +614,17 @@ void read_placement(Design& design, std::istream& in) {
     } else if (kind == "inst") {
       std::string name;
       double x, y;
-      ls >> name >> x >> y;
-      TG_CHECK_MSG(ls, "line " << lineno << ": bad inst line");
+      if (!parse_record(ls, kind, path, lineno, sink, name, x, y)) continue;
       auto it = by_name.find(name);
-      TG_CHECK_MSG(it != by_name.end(),
-                   "line " << lineno << ": unknown instance " << name);
+      if (it == by_name.end()) {
+        sink.error(Stage::kParse, "unknown instance", here, name);
+        continue;
+      }
+      if (!seen_inst.insert(name).second) {
+        sink.error(Stage::kParse,
+                   "duplicate inst record (first record wins)", here, name);
+        continue;
+      }
       Instance& inst = design.instance(it->second);
       const double dx = x - inst.pos.x;
       const double dy = y - inst.pos.y;
@@ -368,32 +636,63 @@ void read_placement(Design& design, std::istream& in) {
     } else if (kind == "port") {
       std::string name;
       double x, y;
-      ls >> name >> x >> y;
-      TG_CHECK_MSG(ls, "line " << lineno << ": bad port line");
+      if (!parse_record(ls, kind, path, lineno, sink, name, x, y)) continue;
       auto it = ports.find(name);
-      TG_CHECK_MSG(it != ports.end(),
-                   "line " << lineno << ": unknown port " << name);
+      if (it == ports.end()) {
+        sink.error(Stage::kParse, "unknown port", here, name);
+        continue;
+      }
+      if (!seen_port.insert(name).second) {
+        sink.error(Stage::kParse,
+                   "duplicate port record (first record wins)", here, name);
+        continue;
+      }
       design.pin(it->second).pos = Point{x, y};
     } else if (kind == "pin") {
       std::string name;
       double x, y;
-      ls >> name >> x >> y;
-      TG_CHECK_MSG(ls, "line " << lineno << ": bad pin line");
+      if (!parse_record(ls, kind, path, lineno, sink, name, x, y)) continue;
       auto it = inst_pins.find(name);
-      TG_CHECK_MSG(it != inst_pins.end(),
-                   "line " << lineno << ": unknown pin " << name);
+      if (it == inst_pins.end()) {
+        sink.error(Stage::kParse, "unknown pin", here, name);
+        continue;
+      }
+      if (!seen_pin.insert(name).second) {
+        sink.error(Stage::kParse, "duplicate pin record (first record wins)",
+                   here, name);
+        continue;
+      }
       design.pin(it->second).pos = Point{x, y};
     } else {
-      TG_CHECK_MSG(false, "line " << lineno << ": unknown record " << kind);
+      sink.error(Stage::kParse, "unknown record kind", here, kind);
     }
   }
-  TG_CHECK_MSG(saw_die, "placement file lacks a die record");
+  if (!saw_die) {
+    sink.error(Stage::kParse, "placement file lacks a die record",
+               SrcLoc{path, lineno});
+  }
+}
+
+void read_placement_file(Design& design, const std::string& path,
+                         DiagSink& sink) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    sink.error(Stage::kParse, "cannot read file", SrcLoc{path, 0});
+    return;
+  }
+  read_placement(design, in, sink, path);
+}
+
+void read_placement(Design& design, std::istream& in) {
+  DiagSink sink;
+  read_placement(design, in, sink, "<placement>");
+  sink.throw_if_errors("read_placement");
 }
 
 void read_placement_file(Design& design, const std::string& path) {
-  std::ifstream in(path);
-  TG_CHECK_MSG(in.is_open(), "cannot read " << path);
-  read_placement(design, in);
+  DiagSink sink;
+  read_placement_file(design, path, sink);
+  sink.throw_if_errors("read_placement " + path);
 }
 
 }  // namespace tg

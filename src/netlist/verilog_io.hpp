@@ -6,11 +6,21 @@
 /// against a Library. Clock declaration travels in a `timgnn_clock
 /// directive; placement travels in a sidecar ".pl" file (one pin/instance
 /// per line), since positions are not part of Verilog.
+///
+/// Readers come in two flavors (DESIGN.md §8):
+///  - sink-based: recover at statement boundaries, collect *every* problem
+///    into the DiagSink with file:line context and the offending token, and
+///    return the (possibly partial) result — never throw on malformed
+///    input. Callers inspect the sink and usually run validate_design.
+///  - legacy: parse with an internal sink and throw one aggregated
+///    DiagError (a CheckError) listing all diagnostics if any error was
+///    reported.
 
 #include <iosfwd>
 #include <string>
 
 #include "netlist/design.hpp"
+#include "util/diag.hpp"
 
 namespace tg {
 
@@ -18,9 +28,18 @@ namespace tg {
 void write_verilog(const Design& design, std::ostream& out);
 void write_verilog_file(const Design& design, const std::string& path);
 
-/// Parses a netlist previously written by write_verilog; instance cell
-/// names are resolved against `library`. Throws CheckError with a line
-/// number on malformed input or unknown cells.
+/// Recovering reader: parses a netlist, resolving instance cell names
+/// against `library`. All problems are reported into `sink` with
+/// `path`:line context; parsing continues at the next statement boundary.
+[[nodiscard]] Design read_verilog(std::istream& in, const Library* library,
+                                  DiagSink& sink,
+                                  const std::string& path = "<verilog>");
+[[nodiscard]] Design read_verilog_file(const std::string& path,
+                                       const Library* library,
+                                       DiagSink& sink);
+
+/// Legacy readers: throw DiagError (a CheckError) listing every diagnostic
+/// on malformed input or unknown cells.
 [[nodiscard]] Design read_verilog(std::istream& in, const Library* library);
 [[nodiscard]] Design read_verilog_file(const std::string& path,
                                        const Library* library);
@@ -29,7 +48,16 @@ void write_verilog_file(const Design& design, const std::string& path);
 void write_placement(const Design& design, std::ostream& out);
 void write_placement_file(const Design& design, const std::string& path);
 
-/// Applies a placement by name onto a structurally identical design.
+/// Recovering reader: applies a placement by name onto a structurally
+/// identical design. Bad records are reported into `sink` (with the file
+/// path, line and record text) and skipped; duplicate die/inst/port/pin
+/// records are diagnosed and the duplicate ignored (first record wins).
+void read_placement(Design& design, std::istream& in, DiagSink& sink,
+                    const std::string& path = "<placement>");
+void read_placement_file(Design& design, const std::string& path,
+                         DiagSink& sink);
+
+/// Legacy readers: throw DiagError listing every bad record.
 void read_placement(Design& design, std::istream& in);
 void read_placement_file(Design& design, const std::string& path);
 

@@ -117,7 +117,14 @@ double propagate_pin(const TimingGraph& graph, const DesignRouting& routing,
           }
           r.cell_arc_delay[static_cast<std::size_t>(a)][c_out] = arc_best_delay;
         }
-        TG_CHECK(std::isfinite(best_at));
+        // NaN/Inf tripwire with first-offender context: a non-finite
+        // arrival here pinpoints the pin/corner where bad parasitics or a
+        // corrupt LUT first entered the propagation.
+        TG_CHECK_MSG(std::isfinite(best_at),
+                     "non-finite arrival " << best_at << " at pin "
+                                           << d.pin_name(p) << " (corner "
+                                           << c_out << ", level "
+                                           << graph.level(p) << ")");
         new_at[c_out] = best_at;
         new_slew[c_out] = best_slew;
         r.pred_pin[static_cast<std::size_t>(p)][c_out] = best_pred;

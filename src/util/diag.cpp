@@ -1,0 +1,167 @@
+#include "util/diag.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <ostream>
+
+namespace tg {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kParse: return "parse";
+    case Stage::kLibrary: return "library";
+    case Stage::kNetlist: return "netlist";
+    case Stage::kGenerate: return "gen";
+    case Stage::kPlace: return "place";
+    case Stage::kRoute: return "route";
+    case Stage::kSta: return "sta";
+    case Stage::kExtract: return "extract";
+    case Stage::kTrain: return "train";
+    case Stage::kTool: return "tool";
+  }
+  return "tool";
+}
+
+std::string Diag::format() const {
+  std::ostringstream os;
+  os << severity_name(severity) << '[' << stage_name(stage) << ']';
+  if (!loc.file.empty()) {
+    os << ' ' << loc.file;
+    if (loc.line > 0) os << ':' << loc.line;
+    os << ':';
+  }
+  if (!object.empty()) os << ' ' << object << ':';
+  os << ' ' << message;
+  return os.str();
+}
+
+DiagError::DiagError(const std::string& what, std::vector<Diag> diags)
+    : CheckError(what), diags_(std::move(diags)) {}
+
+void DiagSink::report(Diag d) {
+  switch (d.severity) {
+    case Severity::kNote: ++num_notes_; break;
+    case Severity::kWarning: ++num_warnings_; break;
+    case Severity::kError: ++num_errors_; break;
+  }
+  if (diags_.size() >= max_diags_) {
+    ++dropped_;
+    return;
+  }
+  diags_.push_back(std::move(d));
+}
+
+void DiagSink::error(Stage stage, std::string message, SrcLoc loc,
+                     std::string object) {
+  report(Diag{Severity::kError, stage, std::move(loc), std::move(object),
+              std::move(message)});
+}
+
+void DiagSink::warning(Stage stage, std::string message, SrcLoc loc,
+                       std::string object) {
+  report(Diag{Severity::kWarning, stage, std::move(loc), std::move(object),
+              std::move(message)});
+}
+
+void DiagSink::note(Stage stage, std::string message, SrcLoc loc,
+                    std::string object) {
+  report(Diag{Severity::kNote, stage, std::move(loc), std::move(object),
+              std::move(message)});
+}
+
+bool DiagSink::contains(const std::string& needle) const {
+  for (const Diag& d : diags_) {
+    if (d.message.find(needle) != std::string::npos) return true;
+    if (d.object.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void DiagSink::clear() {
+  diags_.clear();
+  num_errors_ = num_warnings_ = num_notes_ = dropped_ = 0;
+}
+
+std::string DiagSink::report_text() const {
+  std::ostringstream os;
+  for (const Diag& d : diags_) os << d.format() << '\n';
+  if (dropped_ > 0) {
+    os << "... " << dropped_ << " further diagnostics dropped (sink full)\n";
+  }
+  os << num_errors_ << " error" << (num_errors_ == 1 ? "" : "s") << ", "
+     << num_warnings_ << " warning" << (num_warnings_ == 1 ? "" : "s");
+  if (num_notes_ > 0) {
+    os << ", " << num_notes_ << " note" << (num_notes_ == 1 ? "" : "s");
+  }
+  return os.str();
+}
+
+void DiagSink::print(std::ostream& out) const { out << report_text() << '\n'; }
+
+void DiagSink::throw_if_errors(const std::string& context) const {
+  if (ok()) return;
+  std::ostringstream os;
+  os << context << ": " << num_errors_ << " error"
+     << (num_errors_ == 1 ? "" : "s") << '\n'
+     << report_text();
+  throw DiagError(os.str(), diags_);
+}
+
+// ---- TG_VALIDATE level ---------------------------------------------------
+
+const char* validate_level_name(ValidateLevel level) {
+  switch (level) {
+    case ValidateLevel::kOff: return "off";
+    case ValidateLevel::kFast: return "fast";
+    case ValidateLevel::kFull: return "full";
+  }
+  return "fast";
+}
+
+ValidateLevel parse_validate_level(const std::string& name) {
+  if (name == "off") return ValidateLevel::kOff;
+  if (name == "fast") return ValidateLevel::kFast;
+  if (name == "full") return ValidateLevel::kFull;
+  TG_CHECK_MSG(false, "TG_VALIDATE must be off, fast or full, got '" << name
+                                                                     << "'");
+  return ValidateLevel::kFast;
+}
+
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_validate_level{-1};
+
+int level_from_env() {
+  const char* env = std::getenv("TG_VALIDATE");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(ValidateLevel::kFast);
+  }
+  return static_cast<int>(parse_validate_level(env));
+}
+
+}  // namespace
+
+ValidateLevel validate_level() {
+  int v = g_validate_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = level_from_env();
+    g_validate_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<ValidateLevel>(v);
+}
+
+void set_validate_level(ValidateLevel level) {
+  g_validate_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace tg

@@ -1,0 +1,149 @@
+#pragma once
+/// \file diag.hpp
+/// Structured diagnostics engine — the validation substrate every pipeline
+/// stage reports through (DESIGN.md §8).
+///
+/// A Diag is severity × stage × (optional) source location × (optional)
+/// offending object × message. Diagnostics are *collected* into a DiagSink
+/// instead of thrown, so a parser or validator can report every problem in
+/// one pass; callers decide whether errors are fatal (throw_if_errors) or
+/// recoverable (quarantine, skip, degrade). TG_CHECK stays for programmer
+/// errors — diagnostics are for *input* errors: malformed files, violated
+/// data-model invariants, non-finite numerics.
+///
+/// How much inter-stage checking runs is controlled by TG_VALIDATE=
+/// off|fast|full (default fast): off disables the checkers, fast runs the
+/// O(n) structural invariants, full adds the expensive sweeps (feature
+/// finiteness, acyclicity, placement-in-die).
+
+#include <cstddef>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+[[nodiscard]] const char* severity_name(Severity s);
+
+/// Pipeline stage / subsystem a diagnostic originates from. Coarse on
+/// purpose: it names the stage boundary where the problem was detected,
+/// which is what a quarantine report needs.
+enum class Stage {
+  kParse,     ///< text-format readers (verilog, placement, liberty)
+  kLibrary,   ///< Library invariants
+  kNetlist,   ///< Design invariants
+  kGenerate,  ///< synthetic design generation
+  kPlace,     ///< placement invariants (in-die, finite coordinates)
+  kRoute,     ///< routing invariants
+  kSta,       ///< timing-graph invariants + STA numerical tripwires
+  kExtract,   ///< DatasetGraph invariants
+  kTrain,     ///< NN numerical tripwires
+  kTool,      ///< CLI tools / miscellaneous
+};
+[[nodiscard]] const char* stage_name(Stage s);
+
+/// Location in an input file; `file` may name a stream ("<verilog>") when
+/// parsing from memory. line == 0 means "no line information".
+struct SrcLoc {
+  std::string file;
+  int line = 0;
+};
+
+struct Diag {
+  Severity severity = Severity::kError;
+  Stage stage = Stage::kTool;
+  SrcLoc loc;           ///< optional source-file context
+  std::string object;   ///< offending object (net/pin/cell name); optional
+  std::string message;
+
+  /// "error[parse] foo.v:12: net n3: unknown cell NAND9"
+  [[nodiscard]] std::string format() const;
+};
+
+/// Aggregated failure thrown when a sink's errors are escalated. Derives
+/// from CheckError so existing catch sites and test expectations hold; the
+/// what() string carries the full multi-line report.
+class DiagError : public CheckError {
+ public:
+  DiagError(const std::string& what, std::vector<Diag> diags);
+  [[nodiscard]] const std::vector<Diag>& diags() const { return diags_; }
+
+ private:
+  std::vector<Diag> diags_;
+};
+
+/// Collects diagnostics. Bounded: after `max_diags` entries further reports
+/// only bump the counters, so a pathological input cannot OOM the sink.
+class DiagSink {
+ public:
+  explicit DiagSink(std::size_t max_diags = 256) : max_diags_(max_diags) {}
+
+  void report(Diag d);
+  void error(Stage stage, std::string message, SrcLoc loc = {},
+             std::string object = {});
+  void warning(Stage stage, std::string message, SrcLoc loc = {},
+               std::string object = {});
+  void note(Stage stage, std::string message, SrcLoc loc = {},
+            std::string object = {});
+
+  [[nodiscard]] const std::vector<Diag>& diags() const { return diags_; }
+  [[nodiscard]] std::size_t num_errors() const { return num_errors_; }
+  [[nodiscard]] std::size_t num_warnings() const { return num_warnings_; }
+  [[nodiscard]] std::size_t num_notes() const { return num_notes_; }
+  /// Reports dropped once the sink filled up.
+  [[nodiscard]] std::size_t num_dropped() const { return dropped_; }
+  [[nodiscard]] bool ok() const { return num_errors_ == 0; }
+  [[nodiscard]] bool empty() const { return diags_.empty() && dropped_ == 0; }
+
+  /// True if any collected diagnostic's message contains `needle`
+  /// (test/corpus helper).
+  [[nodiscard]] bool contains(const std::string& needle) const;
+
+  void clear();
+
+  /// Multi-line human-readable report: one line per diagnostic plus a
+  /// summary line ("3 errors, 1 warning").
+  [[nodiscard]] std::string report_text() const;
+  void print(std::ostream& out) const;
+
+  /// Throws DiagError carrying every collected diagnostic if any error was
+  /// reported. `context` names the operation ("read_verilog foo.v").
+  void throw_if_errors(const std::string& context) const;
+
+ private:
+  std::vector<Diag> diags_;
+  std::size_t max_diags_;
+  std::size_t num_errors_ = 0;
+  std::size_t num_warnings_ = 0;
+  std::size_t num_notes_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+// ---- TG_VALIDATE level ---------------------------------------------------
+
+enum class ValidateLevel { kOff = 0, kFast = 1, kFull = 2 };
+[[nodiscard]] const char* validate_level_name(ValidateLevel level);
+
+/// The process-wide validation level: TG_VALIDATE=off|fast|full read once
+/// (default fast), overridable with set_validate_level (CLI --validate).
+[[nodiscard]] ValidateLevel validate_level();
+void set_validate_level(ValidateLevel level);
+/// Parses "off"/"fast"/"full"; throws CheckError on anything else.
+[[nodiscard]] ValidateLevel parse_validate_level(const std::string& name);
+
+}  // namespace tg
+
+/// Streaming report into a sink:
+///   TG_DIAG(sink, Severity::kError, Stage::kParse, loc, obj,
+///           "expected '" << what << "'");
+#define TG_DIAG(sink, severity_, stage_, loc_, object_, expr)       \
+  do {                                                              \
+    std::ostringstream tg_diag_os;                                  \
+    tg_diag_os << expr;                                             \
+    (sink).report(::tg::Diag{(severity_), (stage_), (loc_),         \
+                             (object_), tg_diag_os.str()});         \
+  } while (0)

@@ -1,0 +1,87 @@
+/// Quarantine contract for suite builds: a benchmark corrupted mid-pipeline
+/// is recorded with its full diagnostic report and skipped, the surviving
+/// benchmarks build normally with consistent split ids, and only an
+/// all-benchmarks failure is fatal.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "liberty/library_builder.hpp"
+#include "util/diag.hpp"
+
+namespace tg::data {
+namespace {
+
+DatasetOptions corrupting_options() {
+  DatasetOptions options;
+  options.scale = 1.0 / 32;
+  options.slim = true;
+  // Corrupt exactly one benchmark right after generation: point a pin at a
+  // nonsense net id, which the post-generate design gate must catch.
+  options.post_generate = [](Design& d) {
+    if (d.name() == "usb") d.pin(0).net = 1 << 20;
+  };
+  return options;
+}
+
+TEST(Quarantine, CorruptedBenchmarkIsQuarantinedNotFatal) {
+  set_validate_level(ValidateLevel::kFast);
+  const Library lib = build_library();
+  const SuiteDataset ds = build_suite_dataset(lib, corrupting_options(),
+                                              {"spm", "usb", "zipdiv"});
+
+  // Exactly the corrupted benchmark is quarantined, with its diagnostics.
+  ASSERT_EQ(ds.quarantined.size(), 1u);
+  EXPECT_EQ(ds.quarantined[0].name, "usb");
+  EXPECT_NE(ds.quarantined[0].report.find("post-generate design check"),
+            std::string::npos);
+  EXPECT_NE(ds.quarantined[0].report.find("net"), std::string::npos);
+
+  // The survivors built, and the split ids index the compacted vector.
+  ASSERT_EQ(ds.graphs.size(), 2u);
+  EXPECT_EQ(ds.train_ids.size(), 1u);  // zipdiv (usb was the other train)
+  EXPECT_EQ(ds.test_ids.size(), 1u);   // spm
+  for (int id : ds.train_ids) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, static_cast<int>(ds.graphs.size()));
+  }
+  EXPECT_EQ(ds.graphs[static_cast<std::size_t>(ds.test_ids[0])].name, "spm");
+}
+
+TEST(Quarantine, AllBenchmarksQuarantinedIsFatal) {
+  set_validate_level(ValidateLevel::kFast);
+  const Library lib = build_library();
+  EXPECT_THROW(
+      { (void)build_suite_dataset(lib, corrupting_options(), {"usb"}); },
+      CheckError);
+}
+
+TEST(Quarantine, ValidationOffSkipsTheGates) {
+  // With TG_VALIDATE=off the gates are no-ops: a clean suite builds with
+  // zero quarantines and no validation overhead.
+  set_validate_level(ValidateLevel::kOff);
+  const Library lib = build_library();
+  DatasetOptions options;
+  options.scale = 1.0 / 32;
+  options.slim = true;
+  const SuiteDataset ds = build_suite_dataset(lib, options, {"spm"});
+  EXPECT_TRUE(ds.quarantined.empty());
+  EXPECT_EQ(ds.graphs.size(), 1u);
+  set_validate_level(ValidateLevel::kFast);
+}
+
+TEST(Quarantine, FullValidationPassesOnHealthySuite) {
+  // The full-level gates must not false-positive on a healthy pipeline.
+  set_validate_level(ValidateLevel::kFull);
+  const Library lib = build_library();
+  DatasetOptions options;
+  options.scale = 1.0 / 32;
+  options.slim = true;
+  const SuiteDataset ds = build_suite_dataset(lib, options, {"zipdiv"});
+  EXPECT_TRUE(ds.quarantined.empty());
+  ASSERT_EQ(ds.graphs.size(), 1u);
+  set_validate_level(ValidateLevel::kFast);
+}
+
+}  // namespace
+}  // namespace tg::data

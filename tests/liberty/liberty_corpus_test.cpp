@@ -1,0 +1,128 @@
+/// Malformed-input corpus for the Liberty reader: handcrafted or surgically
+/// corrupted libraries with exact expected diagnostics. The recovery
+/// contract: a broken cell is dropped whole (with every diagnostic
+/// reported), and the remaining cells still load.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "liberty/liberty_io.hpp"
+#include "testing/fixtures.hpp"
+
+namespace tg {
+namespace {
+
+std::string valid_text() {
+  std::ostringstream os;
+  write_liberty(tg::testing::small_library(), os);
+  return os.str();
+}
+
+DiagSink parse(const std::string& text, Library* out = nullptr) {
+  std::istringstream in(text);
+  DiagSink sink;
+  Library lib = read_liberty(in, sink, "corpus.lib");
+  if (out != nullptr) *out = std::move(lib);
+  return sink;
+}
+
+TEST(LibertyCorpus, NonNumericLutEntryDropsOnlyThatCell) {
+  std::string text = valid_text();
+  // Corrupt the first LUT number (inside the first values string) — it
+  // belongs to the first cell, so only that cell must be rejected.
+  const std::size_t values = text.find("values (");
+  ASSERT_NE(values, std::string::npos);
+  const std::size_t quote = text.find('"', values);
+  ASSERT_NE(quote, std::string::npos);
+  const std::size_t comma = text.find(',', quote);
+  text.replace(quote + 1, comma - quote - 1, "garbage");
+
+  Library lib;
+  const DiagSink sink = parse(text, &lib);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.contains("non-numeric values entry"));
+  EXPECT_TRUE(sink.contains("garbage"));
+  EXPECT_NE(sink.report_text().find("corpus.lib:"), std::string::npos);
+  // One of the two cells survived recovery.
+  EXPECT_EQ(lib.num_cells(), 1);
+}
+
+TEST(LibertyCorpus, TruncatedFileReportsEof) {
+  std::string text = valid_text();
+  text.resize(text.size() / 2);
+  const DiagSink sink = parse(text);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.contains("unexpected end of file"));
+}
+
+TEST(LibertyCorpus, DuplicateCellIsRejectedWithDiagnostic) {
+  const std::string text = valid_text();
+  // Append a full copy of the first cell group after the library body —
+  // the recovering parser resyncs on the `cell` keyword and the library
+  // rejects the duplicate name.
+  const std::size_t first = text.find("cell (");
+  const std::size_t second = text.find("cell (", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  const std::string dup = text.substr(first, second - first);
+  std::string doubled = text;
+  doubled.insert(text.rfind('}'), dup);
+
+  Library lib;
+  const DiagSink sink = parse(doubled, &lib);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.contains("cell rejected"));
+  EXPECT_TRUE(sink.contains("duplicate cell name"));
+  EXPECT_EQ(lib.num_cells(), 2);
+}
+
+TEST(LibertyCorpus, UnknownCornerTagIsDiagnosed) {
+  const DiagSink sink = parse(
+      "library (broken) {\n"
+      "  cell (X1) {\n"
+      "    setup_sideways : 0.1;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.contains("unknown corner tag"));
+  EXPECT_TRUE(sink.contains("sideways"));
+  EXPECT_NE(sink.report_text().find("corpus.lib:3"), std::string::npos);
+}
+
+TEST(LibertyCorpus, EmptyFileIsAnErrorNotACrash) {
+  const DiagSink sink = parse("");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.contains("expected 'library'"));
+}
+
+TEST(LibertyCorpus, TimingArcWithUnknownPinDropsTheCell) {
+  Library lib;
+  const DiagSink sink = parse(
+      "library (broken) {\n"
+      "  cell (X1) {\n"
+      "    pin (A) { direction : input; }\n"
+      "    timing (A -> NOPE) {\n"
+      "    }\n"
+      "  }\n"
+      "}\n",
+      &lib);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.contains("timing arc references unknown pin"));
+  EXPECT_TRUE(sink.contains("NOPE"));
+  EXPECT_EQ(lib.num_cells(), 0);
+}
+
+TEST(LibertyCorpus, LegacyReaderThrowsAggregatedCheckError) {
+  std::istringstream in("library (x) {\n  cell (C) {\n");
+  EXPECT_THROW({ const Library l = read_liberty(in); (void)l; }, CheckError);
+}
+
+TEST(LibertyCorpus, ValidLibraryRoundTripsWithCleanSink) {
+  Library lib;
+  const DiagSink sink = parse(valid_text(), &lib);
+  EXPECT_TRUE(sink.ok()) << sink.report_text();
+  EXPECT_EQ(lib.num_cells(), 2);
+}
+
+}  // namespace
+}  // namespace tg

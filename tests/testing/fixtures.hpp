@@ -1,0 +1,91 @@
+#pragma once
+/// \file fixtures.hpp
+/// Shared tiny fixtures for the fuzz and corpus suites: a two-cell library
+/// (one inverter-like combinational cell + one flip-flop) and a five-net
+/// design using both, small enough that ten thousand mutate→parse→validate
+/// iterations stay fast.
+
+#include <cstdlib>
+#include <string>
+
+#include "liberty/library_builder.hpp"
+#include "netlist/design.hpp"
+
+namespace tg::testing {
+
+/// One combinational 2-pin cell plus one flip-flop from the synthetic
+/// library (single drive strength keeps the Liberty text small).
+inline Library small_library() {
+  LibraryConfig cfg;
+  cfg.drives = {1};
+  const Library full = build_library(cfg);
+  Library lib;
+  bool have_inv = false, have_dff = false;
+  for (const CellType& c : full.cells()) {
+    if (c.is_sequential && !have_dff) {
+      lib.add_cell(c);
+      have_dff = true;
+    } else if (!c.is_sequential && c.pins.size() == 2 && !have_inv) {
+      lib.add_cell(c);
+      have_inv = true;
+    }
+  }
+  return lib;
+}
+
+/// PI → inv → DFF → inv → PO, with a clocked net and a valid die. Passes
+/// Design::validate() and round-trips through write_verilog/read_verilog.
+inline Design small_design(const Library& lib) {
+  int inv = -1, dff = -1;
+  for (int c = 0; c < lib.num_cells(); ++c) {
+    (lib.cell(c).is_sequential ? dff : inv) = c;
+  }
+  const CellType& invc = lib.cell(inv);
+  const int in_pin = invc.pins[0].dir == PinDir::kInput ? 0 : 1;
+  const int out_pin = 1 - in_pin;
+  const CellType& dffc = lib.cell(dff);
+
+  Design d("fuzz_base", &lib);
+  const PinId a = d.add_primary_input("a");
+  const PinId clk = d.add_primary_input("clk");
+  const PinId y = d.add_primary_output("y");
+  const NetId n_in = d.add_net("n_in");
+  const NetId n_clk = d.add_net("n_clk", /*is_clock=*/true);
+  const NetId n_d = d.add_net("n_d");
+  const NetId n_q = d.add_net("n_q");
+  const NetId n_out = d.add_net("n_out");
+  const InstId u1 = d.add_instance("u1", inv);
+  const InstId u2 = d.add_instance("u2", dff);
+  const InstId u3 = d.add_instance("u3", inv);
+  d.connect(n_in, a);
+  d.connect(n_in, d.instance(u1).pins[static_cast<std::size_t>(in_pin)]);
+  d.connect(n_d, d.instance(u1).pins[static_cast<std::size_t>(out_pin)]);
+  d.connect(n_d,
+            d.instance(u2).pins[static_cast<std::size_t>(dffc.data_pin)]);
+  d.connect(n_clk, clk);
+  d.connect(n_clk,
+            d.instance(u2).pins[static_cast<std::size_t>(dffc.clock_pin)]);
+  d.connect(n_q,
+            d.instance(u2).pins[static_cast<std::size_t>(dffc.output_pin)]);
+  d.connect(n_q, d.instance(u3).pins[static_cast<std::size_t>(in_pin)]);
+  d.connect(n_out, d.instance(u3).pins[static_cast<std::size_t>(out_pin)]);
+  d.connect(n_out, y);
+  d.set_clock(n_clk, 1.0);
+  BBox die;
+  die.expand(Point{0.0, 0.0});
+  die.expand(Point{100.0, 100.0});
+  d.set_die(die);
+  return d;
+}
+
+/// Iteration budget for the fuzz drivers: TG_FUZZ_ITERS overrides the
+/// 10,000-iteration default (e.g. for quick local runs or long soaks).
+inline int fuzz_iters() {
+  if (const char* env = std::getenv("TG_FUZZ_ITERS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 10000;
+}
+
+}  // namespace tg::testing

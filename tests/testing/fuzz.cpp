@@ -1,0 +1,146 @@
+#include "testing/fuzz.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tg::testing {
+
+namespace {
+
+std::size_t pick_pos(const std::string& s, Rng& rng) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, std::max<std::int64_t>(0, static_cast<std::int64_t>(s.size()) - 1)));
+}
+
+char random_char(Rng& rng) {
+  // Mostly printable structure-breaking characters, sometimes raw bytes.
+  static const char kPunct[] = "(){};:,.\"\\/ \n\t-+eE_0123456789";
+  if (rng.chance(0.8)) {
+    return kPunct[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sizeof(kPunct)) - 2))];
+  }
+  return static_cast<char>(rng.uniform_int(1, 255));
+}
+
+void apply_one(std::string& s, Rng& rng) {
+  if (s.empty()) {
+    s.push_back(random_char(rng));
+    return;
+  }
+  switch (rng.uniform_int(0, 6)) {
+    case 0: {  // flip one byte
+      s[pick_pos(s, rng)] = random_char(rng);
+      break;
+    }
+    case 1: {  // delete a span
+      const std::size_t at = pick_pos(s, rng);
+      const std::size_t len = static_cast<std::size_t>(rng.uniform_int(1, 32));
+      s.erase(at, std::min(len, s.size() - at));
+      break;
+    }
+    case 2: {  // duplicate a span in place
+      const std::size_t at = pick_pos(s, rng);
+      const std::size_t len = static_cast<std::size_t>(rng.uniform_int(1, 32));
+      const std::string span = s.substr(at, std::min(len, s.size() - at));
+      s.insert(at, span);
+      break;
+    }
+    case 3: {  // insert garbage
+      const std::size_t at = pick_pos(s, rng);
+      std::string garbage;
+      const int n = static_cast<int>(rng.uniform_int(1, 16));
+      for (int i = 0; i < n; ++i) garbage.push_back(random_char(rng));
+      s.insert(at, garbage);
+      break;
+    }
+    case 4: {  // truncate
+      s.resize(pick_pos(s, rng));
+      break;
+    }
+    case 5: {  // swap two characters far apart (breaks token order)
+      std::swap(s[pick_pos(s, rng)], s[pick_pos(s, rng)]);
+      break;
+    }
+    case 6: {  // perturb a number: find a digit and mangle it
+      const std::size_t start = pick_pos(s, rng);
+      for (std::size_t i = start; i < s.size(); ++i) {
+        if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+          static const char kNumBreak[] = "0123456789.eE-+x";
+          s[i] = kNumBreak[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(sizeof(kNumBreak)) - 2))];
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string mutate_text(const std::string& base, Rng& rng, int max_mutations) {
+  std::string s = base;
+  const int n = static_cast<int>(rng.uniform_int(1, std::max(1, max_mutations)));
+  for (int i = 0; i < n; ++i) apply_one(s, rng);
+  return s;
+}
+
+void mutate_design(Design& design, Rng& rng, int max_mutations) {
+  const int n = static_cast<int>(rng.uniform_int(1, std::max(1, max_mutations)));
+  for (int m = 0; m < n; ++m) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: {  // corrupt a pin's net id
+        if (design.num_pins() == 0) break;
+        Pin& p = design.pin(static_cast<PinId>(
+            rng.uniform_int(0, design.num_pins() - 1)));
+        p.net = static_cast<NetId>(rng.uniform_int(-2, design.num_nets() + 3));
+        break;
+      }
+      case 1: {  // flip a driver flag
+        if (design.num_pins() == 0) break;
+        Pin& p = design.pin(static_cast<PinId>(
+            rng.uniform_int(0, design.num_pins() - 1)));
+        p.drives_net = !p.drives_net;
+        break;
+      }
+      case 2: {  // non-finite or far-out-of-die position
+        if (design.num_pins() == 0) break;
+        Pin& p = design.pin(static_cast<PinId>(
+            rng.uniform_int(0, design.num_pins() - 1)));
+        const double bad[] = {std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(),
+                              -1.0e30, 1.0e30};
+        p.pos.x = bad[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+        break;
+      }
+      case 3: {  // corrupt a pin's cell_pin index
+        if (design.num_pins() == 0) break;
+        Pin& p = design.pin(static_cast<PinId>(
+            rng.uniform_int(0, design.num_pins() - 1)));
+        p.cell_pin = static_cast<int>(rng.uniform_int(-2, 64));
+        break;
+      }
+      case 4: {  // corrupt an instance's back-pointer list
+        if (design.num_instances() == 0) break;
+        Instance& inst = design.instance(static_cast<InstId>(
+            rng.uniform_int(0, design.num_instances() - 1)));
+        if (inst.pins.empty()) break;
+        const std::size_t slot = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(inst.pins.size()) - 1));
+        inst.pins[slot] =
+            static_cast<PinId>(rng.uniform_int(-2, design.num_pins() + 3));
+        break;
+      }
+      case 5: {  // corrupt an instance's cell id
+        if (design.num_instances() == 0) break;
+        Instance& inst = design.instance(static_cast<InstId>(
+            rng.uniform_int(0, design.num_instances() - 1)));
+        inst.cell_id = static_cast<int>(
+            rng.uniform_int(-2, design.library().num_cells() + 3));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace tg::testing

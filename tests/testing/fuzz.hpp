@@ -1,0 +1,30 @@
+#pragma once
+/// \file fuzz.hpp
+/// Deterministic structured fuzzing helpers (DESIGN.md §8). Text mutators
+/// corrupt serialized artifacts (Verilog, placement, Liberty) the way disk
+/// rot, bad merges and hand edits do — byte flips, deleted/duplicated
+/// spans, truncation, number perturbation — and the model mutator corrupts
+/// an in-memory Design directly. Everything draws from a caller-seeded
+/// tg::Rng, so every failure is replayable from its iteration seed.
+
+#include <string>
+
+#include "netlist/design.hpp"
+#include "util/rng.hpp"
+
+namespace tg::testing {
+
+/// Returns a corrupted copy of `base` after 1..max_mutations randomly
+/// chosen edits. Never returns the input unchanged unless every drawn edit
+/// happened to be a no-op (possible but rare); callers should treat a
+/// clean parse as success, not assert that errors occur.
+[[nodiscard]] std::string mutate_text(const std::string& base, Rng& rng,
+                                      int max_mutations = 4);
+
+/// Corrupts `design` in place: out-of-range net/cell-pin/instance indices,
+/// flipped driver flags, non-finite or huge positions. Exercises the
+/// validate_design contract — after any sequence of these mutations the
+/// validator must either report an error or leave downstream stages safe.
+void mutate_design(Design& design, Rng& rng, int max_mutations = 3);
+
+}  // namespace tg::testing
