@@ -1,0 +1,68 @@
+#include "bench_json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace tg::bench_json {
+
+Entry parse_name(const std::string& name, int fallback_threads) {
+  Entry e;
+  e.name = name;
+  const std::size_t slash = name.find('/');
+  e.op = name.substr(0, slash);
+  if (slash != std::string::npos) {
+    // First numeric path component after the op is the size.
+    e.size = std::atoll(name.c_str() + slash + 1);
+  }
+  const std::size_t tag = name.find("/threads:");
+  e.threads = tag != std::string::npos ? std::atoi(name.c_str() + tag + 9)
+                                       : fallback_threads;
+  return e;
+}
+
+namespace {
+void json_escape(std::FILE* f, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", static_cast<unsigned>(c));
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+}  // namespace
+
+bool write_file(const std::string& path, const std::string& bench,
+                int default_threads, const std::vector<Entry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    TG_WARN("bench: cannot open " << path << " for writing");
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"");
+  json_escape(f, bench);
+  std::fprintf(f, "\",\n  \"threads\": %d,\n  \"results\": [", default_threads);
+  bool first = true;
+  for (const Entry& e : entries) {
+    std::fprintf(f, "%s\n    {\"name\": \"", first ? "" : ",");
+    json_escape(f, e.name);
+    std::fprintf(f, "\", \"op\": \"");
+    json_escape(f, e.op);
+    std::fprintf(f,
+                 "\", \"size\": %lld, \"threads\": %d, \"iterations\": %lld, "
+                 "\"median_s\": %.9g, \"p90_s\": %.9g}",
+                 e.size, e.threads, e.iterations, e.median_s, e.p90_s);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) TG_WARN("bench: error while writing " << path);
+  return ok;
+}
+
+}  // namespace tg::bench_json

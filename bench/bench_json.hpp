@@ -1,0 +1,36 @@
+#pragma once
+/// \file bench_json.hpp
+/// Machine-readable bench output: the `--json` flag of the micro benches
+/// writes a `BENCH_<name>.json` with one entry per benchmark (op, size,
+/// threads, median/p90 wall time) so perf trajectories can be recorded and
+/// diffed across commits. Consumed by future perf PRs; format kept flat on
+/// purpose.
+
+#include <string>
+#include <vector>
+
+namespace tg::bench_json {
+
+/// One benchmark result. `name` is the full google-benchmark name
+/// (e.g. "BM_StaForward/4096/threads:8"); `op` is the name up to the first
+/// '/', `size` the first numeric path component (0 when absent).
+struct Entry {
+  std::string name;
+  std::string op;
+  long long size = 0;
+  int threads = 1;
+  long long iterations = 0;
+  double median_s = 0.0;
+  double p90_s = 0.0;
+};
+
+/// Splits a benchmark name into op/size/threads. Threads default to
+/// `fallback_threads` when the name has no "/threads:N" suffix.
+Entry parse_name(const std::string& name, int fallback_threads);
+
+/// Writes `{"bench": <bench>, "threads": N, "results": [...]}` to `path`.
+/// Returns false (after a warning) on I/O failure.
+bool write_file(const std::string& path, const std::string& bench,
+                int default_threads, const std::vector<Entry>& entries);
+
+}  // namespace tg::bench_json

@@ -76,14 +76,18 @@ data::SuiteDataset build_dataset(const BenchConfig& config,
   static Library* library = new Library(build_library());
   data::DatasetOptions options;
   options.scale = config.scale;
-  WallTimer timer;
   std::printf("# building dataset (scale=%.4f, threads=%d)...\n", config.scale,
               num_threads());
   std::fflush(stdout);
-  data::SuiteDataset ds = build_suite_dataset(*library, options, only);
-  std::printf("# dataset ready: %zu designs in %.1f s\n", ds.graphs.size(),
-              timer.seconds());
-  std::fflush(stdout);
+  data::SuiteDataset ds;
+  {
+    ScopedTimer timer([&ds](double s) {
+      std::printf("# dataset ready: %zu designs in %.1f s\n", ds.graphs.size(),
+                  s);
+      std::fflush(stdout);
+    });
+    ds = build_suite_dataset(*library, options, only);
+  }
   return ds;
 }
 
@@ -107,9 +111,11 @@ std::unique_ptr<core::TimingGnnTrainer> train_or_load_full_model(
   std::printf("# training full timing GNN (%d epochs, hidden=%d)...\n",
               config.epochs, config.hidden);
   std::fflush(stdout);
-  WallTimer timer;
-  trainer->fit(dataset);
-  std::printf("# trained in %.1f s\n", timer.seconds());
+  {
+    ScopedTimer timer(
+        [](double s) { std::printf("# trained in %.1f s\n", s); });
+    trainer->fit(dataset);
+  }
   std::error_code ec;
   std::filesystem::create_directories(config.cache_dir, ec);
   if (!ec) {

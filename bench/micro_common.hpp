@@ -10,6 +10,8 @@
 ///   micro_sta --threads=8                 # pool size for the normal run
 ///   micro_sta --sweep                     # threads×size scaling matrix
 ///   micro_sta --sweep --sweep-threads=1,2,4,8,16
+///   micro_sta --json                      # write BENCH_micro_sta.json
+///   micro_sta --json=perf.json            # explicit output path
 ///
 /// Sweep benchmarks are named `SWEEP_<kernel>/<size>/threads:<t>`; after
 /// the run a `# sweep summary:` line per kernel/size reports the speedup
@@ -18,13 +20,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <utility>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "util/parallel.hpp"
 #include "util/string_util.hpp"
 
@@ -38,14 +43,37 @@ class ScalingReporter : public benchmark::ConsoleReporter {
     for (const Run& run : report) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
       const std::string name = run.benchmark_name();
+      const double secs =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      all_runs_[name].push_back({run.iterations, secs});
       const std::size_t tag = name.find("/threads:");
       if (tag == std::string::npos) continue;
       const int threads = std::atoi(name.c_str() + tag + 9);
-      const double secs =
-          run.real_accumulated_time / static_cast<double>(run.iterations);
       sweep_secs_[name.substr(0, tag)][threads] = secs;
     }
     ConsoleReporter::ReportRuns(report);
+  }
+
+  /// Per-benchmark entries (median/p90 across repetitions) for --json.
+  [[nodiscard]] std::vector<bench_json::Entry> json_entries() const {
+    std::vector<bench_json::Entry> out;
+    for (const auto& [name, reps] : all_runs_) {
+      std::vector<double> times;
+      long long iters = 0;
+      for (const auto& [it, secs] : reps) {
+        times.push_back(secs);
+        iters += it;
+      }
+      std::sort(times.begin(), times.end());
+      bench_json::Entry e = bench_json::parse_name(name, num_threads());
+      e.iterations = iters;
+      e.median_s = times[times.size() / 2];
+      e.p90_s = times[(times.size() * 9) / 10 < times.size()
+                          ? (times.size() * 9) / 10
+                          : times.size() - 1];
+      out.push_back(std::move(e));
+    }
+    return out;
   }
 
   /// One `# sweep summary:` line per kernel/size: serial time, best time,
@@ -70,6 +98,8 @@ class ScalingReporter : public benchmark::ConsoleReporter {
  private:
   // kernel/size prefix -> thread count -> seconds per iteration.
   std::map<std::string, std::map<int, double>> sweep_secs_;
+  // full name -> one (iterations, secs/iter) pair per repetition.
+  std::map<std::string, std::vector<std::pair<long long, double>>> all_runs_;
 };
 
 /// Custom BENCHMARK_MAIN: handles --threads / --sweep / --sweep-threads,
@@ -82,11 +112,18 @@ inline int run_micro_main(
   std::vector<char*> args;
   args.push_back(argv[0]);
   bool sweep = false;
+  std::string json_path;
+  bool want_json = false;
   std::vector<int> sweep_threads = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       set_num_threads(std::atoi(arg.c_str() + 10));
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_path = arg.substr(7);
     } else if (arg == "--sweep") {
       sweep = true;
     } else if (arg.rfind("--sweep-threads=", 0) == 0) {
@@ -116,6 +153,17 @@ inline int run_micro_main(
   ScalingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   if (sweep) reporter.print_summary();
+  if (want_json) {
+    // Bench name = argv[0] basename; default path BENCH_<name>.json.
+    std::string bench = argv[0];
+    const std::size_t sep = bench.find_last_of('/');
+    if (sep != std::string::npos) bench = bench.substr(sep + 1);
+    if (json_path.empty()) json_path = "BENCH_" + bench + ".json";
+    if (bench_json::write_file(json_path, bench, num_threads(),
+                               reporter.json_entries())) {
+      std::printf("# wrote %s\n", json_path.c_str());
+    }
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -151,27 +151,33 @@ int main(int argc, char** argv) {
   std::printf("# %zu training net-sink samples\n", train_pool.rows);
 
   // ---- train the three models -------------------------------------------
-  WallTimer timer;
   std::array<ml::RandomForest, kNumCorners> forests;
-  for (int c = 0; c < kNumCorners; ++c) {
-    ml::ForestConfig fcfg;
-    fcfg.num_trees = 40;
-    fcfg.seed = 100 + static_cast<std::uint64_t>(c);
-    forests[static_cast<std::size_t>(c)].fit(train_pool.matrix(),
-                                             train_pool.y[static_cast<std::size_t>(c)], fcfg);
+  {
+    ScopedTimer timer(
+        [](double s) { std::printf("# RF trained in %.1f s\n", s); });
+    for (int c = 0; c < kNumCorners; ++c) {
+      ml::ForestConfig fcfg;
+      fcfg.num_trees = 40;
+      fcfg.seed = 100 + static_cast<std::uint64_t>(c);
+      forests[static_cast<std::size_t>(c)].fit(train_pool.matrix(),
+                                               train_pool.y[static_cast<std::size_t>(c)], fcfg);
+    }
   }
-  std::printf("# RF trained in %.1f s\n", timer.seconds());
 
-  timer.reset();
-  Rng mlp_rng(7);
-  const MlpBaseline mlp(train_pool, 400, mlp_rng);
-  std::printf("# MLP trained in %.1f s\n", timer.seconds());
+  const MlpBaseline mlp = [&] {
+    ScopedTimer timer(
+        [](double s) { std::printf("# MLP trained in %.1f s\n", s); });
+    Rng mlp_rng(7);
+    return MlpBaseline(train_pool, 400, mlp_rng);
+  }();
 
-  timer.reset();
   core::NetEmbedTrainer gnn(config.net_embed_config(),
                             config.train_options(config.net_embed_epochs));
-  gnn.fit(dataset);
-  std::printf("# GNN trained in %.1f s\n", timer.seconds());
+  {
+    ScopedTimer timer(
+        [](double s) { std::printf("# GNN trained in %.1f s\n", s); });
+    gnn.fit(dataset);
+  }
 
   // ---- evaluate ---------------------------------------------------------
   Table table({"Benchmark", "RF [5]", "MLP [5]", "Our GNN"});

@@ -36,12 +36,13 @@ int main(int argc, char** argv) {
     gcfg.seed = config.seed + static_cast<std::uint64_t>(depth);
     auto trainer = std::make_unique<core::GcniiTrainer>(
         gcfg, config.train_options(config.gcnii_epochs));
-    WallTimer t;
     std::printf("# training GCNII-%d (%d epochs)...\n", depth,
                 config.gcnii_epochs);
     std::fflush(stdout);
-    trainer->fit(dataset);
-    std::printf("#   done in %.1f s\n", t.seconds());
+    {
+      ScopedTimer t([](double s) { std::printf("#   done in %.1f s\n", s); });
+      trainer->fit(dataset);
+    }
     gcnii.push_back(std::move(trainer));
   }
 
@@ -52,11 +53,12 @@ int main(int argc, char** argv) {
     auto trainer = std::make_unique<core::TimingGnnTrainer>(
         config.gnn_config(net_aux, cell_aux),
         config.train_options(config.epochs));
-    WallTimer t;
     std::printf("# training ablation %s (%d epochs)...\n", tag, config.epochs);
     std::fflush(stdout);
-    trainer->fit(dataset);
-    std::printf("#   done in %.1f s\n", t.seconds());
+    {
+      ScopedTimer t([](double s) { std::printf("#   done in %.1f s\n", s); });
+      trainer->fit(dataset);
+    }
     return trainer;
   };
   auto with_cell = train_variant(false, true, "w/ Cell");  // cell aux only

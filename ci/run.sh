@@ -5,7 +5,11 @@
 #   asan   ASan build running the `fuzz` label (parsers + validators
 #          under 10k seeded mutations each)
 #   ubsan  UBSan build running the `fault` + `fuzz` labels
-# Usage: ci/run.sh [tier1|asan|ubsan|all]   (default: all)
+#   obs    observability gate: quickstart under TG_TRACE/TG_METRICS must
+#          produce parseable artifacts covering every layer, tg_top must
+#          render both, and the disabled-mode span overhead selfcheck
+#          must stay within budget
+# Usage: ci/run.sh [tier1|asan|ubsan|obs|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,11 +37,30 @@ run_ubsan() {
   ctest --test-dir build-ubsan --output-on-failure -L 'fault|fuzz'
 }
 
+run_obs() {
+  echo "==> obs: trace/metrics artifacts + overhead selfcheck"
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "$jobs" --target quickstart tg_top micro_obs
+  local dir
+  dir="$(mktemp -d)"
+  trap 'rm -rf "$dir"' RETURN
+  TG_TRACE="$dir/trace.json" TG_METRICS="$dir/metrics.json" \
+    ./build-ci/examples/quickstart --design=spm --scale=0.03125 > /dev/null
+  for cat in sta route data nn core; do
+    grep -q "\"cat\":\"$cat\"" "$dir/trace.json" \
+      || { echo "obs: missing $cat spans in trace" >&2; return 1; }
+  done
+  ./build-ci/tools/tg_top --trace="$dir/trace.json" | grep -q 'top self time'
+  ./build-ci/tools/tg_top --metrics="$dir/metrics.json" | grep -q 'histograms'
+  ./build-ci/bench/micro_obs --selfcheck
+}
+
 case "$job" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   ubsan) run_ubsan ;;
-  all)   run_tier1; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [tier1|asan|ubsan|all]" >&2; exit 2 ;;
+  obs)   run_obs ;;
+  all)   run_tier1; run_asan; run_ubsan; run_obs ;;
+  *) echo "usage: $0 [tier1|asan|ubsan|obs|all]" >&2; exit 2 ;;
 esac
 echo "==> $job: OK"

@@ -1,12 +1,19 @@
 /// \file quickstart.cpp
 /// Five-minute tour of the substrate: generate a benchmark circuit, place
 /// it, route it (both the Steiner estimate and the ground-truth maze
-/// route), run the golden 4-corner STA, and print the worst setup path.
+/// route), run the golden 4-corner STA, print the worst setup path, and
+/// finish with a pre-routing GNN inference preview.
 ///
 ///   ./quickstart [--design=spm] [--scale=0.0625]
+///
+/// Profiling: set TG_TRACE=trace.json (Perfetto timeline) and/or
+/// TG_METRICS=metrics.json (counter/histogram snapshot), then inspect
+/// either file with tools/tg_top. See README "Profiling a run".
 
 #include <cstdio>
 
+#include "core/timing_gnn.hpp"
+#include "data/extract.hpp"
 #include "gen/suite.hpp"
 #include "liberty/library_builder.hpp"
 #include "place/placer.hpp"
@@ -37,12 +44,16 @@ int main(int argc, char** argv) {
               placed.die_height, placed.total_hpwl);
 
   // 3. Routing: ground truth (maze) vs pre-routing estimate (Steiner).
-  WallTimer t;
+  double maze_seconds = 0.0;
   RoutingOptions maze_opts;
   maze_opts.mode = RouteMode::kMaze;
-  const DesignRouting routed = route_design(design, maze_opts);
+  DesignRouting routed;
+  {
+    ScopedTimer t(&maze_seconds);
+    routed = route_design(design, maze_opts);
+  }
   std::printf("maze route: %.0f um wire, %d overflows, %.2f s\n",
-              routed.total_wirelength, routed.overflow_edges, t.seconds());
+              routed.total_wirelength, routed.overflow_edges, maze_seconds);
 
   RoutingOptions est_opts;
   est_opts.mode = RouteMode::kSteiner;
@@ -68,5 +79,27 @@ int main(int argc, char** argv) {
   if (!paths.empty()) {
     std::fputs(format_path(design, sta, paths[0]).c_str(), stdout);
   }
+
+  // 6. Pre-routing GNN preview: extract the dataset graph and run one
+  //    (untrained) forward pass of the paper's model, so a single
+  //    quickstart run exercises the full gen→place→route→sta→data→nn→core
+  //    pipeline — and a TG_TRACE of it shows spans from every layer.
+  const data::DatasetGraph g = data::extract_graph(design, graph, routed, sta);
+  core::TimingGnnConfig gnn_config;
+  gnn_config.net.hidden = 8;
+  gnn_config.net.mlp_hidden = 8;
+  gnn_config.prop.hidden = 8;
+  gnn_config.prop.mlp_hidden = 8;
+  core::TimingGnn gnn(gnn_config);
+  const core::PropPlan plan = core::build_prop_plan(g);
+  double infer_seconds = 0.0;
+  core::TimingGnn::Prediction pred;
+  {
+    ScopedTimer t(&infer_seconds);
+    pred = gnn.forward(g, plan);
+  }
+  std::printf(
+      "GNN preview (untrained): %lld nodes -> atslew %lldx%lld in %.3f s\n",
+      g.num_nodes, pred.atslew.rows(), pred.atslew.cols(), infer_seconds);
   return 0;
 }

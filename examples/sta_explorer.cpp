@@ -15,6 +15,7 @@
 #include "sta/paths.hpp"
 #include "util/cli.hpp"
 #include "util/string_util.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace tg;
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
   const std::string name = opts.get("design", "picorv32a");
   const double scale = opts.get_double("scale", 1.0 / 16);
   const int k_paths = static_cast<int>(opts.get_int("paths", 3));
+
+  // Total wall time for the whole sign-off flow, reported at exit.
+  ScopedTimer total_timer("sta_explorer total");
 
   const Library library = build_library();
   const SuiteEntry entry = suite_entry(name, scale);

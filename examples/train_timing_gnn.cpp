@@ -8,7 +8,7 @@
 ///                      [--epochs=160] [--hidden=16] [--save=model.bin]
 ///                      [--load=model.bin] [--trace] [--export-dir=<dir>]
 ///                      [--checkpoint=ckpt.bin] [--checkpoint-every=N]
-///                      [--resume]
+///                      [--resume] [--telemetry=train.jsonl]
 ///
 /// With --checkpoint the trainer atomically writes a checksummed checkpoint
 /// (params + Adam moments + epoch) every N epochs; --resume restarts a killed
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   opts.require_known({"designs", "scale", "epochs", "hidden", "save", "load",
                       "trace", "export-dir", "verbose", "lr", "lr-final",
                       "net-aux", "cell-aux", "checkpoint", "checkpoint-every",
-                      "resume"});
+                      "resume", "telemetry"});
   set_log_level(opts.get_bool("verbose", true) ? LogLevel::kInfo
                                                : LogLevel::kWarn);
 
@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
   train.checkpoint_path = opts.get("checkpoint", "");
   train.checkpoint_every =
       static_cast<int>(opts.get_int("checkpoint-every", 1));
+  // Per-epoch loss/grad-norm/LR/time/RSS as JSONL (DESIGN.md §9).
+  train.telemetry_path = opts.get("telemetry", "");
 
   core::TimingGnnTrainer trainer(cfg, train);
   std::printf("model: %lld trainable parameters\n",

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg::core {
 
@@ -69,6 +70,7 @@ Gcnii::Gcnii(const GcniiConfig& config)
 
 Tensor Gcnii::forward(const data::DatasetGraph& g,
                       const GcniiAdjacency& adj) const {
+  TG_TRACE_SCOPE("core/gcnii_forward", obs::kSpanDetail);
   const std::int64_t n = g.num_nodes;
   Tensor h0 = nn::relu(input_proj_.forward(g.node_feat));
   Tensor h = h0;

@@ -1,6 +1,7 @@
 #include "core/net_embed.hpp"
 
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg::core {
 
@@ -36,6 +37,7 @@ NetEmbed::NetEmbed(const NetEmbedConfig& config, Rng& rng) : config_(config) {
 }
 
 Tensor NetEmbed::forward(const data::DatasetGraph& g) const {
+  TG_TRACE_SCOPE("core/net_embed_forward", obs::kSpanDetail);
   const std::int64_t n = g.num_nodes;
   Tensor h = nn::relu(input_proj_.forward(g.node_feat));
 

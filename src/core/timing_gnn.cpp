@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg::core {
 
@@ -23,6 +24,7 @@ TimingGnn::TimingGnn(const TimingGnnConfig& config)
 
 TimingGnn::Prediction TimingGnn::forward(const data::DatasetGraph& g,
                                          const PropPlan& plan) const {
+  TG_TRACE_SCOPE("core/gnn_forward", obs::kSpanCoarse);
   Prediction pred;
   Tensor emb = net_embed_.forward(g);
   pred.net_delay = net_embed_.predict_net_delay(g, emb);

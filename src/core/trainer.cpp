@@ -13,6 +13,8 @@
 #include "util/diag.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
+#include "util/obs/telemetry.hpp"
+#include "util/obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tg::core {
@@ -158,6 +160,53 @@ std::string first_nonfinite_grad(const Model& model) {
   return {};
 }
 
+/// Global L2 norm over all parameter gradients. Only evaluated when the
+/// telemetry stream is active — it touches every gradient entry.
+template <typename Model>
+double global_grad_norm(const Model& model) {
+  double acc = 0.0;
+  for (const Tensor& t : model.parameters()) {
+    if (!t.requires_grad()) continue;
+    for (float gv : std::as_const(t).grad()) {
+      acc += static_cast<double>(gv) * static_cast<double>(gv);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+/// Per-epoch JSONL telemetry (TrainOptions::telemetry_path): one JSON
+/// object per epoch, flushed per line so a crashed run keeps every
+/// completed epoch.
+class TelemetryStream {
+ public:
+  TelemetryStream(const std::string& path, const char* trainer)
+      : trainer_(trainer) {
+    if (!path.empty()) writer_.open(path);
+  }
+
+  /// Whether per-step extras (gradient norms) are worth computing.
+  [[nodiscard]] bool active() const { return writer_.ok(); }
+
+  void emit_epoch(const TrainOptions& options, int epoch, double loss,
+                  double grad_norm, float lr, double epoch_seconds,
+                  long long non_finite_steps) {
+    if (!writer_.ok()) return;
+    std::ostringstream os;
+    os.precision(10);
+    os << "{\"trainer\":\"" << trainer_ << "\",\"epoch\":" << epoch
+       << ",\"epochs\":" << options.epochs << ",\"loss\":" << loss
+       << ",\"grad_norm\":" << grad_norm << ",\"lr\":" << lr
+       << ",\"epoch_seconds\":" << epoch_seconds << ",\"peak_rss_mb\":"
+       << static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0)
+       << ",\"non_finite_steps\":" << non_finite_steps << "}";
+    writer_.write_line(os.str());
+  }
+
+ private:
+  const char* trainer_;
+  obs::JsonlWriter writer_;
+};
+
 }  // namespace
 
 double mean_of(const std::vector<DesignEval>& evals,
@@ -201,13 +250,21 @@ float scheduled_lr(const TrainOptions& options, int epoch) {
 }  // namespace
 
 double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
+  TG_TRACE_SCOPE("core/train", obs::kSpanCoarse);
+  TelemetryStream telemetry(options_.telemetry_path, "timing-gnn");
   double mean_loss = 0.0;
   GoodState good;
   good.capture(model_, adam_);
   for (int epoch = epoch_; epoch < options_.epochs; ++epoch) {
-    adam_.set_lr(scheduled_lr(options_, epoch));
+    TG_TRACE_SCOPE("core/train_epoch", obs::kSpanDetail);
+    WallTimer epoch_timer;
+    const float lr = scheduled_lr(options_, epoch);
+    adam_.set_lr(lr);
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
+    int good_steps = 0;
     for (int id : dataset.train_ids) {
+      TG_TRACE_SCOPE("core/train_step", obs::kSpanVerbose);
       const data::DatasetGraph& g = dataset.graphs[static_cast<std::size_t>(id)];
       const PropPlan& plan = plan_for(g);
       adam_.zero_grad();
@@ -231,12 +288,18 @@ double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
         good.restore(model_, adam_);
         continue;
       }
+      if (telemetry.active()) grad_norm_sum += global_grad_norm(model_);
       adam_.step();
       good.capture(model_, adam_);
       epoch_loss += loss_value;
+      ++good_steps;
     }
     mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
     epoch_ = epoch + 1;
+    telemetry.emit_epoch(
+        options_, epoch_, mean_loss,
+        good_steps > 0 ? grad_norm_sum / good_steps : 0.0, lr,
+        epoch_timer.seconds(), non_finite_steps_);
     if (options_.verbose) {
       TG_INFO("timing-gnn epoch " << epoch + 1 << "/" << options_.epochs
                                   << " loss=" << mean_loss);
@@ -257,6 +320,7 @@ void TimingGnnTrainer::load_checkpoint(const std::string& path) {
 }
 
 DesignEval TimingGnnTrainer::evaluate(const data::DatasetGraph& g) {
+  TG_TRACE_SCOPE("core/evaluate", obs::kSpanCoarse);
   const PropPlan& plan = plan_for(g);
   WallTimer timer;
   const TimingGnn::Prediction pred = model_.forward(g, plan);
@@ -330,13 +394,21 @@ NetEmbedTrainer::NetEmbedTrainer(const NetEmbedConfig& config,
             nn::AdamConfig{.lr = options.lr, .grad_clip = options.grad_clip}) {}
 
 double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
+  TG_TRACE_SCOPE("core/train", obs::kSpanCoarse);
+  TelemetryStream telemetry(options_.telemetry_path, "net-embed");
   double mean_loss = 0.0;
   GoodState good;
   good.capture(model_, adam_);
   for (int epoch = epoch_; epoch < options_.epochs; ++epoch) {
-    adam_.set_lr(scheduled_lr(options_, epoch));
+    TG_TRACE_SCOPE("core/train_epoch", obs::kSpanDetail);
+    WallTimer epoch_timer;
+    const float lr = scheduled_lr(options_, epoch);
+    adam_.set_lr(lr);
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
+    int good_steps = 0;
     for (int id : dataset.train_ids) {
+      TG_TRACE_SCOPE("core/train_step", obs::kSpanVerbose);
       const data::DatasetGraph& g = dataset.graphs[static_cast<std::size_t>(id)];
       adam_.zero_grad();
       Tensor emb = model_.forward(g);
@@ -361,12 +433,18 @@ double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
         good.restore(model_, adam_);
         continue;
       }
+      if (telemetry.active()) grad_norm_sum += global_grad_norm(model_);
       adam_.step();
       good.capture(model_, adam_);
       epoch_loss += loss_value;
+      ++good_steps;
     }
     mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
     epoch_ = epoch + 1;
+    telemetry.emit_epoch(
+        options_, epoch_, mean_loss,
+        good_steps > 0 ? grad_norm_sum / good_steps : 0.0, lr,
+        epoch_timer.seconds(), non_finite_steps_);
     if (options_.verbose) {
       TG_INFO("net-embed epoch " << epoch + 1 << "/" << options_.epochs
                                  << " loss=" << mean_loss);
@@ -416,13 +494,21 @@ const GcniiAdjacency& GcniiTrainer::adjacency_for(const data::DatasetGraph& g) {
 }
 
 double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
+  TG_TRACE_SCOPE("core/train", obs::kSpanCoarse);
+  TelemetryStream telemetry(options_.telemetry_path, "gcnii");
   double mean_loss = 0.0;
   GoodState good;
   good.capture(model_, adam_);
   for (int epoch = epoch_; epoch < options_.epochs; ++epoch) {
-    adam_.set_lr(scheduled_lr(options_, epoch));
+    TG_TRACE_SCOPE("core/train_epoch", obs::kSpanDetail);
+    WallTimer epoch_timer;
+    const float lr = scheduled_lr(options_, epoch);
+    adam_.set_lr(lr);
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
+    int good_steps = 0;
     for (int id : dataset.train_ids) {
+      TG_TRACE_SCOPE("core/train_step", obs::kSpanVerbose);
       const data::DatasetGraph& g = dataset.graphs[static_cast<std::size_t>(id)];
       adam_.zero_grad();
       Tensor pred = model_.forward(g, adjacency_for(g));
@@ -445,12 +531,18 @@ double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
         good.restore(model_, adam_);
         continue;
       }
+      if (telemetry.active()) grad_norm_sum += global_grad_norm(model_);
       adam_.step();
       good.capture(model_, adam_);
       epoch_loss += loss_value;
+      ++good_steps;
     }
     mean_loss = epoch_loss / static_cast<double>(dataset.train_ids.size());
     epoch_ = epoch + 1;
+    telemetry.emit_epoch(
+        options_, epoch_, mean_loss,
+        good_steps > 0 ? grad_norm_sum / good_steps : 0.0, lr,
+        epoch_timer.seconds(), non_finite_steps_);
     if (options_.verbose) {
       TG_INFO("gcnii-" << model_.config().num_layers << " epoch " << epoch + 1
                        << "/" << options_.epochs << " loss=" << mean_loss);
@@ -471,6 +563,7 @@ void GcniiTrainer::load_checkpoint(const std::string& path) {
 }
 
 DesignEval GcniiTrainer::evaluate(const data::DatasetGraph& g) {
+  TG_TRACE_SCOPE("core/evaluate", obs::kSpanCoarse);
   const GcniiAdjacency& adj = adjacency_for(g);
   WallTimer timer;
   Tensor pred = model_.forward(g, adj);

@@ -32,6 +32,11 @@ struct TrainOptions {
   /// run bit-identically.
   std::string checkpoint_path;
   int checkpoint_every = 1;
+  /// Training telemetry: when non-empty, fit() appends one JSON object per
+  /// epoch here (JSONL) with loss, mean global gradient L2 norm, learning
+  /// rate, epoch wall time, peak RSS, and the non-finite-step count. See
+  /// DESIGN.md §9 "Observability".
+  std::string telemetry_path;
 };
 
 /// Per-design evaluation record; R² definitions follow the paper

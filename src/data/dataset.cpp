@@ -8,6 +8,8 @@
 #include "sta/validate.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -29,40 +31,57 @@ void gate(const std::string& benchmark, const char* stage, Check&& check) {
 
 DatasetGraph build_design_graph(const SuiteEntry& entry, const Library& library,
                                 const DatasetOptions& options) {
+  TG_TRACE_SCOPE("data/benchmark", obs::kSpanCoarse);
   const std::string& name = entry.spec.name;
-  auto design = std::make_shared<Design>(generate_design(entry.spec, library));
+  auto design = std::make_shared<Design>([&] {
+    TG_TRACE_SCOPE("data/generate", obs::kSpanCoarse);
+    return generate_design(entry.spec, library);
+  }());
   if (options.post_generate) options.post_generate(*design);
   gate(name, "post-generate design check",
        [&](DiagSink& s) { validate_design(*design, s); });
 
-  place_design(*design, options.placer);
+  {
+    TG_TRACE_SCOPE("data/place", obs::kSpanCoarse);
+    place_design(*design, options.placer);
+  }
   gate(name, "post-place check", [&](DiagSink& s) {
     validate_placement(*design, s);
     if (validate_level() == ValidateLevel::kFull) validate_design(*design, s);
   });
 
-  auto truth = std::make_shared<DesignRouting>(
-      route_design(*design, options.truth_routing));
+  auto truth = std::make_shared<DesignRouting>([&] {
+    TG_TRACE_SCOPE("data/route", obs::kSpanCoarse);
+    return route_design(*design, options.truth_routing);
+  }());
 
   const TimingGraph graph(*design);
   gate(name, "timing graph check",
        [&](DiagSink& s) { validate_timing_graph(graph, s); });
 
-  StaResult sta = run_sta(graph, *truth, options.sta);
-  design->set_period(
-      calibrated_period(*design, sta.arrival, entry.clock_factor));
-  // Re-run to refresh RAT/slack under the calibrated period; keep the
-  // first run's propagation timing (identical work).
-  const double sta_seconds = sta.sta_seconds;
-  sta = run_sta(graph, *truth, options.sta);
-  sta.sta_seconds = sta_seconds;
+  StaResult sta;
+  {
+    TG_TRACE_SCOPE("data/sta", obs::kSpanCoarse);
+    sta = run_sta(graph, *truth, options.sta);
+    design->set_period(
+        calibrated_period(*design, sta.arrival, entry.clock_factor));
+    // Re-run to refresh RAT/slack under the calibrated period; keep the
+    // first run's propagation timing (identical work).
+    const double sta_seconds = sta.sta_seconds;
+    sta = run_sta(graph, *truth, options.sta);
+    sta.sta_seconds = sta_seconds;
+  }
   gate(name, "STA finiteness check",
        [&](DiagSink& s) { check_sta_finite(graph, sta, s); });
 
-  DatasetGraph g = extract_graph(*design, graph, *truth, sta);
+  DatasetGraph g = [&] {
+    TG_TRACE_SCOPE("data/extract", obs::kSpanCoarse);
+    return extract_graph(*design, graph, *truth, sta);
+  }();
   g.is_test = entry.is_test;
   gate(name, "extracted graph check",
        [&](DiagSink& s) { validate_dataset_graph(g, s); });
+  TG_METRIC_COUNT("data/benchmarks_built", 1);
   if (!options.slim) {
     g.design = design;
     g.truth_routing = truth;
@@ -95,6 +114,7 @@ SuiteDataset build_suite_dataset(const Library& library,
   // preserved by writing results into pre-sized slots. A benchmark whose
   // pipeline throws is quarantined — the slot stays empty and the failure
   // text is recorded — instead of aborting the whole suite build.
+  TG_TRACE_SCOPE("data/suite_build", obs::kSpanCoarse);
   std::vector<DatasetGraph> slots(selected.size());
   std::vector<char> failed(selected.size(), 0);
   std::vector<std::string> reports(selected.size());
@@ -115,6 +135,7 @@ SuiteDataset build_suite_dataset(const Library& library,
   SuiteDataset out;
   for (std::size_t i = 0; i < selected.size(); ++i) {
     if (failed[i]) {
+      TG_METRIC_COUNT("data/quarantined", 1);
       out.quarantined.push_back(
           QuarantinedBenchmark{selected[i].spec.name, reports[i]});
       continue;

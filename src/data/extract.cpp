@@ -1,6 +1,7 @@
 #include "data/extract.hpp"
 
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg::data {
 
@@ -24,6 +25,7 @@ nn::Tensor per_corner_tensor(const std::vector<PerCorner>& values,
 
 DatasetGraph extract_graph(const Design& design, const TimingGraph& graph,
                            const DesignRouting& truth, const StaResult& sta) {
+  TG_TRACE_SCOPE("data/extract", obs::kSpanCoarse);
   DatasetGraph g;
   g.name = design.name();
   g.num_nodes = design.num_pins();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace tg::nn {
@@ -249,6 +250,7 @@ Tensor softplus(const Tensor& a) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  TG_TRACE_SCOPE("nn/matmul", obs::kSpanDetail);
   TG_CHECK_MSG(a.cols() == b.rows(), "matmul: " << a.rows() << "x" << a.cols()
                                                 << " times " << b.rows() << "x"
                                                 << b.cols());
@@ -513,6 +515,7 @@ Tensor multi_gather(std::span<const Tensor> sources, std::vector<int> src_tensor
 
 Tensor segment_sum(const Tensor& a, std::vector<int> seg,
                    std::int64_t num_segments) {
+  TG_TRACE_SCOPE("nn/segment_sum", obs::kSpanDetail);
   TG_CHECK(static_cast<std::int64_t>(seg.size()) == a.rows());
   const std::int64_t cols = a.cols();
   auto impl = make_result(num_segments, cols, {&a});
@@ -599,6 +602,7 @@ Tensor segment_max(const Tensor& a, std::vector<int> seg,
 
 Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
             const Tensor& x, std::int64_t out_rows) {
+  TG_TRACE_SCOPE("nn/spmm", obs::kSpanDetail);
   TG_CHECK(src.size() == dst.size() && src.size() == w.size());
   const std::int64_t cols = x.cols();
   auto impl = make_result(out_rows, cols, {&x});
@@ -799,6 +803,7 @@ Tensor softmax_groups(const Tensor& a, std::int64_t group) {
 
 Tensor lut_kron_dot(const Tensor& a, const Tensor& b, const Tensor& lut,
                     std::int64_t lut_dim) {
+  TG_TRACE_SCOPE("nn/lut_kron_dot", obs::kSpanDetail);
   const std::int64_t rows = a.rows();
   TG_CHECK(b.rows() == rows && lut.rows() == rows);
   TG_CHECK(a.cols() == b.cols() && a.cols() % lut_dim == 0);

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg {
 
@@ -260,6 +262,7 @@ RouteTopology tree_to_topology(const Design& design, NetId net_id,
 }  // namespace
 
 MazeResult maze_route(const Design& design, const MazeConfig& config) {
+  TG_TRACE_SCOPE("route/maze", obs::kSpanCoarse);
   TG_CHECK(design.die().valid());
   RoutingGrid grid(design.die(), config);
   DijkstraScratch scratch(grid.num_cells());
@@ -303,12 +306,16 @@ MazeResult maze_route(const Design& design, const MazeConfig& config) {
         tree_to_topology(design, n, grid, tree);
   };
 
-  for (NetId n : order) route_one(n);
+  {
+    TG_TRACE_SCOPE("route/maze/initial", obs::kSpanDetail);
+    for (NetId n : order) route_one(n);
+  }
 
   // Rip-up-and-reroute: nets crossing overflowed edges get a second chance
   // at the now-visible congestion picture.
   for (int pass = 0; pass < config.ripup_passes; ++pass) {
     if (grid.overflow_count() == 0) break;
+    TG_TRACE_SCOPE("route/maze/ripup_pass", obs::kSpanDetail);
     std::vector<char> edge_overflow(static_cast<std::size_t>(grid.num_edges()), 0);
     for (int e = 0; e < grid.num_edges(); ++e) {
       if (grid.usage(e) >= config.capacity) edge_overflow[static_cast<std::size_t>(e)] = 1;
@@ -322,6 +329,7 @@ MazeResult maze_route(const Design& design, const MazeConfig& config) {
         }
       }
     }
+    TG_METRIC_COUNT("route/maze_ripup_victims", victims.size());
     for (NetId n : victims) {
       for (int e : net_edges[static_cast<std::size_t>(n)]) grid.add_usage(e, -1);
       net_edges[static_cast<std::size_t>(n)].clear();
@@ -330,6 +338,7 @@ MazeResult maze_route(const Design& design, const MazeConfig& config) {
   }
 
   result.overflow_edges = grid.overflow_count();
+  TG_METRIC_COUNT("route/maze_overflow_edges", result.overflow_edges);
   result.max_edge_usage = grid.max_usage();
   for (const RouteTopology& t : result.topologies) {
     result.total_wirelength += t.total_wirelength();

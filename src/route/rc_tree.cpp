@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg {
 
@@ -14,6 +15,7 @@ constexpr double kLn2 = 0.6931471805599453;
 NetParasitics extract_parasitics(const Design& design, NetId net_id,
                                  const RouteTopology& topo,
                                  const WireModel& wire) {
+  TG_TRACE_SCOPE("route/rc_net", obs::kSpanVerbose);
   const Net& net = design.net(net_id);
   const int n = topo.size();
 

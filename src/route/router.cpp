@@ -1,10 +1,13 @@
 #include "route/router.hpp"
 
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace tg {
 
 DesignRouting route_design(const Design& design, const RoutingOptions& options) {
+  TG_TRACE_SCOPE("route/design", obs::kSpanCoarse);
   WallTimer timer;
   DesignRouting out;
   out.nets.resize(static_cast<std::size_t>(design.num_nets()));
@@ -12,20 +15,24 @@ DesignRouting route_design(const Design& design, const RoutingOptions& options) 
   if (options.mode == RouteMode::kMaze) {
     const MazeResult routed = maze_route(design, options.maze);
     out.overflow_edges = routed.overflow_edges;
+    TG_TRACE_SCOPE("route/rc_extract", obs::kSpanCoarse);
     for (NetId n = 0; n < design.num_nets(); ++n) {
       if (design.net(n).is_clock) continue;
       out.nets[static_cast<std::size_t>(n)] = extract_parasitics(
           design, n, routed.topologies[static_cast<std::size_t>(n)], options.wire);
       out.total_wirelength +=
           routed.topologies[static_cast<std::size_t>(n)].total_wirelength();
+      TG_METRIC_COUNT("route/nets_routed", 1);
     }
   } else {
+    TG_TRACE_SCOPE("route/steiner", obs::kSpanCoarse);
     for (NetId n = 0; n < design.num_nets(); ++n) {
       if (design.net(n).is_clock) continue;
       const RouteTopology topo = build_net_steiner(design, n);
       out.nets[static_cast<std::size_t>(n)] =
           extract_parasitics(design, n, topo, options.wire);
       out.total_wirelength += topo.total_wirelength();
+      TG_METRIC_COUNT("route/nets_routed", 1);
     }
   }
   out.route_seconds = timer.seconds();

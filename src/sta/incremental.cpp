@@ -3,6 +3,8 @@
 #include <queue>
 
 #include "util/check.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg {
 
@@ -52,6 +54,8 @@ int IncrementalTimer::update() {
     visited_ = 0;
     return 0;
   }
+  TG_TRACE_SCOPE("sta/incremental", obs::kSpanCoarse);
+  TG_METRIC_COUNT("sta/incremental_updates", 1);
 
   std::priority_queue<LevelEntry, std::vector<LevelEntry>,
                       std::greater<LevelEntry>>
@@ -90,6 +94,8 @@ int IncrementalTimer::update() {
     }
   }
 
+  TG_METRIC_COUNT("sta/incremental_pins_visited", visited_);
+  TG_METRIC_COUNT("sta/incremental_pins_changed", changed_pins);
   if (changed_pins > 0) {
     sta_detail::compute_required(*graph_, options_, result_);
   }

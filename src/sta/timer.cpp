@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -185,6 +187,7 @@ void relax_required_pin(const TimingGraph& graph, StaResult& r, PinId p) {
 
 void compute_required(const TimingGraph& graph, const StaOptions& options,
                       StaResult& r) {
+  TG_TRACE_SCOPE("sta/backward", obs::kSpanCoarse);
   const Design& d = graph.design();
   const int n = d.num_pins();
   const double period = d.clock_period();
@@ -215,6 +218,8 @@ void compute_required(const TimingGraph& graph, const StaOptions& options,
   const auto& levels = graph.levels();
   for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
     const std::vector<PinId>& level = *lit;
+    TG_TRACE_SCOPE("sta/backward/level", obs::kSpanDetail);
+    TG_METRIC_COUNT("sta/pins_relaxed", level.size());
     parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
                  [&](std::int64_t b, std::int64_t e) {
                    for (std::int64_t i = b; i < e; ++i) {
@@ -260,6 +265,11 @@ StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
   const int n = d.num_pins();
   TG_CHECK(static_cast<int>(routing.nets.size()) == d.num_nets());
 
+  TG_TRACE_SCOPE("sta/run", obs::kSpanCoarse);
+  TG_METRIC_COUNT("sta/runs", 1);
+  TG_METRIC_COUNT("sta/net_arcs", graph.net_arcs().size());
+  TG_METRIC_COUNT("sta/cell_arcs", graph.cell_arcs().size());
+
   WallTimer timer;
   StaResult r;
   r.arrival.assign(static_cast<std::size_t>(n), per_corner_fill(0.0));
@@ -276,15 +286,20 @@ StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
   // propagate_pin writes only pin-owned rows (a cell arc's delay slot is
   // owned by its unique `to` pin), so in-level pins never race and the
   // result is bit-identical to the serial order.
-  for (const std::vector<PinId>& level : graph.levels()) {
-    parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
-                 [&](std::int64_t b, std::int64_t e) {
-                   for (std::int64_t i = b; i < e; ++i) {
-                     sta_detail::propagate_pin(
-                         graph, routing, options, r,
-                         level[static_cast<std::size_t>(i)]);
-                   }
-                 });
+  {
+    TG_TRACE_SCOPE("sta/forward", obs::kSpanCoarse);
+    for (const std::vector<PinId>& level : graph.levels()) {
+      TG_TRACE_SCOPE("sta/forward/level", obs::kSpanDetail);
+      TG_METRIC_COUNT("sta/pins_propagated", level.size());
+      parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
+                   [&](std::int64_t b, std::int64_t e) {
+                     for (std::int64_t i = b; i < e; ++i) {
+                       sta_detail::propagate_pin(
+                           graph, routing, options, r,
+                           level[static_cast<std::size_t>(i)]);
+                     }
+                   });
+    }
   }
   sta_detail::compute_required(graph, options, r);
   r.sta_seconds = timer.seconds();

@@ -1,0 +1,68 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON DOM parser — just enough for `tools/tg_top` and the trace
+/// golden tests to read back the files the obs layer writes (trace_event
+/// JSON, metrics snapshots, bench JSON). Parses the full JSON grammar
+/// (objects, arrays, strings with escapes, numbers, bools, null); not a
+/// streaming parser and not tuned for huge inputs.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tg::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw CheckError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; throws CheckError if absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parses `text`; throws CheckError with byte offset on malformed input.
+[[nodiscard]] Value parse(const std::string& text);
+
+/// Reads the file and parses it; throws CheckError on I/O or parse error.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace tg::json

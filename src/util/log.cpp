@@ -1,11 +1,18 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace tg {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+// Leaked so log_emit stays safe from atexit handlers after static dtors.
+std::mutex& emit_mutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,12 +26,24 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  // Build the whole line first, then one guarded write: concurrent
+  // messages come out whole, never interleaved.
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail
 

@@ -1,8 +1,11 @@
 #pragma once
 /// \file log.hpp
 /// Minimal leveled logger. Defaults to Info; benches flip to Debug with
-/// --verbose. Not thread-safe by design — the project is single-threaded.
+/// --verbose. Thread-safe: the level is an atomic and each message is
+/// emitted as one mutex-guarded write, so concurrent TG_WARNs from pool
+/// workers never interleave mid-line.
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -34,3 +37,17 @@ void log_emit(LogLevel level, const std::string& msg);
 #define TG_INFO(expr) TG_LOG_AT(::tg::LogLevel::kInfo, expr)
 #define TG_WARN(expr) TG_LOG_AT(::tg::LogLevel::kWarn, expr)
 #define TG_ERROR(expr) TG_LOG_AT(::tg::LogLevel::kError, expr)
+
+/// Like TG_WARN, but fires at most once per call site for the process
+/// lifetime — for warnings that would otherwise repeat on a hot path
+/// (e.g. the tracer's buffer-full notice). Racing threads may not see the
+/// flag flip atomically with the emit, but exchange() guarantees a single
+/// winner.
+#define TG_WARN_ONCE(expr)                                          \
+  do {                                                              \
+    static std::atomic<bool> tg_warn_once_fired{false};             \
+    if (!tg_warn_once_fired.exchange(true,                          \
+                                     std::memory_order_relaxed)) {  \
+      TG_WARN(expr);                                                \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,356 @@
+#include "util/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/log.hpp"
+#include "util/obs/trace.hpp"
+
+namespace tg::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+int thread_stripe() {
+  static std::atomic<int> next{0};
+  thread_local int stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+  detail::refresh_span_gate();
+}
+
+// ---- Counter -------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Gauge ---------------------------------------------------------------
+
+void Gauge::set_max(double v) {
+  if (!metrics_enabled()) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Histogram -----------------------------------------------------------
+
+int Histogram::bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v);
+  return b >= kHistogramBuckets ? kHistogramBuckets - 1 : b;
+}
+
+std::uint64_t Histogram::bucket_lo(int b) {
+  if (b <= 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(int b) {
+  if (b <= 0) return 0;
+  if (b >= kHistogramBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  if (!metrics_enabled()) return;
+  Shard& s = shards_[static_cast<std::size_t>(detail::thread_stripe()) %
+                     kShards];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !s.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  s.buckets[static_cast<std::size_t>(bucket_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  std::uint64_t mn = ~std::uint64_t{0};
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    mn = std::min(mn, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  out.min = out.count == 0 ? 0 : mn;
+  return out;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (rank < static_cast<double>(seen + n)) {
+      // Interpolate within the bucket, then clamp to the observed range so
+      // single-sample histograms report the exact value.
+      const double frac =
+          n <= 1 ? 0.0 : (rank - static_cast<double>(seen)) /
+                             static_cast<double>(n - 1);
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    seen += n;
+  }
+  return static_cast<double>(max);
+}
+
+// ---- registry ------------------------------------------------------------
+
+namespace {
+
+// Leaked so the atexit dump can run after other statics are destroyed.
+// std::map keeps references stable across inserts.
+template <typename T>
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, T, std::less<>> entries;
+
+  T& get(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      it = entries.try_emplace(std::string(name)).first;
+    }
+    return it->second;
+  }
+};
+
+Registry<Counter>& counter_registry() {
+  static Registry<Counter>* r = new Registry<Counter>;
+  return *r;
+}
+Registry<Gauge>& gauge_registry() {
+  static Registry<Gauge>* r = new Registry<Gauge>;
+  return *r;
+}
+Registry<Histogram>& histogram_registry() {
+  static Registry<Histogram>* r = new Registry<Histogram>;
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) { return counter_registry().get(name); }
+Gauge& gauge(std::string_view name) { return gauge_registry().get(name); }
+Histogram& histogram(std::string_view name) {
+  return histogram_registry().get(name);
+}
+
+MetricsSnapshot snapshot_metrics() {
+  MetricsSnapshot out;
+  {
+    Registry<Counter>& r = counter_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [name, c] : r.entries) {
+      out.counters.push_back({name, c.value()});
+    }
+  }
+  {
+    Registry<Gauge>& r = gauge_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [name, g] : r.entries) {
+      out.gauges.push_back({name, g.value()});
+    }
+  }
+  {
+    Registry<Histogram>& r = histogram_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [name, h] : r.entries) {
+      out.histograms.push_back({name, h.snapshot()});
+    }
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void reset_metrics() {
+  {
+    Registry<Counter>& r = counter_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, c] : r.entries) c.reset();
+  }
+  {
+    Registry<Gauge>& r = gauge_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, g] : r.entries) g.reset();
+  }
+  {
+    Registry<Histogram>& r = histogram_registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, h] : r.entries) h.reset();
+  }
+}
+
+// ---- dumps ---------------------------------------------------------------
+
+namespace {
+
+void json_escape(std::FILE* f, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", static_cast<unsigned>(c));
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+}  // namespace
+
+bool write_metrics_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    TG_WARN("metrics: cannot open " << path << " for writing");
+    return false;
+  }
+  const MetricsSnapshot snap = snapshot_metrics();
+  std::fprintf(f, "{\n  \"counters\": {");
+  bool first = true;
+  for (const auto& row : snap.counters) {
+    std::fprintf(f, "%s\n    \"", first ? "" : ",");
+    json_escape(f, row.name);
+    std::fprintf(f, "\": %" PRIu64, row.value);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n  \"gauges\": {");
+  first = true;
+  for (const auto& row : snap.gauges) {
+    std::fprintf(f, "%s\n    \"", first ? "" : ",");
+    json_escape(f, row.name);
+    std::fprintf(f, "\": %.17g", row.value);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n  \"histograms\": {");
+  first = true;
+  for (const auto& row : snap.histograms) {
+    const Histogram::Snapshot& h = row.hist;
+    std::fprintf(f, "%s\n    \"", first ? "" : ",");
+    json_escape(f, row.name);
+    std::fprintf(f,
+                 "\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                 ", \"min\": %" PRIu64 ", \"max\": %" PRIu64
+                 ", \"mean\": %.6g, \"p50\": %.6g, \"p90\": %.6g, \"p99\": "
+                 "%.6g}",
+                 h.count, h.sum, h.min, h.max, h.mean(), h.percentile(50),
+                 h.percentile(90), h.percentile(99));
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) TG_WARN("metrics: error while writing " << path);
+  return ok;
+}
+
+bool write_metrics_csv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    TG_WARN("metrics: cannot open " << path << " for writing");
+    return false;
+  }
+  const MetricsSnapshot snap = snapshot_metrics();
+  std::fprintf(f, "kind,name,count,sum,min,max,mean,p50,p90,p99\n");
+  for (const auto& row : snap.counters) {
+    std::fprintf(f, "counter,%s,,%" PRIu64 ",,,,,,\n", row.name.c_str(),
+                 row.value);
+  }
+  for (const auto& row : snap.gauges) {
+    std::fprintf(f, "gauge,%s,,%.17g,,,,,,\n", row.name.c_str(), row.value);
+  }
+  for (const auto& row : snap.histograms) {
+    const Histogram::Snapshot& h = row.hist;
+    std::fprintf(f,
+                 "histogram,%s,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                 ",%.6g,%.6g,%.6g,%.6g\n",
+                 row.name.c_str(), h.count, h.sum, h.min, h.max, h.mean(),
+                 h.percentile(50), h.percentile(90), h.percentile(99));
+  }
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) TG_WARN("metrics: error while writing " << path);
+  return ok;
+}
+
+// ---- env init ------------------------------------------------------------
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+struct MetricsEnvInit {
+  MetricsEnvInit() {
+    const char* path = std::getenv("TG_METRICS");
+    if (!path || !*path) return;
+    static std::string dump_path = path;
+    set_metrics_enabled(true);
+    std::atexit([] {
+      if (ends_with(dump_path, ".csv")) {
+        write_metrics_csv(dump_path);
+      } else {
+        write_metrics_json(dump_path);
+      }
+    });
+  }
+};
+const MetricsEnvInit g_metrics_env_init;
+
+}  // namespace
+
+}  // namespace tg::obs

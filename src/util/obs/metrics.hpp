@@ -1,0 +1,178 @@
+#pragma once
+/// \file metrics.hpp
+/// Process-wide metrics registry (DESIGN.md §9): named counters, gauges and
+/// fixed-bucket histograms behind a zero-overhead-when-disabled gate.
+///
+/// Every record call starts with one relaxed atomic load of the enabled
+/// flag; with `TG_METRICS` unset nothing else happens, so instrumentation
+/// can live permanently on hot paths. When `TG_METRICS=<path>` is set the
+/// merged snapshot is dumped at process exit — JSON by default, CSV when
+/// the path ends in `.csv`.
+///
+/// Recording is thread-sharded: each thread writes its own
+/// cache-line-padded stripe (picked by a stable per-thread id), and
+/// `snapshot_metrics()` merges the stripes. Merged totals therefore depend
+/// only on *what* was recorded, never on which thread or interleaving
+/// recorded it — the snapshot-merge determinism the obs tests pin down.
+///
+/// Span durations from the tracer (util/obs/trace.hpp) auto-feed
+/// histograms named `span/<span-name>`, which is what `tools/tg_top`
+/// aggregates into a profile.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+/// Stable small id for the calling thread; indexes the metric stripes.
+[[nodiscard]] int thread_stripe();
+}  // namespace detail
+
+/// True when metric recording is on (TG_METRICS or set_metrics_enabled).
+[[nodiscard]] inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips recording on or off (tests, tools; TG_METRICS drives it at init).
+void set_metrics_enabled(bool enabled);
+
+inline constexpr int kMetricStripes = 16;
+/// log2 duration buckets: bucket 0 holds value 0, bucket b >= 1 holds
+/// [2^(b-1), 2^b - 1]. 44 buckets cover 1 ns .. ~2.4 h in nanoseconds.
+inline constexpr int kHistogramBuckets = 44;
+
+/// Monotonic add-only counter (events, pins, arcs, bytes).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    cells_[static_cast<std::size_t>(detail::thread_stripe())].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all stripes.
+  [[nodiscard]] std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kMetricStripes> cells_{};
+};
+
+/// Last-write-wins scalar; set_max keeps the peak (peak-RSS style).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void set_max(double v);
+
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed log2-bucket histogram of non-negative integer samples
+/// (nanoseconds for the span-duration histograms).
+class Histogram {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< meaningless when count == 0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    [[nodiscard]] double mean() const;
+    /// Percentile estimate (p in [0, 100]), linearly interpolated inside
+    /// the containing bucket.
+    [[nodiscard]] double percentile(double p) const;
+  };
+
+  void record(std::uint64_t value);
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  /// Bucket index of a sample (0 for 0, else bit_width, capped).
+  [[nodiscard]] static int bucket_of(std::uint64_t v);
+  [[nodiscard]] static std::uint64_t bucket_lo(int b);
+  [[nodiscard]] static std::uint64_t bucket_hi(int b);
+
+ private:
+  static constexpr int kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+// ---- registry ------------------------------------------------------------
+// Returned references are stable for the process lifetime, so call sites
+// cache them in function-local statics (see TG_METRIC_COUNT).
+
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// Point-in-time merged view of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value;
+  };
+  struct HistogramRow {
+    std::string name;
+    Histogram::Snapshot hist;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Dumps the merged snapshot; returns false (after TG_WARN) on I/O failure.
+bool write_metrics_json(const std::string& path);
+bool write_metrics_csv(const std::string& path);
+
+/// Zeroes every registered metric (references stay valid). Test helper.
+void reset_metrics();
+
+}  // namespace tg::obs
+
+/// Counter bump with a per-site cached registry lookup. `name_` must be a
+/// constant; the lookup happens once, afterwards the disabled-mode cost is
+/// the static guard plus one relaxed load.
+#define TG_METRIC_COUNT(name_, delta_)                                 \
+  do {                                                                 \
+    static ::tg::obs::Counter& tg_obs_counter_ =                       \
+        ::tg::obs::counter(name_);                                     \
+    tg_obs_counter_.add(static_cast<std::uint64_t>(delta_));           \
+  } while (0)
+
+/// Gauge set (last write wins) with a per-site cached lookup.
+#define TG_METRIC_GAUGE_SET(name_, value_)                             \
+  do {                                                                 \
+    static ::tg::obs::Gauge& tg_obs_gauge_ = ::tg::obs::gauge(name_);  \
+    tg_obs_gauge_.set(static_cast<double>(value_));                    \
+  } while (0)

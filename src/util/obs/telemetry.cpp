@@ -1,0 +1,63 @@
+#include "util/obs/telemetry.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace tg::obs {
+
+bool JsonlWriter::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  if (!file_) {
+    TG_WARN("telemetry: cannot open " << path << " for writing");
+    return false;
+  }
+  return true;
+}
+
+void JsonlWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void JsonlWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+std::uint64_t peak_rss_bytes() {
+  // VmHWM ("high water mark") is the peak resident set in kB.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        std::fclose(f);
+        return static_cast<std::uint64_t>(
+                   std::strtoull(line + 6, nullptr, 10)) *
+               1024;
+      }
+    }
+    std::fclose(f);
+  }
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB on Linux
+  }
+  return 0;
+}
+
+}  // namespace tg::obs

@@ -1,0 +1,41 @@
+#pragma once
+/// \file telemetry.hpp
+/// Small helpers for the trainer telemetry stream (DESIGN.md §9): a
+/// mutex-guarded JSONL writer (one JSON object per line, flushed per line
+/// so a crash loses at most the line being written) and a peak-RSS probe.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace tg::obs {
+
+/// Line-oriented JSON writer. Opens `path` truncating; each write_line
+/// appends one line and flushes. All methods are thread-safe.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(const std::string& path) { open(path); }
+  ~JsonlWriter() { close(); }
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Returns false (after TG_WARN) if the file cannot be opened.
+  bool open(const std::string& path);
+  void close();
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  /// Writes `line` (without trailing newline) + '\n', then flushes.
+  void write_line(const std::string& line);
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Peak resident-set size of this process in bytes (VmHWM from
+/// /proc/self/status, getrusage fallback); 0 if unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace tg::obs

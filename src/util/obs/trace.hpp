@@ -1,0 +1,137 @@
+#pragma once
+/// \file trace.hpp
+/// Scoped-span tracer (DESIGN.md §9). Drop `TG_TRACE_SCOPE("sta/forward",
+/// kSpanCoarse);` at the top of a scope and, when tracing is enabled, the
+/// scope's wall time is recorded as a span in a per-thread buffer and
+/// exported as Chrome/Perfetto `trace_event` JSON at exit
+/// (`TG_TRACE=<path>`, load in https://ui.perfetto.dev).
+///
+/// Cost model:
+///  - disabled (default): one relaxed atomic load + predictable branch per
+///    scope — measured low-single-digit ns, safe on hot paths.
+///  - enabled: two steady_clock reads plus a wait-free append into a
+///    per-thread bounded buffer (no locks, no allocation after warm-up).
+///
+/// Buffers are append-only and bounded (TG_TRACE_CAP events per thread,
+/// default 65536): once full, new events are dropped and counted rather
+/// than wrapping, so a dump can read buffers race-free while pool workers
+/// are still tracing. Span durations also auto-feed metrics histograms
+/// named `span/<name>` whenever metrics are enabled (util/obs/metrics.hpp),
+/// even with no trace file — that is what `tools/tg_top` consumes.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tg::obs {
+
+/// Span levels: a span is recorded when its level <= the configured trace
+/// level. Coarse = per-phase (one span per STA run), detail = per-unit
+/// (per level / per pass / per epoch / per tensor-kernel call), verbose =
+/// per-item (per net, per training step).
+inline constexpr int kSpanCoarse = 0;
+inline constexpr int kSpanDetail = 1;
+inline constexpr int kSpanVerbose = 2;
+
+namespace detail {
+/// Fast gate read by every TG_TRACE_SCOPE: max span level to record, or a
+/// negative value when both tracing and metrics are off.
+extern std::atomic<int> g_span_gate;
+/// Recomputes g_span_gate from the trace level and metrics flag. Called by
+/// set_trace_level / set_metrics_enabled.
+void refresh_span_gate();
+}  // namespace detail
+
+/// Configured trace level (-1 = tracing off). Spans still feed metrics
+/// histograms when metrics are enabled regardless of this.
+[[nodiscard]] int trace_level();
+void set_trace_level(int level);
+
+/// Path the atexit handler writes to (TG_TRACE). Empty = no export.
+[[nodiscard]] std::string trace_path();
+void set_trace_path(const std::string& path);
+
+/// Static per-call-site descriptor; `name` must have static storage
+/// duration (the tracer stores the pointer). constexpr-constructible so
+/// TG_TRACE_SCOPE's constinit local has no init guard.
+struct SpanSite {
+  const char* name;
+  int level;
+  /// Lazily resolved `span/<name>` histogram (set on first recorded span).
+  std::atomic<void*> hist;
+
+  constexpr SpanSite(const char* n, int lvl) : name(n), level(lvl), hist(nullptr) {}
+};
+
+namespace detail {
+void span_begin(SpanSite& site);
+void span_end(SpanSite& site);
+}  // namespace detail
+
+/// RAII span. Constructed by TG_TRACE_SCOPE; the inline constructor is the
+/// only code on the disabled path.
+class TraceScope {
+ public:
+  explicit TraceScope(SpanSite& site) {
+    if (site.level > detail::g_span_gate.load(std::memory_order_relaxed))
+      return;
+    site_ = &site;
+    detail::span_begin(site);
+  }
+  ~TraceScope() {
+    if (site_) detail::span_end(*site_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  SpanSite* site_ = nullptr;
+};
+
+/// Names the calling thread in trace exports (thread_name metadata event).
+/// The pool calls this for its workers; main is named by the env init.
+void set_thread_name(const std::string& name);
+
+/// Nanoseconds since the tracer's epoch (first call). Monotonic.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Merges all thread buffers and writes Chrome trace_event JSON. Returns
+/// false (after TG_WARN) on I/O failure. Safe while other threads trace.
+bool write_trace_json(const std::string& path);
+
+/// A finished span, as stored in the per-thread buffers. Test/tool access.
+struct CollectedEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  int depth;  ///< nesting depth within its thread at begin time
+  int tid;    ///< tracer-assigned thread id (0 = first registered)
+};
+/// Snapshot of every recorded span, sorted by (tid, start_ns).
+[[nodiscard]] std::vector<CollectedEvent> collected_trace_events();
+
+/// Drops all recorded events (buffers stay registered). Test helper; call
+/// only while no other thread is inside a span.
+void clear_trace();
+
+struct TraceStats {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;  ///< events lost to full buffers
+  int threads = 0;
+};
+[[nodiscard]] TraceStats trace_stats();
+
+}  // namespace tg::obs
+
+#define TG_OBS_CONCAT_2(a, b) a##b
+#define TG_OBS_CONCAT(a, b) TG_OBS_CONCAT_2(a, b)
+
+/// Records the enclosing scope as a span named `name_` (string literal) at
+/// span level `level_`. Near-free when tracing and metrics are both off.
+#define TG_TRACE_SCOPE(name_, level_)                                     \
+  static constinit ::tg::obs::SpanSite TG_OBS_CONCAT(tg_obs_site_,        \
+                                                     __LINE__){(name_),   \
+                                                               (level_)}; \
+  ::tg::obs::TraceScope TG_OBS_CONCAT(tg_obs_span_, __LINE__)(            \
+      TG_OBS_CONCAT(tg_obs_site_, __LINE__))

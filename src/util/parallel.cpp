@@ -12,6 +12,7 @@
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg {
 
@@ -24,7 +25,10 @@ class ThreadPool {
  public:
   explicit ThreadPool(int size) : size_(size) {
     for (int i = 0; i + 1 < size; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        obs::set_thread_name("tg-worker-" + std::to_string(i + 1));
+        worker_loop();
+      });
     }
   }
 

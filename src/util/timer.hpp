@@ -4,6 +4,10 @@
 /// benches' sanity checks.
 
 #include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
 
 namespace tg {
 
@@ -24,6 +28,38 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// RAII wall timer: reports the elapsed time when the scope ends, replacing
+/// the hand-rolled `WallTimer t; ... printf(..., t.seconds())` pairs in the
+/// benches and examples. Three reporting modes:
+///   ScopedTimer t("label");      // prints "# label: 1.2 s" at scope end
+///   ScopedTimer t(&out_seconds); // stores elapsed seconds
+///   ScopedTimer t([](double s) { ... });  // arbitrary callback
+class ScopedTimer {
+ public:
+  using Callback = std::function<void(double)>;
+
+  explicit ScopedTimer(Callback on_done) : on_done_(std::move(on_done)) {}
+  explicit ScopedTimer(double* out_seconds)
+      : on_done_([out_seconds](double s) { *out_seconds = s; }) {}
+  explicit ScopedTimer(std::string label)
+      : on_done_([label = std::move(label)](double s) {
+          std::printf("# %s: %.1f s\n", label.c_str(), s);
+        }) {}
+
+  ~ScopedTimer() {
+    if (on_done_) on_done_(timer_.seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed seconds so far (scope not yet closed).
+  [[nodiscard]] double seconds() const { return timer_.seconds(); }
+
+ private:
+  WallTimer timer_;
+  Callback on_done_;
 };
 
 }  // namespace tg

@@ -1,0 +1,96 @@
+/// Golden-shape test for the Perfetto export: writes a trace from known
+/// spans and validates the Chrome trace_event JSON contract that
+/// https://ui.perfetto.dev actually relies on — top-level `traceEvents`
+/// array, complete ("X") events with numeric ts/dur, and thread_name
+/// metadata ("M") events.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
+
+namespace tg::obs {
+namespace {
+
+class TraceGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_level(-1);
+    set_metrics_enabled(false);
+    clear_trace();
+  }
+  void TearDown() override {
+    set_trace_level(-1);
+    clear_trace();
+  }
+};
+
+TEST_F(TraceGoldenTest, WritesPerfettoLoadableJson) {
+  set_trace_level(kSpanVerbose);
+  set_thread_name("golden-main");
+  {
+    TG_TRACE_SCOPE("sta/golden_outer", kSpanCoarse);
+    { TG_TRACE_SCOPE("sta/golden_inner", kSpanDetail); }
+    { TG_TRACE_SCOPE("nn/golden_kernel", kSpanDetail); }
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tg_trace_golden.json")
+          .string();
+  ASSERT_TRUE(write_trace_json(path));
+
+  const json::Value root = json::parse_file(path);
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ns");
+  const json::Array& events = root.at("traceEvents").as_array();
+  int x_events = 0, m_events = 0;
+  bool saw_outer = false, saw_thread_name = false;
+  for (const json::Value& ev : events) {
+    const std::string ph = ev.at("ph").as_string();
+    ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected ph " << ph;
+    if (ph == "M") {
+      ++m_events;
+      EXPECT_EQ(ev.at("name").as_string(), "thread_name");
+      if (ev.at("args").at("name").as_string() == "golden-main") {
+        saw_thread_name = true;
+      }
+      continue;
+    }
+    ++x_events;
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_GE(ev.at("dur").as_number(), 0.0);
+    EXPECT_TRUE(ev.at("pid").is_number());
+    EXPECT_TRUE(ev.at("tid").is_number());
+    EXPECT_TRUE(ev.at("args").at("depth").is_number());
+    // Category = span-name prefix before the first '/'.
+    const std::string name = ev.at("name").as_string();
+    const std::string cat = ev.at("cat").as_string();
+    EXPECT_EQ(cat, name.substr(0, name.find('/')));
+    if (name == "sta/golden_outer") {
+      saw_outer = true;
+      EXPECT_EQ(ev.at("args").at("depth").as_number(), 0.0);
+    }
+  }
+  EXPECT_EQ(x_events, 3);
+  EXPECT_GE(m_events, 1);
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_thread_name);
+  std::filesystem::remove(path);
+}
+
+TEST_F(TraceGoldenTest, EmptyTraceStillParses) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tg_trace_empty.json")
+          .string();
+  ASSERT_TRUE(write_trace_json(path));
+  const json::Value root = json::parse_file(path);
+  EXPECT_TRUE(root.at("traceEvents").is_array());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tg::obs
