@@ -3,13 +3,23 @@
 /// net-embedding stage, the levelized delay propagation, a full TimingGnn
 /// forward (the "Our GNN" runtime of Table 5), one training step, GCNII
 /// forward, and random-forest batch prediction.
+///
+///   micro_models --selfcheck   # CI mode: runs warm-up train steps, then
+///                              # hard-fails unless the steady-state
+///                              # allocator miss rate is ~0 (alloc/miss)
+///   micro_models --json        # BENCH_micro_models.json for perf diffs
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+
 #include "core/trainer.hpp"
 #include "liberty/library_builder.hpp"
+#include "micro_common.hpp"
 #include "ml/net_features.hpp"
 #include "ml/random_forest.hpp"
+#include "nn/alloc.hpp"
 
 namespace tg {
 namespace {
@@ -111,7 +121,71 @@ void BM_ForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredict);
 
+// ---- --selfcheck ---------------------------------------------------------
+
+/// Acceptable steady-state allocator miss rate. After the warm-up steps
+/// every per-step tensor acquire should be a free-list hit; the budget
+/// tolerates a handful of one-off stragglers without letting wholesale
+/// malloc traffic pass.
+constexpr double kMissRateBudget = 0.005;
+
+/// CI mode (bypasses google-benchmark): proves the steady-state claim of
+/// the caching arena (DESIGN.md §10) on the real training loop — after a
+/// few warm-up steps, further TimingGnn train steps run with alloc/miss
+/// ≈ 0 because every tensor buffer is reused from the free lists.
+int run_selfcheck() {
+  nn::alloc::set_alloc_mode(nn::alloc::Mode::kCache);
+  const Fixture& f = fixture();
+  core::TimingGnn model(bench_cfg());
+  nn::Adam adam(model.parameters(), nn::AdamConfig{.lr = 1e-3f});
+  auto step = [&] {
+    adam.zero_grad();
+    const auto pred = model.forward(f.g(), f.plan);
+    nn::Tensor loss = model.loss(f.g(), f.plan, pred);
+    loss.backward();
+    adam.step();
+    return loss.item();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm-up: populates the arena
+  nn::alloc::reset_alloc_stats();
+  constexpr int kSteps = 8;
+  for (int i = 0; i < kSteps; ++i) step();
+  const nn::alloc::AllocStats s = nn::alloc::alloc_stats();
+  const std::uint64_t total = s.hits + s.misses;
+  const double miss_rate =
+      total > 0 ? static_cast<double>(s.misses) / static_cast<double>(total)
+                : 0.0;
+  std::printf(
+      "# models selfcheck: %d steady-state train steps, %llu acquires, "
+      "%llu hits, %llu misses (rate %.5f, budget %.3f), high water %.1f MiB\n",
+      kSteps, static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses), miss_rate, kMissRateBudget,
+      static_cast<double>(s.bytes_high_water) / (1024.0 * 1024.0));
+  if (total == 0) {
+    std::fprintf(stderr,
+                 "# models selfcheck FAILED: no allocator traffic recorded "
+                 "(arena not wired through Tensor?)\n");
+    return 1;
+  }
+  if (miss_rate > kMissRateBudget) {
+    std::fprintf(stderr,
+                 "# models selfcheck FAILED: steady-state miss rate %.5f "
+                 "exceeds %.3f — training is hitting the heap per step\n",
+                 miss_rate, kMissRateBudget);
+    return 1;
+  }
+  std::printf("# models selfcheck OK\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace tg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selfcheck") == 0) return tg::run_selfcheck();
+  }
+  return tg::bench_micro::run_micro_main(argc, argv,
+                                         [](const std::vector<int>&) {});
+}

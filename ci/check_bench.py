@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the micro-bench --json output.
+
+Compares a freshly produced BENCH_*.json against the checked-in baseline
+(bench/BENCH_*.json) entry by entry and fails when any benchmark's median
+regresses beyond the threshold (default 1.25x). Used by `ci/run.sh bench`.
+
+    ci/check_bench.py <baseline.json> <current.json> [--threshold=1.25]
+
+Baseline entries missing from the current run fail the check (a renamed or
+dropped benchmark must update the baseline on purpose); entries new in the
+current run are reported but pass.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # Sweep entries vary by machine shape; the gate watches the plain runs.
+    return {
+        e["name"]: e for e in doc.get("results", [])
+        if not e["name"].startswith("SWEEP_")
+    }
+
+
+def main(argv):
+    threshold = 1.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline, current = load(paths[0]), load(paths[1])
+
+    failures = []
+    print(f"# bench gate: {paths[1]} vs baseline {paths[0]} "
+          f"(threshold {threshold:.2f}x)")
+    print(f"{'ratio':>8} {'baseline ms':>12} {'current ms':>12}  benchmark")
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if base["median_s"] <= 0:
+            continue
+        ratio = cur["median_s"] / base["median_s"]
+        flag = " <-- REGRESSION" if ratio > threshold else ""
+        print(f"{ratio:8.3f} {base['median_s'] * 1e3:12.3f} "
+              f"{cur['median_s'] * 1e3:12.3f}  {name}{flag}")
+        if ratio > threshold:
+            failures.append(f"{name}: {ratio:.3f}x over baseline")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{'new':>8} {'-':>12} "
+              f"{current[name]['median_s'] * 1e3:12.3f}  {name}")
+
+    if failures:
+        print(f"# bench gate FAILED ({len(failures)}):", file=sys.stderr)
+        for f in failures:
+            print(f"#   {f}", file=sys.stderr)
+        return 1
+    print("# bench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,7 +9,11 @@
 #          produce parseable artifacts covering every layer, tg_top must
 #          render both, and the disabled-mode span overhead selfcheck
 #          must stay within budget
-# Usage: ci/run.sh [tier1|asan|ubsan|obs|all]   (default: all)
+#   bench  perf gate: micro_models --selfcheck (steady-state allocator
+#          hit rate on real train steps) plus micro_nn_ops/micro_models
+#          --json medians vs the checked-in bench/BENCH_*.json
+#          baselines, failing on >25% regression (ci/check_bench.py)
+# Usage: ci/run.sh [tier1|asan|ubsan|obs|bench|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,12 +59,36 @@ run_obs() {
   ./build-ci/bench/micro_obs --selfcheck
 }
 
+run_bench() {
+  echo "==> bench: allocator selfcheck + perf baselines"
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "$jobs" --target micro_nn_ops micro_models
+  local dir
+  dir="$(mktemp -d)"
+  trap 'rm -rf "$dir"' RETURN
+  # Steady-state allocator gate: real train steps, alloc/miss must be ~0.
+  TG_THREADS=1 ./build-ci/bench/micro_models --selfcheck
+  # Perf gate: single-threaded medians vs the checked-in baselines.
+  # min_time is short — the 25% threshold absorbs small-sample noise.
+  TG_THREADS=1 ./build-ci/bench/micro_nn_ops \
+    --json="$dir/BENCH_micro_nn_ops.json" --benchmark_min_time=0.1 \
+    > /dev/null
+  TG_THREADS=1 ./build-ci/bench/micro_models \
+    --json="$dir/BENCH_micro_models.json" --benchmark_min_time=0.2 \
+    > /dev/null
+  python3 ci/check_bench.py bench/BENCH_micro_nn_ops.json \
+    "$dir/BENCH_micro_nn_ops.json"
+  python3 ci/check_bench.py bench/BENCH_micro_models.json \
+    "$dir/BENCH_micro_models.json"
+}
+
 case "$job" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   ubsan) run_ubsan ;;
   obs)   run_obs ;;
-  all)   run_tier1; run_asan; run_ubsan; run_obs ;;
-  *) echo "usage: $0 [tier1|asan|ubsan|obs|all]" >&2; exit 2 ;;
+  bench) run_bench ;;
+  all)   run_tier1; run_asan; run_ubsan; run_obs; run_bench ;;
+  *) echo "usage: $0 [tier1|asan|ubsan|obs|bench|all]" >&2; exit 2 ;;
 esac
 echo "==> $job: OK"

@@ -7,34 +7,100 @@ namespace tg::core {
 using nn::Tensor;
 
 PropPlan build_prop_plan(const data::DatasetGraph& g) {
+  const data::LevelCsr& csr = data::ensure_level_csr(g);
   PropPlan plan;
+  plan.num_levels = csr.num_levels;
   plan.node_level = g.node_level;
-  plan.num_levels = g.num_levels;
-  plan.level_nodes.assign(static_cast<std::size_t>(plan.num_levels), {});
-  plan.node_row.assign(static_cast<std::size_t>(g.num_nodes), -1);
-  for (int v = 0; v < g.num_nodes; ++v) {
-    auto& rows = plan.level_nodes[static_cast<std::size_t>(g.node_level[static_cast<std::size_t>(v)])];
-    plan.node_row[static_cast<std::size_t>(v)] = static_cast<int>(rows.size());
-    rows.push_back(v);
-  }
-  plan.level_net_edges.assign(static_cast<std::size_t>(plan.num_levels), {});
-  plan.level_cell_edges.assign(static_cast<std::size_t>(plan.num_levels), {});
-  for (std::size_t e = 0; e < g.net_dst.size(); ++e) {
-    const int lvl = g.node_level[static_cast<std::size_t>(g.net_dst[e])];
-    TG_CHECK(lvl > 0);
-    plan.level_net_edges[static_cast<std::size_t>(lvl)].push_back(static_cast<int>(e));
-  }
-  for (std::size_t e = 0; e < g.cell_dst.size(); ++e) {
-    const int lvl = g.node_level[static_cast<std::size_t>(g.cell_dst[e])];
-    TG_CHECK(lvl > 0);
-    plan.level_cell_edges[static_cast<std::size_t>(lvl)].push_back(static_cast<int>(e));
-  }
-  for (int l = 0; l < plan.num_levels; ++l) {
-    for (int e : plan.level_cell_edges[static_cast<std::size_t>(l)]) {
-      plan.cell_edge_order.push_back(e);
+  plan.node_row = csr.node_row;
+
+  const auto levels = static_cast<std::size_t>(plan.num_levels);
+  plan.level_nodes.assign(levels, {});
+  plan.level_net_edges.assign(levels, {});
+  plan.level_cell_edges.assign(levels, {});
+  plan.level_rows.resize(levels);
+  plan.net_feed.resize(levels);
+  plan.cell_feed.resize(levels);
+
+  auto share = [](std::vector<int> v) {
+    return std::make_shared<const std::vector<int>>(std::move(v));
+  };
+
+  for (std::size_t l = 0; l < levels; ++l) {
+    const auto nb = static_cast<std::size_t>(csr.node_off[l]);
+    const auto ne = static_cast<std::size_t>(csr.node_off[l + 1]);
+    plan.level_nodes[l].assign(csr.node_perm.begin() + static_cast<long>(nb),
+                               csr.node_perm.begin() + static_cast<long>(ne));
+    plan.level_rows[l] = share(plan.level_nodes[l]);
+
+    // Net edges of this level, in CSR (destination-sorted) order.
+    {
+      std::vector<int> src_t, src_r, dst_row, feat_rows, emb_v_rows;
+      const auto eb = static_cast<std::size_t>(csr.net_off[l]);
+      const auto ee = static_cast<std::size_t>(csr.net_off[l + 1]);
+      src_t.reserve(ee - eb);
+      for (std::size_t k = eb; k < ee; ++k) {
+        const int e = csr.net_perm[k];
+        const int u = g.net_src[static_cast<std::size_t>(e)];
+        const int v = g.net_dst[static_cast<std::size_t>(e)];
+        TG_CHECK(g.node_level[static_cast<std::size_t>(v)] ==
+                 static_cast<int>(l));
+        plan.level_net_edges[l].push_back(e);
+        src_t.push_back(g.node_level[static_cast<std::size_t>(u)]);
+        src_r.push_back(csr.node_row[static_cast<std::size_t>(u)]);
+        dst_row.push_back(csr.node_row[static_cast<std::size_t>(v)]);
+        feat_rows.push_back(e);
+        emb_v_rows.push_back(v);
+      }
+      plan.net_feed[l] = PropPlan::NetFeed{
+          share(std::move(src_t)), share(std::move(src_r)),
+          share(std::move(dst_row)), share(std::move(feat_rows)),
+          share(std::move(emb_v_rows))};
+    }
+
+    // Cell edges, same treatment plus the source-embedding gather.
+    {
+      std::vector<int> src_t, src_r, dst_row, feat_rows, emb_u_rows,
+          emb_v_rows;
+      const auto eb = static_cast<std::size_t>(csr.cell_off[l]);
+      const auto ee = static_cast<std::size_t>(csr.cell_off[l + 1]);
+      src_t.reserve(ee - eb);
+      for (std::size_t k = eb; k < ee; ++k) {
+        const int e = csr.cell_perm[k];
+        const int u = g.cell_src[static_cast<std::size_t>(e)];
+        const int v = g.cell_dst[static_cast<std::size_t>(e)];
+        TG_CHECK(g.node_level[static_cast<std::size_t>(v)] ==
+                 static_cast<int>(l));
+        plan.level_cell_edges[l].push_back(e);
+        plan.cell_edge_order.push_back(e);
+        src_t.push_back(g.node_level[static_cast<std::size_t>(u)]);
+        src_r.push_back(csr.node_row[static_cast<std::size_t>(u)]);
+        dst_row.push_back(csr.node_row[static_cast<std::size_t>(v)]);
+        feat_rows.push_back(e);
+        emb_u_rows.push_back(u);
+        emb_v_rows.push_back(v);
+      }
+      plan.cell_feed[l] = PropPlan::CellFeed{
+          share(std::move(src_t)), share(std::move(src_r)),
+          share(std::move(dst_row)), share(std::move(feat_rows)),
+          share(std::move(emb_u_rows)), share(std::move(emb_v_rows))};
     }
   }
   TG_CHECK(plan.cell_edge_order.size() == g.cell_src.size());
+  plan.cell_order = share(plan.cell_edge_order);
+
+  // Final assembly: node order → (level, row) pairs.
+  {
+    std::vector<int> src_t(static_cast<std::size_t>(g.num_nodes));
+    std::vector<int> src_r(static_cast<std::size_t>(g.num_nodes));
+    for (int v = 0; v < g.num_nodes; ++v) {
+      src_t[static_cast<std::size_t>(v)] =
+          g.node_level[static_cast<std::size_t>(v)];
+      src_r[static_cast<std::size_t>(v)] =
+          csr.node_row[static_cast<std::size_t>(v)];
+    }
+    plan.assemble_t = share(std::move(src_t));
+    plan.assemble_r = share(std::move(src_r));
+  }
   return plan;
 }
 
@@ -75,69 +141,48 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
 
   // Level 0: roots (primary inputs, FF clock pins).
   {
-    Tensor emb0 = nn::gather_rows(embedding, plan.level_nodes[0]);
-    level_states.push_back(nn::relu(entry_.forward(emb0)));
+    Tensor emb0 = nn::gather_rows(embedding, plan.level_rows[0]);
+    level_states.push_back(entry_.forward_relu(emb0));
   }
 
+  // Every gather/scatter below runs off the plan's precomputed shared
+  // index feeds — no per-step index vectors are built here.
   for (int l = 1; l < plan.num_levels; ++l) {
-    const auto& nodes = plan.level_nodes[static_cast<std::size_t>(l)];
-    const auto& net_edges = plan.level_net_edges[static_cast<std::size_t>(l)];
-    const auto& cell_edges = plan.level_cell_edges[static_cast<std::size_t>(l)];
-    const std::int64_t n_l = static_cast<std::int64_t>(nodes.size());
+    const auto lu = static_cast<std::size_t>(l);
+    const std::int64_t n_l =
+        static_cast<std::int64_t>(plan.level_rows[lu]->size());
 
-    Tensor emb_level = nn::gather_rows(embedding, nodes);
+    Tensor emb_level = nn::gather_rows(embedding, plan.level_rows[lu]);
 
     // ---- net propagation: one incoming wire per net-sink node ----------
+    const PropPlan::NetFeed& nf = plan.net_feed[lu];
     Tensor net_in = Tensor::zeros(n_l, config_.hidden);
-    if (!net_edges.empty()) {
-      std::vector<int> src_t, src_r, dst_row, emb_rows, feat_rows;
-      src_t.reserve(net_edges.size());
-      for (int e : net_edges) {
-        const int u = g.net_src[static_cast<std::size_t>(e)];
-        const int v = g.net_dst[static_cast<std::size_t>(e)];
-        src_t.push_back(plan.node_level[static_cast<std::size_t>(u)]);
-        src_r.push_back(plan.node_row[static_cast<std::size_t>(u)]);
-        dst_row.push_back(plan.node_row[static_cast<std::size_t>(v)]);
-        emb_rows.push_back(v);
-        feat_rows.push_back(e);
-      }
-      Tensor state_u = nn::multi_gather(level_states, std::move(src_t),
-                                        std::move(src_r));
-      Tensor e_feat = nn::gather_rows(g.net_edge_feat, std::move(feat_rows));
-      Tensor emb_v = nn::gather_rows(embedding, std::move(emb_rows));
+    if (!nf.src_t->empty()) {
+      Tensor state_u = nn::multi_gather(level_states, nf.src_t, nf.src_r);
+      Tensor e_feat = nn::gather_rows(g.net_edge_feat, nf.feat_rows);
+      Tensor emb_v = nn::gather_rows(embedding, nf.emb_v_rows);
       const Tensor np_in[] = {state_u, e_feat, emb_v};
       Tensor msg = net_prop_.forward(nn::concat_cols(np_in));
-      net_in = nn::segment_sum(msg, std::move(dst_row), n_l);
+      net_in = nn::segment_sum(msg, nf.dst_row, n_l);
     }
 
     // ---- cell propagation: LUT-interpolated arc messages ---------------
+    const PropPlan::CellFeed& cf = plan.cell_feed[lu];
     Tensor cell_sum = Tensor::zeros(n_l, config_.hidden);
     Tensor cell_max = Tensor::zeros(n_l, config_.hidden);
-    if (!cell_edges.empty()) {
-      std::vector<int> src_t, src_r, dst_row, emb_u_rows, emb_v_rows, feat_rows;
-      for (int e : cell_edges) {
-        const int u = g.cell_src[static_cast<std::size_t>(e)];
-        const int v = g.cell_dst[static_cast<std::size_t>(e)];
-        src_t.push_back(plan.node_level[static_cast<std::size_t>(u)]);
-        src_r.push_back(plan.node_row[static_cast<std::size_t>(u)]);
-        dst_row.push_back(plan.node_row[static_cast<std::size_t>(v)]);
-        emb_u_rows.push_back(u);
-        emb_v_rows.push_back(v);
-        feat_rows.push_back(e);
-      }
-      Tensor state_u = nn::multi_gather(level_states, std::move(src_t),
-                                        std::move(src_r));
-      Tensor emb_u = nn::gather_rows(embedding, std::move(emb_u_rows));
-      Tensor emb_v = nn::gather_rows(embedding, std::move(emb_v_rows));
-      Tensor cell_feat = nn::gather_rows(g.cell_edge_feat, std::move(feat_rows));
+    if (!cf.src_t->empty()) {
+      Tensor state_u = nn::multi_gather(level_states, cf.src_t, cf.src_r);
+      Tensor emb_u = nn::gather_rows(embedding, cf.emb_u_rows);
+      Tensor emb_v = nn::gather_rows(embedding, cf.emb_v_rows);
+      Tensor cell_feat = nn::gather_rows(g.cell_edge_feat, cf.feat_rows);
 
       const Tensor q_in[] = {state_u, emb_u, emb_v};
       Tensor interp = lut_.forward(nn::concat_cols(q_in), cell_feat);
 
       const Tensor cp_in[] = {state_u, interp, emb_v};
       Tensor msg = cell_prop_.forward(nn::concat_cols(cp_in));
-      cell_sum = nn::segment_sum(msg, dst_row, n_l);
-      cell_max = nn::segment_max(msg, std::move(dst_row), n_l);
+      cell_sum = nn::segment_sum(msg, cf.dst_row, n_l);
+      cell_max = nn::segment_max(msg, cf.dst_row, n_l);
 
       // Cell-delay auxiliary prediction for these arcs (plan order).
       const Tensor cd_in[] = {interp, state_u};
@@ -146,20 +191,13 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
     }
 
     const Tensor comb_in[] = {net_in, cell_sum, cell_max, emb_level};
-    level_states.push_back(nn::relu(combine_.forward(nn::concat_cols(comb_in))));
+    level_states.push_back(combine_.forward_relu(nn::concat_cols(comb_in)));
   }
 
   // Assemble node-ordered state.
   Output out;
-  {
-    std::vector<int> src_t(static_cast<std::size_t>(g.num_nodes));
-    std::vector<int> src_r(static_cast<std::size_t>(g.num_nodes));
-    for (int v = 0; v < g.num_nodes; ++v) {
-      src_t[static_cast<std::size_t>(v)] = plan.node_level[static_cast<std::size_t>(v)];
-      src_r[static_cast<std::size_t>(v)] = plan.node_row[static_cast<std::size_t>(v)];
-    }
-    out.state = nn::multi_gather(level_states, std::move(src_t), std::move(src_r));
-  }
+  out.state =
+      nn::multi_gather(level_states, plan.assemble_t, plan.assemble_r);
   if (cell_delay_parts.empty()) {
     out.cell_delay = Tensor::zeros(0, kNumCorners);
   } else {

@@ -16,19 +16,44 @@
 namespace tg::core {
 
 /// Precomputed traversal schedule for one graph (build once, reuse every
-/// epoch).
+/// epoch). Derived from the graph's level-packed CSR (data::LevelCsr);
+/// all gather/scatter index arrays the forward pass needs are materialized
+/// here as shared handles, so a training step performs zero index
+/// marshalling — it just passes the handles to the shared-index ops.
 struct PropPlan {
   int num_levels = 0;
   std::vector<std::vector<int>> level_nodes;  ///< node ids per level
   std::vector<int> node_level;                ///< level of each node
   std::vector<int> node_row;                  ///< row within its level tensor
-  /// Per level: indices into g.net_src/net_dst of edges terminating here.
+  /// Per level: indices into g.net_src/net_dst of edges terminating here
+  /// (sorted by destination id — CSR order).
   std::vector<std::vector<int>> level_net_edges;
-  /// Per level: indices into g.cell_src/cell_dst of edges terminating here.
+  /// Per level: indices into g.cell_src/cell_dst of edges terminating here
+  /// (CSR order).
   std::vector<std::vector<int>> level_cell_edges;
   /// Cell-edge indices in traversal order (for aligning predictions with
   /// labels).
   std::vector<int> cell_edge_order;
+
+  // ---- shared per-step feeds (see forward) ----------------------------
+  struct NetFeed {
+    nn::IndexVec src_t;      ///< source level per edge
+    nn::IndexVec src_r;      ///< source row within its level per edge
+    nn::IndexVec dst_row;    ///< destination row within this level
+    nn::IndexVec feat_rows;  ///< edge id per edge (feature gather)
+    nn::IndexVec emb_v_rows; ///< destination node id per edge
+  };
+  struct CellFeed {
+    nn::IndexVec src_t, src_r, dst_row, feat_rows;
+    nn::IndexVec emb_u_rows;  ///< source node id per edge
+    nn::IndexVec emb_v_rows;  ///< destination node id per edge
+  };
+  std::vector<nn::IndexVec> level_rows;  ///< node ids per level (shared)
+  std::vector<NetFeed> net_feed;         ///< [num_levels]
+  std::vector<CellFeed> cell_feed;       ///< [num_levels]
+  nn::IndexVec assemble_t;  ///< node → its level (final assembly)
+  nn::IndexVec assemble_r;  ///< node → its level row (final assembly)
+  nn::IndexVec cell_order;  ///< shared handle of cell_edge_order
 };
 
 [[nodiscard]] PropPlan build_prop_plan(const data::DatasetGraph& g);

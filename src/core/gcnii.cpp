@@ -38,6 +38,7 @@ GcniiAdjacency build_gcnii_adjacency(const data::DatasetGraph& g) {
                           static_cast<float>(degree[static_cast<std::size_t>(adj.src[e])]) *
                           static_cast<float>(degree[static_cast<std::size_t>(adj.dst[e])]));
   }
+  adj.csr = nn::build_spmm_csr(adj.src, adj.dst, adj.w, n, n);
   return adj;
 }
 
@@ -71,17 +72,16 @@ Gcnii::Gcnii(const GcniiConfig& config)
 Tensor Gcnii::forward(const data::DatasetGraph& g,
                       const GcniiAdjacency& adj) const {
   TG_TRACE_SCOPE("core/gcnii_forward", obs::kSpanDetail);
-  const std::int64_t n = g.num_nodes;
-  Tensor h0 = nn::relu(input_proj_.forward(g.node_feat));
+  TG_CHECK(adj.csr.out_rows == g.num_nodes);
+  Tensor h0 = input_proj_.forward_relu(g.node_feat);
   Tensor h = h0;
   for (const nn::Linear& w : layers_) {
     // Eq. 3: H' = σ( ((1−α)·P·H + α·H0) · ((1−β)·I + β·W) ).
-    Tensor ph = nn::spmm(adj.src, adj.dst, adj.w, h, n);
+    Tensor ph = nn::spmm_csr(adj.csr, h);
     Tensor m = nn::add(nn::scale(ph, 1.0f - config_.alpha),
                        nn::scale(h0, config_.alpha));
-    Tensor mixed = nn::add(nn::scale(m, 1.0f - config_.beta),
-                           nn::scale(w.forward(m), config_.beta));
-    h = nn::relu(mixed);
+    h = nn::add_relu(nn::scale(m, 1.0f - config_.beta),
+                     nn::scale(w.forward(m), config_.beta));
     if (config_.use_layer_norm) {
       const std::size_t l = static_cast<std::size_t>(&w - layers_.data());
       h = nn::layer_norm(h, ln_gamma_[l], ln_beta_[l]);

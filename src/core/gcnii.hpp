@@ -22,11 +22,15 @@ struct GcniiConfig {
   std::uint64_t seed = 2;
 };
 
-/// Normalized undirected adjacency in COO form (net + cell arcs, both
-/// directions, plus self loops): P of Eq. 2. Build once per graph.
+/// Normalized undirected adjacency (net + cell arcs, both directions,
+/// plus self loops): P of Eq. 2. Build once per graph. The COO triple is
+/// kept for inspection/tests; forward runs off the prebuilt CSR plan so
+/// each layer's propagation is a row-parallel gather with no per-call
+/// index marshalling.
 struct GcniiAdjacency {
   std::vector<int> src, dst;
   std::vector<float> w;
+  nn::SpmmCsr csr;  ///< destination-sorted CSR + transpose of (src,dst,w)
 };
 [[nodiscard]] GcniiAdjacency build_gcnii_adjacency(const data::DatasetGraph& g);
 

@@ -39,41 +39,45 @@ NetEmbed::NetEmbed(const NetEmbedConfig& config, Rng& rng) : config_(config) {
 Tensor NetEmbed::forward(const data::DatasetGraph& g) const {
   TG_TRACE_SCOPE("core/net_embed_forward", obs::kSpanDetail);
   const std::int64_t n = g.num_nodes;
-  Tensor h = nn::relu(input_proj_.forward(g.node_feat));
+  const nn::IndexVec& net_src = data::shared_net_src(g);
+  const nn::IndexVec& net_dst = data::shared_net_dst(g);
+  Tensor h = input_proj_.forward_relu(g.node_feat);
 
   for (const Layer& layer : layers_) {
     // Graph broadcast: driver → sinks along net edges.
-    Tensor hd = nn::gather_rows(h, g.net_src);
-    Tensor hs = nn::gather_rows(h, g.net_dst);
+    Tensor hd = nn::gather_rows(h, net_src);
+    Tensor hs = nn::gather_rows(h, net_dst);
     const Tensor bcast_in[] = {hd, hs, g.net_edge_feat};
     Tensor msg = layer.broadcast.forward(nn::concat_cols(bcast_in));
     // Each sink has exactly one incoming net edge, so segment_sum acts as
     // a scatter; drivers/roots keep their state through the residual.
-    Tensor h_mid = nn::relu(nn::add(h, nn::segment_sum(msg, g.net_dst, n)));
+    Tensor h_mid = nn::add_relu(h, nn::segment_sum(msg, net_dst, n));
 
     // Graph reduction: sinks → driver through reversed net edges, with sum
     // and max channels.
-    Tensor hs2 = nn::gather_rows(h_mid, g.net_dst);
+    Tensor hs2 = nn::gather_rows(h_mid, net_dst);
     const Tensor red_in[] = {hs2, g.net_edge_feat};
     Tensor rmsg = layer.reduce_msg.forward(nn::concat_cols(red_in));
-    Tensor rsum = nn::segment_sum(rmsg, g.net_src, n);
-    Tensor rmax = nn::segment_max(rmsg, g.net_src, n);
+    Tensor rsum = nn::segment_sum(rmsg, net_src, n);
+    Tensor rmax = nn::segment_max(rmsg, net_src, n);
     const Tensor merge_in[] = {h_mid, rsum, rmax};
-    h = nn::relu(layer.merge.forward(nn::concat_cols(merge_in)));
+    h = layer.merge.forward_relu(nn::concat_cols(merge_in));
   }
   return h;
 }
 
 Tensor NetEmbed::predict_net_delay(const data::DatasetGraph& g,
                                    const Tensor& embedding) const {
-  Tensor hd = nn::gather_rows(embedding, g.net_src);
-  Tensor hs = nn::gather_rows(embedding, g.net_dst);
+  const nn::IndexVec& net_src = data::shared_net_src(g);
+  const nn::IndexVec& net_dst = data::shared_net_dst(g);
+  Tensor hd = nn::gather_rows(embedding, net_src);
+  Tensor hs = nn::gather_rows(embedding, net_dst);
   const Tensor head_in[] = {hd, hs, g.net_edge_feat};
   // Plain linear head: a softplus output layer saturates (zero gradient)
   // when early training undershoots, collapsing the prediction to zero.
   Tensor per_edge = delay_head_.forward(nn::concat_cols(head_in));
   // Each sink has exactly one incoming net edge; scatter to node rows.
-  return nn::segment_sum(per_edge, g.net_dst, g.num_nodes);
+  return nn::segment_sum(per_edge, net_dst, g.num_nodes);
 }
 
 }  // namespace tg::core

@@ -46,15 +46,15 @@ Tensor TimingGnn::loss(const data::DatasetGraph& g, const PropPlan& plan,
 
   // Eq. 5: cell-arc delay (plan order).
   if (config_.use_cell_aux && pred.cell_delay.rows() > 0) {
-    Tensor cell_target = nn::gather_rows(g.cell_delay, plan.cell_edge_order);
+    Tensor cell_target = nn::gather_rows(g.cell_delay, plan.cell_order);
     total = nn::add(total, nn::mse_loss(pred.cell_delay, cell_target));
   }
 
   // Eq. 6: net delay at fan-in (net sink) pins.
   if (config_.use_net_aux && !g.net_sinks.empty()) {
-    Tensor target = nn::gather_rows(g.net_delay, g.net_sinks);
-    total = nn::add(total,
-                    nn::mse_loss_rows(pred.net_delay, g.net_sinks, target));
+    const nn::IndexVec& sinks = data::shared_net_sinks(g);
+    Tensor target = nn::gather_rows(g.net_delay, sinks);
+    total = nn::add(total, nn::mse_loss_rows(pred.net_delay, sinks, target));
   }
   return total;
 }

@@ -349,7 +349,7 @@ DesignEval TimingGnnTrainer::evaluate(const data::DatasetGraph& g) {
 
   eval.r2_net_delay = pooled_r2(g.net_delay, pred.net_delay, g.net_sinks);
   {
-    const Tensor cell_truth = nn::gather_rows(g.cell_delay, plan.cell_edge_order);
+    const Tensor cell_truth = nn::gather_rows(g.cell_delay, plan.cell_order);
     eval.r2_cell_delay = pooled_r2(cell_truth, pred.cell_delay,
                                    all_rows(cell_truth.rows()));
   }
@@ -413,8 +413,9 @@ double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
       adam_.zero_grad();
       Tensor emb = model_.forward(g);
       Tensor pred = model_.predict_net_delay(g, emb);
-      Tensor target = nn::gather_rows(g.net_delay, g.net_sinks);
-      Tensor loss = nn::mse_loss_rows(pred, g.net_sinks, target);
+      const nn::IndexVec& sinks = data::shared_net_sinks(g);
+      Tensor target = nn::gather_rows(g.net_delay, sinks);
+      Tensor loss = nn::mse_loss_rows(pred, sinks, target);
       const double loss_value = loss.item();
       if (!std::isfinite(loss_value)) {
         ++non_finite_steps_;

@@ -9,11 +9,15 @@ namespace tg::data {
 
 namespace {
 
+// v3 ("TGD2" envelope, version 3): v2 body plus an optional trailing
+// level-packed CSR section, so datasets built once ship their traversal
+// schedule and loaders skip the per-graph rebuild.
 // v2 ("TGD2"): u32 magic + u32 version, CRC-32 trailer, atomic commit.
 // v1: u64 magic "TGDG" + u64 version, no checksum — still readable; every
 // field is bounds-checked so truncated v1 files raise CheckError.
 constexpr std::uint32_t kMagicV2 = 0x32444754;  // "TGD2" (LE bytes)
 constexpr std::uint32_t kVersionV2 = 2;
+constexpr std::uint32_t kVersionV3 = 3;
 constexpr std::uint64_t kMagicV1 = 0x54474447;  // "TGDG"
 
 void write_tensor(io::BinaryWriter& out, const nn::Tensor& t) {
@@ -113,7 +117,6 @@ DatasetGraph read_body(io::BinaryReader& in) {
       static_cast<long long>(in.read_u64("stats.num_instances"));
   g.stats.num_nets = static_cast<long long>(in.read_u64("stats.num_nets"));
   g.stats.num_ffs = static_cast<long long>(in.read_u64("stats.num_ffs"));
-  in.expect_eof();
 
   // Internal consistency.
   TG_CHECK(g.node_feat.rows() == g.num_nodes);
@@ -123,13 +126,60 @@ DatasetGraph read_body(io::BinaryReader& in) {
   return g;
 }
 
+// ---- v3 optional section: level-packed CSR ------------------------------
+
+void write_level_csr(io::BinaryWriter& out, const LevelCsr& csr) {
+  out.write_u64(static_cast<std::uint64_t>(csr.num_levels));
+  out.write_i32_vec(csr.node_off);
+  out.write_i32_vec(csr.node_perm);
+  out.write_i32_vec(csr.node_row);
+  out.write_i32_vec(csr.net_off);
+  out.write_i32_vec(csr.net_perm);
+  out.write_i32_vec(csr.cell_off);
+  out.write_i32_vec(csr.cell_perm);
+}
+
+LevelCsr read_level_csr(io::BinaryReader& in, const DatasetGraph& g) {
+  LevelCsr csr;
+  csr.num_levels = static_cast<int>(in.read_u64("level_csr.num_levels"));
+  csr.node_off = in.read_i32_vec("level_csr.node_off");
+  csr.node_perm = in.read_i32_vec("level_csr.node_perm");
+  csr.node_row = in.read_i32_vec("level_csr.node_row");
+  csr.net_off = in.read_i32_vec("level_csr.net_off");
+  csr.net_perm = in.read_i32_vec("level_csr.net_perm");
+  csr.cell_off = in.read_i32_vec("level_csr.cell_off");
+  csr.cell_perm = in.read_i32_vec("level_csr.cell_perm");
+
+  const auto levels = static_cast<std::size_t>(g.num_levels);
+  TG_CHECK_MSG(csr.num_levels == g.num_levels &&
+                   csr.node_off.size() == levels + 1 &&
+                   csr.node_perm.size() ==
+                       static_cast<std::size_t>(g.num_nodes) &&
+                   csr.node_row.size() ==
+                       static_cast<std::size_t>(g.num_nodes) &&
+                   csr.net_off.size() == levels + 1 &&
+                   csr.net_perm.size() == g.net_dst.size() &&
+                   csr.cell_off.size() == levels + 1 &&
+                   csr.cell_perm.size() == g.cell_dst.size(),
+               in.path() << ": level CSR section inconsistent with graph");
+  return csr;
+}
+
 }  // namespace
 
 void save_graph(const DatasetGraph& g, const std::string& path) {
   io::BinaryWriter out(path);
   out.write_u32(kMagicV2);
-  out.write_u32(kVersionV2);
+  out.write_u32(kVersionV3);
   write_body(out, g);
+  // Optional section: persist the level-packed CSR when the graph carries
+  // one (dataset builds always do; hand-assembled graphs may not).
+  if (g.level_csr) {
+    out.write_u64(1);
+    write_level_csr(out, *g.level_csr);
+  } else {
+    out.write_u64(0);
+  }
   out.commit();
 }
 
@@ -140,9 +190,14 @@ DatasetGraph load_graph(const std::string& path) {
     in.verify_crc();
     (void)in.read_u32("magic");
     const std::uint32_t version = in.read_u32("format version");
-    TG_CHECK_MSG(version == kVersionV2,
+    TG_CHECK_MSG(version == kVersionV2 || version == kVersionV3,
                  path << ": unsupported dataset-graph version " << version);
-    return read_body(in);
+    DatasetGraph g = read_body(in);
+    if (version >= kVersionV3 && in.read_u64("level_csr flag") != 0) {
+      g.level_csr = std::make_shared<const LevelCsr>(read_level_csr(in, g));
+    }
+    in.expect_eof();
+    return g;
   }
   // Legacy v1 envelope: u64 magic, u64 version, no CRC.
   TG_CHECK_MSG(static_cast<std::uint32_t>(kMagicV1) == magic,
@@ -151,7 +206,9 @@ DatasetGraph load_graph(const std::string& path) {
                "bad dataset-graph magic in " << path);
   TG_CHECK_MSG(in.read_u64("format version") == 1,
                path << ": unsupported dataset-graph version");
-  return read_body(in);
+  DatasetGraph g = read_body(in);
+  in.expect_eof();
+  return g;
 }
 
 }  // namespace tg::data

@@ -1,7 +1,8 @@
 #include "data/hetero_graph.hpp"
 
-// Currently header-only data carrier; the translation unit pins the vtable-
-// free struct's sanity at compile time.
+#include <algorithm>
+
+#include "util/check.hpp"
 
 namespace tg::data {
 
@@ -9,5 +10,107 @@ static_assert(kCellEdgeFeatureDim == 512,
               "cell edge feature layout must match the paper's Table 3");
 static_assert(kNodeFeatureDim + 4 + 4 + 4 + 1 + 4 == 27,
               "node feature+task total must match the paper's Table 2");
+
+namespace {
+
+/// Packs `dst`-indexed edge ids into per-level slices, sorted by
+/// (level(dst), dst, edge id). Counting sort over levels keeps the build
+/// linear; the within-level order comes from a stable sort by dst (edge
+/// ids stay ascending within equal destinations).
+void pack_edges(const std::vector<int>& dst, const std::vector<int>& node_level,
+                int num_levels, std::vector<int>& off, std::vector<int>& perm) {
+  const auto ne = static_cast<int>(dst.size());
+  off.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (int e = 0; e < ne; ++e) {
+    const int lvl =
+        node_level[static_cast<std::size_t>(dst[static_cast<std::size_t>(e)])];
+    TG_CHECK(lvl >= 0 && lvl < num_levels);
+    ++off[static_cast<std::size_t>(lvl) + 1];
+  }
+  for (int l = 0; l < num_levels; ++l) {
+    off[static_cast<std::size_t>(l) + 1] += off[static_cast<std::size_t>(l)];
+  }
+  perm.resize(static_cast<std::size_t>(ne));
+  std::vector<int> cursor(off.begin(), off.end() - 1);
+  for (int e = 0; e < ne; ++e) {
+    const int lvl =
+        node_level[static_cast<std::size_t>(dst[static_cast<std::size_t>(e)])];
+    perm[static_cast<std::size_t>(cursor[static_cast<std::size_t>(lvl)]++)] = e;
+  }
+  for (int l = 0; l < num_levels; ++l) {
+    const auto begin = perm.begin() + off[static_cast<std::size_t>(l)];
+    const auto end = perm.begin() + off[static_cast<std::size_t>(l) + 1];
+    std::stable_sort(begin, end, [&](int a, int b) {
+      return dst[static_cast<std::size_t>(a)] < dst[static_cast<std::size_t>(b)];
+    });
+  }
+}
+
+}  // namespace
+
+LevelCsr build_level_csr(const DatasetGraph& g) {
+  TG_CHECK(static_cast<int>(g.node_level.size()) == g.num_nodes);
+  LevelCsr csr;
+  csr.num_levels = g.num_levels;
+
+  // Nodes sorted by (level, id): counting sort over levels; the ascending
+  // node-id scan makes the within-level order ascending ids.
+  csr.node_off.assign(static_cast<std::size_t>(g.num_levels) + 1, 0);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    const int lvl = g.node_level[static_cast<std::size_t>(v)];
+    TG_CHECK(lvl >= 0 && lvl < g.num_levels);
+    ++csr.node_off[static_cast<std::size_t>(lvl) + 1];
+  }
+  for (int l = 0; l < g.num_levels; ++l) {
+    csr.node_off[static_cast<std::size_t>(l) + 1] +=
+        csr.node_off[static_cast<std::size_t>(l)];
+  }
+  csr.node_perm.resize(static_cast<std::size_t>(g.num_nodes));
+  csr.node_row.resize(static_cast<std::size_t>(g.num_nodes));
+  std::vector<int> cursor(csr.node_off.begin(), csr.node_off.end() - 1);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    const int lvl = g.node_level[static_cast<std::size_t>(v)];
+    const int slot = cursor[static_cast<std::size_t>(lvl)]++;
+    csr.node_perm[static_cast<std::size_t>(slot)] = v;
+    csr.node_row[static_cast<std::size_t>(v)] =
+        slot - csr.node_off[static_cast<std::size_t>(lvl)];
+  }
+
+  pack_edges(g.net_dst, g.node_level, g.num_levels, csr.net_off, csr.net_perm);
+  pack_edges(g.cell_dst, g.node_level, g.num_levels, csr.cell_off,
+             csr.cell_perm);
+  return csr;
+}
+
+const LevelCsr& ensure_level_csr(const DatasetGraph& g) {
+  if (!g.level_csr) {
+    g.level_csr = std::make_shared<const LevelCsr>(build_level_csr(g));
+  }
+  return *g.level_csr;
+}
+
+const std::shared_ptr<const std::vector<int>>& shared_net_src(
+    const DatasetGraph& g) {
+  if (!g.net_src_sh) {
+    g.net_src_sh = std::make_shared<const std::vector<int>>(g.net_src);
+  }
+  return g.net_src_sh;
+}
+
+const std::shared_ptr<const std::vector<int>>& shared_net_dst(
+    const DatasetGraph& g) {
+  if (!g.net_dst_sh) {
+    g.net_dst_sh = std::make_shared<const std::vector<int>>(g.net_dst);
+  }
+  return g.net_dst_sh;
+}
+
+const std::shared_ptr<const std::vector<int>>& shared_net_sinks(
+    const DatasetGraph& g) {
+  if (!g.net_sinks_sh) {
+    g.net_sinks_sh = std::make_shared<const std::vector<int>>(g.net_sinks);
+  }
+  return g.net_sinks_sh;
+}
 
 }  // namespace tg::data

@@ -43,6 +43,36 @@ inline constexpr int kCellEdgeValueDim = kNumLutsPerArc * kLutCells;    // 392
 inline constexpr int kCellEdgeFeatureDim =
     kCellEdgeValidDim + kCellEdgeIndexDim + kCellEdgeValueDim;  // 512
 
+/// Level-packed CSR adjacency, built once per graph (at dataset-build
+/// time, persisted in TGD2 v3) and reused by every consumer that walks
+/// the DAG level by level: the timing-GNN propagation plan, the STA-style
+/// sweeps, and the benches. Nodes and edges are packed into flat arrays
+/// sorted by (destination level, destination id), with one offset array
+/// per kind — level l's slice is [off[l], off[l+1]). This replaces the
+/// per-call marshalling of ragged per-level index vectors.
+struct LevelCsr {
+  int num_levels = 0;
+  std::vector<int> node_off;   ///< [L+1] offsets into node_perm
+  std::vector<int> node_perm;  ///< [N] node ids sorted by (level, id)
+  std::vector<int> node_row;   ///< [N] row of node v within its level block
+  std::vector<int> net_off;    ///< [L+1] offsets into net_perm
+  std::vector<int> net_perm;   ///< [En] net-edge ids by (dst level, dst, id)
+  std::vector<int> cell_off;   ///< [L+1] offsets into cell_perm
+  std::vector<int> cell_perm;  ///< [Ec] cell-edge ids by (dst level, dst, id)
+};
+
+struct DatasetGraph;
+
+/// Builds the level-packed CSR from the graph's edge lists and
+/// levelization. Deterministic: sort keys are (level, id) only.
+[[nodiscard]] LevelCsr build_level_csr(const DatasetGraph& g);
+
+/// Returns the graph's cached LevelCsr, building and attaching it first
+/// if absent (e.g. the graph came from a pre-v3 TGD2 file). Not safe to
+/// race from two threads on the same graph; per-graph parallel builds are
+/// fine.
+const LevelCsr& ensure_level_csr(const DatasetGraph& g);
+
 /// One benchmark's extracted graph + labels + provenance.
 struct DatasetGraph {
   std::string name;
@@ -79,6 +109,27 @@ struct DatasetGraph {
   /// re-measurement; null when extraction ran in slim mode.
   std::shared_ptr<Design> design;
   std::shared_ptr<DesignRouting> truth_routing;
+
+  /// Level-packed CSR (see LevelCsr). Filled at dataset-build time and
+  /// persisted in TGD2 v3; lazily rebuilt via ensure_level_csr for graphs
+  /// loaded from older files. Mutable: attaching the cache does not change
+  /// the graph's logical value.
+  mutable std::shared_ptr<const LevelCsr> level_csr;
+  /// Shared handles of the per-step index arrays for the shared-index nn
+  /// ops — copied once per graph instead of once per op call (see
+  /// shared_net_src and friends).
+  mutable std::shared_ptr<const std::vector<int>> net_src_sh, net_dst_sh,
+      net_sinks_sh;
 };
+
+/// Shared-ownership views of g.net_src / g.net_dst / g.net_sinks,
+/// materialized on first use and cached on the graph. Same thread-safety
+/// caveat as ensure_level_csr.
+const std::shared_ptr<const std::vector<int>>& shared_net_src(
+    const DatasetGraph& g);
+const std::shared_ptr<const std::vector<int>>& shared_net_dst(
+    const DatasetGraph& g);
+const std::shared_ptr<const std::vector<int>>& shared_net_sinks(
+    const DatasetGraph& g);
 
 }  // namespace tg::data

@@ -1,0 +1,220 @@
+#include "nn/alloc.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "util/obs/metrics.hpp"
+
+namespace tg::nn::alloc {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBucket = 64;                 // bytes
+constexpr std::size_t kPow2Ceiling = std::size_t{1} << 20;  // 1 MiB
+constexpr std::size_t kMiB = std::size_t{1} << 20;
+
+/// Free lists keyed by bucket byte size. One mutex: acquire/release run
+/// once per tensor (not per element), so contention is negligible next to
+/// the kernels, and a mutex keeps the TSan story trivial.
+struct Arena {
+  std::mutex mu;
+  std::map<std::size_t, std::vector<void*>> free_lists;
+};
+
+Arena& arena() {
+  static Arena* a = new Arena();  // leaked: outlive all static tensors
+  return *a;
+}
+
+// Always-on counters (relaxed; merged into AllocStats on read).
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_releases{0};
+std::atomic<std::uint64_t> g_bytes_live{0};
+std::atomic<std::uint64_t> g_bytes_high{0};
+std::atomic<std::uint64_t> g_bytes_cached{0};
+
+std::atomic<Mode> g_mode{Mode::kCache};
+std::once_flag g_mode_once;
+
+void raise_high_water(std::uint64_t live) {
+  std::uint64_t seen = g_bytes_high.load(std::memory_order_relaxed);
+  while (live > seen && !g_bytes_high.compare_exchange_weak(
+                            seen, live, std::memory_order_relaxed)) {
+  }
+}
+
+/// Mirrors the always-on counters into the obs registry (gated: one relaxed
+/// load each when TG_METRICS is unset).
+void record_acquire_metrics(bool hit, std::size_t bytes) {
+  if (hit) {
+    TG_METRIC_COUNT("alloc/hit", 1);
+  } else {
+    TG_METRIC_COUNT("alloc/miss", 1);
+  }
+  TG_METRIC_COUNT("alloc/bytes_acquired", bytes);
+  if (obs::metrics_enabled()) {
+    static obs::Gauge& high = obs::gauge("alloc/bytes_high_water");
+    high.set_max(static_cast<double>(g_bytes_high.load(std::memory_order_relaxed)));
+  }
+}
+
+}  // namespace
+
+Mode alloc_mode() {
+  std::call_once(g_mode_once, [] {
+    if (const char* env = std::getenv("TG_ALLOC")) {
+      if (std::strcmp(env, "malloc") == 0) {
+        g_mode.store(Mode::kMalloc, std::memory_order_relaxed);
+      }
+      // Anything else (including "cache") keeps the default.
+    }
+  });
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+void set_alloc_mode(Mode m) {
+  std::call_once(g_mode_once, [] {});  // pin: env no longer consulted
+  if (m == Mode::kMalloc) trim_alloc_cache();
+  g_mode.store(m, std::memory_order_relaxed);
+}
+
+AllocStats alloc_stats() {
+  AllocStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.releases = g_releases.load(std::memory_order_relaxed);
+  s.bytes_live = g_bytes_live.load(std::memory_order_relaxed);
+  s.bytes_high_water = g_bytes_high.load(std::memory_order_relaxed);
+  s.bytes_cached = g_bytes_cached.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_alloc_stats() {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+  g_releases.store(0, std::memory_order_relaxed);
+  g_bytes_high.store(g_bytes_live.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+std::size_t trim_alloc_cache() {
+  Arena& a = arena();
+  std::map<std::size_t, std::vector<void*>> lists;
+  {
+    std::lock_guard<std::mutex> lock(a.mu);
+    lists.swap(a.free_lists);
+  }
+  std::size_t freed = 0;
+  for (auto& [bytes, blocks] : lists) {
+    for (void* p : blocks) {
+      ::operator delete(p, std::align_val_t{kAlign});
+      freed += bytes;
+    }
+  }
+  g_bytes_cached.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t bucket_bytes(std::size_t bytes) {
+  if (bytes <= kMinBucket) return kMinBucket;
+  if (bytes <= kPow2Ceiling) return std::bit_ceil(bytes);
+  return ((bytes + kMiB - 1) / kMiB) * kMiB;
+}
+
+float* acquire(std::size_t count, std::size_t* cap) {
+  if (count == 0) {
+    *cap = 0;
+    return nullptr;
+  }
+  const std::size_t bytes = bucket_bytes(count * sizeof(float));
+  *cap = bytes / sizeof(float);
+  void* p = nullptr;
+  bool hit = false;
+  if (alloc_mode() == Mode::kCache) {
+    Arena& a = arena();
+    std::lock_guard<std::mutex> lock(a.mu);
+    auto it = a.free_lists.find(bytes);
+    if (it != a.free_lists.end() && !it->second.empty()) {
+      p = it->second.back();
+      it->second.pop_back();
+      hit = true;
+    }
+  }
+  if (p == nullptr) {
+    p = ::operator new(bytes, std::align_val_t{kAlign});
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    g_bytes_cached.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  const std::uint64_t live =
+      g_bytes_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_high_water(live);
+  record_acquire_metrics(hit, bytes);
+  return static_cast<float*>(p);
+}
+
+void release(float* p, std::size_t cap) {
+  if (p == nullptr) return;
+  const std::size_t bytes = cap * sizeof(float);
+  g_releases.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_live.fetch_sub(bytes, std::memory_order_relaxed);
+  TG_METRIC_COUNT("alloc/release", 1);
+  if (alloc_mode() == Mode::kCache) {
+    Arena& a = arena();
+    {
+      std::lock_guard<std::mutex> lock(a.mu);
+      a.free_lists[bytes].push_back(p);
+    }
+    g_bytes_cached.fetch_add(bytes, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      static obs::Gauge& cached = obs::gauge("alloc/bytes_cached");
+      cached.set(static_cast<double>(
+          g_bytes_cached.load(std::memory_order_relaxed)));
+    }
+    return;
+  }
+  ::operator delete(p, std::align_val_t{kAlign});
+}
+
+void Buffer::resize_discard(std::size_t n) {
+  if (n <= cap_) {
+    size_ = n;
+    if (n == 0 && ptr_ != nullptr) return;  // keep the block for reuse
+    return;
+  }
+  std::size_t cap = 0;
+  float* fresh = acquire(n, &cap);
+  release(ptr_, cap_);
+  ptr_ = fresh;
+  cap_ = cap;
+  size_ = n;
+}
+
+void Buffer::assign(std::size_t n, float v) {
+  resize_discard(n);
+  std::fill(ptr_, ptr_ + n, v);
+}
+
+void Buffer::assign_copy(const float* src, std::size_t n) {
+  resize_discard(n);
+  if (n > 0) std::memcpy(ptr_, src, n * sizeof(float));
+}
+
+void Buffer::reset() {
+  release(ptr_, cap_);
+  ptr_ = nullptr;
+  size_ = 0;
+  cap_ = 0;
+}
+
+}  // namespace tg::nn::alloc

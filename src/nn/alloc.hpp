@@ -1,0 +1,129 @@
+#pragma once
+/// \file alloc.hpp
+/// The memory plane under the tensor library (DESIGN.md §10): a
+/// size-bucketed caching arena for tensor storage plus the `Buffer` value
+/// type `TensorImpl` holds its data and grad in.
+///
+/// Training allocates the same tensor shapes every step — forward
+/// activations, gradients, Adam scratch — so instead of hitting the heap
+/// per op, freed blocks park on per-bucket free lists and the next
+/// same-bucket acquire reuses them. After a warm-up step the steady-state
+/// epoch performs (near) zero mallocs; the `alloc/miss` counter proves it.
+///
+/// Buckets are byte sizes rounded up to a power of two (min 64 B) below
+/// 1 MiB and to the next 1 MiB multiple above, bounding slack at 2× small /
+/// ~1 MiB large. All blocks are 64-byte aligned so the SIMD kernels
+/// (nn/kernels.hpp) can use aligned loads on any tensor.
+///
+/// `TG_ALLOC=cache|malloc` picks the mode at process start (default
+/// cache); `set_alloc_mode()` flips it programmatically (tests, tools).
+/// The arena is thread-safe (one mutex around the free lists — acquire /
+/// release are per-tensor, not per-element) and feeds both an always-on
+/// internal `AllocStats` (selfcheck assertions) and, when metrics are
+/// enabled, the obs registry (`alloc/hit`, `alloc/miss`, `alloc/release`,
+/// `alloc/bytes_high_water`, `alloc/bytes_cached`).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace tg::nn::alloc {
+
+enum class Mode {
+  kCache,   ///< bucketed free-list reuse (default)
+  kMalloc,  ///< pass-through to the heap (baseline / debugging)
+};
+
+/// Current mode; first call resolves TG_ALLOC.
+[[nodiscard]] Mode alloc_mode();
+/// Switches modes; leaving kCache trims the cache first.
+void set_alloc_mode(Mode m);
+
+/// Always-on allocator counters (relaxed atomics — cheap enough to keep
+/// unconditional, unlike the gated obs metrics).
+struct AllocStats {
+  std::uint64_t hits = 0;      ///< acquires served from a free list
+  std::uint64_t misses = 0;    ///< acquires that had to call the heap
+  std::uint64_t releases = 0;  ///< blocks returned (cached or freed)
+  std::uint64_t bytes_live = 0;        ///< currently acquired bucket bytes
+  std::uint64_t bytes_high_water = 0;  ///< peak of bytes_live
+  std::uint64_t bytes_cached = 0;      ///< bytes parked on free lists
+};
+[[nodiscard]] AllocStats alloc_stats();
+/// Zeroes hit/miss/release counters and re-bases the high-water mark to
+/// the current live bytes. Cached blocks stay cached.
+void reset_alloc_stats();
+
+/// Frees every cached block; returns the number of bytes released to the
+/// heap. Tests and long-lived tools call this between phases.
+std::size_t trim_alloc_cache();
+
+/// Bucket-rounded byte size for a request of `bytes` (exposed for tests).
+[[nodiscard]] std::size_t bucket_bytes(std::size_t bytes);
+
+/// Acquires storage for `count` floats (64-byte aligned). `*cap` receives
+/// the bucket capacity in floats (>= count) so callers can grow in place
+/// within the slack. count == 0 returns nullptr with *cap = 0.
+[[nodiscard]] float* acquire(std::size_t count, std::size_t* cap);
+/// Returns a block previously acquired with capacity `cap` floats.
+void release(float* p, std::size_t cap);
+
+/// Arena-backed float array: the storage type behind TensorImpl::data and
+/// ::grad. Vector-like surface (data/size/index/iterate/assign) without
+/// vector's value-initialization — `resize_discard` leaves contents
+/// undefined so ops that overwrite every output element skip the memset.
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&& other) noexcept
+      : ptr_(std::exchange(other.ptr_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        cap_(std::exchange(other.cap_, 0)) {}
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ptr_ = std::exchange(other.ptr_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      cap_ = std::exchange(other.cap_, 0);
+    }
+    return *this;
+  }
+  ~Buffer() { reset(); }
+
+  [[nodiscard]] float* data() { return ptr_; }
+  [[nodiscard]] const float* data() const { return ptr_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] float& operator[](std::size_t i) { return ptr_[i]; }
+  [[nodiscard]] const float& operator[](std::size_t i) const {
+    return ptr_[i];
+  }
+  [[nodiscard]] float* begin() { return ptr_; }
+  [[nodiscard]] float* end() { return ptr_ + size_; }
+  [[nodiscard]] const float* begin() const { return ptr_; }
+  [[nodiscard]] const float* end() const { return ptr_ + size_; }
+  [[nodiscard]] operator std::span<float>() { return {ptr_, size_}; }
+  [[nodiscard]] operator std::span<const float>() const {
+    return {ptr_, size_};
+  }
+
+  /// Sizes to `n` floats with undefined contents. Reuses the current block
+  /// when the bucket capacity covers `n`.
+  void resize_discard(std::size_t n);
+  /// Sizes to `n` floats, all set to `v`.
+  void assign(std::size_t n, float v);
+  /// Sizes to `n` floats copied from `src` (must hold >= n values).
+  void assign_copy(const float* src, std::size_t n);
+  /// Returns the storage to the arena and becomes empty.
+  void reset();
+
+ private:
+  float* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;  ///< bucket capacity in floats
+};
+
+}  // namespace tg::nn::alloc

@@ -1,0 +1,157 @@
+#pragma once
+/// \file kernels.hpp
+/// Runtime-dispatched SIMD kernels under ops.cpp (DESIGN.md §10). One
+/// portable implementation and optional AVX2 / NEON backends share a
+/// single numeric contract so every backend is bit-identical:
+///
+///  - Elementwise kernels (add, mul, scale, axpy, relu, adam_step, ...)
+///    perform the same correctly-rounded float ops per element in the
+///    same order; fused multiply-add is never used (the build pins
+///    -ffp-contract=off so the compiler cannot introduce it either).
+///  - `dot` is a *blocked reduction*: 8 striped accumulators over the
+///    n&~7 prefix (lane l sums elements l, l+8, l+16, ...), combined as
+///    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), then the ragged tail is
+///    added serially in index order. Every backend implements exactly
+///    this tree, so SIMD vs portable results match bit for bit.
+///  - `matmul_row` computes out[j] = Σ_kk a[kk]·b[kk·m+j] with kk
+///    ascending per output element (init with kk = 0 as an assignment —
+///    callers never pre-zero). Backends may tile j freely: j-tiling
+///    never reorders the per-element kk accumulation.
+///
+/// Dispatch picks the widest backend the CPU supports at first use;
+/// `set_force_portable(true)` pins the portable table (the equivalence
+/// tests flip it to bit-compare backends on the same machine).
+
+#include <cstddef>
+
+namespace tg::nn::kern {
+
+/// Per-step constants of the fused Adam update (bias corrections are
+/// precomputed by the caller: bc1 = 1 − β1^t, bc2 = 1 − β2^t).
+struct AdamConsts {
+  float lr;
+  float beta1;
+  float beta2;
+  float eps;
+  float weight_decay;
+  float clip_scale;
+  float bc1;
+  float bc2;
+};
+
+/// One SIMD backend. All pointers may alias only as documented per entry
+/// (dst-style kernels accumulate in place; out-style kernels overwrite).
+struct KernelTable {
+  const char* name;
+  /// out[i] = a[i] + b[i]
+  void (*add)(float* out, const float* a, const float* b, std::size_t n);
+  /// dst[i] += src[i]
+  void (*add_acc)(float* dst, const float* src, std::size_t n);
+  /// out[i] = a[i] * b[i]
+  void (*mul)(float* out, const float* a, const float* b, std::size_t n);
+  /// dst[i] += a[i] * b[i]
+  void (*mul_acc)(float* dst, const float* a, const float* b, std::size_t n);
+  /// out[i] = a[i] * s
+  void (*scale)(float* out, const float* a, float s, std::size_t n);
+  /// dst[i] += a * x[i]
+  void (*axpy)(float* dst, float a, const float* x, std::size_t n);
+  /// out[i] = max(a[i], 0)
+  void (*relu)(float* out, const float* a, std::size_t n);
+  /// out[i] = max(a[i] + b[i], 0) — the fused Linear+ReLU / residual path
+  void (*add_relu)(float* out, const float* a, const float* b, std::size_t n);
+  /// dst[i] += y[i] > 0 ? g[i] : 0 — backward of relu/add_relu given the
+  /// forward output y
+  void (*relu_mask_acc)(float* dst, const float* y, const float* g,
+                        std::size_t n);
+  /// Blocked-reduction dot product (contract in the file comment).
+  float (*dot)(const float* a, const float* b, std::size_t n);
+  /// out[0..m) = Σ_kk a[kk] · b[kk·m .. kk·m+m); overwrites out.
+  void (*matmul_row)(float* out, const float* a, const float* b,
+                     std::size_t k, std::size_t m);
+  /// One row of dY·Bᵀ: out[kk] += dot(g, b + kk·m, m) for kk in [0, k).
+  /// Each output element uses exactly the `dot` reduction tree; backends
+  /// may block kk to share g loads, which never reorders a single dot.
+  void (*matmul_nt_row)(float* out, const float* g, const float* b,
+                        std::size_t k, std::size_t m);
+  /// Aᵀ·dY panel accumulate: db[kk·stride + j] += Σ_i a[i·k + kk] ·
+  /// g[i·stride + j] for kk in [0, k), j in [0, width), i terms added in
+  /// ascending order per element. Source rows are processed in blocks of
+  /// four; a block whose four a values are all exactly zero is skipped
+  /// (identically in every backend), while zeros inside a live block are
+  /// multiplied branch-free. Trailing rows (n mod 4) are per-row with the
+  /// same exact-zero skip.
+  void (*atb_acc)(float* db, const float* a, const float* g, std::size_t n,
+                  std::size_t k, std::size_t stride, std::size_t width);
+  /// Fused Adam: for each i, g = grad·clip + wd·data;
+  /// m = β1·m + (1−β1)·g; v = β2·v + ((1−β2)·g)·g;
+  /// data −= (lr·(m/bc1)) / (sqrt(v/bc2) + eps).
+  void (*adam_step)(float* data, const float* grad, float* m, float* v,
+                    std::size_t n, const AdamConsts& c);
+};
+
+/// The dispatched table (resolved once; portable when forced).
+[[nodiscard]] const KernelTable& active();
+/// Name of the backend `active()` currently returns ("avx2", "neon",
+/// "portable").
+[[nodiscard]] const char* simd_name();
+/// Test hook: true pins the portable table, false restores dispatch.
+void set_force_portable(bool on);
+
+namespace detail {
+/// Defined in kernels_avx2.cpp; nullptr when the build has no AVX2 TU.
+[[nodiscard]] const KernelTable* avx2_table();
+}  // namespace detail
+
+// ---- convenience wrappers ------------------------------------------------
+inline void add(float* out, const float* a, const float* b, std::size_t n) {
+  active().add(out, a, b, n);
+}
+inline void add_acc(float* dst, const float* src, std::size_t n) {
+  active().add_acc(dst, src, n);
+}
+inline void mul(float* out, const float* a, const float* b, std::size_t n) {
+  active().mul(out, a, b, n);
+}
+inline void mul_acc(float* dst, const float* a, const float* b,
+                    std::size_t n) {
+  active().mul_acc(dst, a, b, n);
+}
+inline void scale(float* out, const float* a, float s, std::size_t n) {
+  active().scale(out, a, s, n);
+}
+inline void axpy(float* dst, float a, const float* x, std::size_t n) {
+  active().axpy(dst, a, x, n);
+}
+inline void relu(float* out, const float* a, std::size_t n) {
+  active().relu(out, a, n);
+}
+inline void add_relu(float* out, const float* a, const float* b,
+                     std::size_t n) {
+  active().add_relu(out, a, b, n);
+}
+inline void relu_mask_acc(float* dst, const float* y, const float* g,
+                          std::size_t n) {
+  active().relu_mask_acc(dst, y, g, n);
+}
+[[nodiscard]] inline float dot(const float* a, const float* b,
+                               std::size_t n) {
+  return active().dot(a, b, n);
+}
+inline void matmul_row(float* out, const float* a, const float* b,
+                       std::size_t k, std::size_t m) {
+  active().matmul_row(out, a, b, k, m);
+}
+inline void matmul_nt_row(float* out, const float* g, const float* b,
+                          std::size_t k, std::size_t m) {
+  active().matmul_nt_row(out, g, b, k, m);
+}
+inline void atb_acc(float* db, const float* a, const float* g, std::size_t n,
+                    std::size_t k, std::size_t stride, std::size_t width) {
+  active().atb_acc(db, a, g, n, k, stride, width);
+}
+inline void adam_step(float* data, const float* grad, float* m, float* v,
+                      std::size_t n, const AdamConsts& c) {
+  active().adam_step(data, grad, m, v, n, c);
+}
+
+}  // namespace tg::nn::kern

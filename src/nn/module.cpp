@@ -43,6 +43,10 @@ Tensor Linear::forward(const Tensor& x) const {
   return add(matmul(x, w_), b_);
 }
 
+Tensor Linear::forward_relu(const Tensor& x) const {
+  return add_relu(matmul(x, w_), b_);
+}
+
 Mlp::Mlp(std::int64_t in, std::int64_t out, std::int64_t hidden,
          int hidden_layers, Rng* rng, const std::string& name) {
   TG_CHECK(rng != nullptr);
@@ -62,9 +66,18 @@ Tensor Mlp::forward(const Tensor& x) const {
   TG_CHECK(!layers_.empty());
   Tensor h = x;
   for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
-    h = relu(layers_[l].forward(h));
+    h = layers_[l].forward_relu(h);
   }
   return layers_.back().forward(h);
+}
+
+Tensor Mlp::forward_relu(const Tensor& x) const {
+  TG_CHECK(!layers_.empty());
+  Tensor h = x;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    h = layers_[l].forward_relu(h);
+  }
+  return layers_.back().forward_relu(h);
 }
 
 std::int64_t Mlp::in_features() const { return layers_.front().in_features(); }

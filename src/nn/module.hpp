@@ -45,6 +45,8 @@ class Linear : public Module {
          const std::string& name = "linear");
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// Fused relu(xW + b): bias add and activation in one tape node.
+  [[nodiscard]] Tensor forward_relu(const Tensor& x) const;
   [[nodiscard]] std::int64_t in_features() const { return w_.rows(); }
   [[nodiscard]] std::int64_t out_features() const { return w_.cols(); }
 
@@ -62,6 +64,9 @@ class Mlp : public Module {
       const std::string& name = "mlp");
 
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// relu(forward(x)) with the output activation fused into the final
+  /// layer's bias add (hidden layers are always fused).
+  [[nodiscard]] Tensor forward_relu(const Tensor& x) const;
   [[nodiscard]] std::int64_t in_features() const;
   [[nodiscard]] std::int64_t out_features() const;
 

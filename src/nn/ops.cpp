@@ -1,7 +1,9 @@
 #include "nn/ops.hpp"
 
 #include <cmath>
+#include <cstring>
 
+#include "nn/kernels.hpp"
 #include "util/check.hpp"
 #include "util/obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -24,12 +26,16 @@ constexpr std::int64_t row_grain(std::int64_t flops_per_row) {
                             : (kRowFlops + flops_per_row - 1) / flops_per_row;
 }
 
+/// Output tensor with *undefined* contents — for ops that overwrite every
+/// element (pointwise, matmul, gather, concat). The arena-backed Buffer
+/// skips the zero fill entirely, which is most of what made per-op
+/// allocation expensive.
 TensorImplPtr make_result(std::int64_t rows, std::int64_t cols,
                           std::initializer_list<const Tensor*> inputs) {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  impl->data.resize_discard(static_cast<std::size_t>(rows * cols));
   for (const Tensor* t : inputs) {
     if (t->requires_grad()) impl->requires_grad = true;
   }
@@ -39,13 +45,25 @@ TensorImplPtr make_result(std::int64_t rows, std::int64_t cols,
   return impl;
 }
 
+/// Zero-filled output — for scatter-accumulate ops (segment_sum, spmm,
+/// segment_max's empty segments) whose loops add into the buffer.
+TensorImplPtr make_result_zero(std::int64_t rows, std::int64_t cols,
+                               std::initializer_list<const Tensor*> inputs) {
+  auto impl = make_result(rows, cols, inputs);
+  std::memset(impl->data.data(), 0, impl->data.size() * sizeof(float));
+  return impl;
+}
+
 /// Adds src into dst (same length), allocating dst's grad buffer first.
 void accumulate(TensorImpl& parent, std::span<const float> grad_piece,
                 std::size_t offset = 0) {
   parent.ensure_grad();
-  for (std::size_t i = 0; i < grad_piece.size(); ++i) {
-    parent.grad[offset + i] += grad_piece[i];
-  }
+  kern::add_acc(parent.grad.data() + offset, grad_piece.data(),
+                grad_piece.size());
+}
+
+IndexVec share_index(std::vector<int> idx) {
+  return std::make_shared<const std::vector<int>>(std::move(idx));
 }
 
 }  // namespace
@@ -56,28 +74,38 @@ Tensor add(const Tensor& a, const Tensor& b) {
                "add: shape mismatch " << a.rows() << "x" << a.cols() << " vs "
                                       << b.rows() << "x" << b.cols());
   auto impl = make_result(a.rows(), a.cols(), {&a, &b});
-  const auto& av = a.data();
-  const auto& bv = b.data();
-  const std::size_t cols = static_cast<std::size_t>(a.cols());
-  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
-               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                 for (auto i = static_cast<std::size_t>(lo);
-                      i < static_cast<std::size_t>(hi); ++i) {
-                   impl->data[i] = av[i] + (broadcast ? bv[i % cols] : bv[i]);
-                 }
-               });
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* out = impl->data.data();
+  const std::int64_t cols = a.cols();
+  if (broadcast) {
+    // Row blocks: each output row adds the same [1, D] bias vector.
+    parallel_for(0, a.rows(), row_grain(cols),
+                 [&](std::int64_t rb, std::int64_t re) {
+                   for (std::int64_t r = rb; r < re; ++r) {
+                     kern::add(out + r * cols, ad + r * cols, bd,
+                               static_cast<std::size_t>(cols));
+                   }
+                 });
+  } else {
+    parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+                 kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                   kern::add(out + lo, ad + lo, bd + lo,
+                             static_cast<std::size_t>(hi - lo));
+                 });
+  }
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto pb = b.ptr();
+    impl->op = "add";
     impl->backward_fn = [pa, pb, broadcast, cols](TensorImpl& self) {
       if (pa->requires_grad) {
         pa->ensure_grad();
         parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
                      kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                       for (auto i = static_cast<std::size_t>(lo);
-                            i < static_cast<std::size_t>(hi); ++i) {
-                         pa->grad[i] += self.grad[i];
-                       }
+                       kern::add_acc(pa->grad.data() + lo,
+                                     self.grad.data() + lo,
+                                     static_cast<std::size_t>(hi - lo));
                      });
       }
       if (pb->requires_grad) {
@@ -86,26 +114,21 @@ Tensor add(const Tensor& a, const Tensor& b) {
           // Column-sliced so concurrent chunks own disjoint grad slots and
           // each slot keeps the serial (row-ascending) accumulation order.
           const std::int64_t rows =
-              static_cast<std::int64_t>(self.grad.size() / cols);
-          parallel_for(0, static_cast<std::int64_t>(cols),
-                       row_grain(2 * rows),
+              static_cast<std::int64_t>(self.grad.size()) / cols;
+          parallel_for(0, cols, row_grain(2 * rows),
                        [&](std::int64_t cb, std::int64_t ce) {
                          for (std::int64_t r = 0; r < rows; ++r) {
-                           const float* g = self.grad.data() +
-                                            r * static_cast<std::int64_t>(cols);
-                           for (std::int64_t c = cb; c < ce; ++c) {
-                             pb->grad[static_cast<std::size_t>(c)] +=
-                                 g[c];
-                           }
+                           kern::add_acc(pb->grad.data() + cb,
+                                         self.grad.data() + r * cols + cb,
+                                         static_cast<std::size_t>(ce - cb));
                          }
                        });
         } else {
           parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
                        kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                         for (auto i = static_cast<std::size_t>(lo);
-                              i < static_cast<std::size_t>(hi); ++i) {
-                           pb->grad[i] += self.grad[i];
-                         }
+                         kern::add_acc(pb->grad.data() + lo,
+                                       self.grad.data() + lo,
+                                       static_cast<std::size_t>(hi - lo));
                        });
         }
       }
@@ -121,35 +144,35 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   auto impl = make_result(a.rows(), a.cols(), {&a, &b});
   const float* ad = a.data().data();
   const float* bd = b.data().data();
+  float* out = impl->data.data();
   parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
                kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                 for (auto i = static_cast<std::size_t>(lo);
-                      i < static_cast<std::size_t>(hi); ++i) {
-                   impl->data[i] = ad[i] * bd[i];
-                 }
+                 kern::mul(out + lo, ad + lo, bd + lo,
+                           static_cast<std::size_t>(hi - lo));
                });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto pb = b.ptr();
+    impl->op = "mul";
     impl->backward_fn = [pa, pb](TensorImpl& self) {
       if (pa->requires_grad) {
         pa->ensure_grad();
         parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
                      kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                       for (auto i = static_cast<std::size_t>(lo);
-                            i < static_cast<std::size_t>(hi); ++i) {
-                         pa->grad[i] += self.grad[i] * pb->data[i];
-                       }
+                       kern::mul_acc(pa->grad.data() + lo,
+                                     self.grad.data() + lo,
+                                     pb->data.data() + lo,
+                                     static_cast<std::size_t>(hi - lo));
                      });
       }
       if (pb->requires_grad) {
         pb->ensure_grad();
         parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
                      kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                       for (auto i = static_cast<std::size_t>(lo);
-                            i < static_cast<std::size_t>(hi); ++i) {
-                         pb->grad[i] += self.grad[i] * pa->data[i];
-                       }
+                       kern::mul_acc(pb->grad.data() + lo,
+                                     self.grad.data() + lo,
+                                     pa->data.data() + lo,
+                                     static_cast<std::size_t>(hi - lo));
                      });
       }
     };
@@ -160,23 +183,22 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 Tensor scale(const Tensor& a, float s) {
   auto impl = make_result(a.rows(), a.cols(), {&a});
   const float* ad = a.data().data();
+  float* out = impl->data.data();
   parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
                kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                 for (auto i = static_cast<std::size_t>(lo);
-                      i < static_cast<std::size_t>(hi); ++i) {
-                   impl->data[i] = ad[i] * s;
-                 }
+                 kern::scale(out + lo, ad + lo, s,
+                             static_cast<std::size_t>(hi - lo));
                });
   if (impl->requires_grad) {
     auto pa = a.ptr();
+    impl->op = "scale";
     impl->backward_fn = [pa, s](TensorImpl& self) {
       pa->ensure_grad();
       parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
                    kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
-                     for (auto i = static_cast<std::size_t>(lo);
-                          i < static_cast<std::size_t>(hi); ++i) {
-                       pa->grad[i] += self.grad[i] * s;
-                     }
+                     kern::axpy(pa->grad.data() + lo, s,
+                                self.grad.data() + lo,
+                                static_cast<std::size_t>(hi - lo));
                    });
     };
   }
@@ -198,6 +220,7 @@ Tensor pointwise(const Tensor& a, Fwd fwd, Bwd dydx_from_xy) {
                });
   if (impl->requires_grad) {
     auto pa = a.ptr();
+    impl->op = "pointwise";
     impl->backward_fn = [pa, dydx_from_xy](TensorImpl& self) {
       pa->ensure_grad();
       parallel_for(
@@ -217,9 +240,150 @@ Tensor pointwise(const Tensor& a, Fwd fwd, Bwd dydx_from_xy) {
 }  // namespace
 
 Tensor relu(const Tensor& a) {
-  return pointwise(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  auto impl = make_result(a.rows(), a.cols(), {&a});
+  const float* ad = a.data().data();
+  float* out = impl->data.data();
+  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                 kern::relu(out + lo, ad + lo,
+                            static_cast<std::size_t>(hi - lo));
+               });
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    impl->op = "relu";
+    impl->backward_fn = [pa](TensorImpl& self) {
+      pa->ensure_grad();
+      // y > 0 ⟺ x > 0 for relu, so the forward output doubles as the mask.
+      parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                   kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                     kern::relu_mask_acc(pa->grad.data() + lo,
+                                         self.data.data() + lo,
+                                         self.grad.data() + lo,
+                                         static_cast<std::size_t>(hi - lo));
+                   });
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor add_relu(const Tensor& a, const Tensor& b) {
+  const bool broadcast = (b.rows() == 1 && a.cols() == b.cols() && a.rows() != 1);
+  TG_CHECK_MSG(broadcast || (a.rows() == b.rows() && a.cols() == b.cols()),
+               "add_relu: shape mismatch " << a.rows() << "x" << a.cols()
+                                           << " vs " << b.rows() << "x"
+                                           << b.cols());
+  auto impl = make_result(a.rows(), a.cols(), {&a, &b});
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* out = impl->data.data();
+  const std::int64_t cols = a.cols();
+  if (broadcast) {
+    parallel_for(0, a.rows(), row_grain(2 * cols),
+                 [&](std::int64_t rb, std::int64_t re) {
+                   for (std::int64_t r = rb; r < re; ++r) {
+                     kern::add_relu(out + r * cols, ad + r * cols, bd,
+                                    static_cast<std::size_t>(cols));
+                   }
+                 });
+  } else {
+    parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+                 kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                   kern::add_relu(out + lo, ad + lo, bd + lo,
+                                  static_cast<std::size_t>(hi - lo));
+                 });
+  }
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto pb = b.ptr();
+    impl->op = "add_relu";
+    impl->backward_fn = [pa, pb, broadcast, cols](TensorImpl& self) {
+      const float* y = self.data.data();
+      const float* g = self.grad.data();
+      if (pa->requires_grad) {
+        pa->ensure_grad();
+        parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                     kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       kern::relu_mask_acc(pa->grad.data() + lo, y + lo,
+                                           g + lo,
+                                           static_cast<std::size_t>(hi - lo));
+                     });
+      }
+      if (pb->requires_grad) {
+        pb->ensure_grad();
+        if (broadcast) {
+          const std::int64_t rows =
+              static_cast<std::int64_t>(self.grad.size()) / cols;
+          parallel_for(0, cols, row_grain(2 * rows),
+                       [&](std::int64_t cb, std::int64_t ce) {
+                         for (std::int64_t r = 0; r < rows; ++r) {
+                           kern::relu_mask_acc(pb->grad.data() + cb,
+                                               y + r * cols + cb,
+                                               g + r * cols + cb,
+                                               static_cast<std::size_t>(ce - cb));
+                         }
+                       });
+        } else {
+          parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                       kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                         kern::relu_mask_acc(
+                             pb->grad.data() + lo, y + lo, g + lo,
+                             static_cast<std::size_t>(hi - lo));
+                       });
+        }
+      }
+    };
+  }
+  return Tensor(impl);
+}
+
+Tensor mul_sigmoid(const Tensor& a, const Tensor& b) {
+  TG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  auto impl = make_result(a.rows(), a.cols(), {&a, &b});
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* out = impl->data.data();
+  // σ(b) is needed again in backward for both inputs; cache it rather
+  // than re-running exp (or dividing y by a, which loses precision near
+  // a = 0).
+  auto sig = std::make_shared<std::vector<float>>(impl->data.size());
+  parallel_for(0, static_cast<std::int64_t>(impl->data.size()),
+               kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                 for (auto i = static_cast<std::size_t>(lo);
+                      i < static_cast<std::size_t>(hi); ++i) {
+                   const float s = 1.0f / (1.0f + std::exp(-bd[i]));
+                   (*sig)[i] = s;
+                   out[i] = ad[i] * s;
+                 }
+               });
+  if (impl->requires_grad) {
+    auto pa = a.ptr();
+    auto pb = b.ptr();
+    impl->op = "mul_sigmoid";
+    impl->backward_fn = [pa, pb, sig](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (pa->requires_grad) {
+        pa->ensure_grad();
+        parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                     kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       kern::mul_acc(pa->grad.data() + lo, g + lo,
+                                     sig->data() + lo,
+                                     static_cast<std::size_t>(hi - lo));
+                     });
+      }
+      if (pb->requires_grad) {
+        pb->ensure_grad();
+        parallel_for(0, static_cast<std::int64_t>(self.grad.size()),
+                     kPointwiseGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       for (auto i = static_cast<std::size_t>(lo);
+                            i < static_cast<std::size_t>(hi); ++i) {
+                         const float s = (*sig)[i];
+                         pb->grad[i] += g[i] * pa->data[i] * s * (1.0f - s);
+                       }
+                     });
+      }
+    };
+  }
+  return Tensor(impl);
 }
 
 Tensor leaky_relu(const Tensor& a, float slope) {
@@ -259,63 +423,54 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* ad = a.data().data();
   const float* bd = b.data().data();
   float* out = impl->data.data();
-  // ikj loop order: streaming writes over the output row. Row blocks run
-  // in parallel; each output row is produced by exactly one chunk in the
-  // serial kk/j order, so results match the serial run bit for bit.
-  parallel_for(0, n, row_grain(2 * k * m), [&](std::int64_t ib,
-                                               std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) {
-      float* orow = out + i * m;
-      const float* arow = ad + i * k;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = bd + kk * m;
-        for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
+  // Register-tiled ikj kernel per output row. Row blocks run in parallel;
+  // each output element accumulates its k terms in ascending-kk order in
+  // every backend, so results match the serial portable run bit for bit.
+  parallel_for(0, n, row_grain(2 * k * m),
+               [&](std::int64_t ib, std::int64_t ie) {
+                 for (std::int64_t i = ib; i < ie; ++i) {
+                   kern::matmul_row(out + i * m, ad + i * k, bd,
+                                    static_cast<std::size_t>(k),
+                                    static_cast<std::size_t>(m));
+                 }
+               });
   if (impl->requires_grad) {
     auto pa = a.ptr();
     auto pb = b.ptr();
+    impl->op = "matmul";
     impl->backward_fn = [pa, pb, n, k, m](TensorImpl& self) {
+      TG_TRACE_SCOPE("nn/matmul_bwd", obs::kSpanDetail);
       const float* g = self.grad.data();
       if (pa->requires_grad) {
+        TG_TRACE_SCOPE("nn/matmul_bwd_da", obs::kSpanDetail);
         pa->ensure_grad();
-        // dA = dY · Bᵀ — row blocks of dA are independent.
-        parallel_for(0, n, row_grain(2 * k * m), [&](std::int64_t ib,
-                                                     std::int64_t ie) {
-          for (std::int64_t i = ib; i < ie; ++i) {
-            const float* grow = g + i * m;
-            float* darow = pa->grad.data() + i * k;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              const float* brow = pb->data.data() + kk * m;
-              float acc = 0.0f;
-              for (std::int64_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
-              darow[kk] += acc;
-            }
-          }
-        });
+        // dA = dY · Bᵀ — row blocks of dA are independent; each entry is
+        // one blocked-reduction dot (kernels.hpp contract), computed a
+        // whole row at a time so B's rows stream through four shared
+        // accumulator chains.
+        parallel_for(0, n, row_grain(2 * k * m),
+                     [&](std::int64_t ib, std::int64_t ie) {
+                       for (std::int64_t i = ib; i < ie; ++i) {
+                         kern::matmul_nt_row(pa->grad.data() + i * k,
+                                             g + i * m, pb->data.data(),
+                                             static_cast<std::size_t>(k),
+                                             static_cast<std::size_t>(m));
+                       }
+                     });
       }
       if (pb->requires_grad) {
+        TG_TRACE_SCOPE("nn/matmul_bwd_db", obs::kSpanDetail);
         pb->ensure_grad();
         // dB = Aᵀ · dY — column blocks of dB are independent, and every
         // dB element still accumulates its n contributions in ascending-i
         // (serial) order inside its one owning chunk.
         parallel_for(0, m, row_grain(2 * n * k), [&](std::int64_t jb,
                                                      std::int64_t je) {
-          for (std::int64_t i = 0; i < n; ++i) {
-            const float* arow = pa->data.data() + i * k;
-            const float* grow = g + i * m;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-              const float av = arow[kk];
-              if (av == 0.0f) continue;
-              float* dbrow = pb->grad.data() + kk * m;
-              for (std::int64_t j = jb; j < je; ++j) {
-                dbrow[j] += av * grow[j];
-              }
-            }
-          }
+          kern::atb_acc(pb->grad.data() + jb, pa->data.data(), g + jb,
+                        static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(k),
+                        static_cast<std::size_t>(m),
+                        static_cast<std::size_t>(je - jb));
         });
       }
     };
@@ -334,7 +489,7 @@ Tensor concat_cols(std::span<const Tensor> parts) {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  impl->data.resize_discard(static_cast<std::size_t>(rows * cols));
   for (const Tensor& t : parts) {
     if (t.requires_grad()) impl->requires_grad = true;
   }
@@ -352,6 +507,7 @@ Tensor concat_cols(std::span<const Tensor> parts) {
     off += tc;
   }
   if (impl->requires_grad) {
+    impl->op = "concat_cols";
     impl->backward_fn = [srcs, rows, cols](TensorImpl& self) {
       std::int64_t o = 0;
       for (const auto& s : srcs) {
@@ -359,9 +515,9 @@ Tensor concat_cols(std::span<const Tensor> parts) {
         if (s->requires_grad) {
           s->ensure_grad();
           for (std::int64_t r = 0; r < rows; ++r) {
-            const float* g = self.grad.data() + r * cols + o;
-            float* dst = s->grad.data() + r * tc;
-            for (std::int64_t c = 0; c < tc; ++c) dst[c] += g[c];
+            kern::add_acc(s->grad.data() + r * tc,
+                          self.grad.data() + r * cols + o,
+                          static_cast<std::size_t>(tc));
           }
         }
         o += tc;
@@ -381,12 +537,13 @@ Tensor slice_cols(const Tensor& a, std::int64_t begin, std::int64_t end) {
   }
   if (impl->requires_grad) {
     auto pa = a.ptr();
+    impl->op = "slice_cols";
     impl->backward_fn = [pa, rows, cols, ac, begin](TensorImpl& self) {
       pa->ensure_grad();
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float* g = self.grad.data() + r * cols;
-        float* dst = pa->grad.data() + r * ac + begin;
-        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+        kern::add_acc(pa->grad.data() + r * ac + begin,
+                      self.grad.data() + r * cols,
+                      static_cast<std::size_t>(cols));
       }
     };
   }
@@ -404,7 +561,7 @@ Tensor concat_rows(std::span<const Tensor> parts) {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.resize(static_cast<std::size_t>(rows * cols));
+  impl->data.resize_discard(static_cast<std::size_t>(rows * cols));
   for (const Tensor& t : parts) {
     if (t.requires_grad()) impl->requires_grad = true;
   }
@@ -418,6 +575,7 @@ Tensor concat_rows(std::span<const Tensor> parts) {
     off += static_cast<std::size_t>(t.numel());
   }
   if (impl->requires_grad) {
+    impl->op = "concat_rows";
     impl->backward_fn = [srcs](TensorImpl& self) {
       std::size_t o = 0;
       for (const auto& s : srcs) {
@@ -433,39 +591,40 @@ Tensor concat_rows(std::span<const Tensor> parts) {
   return Tensor(impl);
 }
 
-Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
+Tensor gather_rows(const Tensor& a, SharedIndex idx_handle) {
+  const IndexVec& idx = idx_handle.get();
+  TG_CHECK(idx != nullptr);
   const std::int64_t cols = a.cols();
-  auto impl = make_result(static_cast<std::int64_t>(idx.size()), cols, {&a});
-  const int* ix = idx.data();
+  auto impl = make_result(static_cast<std::int64_t>(idx->size()), cols, {&a});
+  const int* ix = idx->data();
   const float* ad = a.data().data();
   parallel_for(
-      0, static_cast<std::int64_t>(idx.size()), row_grain(cols),
+      0, static_cast<std::int64_t>(idx->size()), row_grain(cols),
       [&](std::int64_t ib, std::int64_t ie) {
         for (std::int64_t i = ib; i < ie; ++i) {
           TG_DCHECK(ix[i] >= 0 && ix[i] < a.rows());
-          std::copy_n(ad + static_cast<std::int64_t>(ix[i]) * cols, cols,
-                      impl->data.data() + i * cols);
+          std::memcpy(impl->data.data() + i * cols,
+                      ad + static_cast<std::int64_t>(ix[i]) * cols,
+                      static_cast<std::size_t>(cols) * sizeof(float));
         }
       });
   if (impl->requires_grad) {
     auto pa = a.ptr();
-    auto shared_idx = std::make_shared<std::vector<int>>(std::move(idx));
-    impl->backward_fn = [pa, shared_idx, cols](TensorImpl& self) {
+    impl->op = "gather_rows";
+    impl->backward_fn = [pa, idx, cols](TensorImpl& self) {
       pa->ensure_grad();
       // Scatter: duplicate indices collide on rows, so slice by output
       // column instead — each grad slot has one owner chunk and keeps the
       // ascending-i accumulation order of the serial loop.
-      const auto n = static_cast<std::int64_t>(shared_idx->size());
+      const auto n = static_cast<std::int64_t>(idx->size());
+      const int* gix = idx->data();
       parallel_for(0, cols, row_grain(2 * n), [&](std::int64_t cb,
                                                   std::int64_t ce) {
         for (std::int64_t i = 0; i < n; ++i) {
-          const float* g = self.grad.data() + i * cols;
-          float* dst =
-              pa->grad.data() +
-              static_cast<std::int64_t>(
-                  (*shared_idx)[static_cast<std::size_t>(i)]) *
-                  cols;
-          for (std::int64_t c = cb; c < ce; ++c) dst[c] += g[c];
+          kern::add_acc(pa->grad.data() +
+                            static_cast<std::int64_t>(gix[i]) * cols + cb,
+                        self.grad.data() + i * cols + cb,
+                        static_cast<std::size_t>(ce - cb));
         }
       });
     };
@@ -473,15 +632,22 @@ Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
   return Tensor(impl);
 }
 
-Tensor multi_gather(std::span<const Tensor> sources, std::vector<int> src_tensor,
-                    std::vector<int> src_row) {
+Tensor gather_rows(const Tensor& a, std::vector<int> idx) {
+  return gather_rows(a, share_index(std::move(idx)));
+}
+
+Tensor multi_gather(std::span<const Tensor> sources, SharedIndex src_tensor_handle,
+                    SharedIndex src_row_handle) {
+  const IndexVec& src_tensor = src_tensor_handle.get();
+  const IndexVec& src_row = src_row_handle.get();
   TG_CHECK(!sources.empty());
-  TG_CHECK(src_tensor.size() == src_row.size());
+  TG_CHECK(src_tensor != nullptr && src_row != nullptr);
+  TG_CHECK(src_tensor->size() == src_row->size());
   const std::int64_t cols = sources[0].cols();
   auto impl = std::make_shared<TensorImpl>();
-  impl->rows = static_cast<std::int64_t>(src_tensor.size());
+  impl->rows = static_cast<std::int64_t>(src_tensor->size());
   impl->cols = cols;
-  impl->data.resize(static_cast<std::size_t>(impl->rows * cols));
+  impl->data.resize_discard(static_cast<std::size_t>(impl->rows * cols));
   std::vector<TensorImplPtr> srcs;
   for (const Tensor& t : sources) {
     TG_CHECK(t.cols() == cols);
@@ -490,64 +656,74 @@ Tensor multi_gather(std::span<const Tensor> sources, std::vector<int> src_tensor
   }
   if (impl->requires_grad) impl->parents = srcs;
 
-  for (std::size_t i = 0; i < src_tensor.size(); ++i) {
-    const auto& s = srcs[static_cast<std::size_t>(src_tensor[i])];
-    TG_DCHECK(src_row[i] >= 0 && src_row[i] < s->rows);
-    std::copy_n(s->data.data() + static_cast<std::int64_t>(src_row[i]) * cols,
-                cols, impl->data.data() + static_cast<std::int64_t>(i) * cols);
+  const int* st = src_tensor->data();
+  const int* sr = src_row->data();
+  for (std::size_t i = 0; i < src_tensor->size(); ++i) {
+    const auto& s = srcs[static_cast<std::size_t>(st[i])];
+    TG_DCHECK(sr[i] >= 0 && sr[i] < s->rows);
+    std::memcpy(impl->data.data() + static_cast<std::int64_t>(i) * cols,
+                s->data.data() + static_cast<std::int64_t>(sr[i]) * cols,
+                static_cast<std::size_t>(cols) * sizeof(float));
   }
   if (impl->requires_grad) {
-    auto st = std::make_shared<std::vector<int>>(std::move(src_tensor));
-    auto sr = std::make_shared<std::vector<int>>(std::move(src_row));
-    impl->backward_fn = [srcs, st, sr, cols](TensorImpl& self) {
-      for (std::size_t i = 0; i < st->size(); ++i) {
-        const auto& s = srcs[static_cast<std::size_t>((*st)[i])];
+    impl->op = "multi_gather";
+    impl->backward_fn = [srcs, src_tensor, src_row, cols](TensorImpl& self) {
+      const int* bst = src_tensor->data();
+      const int* bsr = src_row->data();
+      for (std::size_t i = 0; i < src_tensor->size(); ++i) {
+        const auto& s = srcs[static_cast<std::size_t>(bst[i])];
         if (!s->requires_grad) continue;
         s->ensure_grad();
-        const float* g = self.grad.data() + static_cast<std::int64_t>(i) * cols;
-        float* dst = s->grad.data() + static_cast<std::int64_t>((*sr)[i]) * cols;
-        for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+        kern::add_acc(s->grad.data() + static_cast<std::int64_t>(bsr[i]) * cols,
+                      self.grad.data() + static_cast<std::int64_t>(i) * cols,
+                      static_cast<std::size_t>(cols));
       }
     };
   }
   return Tensor(impl);
 }
 
-Tensor segment_sum(const Tensor& a, std::vector<int> seg,
-                   std::int64_t num_segments) {
+Tensor multi_gather(std::span<const Tensor> sources,
+                    std::vector<int> src_tensor, std::vector<int> src_row) {
+  return multi_gather(sources, share_index(std::move(src_tensor)),
+                      share_index(std::move(src_row)));
+}
+
+Tensor segment_sum(const Tensor& a, SharedIndex seg_handle, std::int64_t num_segments) {
+  const IndexVec& seg = seg_handle.get();
   TG_TRACE_SCOPE("nn/segment_sum", obs::kSpanDetail);
-  TG_CHECK(static_cast<std::int64_t>(seg.size()) == a.rows());
+  TG_CHECK(seg != nullptr);
+  TG_CHECK(static_cast<std::int64_t>(seg->size()) == a.rows());
   const std::int64_t cols = a.cols();
-  auto impl = make_result(num_segments, cols, {&a});
-  const auto n = static_cast<std::int64_t>(seg.size());
-  const int* sg = seg.data();
+  auto impl = make_result_zero(num_segments, cols, {&a});
+  const auto n = static_cast<std::int64_t>(seg->size());
+  const int* sg = seg->data();
   const float* ad = a.data().data();
   // Scatter by segment: rows collide, columns never do — slice columns.
   parallel_for(0, cols, row_grain(2 * n), [&](std::int64_t cb,
                                               std::int64_t ce) {
     for (std::int64_t i = 0; i < n; ++i) {
       TG_DCHECK(sg[i] >= 0 && sg[i] < num_segments);
-      const float* src = ad + i * cols;
-      float* dst = impl->data.data() + static_cast<std::int64_t>(sg[i]) * cols;
-      for (std::int64_t c = cb; c < ce; ++c) dst[c] += src[c];
+      kern::add_acc(impl->data.data() +
+                        static_cast<std::int64_t>(sg[i]) * cols + cb,
+                    ad + i * cols + cb, static_cast<std::size_t>(ce - cb));
     }
   });
   if (impl->requires_grad) {
     auto pa = a.ptr();
-    auto s = std::make_shared<std::vector<int>>(std::move(seg));
-    impl->backward_fn = [pa, s, cols](TensorImpl& self) {
+    impl->op = "segment_sum";
+    impl->backward_fn = [pa, seg, cols](TensorImpl& self) {
       pa->ensure_grad();
+      const int* sgp = seg->data();
       // Gather: each input row is written by exactly one chunk.
       parallel_for(
-          0, static_cast<std::int64_t>(s->size()), row_grain(cols),
+          0, static_cast<std::int64_t>(seg->size()), row_grain(cols),
           [&](std::int64_t ib, std::int64_t ie) {
             for (std::int64_t i = ib; i < ie; ++i) {
-              const float* g =
-                  self.grad.data() +
-                  static_cast<std::int64_t>((*s)[static_cast<std::size_t>(i)]) *
-                      cols;
-              float* dst = pa->grad.data() + i * cols;
-              for (std::int64_t c = 0; c < cols; ++c) dst[c] += g[c];
+              kern::add_acc(pa->grad.data() + i * cols,
+                            self.grad.data() +
+                                static_cast<std::int64_t>(sgp[i]) * cols,
+                            static_cast<std::size_t>(cols));
             }
           });
     };
@@ -555,17 +731,23 @@ Tensor segment_sum(const Tensor& a, std::vector<int> seg,
   return Tensor(impl);
 }
 
-Tensor segment_max(const Tensor& a, std::vector<int> seg,
+Tensor segment_sum(const Tensor& a, std::vector<int> seg,
                    std::int64_t num_segments) {
-  TG_CHECK(static_cast<std::int64_t>(seg.size()) == a.rows());
+  return segment_sum(a, share_index(std::move(seg)), num_segments);
+}
+
+Tensor segment_max(const Tensor& a, SharedIndex seg_handle, std::int64_t num_segments) {
+  const IndexVec& seg = seg_handle.get();
+  TG_CHECK(seg != nullptr);
+  TG_CHECK(static_cast<std::int64_t>(seg->size()) == a.rows());
   const std::int64_t cols = a.cols();
-  auto impl = make_result(num_segments, cols, {&a});
+  auto impl = make_result_zero(num_segments, cols, {&a});
   // argmax[s*cols + c] = input row that won; -1 = empty (output stays 0).
   auto argmax = std::make_shared<std::vector<int>>(
       static_cast<std::size_t>(num_segments * cols), -1);
   {
-    const auto n = static_cast<std::int64_t>(seg.size());
-    const int* sg = seg.data();
+    const auto n = static_cast<std::int64_t>(seg->size());
+    const int* sg = seg->data();
     const float* ad = a.data().data();
     // Column-sliced like segment_sum: every (segment, column) max/argmax
     // slot is owned by one chunk and scanned in ascending-i order.
@@ -587,6 +769,7 @@ Tensor segment_max(const Tensor& a, std::vector<int> seg,
   }
   if (impl->requires_grad) {
     auto pa = a.ptr();
+    impl->op = "segment_max";
     impl->backward_fn = [pa, argmax, cols](TensorImpl& self) {
       pa->ensure_grad();
       for (std::size_t j = 0; j < self.grad.size(); ++j) {
@@ -600,12 +783,17 @@ Tensor segment_max(const Tensor& a, std::vector<int> seg,
   return Tensor(impl);
 }
 
+Tensor segment_max(const Tensor& a, std::vector<int> seg,
+                   std::int64_t num_segments) {
+  return segment_max(a, share_index(std::move(seg)), num_segments);
+}
+
 Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
             const Tensor& x, std::int64_t out_rows) {
   TG_TRACE_SCOPE("nn/spmm", obs::kSpanDetail);
   TG_CHECK(src.size() == dst.size() && src.size() == w.size());
   const std::int64_t cols = x.cols();
-  auto impl = make_result(out_rows, cols, {&x});
+  auto impl = make_result_zero(out_rows, cols, {&x});
   {
     const auto ne = static_cast<std::int64_t>(src.size());
     const int* sp = src.data();
@@ -618,10 +806,10 @@ Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
       for (std::int64_t k = 0; k < ne; ++k) {
         TG_DCHECK(sp[k] >= 0 && sp[k] < x.rows());
         TG_DCHECK(dp[k] >= 0 && dp[k] < out_rows);
-        const float* xs = xd + static_cast<std::int64_t>(sp[k]) * cols;
-        float* od = impl->data.data() + static_cast<std::int64_t>(dp[k]) * cols;
-        const float wk = wp[k];
-        for (std::int64_t c = cb; c < ce; ++c) od[c] += wk * xs[c];
+        kern::axpy(impl->data.data() +
+                       static_cast<std::int64_t>(dp[k]) * cols + cb,
+                   wp[k], xd + static_cast<std::int64_t>(sp[k]) * cols + cb,
+                   static_cast<std::size_t>(ce - cb));
       }
     });
   }
@@ -630,6 +818,7 @@ Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
     auto ps = std::make_shared<std::vector<int>>(std::move(src));
     auto pd = std::make_shared<std::vector<int>>(std::move(dst));
     auto pw = std::make_shared<std::vector<float>>(std::move(w));
+    impl->op = "spmm";
     impl->backward_fn = [px, ps, pd, pw, cols](TensorImpl& self) {
       px->ensure_grad();
       const auto ne = static_cast<std::int64_t>(ps->size());
@@ -637,14 +826,142 @@ Tensor spmm(std::vector<int> src, std::vector<int> dst, std::vector<float> w,
                                                    std::int64_t ce) {
         for (std::int64_t k = 0; k < ne; ++k) {
           const auto ku = static_cast<std::size_t>(k);
-          const float* g =
-              self.grad.data() + static_cast<std::int64_t>((*pd)[ku]) * cols;
-          float* dx =
-              px->grad.data() + static_cast<std::int64_t>((*ps)[ku]) * cols;
-          const float wk = (*pw)[ku];
-          for (std::int64_t c = cb; c < ce; ++c) dx[c] += wk * g[c];
+          kern::axpy(px->grad.data() +
+                         static_cast<std::int64_t>((*ps)[ku]) * cols + cb,
+                     (*pw)[ku],
+                     self.grad.data() +
+                         static_cast<std::int64_t>((*pd)[ku]) * cols + cb,
+                     static_cast<std::size_t>(ce - cb));
         }
       });
+    };
+  }
+  return Tensor(impl);
+}
+
+SpmmCsr build_spmm_csr(const std::vector<int>& src, const std::vector<int>& dst,
+                       const std::vector<float>& w, std::int64_t out_rows,
+                       std::int64_t in_rows) {
+  TG_CHECK(src.size() == dst.size() && src.size() == w.size());
+  const std::size_t ne = src.size();
+  SpmmCsr plan;
+  plan.out_rows = out_rows;
+  plan.in_rows = in_rows;
+  // Forward CSR: edges bucketed by destination row (counting sort keeps
+  // the original edge order within a row, so the per-row accumulation
+  // order is deterministic and independent of how the COO list arrived).
+  auto fwd_off = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(out_rows) + 1, 0);
+  auto fwd_col = std::make_shared<std::vector<int>>(ne);
+  auto fwd_w = std::make_shared<std::vector<float>>(ne);
+  for (std::size_t k = 0; k < ne; ++k) {
+    TG_CHECK(dst[k] >= 0 && static_cast<std::int64_t>(dst[k]) < out_rows);
+    TG_CHECK(src[k] >= 0 && static_cast<std::int64_t>(src[k]) < in_rows);
+    ++(*fwd_off)[static_cast<std::size_t>(dst[k]) + 1];
+  }
+  for (std::size_t r = 1; r < fwd_off->size(); ++r) {
+    (*fwd_off)[r] += (*fwd_off)[r - 1];
+  }
+  {
+    std::vector<int> cursor(fwd_off->begin(), fwd_off->end() - 1);
+    for (std::size_t k = 0; k < ne; ++k) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(dst[k])]++);
+      (*fwd_col)[slot] = src[k];
+      (*fwd_w)[slot] = w[k];
+    }
+  }
+  // Transpose CSR (bucketed by source row) drives backward: dx is then a
+  // row-parallel gather instead of a column-sliced scatter.
+  auto t_off = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(in_rows) + 1, 0);
+  auto t_col = std::make_shared<std::vector<int>>(ne);
+  auto t_w = std::make_shared<std::vector<float>>(ne);
+  for (std::size_t k = 0; k < ne; ++k) {
+    ++(*t_off)[static_cast<std::size_t>(src[k]) + 1];
+  }
+  for (std::size_t r = 1; r < t_off->size(); ++r) {
+    (*t_off)[r] += (*t_off)[r - 1];
+  }
+  {
+    std::vector<int> cursor(t_off->begin(), t_off->end() - 1);
+    for (std::size_t k = 0; k < ne; ++k) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(src[k])]++);
+      (*t_col)[slot] = dst[k];
+      (*t_w)[slot] = w[k];
+    }
+  }
+  plan.row_off = std::move(fwd_off);
+  plan.col = std::move(fwd_col);
+  plan.w = std::move(fwd_w);
+  plan.t_row_off = std::move(t_off);
+  plan.t_col = std::move(t_col);
+  plan.t_w = std::move(t_w);
+  return plan;
+}
+
+Tensor spmm_csr(const SpmmCsr& plan, const Tensor& x) {
+  TG_TRACE_SCOPE("nn/spmm_csr", obs::kSpanDetail);
+  TG_CHECK(plan.row_off != nullptr && x.rows() == plan.in_rows);
+  const std::int64_t cols = x.cols();
+  auto impl = make_result(plan.out_rows, cols, {&x});
+  const int* off = plan.row_off->data();
+  const int* col = plan.col->data();
+  const float* w = plan.w->data();
+  const float* xd = x.data().data();
+  // Row-parallel gather: each output row owns its edge range, accumulated
+  // in CSR order — deterministic for any thread count, and sequential
+  // reads of the packed col/w arrays.
+  const std::int64_t avg_deg =
+      plan.out_rows > 0
+          ? static_cast<std::int64_t>(plan.col->size()) / plan.out_rows + 1
+          : 1;
+  parallel_for(0, plan.out_rows, row_grain(2 * avg_deg * cols),
+               [&](std::int64_t rb, std::int64_t re) {
+                 for (std::int64_t r = rb; r < re; ++r) {
+                   float* orow = impl->data.data() + r * cols;
+                   const int b = off[r], e = off[r + 1];
+                   std::memset(orow, 0,
+                               static_cast<std::size_t>(cols) * sizeof(float));
+                   for (int k = b; k < e; ++k) {
+                     kern::axpy(orow, w[k],
+                                xd + static_cast<std::int64_t>(col[k]) * cols,
+                                static_cast<std::size_t>(cols));
+                   }
+                 }
+               });
+  if (impl->requires_grad) {
+    auto px = x.ptr();
+    // Copy the shared handles (not the arrays) into the closure.
+    auto t_off = plan.t_row_off;
+    auto t_col = plan.t_col;
+    auto t_w = plan.t_w;
+    const std::int64_t in_rows = plan.in_rows;
+    impl->op = "spmm_csr";
+    impl->backward_fn = [px, t_off, t_col, t_w, in_rows,
+                         cols](TensorImpl& self) {
+      px->ensure_grad();
+      const int* toff = t_off->data();
+      const int* tcol = t_col->data();
+      const float* tw = t_w->data();
+      const std::int64_t t_avg_deg =
+          in_rows > 0
+              ? static_cast<std::int64_t>(t_col->size()) / in_rows + 1
+              : 1;
+      parallel_for(0, in_rows, row_grain(2 * t_avg_deg * cols),
+                   [&](std::int64_t rb, std::int64_t re) {
+                     for (std::int64_t r = rb; r < re; ++r) {
+                       float* drow = px->grad.data() + r * cols;
+                       for (int k = toff[r]; k < toff[r + 1]; ++k) {
+                         kern::axpy(
+                             drow, tw[k],
+                             self.grad.data() +
+                                 static_cast<std::int64_t>(tcol[k]) * cols,
+                             static_cast<std::size_t>(cols));
+                       }
+                     }
+                   });
     };
   }
   return Tensor(impl);
@@ -657,6 +974,7 @@ Tensor sum_all(const Tensor& a) {
   impl->data[0] = acc;
   if (impl->requires_grad) {
     auto pa = a.ptr();
+    impl->op = "sum_all";
     impl->backward_fn = [pa](TensorImpl& self) {
       pa->ensure_grad();
       for (float& g : pa->grad) g += self.grad[0];
@@ -676,11 +994,18 @@ Tensor mse_loss(const Tensor& pred, const Tensor& target) {
   return mean_all(mul(diff, diff));
 }
 
+Tensor mse_loss_rows(const Tensor& pred, SharedIndex rows,
+                     const Tensor& target) {
+  const IndexVec& rv = rows.get();
+  TG_CHECK(rv != nullptr);
+  TG_CHECK(static_cast<std::int64_t>(rv->size()) == target.rows());
+  if (rv->empty()) return Tensor::zeros(1, 1);
+  return mse_loss(gather_rows(pred, std::move(rows)), target);
+}
+
 Tensor mse_loss_rows(const Tensor& pred, std::vector<int> rows,
                      const Tensor& target) {
-  TG_CHECK(static_cast<std::int64_t>(rows.size()) == target.rows());
-  if (rows.empty()) return Tensor::zeros(1, 1);
-  return mse_loss(gather_rows(pred, std::move(rows)), target);
+  return mse_loss_rows(pred, share_index(std::move(rows)), target);
 }
 
 Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
@@ -720,6 +1045,7 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     auto px = x.ptr();
     auto pg = gamma.ptr();
     auto pb = beta.ptr();
+    impl->op = "layer_norm";
     impl->backward_fn = [px, pg, pb, xhat, inv_std, rows,
                          cols](TensorImpl& self) {
       if (pg->requires_grad) pg->ensure_grad();
@@ -730,14 +1056,11 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         const float* h = xhat->data() + r * cols;
         // dgamma, dbeta.
         if (pg->requires_grad) {
-          for (std::int64_t c = 0; c < cols; ++c) {
-            pg->grad[static_cast<std::size_t>(c)] += g[c] * h[c];
-          }
+          kern::mul_acc(pg->grad.data(), g, h,
+                        static_cast<std::size_t>(cols));
         }
         if (pb->requires_grad) {
-          for (std::int64_t c = 0; c < cols; ++c) {
-            pb->grad[static_cast<std::size_t>(c)] += g[c];
-          }
+          kern::add_acc(pb->grad.data(), g, static_cast<std::size_t>(cols));
         }
         if (px->requires_grad) {
           // dx = (istd/D) · (D·gy − Σgy − h·Σ(gy·h)), gy = g·gamma.
@@ -781,16 +1104,17 @@ Tensor softmax_groups(const Tensor& a, std::int64_t group) {
   }
   if (impl->requires_grad) {
     auto pa = a.ptr();
+    impl->op = "softmax_groups";
     impl->backward_fn = [pa, group](TensorImpl& self) {
       pa->ensure_grad();
-      const std::int64_t cols = self.cols;
+      const std::int64_t scols = self.cols;
       for (std::int64_t r = 0; r < self.rows; ++r) {
-        for (std::int64_t g0 = 0; g0 < cols; g0 += group) {
-          const float* y = self.data.data() + r * cols + g0;
-          const float* gy = self.grad.data() + r * cols + g0;
+        for (std::int64_t g0 = 0; g0 < scols; g0 += group) {
+          const float* y = self.data.data() + r * scols + g0;
+          const float* gy = self.grad.data() + r * scols + g0;
           float dot = 0.0f;
           for (std::int64_t i = 0; i < group; ++i) dot += y[i] * gy[i];
-          float* gx = pa->grad.data() + r * cols + g0;
+          float* gx = pa->grad.data() + r * scols + g0;
           for (std::int64_t i = 0; i < group; ++i) {
             gx[i] += y[i] * (gy[i] - dot);
           }
@@ -833,6 +1157,7 @@ Tensor lut_kron_dot(const Tensor& a, const Tensor& b, const Tensor& lut,
     auto pa = a.ptr();
     auto pb = b.ptr();
     auto pl = lut.ptr();
+    impl->op = "lut_kron_dot";
     impl->backward_fn = [pa, pb, pl, d, groups](TensorImpl& self) {
       const std::int64_t rows2 = self.rows;
       const std::int64_t acols = pa->cols;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.hpp"
 #include "util/check.hpp"
 #include "util/io.hpp"
 
@@ -41,19 +42,17 @@ void Adam::step() {
     }
   }
 
+  // One fused SIMD pass per parameter: clip/decay, moment updates, bias
+  // correction, and the write-back all stay in registers (kernels.hpp).
+  const kern::AdamConsts consts{config_.lr,          config_.beta1,
+                                config_.beta2,       config_.eps,
+                                config_.weight_decay, clip_scale,
+                                bc1,                 bc2};
   for (std::size_t p = 0; p < params_.size(); ++p) {
     auto data = params_[p].data();
     auto grad = params_[p].grad();
-    auto& m = m_[p];
-    auto& v = v_[p];
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      float g = grad[i] * clip_scale + config_.weight_decay * data[i];
-      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
-      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
-      const float mhat = m[i] / bc1;
-      const float vhat = v[i] / bc2;
-      data[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
-    }
+    kern::adam_step(data.data(), grad.data(), m_[p].data(), v_[p].data(),
+                    data.size(), consts);
   }
 }
 

@@ -1,8 +1,13 @@
 #include "nn/tensor.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include <chrono>
+
 #include "util/check.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
 
 namespace tg::nn {
 
@@ -30,18 +35,22 @@ Tensor Tensor::from_vector(std::vector<float> values, std::int64_t rows,
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data = std::move(values);
+  impl->data.assign_copy(values.data(), values.size());
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::rand_uniform(std::int64_t rows, std::int64_t cols, float bound,
                             Rng& rng, bool requires_grad) {
-  std::vector<float> values(static_cast<std::size_t>(rows * cols));
-  for (float& v : values) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.resize_discard(static_cast<std::size_t>(rows * cols));
+  for (float& v : impl->data) {
     v = static_cast<float>(rng.uniform(-bound, bound));
   }
-  return from_vector(std::move(values), rows, cols, requires_grad);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
 }
 
 std::span<float> Tensor::grad() {
@@ -72,6 +81,7 @@ void Tensor::zero_grad() {
 }
 
 void Tensor::backward() {
+  TG_TRACE_SCOPE("nn/backward", obs::kSpanDetail);
   TG_CHECK_MSG(numel() == 1, "backward() requires a scalar loss");
   // Topological order by iterative DFS.
   std::vector<TensorImpl*> order;
@@ -102,18 +112,47 @@ void Tensor::backward() {
   impl_->grad[0] = 1.0f;
   // The tape itself replays serially — closures may parallelize their own
   // interior loops, but closure-vs-closure ordering stays deterministic.
+  if (!obs::metrics_enabled()) {
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      TensorImpl* node = *it;
+      if (node->backward_fn && !node->grad.empty()) {
+        node->backward_fn(*node);
+      }
+    }
+    return;
+  }
+  // Metrics path: attribute each closure's wall time to a `bwd/<op>`
+  // histogram. Op labels are static-storage literals, so a tiny
+  // pointer-keyed cache avoids a registry lookup per node.
+  std::vector<std::pair<const char*, obs::Histogram*>> hists;
+  auto hist_of = [&hists](const char* op) -> obs::Histogram& {
+    for (auto& [k, h] : hists) {
+      if (k == op) return *h;
+    }
+    obs::Histogram& h =
+        obs::histogram(std::string("bwd/") + (op != nullptr ? op : "other"));
+    hists.emplace_back(op, &h);
+    return h;
+  };
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backward_fn && !node->grad.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
       node->backward_fn(*node);
+      const auto t1 = std::chrono::steady_clock::now();
+      hist_of(node->op).record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
     }
   }
 }
 
 Tensor detach(const Tensor& t) {
-  return Tensor::from_vector(
-      std::vector<float>(t.data().begin(), t.data().end()), t.rows(),
-      t.cols(), false);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = t.rows();
+  impl->cols = t.cols();
+  impl->data.assign_copy(t.data().data(), t.data().size());
+  return Tensor(std::move(impl));
 }
 
 }  // namespace tg::nn

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "nn/alloc.hpp"
 #include "util/rng.hpp"
 
 namespace tg::nn {
@@ -28,13 +29,20 @@ struct TensorImpl {
   // Shape: rows × cols; rank-1 tensors use cols == 1.
   std::int64_t rows = 0;
   std::int64_t cols = 1;
-  std::vector<float> data;
-  std::vector<float> grad;  ///< allocated lazily, same size as data
+  // Arena-backed storage (alloc.hpp): freed tensors park their blocks on
+  // bucketed free lists, so steady-state training steps re-acquire the
+  // same storage instead of calling the heap.
+  alloc::Buffer data;
+  alloc::Buffer grad;  ///< allocated lazily, same size as data
   bool requires_grad = false;
 
   // Autograd tape.
   std::vector<TensorImplPtr> parents;
   std::function<void(TensorImpl&)> backward_fn;  ///< pushes grad to parents
+  /// Static-storage op label ("matmul", "gather_rows", ...) set by the op
+  /// that produced this node; backward() uses it to attribute tape time to
+  /// per-op metrics histograms (`bwd/<op>`) when metrics are enabled.
+  const char* op = nullptr;
 
   [[nodiscard]] std::int64_t numel() const { return rows * cols; }
   /// Allocates the zero-filled grad buffer on first use. Inline so the

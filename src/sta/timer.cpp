@@ -214,10 +214,10 @@ void compute_required(const TimingGraph& graph, const StaOptions& options,
   });
 
   // Backward sweep: levels descending, all pins of a level in parallel
-  // (every successor lives on a higher level, so its RAT is final).
-  const auto& levels = graph.levels();
-  for (auto lit = levels.rbegin(); lit != levels.rend(); ++lit) {
-    const std::vector<PinId>& level = *lit;
+  // (every successor lives on a higher level, so its RAT is final). Levels
+  // are slices of the graph's flat level-packed array.
+  for (int l = graph.num_levels() - 1; l >= 0; --l) {
+    const std::span<const PinId> level = graph.level_pins(l);
     TG_TRACE_SCOPE("sta/backward/level", obs::kSpanDetail);
     TG_METRIC_COUNT("sta/pins_relaxed", level.size());
     parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
@@ -288,7 +288,8 @@ StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
   // result is bit-identical to the serial order.
   {
     TG_TRACE_SCOPE("sta/forward", obs::kSpanCoarse);
-    for (const std::vector<PinId>& level : graph.levels()) {
+    for (int l = 0; l < graph.num_levels(); ++l) {
+      const std::span<const PinId> level = graph.level_pins(l);
       TG_TRACE_SCOPE("sta/forward/level", obs::kSpanDetail);
       TG_METRIC_COUNT("sta/pins_propagated", level.size());
       parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,

@@ -128,6 +128,19 @@ void TimingGraph::levelize() {
   for (PinId p : topo_order_) {
     by_level_[static_cast<std::size_t>(level_[static_cast<std::size_t>(p)])].push_back(p);
   }
+
+  // Flat level packing (same per-level order): the sweeps walk one
+  // contiguous array via level_pins() instead of chasing ragged vectors.
+  level_offsets_.assign(static_cast<std::size_t>(num_levels_) + 1, 0);
+  level_pins_.clear();
+  level_pins_.reserve(static_cast<std::size_t>(n));
+  for (int l = 0; l < num_levels_; ++l) {
+    for (PinId p : by_level_[static_cast<std::size_t>(l)]) {
+      level_pins_.push_back(p);
+    }
+    level_offsets_[static_cast<std::size_t>(l) + 1] =
+        static_cast<int>(level_pins_.size());
+  }
 }
 
 }  // namespace tg

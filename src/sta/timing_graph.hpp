@@ -7,6 +7,7 @@
 /// with Kahn's algorithm — the levels drive both the golden timer and the
 /// GNN's level-by-level delay-propagation stage.
 
+#include <span>
 #include <vector>
 
 #include "netlist/design.hpp"
@@ -53,6 +54,15 @@ class TimingGraph {
   [[nodiscard]] const std::vector<PinId>& topo_order() const { return topo_order_; }
   /// Pins grouped per level, ascending.
   [[nodiscard]] const std::vector<std::vector<PinId>>& levels() const { return by_level_; }
+  /// Pins of one level as a slice of the flat level-packed array — the
+  /// sweep-facing view: one contiguous buffer for all levels instead of a
+  /// ragged vector-of-vectors, so level iteration is pure pointer
+  /// arithmetic with sequential memory traffic.
+  [[nodiscard]] std::span<const PinId> level_pins(int level) const {
+    const auto b = static_cast<std::size_t>(level_offsets_[static_cast<std::size_t>(level)]);
+    const auto e = static_cast<std::size_t>(level_offsets_[static_cast<std::size_t>(level) + 1]);
+    return {level_pins_.data() + b, e - b};
+  }
 
   /// Timing arc characterization of a cell arc.
   [[nodiscard]] const TimingArc& lib_arc(const CellArc& arc) const;
@@ -75,6 +85,10 @@ class TimingGraph {
   int num_levels_ = 0;
   std::vector<PinId> topo_order_;
   std::vector<std::vector<PinId>> by_level_;
+  // Flat level packing: level l owns level_pins_[level_offsets_[l],
+  // level_offsets_[l+1]). Same order as by_level_.
+  std::vector<int> level_offsets_;
+  std::vector<PinId> level_pins_;
 };
 
 }  // namespace tg

@@ -147,15 +147,18 @@ TEST_F(GraphCorruptionTest, ErrorNamesFileAndLocation) {
 }
 
 /// Legacy v1 files (u64 magic + u64 version, no CRC) must stay loadable; the
-/// v2 body layout is byte-identical, so a v1 file is the v2 payload with the
-/// old envelope spliced on.
+/// core body layout is byte-identical across versions, so a v1 file is the
+/// current payload minus the v3 optional-section flag, with the old envelope
+/// spliced on.
 class LegacyV1Test : public GraphCorruptionTest {
  protected:
   std::vector<unsigned char> make_v1_bytes() {
-    save_graph(graph(), path_);
+    DatasetGraph slim = graph();
+    slim.level_csr = nullptr;  // v1 bodies have no level-CSR section
+    save_graph(slim, path_);
     const std::vector<unsigned char> v2 = slurp(path_);
-    // v2 = u32 magic + u32 version + body + u32 crc.
-    const std::vector<unsigned char> body(v2.begin() + 8, v2.end() - 4);
+    // file = u32 magic + u32 version + body + u64 csr flag (0) + u32 crc.
+    const std::vector<unsigned char> body(v2.begin() + 8, v2.end() - 4 - 8);
     std::vector<unsigned char> v1;
     const std::uint64_t magic = 0x54474447;  // "TGDG"
     const std::uint64_t version = 1;

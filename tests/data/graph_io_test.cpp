@@ -75,6 +75,54 @@ TEST_F(GraphIoTest, LoadedGraphIsTrainable) {
   }
 }
 
+TEST_F(GraphIoTest, RoundTripPreservesLevelCsr) {
+  const Library lib = build_library();
+  DatasetOptions options;
+  options.scale = 1.0 / 32;
+  options.slim = true;
+  const DatasetGraph a =
+      build_design_graph(suite_entry("usb", options.scale), lib, options);
+  ASSERT_NE(a.level_csr, nullptr) << "dataset build must attach the CSR";
+  save_graph(a, path_);
+  const DatasetGraph b = load_graph(path_);
+  // TGD2 v3 persists the CSR: loading must not fall back to a rebuild.
+  ASSERT_NE(b.level_csr, nullptr);
+  EXPECT_EQ(b.level_csr->num_levels, a.level_csr->num_levels);
+  EXPECT_EQ(b.level_csr->node_off, a.level_csr->node_off);
+  EXPECT_EQ(b.level_csr->node_perm, a.level_csr->node_perm);
+  EXPECT_EQ(b.level_csr->node_row, a.level_csr->node_row);
+  EXPECT_EQ(b.level_csr->net_off, a.level_csr->net_off);
+  EXPECT_EQ(b.level_csr->net_perm, a.level_csr->net_perm);
+  EXPECT_EQ(b.level_csr->cell_off, a.level_csr->cell_off);
+  EXPECT_EQ(b.level_csr->cell_perm, a.level_csr->cell_perm);
+  // And the persisted CSR must be exactly what a fresh build produces.
+  const LevelCsr rebuilt = build_level_csr(b);
+  EXPECT_EQ(b.level_csr->node_perm, rebuilt.node_perm);
+  EXPECT_EQ(b.level_csr->net_perm, rebuilt.net_perm);
+  EXPECT_EQ(b.level_csr->cell_perm, rebuilt.cell_perm);
+}
+
+TEST_F(GraphIoTest, EnsureLevelCsrRebuildsWhenAbsent) {
+  // Graphs from pre-v3 files (or hand-built ones) have no cached CSR;
+  // ensure_level_csr must build, attach, and then reuse one instance.
+  const Library lib = build_library();
+  DatasetOptions options;
+  options.scale = 1.0 / 32;
+  options.slim = true;
+  DatasetGraph g =
+      build_design_graph(suite_entry("zipdiv", options.scale), lib, options);
+  const LevelCsr expected = build_level_csr(g);
+  g.level_csr = nullptr;  // simulate a legacy load
+  const LevelCsr& rebuilt = ensure_level_csr(g);
+  ASSERT_NE(g.level_csr, nullptr);
+  EXPECT_EQ(&rebuilt, g.level_csr.get());
+  EXPECT_EQ(rebuilt.node_perm, expected.node_perm);
+  EXPECT_EQ(rebuilt.net_perm, expected.net_perm);
+  EXPECT_EQ(rebuilt.cell_perm, expected.cell_perm);
+  // Second call returns the cached instance, not a rebuild.
+  EXPECT_EQ(&ensure_level_csr(g), &rebuilt);
+}
+
 TEST_F(GraphIoTest, CorruptFileRejected) {
   {
     std::ofstream out(path_, std::ios::binary);

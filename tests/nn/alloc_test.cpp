@@ -1,0 +1,204 @@
+/// \file alloc_test.cpp
+/// The caching arena under the tensor library (nn/alloc.hpp): bucket
+/// rounding, free-list reuse and hit accounting, Buffer storage reuse,
+/// malloc-mode passthrough, and a multi-threaded churn test (this file is
+/// in the `tsan` ctest label so the sanitizer build replays it).
+
+#include "nn/alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace tg::nn::alloc {
+namespace {
+
+/// Other tests in the process have already touched the global arena, so
+/// every assertion here works on stat *deltas* around the operations under
+/// test, with the cache trimmed first for a known-cold start.
+class AllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_alloc_mode(Mode::kCache);
+    trim_alloc_cache();
+    before_ = alloc_stats();
+  }
+  void TearDown() override {
+    trim_alloc_cache();
+    set_alloc_mode(Mode::kCache);
+  }
+  [[nodiscard]] AllocStats delta() const {
+    const AllocStats now = alloc_stats();
+    AllocStats d;
+    d.hits = now.hits - before_.hits;
+    d.misses = now.misses - before_.misses;
+    d.releases = now.releases - before_.releases;
+    d.bytes_live = now.bytes_live;
+    d.bytes_cached = now.bytes_cached;
+    return d;
+  }
+  AllocStats before_;
+};
+
+TEST_F(AllocTest, BucketRounding) {
+  constexpr std::size_t kMiB = std::size_t{1} << 20;
+  // Small requests: power-of-two buckets with a 64-byte floor.
+  EXPECT_EQ(bucket_bytes(1), 64u);
+  EXPECT_EQ(bucket_bytes(64), 64u);
+  EXPECT_EQ(bucket_bytes(65), 128u);
+  EXPECT_EQ(bucket_bytes(128), 128u);
+  EXPECT_EQ(bucket_bytes(129), 256u);
+  EXPECT_EQ(bucket_bytes(1000), 1024u);
+  EXPECT_EQ(bucket_bytes(kMiB - 1), kMiB);
+  EXPECT_EQ(bucket_bytes(kMiB), kMiB);
+  // Large requests: next 1 MiB multiple, not next power of two.
+  EXPECT_EQ(bucket_bytes(kMiB + 1), 2 * kMiB);
+  EXPECT_EQ(bucket_bytes(3 * kMiB + 5), 4 * kMiB);
+  EXPECT_EQ(bucket_bytes(7 * kMiB), 7 * kMiB);
+}
+
+TEST_F(AllocTest, AcquireReleaseReuse) {
+  std::size_t cap = 0;
+  float* p1 = acquire(100, &cap);
+  ASSERT_NE(p1, nullptr);
+  // 100 floats = 400 B -> 512 B bucket = 128 floats of capacity.
+  EXPECT_EQ(cap, 128u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 64, 0u);
+  EXPECT_EQ(delta().misses, 1u);
+  release(p1, cap);
+  EXPECT_EQ(delta().releases, 1u);
+  // Same bucket (110 floats also rounds to 512 B): served from the free
+  // list, returning the very same block.
+  float* p2 = acquire(110, &cap);
+  EXPECT_EQ(p2, p1);
+  EXPECT_EQ(cap, 128u);
+  EXPECT_EQ(delta().hits, 1u);
+  // A different bucket misses again.
+  std::size_t cap3 = 0;
+  float* p3 = acquire(1000, &cap3);
+  EXPECT_NE(p3, nullptr);
+  EXPECT_EQ(delta().misses, 2u);
+  release(p2, cap);
+  release(p3, cap3);
+}
+
+TEST_F(AllocTest, ZeroCountIsNull) {
+  std::size_t cap = 123;
+  EXPECT_EQ(acquire(0, &cap), nullptr);
+  EXPECT_EQ(cap, 0u);
+  release(nullptr, 0);  // must be a no-op
+  EXPECT_EQ(delta().releases, 0u);
+}
+
+TEST_F(AllocTest, MallocModeDoesNotCache) {
+  set_alloc_mode(Mode::kMalloc);
+  std::size_t cap = 0;
+  float* p = acquire(32, &cap);
+  ASSERT_NE(p, nullptr);
+  release(p, cap);
+  // Nothing parked: the next acquire is another miss.
+  float* q = acquire(32, &cap);
+  ASSERT_NE(q, nullptr);
+  release(q, cap);
+  EXPECT_EQ(delta().hits, 0u);
+  EXPECT_EQ(delta().misses, 2u);
+  EXPECT_EQ(delta().bytes_cached, 0u);
+}
+
+TEST_F(AllocTest, BufferReusesBlockWithinCapacity) {
+  Buffer b;
+  b.resize_discard(100);  // 512 B bucket, capacity 128 floats
+  float* block = b.data();
+  const AllocStats after_first = delta();
+  // Shrink and regrow within the bucket: no allocator traffic at all.
+  b.resize_discard(10);
+  b.resize_discard(128);
+  EXPECT_EQ(b.data(), block);
+  EXPECT_EQ(delta().hits, after_first.hits);
+  EXPECT_EQ(delta().misses, after_first.misses);
+  // Growing past capacity swaps blocks (old one parks on the free list).
+  b.resize_discard(129);
+  EXPECT_EQ(b.size(), 129u);
+  b.reset();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST_F(AllocTest, BufferAssignSemantics) {
+  Buffer b;
+  b.assign(17, 3.5f);
+  for (float v : b) EXPECT_EQ(v, 3.5f);
+  const std::vector<float> src{1.0f, 2.0f, 3.0f};
+  b.assign_copy(src.data(), src.size());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 1.0f);
+  EXPECT_EQ(b[2], 3.0f);
+  Buffer moved = std::move(b);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST_F(AllocTest, SteadyStateHasNoMisses) {
+  // The property the selfcheck and the training loop rely on: repeating
+  // the same acquire/release pattern after a warm-up step is all hits.
+  const std::size_t sizes[] = {64, 100, 129, 1000, 5000};
+  auto one_epoch = [&] {
+    std::vector<std::pair<float*, std::size_t>> live;
+    for (std::size_t s : sizes) {
+      std::size_t cap = 0;
+      live.emplace_back(acquire(s, &cap), cap);
+    }
+    for (auto& [p, cap] : live) release(p, cap);
+  };
+  one_epoch();  // warm-up: all misses
+  const AllocStats warm = delta();
+  EXPECT_EQ(warm.misses, std::size(sizes));
+  for (int epoch = 0; epoch < 10; ++epoch) one_epoch();
+  EXPECT_EQ(delta().misses, warm.misses) << "steady state must not malloc";
+  EXPECT_EQ(delta().hits, warm.hits + 10 * std::size(sizes));
+}
+
+TEST_F(AllocTest, HighWaterTracksPeakLive) {
+  reset_alloc_stats();
+  const std::uint64_t base = alloc_stats().bytes_high_water;
+  std::size_t cap1 = 0, cap2 = 0;
+  float* a = acquire(1 << 16, &cap1);  // 256 KiB bucket
+  float* b = acquire(1 << 16, &cap2);
+  const std::uint64_t peak = alloc_stats().bytes_high_water;
+  EXPECT_GE(peak, base + 2 * (std::size_t{1} << 18));
+  release(a, cap1);
+  release(b, cap2);
+  // High water is a peak: releasing must not lower it.
+  EXPECT_EQ(alloc_stats().bytes_high_water, peak);
+}
+
+TEST_F(AllocTest, ThreadedChurnIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Mix of shared buckets (cross-thread reuse) and per-thread sizes.
+        const std::size_t count = 64 + 64 * static_cast<std::size_t>(
+                                           (i + t) % 5);
+        std::size_t cap = 0;
+        float* p = acquire(count, &cap);
+        ASSERT_NE(p, nullptr);
+        p[0] = static_cast<float>(t);  // touch to catch double-handouts
+        p[count - 1] = static_cast<float>(i);
+        release(p, cap);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const AllocStats d = delta();
+  EXPECT_EQ(d.hits + d.misses, static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(d.releases, static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(d.bytes_live, before_.bytes_live) << "all blocks returned";
+}
+
+}  // namespace
+}  // namespace tg::nn::alloc

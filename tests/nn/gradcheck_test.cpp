@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "nn/ops.hpp"
 
 namespace tg::nn {
@@ -82,6 +84,104 @@ TEST(GradCheck, ReluAwayFromKink) {
         return sum_all(mul(relu(t[0]), relu(t[0])));
       },
       in);
+}
+
+TEST(GradCheck, AddReluFused) {
+  Rng rng(61);
+  // Kink of add_relu sits at a + b == 0: nudge a so every sum is away
+  // from it and finite differences stay valid.
+  Tensor a = randn(4, 5, rng);
+  Tensor b = randn(4, 5, rng);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const float s = a.data()[idx] + b.data()[idx];
+    a.data()[idx] += (s >= 0.0f ? 0.5f : -0.5f);
+  }
+  std::vector<Tensor> in{a, b};
+  TG_EXPECT_GRAD_OK(
+      [](const std::vector<Tensor>& t) {
+        return sum_all(mul(add_relu(t[0], t[1]), add_relu(t[0], t[1])));
+      },
+      in);
+}
+
+TEST(GradCheck, AddReluBroadcastBias) {
+  Rng rng(62);
+  // The Linear+bias+ReLU fusion path: b is a 1 x cols row broadcast over
+  // every row of a. Same kink shift, applied against the broadcast sum.
+  Tensor a = randn(5, 3, rng);
+  Tensor b = randn(1, 3, rng);
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      const auto idx = static_cast<std::size_t>(r * a.cols() + c);
+      const float s = a.data()[idx] + b.data()[static_cast<std::size_t>(c)];
+      a.data()[idx] += (s >= 0.0f ? 0.5f : -0.5f);
+    }
+  }
+  std::vector<Tensor> in{a, b};
+  TG_EXPECT_GRAD_OK(
+      [](const std::vector<Tensor>& t) {
+        return sum_all(mul(add_relu(t[0], t[1]), add_relu(t[0], t[1])));
+      },
+      in);
+}
+
+TEST(GradCheck, MulSigmoidFused) {
+  Rng rng(63);
+  // Smooth everywhere — no kink handling needed for the gating fusion.
+  std::vector<Tensor> in{randn(4, 4, rng), randn(4, 4, rng)};
+  TG_EXPECT_GRAD_OK(
+      [](const std::vector<Tensor>& t) {
+        return sum_all(mul_sigmoid(t[0], t[1]));
+      },
+      in);
+}
+
+TEST(GradCheck, FusedMatchesUnfused) {
+  // The fused ops must agree with their primitive compositions: forward
+  // is the same float expression (bit-equal); backward may associate the
+  // chain-rule products differently, so gradients compare to a tight
+  // tolerance instead.
+  Rng rng(64);
+  auto clone = [](const Tensor& t) {
+    return Tensor::from_vector(
+        std::vector<float>(t.data().begin(), t.data().end()), t.rows(),
+        t.cols(), true);
+  };
+  Tensor a1 = randn(6, 4, rng);
+  Tensor b1 = randn(1, 4, rng);
+  Tensor a2 = clone(a1);
+  Tensor b2 = clone(b1);
+  Tensor fused = sum_all(add_relu(a1, b1));
+  Tensor ref = sum_all(relu(add(a2, b2)));
+  ASSERT_EQ(fused.item(), ref.item());
+  fused.backward();
+  ref.backward();
+  for (std::int64_t i = 0; i < a1.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    ASSERT_EQ(a1.grad()[idx], a2.grad()[idx]) << "dA at " << i;
+  }
+  for (std::int64_t i = 0; i < b1.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    ASSERT_EQ(b1.grad()[idx], b2.grad()[idx]) << "dBias at " << i;
+  }
+
+  Tensor c1 = randn(5, 3, rng);
+  Tensor d1 = randn(5, 3, rng);
+  Tensor c2 = clone(c1);
+  Tensor d2 = clone(d1);
+  Tensor fused2 = sum_all(mul_sigmoid(c1, d1));
+  Tensor ref2 = sum_all(mul(c2, sigmoid(d2)));
+  ASSERT_EQ(fused2.item(), ref2.item());
+  fused2.backward();
+  ref2.backward();
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    ASSERT_EQ(c1.grad()[idx], c2.grad()[idx]) << "dA at " << i;
+    ASSERT_NEAR(d1.grad()[idx], d2.grad()[idx],
+                1e-6f * (1.0f + std::abs(d2.grad()[idx])))
+        << "dGate at " << i;
+  }
 }
 
 TEST(GradCheck, ConcatSliceRows) {

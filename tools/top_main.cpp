@@ -192,13 +192,40 @@ bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// Memory-plane digest (DESIGN.md §10): condenses the alloc/* counters and
+/// gauges into the two numbers that matter — steady-state hit rate (misses
+/// should be ~0 after warm-up) and peak live bytes.
+void print_alloc_summary(const json::Value& root) {
+  auto num = [&root](const char* section, const char* name) -> double {
+    if (!root.contains(section)) return 0.0;
+    const json::Object& obj = root.at(section).as_object();
+    const auto it = obj.find(name);
+    return it == obj.end() ? 0.0 : it->second.as_number();
+  };
+  const double hits = num("counters", "alloc/hit");
+  const double misses = num("counters", "alloc/miss");
+  const double total = hits + misses;
+  if (total <= 0.0) return;  // run predates the arena or never allocated
+  constexpr double kMiB = 1024.0 * 1024.0;
+  std::printf("memory plane (TG_ALLOC arena)\n");
+  std::printf("  %12.0f acquires   %10.0f hits   %8.0f misses  (hit rate %.4f)\n",
+              total, hits, misses, hits / total);
+  std::printf("  %12.0f releases   %10.1f MiB acquired lifetime\n",
+              num("counters", "alloc/release"),
+              num("counters", "alloc/bytes_acquired") / kMiB);
+  std::printf("  %12.1f MiB high water   %7.1f MiB cached now\n",
+              num("gauges", "alloc/bytes_high_water") / kMiB,
+              num("gauges", "alloc/bytes_cached") / kMiB);
+}
+
 int run_metrics_mode(const std::string& path, int top) {
   const json::Value root = json::parse_file(path);
 
+  print_alloc_summary(root);
   if (root.contains("counters")) {
     const json::Object& counters = root.at("counters").as_object();
     if (!counters.empty()) {
-      std::printf("%14s  counters\n", "value");
+      std::printf("\n%14s  counters\n", "value");
       for (const auto& [name, v] : counters) {
         std::printf("%14.0f  %s\n", v.as_number(), name.c_str());
       }
@@ -231,13 +258,14 @@ int run_metrics_mode(const std::string& path, int top) {
       r.p50 = h.at("p50").as_number();
       r.p90 = h.at("p90").as_number();
       r.p99 = h.at("p99").as_number();
-      r.is_span = starts_with(name, "span/");
+      // span/* and bwd/* (backward-tape attribution) both record ns.
+      r.is_span = starts_with(name, "span/") || starts_with(name, "bwd/");
       rows.push_back(std::move(r));
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row& a, const Row& b) { return a.sum > b.sum; });
     if (!rows.empty()) {
-      std::printf("\n%10s %8s %10s %10s %10s %10s  histograms (span/* in ms)\n",
+      std::printf("\n%10s %8s %10s %10s %10s %10s  histograms (span/*, bwd/* in ms)\n",
                   "total", "count", "mean", "p50", "p90", "p99");
       int printed = 0;
       for (const Row& r : rows) {
