@@ -38,7 +38,8 @@ void json_escape(std::FILE* f, const std::string& s) {
 }  // namespace
 
 bool write_file(const std::string& path, const std::string& bench,
-                int default_threads, const std::vector<Entry>& entries) {
+                int default_threads, const std::vector<Entry>& entries,
+                const std::string& extra) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     TG_WARN("bench: cannot open " << path << " for writing");
@@ -59,7 +60,9 @@ bool write_file(const std::string& path, const std::string& bench,
                  e.size, e.threads, e.iterations, e.median_s, e.p90_s);
     first = false;
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ]");
+  if (!extra.empty()) std::fprintf(f, ",\n  %s", extra.c_str());
+  std::fprintf(f, "\n}\n");
   const bool ok = std::fclose(f) == 0;
   if (!ok) TG_WARN("bench: error while writing " << path);
   return ok;

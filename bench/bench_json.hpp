@@ -29,8 +29,12 @@ struct Entry {
 Entry parse_name(const std::string& name, int fallback_threads);
 
 /// Writes `{"bench": <bench>, "threads": N, "results": [...]}` to `path`.
+/// `extra`, when non-empty, is a raw pre-serialized JSON member (e.g.
+/// `"occupancy": {...}`) appended as an additional top-level section —
+/// bench-specific structural context riding along with the timings.
 /// Returns false (after a warning) on I/O failure.
 bool write_file(const std::string& path, const std::string& bench,
-                int default_threads, const std::vector<Entry>& entries);
+                int default_threads, const std::vector<Entry>& entries,
+                const std::string& extra = {});
 
 }  // namespace tg::bench_json

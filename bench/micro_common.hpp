@@ -92,6 +92,25 @@ class ScalingReporter : public benchmark::ConsoleReporter {
       }
       std::printf("\n");
     }
+    // Kernels that differ only in an engine segment (…/level vs …/async)
+    // get a cross-engine line: level-time / async-time per thread count —
+    // the number the async-STA acceptance criterion watches.
+    for (const auto& [kernel, by_threads] : sweep_secs_) {
+      const std::size_t tag = kernel.find("/level");
+      if (tag == std::string::npos) continue;
+      std::string twin = kernel;
+      twin.replace(tag, 6, "/async");
+      const auto other = sweep_secs_.find(twin);
+      if (other == sweep_secs_.end()) continue;
+      std::printf("# engine speedup: %.*s async-vs-level",
+                  static_cast<int>(tag), kernel.c_str());
+      for (const auto& [t, level_secs] : by_threads) {
+        const auto a = other->second.find(t);
+        if (a == other->second.end() || a->second <= 0.0) continue;
+        std::printf(" t%d=%.2fx", t, level_secs / a->second);
+      }
+      std::printf("\n");
+    }
     std::fflush(stdout);
   }
 
@@ -105,10 +124,14 @@ class ScalingReporter : public benchmark::ConsoleReporter {
 /// Custom BENCHMARK_MAIN: handles --threads / --sweep / --sweep-threads,
 /// then delegates the surviving argv to google-benchmark.
 /// `register_sweep` registers the bench's SWEEP_* benchmarks for the given
-/// thread counts (called only in sweep mode).
+/// thread counts (called only in sweep mode). `extra_json`, when provided,
+/// is invoked after the benchmarks ran and must return a raw JSON member
+/// (or "") appended to the --json file as a top-level section — e.g.
+/// micro_sta's per-level occupancy histograms.
 inline int run_micro_main(
     int argc, char** argv,
-    const std::function<void(const std::vector<int>&)>& register_sweep) {
+    const std::function<void(const std::vector<int>&)>& register_sweep,
+    const std::function<std::string()>& extra_json = {}) {
   std::vector<char*> args;
   args.push_back(argv[0]);
   bool sweep = false;
@@ -160,7 +183,8 @@ inline int run_micro_main(
     if (sep != std::string::npos) bench = bench.substr(sep + 1);
     if (json_path.empty()) json_path = "BENCH_" + bench + ".json";
     if (bench_json::write_file(json_path, bench, num_threads(),
-                               reporter.json_entries())) {
+                               reporter.json_entries(),
+                               extra_json ? extra_json() : std::string())) {
       std::printf("# wrote %s\n", json_path.c_str());
     }
   }

@@ -1,12 +1,28 @@
 /// \file micro_sta.cpp
 /// Microbenchmarks for the golden STA substrate: timing-graph build,
 /// levelization, and full 4-corner propagation — the denominators of the
-/// paper's Table-5 runtime comparison.
+/// paper's Table-5 runtime comparison. Every propagation bench exists in a
+/// levelized and an async-worklist flavor (see util/task_graph.hpp); the
+/// `--sweep` matrix crosses design × engine × threads so the async-vs-level
+/// speedup on deep-level designs is recorded in BENCH_micro_sta.json.
+///
+///   micro_sta --scale=0.125      # design scale (default 1/16 of Table 1)
+///
+/// `--json` additionally embeds an "occupancy" section: per design, the
+/// level count and a log2 histogram of nodes-per-level — the structural
+/// quantity that decides how much a barrier-free engine can win (many
+/// narrow levels → the level engine serializes, the worklist engine
+/// doesn't).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "gen/suite.hpp"
 #include "liberty/library_builder.hpp"
@@ -15,9 +31,44 @@
 #include "sta/incremental.hpp"
 #include "sta/paths.hpp"
 #include "util/parallel.hpp"
+#include "util/task_graph.hpp"
 
 namespace tg {
 namespace {
+
+/// Design scale shared by every bench in this file (--scale=X).
+double g_scale = 1.0 / 16;
+
+/// Sets the propagation engine for one benchmark body and restores the
+/// previous choice afterwards, so bench ordering cannot leak state.
+struct EngineScope {
+  explicit EngineScope(StaEngine engine) { set_sta_engine(engine); }
+  ~EngineScope() { set_sta_engine(saved_); }
+  StaEngine saved_ = sta_engine();
+};
+
+/// A deep-narrow stress design that is NOT in the Table-1 suite: long
+/// adder/xor chains, tiny fanout, register-to-register depth ~8× the suite
+/// designs. Its level profile (hundreds of levels a handful of nodes wide)
+/// is the worst case for per-level barriers and the best case for the
+/// async worklist — the design the ≥1.3x acceptance number is measured on.
+DesignSpec deepchain_spec(double scale) {
+  DesignSpec spec;
+  spec.name = "deepchain";
+  spec.seed = 97;
+  spec.target_nodes = static_cast<int>(128000 * scale);
+  spec.target_endpoints = static_cast<int>(3200 * scale);
+  spec.num_inputs = 32;
+  spec.depth = 96;
+  spec.max_fanout = 4;
+  spec.w_random = 0.2;
+  spec.w_adder = 2.0;
+  spec.w_xor = 1.0;
+  spec.w_mux = 0.2;
+  spec.w_sbox = 0.1;
+  spec.w_decoder = 0.0;
+  return spec;
+}
 
 struct Prepared {
   Library lib;
@@ -32,8 +83,10 @@ const Prepared& prepared(const char* name, double scale) {
   if (it == cache.end()) {
     auto p = std::make_unique<Prepared>();
     p->lib = build_library();
-    p->design = std::make_unique<Design>(
-        generate_design(suite_entry(name, scale).spec, p->lib));
+    const DesignSpec spec = std::string(name) == "deepchain"
+                                ? deepchain_spec(scale)
+                                : suite_entry(name, scale).spec;
+    p->design = std::make_unique<Design>(generate_design(spec, p->lib));
     place_design(*p->design);
     RoutingOptions opts;
     opts.mode = RouteMode::kSteiner;
@@ -44,7 +97,7 @@ const Prepared& prepared(const char* name, double scale) {
 }
 
 void BM_TimingGraphBuild(benchmark::State& state) {
-  const Prepared& p = prepared("picorv32a", 1.0 / 16);
+  const Prepared& p = prepared("picorv32a", g_scale);
   for (auto _ : state) {
     TimingGraph graph(*p.design);
     benchmark::DoNotOptimize(graph.num_levels());
@@ -53,30 +106,47 @@ void BM_TimingGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TimingGraphBuild);
 
-void BM_StaPropagation(benchmark::State& state) {
-  const Prepared& p = prepared("picorv32a", 1.0 / 16);
+/// Full 4-corner propagation under a given engine; shared body of the
+/// BM_StaPropagation* family.
+void run_propagation(benchmark::State& state, const char* design,
+                     StaEngine engine) {
+  const EngineScope scope(engine);
+  const Prepared& p = prepared(design, g_scale);
   const TimingGraph graph(*p.design);
   for (auto _ : state) {
     const StaResult sta = run_sta(graph, p.routing);
     benchmark::DoNotOptimize(sta.wns_setup);
   }
   state.SetItemsProcessed(state.iterations() * p.design->num_pins());
+}
+
+void BM_StaPropagation(benchmark::State& state) {
+  run_propagation(state, "picorv32a", StaEngine::kLevel);
 }
 BENCHMARK(BM_StaPropagation);
 
+void BM_StaPropagationAsync(benchmark::State& state) {
+  run_propagation(state, "picorv32a", StaEngine::kAsync);
+}
+BENCHMARK(BM_StaPropagationAsync);
+
 void BM_StaPropagationLarge(benchmark::State& state) {
-  const Prepared& p = prepared("aes256", 1.0 / 16);
-  const TimingGraph graph(*p.design);
-  for (auto _ : state) {
-    const StaResult sta = run_sta(graph, p.routing);
-    benchmark::DoNotOptimize(sta.wns_setup);
-  }
-  state.SetItemsProcessed(state.iterations() * p.design->num_pins());
+  run_propagation(state, "aes256", StaEngine::kLevel);
 }
 BENCHMARK(BM_StaPropagationLarge);
 
+void BM_StaPropagationDeep(benchmark::State& state) {
+  run_propagation(state, "deepchain", StaEngine::kLevel);
+}
+BENCHMARK(BM_StaPropagationDeep);
+
+void BM_StaPropagationDeepAsync(benchmark::State& state) {
+  run_propagation(state, "deepchain", StaEngine::kAsync);
+}
+BENCHMARK(BM_StaPropagationDeepAsync);
+
 void BM_WorstPaths(benchmark::State& state) {
-  const Prepared& p = prepared("picorv32a", 1.0 / 16);
+  const Prepared& p = prepared("picorv32a", g_scale);
   const TimingGraph graph(*p.design);
   const StaResult sta = run_sta(graph, p.routing);
   for (auto _ : state) {
@@ -85,10 +155,12 @@ void BM_WorstPaths(benchmark::State& state) {
 }
 BENCHMARK(BM_WorstPaths);
 
-void BM_IncrementalOneNet(benchmark::State& state) {
-  // Cost of re-timing after a single-net ECO, vs BM_StaPropagation's full
-  // run on the same design.
-  Prepared& p = const_cast<Prepared&>(prepared("picorv32a", 1.0 / 16));
+/// Cost of re-timing after a single-net ECO, vs BM_StaPropagation's full
+/// run on the same design. The async flavor exercises the dirty-cone
+/// worklist seeding instead of the serial priority-queue walk.
+void run_incremental(benchmark::State& state, StaEngine engine) {
+  const EngineScope scope(engine);
+  Prepared& p = const_cast<Prepared&>(prepared("picorv32a", g_scale));
   const TimingGraph graph(*p.design);
   IncrementalTimer inc(graph, &p.routing);
   NetId net = 0;
@@ -103,13 +175,26 @@ void BM_IncrementalOneNet(benchmark::State& state) {
     for (auto& d : p.routing.nets[static_cast<std::size_t>(net)].sink_delay) {
       for (double& v : d) v *= factor;
     }
-    factor = factor > 1.0 ? 0.9 : 1.1;  // oscillate so it always changes
+    // Exact inverse so the routing oscillates between two fixed states:
+    // every iteration changes values, but no drift accumulates across
+    // iterations (a drifting cone makes the measured work non-stationary
+    // and the CI baseline comparison meaningless).
+    factor = 1.0 / factor;
     inc.invalidate_net(net);
     benchmark::DoNotOptimize(inc.update());
   }
   state.SetItemsProcessed(state.iterations() * inc.last_update_visited());
 }
+
+void BM_IncrementalOneNet(benchmark::State& state) {
+  run_incremental(state, StaEngine::kLevel);
+}
 BENCHMARK(BM_IncrementalOneNet);
+
+void BM_IncrementalOneNetAsync(benchmark::State& state) {
+  run_incremental(state, StaEngine::kAsync);
+}
+BENCHMARK(BM_IncrementalOneNetAsync);
 
 void BM_NldmLookup(benchmark::State& state) {
   const Library lib = build_library();
@@ -130,33 +215,102 @@ void BM_NldmLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_NldmLookup);
 
-/// --sweep: full-timer update across thread counts × design sizes, the
-/// parallel-scaling regression matrix (see micro_common.hpp).
+/// The designs the sweep and the occupancy section cover: the two suite
+/// anchors plus the deep-narrow stress case.
+constexpr const char* kSweepDesigns[] = {"picorv32a", "aes256", "deepchain"};
+
+/// --sweep: full-timer update across thread counts × designs × engines —
+/// the parallel-scaling regression matrix (see micro_common.hpp). Names
+/// are `SWEEP_StaPropagation/<design>/<engine>/threads:<t>`, so the sweep
+/// summary prints one speedup line per design/engine pair and the JSON
+/// records level-vs-async at every thread count.
 void register_sweep(const std::vector<int>& thread_counts) {
-  static const char* kDesigns[] = {"picorv32a", "aes256"};
-  for (const char* design : kDesigns) {
-    for (const int t : thread_counts) {
-      const std::string name =
-          std::string("SWEEP_StaPropagation/") + design + "/threads:" +
-          std::to_string(t);
-      benchmark::RegisterBenchmark(
-          name.c_str(), [design, t](benchmark::State& state) {
-            set_num_threads(t);
-            const Prepared& p = prepared(design, 1.0 / 16);
-            const TimingGraph graph(*p.design);
-            for (auto _ : state) {
-              const StaResult sta = run_sta(graph, p.routing);
-              benchmark::DoNotOptimize(sta.wns_setup);
-            }
-            state.SetItemsProcessed(state.iterations() * p.design->num_pins());
-          });
+  constexpr StaEngine kEngines[] = {StaEngine::kLevel, StaEngine::kAsync};
+  for (const char* design : kSweepDesigns) {
+    for (const StaEngine engine : kEngines) {
+      for (const int t : thread_counts) {
+        const std::string name = std::string("SWEEP_StaPropagation/") +
+                                 design + "/" + sta_engine_name(engine) +
+                                 "/threads:" + std::to_string(t);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [design, engine, t](benchmark::State& state) {
+              set_num_threads(t);
+              const EngineScope scope(engine);
+              const Prepared& p = prepared(design, g_scale);
+              const TimingGraph graph(*p.design);
+              for (auto _ : state) {
+                const StaResult sta = run_sta(graph, p.routing);
+                benchmark::DoNotOptimize(sta.wns_setup);
+              }
+              state.SetItemsProcessed(state.iterations() *
+                                      p.design->num_pins());
+            });
+      }
     }
   }
+}
+
+/// Per-design level-occupancy section for --json: level count plus a log2
+/// nodes-per-level histogram (`width_hist[k]` = number of levels whose
+/// width is in [2^k, 2^(k+1))). Deep designs put most levels in the low
+/// buckets — exactly where per-level barriers stop scaling.
+std::string occupancy_json() {
+  std::string out = "\"occupancy\": {";
+  bool first_design = true;
+  for (const char* design : kSweepDesigns) {
+    const Prepared& p = prepared(design, g_scale);
+    const TimingGraph graph(*p.design);
+    std::vector<long long> hist;
+    long long max_width = 0;
+    for (int l = 0; l < graph.num_levels(); ++l) {
+      const auto width = static_cast<long long>(graph.level_pins(l).size());
+      max_width = std::max(max_width, width);
+      std::size_t bucket = 0;
+      while ((1LL << (bucket + 1)) <= width) ++bucket;
+      if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+      ++hist[bucket];
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"pins\": %d, \"levels\": %d, "
+                  "\"max_width\": %lld, \"mean_width\": %.1f, "
+                  "\"width_hist_log2\": [",
+                  first_design ? "" : ", ", design, graph.num_nodes(),
+                  graph.num_levels(),
+                  max_width,
+                  graph.num_levels() > 0
+                      ? static_cast<double>(graph.num_nodes()) /
+                            static_cast<double>(graph.num_levels())
+                      : 0.0);
+    out += buf;
+    for (std::size_t k = 0; k < hist.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += std::to_string(hist[k]);
+    }
+    out += "]}";
+    first_design = false;
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace
 }  // namespace tg
 
 int main(int argc, char** argv) {
-  return tg::bench_micro::run_micro_main(argc, argv, tg::register_sweep);
+  // Strip the micro_sta-specific --scale flag before the shared driver
+  // (and google-benchmark) see argv.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      const double s = std::atof(arg.c_str() + 8);
+      if (s > 0.0) tg::g_scale = s;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  return tg::bench_micro::run_micro_main(static_cast<int>(args.size()),
+                                         args.data(), tg::register_sweep,
+                                         tg::occupancy_json);
 }

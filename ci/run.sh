@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI driver — the same matrix as .github/workflows/ci.yml, runnable
-# offline. Three jobs:
+# offline. Jobs:
 #   tier1  plain build + full ctest (the correctness gate)
 #   asan   ASan build running the `fuzz` label (parsers + validators
 #          under 10k seeded mutations each)
@@ -9,11 +9,13 @@
 #          produce parseable artifacts covering every layer, tg_top must
 #          render both, and the disabled-mode span overhead selfcheck
 #          must stay within budget
+#   tsan   TSan build running the `tsan` label (thread pool, allocator
+#          and the async worklist STA engine under real interleavings)
 #   bench  perf gate: micro_models --selfcheck (steady-state allocator
-#          hit rate on real train steps) plus micro_nn_ops/micro_models
-#          --json medians vs the checked-in bench/BENCH_*.json
+#          hit rate on real train steps) plus micro_nn_ops/micro_models/
+#          micro_sta --json medians vs the checked-in bench/BENCH_*.json
 #          baselines, failing on >25% regression (ci/check_bench.py)
-# Usage: ci/run.sh [tier1|asan|ubsan|obs|bench|all]   (default: all)
+# Usage: ci/run.sh [tier1|asan|ubsan|tsan|obs|bench|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +43,13 @@ run_ubsan() {
   ctest --test-dir build-ubsan --output-on-failure -L 'fault|fuzz'
 }
 
+run_tsan() {
+  echo "==> tsan: tsan label under ThreadSanitizer"
+  cmake -B build-tsan -S . -DTG_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -L tsan
+}
+
 run_obs() {
   echo "==> obs: trace/metrics artifacts + overhead selfcheck"
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
@@ -62,33 +71,42 @@ run_obs() {
 run_bench() {
   echo "==> bench: allocator selfcheck + perf baselines"
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-ci -j "$jobs" --target micro_nn_ops micro_models
+  cmake --build build-ci -j "$jobs" --target micro_nn_ops micro_models micro_sta
   local dir
   dir="$(mktemp -d)"
   trap 'rm -rf "$dir"' RETURN
   # Steady-state allocator gate: real train steps, alloc/miss must be ~0.
   TG_THREADS=1 ./build-ci/bench/micro_models --selfcheck
   # Perf gate: single-threaded medians vs the checked-in baselines.
-  # min_time is short — the 25% threshold absorbs small-sample noise.
+  # min_time is short and the medians are taken over 3 repetitions — the
+  # 25% threshold absorbs what's left of small-sample noise.
   TG_THREADS=1 ./build-ci/bench/micro_nn_ops \
     --json="$dir/BENCH_micro_nn_ops.json" --benchmark_min_time=0.1 \
-    > /dev/null
+    --benchmark_repetitions=3 > /dev/null
   TG_THREADS=1 ./build-ci/bench/micro_models \
     --json="$dir/BENCH_micro_models.json" --benchmark_min_time=0.2 \
-    > /dev/null
+    --benchmark_repetitions=3 > /dev/null
+  # Both engines' plain propagation benches; the SWEEP_* scaling entries
+  # in the checked-in baseline are machine-shaped and skipped by the gate.
+  TG_THREADS=1 ./build-ci/bench/micro_sta \
+    --json="$dir/BENCH_micro_sta.json" --benchmark_min_time=0.1 \
+    --benchmark_repetitions=3 > /dev/null
   python3 ci/check_bench.py bench/BENCH_micro_nn_ops.json \
     "$dir/BENCH_micro_nn_ops.json"
   python3 ci/check_bench.py bench/BENCH_micro_models.json \
     "$dir/BENCH_micro_models.json"
+  python3 ci/check_bench.py bench/BENCH_micro_sta.json \
+    "$dir/BENCH_micro_sta.json"
 }
 
 case "$job" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   ubsan) run_ubsan ;;
+  tsan)  run_tsan ;;
   obs)   run_obs ;;
   bench) run_bench ;;
-  all)   run_tier1; run_asan; run_ubsan; run_obs; run_bench ;;
-  *) echo "usage: $0 [tier1|asan|ubsan|obs|bench|all]" >&2; exit 2 ;;
+  all)   run_tier1; run_asan; run_ubsan; run_tsan; run_obs; run_bench ;;
+  *) echo "usage: $0 [tier1|asan|ubsan|tsan|obs|bench|all]" >&2; exit 2 ;;
 esac
 echo "==> $job: OK"

@@ -5,8 +5,12 @@
 /// changed, and re-time **incrementally** — the classical engine-side
 /// workflow whose cost motivates the paper's learned predictor.
 ///
+/// With `--sta-engine=async` the re-timing runs on the worklist engine's
+/// dirty-cone path (DESIGN.md §11): each move reports how many nodes the
+/// cone contained versus the full graph — the work an ECO loop skips.
+///
 ///   ./eco_resize [--design=picorv32a] [--scale=0.0625] [--max-moves=20]
-///                [--target-factor=0.97]
+///                [--target-factor=0.97] [--sta-engine=level|async]
 
 #include <cstdio>
 
@@ -17,6 +21,7 @@
 #include "sta/incremental.hpp"
 #include "sta/paths.hpp"
 #include "util/cli.hpp"
+#include "util/task_graph.hpp"
 #include "util/timer.hpp"
 
 namespace tg {
@@ -52,7 +57,9 @@ void refresh_net(const Design& design, DesignRouting& routing, NetId net) {
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
-  opts.require_known({"design", "scale", "max-moves", "target-factor"});
+  opts.require_known(
+      {"design", "scale", "max-moves", "target-factor", "sta-engine"});
+  const StaEngine engine = configure_sta_engine(opts);
   const std::string name = opts.get("design", "picorv32a");
   const double scale = opts.get_double("scale", 1.0 / 16);
   const int max_moves = static_cast<int>(opts.get_int("max-moves", 20));
@@ -75,14 +82,15 @@ int main(int argc, char** argv) {
   }
   IncrementalTimer timer(graph, &routing);
   std::printf("design %s: %d pins, period %.3f ns, initial WNS %+.4f ns, "
-              "TNS %+.4f ns\n",
+              "TNS %+.4f ns [sta engine: %s]\n",
               design.name().c_str(), design.num_pins(),
               design.clock_period(), timer.result().wns_setup,
-              timer.result().tns_setup);
+              timer.result().tns_setup, sta_engine_name(engine));
 
   WallTimer wall;
   int moves = 0;
   long long pins_retimed = 0;
+  long long cone_nodes = 0;
   while (moves < max_moves && timer.result().wns_setup < 0.0) {
     // Worst path; pick the slowest upsizable driver on it.
     const auto paths = worst_paths(graph, timer.result(), 1, true);
@@ -131,19 +139,25 @@ int main(int argc, char** argv) {
     }
     timer.update();
     pins_retimed += timer.last_update_visited();
+    cone_nodes += timer.last_update_cone();
     ++moves;
     std::printf("move %2d: %s %s -> %s | WNS %+.4f ns, TNS %+.4f ns "
-                "(%lld pins retimed)\n",
+                "(cone %lld of %d nodes, %lld evaluated)\n",
                 moves, design.instance(victim).name.c_str(), old_name.c_str(),
                 library.cell(victim_cell).name.c_str(),
                 timer.result().wns_setup, timer.result().tns_setup,
+                timer.last_update_cone(), design.num_pins(),
                 timer.last_update_visited());
   }
 
   std::printf("\n%d moves in %.3f s; retimed %lld pins total "
-              "(design has %d) — incremental STA touched %.1f%% per move\n",
+              "(design has %d) — incremental STA touched %.1f%% per move, "
+              "dirty cones averaged %.1f%% of the graph\n",
               moves, wall.seconds(), pins_retimed, design.num_pins(),
               moves ? 100.0 * static_cast<double>(pins_retimed) /
+                          (static_cast<double>(moves) * design.num_pins())
+                    : 0.0,
+              moves ? 100.0 * static_cast<double>(cone_nodes) /
                           (static_cast<double>(moves) * design.num_pins())
                     : 0.0);
   std::printf("final: WNS %+.4f ns, TNS %+.4f ns (%s)\n",

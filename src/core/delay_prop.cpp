@@ -1,10 +1,43 @@
 #include "core/delay_prop.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
+#include "util/obs/trace.hpp"
+#include "util/task_graph.hpp"
 
 namespace tg::core {
 
 using nn::Tensor;
+
+namespace {
+
+/// Replaces raw level ids in `src_t` with indices into the returned
+/// sorted-distinct level list (see PropPlan feed docs).
+std::vector<int> remap_to_dep_levels(std::vector<int>& src_t) {
+  std::vector<int> dep(src_t);
+  std::sort(dep.begin(), dep.end());
+  dep.erase(std::unique(dep.begin(), dep.end()), dep.end());
+  for (int& t : src_t) {
+    t = static_cast<int>(std::lower_bound(dep.begin(), dep.end(), t) -
+                         dep.begin());
+  }
+  return dep;
+}
+
+/// The dep levels' state tensors, in dep_levels order — the sources a
+/// remapped feed's multi_gather reads.
+std::vector<Tensor> dep_states(const std::vector<Tensor>& level_states,
+                               const std::vector<int>& dep_levels) {
+  std::vector<Tensor> s;
+  s.reserve(dep_levels.size());
+  for (int dl : dep_levels) {
+    s.push_back(level_states[static_cast<std::size_t>(dl)]);
+  }
+  return s;
+}
+
+}  // namespace
 
 PropPlan build_prop_plan(const data::DatasetGraph& g) {
   const data::LevelCsr& csr = data::ensure_level_csr(g);
@@ -51,8 +84,9 @@ PropPlan build_prop_plan(const data::DatasetGraph& g) {
         feat_rows.push_back(e);
         emb_v_rows.push_back(v);
       }
+      std::vector<int> dep = remap_to_dep_levels(src_t);
       plan.net_feed[l] = PropPlan::NetFeed{
-          share(std::move(src_t)), share(std::move(src_r)),
+          std::move(dep), share(std::move(src_t)), share(std::move(src_r)),
           share(std::move(dst_row)), share(std::move(feat_rows)),
           share(std::move(emb_v_rows))};
     }
@@ -79,8 +113,9 @@ PropPlan build_prop_plan(const data::DatasetGraph& g) {
         emb_u_rows.push_back(u);
         emb_v_rows.push_back(v);
       }
+      std::vector<int> dep = remap_to_dep_levels(src_t);
       plan.cell_feed[l] = PropPlan::CellFeed{
-          share(std::move(src_t)), share(std::move(src_r)),
+          std::move(dep), share(std::move(src_t)), share(std::move(src_r)),
           share(std::move(dst_row)), share(std::move(feat_rows)),
           share(std::move(emb_u_rows)), share(std::move(emb_v_rows))};
     }
@@ -134,6 +169,9 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
                                      const Tensor& embedding) const {
   TG_CHECK(embedding.rows() == g.num_nodes);
   TG_CHECK(embedding.cols() == embed_dim_);
+  if (sta_engine() == StaEngine::kAsync && plan.num_levels > 1) {
+    return forward_async(g, plan, embedding);
+  }
 
   std::vector<Tensor> level_states;
   level_states.reserve(static_cast<std::size_t>(plan.num_levels));
@@ -158,7 +196,8 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
     const PropPlan::NetFeed& nf = plan.net_feed[lu];
     Tensor net_in = Tensor::zeros(n_l, config_.hidden);
     if (!nf.src_t->empty()) {
-      Tensor state_u = nn::multi_gather(level_states, nf.src_t, nf.src_r);
+      Tensor state_u = nn::multi_gather(dep_states(level_states, nf.dep_levels),
+                                        nf.src_t, nf.src_r);
       Tensor e_feat = nn::gather_rows(g.net_edge_feat, nf.feat_rows);
       Tensor emb_v = nn::gather_rows(embedding, nf.emb_v_rows);
       const Tensor np_in[] = {state_u, e_feat, emb_v};
@@ -171,7 +210,8 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
     Tensor cell_sum = Tensor::zeros(n_l, config_.hidden);
     Tensor cell_max = Tensor::zeros(n_l, config_.hidden);
     if (!cf.src_t->empty()) {
-      Tensor state_u = nn::multi_gather(level_states, cf.src_t, cf.src_r);
+      Tensor state_u = nn::multi_gather(dep_states(level_states, cf.dep_levels),
+                                        cf.src_t, cf.src_r);
       Tensor emb_u = nn::gather_rows(embedding, cf.emb_u_rows);
       Tensor emb_v = nn::gather_rows(embedding, cf.emb_v_rows);
       Tensor cell_feat = nn::gather_rows(g.cell_edge_feat, cf.feat_rows);
@@ -202,6 +242,133 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
     out.cell_delay = Tensor::zeros(0, kNumCorners);
   } else {
     out.cell_delay = nn::concat_rows(cell_delay_parts);
+  }
+  return out;
+}
+
+DelayProp::Output DelayProp::forward_async(const data::DatasetGraph& g,
+                                           const PropPlan& plan,
+                                           const Tensor& embedding) const {
+  TG_TRACE_SCOPE("gnn/delay_prop/async", obs::kSpanDetail);
+  const auto levels = static_cast<std::size_t>(plan.num_levels);
+
+  // Per-level slots. Each is written by exactly one task and read only by
+  // tasks downstream of it, so the engine's publication contract makes
+  // every read see a fully-written tensor.
+  std::vector<Tensor> level_states(levels);              // combine(l)
+  std::vector<Tensor> net_in(levels);                    // net(l)
+  std::vector<Tensor> cell_sum(levels), cell_max(levels);  // cell(l)
+  std::vector<Tensor> interp(levels), cell_state_u(levels);  // cell(l)
+  std::vector<Tensor> delay_parts(levels);               // aux(l)
+
+  // Four tasks per level: the net and cell message branches, the
+  // auxiliary cell-delay head, and the combine that publishes the level's
+  // state. Net/cell tasks of level l depend on the combines of exactly
+  // the levels feeding them (the feeds' dep_levels), so the two branches
+  // of one level, the aux head of the previous level, and shallow side
+  // inputs of deeper levels all overlap — there is no per-level barrier.
+  // Each task runs the same op sequence on the same inputs as the serial
+  // walk, so the autograd graph (and therefore forward values and
+  // gradients) is bit-identical.
+  enum { kNet = 0, kCell = 1, kAux = 2, kCombine = 3 };
+  const auto task_id = [](int l, int kind) { return 4 * l + kind; };
+  std::vector<std::pair<int, int>> edges;
+  for (int l = 0; l < plan.num_levels; ++l) {
+    edges.emplace_back(task_id(l, kNet), task_id(l, kCombine));
+    edges.emplace_back(task_id(l, kCell), task_id(l, kCombine));
+    edges.emplace_back(task_id(l, kCell), task_id(l, kAux));
+    if (l == 0) continue;
+    const auto lu = static_cast<std::size_t>(l);
+    for (int dl : plan.net_feed[lu].dep_levels) {
+      edges.emplace_back(task_id(dl, kCombine), task_id(l, kNet));
+    }
+    for (int dl : plan.cell_feed[lu].dep_levels) {
+      edges.emplace_back(task_id(dl, kCombine), task_id(l, kCell));
+    }
+  }
+  const TaskDag dag = TaskDag::from_edges(4 * plan.num_levels, edges);
+
+  const TaskDagStats stats = run_task_dag(dag, [&](int v) {
+    const int l = v / 4;
+    const auto lu = static_cast<std::size_t>(l);
+    const std::int64_t n_l =
+        static_cast<std::int64_t>(plan.level_rows[lu]->size());
+    switch (v % 4) {
+      case kNet: {
+        if (l == 0) break;
+        const PropPlan::NetFeed& nf = plan.net_feed[lu];
+        if (nf.src_t->empty()) {
+          net_in[lu] = Tensor::zeros(n_l, config_.hidden);
+          break;
+        }
+        Tensor state_u = nn::multi_gather(
+            dep_states(level_states, nf.dep_levels), nf.src_t, nf.src_r);
+        Tensor e_feat = nn::gather_rows(g.net_edge_feat, nf.feat_rows);
+        Tensor emb_v = nn::gather_rows(embedding, nf.emb_v_rows);
+        const Tensor np_in[] = {state_u, e_feat, emb_v};
+        Tensor msg = net_prop_.forward(nn::concat_cols(np_in));
+        net_in[lu] = nn::segment_sum(msg, nf.dst_row, n_l);
+        break;
+      }
+      case kCell: {
+        if (l == 0) break;
+        const PropPlan::CellFeed& cf = plan.cell_feed[lu];
+        if (cf.src_t->empty()) {
+          cell_sum[lu] = Tensor::zeros(n_l, config_.hidden);
+          cell_max[lu] = Tensor::zeros(n_l, config_.hidden);
+          break;
+        }
+        Tensor state_u = nn::multi_gather(
+            dep_states(level_states, cf.dep_levels), cf.src_t, cf.src_r);
+        Tensor emb_u = nn::gather_rows(embedding, cf.emb_u_rows);
+        Tensor emb_v = nn::gather_rows(embedding, cf.emb_v_rows);
+        Tensor cell_feat = nn::gather_rows(g.cell_edge_feat, cf.feat_rows);
+
+        const Tensor q_in[] = {state_u, emb_u, emb_v};
+        interp[lu] = lut_.forward(nn::concat_cols(q_in), cell_feat);
+
+        const Tensor cp_in[] = {state_u, interp[lu], emb_v};
+        Tensor msg = cell_prop_.forward(nn::concat_cols(cp_in));
+        cell_sum[lu] = nn::segment_sum(msg, cf.dst_row, n_l);
+        cell_max[lu] = nn::segment_max(msg, cf.dst_row, n_l);
+        cell_state_u[lu] = state_u;
+        break;
+      }
+      case kAux: {
+        if (l == 0 || plan.cell_feed[lu].src_t->empty()) break;
+        const Tensor cd_in[] = {interp[lu], cell_state_u[lu]};
+        delay_parts[lu] = cell_delay_head_.forward(nn::concat_cols(cd_in));
+        break;
+      }
+      case kCombine: {
+        if (l == 0) {
+          Tensor emb0 = nn::gather_rows(embedding, plan.level_rows[0]);
+          level_states[0] = entry_.forward_relu(emb0);
+          break;
+        }
+        Tensor emb_level = nn::gather_rows(embedding, plan.level_rows[lu]);
+        const Tensor comb_in[] = {net_in[lu], cell_sum[lu], cell_max[lu],
+                                  emb_level};
+        level_states[lu] = combine_.forward_relu(nn::concat_cols(comb_in));
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  record_task_dag_metrics(stats);
+
+  Output out;
+  out.state =
+      nn::multi_gather(level_states, plan.assemble_t, plan.assemble_r);
+  std::vector<Tensor> parts;  // serial order: levels ascending
+  for (std::size_t l = 1; l < levels; ++l) {
+    if (delay_parts[l].defined()) parts.push_back(delay_parts[l]);
+  }
+  if (parts.empty()) {
+    out.cell_delay = Tensor::zeros(0, kNumCorners);
+  } else {
+    out.cell_delay = nn::concat_rows(parts);
   }
   return out;
 }

@@ -36,14 +36,23 @@ struct PropPlan {
   std::vector<int> cell_edge_order;
 
   // ---- shared per-step feeds (see forward) ----------------------------
+  // `src_t` is remapped: it indexes into `dep_levels` (the distinct source
+  // levels of this level's edges, ascending), not into the full level
+  // list. The forward pass hands multi_gather only the dep levels' state
+  // tensors, so the gather's autograd parents are exactly the levels that
+  // feed it — which is what lets the async engine fire a level as soon as
+  // its actual dependencies (not all earlier levels) are done, with an
+  // autograd graph identical to the serial walk's.
   struct NetFeed {
-    nn::IndexVec src_t;      ///< source level per edge
+    std::vector<int> dep_levels;  ///< distinct source levels, ascending
+    nn::IndexVec src_t;      ///< index into dep_levels per edge
     nn::IndexVec src_r;      ///< source row within its level per edge
     nn::IndexVec dst_row;    ///< destination row within this level
     nn::IndexVec feat_rows;  ///< edge id per edge (feature gather)
     nn::IndexVec emb_v_rows; ///< destination node id per edge
   };
   struct CellFeed {
+    std::vector<int> dep_levels;  ///< distinct source levels, ascending
     nn::IndexVec src_t, src_r, dst_row, feat_rows;
     nn::IndexVec emb_u_rows;  ///< source node id per edge
     nn::IndexVec emb_v_rows;  ///< destination node id per edge
@@ -75,6 +84,10 @@ class DelayProp : public nn::Module {
   };
 
   /// `embedding` is the net-embedding stage output [N, embed_dim].
+  /// Honors the global STA engine switch (util/task_graph.hpp): with
+  /// `async` the per-level net/cell/aux/combine steps run as a dependency
+  /// DAG on the worklist engine — branch steps of independent levels
+  /// overlap — producing bit-identical outputs and gradients.
   [[nodiscard]] Output forward(const data::DatasetGraph& g,
                                const PropPlan& plan,
                                const nn::Tensor& embedding) const;
@@ -82,6 +95,9 @@ class DelayProp : public nn::Module {
   [[nodiscard]] const DelayPropConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] Output forward_async(const data::DatasetGraph& g,
+                                     const PropPlan& plan,
+                                     const nn::Tensor& embedding) const;
   DelayPropConfig config_;
   int embed_dim_ = 0;
   nn::Mlp entry_;      ///< roots: embedding → initial state

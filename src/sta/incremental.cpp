@@ -1,10 +1,13 @@
 #include "sta/incremental.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <queue>
 
 #include "util/check.hpp"
 #include "util/obs/metrics.hpp"
 #include "util/obs/trace.hpp"
+#include "util/task_graph.hpp"
 
 namespace tg {
 
@@ -34,6 +37,7 @@ void IncrementalTimer::run_full() {
   result_ = run_sta(*graph_, *routing_, options_);
   dirty_nets_.clear();
   visited_ = graph_->num_nodes();
+  cone_nodes_ = graph_->num_nodes();
 }
 
 void IncrementalTimer::invalidate_net(NetId net) {
@@ -52,46 +56,71 @@ bool IncrementalTimer::recompute_pin(PinId pin) {
 int IncrementalTimer::update() {
   if (dirty_nets_.empty()) {
     visited_ = 0;
+    cone_nodes_ = 0;
     return 0;
   }
   TG_TRACE_SCOPE("sta/incremental", obs::kSpanCoarse);
   TG_METRIC_COUNT("sta/incremental_updates", 1);
 
-  std::priority_queue<LevelEntry, std::vector<LevelEntry>,
-                      std::greater<LevelEntry>>
-      queue;
-  std::vector<char> queued(static_cast<std::size_t>(graph_->num_nodes()), 0);
-  auto enqueue = [&](PinId p) {
-    if (!queued[static_cast<std::size_t>(p)]) {
-      queued[static_cast<std::size_t>(p)] = 1;
-      queue.push(LevelEntry{graph_->level(p), p});
-    }
-  };
-
   // Seeds: a net's parasitics affect its sinks (wire delay/slew) AND its
   // driver (the load seen by the driving cell arcs).
+  std::vector<PinId> seeds;
   for (NetId net : dirty_nets_) {
     const Net& n = graph_->design().net(net);
-    enqueue(n.driver);
-    for (PinId s : n.sinks) enqueue(s);
+    seeds.push_back(n.driver);
+    for (PinId s : n.sinks) seeds.push_back(s);
   }
   dirty_nets_.clear();
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
 
   int changed_pins = 0;
-  visited_ = 0;
-  while (!queue.empty()) {
-    const PinId p = queue.top().pin;
-    queue.pop();
-    ++visited_;
-    const bool changed = recompute_pin(p);
-    if (!changed) continue;
-    ++changed_pins;
-    for (int a : graph_->out_net_arcs(p)) {
-      enqueue(graph_->net_arcs()[static_cast<std::size_t>(a)].to);
+  if (sta_engine() == StaEngine::kAsync) {
+    // Dirty-cone worklist: the engine BFS-discovers the fanout cone of
+    // the seed frontier, then drains it dependency-counted — no levels, no
+    // priority queue. Pruning matches the serial walk: a non-seed pin is
+    // only re-evaluated when an in-cone predecessor actually changed.
+    TG_TRACE_SCOPE("sta/incremental/async", obs::kSpanDetail);
+    std::atomic<int> changed{0};
+    const ConeStats cone =
+        run_task_dag_cone(graph_->forward_dag(), seeds, [&](int p) {
+          const bool moved = recompute_pin(p);
+          if (moved) changed.fetch_add(1, std::memory_order_relaxed);
+          return moved;
+        });
+    changed_pins = changed.load(std::memory_order_relaxed);
+    visited_ = cone.evaluated;
+    cone_nodes_ = cone.cone_nodes;
+    record_task_dag_metrics(cone.run);
+  } else {
+    std::priority_queue<LevelEntry, std::vector<LevelEntry>,
+                        std::greater<LevelEntry>>
+        queue;
+    std::vector<char> queued(static_cast<std::size_t>(graph_->num_nodes()), 0);
+    auto enqueue = [&](PinId p) {
+      if (!queued[static_cast<std::size_t>(p)]) {
+        queued[static_cast<std::size_t>(p)] = 1;
+        queue.push(LevelEntry{graph_->level(p), p});
+      }
+    };
+    for (PinId p : seeds) enqueue(p);
+
+    visited_ = 0;
+    while (!queue.empty()) {
+      const PinId p = queue.top().pin;
+      queue.pop();
+      ++visited_;
+      const bool changed = recompute_pin(p);
+      if (!changed) continue;
+      ++changed_pins;
+      for (int a : graph_->out_net_arcs(p)) {
+        enqueue(graph_->net_arcs()[static_cast<std::size_t>(a)].to);
+      }
+      for (int a : graph_->out_cell_arcs(p)) {
+        enqueue(graph_->cell_arcs()[static_cast<std::size_t>(a)].to);
+      }
     }
-    for (int a : graph_->out_cell_arcs(p)) {
-      enqueue(graph_->cell_arcs()[static_cast<std::size_t>(a)].to);
-    }
+    cone_nodes_ = visited_;
   }
 
   TG_METRIC_COUNT("sta/incremental_pins_visited", visited_);

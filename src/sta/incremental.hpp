@@ -33,6 +33,11 @@ class IncrementalTimer {
   [[nodiscard]] const StaResult& result() const { return result_; }
   /// Pins re-evaluated by the last update() (diagnostics).
   [[nodiscard]] long long last_update_visited() const { return visited_; }
+  /// Size of the dirty cone the last update() worked over: with the async
+  /// engine the BFS-discovered fanout cone of the seed frontier, with the
+  /// level engine the pins the pruned walk actually popped. Compare against
+  /// TimingGraph::num_nodes() to see the incremental win (eco_resize does).
+  [[nodiscard]] long long last_update_cone() const { return cone_nodes_; }
 
  private:
   /// Recomputes arrival/slew/net_delay of one pin from its predecessors;
@@ -48,6 +53,7 @@ class IncrementalTimer {
   StaResult result_;
   std::unordered_set<NetId> dirty_nets_;
   long long visited_ = 0;
+  long long cone_nodes_ = 0;
 };
 
 }  // namespace tg

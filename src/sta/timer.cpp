@@ -7,6 +7,7 @@
 #include "util/obs/metrics.hpp"
 #include "util/obs/trace.hpp"
 #include "util/parallel.hpp"
+#include "util/task_graph.hpp"
 #include "util/timer.hpp"
 
 namespace tg {
@@ -213,20 +214,30 @@ void compute_required(const TimingGraph& graph, const StaOptions& options,
     }
   });
 
-  // Backward sweep: levels descending, all pins of a level in parallel
-  // (every successor lives on a higher level, so its RAT is final). Levels
-  // are slices of the graph's flat level-packed array.
-  for (int l = graph.num_levels() - 1; l >= 0; --l) {
-    const std::span<const PinId> level = graph.level_pins(l);
-    TG_TRACE_SCOPE("sta/backward/level", obs::kSpanDetail);
-    TG_METRIC_COUNT("sta/pins_relaxed", level.size());
-    parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
-                 [&](std::int64_t b, std::int64_t e) {
-                   for (std::int64_t i = b; i < e; ++i) {
-                     relax_required_pin(graph, r,
-                                        level[static_cast<std::size_t>(i)]);
-                   }
-                 });
+  // Backward sweep over the reversed graph. Level engine: levels
+  // descending, all pins of a level in parallel (every successor lives on
+  // a higher level, so its RAT is final). Async engine: a pin relaxes the
+  // moment its last fan-out retires. relax_required_pin writes only
+  // rat[p], so both orders produce identical bits.
+  if (sta_engine() == StaEngine::kAsync) {
+    TG_TRACE_SCOPE("sta/backward/async", obs::kSpanDetail);
+    TG_METRIC_COUNT("sta/pins_relaxed", n);
+    const TaskDagStats stats = run_task_dag(
+        graph.backward_dag(), [&](int p) { relax_required_pin(graph, r, p); });
+    record_task_dag_metrics(stats);
+  } else {
+    for (int l = graph.num_levels() - 1; l >= 0; --l) {
+      const std::span<const PinId> level = graph.level_pins(l);
+      TG_TRACE_SCOPE("sta/backward/level", obs::kSpanDetail);
+      TG_METRIC_COUNT("sta/pins_relaxed", level.size());
+      parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
+                   [&](std::int64_t b, std::int64_t e) {
+                     for (std::int64_t i = b; i < e; ++i) {
+                       relax_required_pin(graph, r,
+                                          level[static_cast<std::size_t>(i)]);
+                     }
+                   });
+    }
   }
 
   // Slack (per-pin, parallel) then the serial endpoint summary so WNS/TNS
@@ -281,25 +292,41 @@ StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
   r.pred_pin.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
   r.pred_corner.assign(static_cast<std::size_t>(n), {-1, -1, -1, -1});
 
-  // Forward sweep: level-synchronized, Galois-style — each parallel_for is
-  // a barrier, and every predecessor of a level-L pin lives below L.
-  // propagate_pin writes only pin-owned rows (a cell arc's delay slot is
-  // owned by its unique `to` pin), so in-level pins never race and the
-  // result is bit-identical to the serial order.
+  // Forward sweep. Two engines compute the same (bit-identical) result:
+  //
+  //  * kLevel — level-synchronized: each parallel_for is a barrier, and
+  //    every predecessor of a level-L pin lives below L.
+  //  * kAsync — worklist-driven: a pin fires the moment its last fan-in
+  //    retires; no barriers, so narrow levels no longer serialize the
+  //    sweep (util/task_graph.hpp).
+  //
+  // Both are safe because propagate_pin writes only pin-owned rows (a
+  // cell arc's delay slot is owned by its unique `to` pin) and reads only
+  // finalized predecessors, so the result is independent of interleaving.
   {
     TG_TRACE_SCOPE("sta/forward", obs::kSpanCoarse);
-    for (int l = 0; l < graph.num_levels(); ++l) {
-      const std::span<const PinId> level = graph.level_pins(l);
-      TG_TRACE_SCOPE("sta/forward/level", obs::kSpanDetail);
-      TG_METRIC_COUNT("sta/pins_propagated", level.size());
-      parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
-                   [&](std::int64_t b, std::int64_t e) {
-                     for (std::int64_t i = b; i < e; ++i) {
-                       sta_detail::propagate_pin(
-                           graph, routing, options, r,
-                           level[static_cast<std::size_t>(i)]);
-                     }
-                   });
+    if (sta_engine() == StaEngine::kAsync) {
+      TG_TRACE_SCOPE("sta/forward/async", obs::kSpanDetail);
+      TG_METRIC_COUNT("sta/pins_propagated", n);
+      const TaskDagStats stats =
+          run_task_dag(graph.forward_dag(), [&](int p) {
+            sta_detail::propagate_pin(graph, routing, options, r, p);
+          });
+      record_task_dag_metrics(stats);
+    } else {
+      for (int l = 0; l < graph.num_levels(); ++l) {
+        const std::span<const PinId> level = graph.level_pins(l);
+        TG_TRACE_SCOPE("sta/forward/level", obs::kSpanDetail);
+        TG_METRIC_COUNT("sta/pins_propagated", level.size());
+        parallel_for(0, static_cast<std::int64_t>(level.size()), kLevelGrain,
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i) {
+                         sta_detail::propagate_pin(
+                             graph, routing, options, r,
+                             level[static_cast<std::size_t>(i)]);
+                       }
+                     });
+      }
     }
   }
   sta_detail::compute_required(graph, options, r);

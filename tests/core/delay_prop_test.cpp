@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/test_fixture.hpp"
+#include "util/parallel.hpp"
+#include "util/task_graph.hpp"
 
 namespace tg::core {
 namespace {
@@ -127,6 +131,76 @@ TEST(DelayProp, ReceptiveFieldCoversFullDepth) {
     diff += std::abs(base.at(deep_node, c) - moved.at(deep_node, c));
   }
   EXPECT_GT(diff, 1e-12);  // influence decays over ~40 levels but must exist
+}
+
+void expect_tensor_bits_equal(const nn::Tensor& a, const nn::Tensor& b,
+                              const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  ASSERT_EQ(a.data().size(), b.data().size()) << what;
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(float)),
+            0)
+      << what;
+}
+
+/// Async-engine acceptance for the GNN propagation stage: forward values
+/// AND gradients must be bit-identical between the levelized walk and the
+/// worklist engine at 8 threads.
+TEST(DelayProp, AsyncEngineBitIdenticalForwardAndBackward) {
+  const int saved_threads = num_threads();
+  const StaEngine saved_engine = sta_engine();
+  const int saved_workers = task_dag_workers();
+  set_task_dag_workers(8);  // real concurrency even on small machines
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+
+  auto run = [&](StaEngine engine, int threads) {
+    set_sta_engine(engine);
+    set_num_threads(threads);
+    Rng rng(7);
+    DelayProp model(8, tiny_prop(), rng);
+    nn::Tensor emb = nn::Tensor::rand_uniform(g.num_nodes, 8, 0.5f, rng, true);
+    DelayProp::Output out = model.forward(g, plan, emb);
+    nn::Tensor loss = nn::add(nn::sum_all(nn::mul(out.state, out.state)),
+                              nn::sum_all(out.cell_delay));
+    loss.backward();
+    struct Run {
+      DelayProp::Output out;
+      std::vector<float> emb_grad;
+      std::vector<std::vector<float>> param_grads;
+    } r{std::move(out),
+        {emb.grad().begin(), emb.grad().end()},
+        {}};
+    for (const nn::Tensor& p : model.parameters()) {
+      nn::Tensor copy = p;
+      r.param_grads.emplace_back(copy.grad().begin(), copy.grad().end());
+    }
+    return r;
+  };
+
+  const auto level = run(StaEngine::kLevel, 1);
+  const auto async = run(StaEngine::kAsync, 8);
+  set_num_threads(saved_threads);
+  set_sta_engine(saved_engine);
+  set_task_dag_workers(saved_workers);
+
+  expect_tensor_bits_equal(level.out.state, async.out.state, "state");
+  expect_tensor_bits_equal(level.out.cell_delay, async.out.cell_delay,
+                           "cell_delay");
+  EXPECT_EQ(std::memcmp(level.emb_grad.data(), async.emb_grad.data(),
+                        level.emb_grad.size() * sizeof(float)),
+            0)
+      << "embedding gradient";
+  ASSERT_EQ(level.param_grads.size(), async.param_grads.size());
+  for (std::size_t i = 0; i < level.param_grads.size(); ++i) {
+    ASSERT_EQ(level.param_grads[i].size(), async.param_grads[i].size());
+    EXPECT_EQ(std::memcmp(level.param_grads[i].data(),
+                          async.param_grads[i].data(),
+                          level.param_grads[i].size() * sizeof(float)),
+              0)
+        << "parameter gradient " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+/// \file async_sta_test.cpp
+/// The async-engine acceptance contract: the worklist-driven STA
+/// (TG_STA_ENGINE=async) must produce bit-identical results to the
+/// levelized engine — every label, all 4 corners — on the full generated
+/// suite, including its raggedest members (deep-narrow divider, shallow-
+/// wide RAM). Also pins down the incremental dirty-cone path: same values
+/// AND the same pruned evaluation set as the serial cone walk.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental.hpp"
+#include "sta/timer.hpp"
+#include "util/parallel.hpp"
+#include "util/task_graph.hpp"
+
+namespace tg {
+namespace {
+
+void expect_bits_equal(const std::vector<PerCorner>& a,
+                       const std::vector<PerCorner>& b, const char* what,
+                       const std::string& design) {
+  ASSERT_EQ(a.size(), b.size()) << design << " " << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      ASSERT_EQ(std::memcmp(&a[i][c], &b[i][c], sizeof(double)), 0)
+          << design << " " << what << " differs at pin " << i << " corner "
+          << c << ": " << a[i][c] << " vs " << b[i][c];
+    }
+  }
+}
+
+void expect_results_equal(const StaResult& a, const StaResult& b,
+                          const std::string& design) {
+  expect_bits_equal(a.arrival, b.arrival, "arrival", design);
+  expect_bits_equal(a.slew, b.slew, "slew", design);
+  expect_bits_equal(a.rat, b.rat, "rat", design);
+  expect_bits_equal(a.slack, b.slack, "slack", design);
+  expect_bits_equal(a.net_delay, b.net_delay, "net_delay", design);
+  expect_bits_equal(a.cell_arc_delay, b.cell_arc_delay, "cell_arc_delay",
+                    design);
+  EXPECT_EQ(std::memcmp(&a.wns_setup, &b.wns_setup, sizeof(double)), 0)
+      << design;
+  EXPECT_EQ(std::memcmp(&a.wns_hold, &b.wns_hold, sizeof(double)), 0)
+      << design;
+  EXPECT_EQ(std::memcmp(&a.tns_setup, &b.tns_setup, sizeof(double)), 0)
+      << design;
+  EXPECT_EQ(std::memcmp(&a.tns_hold, &b.tns_hold, sizeof(double)), 0)
+      << design;
+}
+
+class AsyncStaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Bit-identity must hold at true multi-worker concurrency, so don't
+    // let the engine's hardware cap collapse the run to one worker on
+    // small machines.
+    set_task_dag_workers(8);
+  }
+  void TearDown() override {
+    set_num_threads(saved_threads_);
+    set_sta_engine(saved_engine_);
+    set_task_dag_workers(saved_workers_);
+  }
+  int saved_threads_ = num_threads();
+  StaEngine saved_engine_ = sta_engine();
+  int saved_workers_ = task_dag_workers();
+};
+
+struct Prepared {
+  Design design;
+  DesignRouting routing;
+};
+
+Prepared prepare(const Library& lib, const SuiteEntry& entry) {
+  Prepared p{generate_design(entry.spec, lib), {}};
+  place_design(p.design);
+  RoutingOptions ropts;
+  ropts.mode = RouteMode::kSteiner;
+  p.routing = route_design(p.design, ropts);
+  return p;
+}
+
+TEST_F(AsyncStaTest, FullSuiteBitIdenticalToLevelizedEngine) {
+  const Library lib = build_library();
+  set_num_threads(8);
+  // All 21 Table-1 designs at 1/64 scale: every block mix and aspect
+  // ratio the generator produces, ragged deep-narrow and shallow-wide
+  // members included.
+  for (const SuiteEntry& entry : table1_suite(1.0 / 64)) {
+    const Prepared p = prepare(lib, entry);
+    const TimingGraph graph(p.design);
+
+    set_sta_engine(StaEngine::kLevel);
+    const StaResult level = run_sta(graph, p.routing);
+    set_sta_engine(StaEngine::kAsync);
+    const StaResult async = run_sta(graph, p.routing);
+
+    expect_results_equal(level, async, entry.spec.name);
+  }
+}
+
+TEST_F(AsyncStaTest, MidSizeDesignBitIdenticalAcrossThreadCounts) {
+  const Library lib = build_library();
+  const Prepared p = prepare(lib, suite_entry("picorv32a", 1.0 / 32));
+  const TimingGraph graph(p.design);
+
+  set_sta_engine(StaEngine::kAsync);
+  set_num_threads(1);
+  const StaResult serial = run_sta(graph, p.routing);
+  set_num_threads(8);
+  const StaResult parallel = run_sta(graph, p.routing);
+  expect_results_equal(serial, parallel, "picorv32a");
+}
+
+TEST_F(AsyncStaTest, IncrementalConeMatchesSerialWalkAndFullRun) {
+  const Library lib = build_library();
+  Prepared p = prepare(lib, suite_entry("spm", 1.0 / 32));
+  DesignRouting routing_async = p.routing;  // independent copy to mutate
+  const TimingGraph graph(p.design);
+  set_num_threads(8);
+
+  // Perturb a few nets.
+  std::vector<NetId> victims;
+  for (NetId n = 0; n < p.design.num_nets() && victims.size() < 3; ++n) {
+    if (!p.design.net(n).is_clock) victims.push_back(n);
+  }
+  auto perturb = [&](DesignRouting& routing) {
+    for (NetId n : victims) {
+      for (auto& d : routing.nets[static_cast<std::size_t>(n)].sink_delay) {
+        for (double& v : d) v *= 1.25;
+      }
+    }
+  };
+
+  set_sta_engine(StaEngine::kLevel);
+  IncrementalTimer inc_level(graph, &p.routing);
+  set_sta_engine(StaEngine::kAsync);
+  IncrementalTimer inc_async(graph, &routing_async);
+
+  perturb(p.routing);
+  perturb(routing_async);
+  for (NetId n : victims) {
+    inc_level.invalidate_net(n);
+    inc_async.invalidate_net(n);
+  }
+
+  set_sta_engine(StaEngine::kLevel);
+  const int changed_level = inc_level.update();
+  set_sta_engine(StaEngine::kAsync);
+  const int changed_async = inc_async.update();
+
+  // Same changed count, same pruned evaluation set size, same values.
+  EXPECT_EQ(changed_level, changed_async);
+  EXPECT_EQ(inc_level.last_update_visited(), inc_async.last_update_visited());
+  EXPECT_GE(inc_async.last_update_cone(), inc_async.last_update_visited());
+  EXPECT_LT(inc_async.last_update_cone(), graph.num_nodes());
+  expect_results_equal(inc_level.result(), inc_async.result(), "spm-inc");
+
+  // And both match a from-scratch async run on the mutated routing.
+  const StaResult full = run_sta(graph, routing_async);
+  expect_results_equal(full, inc_async.result(), "spm-full");
+}
+
+TEST_F(AsyncStaTest, NoDirtyNetsIsANoOp) {
+  const Library lib = build_library();
+  Prepared p = prepare(lib, suite_entry("spm", 1.0 / 64));
+  const TimingGraph graph(p.design);
+  set_sta_engine(StaEngine::kAsync);
+  IncrementalTimer inc(graph, &p.routing);
+  EXPECT_EQ(inc.update(), 0);
+  EXPECT_EQ(inc.last_update_visited(), 0);
+  EXPECT_EQ(inc.last_update_cone(), 0);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,76 @@
+/// \file async_tsan_test.cpp
+/// Race-detector workload for the async worklist engine: the full STA
+/// (forward + backward) and an incremental dirty-cone update at 8 threads
+/// on a mid-size design. Built as its own target (sta_async_tsan_test)
+/// with the `tsan` label so a TG_SANITIZE=thread build runs exactly this
+/// (`ctest -L tsan`) — the publication chain (pending RMW → task fire) is
+/// precisely what TSan has to vet.
+
+#include <gtest/gtest.h>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental.hpp"
+#include "sta/timer.hpp"
+#include "util/parallel.hpp"
+#include "util/task_graph.hpp"
+
+namespace tg {
+namespace {
+
+class AsyncTsanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_num_threads(8);
+    set_sta_engine(StaEngine::kAsync);
+    // 8 true workers even on small machines — TSan needs real thread
+    // interleavings over the publication chain, not a hardware-capped
+    // single-worker walk.
+    set_task_dag_workers(8);
+  }
+  void TearDown() override {
+    set_num_threads(saved_threads_);
+    set_sta_engine(saved_engine_);
+    set_task_dag_workers(saved_workers_);
+  }
+  int saved_threads_ = num_threads();
+  StaEngine saved_engine_ = sta_engine();
+  int saved_workers_ = task_dag_workers();
+};
+
+TEST_F(AsyncTsanTest, FullStaAndIncrementalConeUnderContention) {
+  const Library lib = build_library();
+  const SuiteEntry entry = suite_entry("picorv32a", 1.0 / 32);
+  Design design = generate_design(entry.spec, lib);
+  place_design(design);
+  RoutingOptions ropts;
+  ropts.mode = RouteMode::kSteiner;
+  DesignRouting routing = route_design(design, ropts);
+  const TimingGraph graph(design);
+
+  // Forward + backward async sweeps, repeated to give the scheduler a few
+  // distinct interleavings.
+  for (int i = 0; i < 3; ++i) {
+    const StaResult r = run_sta(graph, routing);
+    EXPECT_EQ(static_cast<int>(r.arrival.size()), design.num_pins());
+  }
+
+  // Incremental dirty-cone worklist.
+  IncrementalTimer inc(graph, &routing);
+  NetId net = 0;
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    if (!design.net(n).is_clock) {
+      net = n;
+      break;
+    }
+  }
+  for (auto& d : routing.nets[static_cast<std::size_t>(net)].sink_delay) {
+    for (double& v : d) v *= 1.5;
+  }
+  inc.invalidate_net(net);
+  EXPECT_GT(inc.update(), 0);
+}
+
+}  // namespace
+}  // namespace tg
