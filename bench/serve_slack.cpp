@@ -1,0 +1,207 @@
+/// \file serve_slack.cpp
+/// Serving-plane latency/throughput bench (DESIGN.md §12). Three phases on
+/// one design template:
+///
+///   serve_predict/N  sequential full-graph GNN predictions on a pristine
+///                    session (N = graph nodes) — the batcher's unit cost,
+///   serve_move/N     sequential single-move ECO requests — the
+///                    incremental dirty-cone fast path,
+///   serve_mixed/N    concurrent clients (2x workers) replaying a mixed
+///                    move/predict stream under a deadline — the serving
+///                    p50/p99 that the ladder exists to bound.
+///
+/// Writes BENCH_serve_slack.json (`--json=...`): per-phase median/p90
+/// request latency as the gated entries, plus a "serve" section with
+/// throughput and the mixed-phase percentiles/status counts. Gated by
+/// ci/check_bench.py like the micro benches.
+///
+///   ./serve_slack [--design=spm] [--scale=0.03125] [--requests=32]
+///                 [--workers=2] [--json=BENCH_serve_slack.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace tg {
+namespace {
+
+double percentile_s(std::vector<double>& s, double p) {
+  if (s.empty()) return 0.0;
+  std::sort(s.begin(), s.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(s.size() - 1) + 0.5);
+  return s[std::min(idx, s.size() - 1)];
+}
+
+bench_json::Entry make_entry(const std::string& op, long long size,
+                             int threads, std::vector<double>& lat_s) {
+  bench_json::Entry e;
+  e.op = op;
+  e.size = size;
+  e.threads = threads;
+  e.name = op + "/" + std::to_string(size);
+  e.iterations = static_cast<long long>(lat_s.size());
+  e.median_s = percentile_s(lat_s, 0.50);
+  e.p90_s = percentile_s(lat_s, 0.90);
+  return e;
+}
+
+double seconds(std::chrono::nanoseconds ns) {
+  return static_cast<double>(ns.count()) / 1e9;
+}
+
+}  // namespace
+}  // namespace tg
+
+int main(int argc, char** argv) {
+  using namespace tg;
+  const CliOptions opts(argc, argv);
+  opts.require_known({"design", "scale", "requests", "workers", "json"});
+  const std::string design = opts.get("design", "spm");
+  const double scale = opts.get_double("scale", 0.03125);
+  const int requests = static_cast<int>(opts.get_int("requests", 32));
+  const int workers = static_cast<int>(opts.get_int("workers", 2));
+  const std::string json = opts.get("json", "BENCH_serve_slack.json");
+
+  serve::ServeOptions so;
+  so.workers = workers;
+  serve::SlackServer server(so);
+
+  long long nodes = 0;
+  const serve::SessionId warm = server.open_session(design, scale);
+  server.inspect(warm, [&](const serve::SessionView& v) {
+    nodes = static_cast<long long>(v.design.num_pins());
+  });
+  std::printf("serve_slack: %s/%.5f (%lld nodes), %d requests/phase, "
+              "%d workers\n",
+              design.c_str(), scale, nodes, requests, workers);
+
+  std::vector<bench_json::Entry> entries;
+
+  // Phase 1: pristine full-graph predictions (template-served GNN).
+  {
+    std::vector<double> lat;
+    lat.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      serve::Request req;
+      req.session = warm;
+      const serve::Response r = server.call(std::move(req));
+      if (r.status != serve::ResponseStatus::kShed) {
+        lat.push_back(seconds(r.latency));
+      }
+    }
+    entries.push_back(make_entry("serve_predict", nodes, 1, lat));
+  }
+
+  // Phase 2: single-move ECO requests (incremental cone path). Bounce one
+  // instance between two same-function cells so every request has work.
+  {
+    const serve::SessionId eco = server.open_session(design, scale);
+    int cell_a = -1, cell_b = -1;
+    server.inspect(eco, [&](const serve::SessionView& v) {
+      cell_a = v.design.instance(0).cell_id;
+      cell_b = cell_a;
+      const Library& lib = v.design.library();
+      for (int c : lib.cells_of_function(lib.cell(cell_a).function)) {
+        if (c != cell_a) { cell_b = c; break; }
+      }
+    });
+    std::vector<double> lat;
+    lat.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      serve::Request req;
+      req.session = eco;
+      req.moves.push_back({0, i % 2 == 0 ? cell_b : cell_a});
+      const serve::Response r = server.call(std::move(req));
+      if (r.status != serve::ResponseStatus::kShed) {
+        lat.push_back(seconds(r.latency));
+      }
+    }
+    entries.push_back(make_entry("serve_move", nodes, 1, lat));
+  }
+
+  // Phase 3: mixed concurrent stream under a generous deadline.
+  long long ok = 0, degraded = 0, shed = 0;
+  double throughput = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+  {
+    const int clients = 2 * workers;
+    const int per_client = std::max(1, requests / 2);
+    std::vector<serve::SessionId> ids;
+    for (int c = 0; c < clients; ++c) {
+      ids.push_back(server.open_session(design, scale));
+    }
+    std::vector<std::vector<serve::Response>> got(
+        static_cast<std::size_t>(clients));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        int inst_cell = -1;
+        server.inspect(ids[static_cast<std::size_t>(c)],
+                       [&](const serve::SessionView& v) {
+                         inst_cell = v.design.instance(0).cell_id;
+                       });
+        for (int i = 0; i < per_client; ++i) {
+          serve::Request req;
+          req.session = ids[static_cast<std::size_t>(c)];
+          req.budget = std::chrono::milliseconds(500);
+          if (i % 2 == 0) req.moves.push_back({0, inst_cell});
+          got[static_cast<std::size_t>(c)].push_back(
+              server.call(std::move(req)));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall =
+        seconds(std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0));
+    std::vector<double> lat;
+    for (const auto& per : got) {
+      for (const serve::Response& r : per) {
+        switch (r.status) {
+          case serve::ResponseStatus::kOk: ++ok; break;
+          case serve::ResponseStatus::kDegraded: ++degraded; break;
+          case serve::ResponseStatus::kShed: ++shed; break;
+        }
+        if (r.status != serve::ResponseStatus::kShed) {
+          lat.push_back(seconds(r.latency));
+        }
+      }
+    }
+    const long long total = static_cast<long long>(clients) * per_client;
+    throughput = static_cast<double>(total) / wall;
+    std::vector<double> lat_copy = lat;
+    p50_ms = percentile_s(lat_copy, 0.50) * 1e3;
+    p99_ms = percentile_s(lat_copy, 0.99) * 1e3;
+    entries.push_back(make_entry("serve_mixed", nodes, clients, lat));
+  }
+  server.shutdown();
+
+  for (const bench_json::Entry& e : entries) {
+    std::printf("  %-24s median %9.3f ms  p90 %9.3f ms  (%lld samples)\n",
+                e.name.c_str(), e.median_s * 1e3, e.p90_s * 1e3,
+                e.iterations);
+  }
+  std::printf("  mixed: %.1f req/s, p50 %.3f ms, p99 %.3f ms "
+              "(%lld ok, %lld degraded, %lld shed)\n",
+              throughput, p50_ms, p99_ms, ok, degraded, shed);
+
+  char extra[512];
+  std::snprintf(extra, sizeof(extra),
+                "\"serve\": {\"throughput_rps\": %.3f, \"p50_ms\": %.6f, "
+                "\"p99_ms\": %.6f, \"ok\": %lld, \"degraded\": %lld, "
+                "\"shed\": %lld}",
+                throughput, p50_ms, p99_ms, ok, degraded, shed);
+  if (!bench_json::write_file(json, "serve_slack", workers, entries, extra)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", json.c_str());
+  return 0;
+}

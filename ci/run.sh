@@ -15,7 +15,12 @@
 #          hit rate on real train steps) plus micro_nn_ops/micro_models/
 #          micro_sta --json medians vs the checked-in bench/BENCH_*.json
 #          baselines, failing on >25% regression (ci/check_bench.py)
-# Usage: ci/run.sh [tier1|asan|ubsan|tsan|obs|bench|all]   (default: all)
+#   serve  serving-plane gate: `serve` label suites, the tg_serve_load
+#          acceptance drill (deadlines + overload spike + injected worker
+#          faults; non-zero exit on any hang or untagged response), and
+#          serve_slack request-latency medians vs the checked-in
+#          bench/BENCH_serve_slack.json baseline
+# Usage: ci/run.sh [tier1|asan|ubsan|tsan|obs|bench|serve|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -99,6 +104,28 @@ run_bench() {
     "$dir/BENCH_micro_sta.json"
 }
 
+run_serve() {
+  echo "==> serve: serving-plane gate (label suites + load drill + baseline)"
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "$jobs" \
+    --target serve_test serve_fault_test serve_tsan_test tg_serve_load serve_slack
+  ctest --test-dir build-ci --output-on-failure -L serve
+  # Acceptance drill: per-request deadlines, an overload spike past queue
+  # capacity and a persistent worker-fault window, all at once. The tool
+  # exits non-zero if any future hangs, any response is untagged, or the
+  # completed/submitted accounting drifts.
+  ./build-ci/tools/tg_serve_load --design=spm --scale=0.03125 --sessions=8 \
+    --requests=24 --workers=2 --queue=16 --deadline-ms=50 --cancel-frac=0.1 \
+    --move-frac=0.3 --spike=true --fault=worker:3:4
+  local dir
+  dir="$(mktemp -d)"
+  trap 'rm -rf "$dir"' RETURN
+  TG_THREADS=1 ./build-ci/bench/serve_slack --design=spm --scale=0.03125 \
+    --requests=32 --workers=2 --json="$dir/BENCH_serve_slack.json" > /dev/null
+  python3 ci/check_bench.py bench/BENCH_serve_slack.json \
+    "$dir/BENCH_serve_slack.json"
+}
+
 case "$job" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
@@ -106,7 +133,8 @@ case "$job" in
   tsan)  run_tsan ;;
   obs)   run_obs ;;
   bench) run_bench ;;
-  all)   run_tier1; run_asan; run_ubsan; run_tsan; run_obs; run_bench ;;
-  *) echo "usage: $0 [tier1|asan|ubsan|tsan|obs|bench|all]" >&2; exit 2 ;;
+  serve) run_serve ;;
+  all)   run_tier1; run_asan; run_ubsan; run_tsan; run_obs; run_bench; run_serve ;;
+  *) echo "usage: $0 [tier1|asan|ubsan|tsan|obs|bench|serve|all]" >&2; exit 2 ;;
 esac
 echo "==> $job: OK"

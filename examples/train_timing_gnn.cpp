@@ -9,11 +9,20 @@
 ///                      [--load=model.bin] [--trace] [--export-dir=<dir>]
 ///                      [--checkpoint=ckpt.bin] [--checkpoint-every=N]
 ///                      [--resume] [--telemetry=train.jsonl]
+///                      [--stop-after=N]
 ///
 /// With --checkpoint the trainer atomically writes a checksummed checkpoint
 /// (params + Adam moments + epoch) every N epochs; --resume restarts a killed
 /// run from it and reproduces the uninterrupted final loss bit-identically.
+///
+/// SIGINT/SIGTERM request a *graceful* shutdown: training stops at the next
+/// epoch boundary, writes a final checkpoint (when --checkpoint is set) and
+/// exits cleanly — a second signal falls back to the default handler and
+/// kills the run (the checkpoint from the last boundary still resumes).
+/// --stop-after=N is the deterministic test stand-in for that signal.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 
 #include "core/trainer.hpp"
@@ -26,13 +35,27 @@
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void request_graceful_stop(int sig) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+  // A second signal should actually kill the process (e.g. a hung epoch).
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
   opts.require_known({"designs", "scale", "epochs", "hidden", "save", "load",
                       "trace", "export-dir", "verbose", "lr", "lr-final",
                       "net-aux", "cell-aux", "checkpoint", "checkpoint-every",
-                      "resume", "telemetry"});
+                      "resume", "telemetry", "stop-after"});
+  std::signal(SIGINT, request_graceful_stop);
+  std::signal(SIGTERM, request_graceful_stop);
   set_log_level(opts.get_bool("verbose", true) ? LogLevel::kInfo
                                                : LogLevel::kWarn);
 
@@ -83,6 +106,8 @@ int main(int argc, char** argv) {
       static_cast<int>(opts.get_int("checkpoint-every", 1));
   // Per-epoch loss/grad-norm/LR/time/RSS as JSONL (DESIGN.md §9).
   train.telemetry_path = opts.get("telemetry", "");
+  train.stop_requested = &g_stop_requested;
+  train.stop_after_epochs = static_cast<int>(opts.get_int("stop-after", 0));
 
   core::TimingGnnTrainer trainer(cfg, train);
   std::printf("model: %lld trainable parameters\n",
@@ -119,8 +144,15 @@ int main(int argc, char** argv) {
     }
     WallTimer timer;
     const double final_loss = trainer.fit(dataset);
+    if (trainer.completed_epochs() < train.epochs) {
+      std::printf("graceful stop at epoch %d/%d after %.1f s%s\n",
+                  trainer.completed_epochs(), train.epochs, timer.seconds(),
+                  train.checkpoint_path.empty()
+                      ? ""
+                      : " (checkpoint written; rerun with --resume)");
+    }
     std::printf("trained %d epochs in %.1f s (final loss %.17g)\n",
-                train.epochs, timer.seconds(), final_loss);
+                trainer.completed_epochs(), timer.seconds(), final_loss);
     if (trainer.non_finite_steps() > 0) {
       std::printf("non-finite-loss guard skipped %lld steps\n",
                   trainer.non_finite_steps());

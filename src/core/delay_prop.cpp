@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/obs/trace.hpp"
 #include "util/task_graph.hpp"
@@ -185,7 +186,9 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
 
   // Every gather/scatter below runs off the plan's precomputed shared
   // index feeds — no per-step index vectors are built here.
+  const CancelToken cancel = current_cancel_token();
   for (int l = 1; l < plan.num_levels; ++l) {
+    cancel.throw_if_cancelled();  // level boundary = cancellation checkpoint
     const auto lu = static_cast<std::size_t>(l);
     const std::int64_t n_l =
         static_cast<std::int64_t>(plan.level_rows[lu]->size());

@@ -106,6 +106,16 @@ bool checkpoint_due(const TrainOptions& options, int completed) {
   return completed % every == 0 || completed == options.epochs;
 }
 
+/// Graceful-shutdown poll, evaluated only at epoch boundaries so a stop
+/// never lands mid-step (which is what makes resume bit-identical).
+bool stop_requested(const TrainOptions& options, int completed) {
+  if (options.stop_after_epochs > 0 && completed >= options.stop_after_epochs) {
+    return true;
+  }
+  return options.stop_requested != nullptr &&
+         options.stop_requested->load(std::memory_order_relaxed);
+}
+
 /// In-memory rollback target for the non-finite-loss guard: the state after
 /// the most recent successful step. Capturing is plain copies, so the guard
 /// never perturbs the numerics of a healthy run.
@@ -304,9 +314,15 @@ double TimingGnnTrainer::fit(const data::SuiteDataset& dataset) {
       TG_INFO("timing-gnn epoch " << epoch + 1 << "/" << options_.epochs
                                   << " loss=" << mean_loss);
     }
-    if (checkpoint_due(options_, epoch_)) {
-      save_checkpoint(options_.checkpoint_path);
+    bool due = checkpoint_due(options_, epoch_);
+    if (stop_requested(options_, epoch_)) {
+      TG_WARN("graceful-stop trainer=timing-gnn epoch=" << epoch_ << "/"
+              << options_.epochs << " action=checkpoint-and-return");
+      due = !options_.checkpoint_path.empty();
+      if (due) save_checkpoint(options_.checkpoint_path);
+      break;
     }
+    if (due) save_checkpoint(options_.checkpoint_path);
   }
   return mean_loss;
 }
@@ -450,9 +466,15 @@ double NetEmbedTrainer::fit(const data::SuiteDataset& dataset) {
       TG_INFO("net-embed epoch " << epoch + 1 << "/" << options_.epochs
                                  << " loss=" << mean_loss);
     }
-    if (checkpoint_due(options_, epoch_)) {
-      save_checkpoint(options_.checkpoint_path);
+    bool due = checkpoint_due(options_, epoch_);
+    if (stop_requested(options_, epoch_)) {
+      TG_WARN("graceful-stop trainer=net-embed epoch=" << epoch_ << "/"
+              << options_.epochs << " action=checkpoint-and-return");
+      due = !options_.checkpoint_path.empty();
+      if (due) save_checkpoint(options_.checkpoint_path);
+      break;
     }
+    if (due) save_checkpoint(options_.checkpoint_path);
   }
   return mean_loss;
 }
@@ -548,9 +570,15 @@ double GcniiTrainer::fit(const data::SuiteDataset& dataset) {
       TG_INFO("gcnii-" << model_.config().num_layers << " epoch " << epoch + 1
                        << "/" << options_.epochs << " loss=" << mean_loss);
     }
-    if (checkpoint_due(options_, epoch_)) {
-      save_checkpoint(options_.checkpoint_path);
+    bool due = checkpoint_due(options_, epoch_);
+    if (stop_requested(options_, epoch_)) {
+      TG_WARN("graceful-stop trainer=gcnii epoch=" << epoch_ << "/"
+              << options_.epochs << " action=checkpoint-and-return");
+      due = !options_.checkpoint_path.empty();
+      if (due) save_checkpoint(options_.checkpoint_path);
+      break;
     }
+    if (due) save_checkpoint(options_.checkpoint_path);
   }
   return mean_loss;
 }

@@ -8,6 +8,7 @@
 /// All trainers run full-graph gradient steps over the training designs
 /// (the paper's setup: one graph per design, no mini-batching).
 
+#include <atomic>
 #include <map>
 
 #include "core/gcnii.hpp"
@@ -37,6 +38,16 @@ struct TrainOptions {
   /// rate, epoch wall time, peak RSS, and the non-finite-step count. See
   /// DESIGN.md §9 "Observability".
   std::string telemetry_path;
+  /// Cooperative graceful shutdown: when non-null and flipped true (e.g.
+  /// by a SIGINT/SIGTERM handler), fit() stops at the next epoch boundary
+  /// — after writing a checkpoint if checkpoint_path is set — and returns
+  /// normally. Resuming from that checkpoint reproduces the uninterrupted
+  /// run bit-identically (the stop never lands mid-step).
+  const std::atomic<bool>* stop_requested = nullptr;
+  /// Deterministic stand-in for a mid-run signal (tests): when > 0, fit()
+  /// behaves as if stop_requested flipped after this many completed
+  /// epochs.
+  int stop_after_epochs = 0;
 };
 
 /// Per-design evaluation record; R² definitions follow the paper

@@ -1,6 +1,7 @@
 #include "data/hetero_graph.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/check.hpp"
 
@@ -82,35 +83,61 @@ LevelCsr build_level_csr(const DatasetGraph& g) {
   return csr;
 }
 
-const LevelCsr& ensure_level_csr(const DatasetGraph& g) {
-  if (!g.level_csr) {
-    g.level_csr = std::make_shared<const LevelCsr>(build_level_csr(g));
+namespace {
+
+/// Guards the lazy caches below. A const DatasetGraph is shared
+/// read-only across serving workers (serve/session.hpp), so first-use
+/// publication must be a proper release/acquire handoff; one process-wide
+/// mutex suffices because each cache is touched a handful of times per
+/// forward, and the builds run outside the lock so concurrent first-use
+/// on *different* graphs never serializes the expensive part.
+std::mutex& graph_cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Publishes `build()`'s result into the cached field `slot` exactly
+/// once; losers of the build race drop their copy and adopt the winner's.
+template <typename T, typename Build>
+const std::shared_ptr<T>& publish_once(std::shared_ptr<T>& slot,
+                                       const Build& build) {
+  {
+    const std::lock_guard<std::mutex> lock(graph_cache_mutex());
+    if (slot) return slot;
   }
-  return *g.level_csr;
+  std::shared_ptr<T> built = build();
+  const std::lock_guard<std::mutex> lock(graph_cache_mutex());
+  if (!slot) slot = std::move(built);
+  return slot;
+}
+
+}  // namespace
+
+const LevelCsr& ensure_level_csr(const DatasetGraph& g) {
+  return *publish_once(g.level_csr, [&g] {
+    return std::make_shared<const LevelCsr>(build_level_csr(g));
+  });
 }
 
 const std::shared_ptr<const std::vector<int>>& shared_net_src(
     const DatasetGraph& g) {
-  if (!g.net_src_sh) {
-    g.net_src_sh = std::make_shared<const std::vector<int>>(g.net_src);
-  }
-  return g.net_src_sh;
+  return publish_once(g.net_src_sh, [&g] {
+    return std::make_shared<const std::vector<int>>(g.net_src);
+  });
 }
 
 const std::shared_ptr<const std::vector<int>>& shared_net_dst(
     const DatasetGraph& g) {
-  if (!g.net_dst_sh) {
-    g.net_dst_sh = std::make_shared<const std::vector<int>>(g.net_dst);
-  }
-  return g.net_dst_sh;
+  return publish_once(g.net_dst_sh, [&g] {
+    return std::make_shared<const std::vector<int>>(g.net_dst);
+  });
 }
 
 const std::shared_ptr<const std::vector<int>>& shared_net_sinks(
     const DatasetGraph& g) {
-  if (!g.net_sinks_sh) {
-    g.net_sinks_sh = std::make_shared<const std::vector<int>>(g.net_sinks);
-  }
-  return g.net_sinks_sh;
+  return publish_once(g.net_sinks_sh, [&g] {
+    return std::make_shared<const std::vector<int>>(g.net_sinks);
+  });
 }
 
 }  // namespace tg::data

@@ -68,9 +68,10 @@ struct DatasetGraph;
 [[nodiscard]] LevelCsr build_level_csr(const DatasetGraph& g);
 
 /// Returns the graph's cached LevelCsr, building and attaching it first
-/// if absent (e.g. the graph came from a pre-v3 TGD2 file). Not safe to
-/// race from two threads on the same graph; per-graph parallel builds are
-/// fine.
+/// if absent (e.g. the graph came from a pre-v3 TGD2 file). Thread-safe:
+/// first-use publication is mutex-guarded (racing builders drop their
+/// copy and adopt the winner's), so a const graph may be shared across
+/// serving workers.
 const LevelCsr& ensure_level_csr(const DatasetGraph& g);
 
 /// One benchmark's extracted graph + labels + provenance.
@@ -123,8 +124,8 @@ struct DatasetGraph {
 };
 
 /// Shared-ownership views of g.net_src / g.net_dst / g.net_sinks,
-/// materialized on first use and cached on the graph. Same thread-safety
-/// caveat as ensure_level_csr.
+/// materialized on first use and cached on the graph. Thread-safe, same
+/// publication scheme as ensure_level_csr.
 const std::shared_ptr<const std::vector<int>>& shared_net_src(
     const DatasetGraph& g);
 const std::shared_ptr<const std::vector<int>>& shared_net_dst(

@@ -1,0 +1,166 @@
+#pragma once
+/// \file session.hpp
+/// Per-tenant state of the serving plane (DESIGN.md §12).
+///
+/// A `SessionTemplate` is the immutable, shareable baseline of one design:
+/// generated + placed netlist, Steiner routing, timing graph, golden STA,
+/// extracted DatasetGraph and its PropPlan — everything a *pristine*
+/// session needs to answer full-graph prediction requests without owning
+/// any mutable state. Templates are built once per design hash and cached
+/// (`TemplateCache`), so opening hundreds of sessions on the same design
+/// costs a hash lookup plus a control block.
+///
+/// A `Session` starts as a thin handle on its template. The first resize
+/// move *materializes* it (copy-on-write): the design and routing are
+/// cloned, a session-owned TimingGraph + IncrementalTimer come up, and
+/// from then on ECO moves are applied to session state only. The template
+/// is never mutated — a corrupted or quarantined session can be closed and
+/// reopened from the same baseline.
+///
+/// Thread-safety: all mutable session state is guarded by `mu`; the server
+/// holds it for the whole request (compute included), so each session graph
+/// sees one thread at a time. Template state is immutable after
+/// construction and safe to read from any number of workers — including the
+/// lazy GNN caches (`ensure_level_csr` and friends), whose first-use
+/// publication is mutex-guarded in data/hetero_graph.cpp.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/timing_gnn.hpp"
+#include "data/extract.hpp"
+#include "serve/types.hpp"
+#include "sta/incremental.hpp"
+
+namespace tg::serve {
+
+/// Immutable per-design baseline. Built by TemplateCache::get_or_build.
+struct SessionTemplate {
+  std::uint64_t key = 0;  ///< design hash (name, scale, clock factor)
+  std::string design_name;
+  double scale = 0.0;
+  double clock_factor = 0.0;  ///< 0 = the suite's default
+
+  Design design;          ///< placed, clock calibrated
+  DesignRouting routing;  ///< Steiner pre-routing estimate
+  std::unique_ptr<TimingGraph> graph;  ///< over `design`
+  StaResult sta;          ///< golden baseline STA
+  data::DatasetGraph g;   ///< extracted features + labels
+  core::PropPlan plan;    ///< GNN traversal schedule for `g`
+
+  /// `lib` must outlive the template (the serving plane uses the
+  /// process-wide synthetic library, a function-local static).
+  explicit SessionTemplate(const Library& lib) : design("", &lib) {}
+};
+
+/// Design-hash-keyed cache of session templates. Building is serialized
+/// per cache; lookups after the first are lock + hash only.
+class TemplateCache {
+ public:
+  /// Returns the cached template for (design, scale, clock_factor),
+  /// building it first if absent. `clock_factor` scales the calibrated
+  /// clock period (< 1 = deliberately tight, the ECO-loop setup); 0 uses
+  /// the suite's default. Throws CheckError for unknown design names.
+  std::shared_ptr<const SessionTemplate> get_or_build(
+      const std::string& design, double scale, double clock_factor = 0.0);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const SessionTemplate>>
+      cache_;
+};
+
+/// FNV-1a design hash over (name, scale, clock factor). Stable across
+/// processes.
+[[nodiscard]] std::uint64_t design_hash(const std::string& design,
+                                        double scale, double clock_factor);
+
+/// Checksummed last-good answer for the stale tier. The checksum covers
+/// the payload; serving verifies it so a corrupted entry (TG_FAULT_SERVE=
+/// cache) is detected instead of returned.
+struct StaleEntry {
+  bool valid = false;
+  double wns_setup = 0.0;
+  double tns_setup = 0.0;
+  double wns_hold = 0.0;
+  std::vector<double> endpoint_setup;
+  std::uint64_t checksum = 0;
+
+  /// Recomputes the checksum over the current payload.
+  [[nodiscard]] std::uint64_t compute_checksum() const;
+};
+
+/// One tenant. Created pristine (template-backed); materialized on the
+/// first move.
+struct Session {
+  SessionId id = 0;
+  std::shared_ptr<const SessionTemplate> tpl;
+
+  std::mutex mu;  ///< guards everything below
+
+  // ---- materialized ECO state (null while pristine) --------------------
+  /// Atomic because submit() reads it lock-free as a batching *hint*; the
+  /// authoritative check re-runs under `mu` before serving from the
+  /// template. Mutated only under `mu`.
+  std::atomic<bool> materialized{false};
+  /// Set when a cone update was aborted mid-walk (deadline, cancel or
+  /// injected fault): the incremental pruning invariant no longer holds,
+  /// so the next engine answer must come from a full re-time.
+  bool timing_dirty = false;
+  std::unique_ptr<Design> design;
+  std::unique_ptr<DesignRouting> routing;
+  std::unique_ptr<TimingGraph> graph;
+  std::unique_ptr<IncrementalTimer> timer;
+  /// Session-local extracted graph + plan for full GNN predicts after
+  /// moves; rebuilt lazily, invalidated by every move batch.
+  std::unique_ptr<data::DatasetGraph> gnn_graph;
+  std::unique_ptr<core::PropPlan> gnn_plan;
+
+  // ---- stale-answer cache ----------------------------------------------
+  StaleEntry stale;
+
+  // ---- health / quarantine ---------------------------------------------
+  int consecutive_failures = 0;
+  std::chrono::steady_clock::time_point quarantined_until{};
+
+  /// Clones template design/routing and brings up the session-owned
+  /// timing graph + incremental timer (runs the baseline full STA).
+  /// No-op when already materialized. Caller holds `mu`.
+  void materialize();
+
+  /// Applies resize moves to materialized state: swaps cell ids,
+  /// re-extracts parasitics of the nets whose loads changed, invalidates
+  /// the affected nets on the incremental timer. Does NOT re-time — the
+  /// ladder tier decides between timer->update() (cone) and a full
+  /// re-time. Invalidates the cached GNN graph/plan. Caller holds `mu`.
+  void apply_moves(const std::vector<ResizeMove>& moves);
+
+  /// Current engine view: session timer result when materialized, else
+  /// the template baseline.
+  [[nodiscard]] const StaResult& engine_result() const;
+  [[nodiscard]] const Design& current_design() const;
+  [[nodiscard]] const TimingGraph& current_graph() const;
+  [[nodiscard]] const DesignRouting& current_routing() const;
+
+  /// True while the session can be served from the shared template
+  /// (no moves applied) — the micro-batcher's compatibility test.
+  [[nodiscard]] bool pristine() const {
+    return !materialized.load(std::memory_order_relaxed);
+  }
+};
+
+/// Read-only view handed to SlackServer::inspect callbacks (under the
+/// session lock). `endpoints` are node==pin ids, the alignment of
+/// Response::endpoint_setup.
+struct SessionView {
+  const Design& design;
+  const TimingGraph& graph;
+  const StaResult& sta;
+  const std::vector<int>& endpoints;
+  bool pristine = false;
+};
+
+}  // namespace tg::serve

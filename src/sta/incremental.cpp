@@ -4,6 +4,7 @@
 #include <atomic>
 #include <queue>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/obs/metrics.hpp"
 #include "util/obs/trace.hpp"
@@ -106,7 +107,11 @@ int IncrementalTimer::update() {
     for (PinId p : seeds) enqueue(p);
 
     visited_ = 0;
+    const CancelToken cancel = current_cancel_token();
     while (!queue.empty()) {
+      // Poll every 128 pops: the clock read stays off the per-pin path but
+      // a cancelled update still stops within ~one task batch.
+      if ((visited_ & 127) == 0) cancel.throw_if_cancelled();
       const PinId p = queue.top().pin;
       queue.pop();
       ++visited_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/obs/metrics.hpp"
 #include "util/obs/trace.hpp"
@@ -226,7 +227,9 @@ void compute_required(const TimingGraph& graph, const StaOptions& options,
         graph.backward_dag(), [&](int p) { relax_required_pin(graph, r, p); });
     record_task_dag_metrics(stats);
   } else {
+    const CancelToken cancel = current_cancel_token();
     for (int l = graph.num_levels() - 1; l >= 0; --l) {
+      cancel.throw_if_cancelled();  // level boundary = cancellation checkpoint
       const std::span<const PinId> level = graph.level_pins(l);
       TG_TRACE_SCOPE("sta/backward/level", obs::kSpanDetail);
       TG_METRIC_COUNT("sta/pins_relaxed", level.size());
@@ -314,7 +317,9 @@ StaResult run_sta(const TimingGraph& graph, const DesignRouting& routing,
           });
       record_task_dag_metrics(stats);
     } else {
+      const CancelToken cancel = current_cancel_token();
       for (int l = 0; l < graph.num_levels(); ++l) {
+        cancel.throw_if_cancelled();  // level boundary = cancellation checkpoint
         const std::span<const PinId> level = graph.level_pins(l);
         TG_TRACE_SCOPE("sta/forward/level", obs::kSpanDetail);
         TG_METRIC_COUNT("sta/pins_propagated", level.size());

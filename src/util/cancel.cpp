@@ -1,0 +1,133 @@
+#include "util/cancel.hpp"
+
+#include <atomic>
+
+namespace tg {
+
+namespace cancel_detail {
+
+/// Shared cancellation state. `flag` latches the reason (0 = live); the
+/// deadline is immutable after construction, so polling needs no lock —
+/// one relaxed load, plus a steady_clock read only while a deadline is
+/// armed and the state has not latched yet.
+struct CancelState {
+  std::atomic<int> flag{0};  ///< CancelReason, latched
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  CancelToken parent;  ///< null for root sources
+
+  /// Latched or freshly-tripped reason; latches deadline/parent trips so
+  /// later polls are cheap.
+  CancelReason poll() {
+    int f = flag.load(std::memory_order_relaxed);
+    if (f != 0) return static_cast<CancelReason>(f);
+    if (has_deadline &&
+        std::chrono::steady_clock::now() >= deadline) {
+      latch(CancelReason::kDeadline);
+      return CancelReason::kDeadline;
+    }
+    if (parent.valid() && parent.cancelled()) {
+      const CancelReason r = parent.reason();
+      latch(r);
+      return r;
+    }
+    return CancelReason::kNone;
+  }
+
+  void latch(CancelReason reason) {
+    int expected = 0;
+    flag.compare_exchange_strong(expected, static_cast<int>(reason),
+                                 std::memory_order_relaxed);
+  }
+};
+
+namespace {
+thread_local CancelToken t_current;
+}  // namespace
+
+}  // namespace cancel_detail
+
+const char* cancel_reason_name(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kCancelled: return "cancelled";
+    case CancelReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+CancelError::CancelError(CancelReason reason)
+    : std::runtime_error(std::string("operation stopped: ") +
+                         cancel_reason_name(reason)),
+      reason_(reason) {}
+
+bool CancelToken::cancelled() const {
+  return state_ != nullptr && state_->poll() != CancelReason::kNone;
+}
+
+CancelReason CancelToken::reason() const {
+  return state_ == nullptr ? CancelReason::kNone : state_->poll();
+}
+
+void CancelToken::throw_if_cancelled() const {
+  if (state_ == nullptr) return;
+  const CancelReason r = state_->poll();
+  if (r != CancelReason::kNone) throw CancelError(r);
+}
+
+std::chrono::nanoseconds CancelToken::remaining() const {
+  if (state_ == nullptr) return std::chrono::nanoseconds::max();
+  if (state_->poll() != CancelReason::kNone) {
+    return std::chrono::nanoseconds::zero();
+  }
+  std::chrono::nanoseconds best = std::chrono::nanoseconds::max();
+  const cancel_detail::CancelState* s = state_.get();
+  const auto now = std::chrono::steady_clock::now();
+  while (s != nullptr) {
+    if (s->has_deadline) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(s->deadline -
+                                                               now);
+      best = std::min(best, std::max(left, std::chrono::nanoseconds::zero()));
+    }
+    s = s->parent.state_.get();
+  }
+  return best;
+}
+
+CancelSource::CancelSource()
+    : state_(std::make_shared<cancel_detail::CancelState>()) {}
+
+CancelSource CancelSource::with_deadline(
+    std::chrono::steady_clock::time_point deadline, CancelToken parent) {
+  CancelSource src;
+  src.state_->has_deadline = true;
+  src.state_->deadline = deadline;
+  src.state_->parent = std::move(parent);
+  return src;
+}
+
+CancelSource CancelSource::with_budget(std::chrono::nanoseconds budget,
+                                       CancelToken parent) {
+  return with_deadline(std::chrono::steady_clock::now() + budget,
+                       std::move(parent));
+}
+
+CancelSource CancelSource::with_parent(CancelToken parent) {
+  CancelSource src;
+  src.state_->parent = std::move(parent);
+  return src;
+}
+
+void CancelSource::cancel() { state_->latch(CancelReason::kCancelled); }
+
+CancelToken current_cancel_token() { return cancel_detail::t_current; }
+
+ScopedCancel::ScopedCancel(CancelToken token)
+    : prev_(cancel_detail::t_current) {
+  cancel_detail::t_current = std::move(token);
+}
+
+ScopedCancel::~ScopedCancel() { cancel_detail::t_current = prev_; }
+
+}  // namespace tg

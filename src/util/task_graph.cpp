@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/obs/metrics.hpp"
@@ -103,6 +104,23 @@ struct EngineState {
   /// one cache line serializes eight workers all by itself.
   std::atomic<long long> remaining{0};
   std::atomic<bool> abort{false};
+
+  /// Ambient cancellation token of the submitting thread, captured at run
+  /// entry and polled by every worker before firing a node. A tripped
+  /// token aborts exactly like a task exception — remaining task bodies
+  /// are skipped, bookkeeping drains — and CancelError is rethrown after
+  /// the drain, so a cancelled request stops within one task batch.
+  CancelToken cancel;
+
+  /// Records the cancellation as the run's error (first writer wins) and
+  /// flips abort, mirroring the task-exception path.
+  void abort_cancelled() {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!error) error = std::make_exception_ptr(CancelError(cancel.reason()));
+    }
+    abort.store(true, std::memory_order_relaxed);
+  }
 
   struct alignas(64) Worker {
     std::mutex mu;
@@ -206,6 +224,9 @@ struct EngineState {
     Worker& self = workers[static_cast<std::size_t>(wid)];
     self.fired += 1;
     bool changed = true;
+    if (!abort.load(std::memory_order_relaxed) && cancel.cancelled()) {
+      abort_cancelled();
+    }
     if (!abort.load(std::memory_order_relaxed)) {
       const bool evaluate =
           !cone_mode || dirty[static_cast<std::size_t>(v)].load(
@@ -264,6 +285,10 @@ struct EngineState {
       while (v >= 0) {
         self.fired += 1;
         bool changed = true;
+        if (!abort.load(std::memory_order_relaxed) && cancel.cancelled()) {
+          if (!error) error = std::make_exception_ptr(CancelError(cancel.reason()));
+          abort.store(true, std::memory_order_relaxed);
+        }
         if (!abort.load(std::memory_order_relaxed)) {
           const bool evaluate =
               !cone_mode || dirty[static_cast<std::size_t>(v)].load(
@@ -421,9 +446,13 @@ TaskDagStats run_task_dag(const TaskDag& dag,
     // serial sweep's per-node cost, which is what the engine degrades to
     // on a single core.
     stats.workers = 1;
+    const CancelToken cancel = current_cancel_token();
     std::exception_ptr error;
     for (int v : dag.topo) {
       stats.tasks_fired += 1;
+      if (!error && cancel.cancelled()) {
+        error = std::make_exception_ptr(CancelError(cancel.reason()));
+      }
       if (error) continue;  // drain semantics: bodies stop, count doesn't
       try {
         task(v);
@@ -437,6 +466,7 @@ TaskDagStats run_task_dag(const TaskDag& dag,
 
   auto state = std::make_shared<EngineState>();
   state->dag = &dag;
+  state->cancel = current_cancel_token();
   state->body = [&task](int v) {
     task(v);
     return true;
@@ -457,6 +487,7 @@ ConeStats run_task_dag_cone(const TaskDag& dag, std::span<const int> seeds,
 
   auto state = std::make_shared<EngineState>();
   state->dag = &dag;
+  state->cancel = current_cancel_token();
   state->body = task;
   state->cone_mode = true;
   state->in_cone.assign(n, 0);

@@ -23,6 +23,14 @@
 /// actually changed; a non-seed node whose in-cone predecessors all
 /// reported "unchanged" is skipped (its bookkeeping still runs, so
 /// successors unblock) — the classic pruned ECO re-propagation.
+///
+/// Cancellation: both entry points capture the submitting thread's ambient
+/// `CancelToken` (util/cancel.hpp) and poll it before firing each node. A
+/// tripped token aborts exactly like a task exception — remaining bodies
+/// are skipped, bookkeeping drains so counters stay consistent — and
+/// `CancelError` is rethrown after the drain. A request cancelled or past
+/// its deadline therefore stops within one task-graph batch. Callers with
+/// no ambient token pay one pointer test per node.
 
 #include <cstdint>
 #include <functional>

@@ -1,0 +1,200 @@
+/// \file serve_fault_test.cpp
+/// Fault drills for the serving plane's TG_FAULT_SERVE points
+/// (DESIGN.md §12): a worker blip absorbed by one retry, a persistent
+/// worker fault driven through backoff into stale fallback and
+/// per-session quarantine (with recovery once the bench period lapses),
+/// a `slow` stall preempted by the request deadline, corrupt-on-write
+/// stale cache entries caught by the read-side checksum, and the
+/// TG_FAULT_SERVE=<op>:<nth>[:<count>] environment syntax.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/fault.hpp"
+
+namespace tg::serve {
+namespace {
+
+constexpr const char* kDesign = "spm";
+constexpr double kScale = 0.03125;
+
+/// Keeps every drill hermetic: whatever a test armed (or leaked into the
+/// environment) is gone before the next one runs.
+class ServeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::clear_serve_fault(); }
+  void TearDown() override {
+    unsetenv("TG_FAULT_SERVE");
+    fault::clear_serve_fault();
+  }
+};
+
+ServeOptions drill_options() {
+  ServeOptions o;
+  o.workers = 1;  // deterministic: one worker sees every fault in order
+  o.queue_capacity = 16;
+  o.max_retries = 2;
+  o.backoff_base = std::chrono::milliseconds(1);
+  o.backoff_cap = std::chrono::milliseconds(4);
+  o.quarantine_after = 2;
+  o.quarantine_period = std::chrono::milliseconds(250);
+  return o;
+}
+
+Request sta_predict(SessionId id) {
+  Request req;
+  req.session = id;
+  req.mode = RequestMode::kSta;
+  return req;
+}
+
+TEST_F(ServeFaultTest, WorkerBlipIsRetriedToSuccess) {
+  SlackServer server(drill_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  fault::arm_serve_fault("worker", 1);  // first attempt throws, second wins
+
+  const Response r = server.call(sta_predict(id));
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  EXPECT_EQ(r.tier, ServeTier::kFull);
+  EXPECT_EQ(r.retries, 1);
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.faults, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(s.quarantines, 0u);
+}
+
+TEST_F(ServeFaultTest, PersistentFaultServesStaleAndQuarantines) {
+  SlackServer server(drill_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  // Warm answer populates the checksummed stale cache.
+  ASSERT_EQ(server.call(sta_predict(id)).status, ResponseStatus::kOk);
+
+  fault::arm_serve_fault("worker", 1, 1000);  // persistently broken
+
+  // Retry budget exhausted -> stale, flagged degraded, never a lie.
+  const Response first = server.call(sta_predict(id));
+  EXPECT_EQ(first.status, ResponseStatus::kDegraded);
+  EXPECT_EQ(first.tier, ServeTier::kStale);
+  EXPECT_EQ(first.retries, drill_options().max_retries);
+
+  // Second consecutive failure trips the quarantine threshold.
+  const Response second = server.call(sta_predict(id));
+  EXPECT_EQ(second.status, ResponseStatus::kDegraded);
+  EXPECT_EQ(second.tier, ServeTier::kStale);
+  EXPECT_EQ(server.stats().quarantines, 1u);
+
+  // Quarantined sessions never reach compute: the fault match counter
+  // must not advance while the bench serves stale directly.
+  const long long matched_before = fault::matched_serve_ops();
+  const Response benched = server.call(sta_predict(id));
+  EXPECT_EQ(benched.status, ResponseStatus::kDegraded);
+  EXPECT_EQ(benched.tier, ServeTier::kStale);
+  EXPECT_EQ(fault::matched_serve_ops(), matched_before);
+
+  // Once the fault clears and the bench period lapses, the session serves
+  // fresh full-tier answers again.
+  fault::clear_serve_fault();
+  std::this_thread::sleep_for(drill_options().quarantine_period +
+                              std::chrono::milliseconds(100));
+  const Response healed = server.call(sta_predict(id));
+  EXPECT_EQ(healed.status, ResponseStatus::kOk);
+  EXPECT_EQ(healed.tier, ServeTier::kFull);
+}
+
+TEST_F(ServeFaultTest, PersistentFaultWithoutStaleShedsThenBenches) {
+  SlackServer server(drill_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  // No warm request: the stale cache is empty, so the ladder bottoms out.
+  fault::arm_serve_fault("worker", 1, 1000);
+
+  const Response first = server.call(sta_predict(id));
+  EXPECT_EQ(first.status, ResponseStatus::kShed);
+  EXPECT_EQ(first.tier, ServeTier::kNone);
+  EXPECT_NE(first.error.find("worker fault"), std::string::npos);
+
+  const Response second = server.call(sta_predict(id));
+  EXPECT_EQ(second.status, ResponseStatus::kShed);
+  EXPECT_EQ(server.stats().quarantines, 1u);
+
+  // Benched without a stale answer: shed immediately with the remaining
+  // quarantine time as the retry hint, and no compute attempted.
+  const long long matched_before = fault::matched_serve_ops();
+  const Response benched = server.call(sta_predict(id));
+  EXPECT_EQ(benched.status, ResponseStatus::kShed);
+  EXPECT_NE(benched.error.find("quarantined"), std::string::npos);
+  EXPECT_GT(benched.retry_after.count(), 0);
+  EXPECT_LE(benched.retry_after, drill_options().quarantine_period);
+  EXPECT_EQ(fault::matched_serve_ops(), matched_before);
+}
+
+TEST_F(ServeFaultTest, SlowStallIsPreemptedByTheDeadline) {
+  SlackServer server(drill_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  ASSERT_EQ(server.call(sta_predict(id)).status, ResponseStatus::kOk);
+
+  // The stall (~25 ms, polled in 1 ms slices) cannot fit a 5 ms budget:
+  // the deadline preempts it and the ladder answers from stale.
+  fault::arm_serve_fault("slow", 1);
+  Request req = sta_predict(id);
+  req.budget = std::chrono::milliseconds(5);
+  const Response r = server.call(std::move(req));
+  EXPECT_EQ(r.status, ResponseStatus::kDegraded);
+  EXPECT_EQ(r.tier, ServeTier::kStale);
+  EXPECT_EQ(r.stop_reason, CancelReason::kDeadline);
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+}
+
+TEST_F(ServeFaultTest, CorruptStaleEntryIsCaughtByTheChecksum) {
+  SlackServer server(drill_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+
+  // The warm answer is corrupted as it is written to the stale cache.
+  fault::arm_serve_fault("cache", 1);
+  ASSERT_EQ(server.call(sta_predict(id)).status, ResponseStatus::kOk);
+
+  // Now break compute so the ladder must reach for the stale entry: the
+  // checksum rejects the corrupt payload and the request sheds instead of
+  // serving a wrong answer.
+  fault::arm_serve_fault("worker", 1, 1000);
+  const Response r = server.call(sta_predict(id));
+  EXPECT_EQ(r.status, ResponseStatus::kShed);
+  EXPECT_EQ(r.tier, ServeTier::kNone);
+
+  // The corrupt entry was dropped, not quarantined away: clearing the
+  // fault restores full-tier service and rebuilds a good stale entry.
+  fault::clear_serve_fault();
+  const Response healed = server.call(sta_predict(id));
+  EXPECT_EQ(healed.status, ResponseStatus::kOk);
+}
+
+TEST_F(ServeFaultTest, EnvSyntaxArmsAWindowedFault) {
+  setenv("TG_FAULT_SERVE", "worker:2:2", 1);
+  fault::reparse_serve_fault_env();
+  EXPECT_FALSE(fault::should_fail_serve("worker"));  // 1st: before window
+  EXPECT_TRUE(fault::should_fail_serve("worker"));   // 2nd: in window
+  EXPECT_TRUE(fault::should_fail_serve("worker"));   // 3rd: in window
+  EXPECT_FALSE(fault::should_fail_serve("worker"));  // 4th: past window
+  EXPECT_EQ(fault::matched_serve_ops(), 4);
+  // Non-matching ops never advance the counter.
+  EXPECT_FALSE(fault::should_fail_serve("cache"));
+  EXPECT_EQ(fault::matched_serve_ops(), 4);
+}
+
+TEST_F(ServeFaultTest, MalformedEnvIsIgnored) {
+  for (const char* bad : {"", "worker", "worker:", "worker:zero", ":3",
+                          "worker:3:", "unknown_op:1"}) {
+    setenv("TG_FAULT_SERVE", bad, 1);
+    fault::reparse_serve_fault_env();
+    EXPECT_FALSE(fault::should_fail_serve("worker")) << "armed by: " << bad;
+    EXPECT_FALSE(fault::should_fail_serve("slow")) << "armed by: " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace tg::serve

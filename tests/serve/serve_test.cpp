@@ -1,0 +1,283 @@
+/// \file serve_test.cpp
+/// Functional contract of the slack-prediction serving plane
+/// (DESIGN.md §12): session lifecycle and template sharing, the
+/// ok|degraded|shed response taxonomy, the degradation ladder's tier
+/// choices, micro-batching, admission-queue shedding, deadline handling
+/// and shutdown draining.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace tg::serve {
+namespace {
+
+constexpr const char* kDesign = "spm";
+constexpr double kScale = 0.03125;
+
+ServeOptions small_options() {
+  ServeOptions o;
+  o.workers = 2;
+  o.queue_capacity = 16;
+  return o;
+}
+
+/// A same-function alternative cell for instance `inst`, or -1.
+int alternative_cell(const SessionView& v, int inst) {
+  const Library& lib = v.design.library();
+  const int current = v.design.instance(inst).cell_id;
+  for (int c : lib.cells_of_function(lib.cell(current).function)) {
+    if (c != current) return c;
+  }
+  return -1;
+}
+
+TEST(ServeTest, PristinePredictServedOkAtFullTier) {
+  SlackServer server(small_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  Request req;
+  req.session = id;
+  const Response r = server.call(std::move(req));
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  EXPECT_EQ(r.tier, ServeTier::kFull);
+  EXPECT_FALSE(r.endpoint_setup.empty());
+  EXPECT_TRUE(std::isfinite(r.wns_setup));
+  EXPECT_GT(r.latency.count(), 0);
+}
+
+TEST(ServeTest, StaModeMatchesGoldenBaseline) {
+  SlackServer server(small_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  Request req;
+  req.session = id;
+  req.mode = RequestMode::kSta;
+  const Response r = server.call(std::move(req));
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  double expect_wns = 0.0;
+  std::size_t endpoints = 0;
+  server.inspect(id, [&](const SessionView& v) {
+    expect_wns = v.sta.wns_setup;
+    endpoints = v.endpoints.size();
+  });
+  EXPECT_DOUBLE_EQ(r.wns_setup, expect_wns);
+  EXPECT_EQ(r.endpoint_setup.size(), endpoints);
+}
+
+TEST(ServeTest, MoveRequestsServeTheConeFastPathAsOk) {
+  SlackServer server(small_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  ResizeMove move{-1, -1};
+  server.inspect(id, [&](const SessionView& v) {
+    move = {0, alternative_cell(v, 0)};
+  });
+  ASSERT_GE(move.new_cell, 0) << "library has no alternative drive";
+
+  Request req;
+  req.session = id;
+  req.mode = RequestMode::kSta;
+  req.moves.push_back(move);
+  const Response r = server.call(std::move(req));
+  // The cone fast path IS the contract answer for moves: ok, not degraded.
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  EXPECT_EQ(r.tier, ServeTier::kCone);
+
+  // And it must equal a force_full re-time of the same session.
+  Request full;
+  full.session = id;
+  full.mode = RequestMode::kSta;
+  full.force_full = true;
+  const Response f = server.call(std::move(full));
+  EXPECT_EQ(f.tier, ServeTier::kFull);
+  ASSERT_EQ(f.endpoint_setup.size(), r.endpoint_setup.size());
+  for (std::size_t i = 0; i < f.endpoint_setup.size(); ++i) {
+    EXPECT_NEAR(f.endpoint_setup[i], r.endpoint_setup[i], 1e-9);
+  }
+}
+
+TEST(ServeTest, SessionsAreIsolatedAndTemplateShared) {
+  SlackServer server(small_options());
+  const SessionId a = server.open_session(kDesign, kScale);
+  const SessionId b = server.open_session(kDesign, kScale);
+  ResizeMove move{-1, -1};
+  server.inspect(a, [&](const SessionView& v) {
+    move = {0, alternative_cell(v, 0)};
+  });
+  ASSERT_GE(move.new_cell, 0);
+  Request req;
+  req.session = a;
+  req.moves.push_back(move);
+  (void)server.call(std::move(req));
+
+  bool a_pristine = true, b_pristine = true;
+  int a_cell = -1, b_cell = -1;
+  server.inspect(a, [&](const SessionView& v) {
+    a_pristine = v.pristine;
+    a_cell = v.design.instance(0).cell_id;
+  });
+  server.inspect(b, [&](const SessionView& v) {
+    b_pristine = v.pristine;
+    b_cell = v.design.instance(0).cell_id;
+  });
+  EXPECT_FALSE(a_pristine);  // materialized by the move
+  EXPECT_TRUE(b_pristine);   // still template-backed
+  EXPECT_EQ(a_cell, move.new_cell);
+  EXPECT_NE(b_cell, move.new_cell);
+}
+
+TEST(ServeTest, UnknownSessionIsShed) {
+  SlackServer server(small_options());
+  Request req;
+  req.session = 999;
+  const Response r = server.call(std::move(req));
+  EXPECT_EQ(r.status, ResponseStatus::kShed);
+  EXPECT_EQ(r.tier, ServeTier::kNone);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ServeTest, PreCancelledGnnRequestIsShedWithCancelledReason) {
+  SlackServer server(small_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  CancelSource source;
+  source.cancel();
+  Request req;
+  req.session = id;
+  req.mode = RequestMode::kGnn;
+  req.cancel = source.token();
+  const Response r = server.call(std::move(req));
+  EXPECT_EQ(r.status, ResponseStatus::kShed);
+  EXPECT_EQ(r.stop_reason, CancelReason::kCancelled);
+  EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST(ServeTest, TightDeadlineDegradesOrShedsButAnswers) {
+  ServeOptions o = small_options();
+  SlackServer server(o);
+  const SessionId id = server.open_session(kDesign, kScale);
+  // Warm request populates the stale cache and the latency EMA.
+  Request warm;
+  warm.session = id;
+  ASSERT_EQ(server.call(std::move(warm)).status, ResponseStatus::kOk);
+
+  // A 1 us budget cannot fit full-tier compute once the EMA knows the
+  // cost: the ladder answers from a lower tier (degraded) or sheds —
+  // never blocks, never claims full fidelity.
+  Request tight;
+  tight.session = id;
+  tight.budget = std::chrono::microseconds(1);
+  const Response r = server.call(std::move(tight));
+  EXPECT_NE(r.status, ResponseStatus::kOk);
+  if (r.status == ResponseStatus::kDegraded) {
+    EXPECT_NE(r.tier, ServeTier::kFull);
+  }
+}
+
+TEST(ServeTest, OverloadShedsAtTheDoorWithRetryAfter) {
+  ServeOptions o = small_options();
+  o.workers = 1;
+  o.queue_capacity = 2;
+  SlackServer server(o);
+  const SessionId id = server.open_session(kDesign, kScale);
+
+  // Stall the single worker so the queue can actually fill.
+  fault::arm_serve_fault("slow", 1);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 24; ++i) {
+    Request req;
+    req.session = id;
+    futs.push_back(server.submit(std::move(req)));
+  }
+  int shed_at_door = 0;
+  for (auto& fut : futs) {
+    const Response r = fut.get();
+    if (r.status == ResponseStatus::kShed) {
+      ++shed_at_door;
+      EXPECT_GT(r.retry_after.count(), 0) << "shed without a retry hint";
+    }
+  }
+  fault::clear_serve_fault();
+  EXPECT_GT(shed_at_door, 0) << "queue of 2 absorbed 24 requests?";
+  EXPECT_EQ(server.stats().completed, 24u);
+}
+
+TEST(ServeTest, CompatiblePredictionsCoalesceIntoOneBatch) {
+  ServeOptions o = small_options();
+  o.workers = 1;  // deterministic: one worker, batch forms behind it
+  o.queue_capacity = 32;
+  o.max_batch = 8;
+  SlackServer server(o);
+  const SessionId id = server.open_session(kDesign, kScale);
+
+  // First request stalls the worker; the next four queue up batchable.
+  fault::arm_serve_fault("slow", 1);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 5; ++i) {
+    Request req;
+    req.session = id;
+    futs.push_back(server.submit(std::move(req)));
+  }
+  std::vector<Response> rs;
+  for (auto& fut : futs) rs.push_back(fut.get());
+  fault::clear_serve_fault();
+
+  EXPECT_GE(server.stats().batched, 2u) << "no coalescing happened";
+  int max_batch = 0;
+  for (const Response& r : rs) {
+    EXPECT_NE(r.status, ResponseStatus::kShed);
+    max_batch = std::max(max_batch, r.batch_size);
+  }
+  EXPECT_GE(max_batch, 2);
+  // All batch members got the same template answer.
+  for (std::size_t i = 1; i < rs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rs[i].wns_setup, rs[0].wns_setup);
+  }
+}
+
+TEST(ServeTest, ShutdownShedsQueuedWorkAndRejectsNewWork) {
+  ServeOptions o = small_options();
+  o.workers = 1;
+  SlackServer server(o);
+  const SessionId id = server.open_session(kDesign, kScale);
+  fault::arm_serve_fault("slow", 1);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 6; ++i) {
+    Request req;
+    req.session = id;
+    req.mode = RequestMode::kSta;
+    req.force_full = true;  // not batchable: stays queued
+    futs.push_back(server.submit(std::move(req)));
+  }
+  server.shutdown();
+  fault::clear_serve_fault();
+  for (auto& fut : futs) {
+    // Every future resolves: answered before the stop or shed by it.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    (void)fut.get();
+  }
+  Request late;
+  late.session = id;
+  const Response r = server.call(std::move(late));
+  EXPECT_EQ(r.status, ResponseStatus::kShed);
+  EXPECT_EQ(server.stats().completed, server.stats().submitted);
+}
+
+TEST(ServeTest, NamesAreStable) {
+  EXPECT_STREQ(response_status_name(ResponseStatus::kOk), "ok");
+  EXPECT_STREQ(response_status_name(ResponseStatus::kDegraded), "degraded");
+  EXPECT_STREQ(response_status_name(ResponseStatus::kShed), "shed");
+  EXPECT_STREQ(serve_tier_name(ServeTier::kFull), "full");
+  EXPECT_STREQ(serve_tier_name(ServeTier::kCone), "cone");
+  EXPECT_STREQ(serve_tier_name(ServeTier::kStale), "stale");
+  EXPECT_STREQ(serve_tier_name(ServeTier::kNone), "none");
+}
+
+}  // namespace
+}  // namespace tg::serve

@@ -1,0 +1,108 @@
+/// \file cancel_test.cpp
+/// Unit contract of the cooperative cancellation plumbing
+/// (util/cancel.hpp): token/source lifecycle, deadlines, parent chaining,
+/// the thread-local ambient token, and CancelError reasons.
+
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace tg {
+namespace {
+
+TEST(CancelTest, NullTokenNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+  EXPECT_GT(token.remaining(), std::chrono::hours(1));
+}
+
+TEST(CancelTest, SourceCancelTripsToken) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  source.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+  EXPECT_THROW(token.throw_if_cancelled(), CancelError);
+}
+
+TEST(CancelTest, CancelErrorCarriesReason) {
+  try {
+    CancelSource source;
+    source.cancel();
+    source.token().throw_if_cancelled();
+    FAIL() << "expected CancelError";
+  } catch (const CancelError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(CancelTest, DeadlineTripsByItself) {
+  const CancelSource source = CancelSource::with_budget(
+      std::chrono::microseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(source.token().cancelled());
+  EXPECT_EQ(source.token().reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelTest, FutureDeadlineDoesNotTrip) {
+  const CancelSource source = CancelSource::with_budget(
+      std::chrono::hours(1));
+  EXPECT_FALSE(source.token().cancelled());
+  EXPECT_LE(source.token().remaining(), std::chrono::hours(1));
+  EXPECT_GT(source.token().remaining(), std::chrono::minutes(30));
+}
+
+TEST(CancelTest, ParentCancellationPropagates) {
+  CancelSource parent;
+  const CancelSource child = CancelSource::with_parent(parent.token());
+  EXPECT_FALSE(child.token().cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.token().cancelled());
+  EXPECT_EQ(child.token().reason(), CancelReason::kCancelled);
+}
+
+TEST(CancelTest, DeadlineAndParentCombine) {
+  CancelSource parent;
+  const CancelSource child = CancelSource::with_deadline(
+      std::chrono::steady_clock::now() + std::chrono::hours(1),
+      parent.token());
+  EXPECT_FALSE(child.token().cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.token().cancelled());
+}
+
+TEST(CancelTest, AmbientTokenScoping) {
+  EXPECT_FALSE(current_cancel_token().valid());
+  CancelSource source;
+  {
+    const ScopedCancel ambient(source.token());
+    EXPECT_TRUE(current_cancel_token().valid());
+    source.cancel();
+    EXPECT_TRUE(current_cancel_token().cancelled());
+    {
+      // Nested scope overrides; restoring pops back to the outer token.
+      CancelSource inner;
+      const ScopedCancel nested(inner.token());
+      EXPECT_FALSE(current_cancel_token().cancelled());
+    }
+    EXPECT_TRUE(current_cancel_token().cancelled());
+  }
+  EXPECT_FALSE(current_cancel_token().valid());
+}
+
+TEST(CancelTest, ReasonNames) {
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kNone), "none");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kCancelled), "cancelled");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kDeadline), "deadline");
+}
+
+}  // namespace
+}  // namespace tg

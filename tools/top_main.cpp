@@ -246,11 +246,60 @@ void print_task_dag_summary(const json::Value& root) {
               num("gauges", "sta/async/workers"));
 }
 
+/// Serving-plane digest (DESIGN.md §12): the health-check numbers for a
+/// SlackServer run — admission outcome mix, ladder tier mix, request
+/// latency percentiles and the fault/retry/quarantine tallies.
+void print_serve_summary(const json::Value& root) {
+  auto num = [&root](const char* section, const char* name) -> double {
+    if (!root.contains(section)) return 0.0;
+    const json::Object& obj = root.at(section).as_object();
+    const auto it = obj.find(name);
+    return it == obj.end() ? 0.0 : it->second.as_number();
+  };
+  const double completed = num("counters", "serve/completed");
+  if (completed <= 0.0) return;  // no serving plane in this run
+  const double pct = 100.0 / completed;
+  std::printf("serving plane (SlackServer)\n");
+  std::printf("  %12.0f completed   %8.0f ok (%.1f%%)   %6.0f degraded "
+              "(%.1f%%)   %6.0f shed (%.1f%%)\n",
+              completed, num("counters", "serve/ok"),
+              num("counters", "serve/ok") * pct,
+              num("counters", "serve/degraded"),
+              num("counters", "serve/degraded") * pct,
+              num("counters", "serve/shed"),
+              num("counters", "serve/shed") * pct);
+  std::printf("  %12.0f full tier   %8.0f cone tier   %8.0f stale tier   "
+              "%6.0f batched\n",
+              num("counters", "serve/tier_full"),
+              num("counters", "serve/tier_cone"),
+              num("counters", "serve/tier_stale"),
+              num("counters", "serve/batched"));
+  std::printf("  %12.0f faults   %8.0f retries   %6.0f quarantines   "
+              "%6.0f cancelled   %6.0f deadline-expired\n",
+              num("counters", "serve/faults"),
+              num("counters", "serve/retries"),
+              num("counters", "serve/quarantines"),
+              num("counters", "serve/cancelled"),
+              num("counters", "serve/deadline_expired"));
+  if (root.contains("histograms")) {
+    const json::Object& hists = root.at("histograms").as_object();
+    const auto it = hists.find("serve/latency_ns");
+    if (it != hists.end()) {
+      const json::Value& h = it->second;
+      std::printf("  %12.3f ms latency p50   %.3f ms p90   %.3f ms p99\n",
+                  h.at("p50").as_number() / 1e6,
+                  h.at("p90").as_number() / 1e6,
+                  h.at("p99").as_number() / 1e6);
+    }
+  }
+}
+
 int run_metrics_mode(const std::string& path, int top) {
   const json::Value root = json::parse_file(path);
 
   print_alloc_summary(root);
   print_task_dag_summary(root);
+  print_serve_summary(root);
   if (root.contains("counters")) {
     const json::Object& counters = root.at("counters").as_object();
     if (!counters.empty()) {
