@@ -170,7 +170,12 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
                                      const Tensor& embedding) const {
   TG_CHECK(embedding.rows() == g.num_nodes);
   TG_CHECK(embedding.cols() == embed_dim_);
-  if (sta_engine() == StaEngine::kAsync && plan.num_levels > 1) {
+  // The shard engine's fault domains apply to the STA sweeps; for the GNN
+  // stage it routes to the same barrier-free worklist as kAsync (the
+  // dataset graph carries no shard partition).
+  if ((sta_engine() == StaEngine::kAsync ||
+       sta_engine() == StaEngine::kShard) &&
+      plan.num_levels > 1) {
     return forward_async(g, plan, embedding);
   }
 

@@ -1,9 +1,11 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 
+#include "sta/shard.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/obs/metrics.hpp"
@@ -135,6 +137,11 @@ SlackServer::SlackServer(const ServeOptions& options)
       model_(model_config(options)) {
   TG_CHECK(options_.workers >= 1);
   TG_CHECK(options_.max_batch >= 1);
+  if (options_.max_sessions == 0) {
+    if (const char* env = std::getenv("TG_SERVE_MAX_SESSIONS")) {
+      options_.max_sessions = std::atoi(env);
+    }
+  }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -150,12 +157,51 @@ SessionId SlackServer::open_session(const std::string& design, double scale,
   auto session = std::make_shared<Session>();
   session->id = next_session_.fetch_add(1, std::memory_order_relaxed);
   session->tpl = tpl;
+  session->last_used.store(lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.emplace(session->id, session);
+    evict_lru_locked();
   }
   TG_METRIC_COUNT("serve/sessions_opened", 1);
   return session->id;
+}
+
+void SlackServer::evict_lru_locked() {
+  if (options_.max_sessions <= 0) return;
+  while (sessions_.size() > static_cast<std::size_t>(options_.max_sessions)) {
+    // Least-recently-used idle candidate: skip sessions whose lock is held
+    // (a worker is mid-request on them). Erasing only drops the map entry;
+    // a shared_ptr already handed to a worker keeps the session alive
+    // until that request completes.
+    std::unordered_map<SessionId, std::shared_ptr<Session>>::iterator victim =
+        sessions_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      const std::uint64_t used =
+          it->second->last_used.load(std::memory_order_relaxed);
+      if (used >= oldest) continue;
+      if (!it->second->mu.try_lock()) continue;  // busy: not idle, skip
+      it->second->mu.unlock();
+      victim = it;
+      oldest = used;
+    }
+    if (victim == sessions_.end()) return;  // everything busy: soft cap
+    sessions_.erase(victim);
+    stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+    TG_METRIC_COUNT("serve/sessions_evicted", 1);
+  }
+}
+
+std::shared_ptr<Session> SlackServer::find_session(SessionId id) {
+  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  it->second->last_used.store(
+      lru_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return it->second;
 }
 
 void SlackServer::close_session(SessionId id) {
@@ -177,12 +223,7 @@ std::future<Response> SlackServer::submit(Request req) {
     return fut;
   }
 
-  std::shared_ptr<Session> session;
-  {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
-    auto it = sessions_.find(t.req.session);
-    if (it != sessions_.end()) session = it->second;
-  }
+  const std::shared_ptr<Session> session = find_session(t.req.session);
   if (!session) {
     fulfill(t, shed_response(CancelReason::kNone, "unknown session"));
     return fut;
@@ -211,20 +252,16 @@ std::future<Response> SlackServer::submit(Request req) {
 
 Response SlackServer::call(Request req) { return submit(std::move(req)).get(); }
 
-void SlackServer::inspect(SessionId id,
+bool SlackServer::inspect(SessionId id,
                           const std::function<void(const SessionView&)>& fn) {
-  std::shared_ptr<Session> session;
-  {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
-    auto it = sessions_.find(id);
-    if (it != sessions_.end()) session = it->second;
-  }
-  TG_CHECK_MSG(session != nullptr, "inspect: unknown session " << id);
+  const std::shared_ptr<Session> session = find_session(id);
+  if (session == nullptr) return false;
   const std::lock_guard<std::mutex> lock(session->mu);
   const SessionView view{session->current_design(), session->current_graph(),
                          session->engine_result(), session->tpl->g.endpoints,
                          session->pristine()};
   fn(view);
+  return true;
 }
 
 void SlackServer::shutdown() {
@@ -252,6 +289,8 @@ ServerStats SlackServer::stats() const {
   s.cancelled = stats_.cancelled.load(std::memory_order_relaxed);
   s.deadline_expired =
       stats_.deadline_expired.load(std::memory_order_relaxed);
+  s.evicted = stats_.evicted.load(std::memory_order_relaxed);
+  s.shard_degraded = stats_.shard_degraded.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -398,12 +437,7 @@ void SlackServer::store_stale(Session& session, const Response& r) {
 }
 
 void SlackServer::handle(Ticket ticket) {
-  std::shared_ptr<Session> session;
-  {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
-    auto it = sessions_.find(ticket.req.session);
-    if (it != sessions_.end()) session = it->second;
-  }
+  const std::shared_ptr<Session> session = find_session(ticket.req.session);
   if (!session) {
     fulfill(ticket, shed_response(CancelReason::kNone, "unknown session"));
     return;
@@ -519,6 +553,16 @@ void SlackServer::handle(Ticket ticket) {
       stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
       TG_METRIC_COUNT("serve/deadline_expired", 1);
       tier = ServeTier::kStale;  // past the deadline only stale is free
+    } catch (const ShardSweepError& e) {
+      // A sharded-STA shard already exhausted its own retry/recovery
+      // budget to raise this: re-running the same tier would fail the
+      // same way, and the fault lives in the compute plane, not this
+      // tenant. Step one rung down the ladder and leave the session's
+      // quarantine counter untouched.
+      stats_.shard_degraded.fetch_add(1, std::memory_order_relaxed);
+      TG_METRIC_COUNT("serve/shard_degraded", 1);
+      fail_msg = e.what();
+      tier = tier == ServeTier::kFull ? ServeTier::kCone : ServeTier::kStale;
     } catch (const std::exception& e) {
       stats_.faults.fetch_add(1, std::memory_order_relaxed);
       TG_METRIC_COUNT("serve/faults", 1);
@@ -624,12 +668,7 @@ void SlackServer::handle_batch(
   const int n = static_cast<int>(batch.size());
   std::vector<Ticket> deferred;
   for (Ticket& t : batch) {
-    std::shared_ptr<Session> session;
-    {
-      const std::lock_guard<std::mutex> lock(sessions_mu_);
-      auto it = sessions_.find(t.req.session);
-      if (it != sessions_.end()) session = it->second;
-    }
+    const std::shared_ptr<Session> session = find_session(t.req.session);
     if (!session) {
       fulfill(t, shed_response(CancelReason::kNone, "unknown session"));
       continue;

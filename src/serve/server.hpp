@@ -19,7 +19,14 @@
 ///    stale is impossible.
 ///  * **Fault recovery**: worker faults (TG_FAULT_SERVE) retry under
 ///    capped exponential backoff; sessions that keep failing are
-///    quarantined for a period instead of poisoning the server.
+///    quarantined for a period instead of poisoning the server. A
+///    sharded-STA failure (ShardSweepError) is a compute-plane fault,
+///    not a tenant-health signal: it degrades that request down the
+///    ladder without charging the session's quarantine counter.
+///  * **Bounded session table**: `max_sessions` (TG_SERVE_MAX_SESSIONS)
+///    LRU-evicts idle sessions on open, so a long-lived server does not
+///    grow without bound; evicted designs reopen cheaply from the
+///    template cache.
 ///
 /// The model weights are built once, immutable, and shared by every
 /// worker; concurrent forwards are safe because autograd state lives in
@@ -63,8 +70,10 @@ class SlackServer {
   Response call(Request req);
 
   /// Runs `fn` on a read-only view of the session under its lock (e.g.
-  /// victim picking in an ECO loop). Throws CheckError for unknown ids.
-  void inspect(SessionId id, const std::function<void(const SessionView&)>& fn);
+  /// victim picking in an ECO loop). Returns false without running `fn`
+  /// when the id is unknown — closed, never opened, or LRU-evicted; with
+  /// a session cap that race is reachable by well-behaved clients.
+  bool inspect(SessionId id, const std::function<void(const SessionView&)>& fn);
 
   /// Stops admission, sheds queued work, joins workers. Idempotent; the
   /// destructor calls it.
@@ -78,11 +87,20 @@ class SlackServer {
   struct StatsCells {
     std::atomic<std::uint64_t> submitted{0}, completed{0}, ok{0},
         degraded{0}, shed{0}, batched{0}, retries{0}, faults{0},
-        quarantines{0}, cancelled{0}, deadline_expired{0};
+        quarantines{0}, cancelled{0}, deadline_expired{0}, evicted{0},
+        shard_degraded{0};
   };
 
   void worker_loop();
   void handle(Ticket ticket);
+  /// Session lookup that bumps the LRU stamp; nullptr when unknown (or
+  /// already evicted).
+  [[nodiscard]] std::shared_ptr<Session> find_session(SessionId id);
+  /// Evicts least-recently-used *idle* sessions until the table fits
+  /// `max_sessions`. Caller holds `sessions_mu_`. Sessions whose lock is
+  /// held (a request in flight) are skipped — the cap is soft under
+  /// all-busy load.
+  void evict_lru_locked();
   /// Fulfills `t` and records status counters/metrics. Every ticket goes
   /// through here exactly once.
   void fulfill(Ticket& t, Response&& response);
@@ -113,6 +131,9 @@ class SlackServer {
   mutable std::mutex sessions_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
   std::atomic<std::uint64_t> next_session_{1};
+  /// Logical LRU clock: bumped per session lookup, stamped into
+  /// Session::last_used.
+  std::atomic<std::uint64_t> lru_clock_{0};
 
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};

@@ -126,6 +126,11 @@ struct Session {
   int consecutive_failures = 0;
   std::chrono::steady_clock::time_point quarantined_until{};
 
+  /// LRU stamp from the server's logical use clock, bumped on every
+  /// lookup (submit/handle/inspect). Atomic so the eviction scan can read
+  /// it under `sessions_mu_` alone, without taking `mu`.
+  std::atomic<std::uint64_t> last_used{0};
+
   /// Clones template design/routing and brings up the session-owned
   /// timing graph + incremental timer (runs the baseline full STA).
   /// No-op when already materialized. Caller holds `mu`.

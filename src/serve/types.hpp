@@ -111,6 +111,15 @@ struct ServeOptions {
   /// server.
   int quarantine_after = 3;
   std::chrono::nanoseconds quarantine_period{std::chrono::milliseconds(200)};
+  /// Session-table cap for long-lived servers: opening a session past the
+  /// cap evicts the least-recently-used *idle* session (its map entry is
+  /// dropped; in-flight requests holding the shared_ptr still complete,
+  /// later requests on the evicted id are shed as "unknown session").
+  /// 0 resolves TG_SERVE_MAX_SESSIONS at construction; <= 0 after
+  /// resolution means unlimited. Re-opening an evicted design is cheap —
+  /// the template cache keeps the baseline, the session re-materializes
+  /// on its first move.
+  int max_sessions = 0;
   /// GNN model width (the serving model is built once and shared,
   /// immutable, across all sessions and workers).
   int gnn_hidden = 8;
@@ -129,6 +138,10 @@ struct ServerStats {
   std::uint64_t quarantines = 0;
   std::uint64_t cancelled = 0;         ///< client-cancelled requests
   std::uint64_t deadline_expired = 0;  ///< requests that tripped a deadline
+  std::uint64_t evicted = 0;           ///< sessions LRU-evicted at the cap
+  /// Requests degraded down the ladder by a sharded-STA failure
+  /// (ShardSweepError) — a compute-plane fault, charged to no session.
+  std::uint64_t shard_degraded = 0;
 };
 
 }  // namespace tg::serve

@@ -1,0 +1,80 @@
+#include "sta/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace tg {
+
+Partition partition_timing_graph(const TimingGraph& graph, int num_shards) {
+  const int n = graph.num_nodes();
+  const int k = std::max(1, num_shards);
+
+  Partition part;
+  part.num_shards = k;
+  part.shard_of.assign(static_cast<std::size_t>(n), 0);
+  part.owned.resize(static_cast<std::size_t>(k));
+  part.level_lo.assign(static_cast<std::size_t>(k), 0);
+  part.level_hi.assign(static_cast<std::size_t>(k), -1);
+  part.ghosts.resize(static_cast<std::size_t>(k));
+  if (n == 0) return part;
+
+  // Balanced contiguous chunks of the flat level-packed order: the first
+  // n % k shards take one extra pin. Walking levels in ascending order
+  // keeps the assignment monotone along arcs (arcs strictly increase the
+  // level), which is what makes the shard DAG acyclic.
+  const int base = n / k;
+  const int extra = n % k;
+  int shard = 0;
+  int left = base + (0 < extra ? 1 : 0);
+  // An all-in-one-shard corner (k > n leaves budget 0 for trailing
+  // shards): skip zero-budget shards up front so shard 0 is never empty
+  // while later shards own pins.
+  while (left == 0 && shard + 1 < k) {
+    ++shard;
+    left = base + (shard < extra ? 1 : 0);
+  }
+  for (int l = 0; l < graph.num_levels(); ++l) {
+    for (PinId p : graph.level_pins(l)) {
+      while (left == 0 && shard + 1 < k) {
+        ++shard;
+        left = base + (shard < extra ? 1 : 0);
+      }
+      part.shard_of[static_cast<std::size_t>(p)] = shard;
+      auto& own = part.owned[static_cast<std::size_t>(shard)];
+      if (own.empty()) part.level_lo[static_cast<std::size_t>(shard)] = l;
+      part.level_hi[static_cast<std::size_t>(shard)] = l;
+      own.push_back(p);
+      --left;
+    }
+  }
+  std::size_t assigned = 0;
+  for (const auto& own : part.owned) assigned += own.size();
+  TG_CHECK_MSG(assigned == static_cast<std::size_t>(n),
+               "partition covers " << assigned << " of " << n << " pins");
+
+  // Ghosts: cross-shard fanin of each shard's owned pins, deduplicated.
+  // A pin's fanin is its incoming net arc's driver plus the input pins of
+  // its incoming cell arcs.
+  std::vector<PinId> fanin;
+  for (int s = 0; s < k; ++s) {
+    auto& ghosts = part.ghosts[static_cast<std::size_t>(s)];
+    for (PinId p : part.owned[static_cast<std::size_t>(s)]) {
+      fanin.clear();
+      if (const int a = graph.in_net_arc(p); a >= 0) {
+        fanin.push_back(graph.net_arcs()[static_cast<std::size_t>(a)].from);
+      }
+      for (int a : graph.in_cell_arcs(p)) {
+        fanin.push_back(graph.cell_arcs()[static_cast<std::size_t>(a)].from);
+      }
+      for (PinId f : fanin) {
+        if (part.shard_of[static_cast<std::size_t>(f)] != s) ghosts.push_back(f);
+      }
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  }
+  return part;
+}
+
+}  // namespace tg

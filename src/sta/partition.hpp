@@ -1,0 +1,49 @@
+#pragma once
+/// \file partition.hpp
+/// Deterministic level-aware partitioner for the sharded STA engine
+/// (DESIGN.md §13). The timing graph's flat level-packed pin order is cut
+/// into K contiguous, balanced chunks; because every timing arc strictly
+/// increases the level, a contiguous level-major split makes the shard
+/// assignment *monotone* along arcs (`shard_of[u] <= shard_of[v]` for each
+/// arc u→v), so the shard-level dependency graph is acyclic by
+/// construction — the property the shard orchestrator's cross-shard
+/// decrements rely on, and the "no cross-shard level inversion" invariant
+/// `validate_partition` (sta/validate.hpp) enforces.
+///
+/// A shard *owns* the pins of its chunk and carries *ghost* copies of the
+/// cross-shard fanin pins its owned sweeps read (cf. the Galois libdist
+/// owned/ghost discipline). Ghost values are never computed locally: they
+/// arrive through the checksummed boundary-buffer exchange in
+/// sta/shard.cpp.
+
+#include <vector>
+
+#include "sta/timing_graph.hpp"
+
+namespace tg {
+
+/// K-way ownership split of a timing graph. All vectors indexed by shard
+/// except `shard_of` (per pin). Trailing shards may own zero pins when
+/// K exceeds the pin count — still a valid partition.
+struct Partition {
+  int num_shards = 0;
+  std::vector<int> shard_of;  ///< owning shard per pin, size num_nodes
+  /// Owned pins per shard, in level-packed (sweep) order — the order the
+  /// shard-local task DAGs are built over.
+  std::vector<std::vector<PinId>> owned;
+  /// Inclusive level range covered by each shard's owned pins
+  /// (lo = 0, hi = -1 for an empty shard).
+  std::vector<int> level_lo;
+  std::vector<int> level_hi;
+  /// Cross-shard fanin pins per shard (sorted, unique): every pin some
+  /// owned sweep reads whose owner is another shard.
+  std::vector<std::vector<PinId>> ghosts;
+};
+
+/// Splits `graph` into `num_shards` balanced contiguous chunks of the flat
+/// level-packed pin order. Deterministic: same graph + K → same partition.
+/// K is clamped to >= 1; K > num_nodes yields empty trailing shards.
+[[nodiscard]] Partition partition_timing_graph(const TimingGraph& graph,
+                                               int num_shards);
+
+}  // namespace tg

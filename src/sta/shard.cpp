@@ -1,0 +1,977 @@
+#include "sta/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/cancel.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
+#include "util/obs/metrics.hpp"
+#include "util/obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace tg {
+
+namespace {
+
+constexpr double kEps = 1e-12;  ///< same "changed" threshold as incremental
+
+// ---- process-wide counters and knobs -------------------------------------
+
+struct StatCounters {
+  std::atomic<std::uint64_t> sweeps{0};
+  std::atomic<std::uint64_t> shard_runs{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> speculations{0};
+  std::atomic<std::uint64_t> ghost_exports{0};
+  std::atomic<std::uint64_t> ghost_bytes{0};
+  std::atomic<std::uint64_t> ghost_verifies{0};
+  std::atomic<std::uint64_t> ghost_mismatches{0};
+  std::atomic<std::uint64_t> ghost_reexports{0};
+  std::atomic<std::uint64_t> failures{0};
+};
+
+StatCounters& counters() {
+  static StatCounters c;
+  return c;
+}
+
+std::atomic<int> g_retries{-1};           // -1 unresolved
+std::atomic<double> g_straggler_ms{-1.0};  // < 0 unresolved
+std::atomic<int> g_straggler_explicit{-1};
+std::atomic<std::uint64_t> g_sweep_seq{0};
+
+/// Grace deadline while no EMA sample exists and no explicit straggler
+/// floor was configured — generous so a cold first shard on a loaded
+/// machine is not immediately re-issued.
+constexpr double kNoEmaGraceMs = 500.0;
+
+bool straggler_explicit() {
+  (void)shard_straggler_ms();  // force resolution
+  return g_straggler_explicit.load(std::memory_order_acquire) > 0;
+}
+
+// ---- FNV-1a ---------------------------------------------------------------
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---- boundary-buffer exchange ---------------------------------------------
+
+/// One direction's boundary buffer of one exporter shard. The payload is
+/// the exporter's boundary pins' lanes in export order (forward: arrival
+/// then slew per pin; backward: RAT per pin); `version` is the sweep id
+/// the payload belongs to and `checksum` its FNV-1a. Guarded by `mu` —
+/// several importers may verify (and, on mismatch, re-export) the same
+/// buffer concurrently.
+struct Buffer {
+  std::mutex mu;
+  std::uint64_t version = 0;
+  std::uint64_t checksum = 0;
+  std::vector<double> payload;
+};
+
+/// Per-sweep exchange state: one buffer per shard, plus the sweep id every
+/// published version must carry. Allocated per orchestrated sweep, so
+/// concurrent sweeps over the same plan never alias buffers.
+struct Exchange {
+  explicit Exchange(int num_shards)
+      : sweep_id(g_sweep_seq.fetch_add(1, std::memory_order_relaxed) + 1),
+        bufs(static_cast<std::size_t>(num_shards)) {}
+  std::uint64_t sweep_id;
+  std::vector<Buffer> bufs;
+};
+
+/// Everything one orchestrated sweep touches. `routing`/`options` are null
+/// for backward sweeps.
+struct SweepCtx {
+  const TimingGraph* graph = nullptr;
+  const ShardPlan* plan = nullptr;
+  StaResult* r = nullptr;
+  const DesignRouting* routing = nullptr;
+  const StaOptions* options = nullptr;
+  bool forward = true;
+  Exchange* ex = nullptr;
+};
+
+int lanes_of(const SweepCtx& ctx) { return ctx.forward ? 8 : 4; }
+
+const std::vector<PinId>& exports_of(const SweepCtx& ctx, int shard) {
+  const ShardPlan::Shard& sh =
+      ctx.plan->shards[static_cast<std::size_t>(shard)];
+  return ctx.forward ? sh.fwd_exports : sh.bwd_exports;
+}
+
+const std::vector<int>& deps_of(const SweepCtx& ctx, int shard) {
+  const ShardPlan::Shard& sh =
+      ctx.plan->shards[static_cast<std::size_t>(shard)];
+  return ctx.forward ? sh.fwd_deps : sh.bwd_deps;
+}
+
+/// Forward dependents of s are exactly its backward deps (cross edges read
+/// both ways) and vice versa.
+const std::vector<int>& dependents_of(const SweepCtx& ctx, int shard) {
+  const ShardPlan::Shard& sh =
+      ctx.plan->shards[static_cast<std::size_t>(shard)];
+  return ctx.forward ? sh.bwd_deps : sh.fwd_deps;
+}
+
+void fill_payload(const SweepCtx& ctx, const std::vector<PinId>& pins,
+                  std::vector<double>& payload) {
+  const int lanes = lanes_of(ctx);
+  payload.resize(pins.size() * static_cast<std::size_t>(lanes));
+  std::size_t at = 0;
+  for (PinId p : pins) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (ctx.forward) {
+      for (int c = 0; c < kNumCorners; ++c) payload[at++] = ctx.r->arrival[pi][c];
+      for (int c = 0; c < kNumCorners; ++c) payload[at++] = ctx.r->slew[pi][c];
+    } else {
+      for (int c = 0; c < kNumCorners; ++c) payload[at++] = ctx.r->rat[pi][c];
+    }
+  }
+}
+
+/// Publishes shard `s`'s boundary buffer from the (final) result rows,
+/// then applies any armed corrupt/stale injection — *after* the checksum,
+/// so the importer's verification is what detects it. Caller holds buf.mu.
+void publish_locked(const SweepCtx& ctx, int s, Buffer& buf) {
+  fill_payload(ctx, exports_of(ctx, s), buf.payload);
+  buf.checksum = fnv1a64(buf.payload.data(), buf.payload.size() * sizeof(double));
+  buf.version = ctx.ex->sweep_id;
+  counters().ghost_exports.fetch_add(1, std::memory_order_relaxed);
+  counters().ghost_bytes.fetch_add(buf.payload.size() * sizeof(double),
+                                   std::memory_order_relaxed);
+  if (!buf.payload.empty() && fault::should_fail_shard("corrupt")) {
+    std::uint64_t bits;
+    std::memcpy(&bits, buf.payload.data(), sizeof(bits));
+    bits ^= 0x4000000000000000ull;
+    std::memcpy(buf.payload.data(), &bits, sizeof(bits));
+  }
+  if (fault::should_fail_shard("stale")) buf.version = ctx.ex->sweep_id - 1;
+}
+
+void publish(const SweepCtx& ctx, int s) {
+  if (exports_of(ctx, s).empty()) return;
+  Buffer& buf = ctx.ex->bufs[static_cast<std::size_t>(s)];
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  publish_locked(ctx, s, buf);
+}
+
+/// Importer-side verification of exporter `from`'s buffer: version must be
+/// this sweep's id, the checksum must cover the payload, and the payload
+/// must match the owner's result rows bit for bit. A stale or corrupt
+/// exchange is detected here and *recovered* by re-exporting from the
+/// owner's still-valid results; past the retry budget it escalates to a
+/// loud ShardSweepError naming the exporter shard, its level range and
+/// the first-offender pin.
+void verify_exchange(const SweepCtx& ctx, int importer, int from) {
+  const std::vector<PinId>& pins = exports_of(ctx, from);
+  if (pins.empty()) return;
+  Buffer& buf = ctx.ex->bufs[static_cast<std::size_t>(from)];
+  const int lanes = lanes_of(ctx);
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  const int max_tries = shard_retries() + 1;
+  std::string why;
+  for (int attempt = 1; attempt <= max_tries; ++attempt) {
+    std::vector<double> expect;
+    fill_payload(ctx, pins, expect);
+    if (buf.version != ctx.ex->sweep_id) {
+      std::ostringstream os;
+      os << "stale version " << buf.version << " (sweep " << ctx.ex->sweep_id
+         << ")";
+      why = os.str();
+    } else if (buf.checksum !=
+               fnv1a64(buf.payload.data(),
+                       buf.payload.size() * sizeof(double))) {
+      why = "checksum mismatch";
+    } else if (buf.payload.size() != expect.size() ||
+               std::memcmp(buf.payload.data(), expect.data(),
+                           expect.size() * sizeof(double)) != 0) {
+      why = "payload disagrees with owner results";
+    } else {
+      counters().ghost_verifies.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counters().ghost_mismatches.fetch_add(1, std::memory_order_relaxed);
+    TG_METRIC_COUNT("sta/shard/ghost_mismatches", 1);
+    if (attempt == max_tries) break;
+    // Recovery: the owner's result rows are still valid (they are the
+    // authoritative publication) — re-derive the exchange from them.
+    publish_locked(ctx, from, buf);
+    counters().ghost_reexports.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // First-offender pin: the first boundary pin whose lanes differ from the
+  // owner's rows (falls back to the first boundary pin for pure
+  // version/size damage).
+  PinId offender = pins.front();
+  {
+    std::vector<double> expect;
+    fill_payload(ctx, pins, expect);
+    if (buf.payload.size() == expect.size()) {
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        if (std::memcmp(&buf.payload[i], &expect[i], sizeof(double)) != 0) {
+          offender = pins[i / static_cast<std::size_t>(lanes)];
+          break;
+        }
+      }
+    }
+  }
+  counters().failures.fetch_add(1, std::memory_order_relaxed);
+  TG_METRIC_COUNT("sta/shard/failures", 1);
+  const Partition& part = ctx.plan->part;
+  std::ostringstream os;
+  os << (ctx.forward ? "forward" : "backward") << " boundary exchange from shard "
+     << from << " (levels " << part.level_lo[static_cast<std::size_t>(from)]
+     << ".." << part.level_hi[static_cast<std::size_t>(from)] << ") into shard "
+     << importer << " invalid after " << max_tries << " verifies: " << why
+     << "; first-offender pin "
+     << ctx.graph->design().pin_name(offender);
+  std::vector<Diag> diags;
+  diags.push_back(Diag{Severity::kError, Stage::kSta, SrcLoc{},
+                       ctx.graph->design().pin_name(offender), os.str()});
+  throw ShardSweepError(os.str(), std::move(diags), from);
+}
+
+// ---- per-shard execution ---------------------------------------------------
+
+/// Injected slow-shard stall: sleeps in short slices, polling the ambient
+/// (attempt) token, so a straggler cancel or request deadline interrupts
+/// it promptly.
+void maybe_stall() {
+  if (!fault::should_fail_shard("slow")) return;
+  const CancelToken tok = current_cancel_token();
+  for (int i = 0; i < 60; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    tok.throw_if_cancelled();
+  }
+}
+
+/// One shard attempt: fault points, ghost import verification, the local
+/// sweep (serial walk of the shard's precomputed topo order — inter-shard
+/// concurrency is the engine's parallelism), boundary export. Cancel
+/// polls at the shard boundary (entry) and every 64 pins.
+void execute_shard_once(const SweepCtx& ctx, int s) {
+  counters().shard_runs.fetch_add(1, std::memory_order_relaxed);
+  TG_METRIC_COUNT("sta/shard/shard_runs", 1);
+  const CancelToken tok = current_cancel_token();
+  tok.throw_if_cancelled();
+  if (fault::should_fail_shard("worker")) {
+    std::ostringstream os;
+    os << "injected shard worker fault (shard " << s << ")";
+    throw std::runtime_error(os.str());
+  }
+  maybe_stall();
+  for (int dep : deps_of(ctx, s)) verify_exchange(ctx, s, dep);
+
+  const ShardPlan::Shard& sh = ctx.plan->shards[static_cast<std::size_t>(s)];
+  const std::vector<PinId>& owned =
+      ctx.plan->part.owned[static_cast<std::size_t>(s)];
+  const TaskDag& dag = ctx.forward ? sh.fwd : sh.bwd;
+  std::size_t fired = 0;
+  for (int local : dag.topo) {
+    if ((fired++ & 63u) == 0) tok.throw_if_cancelled();
+    const PinId p = owned[static_cast<std::size_t>(local)];
+    if (ctx.forward) {
+      sta_detail::propagate_pin(*ctx.graph, *ctx.routing, *ctx.options,
+                                *ctx.r, p);
+    } else {
+      sta_detail::relax_required_pin(*ctx.graph, *ctx.r, p);
+    }
+  }
+  publish(ctx, s);
+}
+
+[[noreturn]] void throw_shard_failure(const SweepCtx& ctx, int s,
+                                      int attempts, const std::string& why) {
+  counters().failures.fetch_add(1, std::memory_order_relaxed);
+  TG_METRIC_COUNT("sta/shard/failures", 1);
+  const Partition& part = ctx.plan->part;
+  const std::vector<PinId>& owned = part.owned[static_cast<std::size_t>(s)];
+  std::ostringstream os;
+  os << "shard " << s << " (levels "
+     << part.level_lo[static_cast<std::size_t>(s)] << ".."
+     << part.level_hi[static_cast<std::size_t>(s)] << ", "
+     << owned.size() << " pins) failed " << attempts << " attempts: " << why;
+  std::string object;
+  if (!owned.empty()) {
+    object = ctx.graph->design().pin_name(owned.front());
+    os << "; first owned pin " << object;
+  }
+  std::vector<Diag> diags;
+  diags.push_back(
+      Diag{Severity::kError, Stage::kSta, SrcLoc{}, object, os.str()});
+  throw ShardSweepError(os.str(), std::move(diags), s);
+}
+
+std::chrono::milliseconds backoff_delay(int attempt) {
+  const int ms = std::min(8, 1 << (attempt > 0 ? attempt - 1 : 0));
+  return std::chrono::milliseconds(ms);
+}
+
+/// Inline retry loop shared by the serial orchestrator and the cone
+/// updater: re-executes `body` up to the retry budget with capped backoff,
+/// escalating to a loud ShardSweepError. Straggler speculation needs
+/// concurrency and lives in the parallel orchestrator instead.
+template <typename Body>
+void run_with_retries(const SweepCtx& ctx, int s, Body&& body) {
+  const int max_attempts = shard_retries() + 1;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      body(attempt);
+      return;
+    } catch (const CancelError&) {
+      throw;  // request cancel/deadline: not a shard fault
+    } catch (const ShardSweepError&) {
+      throw;  // already escalated (exchange verification)
+    } catch (const std::exception& e) {
+      if (attempt >= max_attempts) {
+        throw_shard_failure(ctx, s, attempt, e.what());
+      }
+      counters().retries.fetch_add(1, std::memory_order_relaxed);
+      TG_METRIC_COUNT("sta/shard/retries", 1);
+      std::this_thread::sleep_for(backoff_delay(attempt));
+    }
+  }
+}
+
+// ---- orchestrator ----------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct OrchState {
+  SweepCtx ctx;
+  CancelToken outer;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> pending;  ///< unfinished upstream shards, per shard
+  std::deque<int> ready;
+  int inflight = 0;
+  int completed = 0;
+  bool aborted = false;
+  std::exception_ptr error;
+
+  struct Attempt {
+    CancelSource src;
+    Clock::time_point start{};
+    double deadline_ms = 0.0;
+    bool active = false;
+  };
+  std::vector<Attempt> attempts;
+
+  double ema_ms = 0.0;
+  bool have_ema = false;
+
+  double next_deadline_ms_locked() const {
+    const double floor_ms = shard_straggler_ms();
+    if (have_ema) return std::max(floor_ms, 8.0 * ema_ms);
+    return straggler_explicit() ? floor_ms
+                                : std::max(floor_ms, kNoEmaGraceMs);
+  }
+
+  void note_duration_locked(double ms) {
+    ema_ms = have_ema ? 0.7 * ema_ms + 0.3 * ms : ms;
+    have_ema = true;
+  }
+
+  void record_error_locked(std::exception_ptr e) {
+    if (!error) error = std::move(e);
+    aborted = true;
+    // Stop in-flight attempts fast — a stalled shard must not outlive the
+    // sweep that already failed.
+    for (Attempt& a : attempts) {
+      if (a.active) a.src.cancel();
+    }
+  }
+
+  void finish_shard_locked(int s) {
+    ++completed;
+    --inflight;
+    for (int d : dependents_of(ctx, s)) {
+      if (--pending[static_cast<std::size_t>(d)] == 0) ready.push_back(d);
+    }
+    cv.notify_all();
+  }
+};
+
+/// Pool-worker body for one shard: attempt loop with fault retries and
+/// straggler-cancel re-issue. Every exit path decrements `inflight` and
+/// notifies the coordinator.
+void shard_worker(const std::shared_ptr<OrchState>& st, int s) {
+  const int max_attempts = shard_retries() + 1;
+  for (int attempt = 1;; ++attempt) {
+    CancelToken attempt_token;
+    {
+      const std::lock_guard<std::mutex> lock(st->mu);
+      if (st->aborted) break;
+      OrchState::Attempt& a = st->attempts[static_cast<std::size_t>(s)];
+      a.src = CancelSource::with_parent(st->outer);
+      a.start = Clock::now();
+      a.deadline_ms = st->next_deadline_ms_locked();
+      a.active = true;
+      attempt_token = a.src.token();
+    }
+    const Clock::time_point t0 = Clock::now();
+    try {
+      const ScopedCancel scope(attempt_token);
+      execute_shard_once(st->ctx, s);
+      const std::lock_guard<std::mutex> lock(st->mu);
+      st->attempts[static_cast<std::size_t>(s)].active = false;
+      st->note_duration_locked(ms_since(t0));
+      st->finish_shard_locked(s);
+      return;
+    } catch (const CancelError&) {
+      const std::lock_guard<std::mutex> lock(st->mu);
+      st->attempts[static_cast<std::size_t>(s)].active = false;
+      if (st->outer.cancelled()) {
+        st->record_error_locked(
+            std::make_exception_ptr(CancelError(st->outer.reason())));
+        break;
+      }
+      if (st->aborted) break;
+      // Straggler speculation: the watchdog cancelled this attempt; write
+      // exclusivity is preserved by re-running on this same worker.
+      if (attempt >= max_attempts) {
+        try {
+          throw_shard_failure(st->ctx, s, attempt,
+                              "straggler deadline exceeded repeatedly");
+        } catch (...) {
+          st->record_error_locked(std::current_exception());
+        }
+        break;
+      }
+    } catch (const ShardSweepError&) {
+      const std::lock_guard<std::mutex> lock(st->mu);
+      st->attempts[static_cast<std::size_t>(s)].active = false;
+      st->record_error_locked(std::current_exception());
+      break;
+    } catch (const std::exception& e) {
+      {
+        const std::lock_guard<std::mutex> lock(st->mu);
+        st->attempts[static_cast<std::size_t>(s)].active = false;
+        if (st->aborted) break;
+        if (attempt >= max_attempts) {
+          try {
+            throw_shard_failure(st->ctx, s, attempt, e.what());
+          } catch (...) {
+            st->record_error_locked(std::current_exception());
+          }
+          break;
+        }
+      }
+      counters().retries.fetch_add(1, std::memory_order_relaxed);
+      TG_METRIC_COUNT("sta/shard/retries", 1);
+      std::this_thread::sleep_for(backoff_delay(attempt));
+    }
+  }
+  const std::lock_guard<std::mutex> lock(st->mu);
+  --st->inflight;
+  st->cv.notify_all();
+}
+
+/// Runs one full sweep over every shard of `ctx.plan` in dependency order.
+/// Serial (one thread: shards inline, ascending/descending id — a valid
+/// topological order because the partition is monotone) or parallel
+/// (dependency-counter dispatch onto the shared pool, with the calling
+/// thread as coordinator + straggler watchdog).
+void orchestrate(SweepCtx& ctx) {
+  const int k = static_cast<int>(ctx.plan->shards.size());
+  counters().sweeps.fetch_add(1, std::memory_order_relaxed);
+  TG_METRIC_COUNT("sta/shard/sweeps", 1);
+  const CancelToken outer = current_cancel_token();
+  outer.throw_if_cancelled();
+
+  if (num_threads() <= 1 || k == 1) {
+    // Inline serial drain. Shard ids are a topological order of the shard
+    // DAG (ascending forward, descending backward).
+    for (int i = 0; i < k; ++i) {
+      const int s = ctx.forward ? i : k - 1 - i;
+      outer.throw_if_cancelled();
+      run_with_retries(ctx, s,
+                       [&](int) { execute_shard_once(ctx, s); });
+    }
+    return;
+  }
+
+  auto st = std::make_shared<OrchState>();
+  st->ctx = ctx;
+  st->outer = outer;
+  st->pending.assign(static_cast<std::size_t>(k), 0);
+  st->attempts = std::vector<OrchState::Attempt>(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const int s = ctx.forward ? i : k - 1 - i;
+    st->pending[static_cast<std::size_t>(s)] =
+        static_cast<int>(deps_of(ctx, s).size());
+    if (st->pending[static_cast<std::size_t>(s)] == 0) st->ready.push_back(s);
+  }
+
+  const int max_inflight = std::max(1, num_threads() - 1);
+  std::unique_lock<std::mutex> lock(st->mu);
+  for (;;) {
+    if (!st->aborted && st->outer.cancelled()) {
+      st->record_error_locked(
+          std::make_exception_ptr(CancelError(st->outer.reason())));
+    }
+    while (!st->aborted && !st->ready.empty() &&
+           st->inflight < max_inflight) {
+      const int s = st->ready.front();
+      st->ready.pop_front();
+      ++st->inflight;
+      parallel_detail::pool_submit([st, s] { shard_worker(st, s); });
+    }
+    if (st->completed == k) break;
+    if (st->aborted && st->inflight == 0) break;
+
+    // Wait until a completion/abort, or the nearest straggler deadline.
+    bool have_deadline = false;
+    Clock::time_point nearest{};
+    for (const OrchState::Attempt& a : st->attempts) {
+      if (!a.active) continue;
+      const Clock::time_point dl =
+          a.start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            a.deadline_ms));
+      if (!have_deadline || dl < nearest) {
+        nearest = dl;
+        have_deadline = true;
+      }
+    }
+    if (have_deadline) {
+      st->cv.wait_until(lock, nearest);
+    } else {
+      // Heartbeat so an outer cancel is noticed even while every task is
+      // still queued behind busy pool workers.
+      st->cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+
+    // Watchdog: cancel (speculatively re-issue) any attempt past its
+    // deadline. The worker catches the CancelError and re-runs the shard
+    // on the same thread, so result rows keep a single writer.
+    const Clock::time_point now = Clock::now();
+    for (int s = 0; s < k; ++s) {
+      OrchState::Attempt& a = st->attempts[static_cast<std::size_t>(s)];
+      if (!a.active) continue;
+      if (ms_since(a.start) >= a.deadline_ms && a.start <= now) {
+        a.src.cancel();
+        a.active = false;
+        counters().speculations.fetch_add(1, std::memory_order_relaxed);
+        TG_METRIC_COUNT("sta/shard/speculations", 1);
+      }
+    }
+  }
+  st->cv.wait(lock, [&] { return st->inflight == 0; });
+  if (st->error) std::rethrow_exception(st->error);
+  TG_CHECK_MSG(st->completed == k,
+               "shard orchestrator drained " << st->completed << " of " << k
+                                             << " shards without an error");
+}
+
+}  // namespace
+
+// ---- ShardSweepError -------------------------------------------------------
+
+ShardSweepError::ShardSweepError(const std::string& what,
+                                 std::vector<Diag> diags, int shard)
+    : DiagError(what, std::move(diags)), shard_(shard) {}
+
+// ---- plan building ---------------------------------------------------------
+
+ShardPlan build_shard_plan(const TimingGraph& graph, int num_shards) {
+  ShardPlan plan;
+  plan.part = partition_timing_graph(graph, num_shards);
+  const Partition& part = plan.part;
+  const int k = part.num_shards;
+  const int n = graph.num_nodes();
+  plan.shards.resize(static_cast<std::size_t>(k));
+  plan.local_id.assign(static_cast<std::size_t>(n), -1);
+  for (int s = 0; s < k; ++s) {
+    const auto& owned = part.owned[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      plan.local_id[static_cast<std::size_t>(owned[i])] = static_cast<int>(i);
+    }
+  }
+
+  // One pass over all timing arcs: in-shard arcs become local DAG edges;
+  // cross-shard arcs define deps, export sets and ghost→sink seeds.
+  std::vector<std::vector<std::pair<int, int>>> local_edges(
+      static_cast<std::size_t>(k));
+  std::vector<std::vector<std::pair<PinId, PinId>>> cross(
+      static_cast<std::size_t>(k));  // keyed by *importing* shard: (from, to)
+  auto add_arc = [&](PinId from, PinId to) {
+    const int sf = part.shard_of[static_cast<std::size_t>(from)];
+    const int st = part.shard_of[static_cast<std::size_t>(to)];
+    if (sf == st) {
+      local_edges[static_cast<std::size_t>(sf)].emplace_back(
+          plan.local_id[static_cast<std::size_t>(from)],
+          plan.local_id[static_cast<std::size_t>(to)]);
+    } else {
+      cross[static_cast<std::size_t>(st)].emplace_back(from, to);
+    }
+  };
+  for (const NetArc& a : graph.net_arcs()) add_arc(a.from, a.to);
+  for (const CellArc& a : graph.cell_arcs()) add_arc(a.from, a.to);
+
+  for (int s = 0; s < k; ++s) {
+    ShardPlan::Shard& sh = plan.shards[static_cast<std::size_t>(s)];
+    const auto& owned = part.owned[static_cast<std::size_t>(s)];
+    const auto nn = static_cast<int>(owned.size());
+    auto& edges = local_edges[static_cast<std::size_t>(s)];
+    sh.fwd = TaskDag::from_edges(nn, edges);
+    for (auto& [f, t] : edges) std::swap(f, t);
+    sh.bwd = TaskDag::from_edges(nn, edges);
+  }
+
+  // Cross-edge bookkeeping. `cross[s]` holds the arcs *into* shard s.
+  const std::vector<PinId> empty;
+  std::vector<std::vector<std::pair<int, int>>> ghost_sinks(
+      static_cast<std::size_t>(k));  // (ghost index, local sink id)
+  for (int s = 0; s < k; ++s) {
+    ShardPlan::Shard& sh = plan.shards[static_cast<std::size_t>(s)];
+    const auto& ghosts = part.ghosts[static_cast<std::size_t>(s)];
+    for (const auto& [from, to] : cross[static_cast<std::size_t>(s)]) {
+      const int sf = part.shard_of[static_cast<std::size_t>(from)];
+      sh.fwd_deps.push_back(sf);
+      sh.bwd_exports.push_back(to);
+      plan.shards[static_cast<std::size_t>(sf)].bwd_deps.push_back(s);
+      plan.shards[static_cast<std::size_t>(sf)].fwd_exports.push_back(from);
+      plan.shards[static_cast<std::size_t>(sf)].bwd_ghosts.push_back(to);
+      const auto git = std::lower_bound(ghosts.begin(), ghosts.end(), from);
+      TG_DCHECK(git != ghosts.end() && *git == from);
+      ghost_sinks[static_cast<std::size_t>(s)].emplace_back(
+          static_cast<int>(git - ghosts.begin()),
+          plan.local_id[static_cast<std::size_t>(to)]);
+    }
+  }
+  auto dedupe_int = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (int s = 0; s < k; ++s) {
+    ShardPlan::Shard& sh = plan.shards[static_cast<std::size_t>(s)];
+    dedupe_int(sh.fwd_deps);
+    dedupe_int(sh.bwd_deps);
+    dedupe_int(sh.fwd_exports);
+    dedupe_int(sh.bwd_exports);
+    dedupe_int(sh.bwd_ghosts);
+    // Ghost→local-sink CSR, aligned with part.ghosts[s].
+    const auto& ghosts = part.ghosts[static_cast<std::size_t>(s)];
+    auto& pairs = ghost_sinks[static_cast<std::size_t>(s)];
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    sh.ghost_sink_off.assign(ghosts.size() + 1, 0);
+    for (const auto& [g, local] : pairs) {
+      (void)local;
+      ++sh.ghost_sink_off[static_cast<std::size_t>(g) + 1];
+    }
+    for (std::size_t i = 1; i < sh.ghost_sink_off.size(); ++i) {
+      sh.ghost_sink_off[i] += sh.ghost_sink_off[i - 1];
+    }
+    sh.ghost_sink.reserve(pairs.size());
+    for (const auto& [g, local] : pairs) {
+      (void)g;
+      sh.ghost_sink.push_back(local);
+    }
+  }
+  return plan;
+}
+
+// ---- cached plan on the graph ---------------------------------------------
+
+const ShardPlan& TimingGraph::shard_plan(int num_shards) const {
+  const int k = std::max(1, num_shards);
+  const std::lock_guard<std::mutex> lock(shard_plan_mu_);
+  auto it = shard_plans_.find(k);
+  if (it == shard_plans_.end()) {
+    it = shard_plans_
+             .emplace(k, std::make_shared<const ShardPlan>(
+                             build_shard_plan(*this, k)))
+             .first;
+  }
+  return *it->second;
+}
+
+// ---- stats / knobs ---------------------------------------------------------
+
+ShardStats shard_stats() {
+  const StatCounters& c = counters();
+  ShardStats s;
+  s.sweeps = c.sweeps.load(std::memory_order_relaxed);
+  s.shard_runs = c.shard_runs.load(std::memory_order_relaxed);
+  s.retries = c.retries.load(std::memory_order_relaxed);
+  s.speculations = c.speculations.load(std::memory_order_relaxed);
+  s.ghost_exports = c.ghost_exports.load(std::memory_order_relaxed);
+  s.ghost_bytes = c.ghost_bytes.load(std::memory_order_relaxed);
+  s.ghost_verifies = c.ghost_verifies.load(std::memory_order_relaxed);
+  s.ghost_mismatches = c.ghost_mismatches.load(std::memory_order_relaxed);
+  s.ghost_reexports = c.ghost_reexports.load(std::memory_order_relaxed);
+  s.failures = c.failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_shard_stats() {
+  StatCounters& c = counters();
+  c.sweeps.store(0, std::memory_order_relaxed);
+  c.shard_runs.store(0, std::memory_order_relaxed);
+  c.retries.store(0, std::memory_order_relaxed);
+  c.speculations.store(0, std::memory_order_relaxed);
+  c.ghost_exports.store(0, std::memory_order_relaxed);
+  c.ghost_bytes.store(0, std::memory_order_relaxed);
+  c.ghost_verifies.store(0, std::memory_order_relaxed);
+  c.ghost_mismatches.store(0, std::memory_order_relaxed);
+  c.ghost_reexports.store(0, std::memory_order_relaxed);
+  c.failures.store(0, std::memory_order_relaxed);
+}
+
+int shard_retries() {
+  int n = g_retries.load(std::memory_order_acquire);
+  if (n < 0) {
+    n = 2;
+    if (const char* env = std::getenv("TG_SHARD_RETRIES")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 0) n = static_cast<int>(v);
+    }
+    int expected = -1;
+    if (!g_retries.compare_exchange_strong(expected, n,
+                                           std::memory_order_acq_rel)) {
+      n = expected;
+    }
+  }
+  return n;
+}
+
+void set_shard_retries(int n) {
+  g_retries.store(n < 0 ? -1 : n, std::memory_order_release);
+}
+
+double shard_straggler_ms() {
+  double ms = g_straggler_ms.load(std::memory_order_acquire);
+  if (ms < 0.0) {
+    ms = 50.0;
+    int explicit_flag = 0;
+    if (const char* env = std::getenv("TG_SHARD_STRAGGLER_MS")) {
+      const double v = std::strtod(env, nullptr);
+      if (v > 0.0) {
+        ms = v;
+        explicit_flag = 1;
+      }
+    }
+    g_straggler_explicit.store(explicit_flag, std::memory_order_release);
+    double expected = -1.0;
+    if (!g_straggler_ms.compare_exchange_strong(expected, ms,
+                                                std::memory_order_acq_rel)) {
+      ms = expected;
+    }
+  }
+  return ms;
+}
+
+void set_shard_straggler_ms(double ms) {
+  if (ms <= 0.0) {
+    g_straggler_explicit.store(-1, std::memory_order_release);
+    g_straggler_ms.store(-1.0, std::memory_order_release);
+    return;
+  }
+  g_straggler_explicit.store(1, std::memory_order_release);
+  g_straggler_ms.store(ms, std::memory_order_release);
+}
+
+// ---- sweep entry points ----------------------------------------------------
+
+void run_sta_forward_sharded(const TimingGraph& graph,
+                             const DesignRouting& routing,
+                             const StaOptions& options, StaResult& r) {
+  TG_TRACE_SCOPE("sta/forward/shard", obs::kSpanDetail);
+  const ShardPlan& plan = graph.shard_plan(sta_shards());
+  Exchange ex(plan.part.num_shards);
+  SweepCtx ctx;
+  ctx.graph = &graph;
+  ctx.plan = &plan;
+  ctx.r = &r;
+  ctx.routing = &routing;
+  ctx.options = &options;
+  ctx.forward = true;
+  ctx.ex = &ex;
+  orchestrate(ctx);
+}
+
+void run_sta_backward_sharded(const TimingGraph& graph, StaResult& r) {
+  TG_TRACE_SCOPE("sta/backward/shard", obs::kSpanDetail);
+  const ShardPlan& plan = graph.shard_plan(sta_shards());
+  Exchange ex(plan.part.num_shards);
+  SweepCtx ctx;
+  ctx.graph = &graph;
+  ctx.plan = &plan;
+  ctx.r = &r;
+  ctx.forward = false;
+  ctx.ex = &ex;
+  orchestrate(ctx);
+}
+
+// ---- incremental (dirty cone) ----------------------------------------------
+
+ShardConeStats update_cone_sharded(const TimingGraph& graph,
+                                   const DesignRouting& routing,
+                                   const StaOptions& options, StaResult& r,
+                                   std::span<const PinId> seeds) {
+  TG_TRACE_SCOPE("sta/incremental/shard", obs::kSpanDetail);
+  ShardConeStats out;
+  if (seeds.empty()) return out;
+  const CancelToken outer = current_cancel_token();
+  outer.throw_if_cancelled();
+
+  const ShardPlan& plan = graph.shard_plan(sta_shards());
+  const Partition& part = plan.part;
+  const int k = part.num_shards;
+  Exchange ex(k);
+  SweepCtx ctx;
+  ctx.graph = &graph;
+  ctx.plan = &plan;
+  ctx.r = &r;
+  ctx.routing = &routing;
+  ctx.options = &options;
+  ctx.forward = true;
+  ctx.ex = &ex;
+  counters().sweeps.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-pin "value moved" marks, the cross-shard dirtiness channel: a
+  // later shard seeds the local sinks of every ghost marked here.
+  std::vector<unsigned char> changed(static_cast<std::size_t>(graph.num_nodes()),
+                                     0);
+  // Shards that re-published their boundary this update; importers only
+  // verify refreshed buffers (untouched upstream values were never
+  // re-exchanged).
+  std::vector<unsigned char> refreshed(static_cast<std::size_t>(k), 0);
+
+  // Shards ascending = dependency order (monotone partition): every ghost
+  // of shard s is owned by an earlier shard, so all cross-shard changes
+  // are final before s collects its seeds — the cone is clipped to the
+  // shards actually touched.
+  std::vector<int> lseeds;
+  std::vector<unsigned char> in_cone, dirty;
+  std::vector<int> cone;
+  for (int s = 0; s < k; ++s) {
+    outer.throw_if_cancelled();  // shard boundary checkpoint
+    const ShardPlan::Shard& sh = plan.shards[static_cast<std::size_t>(s)];
+    const std::vector<PinId>& owned = part.owned[static_cast<std::size_t>(s)];
+    const std::vector<PinId>& ghosts = part.ghosts[static_cast<std::size_t>(s)];
+
+    lseeds.clear();
+    for (PinId p : seeds) {
+      if (part.shard_of[static_cast<std::size_t>(p)] == s) {
+        lseeds.push_back(plan.local_id[static_cast<std::size_t>(p)]);
+      }
+    }
+    for (std::size_t g = 0; g < ghosts.size(); ++g) {
+      if (!changed[static_cast<std::size_t>(ghosts[g])]) continue;
+      for (int i = sh.ghost_sink_off[g]; i < sh.ghost_sink_off[g + 1]; ++i) {
+        lseeds.push_back(sh.ghost_sink[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (lseeds.empty()) continue;
+    ++out.shards_touched;
+
+    // Local cone BFS (membership + seed dirtiness); the walk itself runs
+    // over the precomputed local topo order restricted to the cone.
+    in_cone.assign(owned.size(), 0);
+    dirty.assign(owned.size(), 0);
+    cone.clear();
+    for (int l : lseeds) {
+      if (in_cone[static_cast<std::size_t>(l)]) continue;
+      in_cone[static_cast<std::size_t>(l)] = 1;
+      dirty[static_cast<std::size_t>(l)] = 1;
+      cone.push_back(l);
+    }
+    for (std::size_t head = 0; head < cone.size(); ++head) {
+      for (int succ : sh.fwd.successors(cone[head])) {
+        if (!in_cone[static_cast<std::size_t>(succ)]) {
+          in_cone[static_cast<std::size_t>(succ)] = 1;
+          cone.push_back(succ);
+        }
+      }
+    }
+    out.cone_nodes += static_cast<long long>(cone.size());
+
+    long long evaluated_this = 0;
+    run_with_retries(ctx, s, [&](int attempt) {
+      counters().shard_runs.fetch_add(1, std::memory_order_relaxed);
+      const CancelToken tok = current_cancel_token();
+      tok.throw_if_cancelled();
+      if (fault::should_fail_shard("worker")) {
+        std::ostringstream os;
+        os << "injected shard worker fault (cone, shard " << s << ")";
+        throw std::runtime_error(os.str());
+      }
+      maybe_stall();
+      for (int dep : sh.fwd_deps) {
+        if (refreshed[static_cast<std::size_t>(dep)]) {
+          verify_exchange(ctx, s, dep);
+        }
+      }
+      evaluated_this = 0;
+      std::size_t fired = 0;
+      for (int local : sh.fwd.topo) {
+        if (!in_cone[static_cast<std::size_t>(local)]) continue;
+        // A retry re-evaluates the *whole* cone: the first attempt may
+        // have updated pins whose re-run would now report "unchanged",
+        // which would starve their successors of dirty marks.
+        if (attempt == 1 && !dirty[static_cast<std::size_t>(local)]) continue;
+        if ((fired++ & 63u) == 0) tok.throw_if_cancelled();
+        const PinId p = owned[static_cast<std::size_t>(local)];
+        const double delta =
+            sta_detail::propagate_pin(graph, routing, options, r, p);
+        ++evaluated_this;
+        const bool moved = delta > kEps;
+        if (moved) {
+          if (!changed[static_cast<std::size_t>(p)]) {
+            changed[static_cast<std::size_t>(p)] = 1;
+            ++out.changed_pins;
+          }
+          for (int succ : sh.fwd.successors(local)) {
+            dirty[static_cast<std::size_t>(succ)] = 1;
+          }
+        }
+      }
+    });
+    out.evaluated += evaluated_this;
+
+    // Refresh the boundary only when an exported value actually moved —
+    // downstream shards seed from `changed`, so an unchanged boundary
+    // needs no re-exchange.
+    bool boundary_moved = false;
+    for (PinId p : sh.fwd_exports) {
+      if (changed[static_cast<std::size_t>(p)]) {
+        boundary_moved = true;
+        break;
+      }
+    }
+    if (boundary_moved) {
+      publish(ctx, s);
+      refreshed[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace tg

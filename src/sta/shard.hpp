@@ -1,0 +1,163 @@
+#pragma once
+/// \file shard.hpp
+/// Fault-isolated sharded STA engine (DESIGN.md §13), `TG_STA_ENGINE=shard`.
+///
+/// The timing graph is split by the level-aware partitioner
+/// (sta/partition.hpp) into K shards of owned pins plus ghost copies of
+/// cross-shard fanin. Each shard's forward/backward sweep is a shard-local
+/// task sub-DAG; shards are scheduled by a dependency-counter orchestrator
+/// (a shard becomes ready when its last upstream shard retires — the
+/// cross-shard decrement), and boundary values move through *versioned,
+/// FNV-1a-checksummed boundary buffers*: an exporter publishes its
+/// boundary pins' values with the sweep id and a checksum, and every
+/// importer verifies version + checksum + payload before trusting its
+/// ghosts. A stale or corrupt exchange is detected and re-exported from
+/// the owner's still-valid results, never propagated.
+///
+/// Every shard is a fault/recovery domain. `TG_FAULT_SHARD=<op>:<nth>
+/// [:<count>]` (util/fault.hpp; ops worker, slow, corrupt, stale) injects
+/// shard-worker throws, slow-shard stalls and boundary corruption; a
+/// failed shard re-executes from its input frontier with capped backoff, a
+/// straggler past its EMA-derived deadline is cancelled and speculatively
+/// re-issued, and a repeat offender fails the sweep loudly with a
+/// `ShardSweepError` naming the shard id, its level range and the
+/// first-offender pin (util/diag). Results are bit-identical to the
+/// levelized and async engines: shard bodies run the same `propagate_pin`
+/// / `relax_required_pin` kernels, writing only pin-owned rows and reading
+/// only finalized predecessors.
+///
+/// In-process, all shards share the `StaResult` arrays — the owner's write
+/// is the authoritative publication (ordered by the shard dependency
+/// handshake) and the boundary buffer is the integrity-checked exchange
+/// *record*; it is the seam where a cross-process transport would slot in.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "route/router.hpp"
+#include "sta/partition.hpp"
+#include "sta/timer.hpp"
+#include "util/diag.hpp"
+#include "util/task_graph.hpp"
+
+namespace tg {
+
+/// Loud shard failure: a shard (or its boundary exchange) stayed broken
+/// past the retry budget. Derives DiagError, so what() carries the full
+/// report and diags() the structured entries (shard id, level range,
+/// first-offender pin).
+class ShardSweepError : public DiagError {
+ public:
+  ShardSweepError(const std::string& what, std::vector<Diag> diags,
+                  int shard);
+  [[nodiscard]] int shard() const { return shard_; }
+
+ private:
+  int shard_;
+};
+
+/// Precomputed execution plan of one (graph, K) pair: the partition plus,
+/// per shard, its local task DAGs (node ids are indices into the shard's
+/// owned-pin list), its shard-level dependencies and its boundary pin
+/// lists. Built once and cached on the TimingGraph (thread-safe); shared
+/// by concurrent sweeps — all state here is immutable after construction.
+struct ShardPlan {
+  Partition part;
+  struct Shard {
+    /// Local forward/backward DAGs over the shard's owned pins; edges are
+    /// the in-shard timing arcs (ghost-fed pins simply start with fewer
+    /// local fan-ins and are roots when all their fanin is remote).
+    TaskDag fwd;
+    TaskDag bwd;
+    /// Upstream shards (forward: owners of this shard's ghosts, all with
+    /// smaller ids; backward: owners of cross-shard fanout targets, all
+    /// with larger ids). The forward *dependents* of shard s are exactly
+    /// `bwd_deps[s]` and vice versa — cross edges read both ways.
+    std::vector<int> fwd_deps;
+    std::vector<int> bwd_deps;
+    /// Boundary pins this shard exports: forward = owned pins with
+    /// cross-shard fanout (arrival + slew lanes), backward = owned pins
+    /// with cross-shard fanin (RAT lanes). Sorted ascending.
+    std::vector<PinId> fwd_exports;
+    std::vector<PinId> bwd_exports;
+    /// Cross-shard fanout targets (the backward sweep's ghosts). The
+    /// forward ghosts are `part.ghosts[s]`.
+    std::vector<PinId> bwd_ghosts;
+    /// CSR from forward-ghost index (aligned with part.ghosts[s]) to the
+    /// local ids of its in-shard sinks — the incremental engine's seeds
+    /// for "an upstream shard changed this ghost".
+    std::vector<int> ghost_sink_off;
+    std::vector<int> ghost_sink;
+  };
+  std::vector<Shard> shards;
+  /// Index of each pin inside its owner's owned-pin list.
+  std::vector<int> local_id;
+};
+
+/// Builds the plan for `graph` split into `num_shards` shards.
+/// Deterministic. Prefer `TimingGraph::shard_plan(k)` (cached).
+[[nodiscard]] ShardPlan build_shard_plan(const TimingGraph& graph,
+                                         int num_shards);
+
+/// Process-wide sharded-engine counters (cumulative; snapshot via
+/// shard_stats). Benches expose these as --json extras.
+struct ShardStats {
+  std::uint64_t sweeps = 0;           ///< orchestrated sweeps (fwd or bwd)
+  std::uint64_t shard_runs = 0;       ///< shard attempts that ran a body
+  std::uint64_t retries = 0;          ///< re-executions after a shard fault
+  std::uint64_t speculations = 0;     ///< straggler cancel + re-issues
+  std::uint64_t ghost_exports = 0;    ///< boundary buffers published
+  std::uint64_t ghost_bytes = 0;      ///< payload bytes exported
+  std::uint64_t ghost_verifies = 0;   ///< importer verifications passed
+  std::uint64_t ghost_mismatches = 0; ///< stale/corrupt exchanges detected
+  std::uint64_t ghost_reexports = 0;  ///< recovery re-publications
+  std::uint64_t failures = 0;         ///< loud ShardSweepError escalations
+};
+[[nodiscard]] ShardStats shard_stats();
+void reset_shard_stats();
+
+/// Retry budget per shard: a shard may re-execute this many times after a
+/// fault (attempts = retries + 1) before the sweep fails loudly. Default
+/// from TG_SHARD_RETRIES (2). `n < 0` restores the env/default.
+void set_shard_retries(int n);
+[[nodiscard]] int shard_retries();
+
+/// Straggler deadline floor in milliseconds: an in-flight shard attempt
+/// past max(floor, 8 × EMA of completed attempts) is cancelled and
+/// speculatively re-issued. Default from TG_SHARD_STRAGGLER_MS (50 ms,
+/// with a 500 ms grace while no EMA sample exists). `ms <= 0` restores
+/// the env/default.
+void set_shard_straggler_ms(double ms);
+[[nodiscard]] double shard_straggler_ms();
+
+/// Sharded forward sweep: arrival/slew/net-delay/cell-arc-delay over the
+/// whole graph, bit-identical to the levelized sweep. `r` must be sized
+/// (as in run_sta).
+void run_sta_forward_sharded(const TimingGraph& graph,
+                             const DesignRouting& routing,
+                             const StaOptions& options, StaResult& r);
+
+/// Sharded backward relax sweep (RAT only; callers initialize RAT and
+/// compute slack/summary as usual).
+void run_sta_backward_sharded(const TimingGraph& graph, StaResult& r);
+
+/// Result of a sharded incremental (dirty-cone) update.
+struct ShardConeStats {
+  long long cone_nodes = 0;  ///< union of the per-shard discovered cones
+  long long evaluated = 0;   ///< pin bodies actually run
+  int changed_pins = 0;      ///< pins whose value moved
+  int shards_touched = 0;    ///< shards with a non-empty local cone
+};
+
+/// Sharded dirty-cone forward update from `seeds`: shards are processed in
+/// dependency order, each re-propagating only its local cone (clipped to
+/// touched shards — a shard none of whose pins are seeded or ghost-fed by
+/// a changed export is skipped entirely). Fault/recovery semantics match
+/// the full sweep.
+ShardConeStats update_cone_sharded(const TimingGraph& graph,
+                                   const DesignRouting& routing,
+                                   const StaOptions& options, StaResult& r,
+                                   std::span<const PinId> seeds);
+
+}  // namespace tg

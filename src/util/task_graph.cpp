@@ -439,6 +439,9 @@ TaskDagStats run_task_dag(const TaskDag& dag,
                           const std::function<void(int)>& task) {
   TaskDagStats stats;
   if (dag.num_nodes <= 0) return stats;
+  // A token that tripped before the run starts must stop it before any
+  // task body fires (not after the first batch is staged).
+  current_cancel_token().throw_if_cancelled();
   if (engine_worker_count(dag.num_nodes) == 1) {
     // Serial full run: walk the precomputed topological order directly —
     // no dependency counters, no deques, no shared state to set up. This
@@ -483,6 +486,9 @@ ConeStats run_task_dag_cone(const TaskDag& dag, std::span<const int> seeds,
                             const std::function<bool(int)>& task) {
   ConeStats out;
   if (seeds.empty()) return out;
+  // Pre-cancelled callers must not pay for the cone BFS (or fire a single
+  // node): check at entry, before any work is staged.
+  current_cancel_token().throw_if_cancelled();
   const auto n = static_cast<std::size_t>(dag.num_nodes);
 
   auto state = std::make_shared<EngineState>();
@@ -561,11 +567,15 @@ StaEngine resolve_engine_env() {
   if (const char* env = std::getenv("TG_STA_ENGINE")) {
     const std::string v(env);
     if (v == "async") return StaEngine::kAsync;
+    if (v == "shard") return StaEngine::kShard;
     TG_CHECK_MSG(v == "level" || v.empty(),
-                 "TG_STA_ENGINE must be level or async, got " << v);
+                 "TG_STA_ENGINE must be level, async or shard, got " << v);
   }
   return StaEngine::kLevel;
 }
+
+// -1 unresolved, else the shard count K (>= 1).
+std::atomic<int> g_sta_shards{-1};
 
 }  // namespace
 
@@ -610,15 +620,47 @@ void set_sta_engine(StaEngine engine) {
 StaEngine configure_sta_engine(const CliOptions& options) {
   if (options.has("sta-engine")) {
     const std::string v = options.get("sta-engine", "level");
-    TG_CHECK_MSG(v == "level" || v == "async",
-                 "--sta-engine must be level or async, got " << v);
-    set_sta_engine(v == "async" ? StaEngine::kAsync : StaEngine::kLevel);
+    TG_CHECK_MSG(v == "level" || v == "async" || v == "shard",
+                 "--sta-engine must be level, async or shard, got " << v);
+    set_sta_engine(v == "shard"   ? StaEngine::kShard
+                   : v == "async" ? StaEngine::kAsync
+                                  : StaEngine::kLevel);
+  }
+  if (options.has("sta-shards")) {
+    set_sta_shards(static_cast<int>(options.get_int("sta-shards", 4)));
   }
   return sta_engine();
 }
 
 const char* sta_engine_name(StaEngine engine) {
-  return engine == StaEngine::kAsync ? "async" : "level";
+  switch (engine) {
+    case StaEngine::kAsync: return "async";
+    case StaEngine::kShard: return "shard";
+    case StaEngine::kLevel: break;
+  }
+  return "level";
+}
+
+int sta_shards() {
+  int k = g_sta_shards.load(std::memory_order_acquire);
+  if (k < 0) {
+    k = 4;
+    if (const char* env = std::getenv("TG_STA_SHARDS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) k = static_cast<int>(v);
+    }
+    int expected = -1;
+    if (!g_sta_shards.compare_exchange_strong(expected, k,
+                                              std::memory_order_acq_rel)) {
+      k = expected;
+    }
+  }
+  return k;
+}
+
+void set_sta_shards(int k) {
+  // 0 (or negative) re-arms the env/default resolution in sta_shards().
+  g_sta_shards.store(k <= 0 ? -1 : k, std::memory_order_release);
 }
 
 }  // namespace tg

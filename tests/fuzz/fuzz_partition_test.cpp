@@ -1,0 +1,127 @@
+/// \file fuzz_partition_test.cpp
+/// Structured fuzz driver for the shard partitioner and its validator
+/// (DESIGN.md §13): TG_FUZZ_ITERS seeded iterations, each building a real
+/// partition of a generated design for a random K (including K=1 and
+/// K > #pins), asserting it validates clean, then corrupting it —
+/// dangling ghost refs, duplicated/dropped ownership, shard_of rewrites,
+/// emptied shards, ghost-list damage — and asserting validate_partition
+/// either accepts or reports a structured diagnostic. Never crashes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "sta/partition.hpp"
+#include "sta/validate.hpp"
+#include "testing/fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace tg {
+namespace {
+
+/// One random structural corruption of `part`. Some edits can no-op (e.g.
+/// swapping a pin with itself); the driver treats a clean validation of a
+/// mutated partition as success, not failure.
+void mutate_partition(Partition& part, int num_pins, Rng& rng) {
+  const int k = part.num_shards;
+  auto pick_shard = [&] { return static_cast<int>(rng.uniform_int(0, k - 1)); };
+  switch (rng.uniform_int(0, 6)) {
+    case 0: {  // dangling ghost ref (possibly far out of range)
+      auto& ghosts = part.ghosts[static_cast<std::size_t>(pick_shard())];
+      ghosts.push_back(
+          static_cast<PinId>(num_pins + rng.uniform_int(0, 99)));
+      break;
+    }
+    case 1: {  // drop a ghost entry
+      auto& ghosts = part.ghosts[static_cast<std::size_t>(pick_shard())];
+      if (!ghosts.empty()) {
+        ghosts.erase(ghosts.begin() +
+                     rng.uniform_int(0, static_cast<std::int64_t>(
+                                            ghosts.size()) - 1));
+      }
+      break;
+    }
+    case 2: {  // rewrite shard_of of one pin
+      if (num_pins > 0) {
+        const auto p = static_cast<std::size_t>(
+            rng.uniform_int(0, num_pins - 1));
+        part.shard_of[p] = pick_shard();
+      }
+      break;
+    }
+    case 3: {  // duplicate an owned pin into another shard
+      const int s = pick_shard();
+      auto& own = part.owned[static_cast<std::size_t>(s)];
+      if (!own.empty()) {
+        const PinId p = own[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(own.size()) - 1))];
+        part.owned[static_cast<std::size_t>(pick_shard())].push_back(p);
+      }
+      break;
+    }
+    case 4: {  // drop an owned pin (pin owned by no shard)
+      auto& own = part.owned[static_cast<std::size_t>(pick_shard())];
+      if (!own.empty()) {
+        own.erase(own.begin() +
+                  rng.uniform_int(0, static_cast<std::int64_t>(own.size()) -
+                                         1));
+      }
+      break;
+    }
+    case 5: {  // empty out a whole shard, leaving shard_of stale
+      part.owned[static_cast<std::size_t>(pick_shard())].clear();
+      break;
+    }
+    default: {  // list an owned pin as this shard's own ghost
+      const int s = pick_shard();
+      auto& own = part.owned[static_cast<std::size_t>(s)];
+      if (!own.empty()) {
+        part.ghosts[static_cast<std::size_t>(s)].push_back(
+            own[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(own.size()) - 1))]);
+      }
+      break;
+    }
+  }
+}
+
+TEST(FuzzPartition, MutatedPartitionsNeverCrashValidator) {
+  const Library lib = build_library();
+  Design design = generate_design(suite_entry("spm", 1.0 / 64).spec, lib);
+  const TimingGraph graph(design);
+  const int n = graph.num_nodes();
+  ASSERT_GT(n, 0);
+
+  const int iters = tg::testing::fuzz_iters();
+  for (int i = 0; i < iters; ++i) {
+    Rng rng(0x5AADULL * 1000003ULL + static_cast<std::uint64_t>(i));
+    // Random K spanning the degenerate ends: K=1 (no exchange at all) and
+    // K > #pins (trailing empty shards).
+    const std::int64_t pick = rng.uniform_int(0, 9);
+    const int k =
+        pick == 0 ? 1
+        : pick == 9
+            ? n + 1 + static_cast<int>(rng.uniform_int(0, 15))
+            : 1 + static_cast<int>(rng.uniform_int(0, 15));
+
+    Partition part = partition_timing_graph(graph, k);
+    {
+      DiagSink sink;
+      validate_partition(graph, part, sink, ValidateLevel::kFull);
+      ASSERT_TRUE(sink.ok())
+          << "iteration " << i << " K=" << k << "\n" << sink.report_text();
+    }
+
+    const int edits = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int e = 0; e < edits; ++e) mutate_partition(part, n, rng);
+    // Must terminate with either a clean bill or structured diagnostics —
+    // any crash/UB here is the bug this driver hunts.
+    DiagSink sink;
+    validate_partition(graph, part, sink, ValidateLevel::kFull);
+  }
+}
+
+}  // namespace
+}  // namespace tg

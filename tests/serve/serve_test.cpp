@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "sta/shard.hpp"
+#include "sta/timer.hpp"
 #include "util/fault.hpp"
 
 namespace tg::serve {
@@ -267,6 +269,121 @@ TEST(ServeTest, ShutdownShedsQueuedWorkAndRejectsNewWork) {
   const Response r = server.call(std::move(late));
   EXPECT_EQ(r.status, ResponseStatus::kShed);
   EXPECT_EQ(server.stats().completed, server.stats().submitted);
+}
+
+TEST(ServeTest, SessionTableLruEvictsIdleAndReopensCleanly) {
+  ServeOptions o = small_options();
+  o.max_sessions = 2;
+  SlackServer server(o);
+  const SessionId a = server.open_session(kDesign, kScale);
+  const SessionId b = server.open_session(kDesign, kScale);
+  // Touch b so a is the least-recently-used candidate at the next open.
+  Request warm;
+  warm.session = b;
+  ASSERT_EQ(server.call(std::move(warm)).status, ResponseStatus::kOk);
+  const SessionId c = server.open_session(kDesign, kScale);
+  ASSERT_NE(c, a);
+  EXPECT_EQ(server.stats().evicted, 1u);
+
+  // The evicted session is gone: its requests shed as unknown and
+  // inspect declines instead of running the callback.
+  Request gone;
+  gone.session = a;
+  const Response ra = server.call(std::move(gone));
+  EXPECT_EQ(ra.status, ResponseStatus::kShed);
+  EXPECT_FALSE(ra.error.empty());
+  EXPECT_FALSE(server.inspect(a, [](const SessionView&) { FAIL(); }));
+
+  // Survivors still answer.
+  Request rb;
+  rb.session = b;
+  EXPECT_EQ(server.call(std::move(rb)).status, ResponseStatus::kOk);
+
+  // Re-opening the evicted design is cheap (template cache) and the
+  // fresh session re-materializes correctly: a move stream runs the cone
+  // fast path and matches a force_full re-time bit for bit.
+  const SessionId fresh = server.open_session(kDesign, kScale);
+  EXPECT_GE(server.stats().evicted, 2u);
+  ResizeMove move{-1, -1};
+  ASSERT_TRUE(server.inspect(fresh, [&](const SessionView& v) {
+    move = {0, alternative_cell(v, 0)};
+  }));
+  ASSERT_GE(move.new_cell, 0);
+  Request mv;
+  mv.session = fresh;
+  mv.mode = RequestMode::kSta;
+  mv.moves.push_back(move);
+  const Response rc = server.call(std::move(mv));
+  EXPECT_EQ(rc.status, ResponseStatus::kOk);
+  EXPECT_EQ(rc.tier, ServeTier::kCone);
+  Request full;
+  full.session = fresh;
+  full.mode = RequestMode::kSta;
+  full.force_full = true;
+  const Response rf = server.call(std::move(full));
+  ASSERT_EQ(rf.endpoint_setup.size(), rc.endpoint_setup.size());
+  for (std::size_t i = 0; i < rf.endpoint_setup.size(); ++i) {
+    EXPECT_NEAR(rf.endpoint_setup[i], rc.endpoint_setup[i], 1e-9);
+  }
+}
+
+/// Sharded-engine failures are compute-plane faults, not tenant health:
+/// the ladder must degrade the request (stale answer) without charging
+/// the session's quarantine counter — see StatsCells::shard_degraded.
+class ServeShardTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::clear_shard_fault();
+    set_sta_engine(saved_engine_);
+    set_sta_shards(saved_shards_);
+    set_shard_retries(-1);
+  }
+  StaEngine saved_engine_ = sta_engine();
+  int saved_shards_ = sta_shards();
+};
+
+TEST_F(ServeShardTest, ShardFailureDegradesRequestWithoutQuarantine) {
+  set_sta_engine(StaEngine::kShard);
+  set_sta_shards(4);
+  set_shard_retries(0);  // fail fast: one attempt per shard
+
+  SlackServer server(small_options());
+  const SessionId id = server.open_session(kDesign, kScale);
+  ResizeMove move{-1, -1};
+  server.inspect(id, [&](const SessionView& v) {
+    move = {0, alternative_cell(v, 0)};
+  });
+  ASSERT_GE(move.new_cell, 0);
+
+  // Clean move materializes the session and fills the stale cache.
+  Request warm;
+  warm.session = id;
+  warm.mode = RequestMode::kSta;
+  warm.moves.push_back(move);
+  ASSERT_EQ(server.call(std::move(warm)).status, ResponseStatus::kOk);
+
+  // Every shard attempt now throws: the cone re-time raises
+  // ShardSweepError and the ladder answers stale.
+  fault::arm_shard_fault("worker", 1, 1000000);
+  Request mv;
+  mv.session = id;
+  mv.mode = RequestMode::kSta;
+  mv.moves.push_back(move);  // same swap: idempotent
+  const Response r = server.call(std::move(mv));
+  EXPECT_EQ(r.status, ResponseStatus::kDegraded);
+  EXPECT_EQ(r.tier, ServeTier::kStale);
+  EXPECT_GE(server.stats().shard_degraded, 1u);
+  EXPECT_EQ(server.stats().quarantines, 0u);
+
+  // The session was never benched: with the fault gone the next request
+  // heals (timing_dirty forces a full re-time) and answers ok.
+  fault::clear_shard_fault();
+  Request heal;
+  heal.session = id;
+  heal.mode = RequestMode::kSta;
+  const Response h = server.call(std::move(heal));
+  EXPECT_EQ(h.status, ResponseStatus::kOk);
+  EXPECT_EQ(server.stats().quarantines, 0u);
 }
 
 TEST(ServeTest, NamesAreStable) {

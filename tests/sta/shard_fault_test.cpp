@@ -1,0 +1,230 @@
+/// \file shard_fault_test.cpp
+/// TG_FAULT_SHARD drills (`ctest -L fault`): every injected shard fault —
+/// worker throw, slow-shard stall, boundary-buffer corruption, stale
+/// version — either recovers (bit-identical result, recovery counters
+/// bumped) or fails loudly (ShardSweepError naming the shard, its level
+/// range and the first-offender pin). Zero hangs: every drill runs under
+/// the normal ctest timeout with the straggler watchdog armed.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental.hpp"
+#include "sta/shard.hpp"
+#include "sta/timer.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+#include "util/task_graph.hpp"
+
+namespace tg {
+namespace {
+
+void expect_results_equal(const StaResult& a, const StaResult& b) {
+  ASSERT_EQ(a.arrival.size(), b.arrival.size());
+  for (std::size_t i = 0; i < a.arrival.size(); ++i) {
+    for (int c = 0; c < kNumCorners; ++c) {
+      ASSERT_EQ(std::memcmp(&a.arrival[i][c], &b.arrival[i][c],
+                            sizeof(double)), 0)
+          << "arrival differs at pin " << i << " corner " << c;
+      ASSERT_EQ(std::memcmp(&a.rat[i][c], &b.rat[i][c], sizeof(double)), 0)
+          << "rat differs at pin " << i << " corner " << c;
+      ASSERT_EQ(std::memcmp(&a.slack[i][c], &b.slack[i][c], sizeof(double)),
+                0)
+          << "slack differs at pin " << i << " corner " << c;
+    }
+  }
+}
+
+class ShardFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new Library(build_library());
+    design_ = new Design(
+        generate_design(suite_entry("spm", 1.0 / 32).spec, *lib_));
+    place_design(*design_);
+    RoutingOptions ropts;
+    ropts.mode = RouteMode::kSteiner;
+    routing_ = new DesignRouting(route_design(*design_, ropts));
+    graph_ = new TimingGraph(*design_);
+    // Clean reference, levelized.
+    set_sta_engine(StaEngine::kLevel);
+    clean_ = new StaResult(run_sta(*graph_, *routing_));
+  }
+  static void TearDownTestSuite() {
+    delete clean_;
+    delete graph_;
+    delete routing_;
+    delete design_;
+    delete lib_;
+    clean_ = nullptr;
+    graph_ = nullptr;
+    routing_ = nullptr;
+    design_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  void SetUp() override {
+    set_num_threads(8);
+    set_sta_engine(StaEngine::kShard);
+    set_sta_shards(4);
+    set_shard_retries(2);
+    reset_shard_stats();
+  }
+  void TearDown() override {
+    fault::clear_shard_fault();
+    set_num_threads(saved_threads_);
+    set_sta_engine(saved_engine_);
+    set_sta_shards(saved_shards_);
+    set_shard_retries(-1);
+    set_shard_straggler_ms(0.0);
+  }
+
+  int saved_threads_ = num_threads();
+  StaEngine saved_engine_ = sta_engine();
+  int saved_shards_ = sta_shards();
+
+  static Library* lib_;
+  static Design* design_;
+  static DesignRouting* routing_;
+  static TimingGraph* graph_;
+  static StaResult* clean_;
+};
+
+Library* ShardFaultTest::lib_ = nullptr;
+Design* ShardFaultTest::design_ = nullptr;
+DesignRouting* ShardFaultTest::routing_ = nullptr;
+TimingGraph* ShardFaultTest::graph_ = nullptr;
+StaResult* ShardFaultTest::clean_ = nullptr;
+
+TEST_F(ShardFaultTest, TransientWorkerThrowRecoversBitIdentical) {
+  fault::arm_shard_fault("worker", 1);  // one blip, first shard attempt
+  const StaResult r = run_sta(*graph_, *routing_);
+  expect_results_equal(*clean_, r);
+  const ShardStats s = shard_stats();
+  EXPECT_GE(s.retries, 1u);
+  EXPECT_EQ(s.failures, 0u);
+}
+
+TEST_F(ShardFaultTest, PersistentWorkerThrowFailsLoudlyWithShardContext) {
+  // The window outlasts the retry budget on every shard.
+  fault::arm_shard_fault("worker", 1, 1000);
+  try {
+    (void)run_sta(*graph_, *routing_);
+    FAIL() << "persistently failing shard must escalate";
+  } catch (const ShardSweepError& e) {
+    EXPECT_GE(e.shard(), 0);
+    EXPECT_LT(e.shard(), 4);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard"), std::string::npos) << what;
+    EXPECT_NE(what.find("levels"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed 3 attempts"), std::string::npos) << what;
+    ASSERT_FALSE(e.diags().empty());
+    EXPECT_EQ(e.diags().front().severity, Severity::kError);
+    EXPECT_EQ(e.diags().front().stage, Stage::kSta);
+  }
+  EXPECT_GE(shard_stats().failures, 1u);
+}
+
+TEST_F(ShardFaultTest, CorruptBoundaryDetectedAndReExported) {
+  fault::arm_shard_fault("corrupt", 1);  // first publish flips a payload bit
+  const StaResult r = run_sta(*graph_, *routing_);
+  expect_results_equal(*clean_, r);
+  const ShardStats s = shard_stats();
+  EXPECT_GE(s.ghost_mismatches, 1u);
+  EXPECT_GE(s.ghost_reexports, 1u);
+  EXPECT_EQ(s.failures, 0u);
+}
+
+TEST_F(ShardFaultTest, StaleBoundaryDetectedAndReExported) {
+  fault::arm_shard_fault("stale", 1);  // first publish carries an old version
+  const StaResult r = run_sta(*graph_, *routing_);
+  expect_results_equal(*clean_, r);
+  const ShardStats s = shard_stats();
+  EXPECT_GE(s.ghost_mismatches, 1u);
+  EXPECT_GE(s.ghost_reexports, 1u);
+  EXPECT_EQ(s.failures, 0u);
+}
+
+TEST_F(ShardFaultTest, PersistentCorruptionNamesFirstOffenderPin) {
+  // Every publish (including the recovery re-exports) keeps corrupting:
+  // verification must exhaust its budget and escalate with the offender.
+  fault::arm_shard_fault("corrupt", 1, 100000);
+  try {
+    (void)run_sta(*graph_, *routing_);
+    FAIL() << "persistently corrupt exchange must escalate";
+  } catch (const ShardSweepError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boundary exchange"), std::string::npos) << what;
+    EXPECT_NE(what.find("first-offender pin"), std::string::npos) << what;
+    ASSERT_FALSE(e.diags().empty());
+    EXPECT_FALSE(e.diags().front().object.empty());  // offender pin name
+  }
+  EXPECT_GE(shard_stats().failures, 1u);
+}
+
+TEST_F(ShardFaultTest, SlowShardSpeculativelyReissuedBitIdentical) {
+  // 5 ms explicit straggler floor; the injected stall holds one attempt
+  // ~120 ms, so the watchdog cancels it and the worker re-runs the shard
+  // (the one-shot fault window has passed by then).
+  set_shard_straggler_ms(5.0);
+  fault::arm_shard_fault("slow", 1);
+  const StaResult r = run_sta(*graph_, *routing_);
+  expect_results_equal(*clean_, r);
+  const ShardStats s = shard_stats();
+  EXPECT_GE(s.speculations, 1u);
+  EXPECT_EQ(s.failures, 0u);
+}
+
+TEST_F(ShardFaultTest, SerialOrchestratorRecoversWithoutPool) {
+  // num_threads()==1 leaves zero pool workers: the inline serial path must
+  // still run the full fault/recovery protocol.
+  set_num_threads(1);
+  fault::arm_shard_fault("worker", 1);
+  const StaResult r = run_sta(*graph_, *routing_);
+  expect_results_equal(*clean_, r);
+  EXPECT_GE(shard_stats().retries, 1u);
+}
+
+TEST_F(ShardFaultTest, ConeRetimeRecoversFromWorkerFault) {
+  DesignRouting routing = *routing_;  // private copy to perturb
+  IncrementalTimer inc(*graph_, &routing);
+  NetId victim = -1;
+  for (NetId n = 0; n < design_->num_nets(); ++n) {
+    if (!design_->net(n).is_clock) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  for (auto& d : routing.nets[static_cast<std::size_t>(victim)].sink_delay) {
+    for (double& v : d) v *= 1.5;
+  }
+  inc.invalidate_net(victim);
+  fault::arm_shard_fault("worker", 1);  // blips the first touched shard
+  EXPECT_GT(inc.update(), 0);
+
+  // The recovered incremental state matches a clean from-scratch run.
+  const StaResult full = run_sta(*graph_, routing);
+  expect_results_equal(full, inc.result());
+}
+
+TEST_F(ShardFaultTest, EnvArmedFaultPathWorks) {
+  // The env parse path (TG_FAULT_SHARD) must reach the same state as the
+  // programmatic arming the other drills use.
+  ASSERT_EQ(setenv("TG_FAULT_SHARD", "worker:1", 1), 0);
+  fault::reparse_shard_fault_env();
+  const StaResult r = run_sta(*graph_, *routing_);
+  expect_results_equal(*clean_, r);
+  EXPECT_GE(fault::matched_shard_ops(), 1);
+  ASSERT_EQ(unsetenv("TG_FAULT_SHARD"), 0);
+  fault::reparse_shard_fault_env();
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,103 @@
+/// \file shard_tsan_test.cpp
+/// Race-detector workload for the sharded engine (`ctest -L tsan`,
+/// TG_SANITIZE=thread): concurrent full sweeps over one shared, lazily
+/// cached shard plan (each sweep with its own result arrays and its own
+/// exchange buffers), the straggler watchdog racing real shard workers,
+/// and the sharded incremental dirty cone — the mutex/condvar orchestration
+/// plus the per-buffer exchange locking is exactly what TSan has to vet.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gen/suite.hpp"
+#include "liberty/library_builder.hpp"
+#include "place/placer.hpp"
+#include "sta/incremental.hpp"
+#include "sta/shard.hpp"
+#include "sta/timer.hpp"
+#include "util/fault.hpp"
+#include "util/parallel.hpp"
+#include "util/task_graph.hpp"
+
+namespace tg {
+namespace {
+
+class ShardTsanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_num_threads(8);
+    set_sta_engine(StaEngine::kShard);
+    set_sta_shards(4);
+  }
+  void TearDown() override {
+    fault::clear_shard_fault();
+    set_num_threads(saved_threads_);
+    set_sta_engine(saved_engine_);
+    set_sta_shards(saved_shards_);
+    set_shard_straggler_ms(0.0);
+  }
+  int saved_threads_ = num_threads();
+  StaEngine saved_engine_ = sta_engine();
+  int saved_shards_ = sta_shards();
+};
+
+TEST_F(ShardTsanTest, ConcurrentSweepsShareOnePlanSafely) {
+  const Library lib = build_library();
+  const SuiteEntry entry = suite_entry("picorv32a", 1.0 / 32);
+  Design design = generate_design(entry.spec, lib);
+  place_design(design);
+  RoutingOptions ropts;
+  ropts.mode = RouteMode::kSteiner;
+  const DesignRouting routing = route_design(design, ropts);
+  const TimingGraph graph(design);
+
+  // Several threads race the first-use plan build, then run full sharded
+  // sweeps concurrently. Each sweep owns its StaResult and its exchange
+  // buffers; only the immutable plan is shared.
+  StaResult ref;
+  std::vector<std::thread> threads;
+  std::vector<StaResult> results(3);
+  threads.reserve(results.size());
+  for (auto& out : results) {
+    threads.emplace_back([&graph, &routing, &out] {
+      out = run_sta(graph, routing);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ref = run_sta(graph, routing);
+  for (const StaResult& r : results) {
+    ASSERT_EQ(r.arrival.size(), ref.arrival.size());
+    EXPECT_EQ(r.wns_setup, ref.wns_setup);
+    EXPECT_EQ(r.tns_setup, ref.tns_setup);
+  }
+
+  // Straggler watchdog racing live workers: a tight explicit deadline
+  // forces real speculative cancel + re-issue traffic under TSan.
+  set_shard_straggler_ms(1.0);
+  for (int i = 0; i < 3; ++i) {
+    const StaResult r = run_sta(graph, routing);
+    EXPECT_EQ(r.wns_setup, ref.wns_setup);
+  }
+  set_shard_straggler_ms(0.0);
+
+  // Sharded incremental dirty cone.
+  DesignRouting mutable_routing = routing;
+  IncrementalTimer inc(graph, &mutable_routing);
+  NetId net = 0;
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    if (!design.net(n).is_clock) {
+      net = n;
+      break;
+    }
+  }
+  for (auto& d : mutable_routing.nets[static_cast<std::size_t>(net)].sink_delay) {
+    for (double& v : d) v *= 1.5;
+  }
+  inc.invalidate_net(net);
+  EXPECT_GT(inc.update(), 0);
+}
+
+}  // namespace
+}  // namespace tg

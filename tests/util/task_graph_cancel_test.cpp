@@ -79,6 +79,59 @@ TEST_F(TaskGraphCancelTest, MidRunCancelStopsWithinOneBatch) {
   }
 }
 
+/// Regression: a token that tripped *before* the cone run starts must stop
+/// it at entry — the engine used to pay the cone BFS and stage the first
+/// batch before noticing (the full-run entry point already checked).
+TEST_F(TaskGraphCancelTest, PreCancelledTokenStopsConeBeforeAnyWork) {
+  CancelSource source;
+  source.cancel();
+  const ScopedCancel ambient(source.token());
+  std::atomic<int> fired{0};
+  const TaskDag dag = chain(64);
+  const std::vector<int> seeds{0};
+  for (int threads : {1, 8}) {
+    set_num_threads(threads);
+    set_task_dag_workers(threads);
+    EXPECT_THROW(run_task_dag_cone(dag, seeds,
+                                   [&](int) {
+                                     fired.fetch_add(1);
+                                     return true;
+                                   }),
+                 CancelError);
+  }
+  EXPECT_EQ(fired.load(), 0);
+}
+
+/// Cancel while workers are actively stealing: a wide fan-out keeps every
+/// worker's deque busy, a task body trips the token mid-run, and the
+/// abort-and-drain path must stop the cone without firing the bulk of it.
+TEST_F(TaskGraphCancelTest, ConeCancelDuringStealStopsWithinOneBatch) {
+  const int width = 4096;
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(width));
+  for (int v = 1; v <= width; ++v) edges.emplace_back(0, v);
+  const TaskDag dag = TaskDag::from_edges(width + 1, edges);
+  const std::vector<int> seeds{0};
+
+  set_num_threads(8);
+  set_task_dag_workers(8);
+  CancelSource source;
+  const ScopedCancel ambient(source.token());
+  std::atomic<int> fired{0};
+  try {
+    run_task_dag_cone(dag, seeds, [&](int node) {
+      if (node == 1) source.cancel();  // trip while the fan-out is draining
+      fired.fetch_add(1);
+      return true;
+    });
+    FAIL() << "expected CancelError";
+  } catch (const CancelError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kCancelled);
+  }
+  EXPECT_GE(fired.load(), 1);
+  EXPECT_LT(fired.load(), width / 2) << "cancellation ignored the fan-out";
+}
+
 TEST_F(TaskGraphCancelTest, DeadlineSurfacesAsDeadlineReason) {
   set_num_threads(1);
   const CancelSource source =
