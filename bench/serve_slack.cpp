@@ -1,22 +1,30 @@
 /// \file serve_slack.cpp
-/// Serving-plane latency/throughput bench (DESIGN.md §12). Three phases on
-/// one design template:
+/// Serving-plane latency/throughput bench (DESIGN.md §12). Four phases:
 ///
-///   serve_predict/N  sequential full-graph GNN predictions on a pristine
-///                    session (N = graph nodes) — the batcher's unit cost,
-///   serve_move/N     sequential single-move ECO requests — the
-///                    incremental dirty-cone fast path,
-///   serve_mixed/N    concurrent clients (2x workers) replaying a mixed
-///                    move/predict stream under a deadline — the serving
-///                    p50/p99 that the ladder exists to bound.
+///   serve_predict/N        sequential full-graph GNN predictions on a
+///                          pristine session (N = graph nodes) — the
+///                          batcher's unit cost,
+///   serve_move/N           sequential single-move ECO requests — the
+///                          incremental dirty-cone fast path,
+///   serve_mixed/N          concurrent clients (2x workers) replaying a
+///                          mixed move/predict stream under a deadline —
+///                          the serving p50/p99 the ladder exists to bound,
+///   serve_mixed_designs/N  one client per template over >= 4 distinct
+///                          designs x 3 clock corners (pure batchable
+///                          predictions), run twice on otherwise identical
+///                          single-worker servers — cross-template packed
+///                          batching on vs off — to measure the packing
+///                          speedup (N = sum of template nodes).
 ///
 /// Writes BENCH_serve_slack.json (`--json=...`): per-phase median/p90
-/// request latency as the gated entries, plus a "serve" section with
-/// throughput and the mixed-phase percentiles/status counts. Gated by
-/// ci/check_bench.py like the micro benches.
+/// request latency as the gated entries, plus "serve" and
+/// "serve_mixed_designs" sections with throughput, percentiles and the
+/// pack-cache/cross-batch counters. Gated by ci/check_bench.py like the
+/// micro benches.
 ///
 ///   ./serve_slack [--design=spm] [--scale=0.03125] [--requests=32]
-///                 [--workers=2] [--json=BENCH_serve_slack.json]
+///                 [--workers=2] [--mixed-designs=spm,zipdiv,...]
+///                 [--json=BENCH_serve_slack.json]
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +36,7 @@
 #include "bench_json.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/string_util.hpp"
 
 namespace tg {
 namespace {
@@ -57,18 +66,32 @@ double seconds(std::chrono::nanoseconds ns) {
   return static_cast<double>(ns.count()) / 1e9;
 }
 
+/// One leg of the cross-design comparison (packing on or off).
+struct MixedDesignsLeg {
+  double throughput_rps = 0.0;
+  std::vector<double> lat_s;
+  long long nodes = 0;  ///< sum of the distinct templates' pin counts
+  serve::ServerStats stats;
+};
+
 }  // namespace
 }  // namespace tg
 
 int main(int argc, char** argv) {
   using namespace tg;
   const CliOptions opts(argc, argv);
-  opts.require_known({"design", "scale", "requests", "workers", "json"});
+  opts.require_known(
+      {"design", "scale", "requests", "workers", "mixed-designs", "json"});
   const std::string design = opts.get("design", "spm");
   const double scale = opts.get_double("scale", 0.03125);
   const int requests = static_cast<int>(opts.get_int("requests", 32));
   const int workers = static_cast<int>(opts.get_int("workers", 2));
   const std::string json = opts.get("json", "BENCH_serve_slack.json");
+  std::vector<std::string> mix;
+  for (const std::string& d :
+       split(opts.get("mixed-designs", "spm,zipdiv,xtea,cic_decimator"), ',')) {
+    if (!d.empty()) mix.push_back(d);
+  }
 
   serve::ServeOptions so;
   so.workers = workers;
@@ -184,6 +207,103 @@ int main(int argc, char** argv) {
   }
   server.shutdown();
 
+  // Phase 4: cross-design packed batching — the multi-tenant story. One
+  // client per template (no same-template sharing to hide behind) drives
+  // pure batchable predictions through fresh servers pinned to a single
+  // worker, i.e. one compute slot multiplexed across K tenants. The only
+  // difference between the two legs is cross-template packing: off
+  // round-robins K solo forwards per wave, on answers the wave with one
+  // packed forward. The gated entry comes from the packing-on leg (the
+  // shipped default).
+  const auto run_mixed_designs = [&](bool cross_on) {
+    MixedDesignsLeg leg;
+    serve::ServeOptions mo;
+    mo.workers = 1;
+    mo.queue_capacity = 64;
+    mo.max_batch = std::max(8, 3 * static_cast<int>(mix.size()));
+    mo.cross_batch = cross_on ? 1 : 0;
+    serve::SlackServer s(mo);
+    // Three tenants per design: the suite's calibrated clock, a tight ECO
+    // corner and a relaxed what-if corner. Distinct clock factors are
+    // distinct templates (design-hash keyed), so this is a 3x-wider honest
+    // mix — every tenant is a separate graph in the pack and a separate
+    // solo forward on the off leg.
+    static constexpr double kCorners[] = {0.0, 0.92, 1.08};
+    const int clients = 3 * static_cast<int>(mix.size());
+    const int per_client = std::max(8, requests);
+    std::vector<serve::SessionId> ids;
+    for (int c = 0; c < clients; ++c) {
+      const std::string& design = mix[static_cast<std::size_t>(c) % mix.size()];
+      const double clock_factor =
+          kCorners[static_cast<std::size_t>(c) / mix.size()];
+      ids.push_back(s.open_session(design, scale, clock_factor));
+    }
+    for (int c = 0; c < clients; ++c) {
+      s.inspect(ids[static_cast<std::size_t>(c)],
+                [&](const serve::SessionView& v) {
+                  leg.nodes += static_cast<long long>(v.design.num_pins());
+                });
+    }
+    // Untimed warmup wave: a concurrent round per tenant so the steady
+    // state being measured starts with the pack + embedding caches hot on
+    // both legs (the off leg has nothing to warm beyond the templates the
+    // opens already built, so the legs stay comparable).
+    {
+      std::vector<std::thread> warm;
+      for (int c = 0; c < clients; ++c) {
+        warm.emplace_back([&, c] {
+          for (int i = 0; i < 2; ++i) {
+            serve::Request req;
+            req.session = ids[static_cast<std::size_t>(c)];
+            (void)s.call(std::move(req));
+          }
+        });
+      }
+      for (std::thread& t : warm) t.join();
+    }
+    std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < per_client; ++i) {
+          serve::Request req;
+          req.session = ids[static_cast<std::size_t>(c)];
+          const serve::Response r = s.call(std::move(req));
+          if (r.status != serve::ResponseStatus::kShed) {
+            lat[static_cast<std::size_t>(c)].push_back(seconds(r.latency));
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall =
+        seconds(std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0));
+    leg.throughput_rps =
+        static_cast<double>(static_cast<long long>(clients) * per_client) /
+        wall;
+    for (auto& per : lat) {
+      leg.lat_s.insert(leg.lat_s.end(), per.begin(), per.end());
+    }
+    leg.stats = s.stats();
+    s.shutdown();
+    return leg;
+  };
+  const MixedDesignsLeg md_off = run_mixed_designs(false);
+  const MixedDesignsLeg md_on = run_mixed_designs(true);
+  const double md_speedup = md_off.throughput_rps > 0.0
+                                ? md_on.throughput_rps / md_off.throughput_rps
+                                : 0.0;
+  std::vector<double> md_lat = md_on.lat_s;
+  const double md_p50_ms = percentile_s(md_lat, 0.50) * 1e3;
+  const double md_p99_ms = percentile_s(md_lat, 0.99) * 1e3;
+  {
+    std::vector<double> gated = md_on.lat_s;
+    entries.push_back(make_entry("serve_mixed_designs", md_on.nodes,
+                                 3 * static_cast<int>(mix.size()), gated));
+  }
+
   for (const bench_json::Entry& e : entries) {
     std::printf("  %-24s median %9.3f ms  p90 %9.3f ms  (%lld samples)\n",
                 e.name.c_str(), e.median_s * 1e3, e.p90_s * 1e3,
@@ -192,13 +312,32 @@ int main(int argc, char** argv) {
   std::printf("  mixed: %.1f req/s, p50 %.3f ms, p99 %.3f ms "
               "(%lld ok, %lld degraded, %lld shed)\n",
               throughput, p50_ms, p99_ms, ok, degraded, shed);
+  std::printf("  mixed-designs (%zu templates): cross-batch on %.1f req/s "
+              "vs off %.1f req/s (%.2fx), p50 %.3f ms, p99 %.3f ms\n",
+              3 * mix.size(), md_on.throughput_rps, md_off.throughput_rps,
+              md_speedup, md_p50_ms, md_p99_ms);
+  std::printf("  packed: %llu cross-batched, %llu pack hits, "
+              "%llu pack misses\n",
+              static_cast<unsigned long long>(md_on.stats.cross_batched),
+              static_cast<unsigned long long>(md_on.stats.pack_hits),
+              static_cast<unsigned long long>(md_on.stats.pack_misses));
 
-  char extra[512];
-  std::snprintf(extra, sizeof(extra),
-                "\"serve\": {\"throughput_rps\": %.3f, \"p50_ms\": %.6f, "
-                "\"p99_ms\": %.6f, \"ok\": %lld, \"degraded\": %lld, "
-                "\"shed\": %lld}",
-                throughput, p50_ms, p99_ms, ok, degraded, shed);
+  char extra[1024];
+  std::snprintf(
+      extra, sizeof(extra),
+      "\"serve\": {\"throughput_rps\": %.3f, \"p50_ms\": %.6f, "
+      "\"p99_ms\": %.6f, \"ok\": %lld, \"degraded\": %lld, "
+      "\"shed\": %lld},\n  "
+      "\"serve_mixed_designs\": {\"templates\": %d, "
+      "\"throughput_rps\": %.3f, \"throughput_off_rps\": %.3f, "
+      "\"speedup\": %.3f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+      "\"cross_batched\": %llu, \"pack_hits\": %llu, \"pack_misses\": %llu}",
+      throughput, p50_ms, p99_ms, ok, degraded, shed,
+      3 * static_cast<int>(mix.size()), md_on.throughput_rps,
+      md_off.throughput_rps, md_speedup, md_p50_ms, md_p99_ms,
+      static_cast<unsigned long long>(md_on.stats.cross_batched),
+      static_cast<unsigned long long>(md_on.stats.pack_hits),
+      static_cast<unsigned long long>(md_on.stats.pack_misses));
   if (!bench_json::write_file(json, "serve_slack", workers, entries, extra)) {
     return 1;
   }

@@ -114,13 +114,14 @@ run_serve() {
   cmake --build build-ci -j "$jobs" \
     --target serve_test serve_fault_test serve_tsan_test tg_serve_load serve_slack
   ctest --test-dir build-ci --output-on-failure -L serve
-  # Acceptance drill: per-request deadlines, an overload spike past queue
-  # capacity and a persistent worker-fault window, all at once. The tool
-  # exits non-zero if any future hangs, any response is untagged, or the
+  # Acceptance drill: a cross-template tenant mix with per-request
+  # deadlines, an overload spike past queue capacity and a persistent
+  # worker-fault window, all at once. The tool exits non-zero if any
+  # future hangs, any response (batched included) is untagged, or the
   # completed/submitted accounting drifts.
-  ./build-ci/tools/tg_serve_load --design=spm --scale=0.03125 --sessions=8 \
-    --requests=24 --workers=2 --queue=16 --deadline-ms=50 --cancel-frac=0.1 \
-    --move-frac=0.3 --spike=true --fault=worker:3:4
+  ./build-ci/tools/tg_serve_load --design=spm,zipdiv,xtea --scale=0.03125 \
+    --sessions=9 --requests=24 --workers=2 --queue=16 --deadline-ms=50 \
+    --cancel-frac=0.1 --move-frac=0.3 --spike=true --fault=worker:3:4
   local dir
   dir="$(mktemp -d)"
   trap 'rm -rf "$dir"' RETURN

@@ -167,7 +167,8 @@ DelayProp::DelayProp(int embed_dim, const DelayPropConfig& config, Rng& rng)
 
 DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
                                      const PropPlan& plan,
-                                     const Tensor& embedding) const {
+                                     const Tensor& embedding,
+                                     bool want_aux) const {
   TG_CHECK(embedding.rows() == g.num_nodes);
   TG_CHECK(embedding.cols() == embed_dim_);
   // The shard engine's fault domains apply to the STA sweeps; for the GNN
@@ -176,7 +177,7 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
   if ((sta_engine() == StaEngine::kAsync ||
        sta_engine() == StaEngine::kShard) &&
       plan.num_levels > 1) {
-    return forward_async(g, plan, embedding);
+    return forward_async(g, plan, embedding, want_aux);
   }
 
   std::vector<Tensor> level_states;
@@ -233,9 +234,11 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
       cell_max = nn::segment_max(msg, cf.dst_row, n_l);
 
       // Cell-delay auxiliary prediction for these arcs (plan order).
-      const Tensor cd_in[] = {interp, state_u};
-      cell_delay_parts.push_back(
-          cell_delay_head_.forward(nn::concat_cols(cd_in)));
+      if (want_aux) {
+        const Tensor cd_in[] = {interp, state_u};
+        cell_delay_parts.push_back(
+            cell_delay_head_.forward(nn::concat_cols(cd_in)));
+      }
     }
 
     const Tensor comb_in[] = {net_in, cell_sum, cell_max, emb_level};
@@ -256,7 +259,8 @@ DelayProp::Output DelayProp::forward(const data::DatasetGraph& g,
 
 DelayProp::Output DelayProp::forward_async(const data::DatasetGraph& g,
                                            const PropPlan& plan,
-                                           const Tensor& embedding) const {
+                                           const Tensor& embedding,
+                                           bool want_aux) const {
   TG_TRACE_SCOPE("gnn/delay_prop/async", obs::kSpanDetail);
   const auto levels = static_cast<std::size_t>(plan.num_levels);
 
@@ -343,7 +347,7 @@ DelayProp::Output DelayProp::forward_async(const data::DatasetGraph& g,
         break;
       }
       case kAux: {
-        if (l == 0 || plan.cell_feed[lu].src_t->empty()) break;
+        if (!want_aux || l == 0 || plan.cell_feed[lu].src_t->empty()) break;
         const Tensor cd_in[] = {interp[lu], cell_state_u[lu]};
         delay_parts[lu] = cell_delay_head_.forward(nn::concat_cols(cd_in));
         break;

@@ -88,16 +88,21 @@ class DelayProp : public nn::Module {
   /// `async` the per-level net/cell/aux/combine steps run as a dependency
   /// DAG on the worklist engine — branch steps of independent levels
   /// overlap — producing bit-identical outputs and gradients.
+  /// `want_aux = false` skips the cell-delay auxiliary head (its output
+  /// feeds only the training loss); `state` is unchanged and `cell_delay`
+  /// comes back empty. The serving plane's inference path uses this.
   [[nodiscard]] Output forward(const data::DatasetGraph& g,
                                const PropPlan& plan,
-                               const nn::Tensor& embedding) const;
+                               const nn::Tensor& embedding,
+                               bool want_aux = true) const;
 
   [[nodiscard]] const DelayPropConfig& config() const { return config_; }
 
  private:
   [[nodiscard]] Output forward_async(const data::DatasetGraph& g,
                                      const PropPlan& plan,
-                                     const nn::Tensor& embedding) const;
+                                     const nn::Tensor& embedding,
+                                     bool want_aux) const;
   DelayPropConfig config_;
   int embed_dim_ = 0;
   nn::Mlp entry_;      ///< roots: embedding → initial state

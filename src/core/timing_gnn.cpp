@@ -1,6 +1,7 @@
 #include "core/timing_gnn.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.hpp"
 #include "util/obs/trace.hpp"
@@ -35,6 +36,20 @@ TimingGnn::Prediction TimingGnn::forward(const data::DatasetGraph& g,
   const Tensor head_in[] = {prop_out.state, emb};
   pred.atslew = atslew_head_.forward(nn::concat_cols(head_in));
   return pred;
+}
+
+Tensor TimingGnn::embed(const data::DatasetGraph& g) const {
+  return net_embed_.forward(g);
+}
+
+Tensor TimingGnn::forward_atslew(const data::DatasetGraph& g,
+                                 const PropPlan& plan,
+                                 const Tensor& embedding) const {
+  TG_TRACE_SCOPE("core/gnn_forward_atslew", obs::kSpanCoarse);
+  const DelayProp::Output prop_out =
+      prop_.forward(g, plan, embedding, /*want_aux=*/false);
+  const Tensor head_in[] = {prop_out.state, embedding};
+  return atslew_head_.forward(nn::concat_cols(head_in));
 }
 
 Tensor TimingGnn::loss(const data::DatasetGraph& g, const PropPlan& plan,
@@ -80,6 +95,31 @@ EndpointSlack predicted_endpoint_slack(const data::DatasetGraph& g,
 
   out.setup = std::min(rat_lr - at_lr, rat_lf - at_lf);
   out.hold = std::min(at_er - rat_er, at_ef - rat_ef);
+  return out;
+}
+
+std::vector<GraphSlackSummary> packed_endpoint_slacks(
+    const data::GraphPack& pack, const Tensor& atslew) {
+  TG_CHECK(atslew.rows() == pack.g.num_nodes);
+  std::vector<GraphSlackSummary> out(
+      static_cast<std::size_t>(pack.num_graphs));
+  for (int k = 0; k < pack.num_graphs; ++k) {
+    GraphSlackSummary& s = out[static_cast<std::size_t>(k)];
+    const int lo = pack.endpoint_base[static_cast<std::size_t>(k)];
+    const int hi = pack.endpoint_base[static_cast<std::size_t>(k) + 1];
+    if (lo == hi) continue;  // endpoint-free part: all-zero digest
+    s.wns_setup = std::numeric_limits<double>::infinity();
+    s.wns_hold = std::numeric_limits<double>::infinity();
+    s.endpoint_setup.reserve(static_cast<std::size_t>(hi - lo));
+    for (int i = lo; i < hi; ++i) {
+      const EndpointSlack es = predicted_endpoint_slack(
+          pack.g, atslew, pack.g.endpoints[static_cast<std::size_t>(i)]);
+      s.endpoint_setup.push_back(es.setup);
+      s.wns_setup = std::min(s.wns_setup, es.setup);
+      s.wns_hold = std::min(s.wns_hold, es.hold);
+      if (es.setup < 0.0) s.tns_setup += es.setup;
+    }
+  }
   return out;
 }
 

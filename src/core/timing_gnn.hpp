@@ -8,8 +8,11 @@
 /// trained jointly (Eq. 7). Ablation switches reproduce the paper's
 /// "w/ Cell" and "w/ Net" columns of Table 5.
 
+#include <vector>
+
 #include "core/delay_prop.hpp"
 #include "core/net_embed.hpp"
+#include "data/graph_pack.hpp"
 
 namespace tg::core {
 
@@ -33,6 +36,19 @@ class TimingGnn : public nn::Module {
 
   [[nodiscard]] Prediction forward(const data::DatasetGraph& g,
                                    const PropPlan& plan) const;
+
+  /// Net-embedding stage output [N, embed_dim]. Depends only on the graph
+  /// (not on the query), so serving caches it per template / per pack and
+  /// replays it through forward_atslew.
+  [[nodiscard]] nn::Tensor embed(const data::DatasetGraph& g) const;
+
+  /// Inference fast path: arrival/slew [N, 8] from a precomputed
+  /// `embedding` (see embed()), skipping the net-delay and cell-delay
+  /// auxiliary heads whose outputs only feed the training loss. Matches
+  /// forward(g, plan).atslew exactly (same op sequence on the state path).
+  [[nodiscard]] nn::Tensor forward_atslew(const data::DatasetGraph& g,
+                                          const PropPlan& plan,
+                                          const nn::Tensor& embedding) const;
 
   /// Combined loss of Eq. 7 (terms gated by the ablation config).
   [[nodiscard]] nn::Tensor loss(const data::DatasetGraph& g,
@@ -59,5 +75,19 @@ struct EndpointSlack {
 };
 [[nodiscard]] EndpointSlack predicted_endpoint_slack(
     const data::DatasetGraph& g, const nn::Tensor& atslew, int endpoint_node);
+
+/// Per-graph slack digest scattered back from one packed forward
+/// (data/graph_pack.hpp): entry k summarizes part k's endpoint slice of
+/// the packed atslew. Because packing is a disjoint union, entry k equals
+/// the digest of running part k's forward alone.
+struct GraphSlackSummary {
+  double wns_setup = 0.0;
+  double tns_setup = 0.0;
+  double wns_hold = 0.0;
+  /// Aligned with part k's own endpoint list.
+  std::vector<double> endpoint_setup;
+};
+[[nodiscard]] std::vector<GraphSlackSummary> packed_endpoint_slacks(
+    const data::GraphPack& pack, const nn::Tensor& atslew);
 
 }  // namespace tg::core

@@ -44,6 +44,44 @@ bool backoff_sleep(std::chrono::nanoseconds d, const CancelToken& token) {
   return !token.cancelled();
 }
 
+long long env_number(const char* name, long long fallback) {
+  if (const char* env = std::getenv(name)) return std::atoll(env);
+  return fallback;
+}
+
+/// Resolves the env-defaulted ServeOptions knobs once, at construction
+/// (DESIGN.md §12). A 0 (or -1 for cross_batch) field means "take the
+/// environment's word"; explicit non-zero fields always win, so tests and
+/// benches can pin behaviour regardless of the ambient environment.
+ServeOptions resolved_options(ServeOptions options) {
+  if (options.max_batch == 0) {
+    options.max_batch =
+        static_cast<int>(env_number("TG_SERVE_MAX_BATCH", 8));
+  }
+  TG_CHECK_MSG(options.max_batch >= 1,
+               "TG_SERVE_MAX_BATCH / ServeOptions::max_batch must be >= 1, got "
+                   << options.max_batch);
+  if (options.cross_batch < 0) {
+    options.cross_batch =
+        env_number("TG_SERVE_CROSS_BATCH", 1) != 0 ? 1 : 0;
+  }
+  if (options.max_batch_nodes == 0) {
+    options.max_batch_nodes = env_number("TG_SERVE_MAX_BATCH_NODES", 262144);
+  }
+  if (options.pack_cache == 0) {
+    options.pack_cache =
+        static_cast<int>(env_number("TG_SERVE_PACK_CACHE", 8));
+  }
+  TG_CHECK_MSG(options.pack_cache >= 1,
+               "TG_SERVE_PACK_CACHE / ServeOptions::pack_cache must be >= 1, "
+               "got " << options.pack_cache);
+  if (options.max_sessions == 0) {
+    options.max_sessions =
+        static_cast<int>(env_number("TG_SERVE_MAX_SESSIONS", 0));
+  }
+  return options;
+}
+
 core::TimingGnnConfig model_config(const ServeOptions& options) {
   core::TimingGnnConfig config;
   config.net.hidden = options.gnn_hidden;
@@ -68,17 +106,22 @@ Response engine_payload(const Session& s) {
   return r;
 }
 
-/// GNN payload from a prediction over (g, plan).
+/// GNN payload over (g, plan) via the inference fast path: auxiliary
+/// training heads are skipped and `embedding`, when the caller has a
+/// cached one (per-template / per-pack — it is query-invariant), replaces
+/// the net-embedding stage entirely. Null recomputes it from `g`.
 Response gnn_payload(const core::TimingGnn& model, const data::DatasetGraph& g,
-                     const core::PropPlan& plan) {
-  const core::TimingGnn::Prediction pred = model.forward(g, plan);
+                     const core::PropPlan& plan,
+                     const nn::Tensor* embedding = nullptr) {
+  const nn::Tensor atslew = model.forward_atslew(
+      g, plan, embedding != nullptr ? *embedding : model.embed(g));
   Response r;
   r.wns_setup = std::numeric_limits<double>::infinity();
   r.wns_hold = std::numeric_limits<double>::infinity();
   r.endpoint_setup.reserve(g.endpoints.size());
   for (int ep : g.endpoints) {
     const core::EndpointSlack es =
-        core::predicted_endpoint_slack(g, pred.atslew, ep);
+        core::predicted_endpoint_slack(g, atslew, ep);
     r.endpoint_setup.push_back(es.setup);
     r.wns_setup = std::min(r.wns_setup, es.setup);
     r.wns_hold = std::min(r.wns_hold, es.hold);
@@ -132,16 +175,11 @@ const char* serve_tier_name(ServeTier tier) {
 }
 
 SlackServer::SlackServer(const ServeOptions& options)
-    : options_(options),
-      queue_(options.queue_capacity),
-      model_(model_config(options)) {
+    : options_(resolved_options(options)),
+      packs_(options_.pack_cache),
+      queue_(options_.queue_capacity),
+      model_(model_config(options_)) {
   TG_CHECK(options_.workers >= 1);
-  TG_CHECK(options_.max_batch >= 1);
-  if (options_.max_sessions == 0) {
-    if (const char* env = std::getenv("TG_SERVE_MAX_SESSIONS")) {
-      options_.max_sessions = std::atoi(env);
-    }
-  }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -233,6 +271,7 @@ std::future<Response> SlackServer::submit(Request req) {
       t.req.budget.count() > 0 ? t.req.budget : options_.default_budget;
   if (budget.count() > 0) t.deadline = t.enqueued + budget;
   t.tpl_key = session->tpl->key;
+  t.num_nodes = session->tpl->g.num_nodes;
   t.batchable = t.req.moves.empty() && !t.req.force_full &&
                 t.req.mode != RequestMode::kSta && session->pristine();
 
@@ -291,6 +330,9 @@ ServerStats SlackServer::stats() const {
       stats_.deadline_expired.load(std::memory_order_relaxed);
   s.evicted = stats_.evicted.load(std::memory_order_relaxed);
   s.shard_degraded = stats_.shard_degraded.load(std::memory_order_relaxed);
+  s.cross_batched = stats_.cross_batched.load(std::memory_order_relaxed);
+  s.pack_hits = stats_.pack_hits.load(std::memory_order_relaxed);
+  s.pack_misses = stats_.pack_misses.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -366,7 +408,8 @@ Response SlackServer::run_full_tier(Session& session, const Ticket& t) {
   if (want_gnn) {
     ensure_engine_current(session, /*force_full=*/false);
     if (session.pristine()) {
-      r = gnn_payload(model_, session.tpl->g, session.tpl->plan);
+      const nn::Tensor emb = template_embedding(*session.tpl);
+      r = gnn_payload(model_, session.tpl->g, session.tpl->plan, &emb);
     } else {
       if (!session.gnn_graph) {
         // Re-extract against the session's mutated design + refreshed
@@ -444,17 +487,26 @@ void SlackServer::handle(Ticket ticket) {
   }
 
   // Micro-batcher: coalesce queued compatible full-graph predictions into
-  // this pass. Compatibility re-checks under each session lock at fulfill
-  // time — the submit-time flag is only a hint.
+  // this pass — same-template always, cross-template when enabled (the
+  // packed forward answers the whole mix). Compatibility re-checks under
+  // each session lock at fulfill time — the submit-time flag is only a
+  // hint.
   if (ticket.batchable && session->pristine()) {
-    std::vector<Ticket> extras =
-        queue_.drain_compatible(ticket.tpl_key, options_.max_batch - 1);
+    std::vector<Ticket> extras = queue_.drain_compatible(
+        ticket.tpl_key, options_.max_batch - 1, options_.cross_batch > 0,
+        options_.max_batch_nodes, ticket.num_nodes);
     if (!extras.empty()) {
+      bool multi = false;
+      for (const Ticket& e : extras) multi |= e.tpl_key != ticket.tpl_key;
       std::vector<Ticket> batch;
       batch.reserve(extras.size() + 1);
       batch.push_back(std::move(ticket));
       for (Ticket& e : extras) batch.push_back(std::move(e));
-      handle_batch(session->tpl, std::move(batch));
+      if (multi) {
+        handle_packed_batch(std::move(batch));
+      } else {
+        handle_batch(session->tpl, std::move(batch));
+      }
       return;
     }
   }
@@ -634,6 +686,19 @@ void SlackServer::handle(Ticket ticket) {
   fulfill(ticket, std::move(r));
 }
 
+nn::Tensor SlackServer::template_embedding(const SessionTemplate& tpl) {
+  {
+    const std::lock_guard<std::mutex> lock(embed_mu_);
+    const auto it = embeds_.find(tpl.key);
+    if (it != embeds_.end()) return it->second;
+  }
+  // Compute outside the lock; racing workers on a fresh template produce
+  // identical tensors and the first insert wins.
+  nn::Tensor emb = model_.embed(tpl.g);
+  const std::lock_guard<std::mutex> lock(embed_mu_);
+  return embeds_.try_emplace(tpl.key, std::move(emb)).first->second;
+}
+
 void SlackServer::handle_batch(
     const std::shared_ptr<const SessionTemplate>& tpl,
     std::vector<Ticket> batch) {
@@ -653,7 +718,8 @@ void SlackServer::handle_batch(
                                     : CancelSource();
     const ScopedCancel ambient(source.token());
     maybe_inject_faults();
-    proto = gnn_payload(model_, tpl->g, tpl->plan);
+    const nn::Tensor emb = template_embedding(*tpl);
+    proto = gnn_payload(model_, tpl->g, tpl->plan, &emb);
     proto->tier = ServeTier::kFull;
   } catch (...) {
     // Batch compute failed (fault or every member past deadline): fall
@@ -668,45 +734,148 @@ void SlackServer::handle_batch(
   const int n = static_cast<int>(batch.size());
   std::vector<Ticket> deferred;
   for (Ticket& t : batch) {
+    fulfill_batch_member(std::move(t), *proto, n, /*cross=*/false, deferred);
+  }
+  for (Ticket& t : deferred) handle(std::move(t));
+}
+
+void SlackServer::fulfill_batch_member(Ticket&& t, const Response& proto,
+                                       int batch_size, bool cross,
+                                       std::vector<Ticket>& deferred) {
+  const std::shared_ptr<Session> session = find_session(t.req.session);
+  if (!session) {
+    fulfill(t, shed_response(CancelReason::kNone, "unknown session"));
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(session->mu);
+  if (!session->pristine()) {
+    // Session took moves since this ticket queued: the template answer no
+    // longer applies. Serve it individually, outside the session lock
+    // (handle() re-locks).
+    t.batchable = false;
+    deferred.push_back(std::move(t));
+    return;
+  }
+  if (t.req.cancel.valid() && t.req.cancel.cancelled()) {
+    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    TG_METRIC_COUNT("serve/cancelled", 1);
+    fulfill(t, shed_response(CancelReason::kCancelled, "client cancelled"));
+    return;
+  }
+  Response r = proto;
+  r.batch_size = batch_size;
+  if (t.deadline != kNoDeadline &&
+      std::chrono::steady_clock::now() > t.deadline) {
+    r.status = ResponseStatus::kDegraded;
+    r.stop_reason = CancelReason::kDeadline;
+    stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    TG_METRIC_COUNT("serve/deadline_expired", 1);
+  } else {
+    r.status = ResponseStatus::kOk;
+  }
+  store_stale(*session, r);
+  session->consecutive_failures = 0;
+  stats_.batched.fetch_add(1, std::memory_order_relaxed);
+  TG_METRIC_COUNT("serve/batched", 1);
+  if (cross) {
+    stats_.cross_batched.fetch_add(1, std::memory_order_relaxed);
+    TG_METRIC_COUNT("serve/cross_batched", 1);
+  }
+  fulfill(t, std::move(r));
+}
+
+void SlackServer::handle_packed_batch(std::vector<Ticket> batch) {
+  TG_TRACE_SCOPE("serve/packed_batch", obs::kSpanCoarse);
+
+  // Resolve each distinct template through any still-live member session;
+  // members whose session vanished are shed here and their template drops
+  // out of the pack.
+  std::vector<std::shared_ptr<const SessionTemplate>> tpls;
+  std::vector<Ticket> live;
+  live.reserve(batch.size());
+  for (Ticket& t : batch) {
     const std::shared_ptr<Session> session = find_session(t.req.session);
     if (!session) {
       fulfill(t, shed_response(CancelReason::kNone, "unknown session"));
       continue;
     }
-    {
-      const std::lock_guard<std::mutex> lock(session->mu);
-      if (!session->pristine()) {
-        // Session took moves since this ticket queued: the template
-        // answer no longer applies. Serve it individually, outside the
-        // session lock (handle() re-locks).
-        t.batchable = false;
-        deferred.push_back(std::move(t));
-        continue;
-      }
-      if (t.req.cancel.valid() && t.req.cancel.cancelled()) {
-        stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
-        TG_METRIC_COUNT("serve/cancelled", 1);
-        fulfill(t, shed_response(CancelReason::kCancelled,
-                                 "client cancelled"));
-        continue;
-      }
-      Response r = *proto;
-      r.batch_size = n;
-      if (t.deadline != kNoDeadline &&
-          std::chrono::steady_clock::now() > t.deadline) {
-        r.status = ResponseStatus::kDegraded;
-        r.stop_reason = CancelReason::kDeadline;
-        stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
-        TG_METRIC_COUNT("serve/deadline_expired", 1);
-      } else {
-        r.status = ResponseStatus::kOk;
-      }
-      store_stale(*session, r);
-      session->consecutive_failures = 0;
-      stats_.batched.fetch_add(1, std::memory_order_relaxed);
-      TG_METRIC_COUNT("serve/batched", 1);
-      fulfill(t, std::move(r));
+    bool known = false;
+    for (const auto& tpl : tpls) known |= tpl->key == t.tpl_key;
+    if (!known) tpls.push_back(session->tpl);
+    live.push_back(std::move(t));
+  }
+  if (live.empty()) return;
+  if (tpls.size() == 1) {
+    // Shedding collapsed the mix to one template: the plain batch path is
+    // strictly cheaper than packing.
+    handle_batch(tpls.front(), std::move(live));
+    return;
+  }
+
+  TG_METRIC_COUNT("serve/batches", 1);
+
+  // One packed forward answers the whole mix. Compute under the *latest*
+  // member deadline (as in handle_batch); members past their own deadline
+  // are tagged degraded at fulfill time.
+  auto latest = std::chrono::steady_clock::time_point::min();
+  for (const Ticket& t : live) latest = std::max(latest, t.deadline);
+
+  std::shared_ptr<const PackEntry> entry;
+  std::vector<core::GraphSlackSummary> summaries;
+  try {
+    const CancelSource source = latest != kNoDeadline
+                                    ? CancelSource::with_deadline(latest)
+                                    : CancelSource();
+    const ScopedCancel ambient(source.token());
+    maybe_inject_faults();
+    bool hit = false;
+    entry = packs_.get_or_pack(tpls, model_, &hit);
+    if (hit) {
+      stats_.pack_hits.fetch_add(1, std::memory_order_relaxed);
+      TG_METRIC_COUNT("serve/pack_hits", 1);
+    } else {
+      stats_.pack_misses.fetch_add(1, std::memory_order_relaxed);
+      TG_METRIC_COUNT("serve/pack_misses", 1);
     }
+    const nn::Tensor atslew = model_.forward_atslew(
+        entry->pack.g, entry->plan, entry->embedding);
+    summaries = core::packed_endpoint_slacks(entry->pack, atslew);
+  } catch (...) {
+    // Packed compute failed (fault or every member past deadline): fall
+    // back to the individual ladder, which owns retry/degradation.
+    for (Ticket& t : live) {
+      t.batchable = false;  // no re-batching recursion
+      handle(std::move(t));
+    }
+    return;
+  }
+
+  static obs::Histogram& pack_size = obs::histogram("serve/packed_batch_size");
+  pack_size.record(static_cast<std::uint64_t>(entry->pack.num_graphs));
+
+  // Per-template prototype answers, scattered back from the pack. Entry
+  // keys are sorted and align with the pack's part order.
+  const int n = static_cast<int>(live.size());
+  std::vector<Ticket> deferred;
+  for (Ticket& t : live) {
+    const auto it =
+        std::find(entry->keys.begin(), entry->keys.end(), t.tpl_key);
+    if (it == entry->keys.end()) {
+      // Can't happen with a consistent cache; heal via the individual
+      // ladder rather than trusting a mismatched digest.
+      t.batchable = false;
+      deferred.push_back(std::move(t));
+      continue;
+    }
+    const core::GraphSlackSummary& s =
+        summaries[static_cast<std::size_t>(it - entry->keys.begin())];
+    Response proto;
+    proto.tier = ServeTier::kFull;
+    proto.wns_setup = s.wns_setup;
+    proto.tns_setup = s.tns_setup;
+    proto.wns_hold = s.wns_hold;
+    proto.endpoint_setup = s.endpoint_setup;
+    fulfill_batch_member(std::move(t), proto, n, /*cross=*/true, deferred);
   }
   for (Ticket& t : deferred) handle(std::move(t));
 }

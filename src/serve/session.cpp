@@ -1,5 +1,6 @@
 #include "serve/session.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "gen/suite.hpp"
@@ -78,6 +79,76 @@ std::shared_ptr<const SessionTemplate> TemplateCache::get_or_build(
 
   cache_.emplace(key, tpl);
   return tpl;
+}
+
+PackCache::PackCache(int capacity) : capacity_(capacity) {
+  TG_CHECK(capacity >= 1);
+}
+
+int PackCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(lru_.size());
+}
+
+std::shared_ptr<const PackEntry> PackCache::get_or_pack(
+    const std::vector<std::shared_ptr<const SessionTemplate>>& tpls,
+    const core::TimingGnn& model, bool* hit) {
+  // Canonical key: sorted distinct template keys (batch order and
+  // duplicate sessions on one template must not fragment the cache).
+  std::vector<std::shared_ptr<const SessionTemplate>> distinct(tpls);
+  std::sort(distinct.begin(), distinct.end(),
+            [](const auto& a, const auto& b) { return a->key < b->key; });
+  distinct.erase(std::unique(distinct.begin(), distinct.end(),
+                             [](const auto& a, const auto& b) {
+                               return a->key == b->key;
+                             }),
+                 distinct.end());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(distinct.size());
+  for (const auto& t : distinct) keys.push_back(t->key);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Exact match wins; failing that, the smallest cached *superset* pack is
+  // reused (keys are sorted, so subset-inclusion is one linear merge).
+  // Supersets appear when the tenant mix shrinks — e.g. some clients of a
+  // steady mix drain first — and reusing them trades a few extra forward
+  // rows for skipping a pack + plan + embedding rebuild, which would
+  // otherwise serialize every packed batch behind this lock.
+  auto best = lru_.end();
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if ((*it)->keys == keys) {
+      best = it;
+      break;
+    }
+    if (std::includes((*it)->keys.begin(), (*it)->keys.end(), keys.begin(),
+                      keys.end()) &&
+        (best == lru_.end() ||
+         (*it)->pack.g.num_nodes < (*best)->pack.g.num_nodes)) {
+      best = it;
+    }
+  }
+  if (best != lru_.end()) {
+    lru_.splice(lru_.begin(), lru_, best);
+    if (hit != nullptr) *hit = true;
+    return lru_.front();
+  }
+
+  // Miss: pack + plan under the cache lock, like TemplateCache — racing
+  // workers on the same mix would otherwise duplicate the build.
+  TG_TRACE_SCOPE("serve/pack_build", obs::kSpanCoarse);
+  auto entry = std::make_shared<PackEntry>();
+  entry->keys = std::move(keys);
+  entry->templates = std::move(distinct);
+  std::vector<const data::DatasetGraph*> parts;
+  parts.reserve(entry->templates.size());
+  for (const auto& t : entry->templates) parts.push_back(&t->g);
+  entry->pack = data::pack_graphs(parts);
+  entry->plan = core::build_prop_plan(entry->pack.g);
+  entry->embedding = model.embed(entry->pack.g);
+  lru_.push_front(std::move(entry));
+  while (static_cast<int>(lru_.size()) > capacity_) lru_.pop_back();
+  if (hit != nullptr) *hit = false;
+  return lru_.front();
 }
 
 std::uint64_t StaleEntry::compute_checksum() const {

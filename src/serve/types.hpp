@@ -94,8 +94,25 @@ struct ServeOptions {
   int workers = 2;
   int queue_capacity = 64;
   /// Max compatible full-graph prediction requests coalesced into one
-  /// forward pass by the micro-batcher.
-  int max_batch = 8;
+  /// forward pass by the micro-batcher. 0 resolves TG_SERVE_MAX_BATCH at
+  /// construction (default 8); must be >= 1 after resolution.
+  int max_batch = 0;
+  /// Cross-template coalescing: when on, the micro-batcher also drains
+  /// batchable tickets of *other* templates and answers the mix with one
+  /// packed forward (data/graph_pack.hpp). -1 resolves
+  /// TG_SERVE_CROSS_BATCH at construction (default on); 0 disables.
+  int cross_batch = -1;
+  /// Node budget for one cross-template packed batch: the sum of the
+  /// distinct member templates' node counts may not exceed it, so one
+  /// giant design cannot starve the latency of small tenants (same-
+  /// template extras are free — they share the packed rows). 0 resolves
+  /// TG_SERVE_MAX_BATCH_NODES at construction (default 262144); < 0
+  /// after resolution means unlimited.
+  long long max_batch_nodes = 0;
+  /// LRU capacity of the pack cache (packed super-graph + plan per
+  /// recurring template-key set). 0 resolves TG_SERVE_PACK_CACHE at
+  /// construction (default 8); must be >= 1 after resolution.
+  int pack_cache = 0;
   /// Deadline applied when a request carries none. zero = unlimited.
   std::chrono::nanoseconds default_budget{0};
   /// Queue fill fractions where the entry tier drops to cone / stale.
@@ -142,6 +159,13 @@ struct ServerStats {
   /// Requests degraded down the ladder by a sharded-STA failure
   /// (ShardSweepError) — a compute-plane fault, charged to no session.
   std::uint64_t shard_degraded = 0;
+  /// Requests answered via a cross-template packed batch (subset of
+  /// `batched`).
+  std::uint64_t cross_batched = 0;
+  /// Pack-cache hits/misses: a miss packs + plans the template set, a hit
+  /// reuses the cached super-graph.
+  std::uint64_t pack_hits = 0;
+  std::uint64_t pack_misses = 0;
 };
 
 }  // namespace tg::serve

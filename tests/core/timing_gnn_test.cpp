@@ -34,6 +34,25 @@ TEST(TimingGnn, ForwardShapes) {
   EXPECT_EQ(pred.cell_delay.rows(), static_cast<std::int64_t>(g.cell_src.size()));
 }
 
+TEST(TimingGnn, InferenceFastPathMatchesTrainingForward) {
+  // The serving plane answers from forward_atslew (cached embedding, no
+  // auxiliary heads); it must produce bit-identical arrival/slew to the
+  // full training forward.
+  const TimingGnn model(tiny_config());
+  const auto& g = testing::train_graph();
+  const PropPlan plan = build_prop_plan(g);
+  const TimingGnn::Prediction pred = model.forward(g, plan);
+  const nn::Tensor emb = model.embed(g);
+  const nn::Tensor fast = model.forward_atslew(g, plan, emb);
+  ASSERT_EQ(fast.rows(), pred.atslew.rows());
+  ASSERT_EQ(fast.cols(), pred.atslew.cols());
+  for (std::int64_t r = 0; r < fast.rows(); ++r) {
+    for (std::int64_t c = 0; c < fast.cols(); ++c) {
+      EXPECT_EQ(fast.at(r, c), pred.atslew.at(r, c)) << "r=" << r << " c=" << c;
+    }
+  }
+}
+
 TEST(TimingGnn, LossFiniteAndPositive) {
   const TimingGnn model(tiny_config());
   const auto& g = testing::train_graph();

@@ -17,6 +17,7 @@
 
 #include "sta/shard.hpp"
 #include "sta/timer.hpp"
+#include "util/check.hpp"
 #include "util/fault.hpp"
 
 namespace tg::serve {
@@ -240,6 +241,166 @@ TEST(ServeTest, CompatiblePredictionsCoalesceIntoOneBatch) {
   for (std::size_t i = 1; i < rs.size(); ++i) {
     EXPECT_DOUBLE_EQ(rs[i].wns_setup, rs[0].wns_setup);
   }
+}
+
+TEST(ServeTest, CrossTemplateBatchMatchesPerSessionForceFull) {
+  ServeOptions o = small_options();
+  o.workers = 1;  // deterministic: one worker, the mix forms behind it
+  o.queue_capacity = 32;
+  o.max_batch = 8;
+  o.cross_batch = 1;  // pin on regardless of the ambient environment
+  SlackServer server(o);
+  const SessionId sa = server.open_session("spm", kScale);
+  const SessionId sb = server.open_session("zipdiv", kScale);
+
+  // Reference answers: the full-tier GNN per session, forced so they are
+  // never batched (force_full is batching-incompatible).
+  auto reference = [&](SessionId id) {
+    Request req;
+    req.session = id;
+    req.mode = RequestMode::kGnn;
+    req.force_full = true;
+    return server.call(std::move(req));
+  };
+  const Response ra = reference(sa);
+  const Response rb = reference(sb);
+  ASSERT_EQ(ra.status, ResponseStatus::kOk);
+  ASSERT_EQ(rb.status, ResponseStatus::kOk);
+
+  // Stall the worker on the first prediction; interleaved batchable
+  // predictions on both designs pile up behind it and must coalesce into
+  // cross-template packed batches.
+  fault::arm_serve_fault("slow", 1);
+  std::vector<std::future<Response>> futs;
+  std::vector<SessionId> owner;
+  for (int i = 0; i < 6; ++i) {
+    Request req;
+    req.session = (i % 2 == 0) ? sa : sb;
+    owner.push_back(req.session);
+    futs.push_back(server.submit(std::move(req)));
+  }
+  std::vector<Response> rs;
+  for (auto& fut : futs) rs.push_back(fut.get());
+  fault::clear_serve_fault();
+
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.cross_batched, 2u) << "no cross-template coalescing happened";
+  EXPECT_GE(s.pack_misses, 1u) << "packed path never built a pack";
+
+  // Every answer equals its own design's force_full reference — the
+  // packed forward is the same computation, just fused.
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const Response& r = rs[i];
+    const Response& ref = owner[i] == sa ? ra : rb;
+    ASSERT_NE(r.status, ResponseStatus::kShed);
+    ASSERT_EQ(r.endpoint_setup.size(), ref.endpoint_setup.size());
+    for (std::size_t e = 0; e < ref.endpoint_setup.size(); ++e) {
+      ASSERT_NEAR(r.endpoint_setup[e], ref.endpoint_setup[e], 1e-6)
+          << "request " << i << " endpoint " << e;
+    }
+    EXPECT_NEAR(r.wns_setup, ref.wns_setup, 1e-6);
+    EXPECT_NEAR(r.tns_setup, ref.tns_setup, 1e-6);
+  }
+
+  // A recurring mix hits the pack cache instead of re-packing.
+  fault::arm_serve_fault("slow", 1);
+  std::vector<std::future<Response>> again;
+  for (int i = 0; i < 4; ++i) {
+    Request req;
+    req.session = (i % 2 == 0) ? sa : sb;
+    again.push_back(server.submit(std::move(req)));
+  }
+  for (auto& fut : again) (void)fut.get();
+  fault::clear_serve_fault();
+  EXPECT_GE(server.stats().pack_hits, 1u) << "recurring mix re-packed";
+}
+
+TEST(ServeTest, PackCacheReusesSupersetForShrunkenMix) {
+  TemplateCache templates;
+  const auto ta = templates.get_or_build("spm", kScale, 0.0);
+  const auto tb = templates.get_or_build("zipdiv", kScale, 0.0);
+  const auto tc = templates.get_or_build("xtea", kScale, 0.0);
+
+  core::TimingGnnConfig cfg;
+  cfg.net.hidden = 8;
+  cfg.net.mlp_hidden = 8;
+  cfg.prop.hidden = 8;
+  cfg.prop.mlp_hidden = 8;
+  const core::TimingGnn model(cfg);
+
+  PackCache cache(4);
+  bool hit = true;
+  const auto full = cache.get_or_pack({ta, tb, tc}, model, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_EQ(full->pack.num_graphs, 3);
+
+  // A shrunken mix (one tenant drained) reuses the cached superset pack
+  // instead of rebuilding — same entry, tagged a hit.
+  const auto sub = cache.get_or_pack({tc, ta}, model, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(sub.get(), full.get());
+
+  // Order and duplicates never fragment the cache either.
+  const auto dup = cache.get_or_pack({tb, ta, tb, tc}, model, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(dup.get(), full.get());
+
+  // A mix with a template the cached packs lack is a genuine miss.
+  const auto td = templates.get_or_build("spm", kScale, 0.92);
+  const auto fresh = cache.get_or_pack({ta, td}, model, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(fresh->pack.num_graphs, 2);
+
+  // With both packs cached, the smaller superset wins for {ta}-plus-one
+  // subsets it covers.
+  const auto smallest = cache.get_or_pack({td, ta}, model, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(smallest.get(), fresh.get());
+}
+
+TEST(ServeTest, CrossBatchDisabledKeepsTemplatesSeparate) {
+  ServeOptions o = small_options();
+  o.workers = 1;
+  o.queue_capacity = 32;
+  o.max_batch = 8;
+  o.cross_batch = 1;  // resolved field sanity below needs a pinned value
+  SlackServer on(o);
+  EXPECT_EQ(on.options().cross_batch, 1);
+
+  o.cross_batch = 0;  // the TG_SERVE_CROSS_BATCH=0 configuration
+  SlackServer server(o);
+  const SessionId sa = server.open_session("spm", kScale);
+  const SessionId sb = server.open_session("zipdiv", kScale);
+
+  fault::arm_serve_fault("slow", 1);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 6; ++i) {
+    Request req;
+    req.session = (i % 2 == 0) ? sa : sb;
+    futs.push_back(server.submit(std::move(req)));
+  }
+  for (auto& fut : futs) {
+    const Response r = fut.get();
+    EXPECT_NE(r.status, ResponseStatus::kShed);
+  }
+  fault::clear_serve_fault();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.cross_batched, 0u) << "cross batching ran while disabled";
+  EXPECT_EQ(s.pack_misses + s.pack_hits, 0u);
+}
+
+TEST(ServeTest, MaxBatchResolvesFromOptionsAndValidates) {
+  ServeOptions o = small_options();
+  o.max_batch = 3;
+  SlackServer server(o);
+  EXPECT_EQ(server.options().max_batch, 3);
+  // Default-constructed options resolve the env default (8 unless the
+  // ambient TG_SERVE_MAX_BATCH overrides it) — never the raw 0.
+  SlackServer dflt{ServeOptions{}};
+  EXPECT_GE(dflt.options().max_batch, 1);
+  ServeOptions bad = small_options();
+  bad.max_batch = -2;
+  EXPECT_THROW(SlackServer{bad}, CheckError);
 }
 
 TEST(ServeTest, ShutdownShedsQueuedWorkAndRejectsNewWork) {

@@ -140,6 +140,81 @@ TEST(ServeTsanTest, ConcurrentMixedLoadNeverHangsAndTagsEveryResponse) {
   EXPECT_EQ(s.ok + s.degraded + s.shed, s.completed);
 }
 
+TEST(ServeTsanTest, MixedDesignConcurrentSubmitsCrossBatchCleanly) {
+  // Cross-template packed batching under concurrency: clients on three
+  // different designs hammer predictions (all batchable), with occasional
+  // moves and tight deadlines thrown in to race the pack path against
+  // materialization and degradation. Invariants: zero hangs, every
+  // response tagged, and per-session totals conserved.
+  ServeOptions o;
+  o.workers = 4;
+  o.queue_capacity = 32;
+  o.max_batch = 8;
+  o.cross_batch = 1;  // pin on regardless of the ambient environment
+  SlackServer server(o);
+
+  const char* designs[] = {"spm", "zipdiv", "xtea"};
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 16;
+  std::vector<SessionId> sessions;
+  for (int i = 0; i < kClients; ++i) {
+    sessions.push_back(server.open_session(designs[i % 3], kScale));
+  }
+
+  std::atomic<int> tagged{0};
+  std::atomic<int> untagged{0};
+  std::atomic<int> hangs{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const SessionId id = sessions[static_cast<std::size_t>(c)];
+      ResizeMove move{-1, -1};
+      server.inspect(id, [&](const SessionView& v) {
+        move = {c % v.design.num_instances(), -1};
+        move.new_cell = alternative_cell(v, move.inst);
+      });
+      for (int i = 0; i < kPerClient; ++i) {
+        Request req;
+        req.session = id;
+        switch (i % 8) {
+          case 6:  // one client materializes mid-run: its tickets must
+                   // drop out of packed batches via the pristine recheck
+            if (c == 0 && move.new_cell >= 0) req.moves.push_back(move);
+            break;
+          case 7:  // tight deadline inside a packed batch: degraded tag
+            req.budget = std::chrono::microseconds(50);
+            break;
+          default:  // plain batchable prediction — the cross-batch fuel
+            break;
+        }
+        std::future<Response> fut = server.submit(std::move(req));
+        if (fut.wait_for(std::chrono::seconds(120)) !=
+            std::future_status::ready) {
+          hangs.fetch_add(1);
+          continue;
+        }
+        const Response r = fut.get();
+        const bool ok_tag = r.status == ResponseStatus::kOk ||
+                            r.status == ResponseStatus::kDegraded ||
+                            r.status == ResponseStatus::kShed;
+        (ok_tag ? tagged : untagged).fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(hangs.load(), 0);
+  EXPECT_EQ(untagged.load(), 0);
+  EXPECT_EQ(tagged.load(), kClients * kPerClient);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, s.submitted);
+  EXPECT_EQ(s.ok + s.degraded + s.shed, s.completed);
+  // Cross-template packs imply pack builds/hits; the converse bounds the
+  // counter plumbing (no cross_batched without a pack).
+  if (s.cross_batched > 0) EXPECT_GE(s.pack_hits + s.pack_misses, 1u);
+}
+
 TEST(ServeTsanTest, ShutdownRacesInFlightWorkCleanly) {
   ServeOptions o;
   o.workers = 2;

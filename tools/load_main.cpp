@@ -13,9 +13,11 @@
 ///
 /// The driver then *verifies the robustness contract*: every submitted
 /// future resolves (zero hangs), every response carries a valid
-/// ok|degraded|shed tag, and the server's own counters agree with the
-/// client-side tally. Exit 0 = contract held; the digest prints
-/// throughput and p50/p99 latency per status.
+/// ok|degraded|shed tag, batch-answered responses carry a concrete tier
+/// tag, and the server's own counters agree with the client-side tally.
+/// Exit 0 = contract held; the digest prints throughput, p50/p99 latency
+/// per status and a per-template latency breakdown (`--design` accepts a
+/// comma-separated list; tenants round-robin across it).
 ///
 ///   ./tg_serve_load [--design=spm] [--scale=0.03125] [--sessions=32]
 ///                   [--requests=8] [--workers=4] [--queue=32]
@@ -39,6 +41,7 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/fault.hpp"
+#include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 namespace tg {
@@ -55,6 +58,8 @@ struct Outcome {
   ServeTier tier;
   std::int64_t latency_ns;
   bool was_cancelled_by_client;
+  int design_idx;   ///< index into the --design list (template identity)
+  int batch_size;   ///< requests answered by the same forward pass
 };
 
 struct Tally {
@@ -62,24 +67,24 @@ struct Tally {
   std::vector<Outcome> outcomes;
   long long hangs = 0;
 
-  void add(const Response& r, bool client_cancelled) {
+  void add(const Response& r, bool client_cancelled, int design_idx) {
     const std::lock_guard<std::mutex> lock(mu);
     outcomes.push_back({r.status, r.tier, r.latency.count(),
-                        client_cancelled});
+                        client_cancelled, design_idx, r.batch_size});
   }
 };
 
 /// Waits generously; a future that never resolves is the one bug this
 /// driver exists to catch.
 bool harvest(std::future<Response>& fut, Tally& tally,
-             bool client_cancelled) {
+             bool client_cancelled, int design_idx) {
   if (fut.wait_for(std::chrono::seconds(120)) !=
       std::future_status::ready) {
     const std::lock_guard<std::mutex> lock(tally.mu);
     ++tally.hangs;
     return false;
   }
-  tally.add(fut.get(), client_cancelled);
+  tally.add(fut.get(), client_cancelled, design_idx);
   return true;
 }
 
@@ -115,7 +120,7 @@ double percentile_ms(std::vector<std::int64_t>& ns, double p) {
 /// interleave; a fraction of requests carry tight budgets or get cancelled
 /// mid-flight.
 void run_client(serve::SlackServer& server, const Library& lib,
-                serve::SessionId session, int requests,
+                serve::SessionId session, int design_idx, int requests,
                 std::chrono::nanoseconds deadline, double cancel_frac,
                 double move_frac, std::uint64_t seed, Tally& tally) {
   std::mt19937 rng(static_cast<std::uint32_t>(seed));
@@ -159,7 +164,7 @@ void run_client(serve::SlackServer& server, const Library& lib,
           std::chrono::microseconds(rng() % 2000));
       source.cancel();
     }
-    harvest(fut, tally, cancel_this);
+    harvest(fut, tally, cancel_this, design_idx);
   }
 }
 
@@ -173,7 +178,13 @@ int main(int argc, char** argv) {
                       "queue", "deadline-ms", "cancel-frac", "move-frac",
                       "spike", "fault", "seed"});
 
-  const std::string design = opts.get("design", "spm");
+  // --design accepts a comma-separated list: tenants round-robin across
+  // the templates, exercising the cross-template packed batcher.
+  std::vector<std::string> designs;
+  for (const std::string& d : split(opts.get("design", "spm"), ',')) {
+    if (!d.empty()) designs.push_back(d);
+  }
+  TG_CHECK_MSG(!designs.empty(), "--design lists no designs");
   const double scale = opts.get_double("scale", 0.03125);
   const int sessions = static_cast<int>(opts.get_int("sessions", 32));
   const int requests = static_cast<int>(opts.get_int("requests", 8));
@@ -207,20 +218,26 @@ int main(int argc, char** argv) {
   serve::SlackServer server(so);
 
   const Library lib = build_library();
+  std::string design_list = designs[0];
+  for (std::size_t d = 1; d < designs.size(); ++d) {
+    design_list += "," + designs[d];
+  }
   std::printf("tg_serve_load: %d sessions x %d requests on %s/%.5f "
               "(%d workers, queue %d, deadline %.1f ms, cancel %.0f%%, "
               "moves %.0f%%%s%s)\n",
-              sessions, requests, design.c_str(), scale, so.workers,
+              sessions, requests, design_list.c_str(), scale, so.workers,
               so.queue_capacity,
               static_cast<double>(deadline.count()) / 1e6,
               100.0 * cancel_frac, 100.0 * move_frac,
               fault.empty() ? "" : ", fault ", fault.c_str());
 
-  // Open every session first (template built once, shared by all).
+  // Open every session first (each template built once, shared by its
+  // tenants); sessions round-robin across the design list.
   std::vector<serve::SessionId> ids;
   ids.reserve(static_cast<std::size_t>(sessions));
   for (int s = 0; s < sessions; ++s) {
-    ids.push_back(server.open_session(design, scale));
+    ids.push_back(server.open_session(
+        designs[static_cast<std::size_t>(s) % designs.size()], scale));
   }
 
   Tally tally;
@@ -229,8 +246,10 @@ int main(int argc, char** argv) {
   clients.reserve(static_cast<std::size_t>(sessions));
   for (int s = 0; s < sessions; ++s) {
     clients.emplace_back([&, s] {
-      run_client(server, lib, ids[static_cast<std::size_t>(s)], requests,
-                 deadline, cancel_frac, move_frac,
+      run_client(server, lib, ids[static_cast<std::size_t>(s)],
+                 static_cast<int>(static_cast<std::size_t>(s) %
+                                  designs.size()),
+                 requests, deadline, cancel_frac, move_frac,
                  seed + static_cast<std::uint64_t>(s) * 7919, tally);
     });
   }
@@ -249,8 +268,10 @@ int main(int argc, char** argv) {
       req.budget = deadline;
       burst.push_back(server.submit(std::move(req)));
     }
-    for (std::future<Response>& fut : burst) {
-      harvest(fut, tally, false);
+    for (int i = 0; i < n; ++i) {
+      harvest(burst[static_cast<std::size_t>(i)], tally, false,
+              static_cast<int>(static_cast<std::size_t>(i % sessions) %
+                               designs.size()));
     }
     spike_count = n;
   }
@@ -263,14 +284,32 @@ int main(int argc, char** argv) {
   const serve::ServerStats stats = server.stats();
   long long by_status[3] = {0, 0, 0};
   long long by_tier[4] = {0, 0, 0, 0};
+  long long untagged_batched = 0;
   std::vector<std::int64_t> lat_answered, lat_shed;
+  std::vector<std::vector<std::int64_t>> lat_by_design(designs.size());
+  std::vector<long long> batched_by_design(designs.size(), 0);
   {
     const std::lock_guard<std::mutex> lock(tally.mu);
     for (const Outcome& o : tally.outcomes) {
       ++by_status[static_cast<int>(o.status)];
       ++by_tier[static_cast<int>(o.tier)];
-      (o.status == ResponseStatus::kShed ? lat_shed : lat_answered)
-          .push_back(o.latency_ns);
+      // A batch-answered response must carry a concrete tier tag: the
+      // batcher only serves the full tier, so batch_size > 1 with
+      // tier == kNone means a member slipped through untagged.
+      if (o.batch_size > 1 && (o.tier == ServeTier::kNone ||
+                               o.status == ResponseStatus::kShed)) {
+        ++untagged_batched;
+      }
+      if (o.status == ResponseStatus::kShed) {
+        lat_shed.push_back(o.latency_ns);
+      } else {
+        lat_answered.push_back(o.latency_ns);
+        lat_by_design[static_cast<std::size_t>(o.design_idx)].push_back(
+            o.latency_ns);
+        if (o.batch_size > 1) {
+          ++batched_by_design[static_cast<std::size_t>(o.design_idx)];
+        }
+      }
     }
   }
   const long long total =
@@ -297,8 +336,23 @@ int main(int argc, char** argv) {
   std::printf("  latency (shed):     p50 %.3f ms, p99 %.3f ms over %zu\n",
               percentile_ms(lat_shed, 0.50), percentile_ms(lat_shed, 0.99),
               lat_shed.size());
+  // Per-template skew: a fair cross-template batcher should keep these
+  // rows comparable; one design dominating p99 is a packing-policy smell.
+  for (std::size_t d = 0; d < designs.size(); ++d) {
+    std::vector<std::int64_t>& lat = lat_by_design[d];
+    std::printf("  template %-16s p50 %8.3f ms, p99 %8.3f ms over %4zu "
+                "answered (%lld batched)\n",
+                designs[d].c_str(), percentile_ms(lat, 0.50),
+                percentile_ms(lat, 0.99), lat.size(), batched_by_design[d]);
+  }
 
   int rc = 0;
+  if (untagged_batched > 0) {
+    std::printf("FAIL: %lld batched responses untagged (batch_size > 1 "
+                "with no tier or a shed status)\n",
+                untagged_batched);
+    rc = 1;
+  }
   if (tally.hangs > 0) {
     std::printf("FAIL: %lld futures never resolved (hang)\n", tally.hangs);
     rc = 1;
